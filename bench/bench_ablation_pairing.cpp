@@ -1,0 +1,78 @@
+// E15 (Section 2): "We believe our results also hold under other natural
+// models for randomly pairing ants."
+//
+// Ablation: run both algorithms under the paper's Algorithm 1 pairing
+// (permutation precedence) and under the uniform-proposal lottery model;
+// convergence rates and round distributions should be statistically
+// indistinguishable in shape.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "anthill.hpp"
+
+namespace {
+
+constexpr int kTrials = 25;
+
+hh::analysis::Aggregate measure(hh::core::AlgorithmKind kind,
+                                hh::env::PairingKind pairing, std::uint32_t n,
+                                std::uint32_t k) {
+  hh::core::SimulationConfig cfg;
+  cfg.num_ants = n;
+  cfg.qualities = hh::core::SimulationConfig::binary_qualities(k, k / 2);
+  cfg.pairing = pairing;
+  return hh::analysis::run_algorithm_trials(cfg, kind, kTrials,
+                                            0x615 + n * 29 + k);
+}
+
+}  // namespace
+
+int main() {
+  hh::analysis::print_banner(
+      "E15 / Section 2 — pairing-model ablation",
+      "the results are believed to hold under other natural random-pairing "
+      "models");
+
+  hh::util::Table table({"algorithm", "n", "k", "pairing", "conv%",
+                         "rounds(med)", "rounds(p95)"});
+  std::vector<std::vector<double>> csv_rows;
+  for (auto kind :
+       {hh::core::AlgorithmKind::kSimple, hh::core::AlgorithmKind::kOptimal}) {
+    for (const auto& [n, k] :
+         std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+             {1024, 4}, {4096, 8}, {16384, 8}}) {
+      for (auto pairing : {hh::env::PairingKind::kPermutation,
+                           hh::env::PairingKind::kUniformProposal}) {
+        const auto agg = measure(kind, pairing, n, k);
+        table.begin_row()
+            .cell(std::string(hh::core::algorithm_name(kind)))
+            .num(n)
+            .num(k)
+            .cell(pairing == hh::env::PairingKind::kPermutation
+                      ? "permutation (Alg 1)"
+                      : "uniform-proposal")
+            .num(100.0 * agg.convergence_rate, 1)
+            .num(agg.rounds.median, 1)
+            .num(agg.rounds.p95, 1);
+        csv_rows.push_back(
+            {kind == hh::core::AlgorithmKind::kSimple ? 0.0 : 1.0,
+             static_cast<double>(n), static_cast<double>(k),
+             pairing == hh::env::PairingKind::kPermutation ? 0.0 : 1.0,
+             agg.convergence_rate, agg.rounds.median});
+      }
+    }
+  }
+  std::printf("\n%d trials per cell:\n", kTrials);
+  std::cout << table.render();
+  std::printf(
+      "\nexpected shape: per (algorithm, n, k) row pair, both pairing "
+      "models converge at ~100%% with round medians within noise of each "
+      "other — supporting the paper's model-robustness remark\n");
+
+  const auto path = hh::analysis::write_csv(
+      "ablation_pairing",
+      {"algorithm", "n", "k", "pairing", "conv_rate", "median"}, csv_rows);
+  if (!path.empty()) std::printf("csv: %s\n", path.c_str());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E9 (Section 4 vs Section 5): the crossover between Algorithm 2
+// (optimal, O(log n)) and Algorithm 3 (simple, O(k log n)).
+//
+// At small k the simple algorithm's lower constants win; as k grows its
+// linear-in-k factor loses to the optimal algorithm's flat O(log n).
+// The paper's qualitative claim: Algorithm 3 "is not optimal, except when
+// k is assumed to be constant".
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "anthill.hpp"
+
+namespace {
+
+constexpr int kTrials = 20;
+
+hh::analysis::Aggregate measure(hh::core::AlgorithmKind kind, std::uint32_t n,
+                                std::uint32_t k) {
+  hh::core::SimulationConfig cfg;
+  cfg.num_ants = n;
+  cfg.qualities = hh::core::SimulationConfig::binary_qualities(k, k / 2);
+  return hh::analysis::run_algorithm_trials(cfg, kind, kTrials,
+                                            0x90 + n * 17 + k);
+}
+
+}  // namespace
+
+int main() {
+  hh::analysis::print_banner(
+      "E9 — crossover: Algorithm 2 (optimal) vs Algorithm 3 (simple)",
+      "simple wins at constant k; optimal wins as k grows (O(log n) vs "
+      "O(k log n))");
+
+  constexpr std::uint32_t kN = 1 << 14;
+  const std::vector<std::uint32_t> ks = {2, 4, 8, 16, 32, 64};
+
+  hh::util::Table table({"k", "simple med", "optimal med", "ratio s/o",
+                         "winner"});
+  std::vector<double> xs;
+  std::vector<double> simple_med;
+  std::vector<double> optimal_med;
+  std::vector<std::vector<double>> csv_rows;
+  std::uint32_t crossover_k = 0;
+  for (std::uint32_t k : ks) {
+    const auto simple = measure(hh::core::AlgorithmKind::kSimple, kN, k);
+    const auto optimal = measure(hh::core::AlgorithmKind::kOptimal, kN, k);
+    const double ratio = simple.rounds.median / optimal.rounds.median;
+    if (crossover_k == 0 && ratio > 1.0) crossover_k = k;
+    table.begin_row()
+        .num(k)
+        .num(simple.rounds.median, 1)
+        .num(optimal.rounds.median, 1)
+        .num(ratio, 2)
+        .cell(ratio < 1.0 ? "simple" : "optimal");
+    xs.push_back(k);
+    simple_med.push_back(simple.rounds.median);
+    optimal_med.push_back(optimal.rounds.median);
+    csv_rows.push_back({static_cast<double>(k), simple.rounds.median,
+                        optimal.rounds.median, ratio});
+  }
+  std::printf("\nn = %u, half the nests good, %d trials per cell:\n", kN,
+              kTrials);
+  std::cout << table.render();
+  if (crossover_k != 0) {
+    std::printf("\ncrossover: optimal first beats simple at k = %u\n",
+                crossover_k);
+  } else {
+    std::printf("\nno crossover within the swept k range\n");
+  }
+
+  hh::util::PlotOptions opt;
+  opt.log_x = true;
+  opt.x_label = "k (candidate nests)";
+  opt.y_label = "median rounds";
+  opt.title = "\nFigure E9: rounds vs k at n = 2^14";
+  std::cout << hh::util::plot(
+      {{"simple", xs, simple_med, 's'}, {"optimal", xs, optimal_med, 'o'}},
+      opt);
+
+  const auto path = hh::analysis::write_csv(
+      "crossover", {"k", "simple_median", "optimal_median", "ratio"}, csv_rows);
+  if (!path.empty()) std::printf("csv: %s\n", path.c_str());
+  return 0;
+}

@@ -1,0 +1,117 @@
+// E17 — engine microbenchmarks (google-benchmark): cost of the pairing
+// process, of a full environment round, and of end-to-end simulation.
+#include <benchmark/benchmark.h>
+
+#include "anthill.hpp"
+
+namespace {
+
+void BM_PermutationPairing(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  std::vector<hh::env::RecruitRequest> requests;
+  for (std::size_t i = 0; i < m; ++i) {
+    requests.push_back({static_cast<hh::env::AntId>(i), i % 2 == 0, 1});
+  }
+  hh::env::PermutationPairing model;
+  hh::util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.pair(requests, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_PermutationPairing)->Range(64, 1 << 16);
+
+void BM_UniformProposalPairing(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  std::vector<hh::env::RecruitRequest> requests;
+  for (std::size_t i = 0; i < m; ++i) {
+    requests.push_back({static_cast<hh::env::AntId>(i), i % 2 == 0, 1});
+  }
+  hh::env::UniformProposalPairing model;
+  hh::util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.pair(requests, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_UniformProposalPairing)->Range(64, 1 << 16);
+
+void BM_EnvironmentRound(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  hh::env::EnvironmentConfig cfg;
+  cfg.num_ants = n;
+  cfg.qualities = {1.0, 1.0, 0.0, 0.0};
+  cfg.seed = 3;
+  hh::env::Environment environment(std::move(cfg));
+  std::vector<hh::env::Action> search(n, hh::env::Action::search());
+  environment.step(search);
+  std::vector<hh::env::Action> recruit(n, hh::env::Action::recruit(true, 1));
+  // Legalize: everyone must know nest 1; search granted knowledge of a
+  // random nest only, so disable enforcement-sensitive targets by having
+  // each ant advertise the nest it found.
+  for (hh::env::AntId a = 0; a < n; ++a) {
+    recruit[a] = hh::env::Action::recruit(a % 2 == 0,
+                                          environment.location(a));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(environment.step(recruit));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EnvironmentRound)->Range(256, 1 << 17);
+
+void BM_SimpleAlgorithmEndToEnd(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 1;
+  std::uint64_t total_rounds = 0;
+  for (auto _ : state) {
+    hh::core::SimulationConfig cfg;
+    cfg.num_ants = n;
+    cfg.qualities = hh::core::SimulationConfig::binary_qualities(4, 2);
+    cfg.seed = seed++;
+    hh::core::Simulation sim(cfg, hh::core::AlgorithmKind::kSimple);
+    const auto result = sim.run();
+    total_rounds += result.rounds_executed;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["ant_rounds/s"] = benchmark::Counter(
+      static_cast<double>(total_rounds) * n, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimpleAlgorithmEndToEnd)->Range(256, 1 << 14);
+
+void BM_OptimalAlgorithmEndToEnd(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 1;
+  std::uint64_t total_rounds = 0;
+  for (auto _ : state) {
+    hh::core::SimulationConfig cfg;
+    cfg.num_ants = n;
+    cfg.qualities = hh::core::SimulationConfig::binary_qualities(4, 2);
+    cfg.seed = seed++;
+    hh::core::Simulation sim(cfg, hh::core::AlgorithmKind::kOptimal);
+    const auto result = sim.run();
+    total_rounds += result.rounds_executed;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["ant_rounds/s"] = benchmark::Counter(
+      static_cast<double>(total_rounds) * n, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OptimalAlgorithmEndToEnd)->Range(256, 1 << 14);
+
+void BM_RumorSpread(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    hh::core::RumorSpreadConfig cfg;
+    cfg.num_ants = n;
+    cfg.num_nests = 4;
+    cfg.seed = seed++;
+    benchmark::DoNotOptimize(hh::core::run_rumor_spread(cfg));
+  }
+}
+BENCHMARK(BM_RumorSpread)->Range(1 << 10, 1 << 18);
+
+}  // namespace

@@ -1,0 +1,117 @@
+// E11 (Section 6, "Non-binary nest qualities"): weighting the recruitment
+// probability by a real-valued nest quality makes the colony converge to
+// a high-quality nest "without significantly effecting runtime".
+//
+// Measurement: nests with qualities spread over (0, 1]; compare the
+// winner-quality distribution and running time of the quality-aware
+// variant against plain Algorithm 3 (which treats every positive-quality
+// nest as equally good).
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "anthill.hpp"
+
+namespace {
+
+constexpr int kTrials = 40;
+constexpr std::uint32_t kN = 1024;
+
+struct QualityOutcome {
+  double mean_winner_quality = 0.0;
+  double best_win_rate = 0.0;
+  double median_rounds = 0.0;
+  double convergence_rate = 0.0;
+};
+
+QualityOutcome run(hh::core::AlgorithmKind kind,
+                   const std::vector<double>& qualities) {
+  // Identify the best nest for the win-rate statistic.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < qualities.size(); ++i) {
+    if (qualities[i] > qualities[best]) best = i;
+  }
+  const auto best_nest = static_cast<hh::env::NestId>(best + 1);
+
+  double quality_sum = 0.0;
+  std::uint32_t best_wins = 0;
+  std::uint32_t converged = 0;
+  std::vector<double> rounds;
+  for (int t = 0; t < kTrials; ++t) {
+    hh::core::SimulationConfig cfg;
+    cfg.num_ants = kN;
+    cfg.qualities = qualities;
+    cfg.seed = 0x611 + t * 41;
+    hh::core::Simulation sim(cfg, kind);
+    const auto result = sim.run();
+    if (!result.converged) continue;
+    ++converged;
+    quality_sum += result.winner_quality;
+    best_wins += result.winner == best_nest ? 1 : 0;
+    rounds.push_back(result.rounds);
+  }
+  QualityOutcome out;
+  out.convergence_rate = static_cast<double>(converged) / kTrials;
+  if (converged > 0) {
+    out.mean_winner_quality = quality_sum / converged;
+    out.best_win_rate = static_cast<double>(best_wins) / converged;
+    out.median_rounds = hh::util::median(rounds);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  hh::analysis::print_banner(
+      "E11 / Section 6 — non-binary nest qualities",
+      "quality-weighted recruitment converges to a high-quality nest "
+      "without significantly affecting runtime");
+
+  const std::vector<std::pair<const char*, std::vector<double>>> scenarios = {
+      {"spread", {1.0, 0.8, 0.6, 0.4, 0.2, 0.1}},
+      {"one-clear-best", {1.0, 0.3, 0.3, 0.3}},
+      {"close-call", {1.0, 0.9, 0.5, 0.5}},
+      {"many-poor", {0.9, 0.15, 0.15, 0.15, 0.15, 0.15, 0.15, 0.15}}};
+
+  hh::util::Table table({"scenario", "algorithm", "conv%", "E[winner q]",
+                         "P[best wins]", "rounds(med)"});
+  std::vector<std::vector<double>> csv_rows;
+  double scenario_id = 0.0;
+  for (const auto& [name, qualities] : scenarios) {
+    const auto aware = run(hh::core::AlgorithmKind::kQualityAware, qualities);
+    const auto plain = run(hh::core::AlgorithmKind::kSimple, qualities);
+    table.begin_row()
+        .cell(name)
+        .cell("quality-aware")
+        .num(100.0 * aware.convergence_rate, 1)
+        .num(aware.mean_winner_quality, 3)
+        .num(aware.best_win_rate, 2)
+        .num(aware.median_rounds, 1);
+    table.begin_row()
+        .cell(name)
+        .cell("simple (blind)")
+        .num(100.0 * plain.convergence_rate, 1)
+        .num(plain.mean_winner_quality, 3)
+        .num(plain.best_win_rate, 2)
+        .num(plain.median_rounds, 1);
+    csv_rows.push_back({scenario_id, 1.0, aware.mean_winner_quality,
+                        aware.best_win_rate, aware.median_rounds});
+    csv_rows.push_back({scenario_id, 0.0, plain.mean_winner_quality,
+                        plain.best_win_rate, plain.median_rounds});
+    scenario_id += 1.0;
+  }
+  std::printf("\nn = %u, %d trials per cell:\n", kN, kTrials);
+  std::cout << table.render();
+  std::printf(
+      "\nexpected shape: quality-aware lifts E[winner quality] and P[best "
+      "wins] well above the blind baseline at comparable round counts\n");
+
+  const auto path = hh::analysis::write_csv(
+      "sec6_quality",
+      {"scenario", "aware", "mean_winner_quality", "best_win_rate",
+       "median_rounds"},
+      csv_rows);
+  if (!path.empty()) std::printf("csv: %s\n", path.c_str());
+  return 0;
+}

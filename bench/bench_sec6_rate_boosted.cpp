@@ -1,0 +1,101 @@
+// E10 (Section 6, "Improved running time"): recruiting at a boosted rate
+// ~ c(i,r)/n * k~(r) removes the Theta(k) factor from Algorithm 3's
+// running time, conjectured to give O(log^c n) convergence.
+//
+// Measurement: rounds vs k at fixed n (simple grows ~linearly, boosted
+// stays nearly flat) and rounds vs n at large k (both ~log n but with a
+// ~k-fold constant separation).
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "anthill.hpp"
+
+namespace {
+
+constexpr int kTrials = 20;
+
+hh::analysis::Aggregate measure(hh::core::AlgorithmKind kind, std::uint32_t n,
+                                std::uint32_t k) {
+  hh::core::SimulationConfig cfg;
+  cfg.num_ants = n;
+  cfg.qualities = hh::core::SimulationConfig::binary_qualities(k, k / 2);
+  return hh::analysis::run_algorithm_trials(cfg, kind, kTrials,
+                                            0x610 + n * 19 + k);
+}
+
+}  // namespace
+
+int main() {
+  hh::analysis::print_banner(
+      "E10 / Section 6 — rate-boosted recruitment vs Algorithm 3",
+      "recruiting at rate ~ (c/n)*k~(r) removes the Theta(k) factor "
+      "(conjectured O(log^c n))");
+
+  constexpr std::uint32_t kN = 1 << 14;
+  hh::util::Table ktable(
+      {"k", "simple med", "boosted med", "speedup", "boosted conv%"});
+  std::vector<double> xs;
+  std::vector<double> simple_med;
+  std::vector<double> boosted_med;
+  std::vector<std::vector<double>> csv_rows;
+  for (std::uint32_t k : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    const auto simple = measure(hh::core::AlgorithmKind::kSimple, kN, k);
+    const auto boosted = measure(hh::core::AlgorithmKind::kRateBoosted, kN, k);
+    ktable.begin_row()
+        .num(k)
+        .num(simple.rounds.median, 1)
+        .num(boosted.rounds.median, 1)
+        .num(simple.rounds.median / boosted.rounds.median, 2)
+        .num(100.0 * boosted.convergence_rate, 1);
+    xs.push_back(k);
+    simple_med.push_back(simple.rounds.median);
+    boosted_med.push_back(boosted.rounds.median);
+    csv_rows.push_back({static_cast<double>(k), simple.rounds.median,
+                        boosted.rounds.median});
+  }
+  std::printf("\n[k sweep] n = %u:\n", kN);
+  std::cout << ktable.render();
+  const auto simple_fit = hh::util::fit_linear(xs, simple_med);
+  const auto boosted_fit = hh::util::fit_linear(xs, boosted_med);
+  std::printf("per-k slope: simple %.2f rounds/nest, boosted %.2f rounds/nest\n",
+              simple_fit.slope, boosted_fit.slope);
+
+  hh::util::PlotOptions opt;
+  opt.log_x = true;
+  opt.x_label = "k (candidate nests)";
+  opt.y_label = "median rounds";
+  opt.title = "\nFigure E10: boosted vs simple as k grows (n = 2^14)";
+  std::cout << hh::util::plot(
+      {{"simple", xs, simple_med, 's'}, {"boosted", xs, boosted_med, 'b'}},
+      opt);
+
+  // n sweep at large k: the boosted variant should scale ~polylog n.
+  constexpr std::uint32_t kK = 32;
+  hh::util::Table ntable({"n", "log2(n)", "boosted med", "boosted p95"});
+  std::vector<double> ns;
+  std::vector<double> meds;
+  for (std::uint32_t n : {1u << 11, 1u << 13, 1u << 15, 1u << 17}) {
+    const auto boosted = measure(hh::core::AlgorithmKind::kRateBoosted, n, kK);
+    ntable.begin_row()
+        .num(n)
+        .num(std::log2(static_cast<double>(n)), 1)
+        .num(boosted.rounds.median, 1)
+        .num(boosted.rounds.p95, 1);
+    ns.push_back(n);
+    meds.push_back(boosted.rounds.median);
+    csv_rows.push_back(
+        {static_cast<double>(n) + 0.5, 0.0, boosted.rounds.median});
+  }
+  std::printf("\n[n sweep] k = %u:\n", kK);
+  std::cout << ntable.render();
+  const auto nfit = hh::util::fit_logarithmic(ns, meds);
+  hh::analysis::print_fit(nfit, "log2(n)", "polylog-n rounds at large k");
+
+  const auto path = hh::analysis::write_csv(
+      "sec6_rate_boosted", {"k_or_n", "simple_median", "boosted_median"},
+      csv_rows);
+  if (!path.empty()) std::printf("csv: %s\n", path.c_str());
+  return 0;
+}

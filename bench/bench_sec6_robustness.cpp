@@ -1,0 +1,142 @@
+// E12 + E13 + E14 (Section 6): Algorithm 3's robustness to noisy
+// perception, crash/Byzantine faults, and partial synchrony — the three
+// perturbations the paper conjectures it tolerates, contrasted with
+// Algorithm 2, which the paper expects to be fragile ("relies heavily on
+// the synchrony in the execution and the precise counting of the number
+// of ants").
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "anthill.hpp"
+
+namespace {
+
+constexpr int kTrials = 20;
+constexpr std::uint32_t kN = 1024;
+constexpr std::uint32_t kK = 4;
+
+hh::analysis::Aggregate measure(hh::core::AlgorithmKind kind,
+                                const hh::core::SimulationConfig& base,
+                                std::uint64_t salt) {
+  hh::core::SimulationConfig cfg = base;
+  // Cap the cost of non-converging (fragile) configurations.
+  cfg.max_rounds = 4000;
+  return hh::analysis::run_algorithm_trials(cfg, kind, kTrials, 0x612 + salt);
+}
+
+hh::core::SimulationConfig base_config() {
+  hh::core::SimulationConfig cfg;
+  cfg.num_ants = kN;
+  cfg.qualities = hh::core::SimulationConfig::binary_qualities(kK, kK / 2);
+  return cfg;
+}
+
+void emit_row(hh::util::Table& table, const char* sweep, double level,
+              const hh::analysis::Aggregate& simple,
+              const hh::analysis::Aggregate& optimal,
+              std::vector<std::vector<double>>& csv_rows, double sweep_id) {
+  table.begin_row()
+      .cell(sweep)
+      .num(level, 2)
+      .num(100.0 * simple.convergence_rate, 1)
+      .num(simple.converged ? simple.rounds.median : 0.0, 1)
+      .num(100.0 * optimal.convergence_rate, 1)
+      .num(optimal.converged ? optimal.rounds.median : 0.0, 1);
+  csv_rows.push_back({sweep_id, level, simple.convergence_rate,
+                      simple.converged ? simple.rounds.median : 0.0,
+                      optimal.convergence_rate,
+                      optimal.converged ? optimal.rounds.median : 0.0});
+}
+
+}  // namespace
+
+int main() {
+  hh::analysis::print_banner(
+      "E12-E14 / Section 6 — robustness: noise, faults, asynchrony",
+      "Algorithm 3 tolerates unbiased noise, a small number of faults, and "
+      "partial synchrony; Algorithm 2 is fragile by design");
+
+  // NOTE: the right-hand column pair is Algorithm 2 for the noise/fault/
+  // asynchrony sweeps and the rate-boosted variant for the n-estimate
+  // sweep (Algorithm 2 does not consult n before its settle extension).
+  hh::util::Table table({"sweep", "level", "simple conv%", "simple med",
+                         "other conv%", "other med"});
+  std::vector<std::vector<double>> csv_rows;
+
+  // E12: unbiased multiplicative count noise.
+  for (double sigma : {0.0, 0.25, 0.5, 0.75, 1.0, 1.5}) {
+    auto cfg = base_config();
+    cfg.noise.count_sigma = sigma;
+    emit_row(table, "count-noise sigma", sigma,
+             measure(hh::core::AlgorithmKind::kSimple, cfg, 1),
+             measure(hh::core::AlgorithmKind::kOptimal, cfg, 2), csv_rows, 0);
+  }
+  // E12b: binary quality misperception.
+  for (double flip : {0.02, 0.05, 0.10}) {
+    auto cfg = base_config();
+    cfg.noise.quality_flip_prob = flip;
+    emit_row(table, "quality-flip prob", flip,
+             measure(hh::core::AlgorithmKind::kSimple, cfg, 3),
+             measure(hh::core::AlgorithmKind::kOptimal, cfg, 4), csv_rows, 1);
+  }
+  // E13: crash faults.
+  for (double crash : {0.05, 0.10, 0.20, 0.30}) {
+    auto cfg = base_config();
+    cfg.faults.crash_fraction = crash;
+    emit_row(table, "crash fraction", crash,
+             measure(hh::core::AlgorithmKind::kSimple, cfg, 5),
+             measure(hh::core::AlgorithmKind::kOptimal, cfg, 6), csv_rows, 2);
+  }
+  // E13b: Byzantine recruiters (epsilon-agreement; see convergence docs).
+  for (double byz : {0.02, 0.05, 0.10}) {
+    auto cfg = base_config();
+    cfg.faults.byzantine_fraction = byz;
+    cfg.convergence_tolerance = 3.0 * byz;
+    cfg.stability_rounds = 10;
+    emit_row(table, "byzantine fraction", byz,
+             measure(hh::core::AlgorithmKind::kSimple, cfg, 7),
+             measure(hh::core::AlgorithmKind::kOptimal, cfg, 8), csv_rows, 3);
+  }
+  // E14: partial synchrony.
+  for (double skip : {0.1, 0.2, 0.3, 0.5}) {
+    auto cfg = base_config();
+    cfg.skip_probability = skip;
+    emit_row(table, "round-skip prob", skip,
+             measure(hh::core::AlgorithmKind::kSimple, cfg, 9),
+             measure(hh::core::AlgorithmKind::kOptimal, cfg, 10), csv_rows, 4);
+  }
+  // Section 6 bullet 1: ants knowing only an approximation of n. The
+  // optimal column keeps exact knowledge (the perturbation applies to the
+  // Algorithm-3 family; see AlgorithmParams::n_estimate_error).
+  for (double err : {0.25, 0.5, 0.75}) {
+    auto cfg = base_config();
+    cfg.max_rounds = 4000;
+    hh::core::AlgorithmParams params;
+    params.n_estimate_error = err;
+    const auto simple = hh::analysis::run_algorithm_trials(
+        cfg, hh::core::AlgorithmKind::kSimple, kTrials, 0x612 + 11, params);
+    const auto boosted = hh::analysis::run_algorithm_trials(
+        cfg, hh::core::AlgorithmKind::kRateBoosted, kTrials, 0x612 + 12,
+        params);
+    emit_row(table, "n-estimate error", err, simple, boosted, csv_rows, 5);
+  }
+
+  std::printf("\nn = %u, k = %u (half good), %d trials per cell, round cap "
+              "4000:\n",
+              kN, kK, kTrials);
+  std::cout << table.render();
+  std::printf(
+      "\nexpected shape: the 'simple' columns stay near 100%% with "
+      "gracefully growing round counts; the 'optimal' columns collapse "
+      "under asynchrony and degrade under noise/faults (its 4-round "
+      "schedule and exact-count comparisons break)\n");
+
+  const auto path = hh::analysis::write_csv(
+      "sec6_robustness",
+      {"sweep", "level", "simple_conv", "simple_median", "optimal_conv",
+       "optimal_median"},
+      csv_rows);
+  if (!path.empty()) std::printf("csv: %s\n", path.c_str());
+  return 0;
+}

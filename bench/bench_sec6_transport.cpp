@@ -1,0 +1,115 @@
+// E18 (Section 6): "Distinguishing between direct transport and tandem
+// runs may also be interesting, paired with a more fine-grained runtime
+// analysis."
+//
+// The model charges one round per action; in nature tandem runs are ~3x
+// slower than direct transports (Section 2, citing [21]). Under a
+// synchronous-barrier reading (a round lasts as long as its slowest
+// action: 3 units if any tandem run happened, 1 otherwise) algorithms
+// that shift recruitment into a committed transport phase — Algorithm 2's
+// final state, the quorum rule's post-quorum stage — close part of their
+// round-count gap to Algorithm 3, whose recruitment is tandem throughout.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "anthill.hpp"
+
+namespace {
+
+constexpr int kTrials = 20;
+
+struct TransportStats {
+  double median_rounds = 0.0;
+  double median_weighted = 0.0;
+  double tandem = 0.0;
+  double transports = 0.0;
+  double convergence_rate = 0.0;
+};
+
+TransportStats measure(hh::core::AlgorithmKind kind, std::uint32_t n,
+                       std::uint32_t k) {
+  std::vector<double> rounds;
+  std::vector<double> weighted;
+  double tandem = 0.0;
+  double transports = 0.0;
+  std::uint32_t converged = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    hh::core::SimulationConfig cfg;
+    cfg.num_ants = n;
+    cfg.qualities = hh::core::SimulationConfig::binary_qualities(k, k / 2);
+    cfg.seed = 0x618 + t * 43;
+    cfg.record_trajectories = true;
+    hh::core::Simulation sim(cfg, kind);
+    const auto result = sim.run();
+    if (!result.converged) continue;
+    ++converged;
+    rounds.push_back(result.rounds);
+    weighted.push_back(hh::analysis::weighted_duration(result));
+    tandem += static_cast<double>(result.total_tandem_runs);
+    transports += static_cast<double>(result.total_transports);
+  }
+  TransportStats out;
+  out.convergence_rate = static_cast<double>(converged) / kTrials;
+  if (converged > 0) {
+    out.median_rounds = hh::util::median(rounds);
+    out.median_weighted = hh::util::median(weighted);
+    out.tandem = tandem / converged;
+    out.transports = transports / converged;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  hh::analysis::print_banner(
+      "E18 / Section 6 — tandem runs vs direct transports",
+      "a fine-grained runtime analysis distinguishing the two recruitment "
+      "modes (transports ~3x faster [21])");
+
+  hh::util::Table table({"algorithm", "n", "k", "conv%", "rounds(med)",
+                         "time(med, 3:1)", "time/round", "tandem runs",
+                         "transports"});
+  std::vector<std::vector<double>> csv_rows;
+  for (const auto& [n, k] : std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {1024, 4}, {4096, 8}}) {
+    for (auto kind :
+         {hh::core::AlgorithmKind::kSimple, hh::core::AlgorithmKind::kOptimal,
+          hh::core::AlgorithmKind::kQuorum}) {
+      const auto stats = measure(kind, n, k);
+      table.begin_row()
+          .cell(std::string(hh::core::algorithm_name(kind)))
+          .num(n)
+          .num(k)
+          .num(100.0 * stats.convergence_rate, 1)
+          .num(stats.median_rounds, 1)
+          .num(stats.median_weighted, 1)
+          .num(stats.median_rounds > 0
+                   ? stats.median_weighted / stats.median_rounds
+                   : 0.0,
+               2)
+          .num(stats.tandem, 0)
+          .num(stats.transports, 0);
+      csv_rows.push_back({static_cast<double>(n), static_cast<double>(k),
+                          stats.median_rounds, stats.median_weighted,
+                          stats.tandem, stats.transports});
+    }
+  }
+  std::cout << table.render();
+  std::printf(
+      "\nexpected shape: simple never leaves the tandem mode (zero "
+      "transports; every other round carries a tandem run, so time/round "
+      "~= 2). Optimal's strict phase separation gives it a pure-transport "
+      "endgame (time/round ~= 1), closing the wall-clock gap to simple "
+      "even where its round count is higher. Quorum transports heavily "
+      "but tandem runs persist alongside until the end, so its barrier "
+      "cost stays at the tandem rate\n");
+
+  const auto path = hh::analysis::write_csv(
+      "sec6_transport",
+      {"n", "k", "median_rounds", "median_weighted", "tandem", "transports"},
+      csv_rows);
+  if (!path.empty()) std::printf("csv: %s\n", path.c_str());
+  return 0;
+}

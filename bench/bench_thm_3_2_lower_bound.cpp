@@ -1,0 +1,135 @@
+// E2 + E3 (Lemma 3.1, Theorem 3.2): the lower-bound experiment.
+//
+// The location of the single good nest is a rumor; informed ants recruit
+// to it every round (the fastest possible positive feedback) while
+// ignorant ants wait at home, search, or mix. Any HouseHunting algorithm
+// must inform all n ants, so rounds-to-inform-all lower-bounds achievable
+// running time. The paper proves Omega(log n); rumor spreading matches it
+// with O(log n), so the measured curves must be straight lines against
+// log2(n).
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "anthill.hpp"
+
+namespace {
+
+constexpr int kTrials = 15;
+
+hh::analysis::Aggregate measure(std::uint32_t n, std::uint32_t k,
+                                hh::core::IgnorantStrategy strategy) {
+  return hh::analysis::aggregate(hh::analysis::run_trials(
+      [&](std::uint64_t seed) {
+        hh::core::RumorSpreadConfig cfg;
+        cfg.num_ants = n;
+        cfg.num_nests = k;
+        cfg.seed = seed;
+        cfg.strategy = strategy;
+        const auto result = hh::core::run_rumor_spread(cfg);
+        hh::analysis::TrialStats t;
+        t.converged = result.all_informed;
+        t.rounds = result.rounds;
+        t.winner_quality = 1.0;
+        return t;
+      },
+      kTrials, 0x32 + n + k));
+}
+
+const char* strategy_name(hh::core::IgnorantStrategy s) {
+  switch (s) {
+    case hh::core::IgnorantStrategy::kWaitAtHome: return "wait-at-home";
+    case hh::core::IgnorantStrategy::kSearch: return "search";
+    case hh::core::IgnorantStrategy::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  hh::analysis::print_banner(
+      "E2+E3 / Lemma 3.1, Theorem 3.2 — rumor-spreading lower bound",
+      "any algorithm needs Omega(log n) rounds; an ignorant ant stays "
+      "ignorant w.p. >= 1/4 per round");
+
+  const std::vector<std::uint32_t> ns = {1u << 6,  1u << 8,  1u << 10,
+                                         1u << 12, 1u << 14, 1u << 16,
+                                         1u << 18};
+  const std::vector<hh::core::IgnorantStrategy> strategies = {
+      hh::core::IgnorantStrategy::kWaitAtHome,
+      hh::core::IgnorantStrategy::kSearch, hh::core::IgnorantStrategy::kMixed};
+
+  // --- Lemma 3.1 check -----------------------------------------------------
+  hh::util::Table lemma_table({"strategy", "k", "P[stay ignorant]", ">=1/4?"});
+  for (auto strategy : strategies) {
+    for (std::uint32_t k : {2u, 16u}) {
+      hh::core::RumorSpreadConfig cfg;
+      cfg.num_ants = 1 << 14;
+      cfg.num_nests = k;
+      cfg.seed = 31;
+      cfg.strategy = strategy;
+      const auto result = hh::core::run_rumor_spread(cfg);
+      lemma_table.begin_row()
+          .cell(strategy_name(strategy))
+          .num(k)
+          .num(result.stay_ignorant_rate, 4)
+          .cell(result.stay_ignorant_rate >= 0.25 ? "yes" : "NO");
+    }
+  }
+  std::printf("\n[Lemma 3.1] per-round ignorance retention (n = 2^14):\n");
+  std::cout << lemma_table.render();
+
+  // --- Theorem 3.2 scaling -------------------------------------------------
+  std::vector<hh::util::Series> series;
+  std::vector<std::vector<double>> csv_rows;
+  char marker = 'a';
+  for (auto strategy : strategies) {
+    hh::util::Table table({"n", "log2(n)", "trials", "informed%",
+                           "rounds(med)", "rounds(mean)", "rounds(p95)",
+                           "(log4 n)/2 bound"});
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (std::uint32_t n : ns) {
+      const auto agg = measure(n, 4, strategy);
+      const double log4_bound = std::log2(static_cast<double>(n)) / 4.0;
+      table.begin_row()
+          .num(n)
+          .num(std::log2(static_cast<double>(n)), 1)
+          .num(agg.trials)
+          .num(100.0 * agg.convergence_rate, 1)
+          .num(agg.rounds.median, 1)
+          .num(agg.rounds.mean, 1)
+          .num(agg.rounds.p95, 1)
+          .num(log4_bound, 1);
+      xs.push_back(n);
+      ys.push_back(agg.rounds.median);
+      csv_rows.push_back({static_cast<double>(n),
+                          static_cast<double>(strategy == strategies[0]   ? 0
+                                              : strategy == strategies[1] ? 1
+                                                                          : 2),
+                          agg.rounds.median, agg.rounds.mean, agg.rounds.p95});
+    }
+    std::printf("\n[Theorem 3.2] strategy = %s (k = 4):\n",
+                strategy_name(strategy));
+    std::cout << table.render();
+    const auto fit = hh::util::fit_logarithmic(xs, ys);
+    hh::analysis::print_fit(fit, "log2(n)",
+                            "Omega(log n) rounds, matched by O(log n)");
+    series.push_back({strategy_name(strategy), xs, ys, marker++});
+  }
+
+  hh::util::PlotOptions opt;
+  opt.log_x = true;
+  opt.x_label = "n (ants)";
+  opt.y_label = "median rounds to inform all";
+  opt.title = "\nFigure E3: rumor spreading time vs colony size";
+  std::cout << hh::util::plot(series, opt);
+
+  const auto path = hh::analysis::write_csv(
+      "thm_3_2_lower_bound", {"n", "strategy", "median", "mean", "p95"},
+      csv_rows);
+  if (!path.empty()) std::printf("csv: %s\n", path.c_str());
+  return 0;
+}

@@ -1,0 +1,109 @@
+// E4 (Theorem 4.3): Algorithm 2 solves HouseHunting in O(log n) rounds
+// with high probability.
+//
+// Sweeps: rounds vs n at several k (fit against log2 n), and rounds vs k
+// at fixed n (the dependence on k must be weak — O(log k) block
+// eliminations inside the same O(log n) envelope).
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "anthill.hpp"
+
+namespace {
+
+constexpr int kTrials = 20;
+
+hh::analysis::Aggregate measure(std::uint32_t n, std::uint32_t k) {
+  hh::core::SimulationConfig cfg;
+  cfg.num_ants = n;
+  cfg.qualities = hh::core::SimulationConfig::binary_qualities(k, k / 2);
+  return hh::analysis::run_algorithm_trials(
+      cfg, hh::core::AlgorithmKind::kOptimal, kTrials, 0x43 + n * 31 + k);
+}
+
+}  // namespace
+
+int main() {
+  hh::analysis::print_banner(
+      "E4 / Theorem 4.3 — Algorithm 2 (optimal) scaling",
+      "solves HouseHunting in O(log n) rounds w.h.p.");
+
+  const std::vector<std::uint32_t> ns = {1u << 7,  1u << 9,  1u << 11,
+                                         1u << 13, 1u << 15, 1u << 17};
+  const std::vector<std::uint32_t> ks = {2, 8, 32};
+
+  std::vector<hh::util::Series> series;
+  std::vector<std::vector<double>> csv_rows;
+  char marker = '2';
+  for (std::uint32_t k : ks) {
+    hh::util::Table table({"n", "log2(n)", "trials", "conv%", "rounds(med)",
+                           "rounds(mean)", "rounds(p95)"});
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (std::uint32_t n : ns) {
+      if (n / k < 16) continue;  // stay inside the theorem's k = O(n/log n)
+      const auto agg = measure(n, k);
+      table.begin_row()
+          .num(n)
+          .num(std::log2(static_cast<double>(n)), 1)
+          .num(agg.trials)
+          .num(100.0 * agg.convergence_rate, 1)
+          .num(agg.rounds.median, 1)
+          .num(agg.rounds.mean, 1)
+          .num(agg.rounds.p95, 1);
+      xs.push_back(n);
+      ys.push_back(agg.rounds.median);
+      csv_rows.push_back({static_cast<double>(n), static_cast<double>(k),
+                          agg.rounds.median, agg.rounds.mean,
+                          agg.convergence_rate});
+    }
+    std::printf("\n[n sweep] k = %u (half the nests good):\n", k);
+    std::cout << table.render();
+    const auto fit = hh::util::fit_logarithmic(xs, ys);
+    hh::analysis::print_fit(fit, "log2(n)", "O(log n) rounds");
+    series.push_back({"k=" + std::to_string(k), xs, ys, marker});
+    marker = marker == '2' ? '8' : '3';
+  }
+
+  hh::util::PlotOptions opt;
+  opt.log_x = true;
+  opt.x_label = "n (ants)";
+  opt.y_label = "median rounds";
+  opt.title = "\nFigure E4a: Algorithm 2 rounds vs n";
+  std::cout << hh::util::plot(series, opt);
+
+  // k sweep at fixed n: growth must be much slower than linear in k.
+  constexpr std::uint32_t kFixedN = 1 << 14;
+  hh::util::Table ktable(
+      {"k", "trials", "conv%", "rounds(med)", "rounds(mean)", "rounds(p95)"});
+  std::vector<double> kxs;
+  std::vector<double> kys;
+  for (std::uint32_t k : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    const auto agg = measure(kFixedN, k);
+    ktable.begin_row()
+        .num(k)
+        .num(agg.trials)
+        .num(100.0 * agg.convergence_rate, 1)
+        .num(agg.rounds.median, 1)
+        .num(agg.rounds.mean, 1)
+        .num(agg.rounds.p95, 1);
+    kxs.push_back(k);
+    kys.push_back(agg.rounds.median);
+    csv_rows.push_back({static_cast<double>(kFixedN), static_cast<double>(k),
+                        agg.rounds.median, agg.rounds.mean,
+                        agg.convergence_rate});
+  }
+  std::printf("\n[k sweep] n = %u:\n", kFixedN);
+  std::cout << ktable.render();
+  const auto kfit = hh::util::fit_logarithmic(kxs, kys);
+  hh::analysis::print_fit(
+      kfit, "log2(k)",
+      "k enters only through an O(log k) nest-elimination phase");
+
+  const auto path = hh::analysis::write_csv(
+      "thm_4_3_optimal", {"n", "k", "median", "mean", "conv_rate"}, csv_rows);
+  if (!path.empty()) std::printf("csv: %s\n", path.c_str());
+  return 0;
+}

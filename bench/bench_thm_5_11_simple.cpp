@@ -1,0 +1,120 @@
+// E6 (Theorem 5.11): Algorithm 3 (simple) solves HouseHunting in
+// O(k log n) rounds with high probability.
+//
+// Sweeps: rounds vs n at several k (log fits per k), rounds vs k at fixed
+// n (the k dependence should be clearly superconstant, near-linear), and
+// a joint fit of median rounds against k*log2(n).
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "anthill.hpp"
+
+namespace {
+
+constexpr int kTrials = 20;
+
+hh::analysis::Aggregate measure(std::uint32_t n, std::uint32_t k) {
+  hh::core::SimulationConfig cfg;
+  cfg.num_ants = n;
+  cfg.qualities = hh::core::SimulationConfig::binary_qualities(k, k / 2);
+  return hh::analysis::run_algorithm_trials(
+      cfg, hh::core::AlgorithmKind::kSimple, kTrials, 0x511 + n * 37 + k);
+}
+
+}  // namespace
+
+int main() {
+  hh::analysis::print_banner(
+      "E6 / Theorem 5.11 — Algorithm 3 (simple) scaling",
+      "solves HouseHunting in O(k log n) rounds w.h.p.");
+
+  const std::vector<std::uint32_t> ns = {1u << 7,  1u << 9,  1u << 11,
+                                         1u << 13, 1u << 15, 1u << 17};
+  const std::vector<std::uint32_t> ks = {2, 4, 8};
+
+  std::vector<hh::util::Series> series;
+  std::vector<double> joint_n;
+  std::vector<double> joint_k;
+  std::vector<double> joint_rounds;
+  std::vector<std::vector<double>> csv_rows;
+  char marker = '2';
+  for (std::uint32_t k : ks) {
+    hh::util::Table table({"n", "log2(n)", "trials", "conv%", "rounds(med)",
+                           "rounds(mean)", "rounds(p95)"});
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (std::uint32_t n : ns) {
+      const auto agg = measure(n, k);
+      table.begin_row()
+          .num(n)
+          .num(std::log2(static_cast<double>(n)), 1)
+          .num(agg.trials)
+          .num(100.0 * agg.convergence_rate, 1)
+          .num(agg.rounds.median, 1)
+          .num(agg.rounds.mean, 1)
+          .num(agg.rounds.p95, 1);
+      xs.push_back(n);
+      ys.push_back(agg.rounds.median);
+      joint_n.push_back(n);
+      joint_k.push_back(k);
+      joint_rounds.push_back(agg.rounds.median);
+      csv_rows.push_back({static_cast<double>(n), static_cast<double>(k),
+                          agg.rounds.median, agg.rounds.mean,
+                          agg.convergence_rate});
+    }
+    std::printf("\n[n sweep] k = %u (half the nests good):\n", k);
+    std::cout << table.render();
+    const auto fit = hh::util::fit_logarithmic(xs, ys);
+    hh::analysis::print_fit(fit, "log2(n)",
+                            "O(k log n): log-n slope grows with k");
+    series.push_back({"k=" + std::to_string(k), xs, ys, marker});
+    marker = (marker == '2') ? '4' : '8';
+  }
+
+  hh::util::PlotOptions opt;
+  opt.log_x = true;
+  opt.x_label = "n (ants)";
+  opt.y_label = "median rounds";
+  opt.title = "\nFigure E6a: Algorithm 3 rounds vs n";
+  std::cout << hh::util::plot(series, opt);
+
+  // k sweep at fixed n.
+  constexpr std::uint32_t kFixedN = 1 << 14;
+  hh::util::Table ktable(
+      {"k", "trials", "conv%", "rounds(med)", "rounds(mean)", "rounds(p95)"});
+  std::vector<double> kxs;
+  std::vector<double> kys;
+  for (std::uint32_t k : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    const auto agg = measure(kFixedN, k);
+    ktable.begin_row()
+        .num(k)
+        .num(agg.trials)
+        .num(100.0 * agg.convergence_rate, 1)
+        .num(agg.rounds.median, 1)
+        .num(agg.rounds.mean, 1)
+        .num(agg.rounds.p95, 1);
+    kxs.push_back(k);
+    kys.push_back(agg.rounds.median);
+    joint_n.push_back(kFixedN);
+    joint_k.push_back(k);
+    joint_rounds.push_back(agg.rounds.median);
+    csv_rows.push_back({static_cast<double>(kFixedN), static_cast<double>(k),
+                        agg.rounds.median, agg.rounds.mean,
+                        agg.convergence_rate});
+  }
+  std::printf("\n[k sweep] n = %u:\n", kFixedN);
+  std::cout << ktable.render();
+  const auto klin = hh::util::fit_linear(kxs, kys);
+  hh::analysis::print_fit(klin, "k", "linear-in-k growth at fixed n");
+
+  const auto joint = hh::util::fit_klogn(joint_n, joint_k, joint_rounds);
+  std::printf("\n[joint fit over all %zu points]\n", joint_rounds.size());
+  hh::analysis::print_fit(joint, "k*log2(n)", "O(k log n) rounds");
+
+  const auto path = hh::analysis::write_csv(
+      "thm_5_11_simple", {"n", "k", "median", "mean", "conv_rate"}, csv_rows);
+  if (!path.empty()) std::printf("csv: %s\n", path.c_str());
+  return 0;
+}

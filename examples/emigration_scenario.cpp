@@ -1,0 +1,84 @@
+// A Temnothorax colony emigration, narrated round by round.
+//
+// The colony's rock crevice has been destroyed. Five cavities are within
+// scouting range: two are suitable (dark, defensible entrance) and three
+// are not. The colony must search, evaluate, recruit via tandem runs, and
+// move everyone to a single new home (paper Section 1.1).
+//
+// This example drives the simulation step by step through the public API
+// and renders the population timeline of every nest as a sparkline, plus
+// the final emigration summary.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "anthill.hpp"
+
+int main() {
+  constexpr std::uint32_t kColonySize = 200;  // a typical Temnothorax colony
+  hh::core::SimulationConfig config;
+  config.num_ants = kColonySize;
+  // Nest qualities from the scouts' criteria (Section 1.1): two suitable
+  // cavities, three rejects (too bright, entrance too wide, too small).
+  config.qualities = {1.0, 1.0, 0.0, 0.0, 0.0};
+  config.seed = 1856;  // the year Temnothorax albipennis was described
+  config.record_trajectories = true;
+  // Settle extension: the colony should physically end up in the new home.
+  hh::core::Simulation sim(config, hh::core::AlgorithmKind::kOptimalSettle);
+
+  std::printf("== Emigration: %u ants, 5 candidate cavities (2 suitable) ==\n\n",
+              kColonySize);
+
+  // Step until the colony has moved, reporting milestones.
+  std::uint32_t milestone = 1;
+  while (!sim.step() && sim.round() < sim.max_rounds()) {
+    if (sim.round() == milestone) {
+      const auto census = sim.committed_census();
+      std::string report = "round " + std::to_string(sim.round()) + ": ";
+      for (std::size_t i = 1; i < census.size(); ++i) {
+        report += "n" + std::to_string(i) + "=" + std::to_string(census[i]) + " ";
+      }
+      std::printf("%s (committed scouts per cavity)\n", report.c_str());
+      milestone *= 2;
+    }
+  }
+
+  if (!sim.converged()) {
+    std::printf("\nthe colony failed to reach consensus — unexpected\n");
+    return 1;
+  }
+  const auto winner = sim.detector().winner();
+  std::printf("\nround %u: quorum met — colony settled in cavity %u\n",
+              sim.round(), winner);
+
+  // Timeline: physical population of each cavity over the emigration.
+  hh::core::RunResult result;  // trajectories live in the sim until run()
+  std::printf("\npopulation timelines (one glyph per round):\n");
+  // Re-run the identical config to obtain the recorded trajectories.
+  hh::core::Simulation replay(config, hh::core::AlgorithmKind::kOptimalSettle);
+  result = replay.run();
+  for (hh::env::NestId nest = 0; nest < 6; ++nest) {
+    const auto series = hh::analysis::count_series(result.trajectories, nest);
+    const char* label = nest == 0 ? "home " : nullptr;
+    char buf[8];
+    if (label == nullptr) {
+      std::snprintf(buf, sizeof(buf), "n%u%s  ", nest,
+                    config.qualities[nest - 1] > 0 ? "+" : "-");
+      label = buf;
+    }
+    std::printf("  %s |%s|\n", label, hh::util::sparkline(series).c_str());
+  }
+  std::printf("  (+ suitable cavity, - unsuitable; home empties as the "
+              "colony moves)\n");
+
+  // Final head-count at the new home.
+  std::uint32_t at_home_nest = 0;
+  for (hh::env::AntId a = 0; a < kColonySize; ++a) {
+    at_home_nest += replay.environment().location(a) == result.winner ? 1 : 0;
+  }
+  std::printf("\nfinal head-count in cavity %u: %u of %u ants\n", result.winner,
+              at_home_nest, kColonySize);
+  std::printf("emigration duration: %u rounds (decision at round %u)\n",
+              result.rounds_executed, result.rounds);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Robustness study: how Algorithm 3 degrades (gracefully) as the world
+// gets worse — noisy perception, faulty ants, and missed rounds, combined.
+//
+// Demonstrates the Section 6 extension switches of SimulationConfig on a
+// single table: each row turns one more knob.
+#include <cstdio>
+#include <iostream>
+
+#include "anthill.hpp"
+
+namespace {
+
+hh::analysis::Aggregate study(const hh::core::SimulationConfig& config) {
+  return hh::analysis::run_algorithm_trials(
+      config, hh::core::AlgorithmKind::kSimple, 15, 0xAB);
+}
+
+}  // namespace
+
+int main() {
+  hh::core::SimulationConfig config;
+  config.num_ants = 512;
+  config.qualities = hh::core::SimulationConfig::binary_qualities(6, 3);
+  config.max_rounds = 5000;
+
+  hh::util::Table table(
+      {"world", "conv%", "rounds(med)", "rounds(p95)", "E[winner q]"});
+  auto add_row = [&](const char* name, const hh::core::SimulationConfig& cfg) {
+    const auto agg = study(cfg);
+    table.begin_row()
+        .cell(name)
+        .num(100.0 * agg.convergence_rate, 1)
+        .num(agg.converged ? agg.rounds.median : 0.0, 1)
+        .num(agg.converged ? agg.rounds.p95 : 0.0, 1)
+        .num(agg.mean_winner_quality, 2);
+  };
+
+  add_row("pristine (paper model)", config);
+
+  auto noisy = config;
+  noisy.noise.count_sigma = 0.5;  // counts off by up to 50%
+  add_row("+ population counts +-50%", noisy);
+
+  auto misjudging = noisy;
+  misjudging.noise.quality_flip_prob = 0.03;  // 3% quality misreads
+  add_row("+ 3% quality misreads", misjudging);
+
+  auto crashing = misjudging;
+  crashing.faults.crash_fraction = 0.08;  // 8% of scouts die mid-run
+  add_row("+ 8% of ants crash", crashing);
+
+  auto hostile = crashing;
+  hostile.faults.byzantine_fraction = 0.03;  // saboteurs pull to a bad nest
+  // Epsilon-agreement: ~15 saboteurs kidnap a few correct ants every
+  // recruit round, and a victim needs a couple of rounds to visit the bad
+  // nest, reject it, and be re-recruited — so a small kidnapped pool
+  // always exists (see ConvergenceDetector docs for the rationale).
+  hostile.convergence_tolerance = 0.25;
+  hostile.stability_rounds = 10;
+  add_row("+ 3% Byzantine saboteurs", hostile);
+
+  auto bedlam = hostile;
+  bedlam.skip_probability = 0.2;  // each ant also misses 20% of rounds
+  add_row("+ 20% missed rounds (all at once)", bedlam);
+
+  std::printf("Algorithm 3 under increasingly hostile worlds\n");
+  std::printf("(n = 512, k = 6 with 3 good nests, 15 trials per row)\n\n");
+  std::cout << table.render();
+  std::printf(
+      "\nthe paper's Section 6 conjecture: the simple algorithm keeps "
+      "converging — slower, but to a good nest — as long as estimates stay "
+      "unbiased and faults stay a small minority. Each perturbation alone "
+      "is absorbed; stacking *all* of them compounds (missed rounds slow "
+      "the rejection of sabotaged nests) and the colony starts failing — "
+      "the edge of the conjecture.\n");
+  return 0;
+}

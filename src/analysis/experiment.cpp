@@ -1,0 +1,65 @@
+#include "analysis/experiment.hpp"
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace hh::analysis {
+
+Aggregate aggregate(const std::vector<TrialStats>& trials) {
+  Aggregate agg;
+  agg.trials = trials.size();
+  double quality_sum = 0.0;
+  for (const TrialStats& t : trials) {
+    if (!t.converged) continue;
+    ++agg.converged;
+    agg.round_samples.push_back(t.rounds);
+    quality_sum += t.winner_quality;
+  }
+  agg.convergence_rate =
+      agg.trials == 0 ? 0.0
+                      : static_cast<double>(agg.converged) /
+                            static_cast<double>(agg.trials);
+  if (agg.converged > 0) {
+    agg.rounds = util::summarize(agg.round_samples);
+    agg.mean_winner_quality =
+        quality_sum / static_cast<double>(agg.converged);
+  }
+  return agg;
+}
+
+std::vector<TrialStats> run_trials(
+    const std::function<TrialStats(std::uint64_t seed)>& trial,
+    std::size_t count, std::uint64_t base_seed) {
+  HH_EXPECTS(count >= 1);
+  std::vector<TrialStats> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(trial(util::mix_seed(base_seed, i, 0x7121A1)));
+  }
+  return out;
+}
+
+TrialStats to_trial_stats(const core::RunResult& result) {
+  TrialStats t;
+  t.converged = result.converged;
+  t.rounds = static_cast<double>(result.rounds);
+  t.winner = result.winner;
+  t.winner_quality = result.winner_quality;
+  return t;
+}
+
+Aggregate run_algorithm_trials(const core::SimulationConfig& base_config,
+                               core::AlgorithmKind kind, std::size_t trials,
+                               std::uint64_t base_seed,
+                               const core::AlgorithmParams& params) {
+  return aggregate(run_trials(
+      [&](std::uint64_t seed) {
+        core::SimulationConfig config = base_config;
+        config.seed = seed;
+        core::Simulation sim(config, kind, params);
+        return to_trial_stats(sim.run());
+      },
+      trials, base_seed));
+}
+
+}  // namespace hh::analysis

@@ -1,0 +1,58 @@
+// Trial repetition and aggregation: every experiment in bench/ runs each
+// configuration over many independent seeds and reports distributional
+// statistics (the theorems are with-high-probability statements).
+#ifndef HH_ANALYSIS_EXPERIMENT_HPP
+#define HH_ANALYSIS_EXPERIMENT_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/colony.hpp"
+#include "core/simulation.hpp"
+#include "util/stats.hpp"
+
+namespace hh::analysis {
+
+/// The scalar outcome of one trial.
+struct TrialStats {
+  bool converged = false;
+  double rounds = 0.0;  ///< decision round (valid when converged)
+  env::NestId winner = env::kHomeNest;
+  double winner_quality = 0.0;
+};
+
+/// Aggregated view of a batch of trials.
+struct Aggregate {
+  std::size_t trials = 0;
+  std::size_t converged = 0;
+  double convergence_rate = 0.0;
+  util::Summary rounds;               ///< over converged trials only
+  double mean_winner_quality = 0.0;   ///< over converged trials only
+
+  /// Raw per-trial round counts of converged trials (for fits/plots).
+  std::vector<double> round_samples;
+};
+
+/// Collapse TrialStats into an Aggregate.
+[[nodiscard]] Aggregate aggregate(const std::vector<TrialStats>& trials);
+
+/// Run `count` trials of `trial`, feeding it deterministic per-trial seeds
+/// derived from `base_seed`.
+[[nodiscard]] std::vector<TrialStats> run_trials(
+    const std::function<TrialStats(std::uint64_t seed)>& trial,
+    std::size_t count, std::uint64_t base_seed);
+
+/// Convenience: TrialStats from a completed RunResult.
+[[nodiscard]] TrialStats to_trial_stats(const core::RunResult& result);
+
+/// Run `trials` executions of `kind` under `base_config` (seed field is
+/// replaced per trial) and aggregate.
+[[nodiscard]] Aggregate run_algorithm_trials(
+    const core::SimulationConfig& base_config, core::AlgorithmKind kind,
+    std::size_t trials, std::uint64_t base_seed,
+    const core::AlgorithmParams& params = {});
+
+}  // namespace hh::analysis
+
+#endif  // HH_ANALYSIS_EXPERIMENT_HPP

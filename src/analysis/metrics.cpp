@@ -1,0 +1,97 @@
+#include "analysis/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace hh::analysis {
+
+std::vector<double> count_series(const core::Trajectories& t, env::NestId nest,
+                                 bool committed) {
+  const auto& table = committed ? t.committed : t.counts;
+  std::vector<double> out;
+  out.reserve(table.size());
+  for (const auto& row : table) {
+    HH_EXPECTS(nest < row.size());
+    out.push_back(static_cast<double>(row[nest]));
+  }
+  return out;
+}
+
+std::vector<double> proportion_series(const core::Trajectories& t,
+                                      env::NestId nest, std::uint32_t num_ants,
+                                      bool committed) {
+  HH_EXPECTS(num_ants >= 1);
+  std::vector<double> out = count_series(t, nest, committed);
+  for (double& v : out) v /= static_cast<double>(num_ants);
+  return out;
+}
+
+std::vector<double> gap_series(const core::Trajectories& t, env::NestId i,
+                               env::NestId j, double cap) {
+  std::vector<double> out;
+  out.reserve(t.committed.size());
+  for (const auto& row : t.committed) {
+    HH_EXPECTS(i < row.size() && j < row.size());
+    const double hi = static_cast<double>(std::max(row[i], row[j]));
+    const double lo = static_cast<double>(std::min(row[i], row[j]));
+    out.push_back(lo == 0.0 ? cap : hi / lo - 1.0);
+  }
+  return out;
+}
+
+std::vector<double> competing_nests_series(const core::Trajectories& t) {
+  std::vector<double> out;
+  out.reserve(t.committed.size());
+  for (const auto& row : t.committed) {
+    std::uint32_t competing = 0;
+    for (std::size_t i = 1; i < row.size(); ++i) competing += row[i] > 0 ? 1 : 0;
+    out.push_back(static_cast<double>(competing));
+  }
+  return out;
+}
+
+std::uint32_t extinction_round(const core::Trajectories& t, env::NestId nest) {
+  std::uint32_t death = 0;
+  for (std::size_t r = 0; r < t.committed.size(); ++r) {
+    HH_EXPECTS(nest < t.committed[r].size());
+    if (t.committed[r][nest] == 0) {
+      if (death == 0) death = static_cast<std::uint32_t>(r + 1);
+    } else {
+      death = 0;  // came back to life; not extinct yet
+    }
+  }
+  return death;
+}
+
+double weighted_duration(const core::RunResult& result, double tandem_cost,
+                         double transport_cost) {
+  HH_EXPECTS(!result.trajectories.tandem_successes.empty());
+  HH_EXPECTS(tandem_cost >= transport_cost);
+  const std::size_t horizon =
+      result.converged
+          ? std::min<std::size_t>(result.rounds,
+                                  result.trajectories.tandem_successes.size())
+          : result.trajectories.tandem_successes.size();
+  double duration = 0.0;
+  for (std::size_t r = 0; r < horizon; ++r) {
+    duration += result.trajectories.tandem_successes[r] > 0 ? tandem_cost
+                                                            : transport_cost;
+  }
+  return duration;
+}
+
+util::Series to_series(const std::vector<double>& values, std::string name,
+                       char marker) {
+  util::Series s;
+  s.name = std::move(name);
+  s.marker = marker;
+  s.y = values;
+  s.x.resize(values.size());
+  for (std::size_t r = 0; r < values.size(); ++r) {
+    s.x[r] = static_cast<double>(r + 1);
+  }
+  return s;
+}
+
+}  // namespace hh::analysis

@@ -1,0 +1,65 @@
+// Utilities for turning recorded trajectories into the quantities the
+// paper's lemmas talk about: population proportions p(i, r), the
+// population gap epsilon(i, j, r) (Definition 1), per-block population
+// change Y_r, and the number of competing nests per round.
+#ifndef HH_ANALYSIS_METRICS_HPP
+#define HH_ANALYSIS_METRICS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "util/ascii_plot.hpp"
+
+namespace hh::analysis {
+
+/// Population counts of one nest over time, extracted from trajectories.
+[[nodiscard]] std::vector<double> count_series(const core::Trajectories& t,
+                                               env::NestId nest,
+                                               bool committed = false);
+
+/// p(i, r) = c(i, r)/n for one nest over time.
+[[nodiscard]] std::vector<double> proportion_series(const core::Trajectories& t,
+                                                    env::NestId nest,
+                                                    std::uint32_t num_ants,
+                                                    bool committed = false);
+
+/// epsilon(i, j, r) = p_H/p_L - 1 (Definition 1) per round; rounds where
+/// the smaller nest is empty yield +infinity and are reported as `cap`.
+[[nodiscard]] std::vector<double> gap_series(const core::Trajectories& t,
+                                             env::NestId i, env::NestId j,
+                                             double cap = 1e9);
+
+/// Number of nests with a positive committed population, per round — the
+/// k_r of Theorem 4.3's proof.
+[[nodiscard]] std::vector<double> competing_nests_series(
+    const core::Trajectories& t);
+
+/// First round (1-based) at which the committed population of `nest`
+/// reaches zero and stays zero; 0 if it never dies.
+[[nodiscard]] std::uint32_t extinction_round(const core::Trajectories& t,
+                                             env::NestId nest);
+
+/// Convert a per-round series into an ascii_plot Series against round
+/// numbers 1..size.
+[[nodiscard]] util::Series to_series(const std::vector<double>& values,
+                                     std::string name, char marker = '*');
+
+/// Fine-grained emigration duration (Section 6: "Distinguishing between
+/// direct transport and tandem runs may also be interesting, paired with
+/// a more fine-grained runtime analysis").
+///
+/// The model charges one round per action, but in nature a tandem run is
+/// ~3x slower than a direct transport (Section 2, citing [21]). Under a
+/// synchronous-barrier reading — a round lasts as long as its slowest
+/// action — a round containing at least one tandem run costs
+/// `tandem_cost` time units and any other round costs `transport_cost`.
+/// Requires trajectories (record_trajectories = true); only the rounds up
+/// to the decision round are charged.
+[[nodiscard]] double weighted_duration(const core::RunResult& result,
+                                       double tandem_cost = 3.0,
+                                       double transport_cost = 1.0);
+
+}  // namespace hh::analysis
+
+#endif  // HH_ANALYSIS_METRICS_HPP

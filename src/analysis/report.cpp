@@ -1,0 +1,66 @@
+#include "analysis/report.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "util/csv.hpp"
+
+namespace hh::analysis {
+
+void print_banner(const std::string& experiment_id, const std::string& claim) {
+  std::cout << '\n'
+            << std::string(78, '=') << '\n'
+            << experiment_id << '\n'
+            << "paper claim: " << claim << '\n'
+            << std::string(78, '=') << '\n';
+}
+
+std::vector<std::string> aggregate_headers() {
+  return {"trials", "conv%", "rounds(med)", "rounds(mean)",
+          "rounds(p95)", "rounds(max)"};
+}
+
+void append_aggregate_cells(util::Table& table, const Aggregate& agg) {
+  table.num(static_cast<std::uint64_t>(agg.trials));
+  table.num(100.0 * agg.convergence_rate, 1);
+  if (agg.converged > 0) {
+    table.num(agg.rounds.median, 1);
+    table.num(agg.rounds.mean, 1);
+    table.num(agg.rounds.p95, 1);
+    table.num(agg.rounds.max, 0);
+  } else {
+    table.cell("-").cell("-").cell("-").cell("-");
+  }
+}
+
+void print_fit(const util::Fit& fit, const std::string& feature,
+               const std::string& paper_claim) {
+  std::cout << "fit: " << util::describe(fit, feature) << "  [paper: "
+            << paper_claim << "]\n";
+}
+
+std::string write_csv(const std::string& name,
+                      const std::vector<std::string>& header,
+                      const std::vector<std::vector<double>>& rows) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories("bench_out", ec);
+  if (ec) {
+    std::cerr << "warning: cannot create bench_out/: " << ec.message() << '\n';
+    return {};
+  }
+  const std::string path = "bench_out/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot open " << path << " for writing\n";
+    return {};
+  }
+  util::CsvWriter csv(out);
+  csv.header(header);
+  for (const auto& row : rows) csv.row(row);
+  return path;
+}
+
+}  // namespace hh::analysis

@@ -1,0 +1,40 @@
+// Report emission shared by the bench binaries: experiment banners,
+// aggregate-row tables, scaling fits, and CSV artifacts under bench_out/.
+#ifndef HH_ANALYSIS_REPORT_HPP
+#define HH_ANALYSIS_REPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "util/fit.hpp"
+#include "util/table.hpp"
+
+namespace hh::analysis {
+
+/// Print a titled banner for an experiment section to stdout.
+void print_banner(const std::string& experiment_id, const std::string& claim);
+
+/// Append the standard aggregate columns to a table row that the caller
+/// has already begun and filled with its parameter cells.
+void append_aggregate_cells(util::Table& table, const Aggregate& agg);
+
+/// The standard aggregate column headers, to splice into table headers.
+[[nodiscard]] std::vector<std::string> aggregate_headers();
+
+/// Print a one-line verdict comparing a fitted scaling against the paper's
+/// claim, e.g. "fit: y = 1.9*log2(n) + 3 (R^2=0.99)  [paper: O(log n)]".
+void print_fit(const util::Fit& fit, const std::string& feature,
+               const std::string& paper_claim);
+
+/// Write rows to bench_out/<name>.csv (directory created on demand);
+/// returns the path written, or an empty string on I/O failure (reported
+/// to stderr; benches keep running — the console table is the artifact of
+/// record).
+std::string write_csv(const std::string& name,
+                      const std::vector<std::string>& header,
+                      const std::vector<std::vector<double>>& rows);
+
+}  // namespace hh::analysis
+
+#endif  // HH_ANALYSIS_REPORT_HPP

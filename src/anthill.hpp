@@ -1,0 +1,60 @@
+// anthill — umbrella header for the public API.
+//
+// A C++20 library reproducing "Distributed House-Hunting in Ant Colonies"
+// (Ghaffari, Musco, Radeva, Lynch; PODC 2015): the synchronous ant-colony
+// model of Section 2, the optimal O(log n) algorithm of Section 4, the
+// simple O(k log n) algorithm of Section 5, the Section 3 lower-bound
+// experiment, and the Section 6 extensions (noise, faults, partial
+// synchrony, boosted rates, non-binary qualities) plus baselines.
+//
+// Quick start:
+//
+//   #include "anthill.hpp"
+//
+//   hh::core::SimulationConfig cfg;
+//   cfg.num_ants = 256;
+//   cfg.qualities = {1.0, 0.0, 1.0, 0.0};   // nests n1..n4
+//   cfg.seed = 42;
+//   hh::core::Simulation sim(cfg, hh::core::AlgorithmKind::kSimple);
+//   hh::core::RunResult result = sim.run();
+//   // result.winner is a quality-1 nest; result.rounds = O(k log n) whp.
+//
+// Layering (lower layers never include higher ones):
+//   util/      rng, stats, fits, tables, plots, contracts
+//   env/       the Section 2 model: nests, actions, pairing, environment
+//   core/      the algorithms, colonies, simulation driver, lower bound
+//   analysis/  trial aggregation and report emission (used by bench/)
+#ifndef HH_ANTHILL_HPP
+#define HH_ANTHILL_HPP
+
+#include "analysis/experiment.hpp"
+#include "analysis/metrics.hpp"
+#include "analysis/report.hpp"
+#include "core/ant.hpp"
+#include "core/colony.hpp"
+#include "core/convergence.hpp"
+#include "core/optimal_ant.hpp"
+#include "core/quality_aware_ant.hpp"
+#include "core/quorum_ant.hpp"
+#include "core/rate_boosted_ant.hpp"
+#include "core/rumor_spread.hpp"
+#include "core/simple_ant.hpp"
+#include "core/simulation.hpp"
+#include "core/uniform_recruit_ant.hpp"
+#include "env/action.hpp"
+#include "env/environment.hpp"
+#include "env/faults.hpp"
+#include "env/nest.hpp"
+#include "env/observation.hpp"
+#include "env/pairing.hpp"
+#include "env/scheduler.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/contracts.hpp"
+#include "util/csv.hpp"
+#include "util/fit.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+#endif  // HH_ANTHILL_HPP

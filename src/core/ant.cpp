@@ -1,0 +1,8 @@
+#include "core/ant.hpp"
+
+namespace hh::core {
+
+// Out-of-line virtual destructor anchors the vtable in this TU.
+Ant::~Ant() = default;
+
+}  // namespace hh::core

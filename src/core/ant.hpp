@@ -1,0 +1,52 @@
+// The ant abstraction: a probabilistic finite state machine that makes one
+// model call per round (paper Section 2: "The colony consists of n
+// identical probabilistic finite state machines ... parameterized by n but
+// uniform for all k").
+#ifndef HH_CORE_ANT_HPP
+#define HH_CORE_ANT_HPP
+
+#include <cstdint>
+#include <string_view>
+
+#include "env/action.hpp"
+#include "env/nest.hpp"
+
+namespace hh::core {
+
+/// Interface every house-hunting algorithm implements per ant.
+///
+/// Protocol per round r (driven by core::Simulation):
+///   1. decide(r) returns the ant's single model call for the round;
+///   2. the environment resolves all calls simultaneously;
+///   3. observe(outcome) delivers the call's return value.
+/// An ant must be deterministic given its constructor arguments (including
+/// its private RNG stream) and its observation sequence.
+class Ant {
+ public:
+  Ant() = default;
+  Ant(const Ant&) = delete;
+  Ant& operator=(const Ant&) = delete;
+  virtual ~Ant();
+
+  /// The ant's one call for round `round` (1-based, matching the paper).
+  [[nodiscard]] virtual env::Action decide(std::uint32_t round) = 0;
+
+  /// Deliver the end-of-round return value for the call from decide().
+  virtual void observe(const env::Outcome& outcome) = 0;
+
+  /// The nest this ant is currently committed to (kHomeNest = none yet).
+  /// Convergence detectors compare this across the colony.
+  [[nodiscard]] virtual env::NestId committed_nest() const = 0;
+
+  /// True once the ant has durably decided (e.g. Algorithm 2's `final`
+  /// state). Algorithms without such a state may keep the default (false);
+  /// detectors then rely on committed_nest() stability alone.
+  [[nodiscard]] virtual bool finalized() const { return false; }
+
+  /// Stable algorithm name for reports.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+}  // namespace hh::core
+
+#endif  // HH_CORE_ANT_HPP

@@ -1,0 +1,172 @@
+#include "core/colony.hpp"
+
+#include <algorithm>
+
+#include "core/optimal_ant.hpp"
+#include "core/quality_aware_ant.hpp"
+#include "core/quorum_ant.hpp"
+#include "core/rate_boosted_ant.hpp"
+#include "core/simple_ant.hpp"
+#include "core/uniform_recruit_ant.hpp"
+#include "util/contracts.hpp"
+
+namespace hh::core {
+
+std::string_view algorithm_name(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kOptimal: return "optimal";
+    case AlgorithmKind::kOptimalSettle: return "optimal+settle";
+    case AlgorithmKind::kSimple: return "simple";
+    case AlgorithmKind::kRateBoosted: return "rate-boosted";
+    case AlgorithmKind::kQualityAware: return "quality-aware";
+    case AlgorithmKind::kUniformRecruit: return "uniform-recruit";
+    case AlgorithmKind::kQuorum: return "quorum";
+  }
+  HH_ASSERT(false);
+  return "?";
+}
+
+Colony make_colony(std::uint32_t num_ants, const AntFactory& factory,
+                   env::FaultPlan plan, std::uint64_t seed,
+                   std::string algorithm) {
+  HH_EXPECTS(num_ants >= 1);
+  HH_EXPECTS(plan.type.size() == num_ants);
+  Colony colony;
+  colony.algorithm = std::move(algorithm);
+  colony.ants.reserve(num_ants);
+  for (env::AntId a = 0; a < num_ants; ++a) {
+    util::Rng stream(util::mix_seed(seed, a, 0xA17));
+    switch (plan.type[a]) {
+      case env::FaultType::kNone:
+        colony.ants.push_back(factory(a, stream));
+        break;
+      case env::FaultType::kCrash:
+        colony.ants.push_back(std::make_unique<CrashProneAnt>(
+            factory(a, stream), plan.crash_round[a]));
+        break;
+      case env::FaultType::kByzantine:
+        colony.ants.push_back(std::make_unique<ByzantineAnt>(num_ants, stream));
+        break;
+    }
+  }
+  colony.faults = std::move(plan);
+  return colony;
+}
+
+namespace {
+
+// Section 6 extension: an ant's private belief of the colony size, drawn
+// uniformly from [n(1-e), n(1+e)] off the ant's own stream. e = 0 returns
+// the exact n (the base model).
+std::uint32_t believed_n(std::uint32_t num_ants, double error, util::Rng& rng) {
+  if (error <= 0.0) return num_ants;
+  const double lo = static_cast<double>(num_ants) * (1.0 - error);
+  const double hi = static_cast<double>(num_ants) * (1.0 + error);
+  const double belief = lo + (hi - lo) * rng.uniform_double();
+  return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(belief));
+}
+
+AntFactory factory_for(std::uint32_t num_ants, AlgorithmKind kind,
+                       const AlgorithmParams& params) {
+  switch (kind) {
+    case AlgorithmKind::kOptimal:
+      return [num_ants](env::AntId, util::Rng) {
+        return std::make_unique<OptimalAnt>(num_ants, /*settle=*/false);
+      };
+    case AlgorithmKind::kOptimalSettle:
+      return [num_ants](env::AntId, util::Rng) {
+        return std::make_unique<OptimalAnt>(num_ants, /*settle=*/true);
+      };
+    case AlgorithmKind::kSimple:
+      return [num_ants, params](env::AntId, util::Rng rng) {
+        const std::uint32_t n = believed_n(num_ants, params.n_estimate_error, rng);
+        return std::make_unique<SimpleAnt>(n, rng);
+      };
+    case AlgorithmKind::kRateBoosted:
+      return [num_ants, params](env::AntId, util::Rng rng) {
+        const std::uint32_t n = believed_n(num_ants, params.n_estimate_error, rng);
+        return std::make_unique<RateBoostedAnt>(n, rng);
+      };
+    case AlgorithmKind::kQualityAware:
+      return [num_ants, params](env::AntId, util::Rng rng) {
+        const std::uint32_t n = believed_n(num_ants, params.n_estimate_error, rng);
+        return std::make_unique<QualityAwareAnt>(n, rng);
+      };
+    case AlgorithmKind::kUniformRecruit:
+      return [num_ants, params](env::AntId, util::Rng rng) {
+        return std::make_unique<UniformRecruitAnt>(num_ants, rng,
+                                                   params.uniform_recruit_prob);
+      };
+    case AlgorithmKind::kQuorum: {
+      const auto threshold = std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(params.quorum_fraction * num_ants));
+      return [num_ants, threshold, params](env::AntId, util::Rng rng) {
+        return std::make_unique<QuorumAnt>(num_ants, rng, threshold,
+                                           params.quorum_tandem_rate);
+      };
+    }
+  }
+  HH_ASSERT(false);
+  return {};
+}
+
+}  // namespace
+
+Colony make_colony(std::uint32_t num_ants, AlgorithmKind kind,
+                   std::uint64_t seed, const AlgorithmParams& params) {
+  return make_colony(num_ants, kind, env::FaultPlan::none(num_ants), seed,
+                     params);
+}
+
+Colony make_colony(std::uint32_t num_ants, AlgorithmKind kind,
+                   env::FaultPlan plan, std::uint64_t seed,
+                   const AlgorithmParams& params) {
+  return make_colony(num_ants, factory_for(num_ants, kind, params),
+                     std::move(plan), seed, std::string(algorithm_name(kind)));
+}
+
+CrashProneAnt::CrashProneAnt(std::unique_ptr<Ant> inner,
+                             std::uint32_t crash_round)
+    : inner_(std::move(inner)), crash_round_(crash_round) {
+  HH_EXPECTS(inner_ != nullptr);
+  HH_EXPECTS(crash_round_ >= 1);
+}
+
+env::Action CrashProneAnt::decide(std::uint32_t round) {
+  if (crashed_ || round >= crash_round_) {
+    crashed_ = true;
+    return env::Action::idle();
+  }
+  return inner_->decide(round);
+}
+
+void CrashProneAnt::observe(const env::Outcome& outcome) {
+  if (crashed_) return;  // a crashed ant learns nothing
+  inner_->observe(outcome);
+}
+
+ByzantineAnt::ByzantineAnt(std::uint32_t num_ants, util::Rng rng,
+                           std::uint32_t scout_rounds)
+    : rng_(rng), scout_rounds_(std::max(1u, scout_rounds)) {
+  HH_EXPECTS(num_ants >= 1);
+}
+
+env::Action ByzantineAnt::decide(std::uint32_t /*round*/) {
+  if (rounds_scouted_ < scout_rounds_) return env::Action::search();
+  return env::Action::recruit(true, target_);
+}
+
+void ByzantineAnt::observe(const env::Outcome& outcome) {
+  if (outcome.kind == env::ActionKind::kSearch) {
+    ++rounds_scouted_;
+    // Track the worst nest seen; ties broken toward the first found so the
+    // adversary concentrates its pull on a single bad nest.
+    if (outcome.quality < target_quality_) {
+      target_quality_ = outcome.quality;
+      target_ = outcome.nest;
+    }
+  }
+  // Recruit outcomes are ignored: the adversary cannot be persuaded.
+}
+
+}  // namespace hh::core

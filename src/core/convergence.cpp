@@ -1,0 +1,81 @@
+#include "core/convergence.hpp"
+
+#include "util/contracts.hpp"
+
+namespace hh::core {
+
+ConvergenceMode default_mode(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kOptimal:
+      return ConvergenceMode::kCommitmentFinalized;
+    case AlgorithmKind::kOptimalSettle:
+      return ConvergenceMode::kPhysical;
+    case AlgorithmKind::kSimple:
+    case AlgorithmKind::kRateBoosted:
+    case AlgorithmKind::kQualityAware:
+    case AlgorithmKind::kUniformRecruit:
+      return ConvergenceMode::kCommitment;
+    case AlgorithmKind::kQuorum:
+      return ConvergenceMode::kCommitment;
+  }
+  HH_ASSERT(false);
+  return ConvergenceMode::kCommitment;
+}
+
+std::optional<env::NestId> current_agreement(const Colony& colony,
+                                             const env::Environment& environment,
+                                             ConvergenceMode mode,
+                                             double tolerance) {
+  HH_EXPECTS(tolerance >= 0.0 && tolerance < 1.0);
+  // Census of correct ants per nest under the mode's notion of "position".
+  std::vector<std::uint32_t> census(environment.num_nests() + 1, 0);
+  std::uint32_t correct_total = 0;
+  for (env::AntId a = 0; a < colony.size(); ++a) {
+    if (!colony.correct(a)) continue;  // faulty ants are exempt
+    const Ant& ant = *colony.ants[a];
+    const env::NestId nest = (mode == ConvergenceMode::kPhysical)
+                                 ? environment.location(a)
+                                 : ant.committed_nest();
+    ++correct_total;
+    // Finalization is required of the agreeing majority; with tolerance 0
+    // this means every correct ant.
+    const bool counts = mode == ConvergenceMode::kCommitment || ant.finalized();
+    if (counts) ++census[nest];
+  }
+  if (correct_total == 0) return std::nullopt;
+  env::NestId best = env::kHomeNest;
+  for (env::NestId i = 1; i <= environment.num_nests(); ++i) {
+    if (census[i] > census[best] || best == env::kHomeNest) best = i;
+  }
+  if (best == env::kHomeNest || census[best] == 0) return std::nullopt;
+  if (environment.quality(best) <= 0.0) return std::nullopt;
+  const double required =
+      (1.0 - tolerance) * static_cast<double>(correct_total);
+  if (static_cast<double>(census[best]) < required) return std::nullopt;
+  return best;
+}
+
+bool ConvergenceDetector::update(const Colony& colony,
+                                 const env::Environment& environment) {
+  if (converged_) return true;
+  const auto agreement =
+      current_agreement(colony, environment, mode_, tolerance_);
+  if (!agreement.has_value() || *agreement != streak_nest_) {
+    streak_nest_ = agreement.value_or(env::kHomeNest);
+    streak_length_ = agreement.has_value() ? 1 : 0;
+    streak_start_ = environment.round();
+    if (agreement.has_value() && streak_length_ >= stability_rounds_ + 1) {
+      converged_ = true;
+      winner_ = *agreement;
+    }
+    return converged_;
+  }
+  ++streak_length_;
+  if (streak_length_ >= stability_rounds_ + 1) {
+    converged_ = true;
+    winner_ = streak_nest_;
+  }
+  return converged_;
+}
+
+}  // namespace hh::core

@@ -1,0 +1,198 @@
+#include "core/optimal_ant.hpp"
+
+#include "util/contracts.hpp"
+
+namespace hh::core {
+
+OptimalAnt::OptimalAnt(std::uint32_t num_ants, bool settle)
+    : num_ants_(num_ants), settle_enabled_(settle) {
+  HH_EXPECTS(num_ants >= 1);
+}
+
+env::Action OptimalAnt::decide(std::uint32_t /*round*/) {
+  switch (state_) {
+    case State::kSearch:
+      return env::Action::search();  // line 7 (R1 of round 1)
+    case State::kActive:
+      return decide_active();
+    case State::kPassive:
+      return decide_passive();
+    case State::kFinal:
+      return env::Action::recruit(true, nest_);  // line 21, every round
+    case State::kSettled:
+      return env::Action::go(nest_);  // termination extension: stay at nest
+  }
+  HH_ASSERT(false);
+  return env::Action::idle();
+}
+
+env::Action OptimalAnt::decide_active() const {
+  switch (step_) {
+    case 0:  // R1, line 23: try to recruit to the committed nest
+      return env::Action::recruit(true, nest_);
+    case 1:  // R2, line 24: visit the resulting nest and count
+      return env::Action::go(nest_t_);
+    case 2:  // R3: case 1 go (line 28), case 2 recruit(0) (line 35),
+             // case 3 go to the new nest (line 39)
+      HH_ASSERT(case_ != ActiveCase::kUndecided);
+      if (case_ == ActiveCase::kCase2) return env::Action::recruit(false, nest_);
+      return env::Action::go(nest_);
+    case 3:  // R4: case 1 recruit(0) (line 29), cases 2/3 go (lines 36, 42)
+      if (case_ == ActiveCase::kCase1) return env::Action::recruit(false, nest_);
+      return env::Action::go(nest_);
+    default:
+      HH_ASSERT(false);
+      return env::Action::idle();
+  }
+}
+
+env::Action OptimalAnt::decide_passive() const {
+  switch (step_) {
+    case 0:  // R1, line 13: a round at the (non-competing) nest
+      return env::Action::go(nest_);
+    case 1:  // R2, line 14: home, waiting to be recruited
+      return env::Action::recruit(false, nest_);
+    case 2:  // R3, line 18
+    case 3:  // R4, line 19 — after a successful recruitment these visit the
+             // NEW nest (lines 16-17 run before lines 18-19).
+      return env::Action::go(nest_);
+    default:
+      HH_ASSERT(false);
+      return env::Action::idle();
+  }
+}
+
+void OptimalAnt::observe(const env::Outcome& outcome) {
+  switch (state_) {
+    case State::kSearch:
+      // Lines 7-11: commit to the found nest; bad quality => passive.
+      nest_ = outcome.nest;
+      count_ = outcome.count;
+      quality_ = outcome.quality;
+      state_ = (quality_ > 0.0) ? State::kActive : State::kPassive;
+      step_ = 0;
+      case_ = ActiveCase::kUndecided;
+      break;
+    case State::kActive:
+      observe_active(outcome);
+      break;
+    case State::kPassive:
+      observe_passive(outcome);
+      break;
+    case State::kFinal:
+      // Line 21: <nest, .> := recruit(1, nest) — the assignment means a
+      // poached final ant switches its commitment to the recruiter's nest.
+      nest_ = outcome.nest;
+      if (settle_enabled_) {
+        // Section 4.2 termination fix: two consecutive rounds with every
+        // ant at the home nest are only possible once all ants are final
+        // (a passive ant is home at most one round in four), so all finals
+        // observe the same streak and settle simultaneously.
+        if (outcome.count == num_ants_) {
+          if (++full_house_streak_ >= 2) state_ = State::kSettled;
+        } else {
+          full_house_streak_ = 0;
+        }
+      }
+      break;
+    case State::kSettled:
+      break;  // go(nest) forever; nothing to learn
+  }
+}
+
+void OptimalAnt::observe_active(const env::Outcome& outcome) {
+  switch (step_) {
+    case 0:
+      // Line 23: nest_t is the recruit() return value j.
+      nest_t_ = outcome.nest;
+      step_ = 1;
+      break;
+    case 1:
+      // Line 24: count_t := go(nest_t); then select the case (lines 25-42).
+      count_t_ = outcome.count;
+      if (nest_t_ == nest_) {
+        if (count_t_ >= count_) {
+          case_ = ActiveCase::kCase1;  // nest keeps competing
+          count_ = count_t_;           // line 27
+        } else {
+          case_ = ActiveCase::kCase2;  // population decreased: drop out
+          pending_passive_ = true;     // line 34 (takes effect after block)
+        }
+      } else {
+        case_ = ActiveCase::kCase3;  // recruited away to another nest
+        nest_ = nest_t_;             // line 38
+      }
+      step_ = 2;
+      break;
+    case 2:
+      if (case_ == ActiveCase::kCase3) {
+        // Lines 39-41: count_n distinguishes competing (case-1 ants are at
+        // the nest this round, so count_n == count_t) from dropping out
+        // (case-2 ants are at home, so count_n < count_t).
+        const std::uint32_t count_n = outcome.count;
+        if (count_n < count_t_) {
+          pending_passive_ = true;  // line 41
+        } else {
+          // Adopt the new nest's population as the reference for the next
+          // block's comparison. The paper's pseudocode omits this
+          // assignment, but Section 4.1's prose ("the ant updates that
+          // count (count_n)") and the next block's countt >= count test
+          // make the intent clear; see DESIGN.md §2.
+          count_ = count_n;
+        }
+      }
+      // Case 1: go(nest) — nothing to record. Case 2: recruit(0) return
+      // discarded (pseudocode line 35 has no assignment).
+      step_ = 3;
+      break;
+    case 3:
+      if (case_ == ActiveCase::kCase1) {
+        // Lines 29-31: count_h == count means every active ant in the
+        // colony is committed to this nest — switch to final.
+        const std::uint32_t count_h = outcome.count;
+        if (count_h == count_) {
+          state_ = State::kFinal;
+        }
+      }
+      if (state_ != State::kFinal && pending_passive_) {
+        state_ = State::kPassive;
+      }
+      pending_passive_ = false;
+      step_ = 0;
+      case_ = ActiveCase::kUndecided;
+      break;
+    default:
+      HH_ASSERT(false);
+  }
+}
+
+void OptimalAnt::observe_passive(const env::Outcome& outcome) {
+  switch (step_) {
+    case 0:
+      step_ = 1;
+      break;
+    case 1:
+      // Lines 14-17: recruited => adopt the new nest and become final
+      // after finishing the block's two go(nest) rounds.
+      if (outcome.nest != nest_) {
+        nest_ = outcome.nest;
+        pending_final_ = true;
+      }
+      step_ = 2;
+      break;
+    case 2:
+      step_ = 3;
+      break;
+    case 3:
+      if (pending_final_) {
+        state_ = State::kFinal;
+        pending_final_ = false;
+      }
+      step_ = 0;
+      break;
+    default:
+      HH_ASSERT(false);
+  }
+}
+
+}  // namespace hh::core

@@ -1,0 +1,98 @@
+// Algorithm 2 — the asymptotically optimal O(log n) house-hunting
+// algorithm (paper Section 4).
+//
+// Each ant is in one of four states: search, active, passive, final.
+// Round 1 is the global search(); afterwards active and passive ants run
+// carefully interleaved 4-round blocks (labelled R1..R4 in the paper) so
+// that ants of competing nests and ants of dropped-out nests never meet at
+// the home nest until a single winner remains:
+//
+//              R1               R2               R3             R4
+//   active  recruit(1,nest)  go(nest_t)       [case 1] go     recruit(0,nest)
+//                                             [case 2] recruit(0)  go(nest)
+//                                             [case 3] go     go(nest)
+//   passive go(nest)         recruit(0,nest)  go(nest)        go(nest)
+//   final   recruit(1,nest) every round
+//
+// Competing nests whose population decreased drop out (their ants turn
+// passive); when an active ant observes home-count == nest-count at R4 all
+// remaining actives are at one nest and everyone switches to final.
+//
+// Faithfulness notes (see DESIGN.md §2):
+//   * A passive ant recruited at R2 still finishes its block with two
+//     go(new nest) calls before starting the 1-round final loop (the
+//     literal reading of pseudocode lines 15-19).
+//   * A final ant assigns the recruit() return value to `nest` (line 21),
+//     so a poached final ant follows the crowd.
+//   * With `settle` enabled (the termination fix sketched in Section 4.2),
+//     a final ant that observes c(0,r) == n for two consecutive rounds —
+//     only possible once every ant is final — switches to a settled state
+//     and go(nest)s forever, satisfying the literal HouseHunting predicate.
+#ifndef HH_CORE_OPTIMAL_ANT_HPP
+#define HH_CORE_OPTIMAL_ANT_HPP
+
+#include <cstdint>
+
+#include "core/ant.hpp"
+
+namespace hh::core {
+
+/// One ant of Algorithm 2.
+class OptimalAnt final : public Ant {
+ public:
+  /// States of the algorithm (paper pseudocode line 1), plus the optional
+  /// settled terminal state of the Section 4.2 termination fix.
+  enum class State : std::uint8_t {
+    kSearch,
+    kActive,
+    kPassive,
+    kFinal,
+    kSettled
+  };
+
+  /// `num_ants` is the colony size n (ants know n, not k).
+  /// `settle` enables the termination extension (off = literal pseudocode).
+  explicit OptimalAnt(std::uint32_t num_ants, bool settle = false);
+
+  [[nodiscard]] env::Action decide(std::uint32_t round) override;
+  void observe(const env::Outcome& outcome) override;
+  [[nodiscard]] env::NestId committed_nest() const override { return nest_; }
+  [[nodiscard]] bool finalized() const override {
+    return state_ == State::kFinal || state_ == State::kSettled;
+  }
+  [[nodiscard]] std::string_view name() const override { return "optimal"; }
+
+  /// Current FSM state (exposed for tests and metrics).
+  [[nodiscard]] State state() const { return state_; }
+  /// Last population count the ant holds for its nest.
+  [[nodiscard]] std::uint32_t count() const { return count_; }
+
+ private:
+  // Which of the three active-case branches the R2 observation selected.
+  enum class ActiveCase : std::uint8_t { kUndecided, kCase1, kCase2, kCase3 };
+
+  [[nodiscard]] env::Action decide_active() const;
+  [[nodiscard]] env::Action decide_passive() const;
+  void observe_active(const env::Outcome& outcome);
+  void observe_passive(const env::Outcome& outcome);
+
+  std::uint32_t num_ants_;
+  bool settle_enabled_;
+
+  State state_ = State::kSearch;
+  std::uint8_t step_ = 0;  ///< position within the current 4-round block
+  env::NestId nest_ = env::kHomeNest;  ///< committed nest
+  std::uint32_t count_ = 0;            ///< last accepted population count
+  double quality_ = 0.0;               ///< quality from the initial search
+
+  env::NestId nest_t_ = env::kHomeNest;  ///< R1 recruit return (nest_t)
+  std::uint32_t count_t_ = 0;            ///< R2 count (count_t)
+  ActiveCase case_ = ActiveCase::kUndecided;
+  bool pending_passive_ = false;  ///< active ant dropping out after block
+  bool pending_final_ = false;  ///< passive ant recruited, final after block
+  std::uint32_t full_house_streak_ = 0;  ///< consecutive c(0,r)==n (settle)
+};
+
+}  // namespace hh::core
+
+#endif  // HH_CORE_OPTIMAL_ANT_HPP

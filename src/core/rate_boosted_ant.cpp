@@ -1,0 +1,43 @@
+#include "core/rate_boosted_ant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hh::core {
+
+RateBoostedAnt::RateBoostedAnt(std::uint32_t num_ants, util::Rng rng)
+    : SimpleAnt(num_ants, rng),
+      halving_period_(std::max<std::uint32_t>(
+          8, static_cast<std::uint32_t>(
+                 3.0 * std::log2(static_cast<double>(std::max(num_ants, 2u)))))) {}
+
+void RateBoostedAnt::observe(const env::Outcome& outcome) {
+  const bool first_observation = initial_k_estimate_ == 0.0;
+  SimpleAnt::observe(outcome);
+  if (first_observation && outcome.kind == env::ActionKind::kSearch) {
+    // One-shot estimate from the initial spread: ~n/k ants per nest.
+    const double observed = std::max<std::uint32_t>(outcome.count, 1);
+    initial_k_estimate_ =
+        std::max(1.0, static_cast<double>(num_ants()) / observed);
+  }
+}
+
+double RateBoostedAnt::k_estimate() const {
+  if (initial_k_estimate_ == 0.0) return 0.0;
+  const std::uint32_t halvings = current_round() / halving_period_;
+  // 2^halvings without pow(); past 63 halvings k~ is 1 regardless.
+  const double decayed = (halvings >= 63)
+                             ? 1.0
+                             : initial_k_estimate_ /
+                                   static_cast<double>(1ULL << halvings);
+  return std::max(1.0, decayed);
+}
+
+double RateBoostedAnt::recruit_probability() const {
+  const double base = SimpleAnt::recruit_probability();  // count / n
+  // Never below Algorithm 3's own rate: at small k the base rate is
+  // already Theta(1) and beats the conservatively-capped boost.
+  return std::max(base, std::min(0.5, base * k_estimate() / 8.0));
+}
+
+}  // namespace hh::core

@@ -1,0 +1,86 @@
+#include "core/rumor_spread.hpp"
+
+#include <cmath>
+
+#include "env/environment.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace hh::core {
+
+RumorSpreadResult run_rumor_spread(const RumorSpreadConfig& config) {
+  HH_EXPECTS(config.num_ants >= 1);
+  HH_EXPECTS(config.num_nests >= 2);
+
+  const std::uint32_t n = config.num_ants;
+  constexpr env::NestId kWinner = 1;  // n_w: the single good nest
+
+  env::EnvironmentConfig ec;
+  ec.num_ants = n;
+  ec.qualities.assign(config.num_nests, 0.0);
+  ec.qualities[kWinner - 1] = 1.0;
+  ec.seed = util::mix_seed(config.seed, 0x2E07);
+  env::Environment environment(std::move(ec));
+
+  util::Rng coin(util::mix_seed(config.seed, 0xC017));
+  const std::uint32_t max_rounds =
+      config.max_rounds
+          ? config.max_rounds
+          : 200 + 40 * static_cast<std::uint32_t>(
+                           std::log2(static_cast<double>(n) + 1.0) + 1.0);
+
+  std::vector<bool> informed(n, false);
+  std::vector<env::Action> actions(n);
+  std::uint32_t informed_count = 0;
+
+  RumorSpreadResult result;
+  for (std::uint32_t round = 1; round <= max_rounds; ++round) {
+    for (env::AntId a = 0; a < n; ++a) {
+      if (round == 1) {
+        actions[a] = env::Action::search();  // global first-round search
+      } else if (informed[a]) {
+        actions[a] = env::Action::recruit(true, kWinner);
+      } else {
+        bool searches = false;
+        switch (config.strategy) {
+          case IgnorantStrategy::kWaitAtHome: searches = false; break;
+          case IgnorantStrategy::kSearch: searches = true; break;
+          case IgnorantStrategy::kMixed: searches = coin.bernoulli(0.5); break;
+        }
+        actions[a] = searches ? env::Action::search()
+                              : env::Action::recruit(false, env::kHomeNest);
+      }
+    }
+
+    const std::vector<env::Outcome>& outcomes = environment.step(actions);
+    for (env::AntId a = 0; a < n; ++a) {
+      if (informed[a]) continue;
+      ++result.ignorant_exposures;
+      const env::Outcome& out = outcomes[a];
+      const bool learned =
+          (out.kind == env::ActionKind::kSearch && out.nest == kWinner) ||
+          (out.kind == env::ActionKind::kRecruit && out.nest == kWinner);
+      if (learned) {
+        informed[a] = true;
+        ++informed_count;
+      } else {
+        result.stay_ignorant_rate += 1.0;  // running sum; normalized below
+      }
+    }
+    if (config.record_curve) result.informed_per_round.push_back(informed_count);
+    if (informed_count == n) {
+      result.all_informed = true;
+      result.rounds = round;
+      break;
+    }
+  }
+
+  if (result.ignorant_exposures > 0) {
+    result.stay_ignorant_rate /=
+        static_cast<double>(result.ignorant_exposures);
+  }
+  if (!result.all_informed) result.rounds = max_rounds;
+  return result;
+}
+
+}  // namespace hh::core

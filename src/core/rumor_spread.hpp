@@ -1,0 +1,60 @@
+// The Section 3 lower-bound experiment: rumor spreading in the
+// house-hunting model.
+//
+// Setup (mirroring the proof of Theorem 3.2): a single good nest n_w is
+// "the rumor". Every informed ant (one that knows n_w's id) actively
+// recruits to it every round — the fastest possible positive feedback.
+// Ignorant ants follow one of the strategies an algorithm could give them:
+//   * kWaitAtHome — stay home as recruit(0, ·) targets every round
+//     (informed at rate ~ X_r / c(0,r), Lemma 3.1 case 2);
+//   * kSearch    — search() every round (informed w.p. 1/k, case 3);
+//   * kMixed     — each ignorant ant flips a fair coin between the two.
+// Measured: rounds until all n ants are informed. Any HouseHunting
+// algorithm must inform every ant, so these curves lower-bound achievable
+// running time and should scale as Theta(log n) (Theorem 3.2: Omega(log n);
+// rumor spreading matches with O(log n)).
+#ifndef HH_CORE_RUMOR_SPREAD_HPP
+#define HH_CORE_RUMOR_SPREAD_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "env/nest.hpp"
+
+namespace hh::core {
+
+/// What ignorant ants do while waiting to hear the rumor.
+enum class IgnorantStrategy : std::uint8_t { kWaitAtHome, kSearch, kMixed };
+
+/// Parameters of a rumor-spreading run.
+struct RumorSpreadConfig {
+  std::uint32_t num_ants = 0;  ///< n
+  std::uint32_t num_nests = 2; ///< k >= 2 (Theorem 3.2 requires k >= 2)
+  std::uint64_t seed = 1;
+  IgnorantStrategy strategy = IgnorantStrategy::kWaitAtHome;
+  std::uint32_t max_rounds = 0;  ///< 0 = automatic
+  bool record_curve = false;     ///< keep informed-count per round
+};
+
+/// Result of a rumor-spreading run.
+struct RumorSpreadResult {
+  bool all_informed = false;
+  std::uint32_t rounds = 0;  ///< rounds until the last ant was informed
+  /// informed_per_round[r] = number of informed ants after round r+1
+  /// (only when record_curve).
+  std::vector<std::uint32_t> informed_per_round;
+  /// Empirical estimate of P[ignorant ant stays ignorant in one round]
+  /// aggregated over all (ant, round) exposures — Lemma 3.1 lower-bounds
+  /// this by 1/4.
+  double stay_ignorant_rate = 0.0;
+  std::uint64_t ignorant_exposures = 0;  ///< sample size behind the rate
+};
+
+/// Run the best-case spreading process once. Round 1 is a global search()
+/// (ants that land on n_w become informed); afterwards informed ants
+/// recruit(1, n_w) every round and ignorant ants follow the strategy.
+[[nodiscard]] RumorSpreadResult run_rumor_spread(const RumorSpreadConfig& config);
+
+}  // namespace hh::core
+
+#endif  // HH_CORE_RUMOR_SPREAD_HPP

@@ -1,0 +1,153 @@
+#include "core/simulation.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace hh::core {
+
+std::vector<double> SimulationConfig::binary_qualities(std::uint32_t k,
+                                                       std::uint32_t bad) {
+  HH_EXPECTS(k >= 1);
+  HH_EXPECTS(bad < k);  // the paper assumes at least one good nest
+  std::vector<double> q(k, 1.0);
+  for (std::uint32_t i = k - bad; i < k; ++i) q[i] = 0.0;
+  return q;
+}
+
+namespace {
+
+env::EnvironmentConfig make_env_config(const SimulationConfig& config) {
+  env::EnvironmentConfig ec;
+  ec.num_ants = config.num_ants;
+  ec.qualities = config.qualities;
+  ec.seed = util::mix_seed(config.seed, 0xE1717);
+  ec.enforce_model = config.enforce_model;
+  // Idle is only legal in the fault/asynchrony extensions.
+  ec.allow_idle = config.faults.any() || config.skip_probability > 0.0;
+  return ec;
+}
+
+Colony build_colony(const SimulationConfig& config, AlgorithmKind kind,
+                    const AlgorithmParams& params) {
+  env::FaultPlan plan =
+      config.faults.any()
+          ? env::FaultPlan::sample(config.num_ants, config.faults,
+                                   util::mix_seed(config.seed, 0xFA17))
+          : env::FaultPlan::none(config.num_ants);
+  return make_colony(config.num_ants, kind, std::move(plan),
+                     util::mix_seed(config.seed, 0xC0107), params);
+}
+
+}  // namespace
+
+std::uint32_t Simulation::auto_max_rounds(const SimulationConfig& config) {
+  // Generous multiple of the worst theoretical bound in play, O(k log n)
+  // (Theorem 5.11); a cap, not an expectation — converging runs stop early.
+  const double log_n =
+      std::log2(static_cast<double>(std::max<std::uint32_t>(config.num_ants, 2)));
+  const auto k = static_cast<double>(config.qualities.size());
+  const double bound = 200.0 * (k + 2.0) * (log_n + 2.0) + 1000.0;
+  return static_cast<std::uint32_t>(bound);
+}
+
+Simulation::Simulation(const SimulationConfig& config, Colony colony,
+                       std::optional<ConvergenceMode> mode)
+    : config_(config),
+      colony_(std::move(colony)),
+      env_(make_env_config(config), env::make_pairing_model(config.pairing),
+           env::make_observation_model(config.noise)),
+      scheduler_(env::make_scheduler(config.skip_probability)),
+      scheduler_rng_(util::mix_seed(config.seed, 0x5C4ED)),
+      detector_(mode.value_or(ConvergenceMode::kCommitment),
+                config.stability_rounds, config.convergence_tolerance),
+      max_rounds_(config.max_rounds ? config.max_rounds
+                                    : auto_max_rounds(config)) {
+  HH_EXPECTS(config.num_ants >= 1);
+  HH_EXPECTS(!config.qualities.empty());
+  HH_EXPECTS(colony_.size() == config.num_ants);
+  actions_.resize(config.num_ants);
+  awake_.resize(config.num_ants);
+}
+
+Simulation::Simulation(const SimulationConfig& config, AlgorithmKind kind,
+                       const AlgorithmParams& params)
+    : Simulation(config, build_colony(config, kind, params),
+                 default_mode(kind)) {}
+
+bool Simulation::step() {
+  const std::uint32_t round = env_.round() + 1;  // 1-based, as in the paper
+  for (env::AntId a = 0; a < colony_.size(); ++a) {
+    // The scheduler is consulted before the ant: a sleeping ant's state
+    // machine is frozen for the round (partial-synchrony extension).
+    const bool awake = scheduler_->awake(a, env_.round(), scheduler_rng_);
+    awake_[a] = awake;
+    actions_[a] = awake ? colony_.ants[a]->decide(round) : env::Action::idle();
+  }
+
+  const std::vector<env::Outcome>& outcomes = env_.step(actions_);
+  // Attribute each successful recruitment to a tandem run (recruiter not
+  // yet finalized) or a direct transport (finalized recruiter) — the
+  // Section 6 fine-grained runtime distinction; transports are ~3x faster
+  // in nature but share one model round (Section 2).
+  std::uint32_t tandem = 0;
+  std::uint32_t transport = 0;
+  for (env::AntId a = 0; a < colony_.size(); ++a) {
+    if (outcomes[a].recruit_succeeded) {
+      if (colony_.ants[a]->finalized()) {
+        ++transport;
+      } else {
+        ++tandem;
+      }
+    }
+    if (awake_[a]) colony_.ants[a]->observe(outcomes[a]);
+  }
+  total_tandem_runs_ += tandem;
+  total_transports_ += transport;
+
+  total_recruitments_ += env_.last_round_stats().successful_recruitments;
+  if (config_.record_trajectories) {
+    const std::uint32_t k = env_.num_nests();
+    std::vector<std::uint32_t> counts(k + 1);
+    for (env::NestId i = 0; i <= k; ++i) counts[i] = env_.count(i);
+    trajectories_.counts.push_back(std::move(counts));
+    trajectories_.committed.push_back(committed_census());
+    trajectories_.round_stats.push_back(env_.last_round_stats());
+    trajectories_.tandem_successes.push_back(tandem);
+    trajectories_.transport_successes.push_back(transport);
+  }
+  return detector_.update(colony_, env_);
+}
+
+RunResult Simulation::run() {
+  while (!detector_.converged() && env_.round() < max_rounds_) {
+    step();
+  }
+  RunResult result;
+  result.converged = detector_.converged();
+  result.rounds_executed = env_.round();
+  result.total_recruitments = total_recruitments_;
+  result.total_tandem_runs = total_tandem_runs_;
+  result.total_transports = total_transports_;
+  if (result.converged) {
+    result.rounds = detector_.decision_round();
+    result.winner = detector_.winner();
+    result.winner_quality = env_.quality(result.winner);
+  }
+  result.trajectories = std::move(trajectories_);
+  trajectories_ = Trajectories{};
+  return result;
+}
+
+std::vector<std::uint32_t> Simulation::committed_census() const {
+  std::vector<std::uint32_t> census(env_.num_nests() + 1, 0);
+  for (env::AntId a = 0; a < colony_.size(); ++a) {
+    if (!colony_.correct(a)) continue;
+    const env::NestId nest = colony_.ants[a]->committed_nest();
+    HH_ASSERT(nest <= env_.num_nests());
+    ++census[nest];
+  }
+  return census;
+}
+
+}  // namespace hh::core

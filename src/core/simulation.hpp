@@ -1,0 +1,148 @@
+// The simulation driver: wires a Colony to an Environment and runs
+// synchronous rounds until the colony converges (per ConvergenceDetector)
+// or a round cap is hit. Supports the Section 6 extensions — noisy
+// observation, crash/Byzantine faults, partial synchrony, alternative
+// pairing models — each switched on through SimulationConfig.
+#ifndef HH_CORE_SIMULATION_HPP
+#define HH_CORE_SIMULATION_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/colony.hpp"
+#include "core/convergence.hpp"
+#include "env/environment.hpp"
+#include "env/faults.hpp"
+#include "env/observation.hpp"
+#include "env/pairing.hpp"
+#include "env/scheduler.hpp"
+
+namespace hh::core {
+
+/// Everything needed to reproduce one execution (copyable; a simulation is
+/// a deterministic function of this struct plus the algorithm choice).
+struct SimulationConfig {
+  /// Colony size n (>= 1).
+  std::uint32_t num_ants = 0;
+  /// qualities[i] is candidate nest i+1's quality; size() = k >= 1.
+  std::vector<double> qualities;
+  /// Master seed; environment, scheduler, fault plan, and per-ant streams
+  /// are derived from it.
+  std::uint64_t seed = 1;
+  /// Round cap; 0 = automatic (generous multiple of the theoretical bound).
+  std::uint32_t max_rounds = 0;
+  /// Extra consecutive rounds the agreement must hold before convergence
+  /// is declared (the HouseHunting predicate is "for all r >= T").
+  std::uint32_t stability_rounds = 0;
+  /// Fraction of correct ants allowed to disagree (0 = strict unanimity).
+  /// Use a positive value under Byzantine faults: persistent adversaries
+  /// keep a small rotating pool of correct ants kidnapped at any instant.
+  double convergence_tolerance = 0.0;
+  /// Validate every call against the model rules (throws ModelViolation).
+  bool enforce_model = true;
+  /// Record per-round trajectories (population counts, commitment census,
+  /// round stats). Costs memory; off for large sweeps.
+  bool record_trajectories = false;
+  /// Section 6 extensions.
+  double skip_probability = 0.0;  ///< partial synchrony: P[ant misses round]
+  env::NoiseConfig noise;         ///< noisy perception
+  env::FaultConfig faults;        ///< crash / Byzantine ants
+  env::PairingKind pairing = env::PairingKind::kPermutation;
+
+  /// Convenience: k good nests of quality 1 except `bad` nests of quality 0
+  /// placed at the end.
+  [[nodiscard]] static std::vector<double> binary_qualities(std::uint32_t k,
+                                                            std::uint32_t bad);
+};
+
+/// Per-round recordings (only when record_trajectories is set).
+struct Trajectories {
+  /// counts[r][i] = physical population c(i, r+1), i in [0, k].
+  std::vector<std::vector<std::uint32_t>> counts;
+  /// committed[r][i] = number of correct ants committed to nest i.
+  std::vector<std::vector<std::uint32_t>> committed;
+  /// Environment round statistics per round.
+  std::vector<env::RoundStats> round_stats;
+  /// Successful recruitments per round split by the recruiter's state:
+  /// tandem runs (recruiter not finalized) vs direct transports
+  /// (recruiter finalized). Section 6 suggests distinguishing the two for
+  /// a fine-grained runtime analysis — transports are ~3x faster [21].
+  std::vector<std::uint32_t> tandem_successes;
+  std::vector<std::uint32_t> transport_successes;
+};
+
+/// Outcome of a run.
+struct RunResult {
+  bool converged = false;
+  /// Round at which the winning agreement began (valid when converged).
+  std::uint32_t rounds = 0;
+  /// Rounds actually executed (equals `rounds + stability_rounds` when
+  /// converged; max_rounds otherwise).
+  std::uint32_t rounds_executed = 0;
+  env::NestId winner = env::kHomeNest;
+  double winner_quality = 0.0;
+  /// Total successful recruitments across the run (|M| summed).
+  std::uint64_t total_recruitments = 0;
+  /// Split of total_recruitments by recruiter state (see Trajectories).
+  std::uint64_t total_tandem_runs = 0;
+  std::uint64_t total_transports = 0;
+  Trajectories trajectories;  ///< empty unless record_trajectories
+};
+
+/// One execution: a colony in an environment. Use run() for the common
+/// case or step() to drive round by round (examples do this to render
+/// timelines).
+class Simulation {
+ public:
+  /// Build the environment and machinery from `config` and take ownership
+  /// of `colony` (which must have config.num_ants ants). `mode` defaults
+  /// to the algorithm's natural convergence notion when omitted.
+  Simulation(const SimulationConfig& config, Colony colony,
+             std::optional<ConvergenceMode> mode = std::nullopt);
+
+  /// Convenience: build the colony for `kind` internally.
+  Simulation(const SimulationConfig& config, AlgorithmKind kind,
+             const AlgorithmParams& params = {});
+
+  /// Execute one round. Returns true once the colony has converged
+  /// (sticky; further steps are allowed and keep executing rounds).
+  bool step();
+
+  /// Run until convergence (+ stability window) or the round cap.
+  /// Continues from the current round if step() was called before.
+  [[nodiscard]] RunResult run();
+
+  // --- inspection ---
+  [[nodiscard]] const env::Environment& environment() const { return env_; }
+  [[nodiscard]] const Colony& colony() const { return colony_; }
+  [[nodiscard]] std::uint32_t round() const { return env_.round(); }
+  [[nodiscard]] bool converged() const { return detector_.converged(); }
+  [[nodiscard]] const ConvergenceDetector& detector() const { return detector_; }
+  /// Number of correct ants committed to each nest (size k+1).
+  [[nodiscard]] std::vector<std::uint32_t> committed_census() const;
+  /// The effective round cap for this simulation.
+  [[nodiscard]] std::uint32_t max_rounds() const { return max_rounds_; }
+
+ private:
+  static std::uint32_t auto_max_rounds(const SimulationConfig& config);
+
+  SimulationConfig config_;
+  Colony colony_;
+  env::Environment env_;
+  std::unique_ptr<env::Scheduler> scheduler_;
+  util::Rng scheduler_rng_;
+  ConvergenceDetector detector_;
+  std::uint32_t max_rounds_;
+  std::uint64_t total_recruitments_ = 0;
+  std::uint64_t total_tandem_runs_ = 0;
+  std::uint64_t total_transports_ = 0;
+  Trajectories trajectories_;
+  std::vector<env::Action> actions_;   // reused per round
+  std::vector<bool> awake_;            // reused per round
+};
+
+}  // namespace hh::core
+
+#endif  // HH_CORE_SIMULATION_HPP

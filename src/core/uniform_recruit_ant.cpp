@@ -1,0 +1,13 @@
+#include "core/uniform_recruit_ant.hpp"
+
+#include "util/contracts.hpp"
+
+namespace hh::core {
+
+UniformRecruitAnt::UniformRecruitAnt(std::uint32_t num_ants, util::Rng rng,
+                                     double recruit_prob)
+    : SimpleAnt(num_ants, rng), recruit_prob_(recruit_prob) {
+  HH_EXPECTS(recruit_prob >= 0.0 && recruit_prob <= 1.0);
+}
+
+}  // namespace hh::core

@@ -1,0 +1,39 @@
+// Negative-control baseline: Algorithm 3 with the positive feedback
+// removed (experiment E16).
+//
+// An active ant recruits with a constant probability p regardless of its
+// nest's population. Expected recruitment into each nest is then linear in
+// the nest's population (every nest reinforces at the same relative rate),
+// which is the neutral Pólya-urn regime: population proportions form a
+// martingale and converge to a random mixture instead of concentrating on
+// one nest. The contrast with Algorithm 3's quadratic reinforcement
+// (p(i,r) fraction of ants each recruiting with probability p(i,r))
+// demonstrates that population-proportional feedback is what drives
+// consensus.
+#ifndef HH_CORE_UNIFORM_RECRUIT_ANT_HPP
+#define HH_CORE_UNIFORM_RECRUIT_ANT_HPP
+
+#include "core/simple_ant.hpp"
+
+namespace hh::core {
+
+/// Constant-rate recruiting baseline (no positive feedback).
+class UniformRecruitAnt final : public SimpleAnt {
+ public:
+  /// `recruit_prob` is the constant per-round recruiting probability.
+  UniformRecruitAnt(std::uint32_t num_ants, util::Rng rng, double recruit_prob);
+
+  [[nodiscard]] std::string_view name() const override { return "uniform-recruit"; }
+
+ protected:
+  [[nodiscard]] double recruit_probability() const override {
+    return recruit_prob_;
+  }
+
+ private:
+  double recruit_prob_;
+};
+
+}  // namespace hh::core
+
+#endif  // HH_CORE_UNIFORM_RECRUIT_ANT_HPP

@@ -1,0 +1,211 @@
+#include "env/environment.hpp"
+
+#include <string>
+
+#include "util/contracts.hpp"
+
+namespace hh::env {
+
+namespace {
+constexpr std::uint32_t kNoRequest = 0xffffffffu;
+}
+
+Environment::Environment(EnvironmentConfig cfg,
+                         std::unique_ptr<PairingModel> pairing,
+                         std::unique_ptr<ObservationModel> observation)
+    : cfg_(std::move(cfg)),
+      pairing_(pairing ? std::move(pairing)
+                       : std::make_unique<PermutationPairing>()),
+      observation_(observation ? std::move(observation)
+                               : std::make_unique<ExactObservation>()),
+      rng_(cfg_.seed) {
+  HH_EXPECTS(cfg_.num_ants >= 1);
+  HH_EXPECTS(!cfg_.qualities.empty());
+  for (double q : cfg_.qualities) HH_EXPECTS(q >= 0.0 && q <= 1.0);
+
+  location_.assign(cfg_.num_ants, kHomeNest);  // all ants start at home
+  count_.assign(num_nests() + 1, 0);
+  count_[kHomeNest] = cfg_.num_ants;
+  knowledge_.assign(static_cast<std::size_t>(cfg_.num_ants) * (num_nests() + 1),
+                    false);
+  outcomes_.resize(cfg_.num_ants);
+  request_index_.assign(cfg_.num_ants, kNoRequest);
+}
+
+NestId Environment::location(AntId a) const {
+  HH_EXPECTS(a < cfg_.num_ants);
+  return location_[a];
+}
+
+std::uint32_t Environment::count(NestId i) const {
+  HH_EXPECTS(i <= num_nests());
+  return count_[i];
+}
+
+double Environment::quality(NestId i) const {
+  HH_EXPECTS(i >= 1 && i <= num_nests());
+  return cfg_.qualities[i - 1];
+}
+
+bool Environment::knows(AntId a, NestId i) const {
+  HH_EXPECTS(a < cfg_.num_ants);
+  HH_EXPECTS(i <= num_nests());
+  return knowledge_[static_cast<std::size_t>(a) * (num_nests() + 1) + i];
+}
+
+void Environment::grant_knowledge(AntId a, NestId i) {
+  knowledge_[static_cast<std::size_t>(a) * (num_nests() + 1) + i] = true;
+}
+
+void Environment::validate(AntId a, const Action& action) const {
+  const auto fail = [&](const std::string& why) {
+    throw ModelViolation("ant " + std::to_string(a) + ", round " +
+                         std::to_string(round_ + 1) + ": " + why);
+  };
+  switch (action.kind) {
+    case ActionKind::kSearch:
+      break;  // always legal
+    case ActionKind::kGo:
+      if (action.target < 1 || action.target > num_nests()) {
+        fail("go() target " + std::to_string(action.target) +
+             " is not a candidate nest");
+      }
+      // Knowledge interpretation of the paper's precondition (DESIGN.md §2):
+      // the ant must have visited the nest or been recruited to it.
+      if (!knows(a, action.target)) {
+        fail("go(" + std::to_string(action.target) + ") without knowledge");
+      }
+      break;
+    case ActionKind::kRecruit:
+      if (action.active) {
+        // recruit(1, i): the advertised nest must be a known candidate.
+        if (action.target < 1 || action.target > num_nests()) {
+          fail("recruit(1, " + std::to_string(action.target) +
+               ") must advertise a candidate nest");
+        }
+        if (!knows(a, action.target)) {
+          fail("recruit(1, " + std::to_string(action.target) +
+               ") without knowledge");
+        }
+      } else {
+        // recruit(0, i): i may be the home nest (an ant that knows no
+        // candidate waits to be recruited) or a known candidate.
+        if (action.target > num_nests()) {
+          fail("recruit(0, " + std::to_string(action.target) +
+               ") target out of range");
+        }
+        if (action.target != kHomeNest && !knows(a, action.target)) {
+          fail("recruit(0, " + std::to_string(action.target) +
+               ") without knowledge");
+        }
+      }
+      break;
+    case ActionKind::kIdle:
+      if (!cfg_.allow_idle) {
+        fail("idle is not part of the model (enable allow_idle for the "
+             "fault/asynchrony extensions)");
+      }
+      break;
+  }
+}
+
+const std::vector<Outcome>& Environment::step(std::span<const Action> actions) {
+  HH_EXPECTS(actions.size() == cfg_.num_ants);
+  const std::uint32_t k = num_nests();
+  stats_ = RoundStats{};
+  requests_.clear();
+
+  // Phase 1: validate and apply all location updates simultaneously.
+  for (AntId a = 0; a < cfg_.num_ants; ++a) {
+    const Action& action = actions[a];
+    if (cfg_.enforce_model) validate(a, action);
+    request_index_[a] = kNoRequest;
+    switch (action.kind) {
+      case ActionKind::kSearch: {
+        // search(): i chosen uniformly at random from {1..k}.
+        const auto found = static_cast<NestId>(1 + rng_.uniform_u64(k));
+        location_[a] = found;
+        outcomes_[a] = Outcome{ActionKind::kSearch, found, 0.0, 0, false, false};
+        ++stats_.searches;
+        break;
+      }
+      case ActionKind::kGo:
+        location_[a] = action.target;
+        outcomes_[a] =
+            Outcome{ActionKind::kGo, action.target, 0.0, 0, false, false};
+        ++stats_.gos;
+        break;
+      case ActionKind::kRecruit:
+        location_[a] = kHomeNest;  // recruitment happens at the home nest
+        request_index_[a] = static_cast<std::uint32_t>(requests_.size());
+        requests_.push_back(RecruitRequest{a, action.active, action.target});
+        outcomes_[a] =
+            Outcome{ActionKind::kRecruit, action.target, 0.0, 0, false, false};
+        if (action.active) {
+          ++stats_.active_recruits;
+        } else {
+          ++stats_.passive_recruits;
+        }
+        break;
+      case ActionKind::kIdle:
+        outcomes_[a] =
+            Outcome{ActionKind::kIdle, location_[a], 0.0, 0, false, false};
+        ++stats_.idles;
+        break;
+    }
+  }
+
+  // Phase 2: the centralized pairing process (Algorithm 1 by default).
+  const PairingResult pairing = pairing_->pair(requests_, rng_);
+  HH_ENSURES(pairing.recruited_by.size() == requests_.size());
+  HH_ENSURES(pairing.recruit_succeeded.size() == requests_.size());
+
+  // Phase 3: end-of-round counts c(i, r).
+  count_.assign(k + 1, 0);
+  for (AntId a = 0; a < cfg_.num_ants; ++a) ++count_[location_[a]];
+
+  // Phase 4: deliver return values and update knowledge.
+  for (AntId a = 0; a < cfg_.num_ants; ++a) {
+    Outcome& out = outcomes_[a];
+    switch (out.kind) {
+      case ActionKind::kSearch:
+        out.quality = observation_->perceive_quality(quality(out.nest), rng_);
+        out.count = observation_->perceive_count(count_[out.nest], rng_);
+        grant_knowledge(a, out.nest);
+        break;
+      case ActionKind::kGo:
+        out.count = observation_->perceive_count(count_[out.nest], rng_);
+        // Extension beyond the paper's go() signature: a visiting ant can
+        // re-assess the nest it is standing in. The paper's algorithms
+        // ignore this field; the Section 6 quality-aware variant uses it.
+        out.quality = observation_->perceive_quality(quality(out.nest), rng_);
+        break;
+      case ActionKind::kRecruit: {
+        const std::uint32_t idx = request_index_[a];
+        const std::int32_t recruiter = pairing.recruited_by[idx];
+        if (recruiter != kNotRecruited) {
+          // Return value j is the recruiter's advertised nest (Algorithm 1
+          // lines 8-10); the ant learns that nest's location (tandem run).
+          out.nest = requests_[static_cast<std::size_t>(recruiter)].target;
+          out.recruited = true;
+          ++stats_.successful_recruitments;
+          if (requests_[static_cast<std::size_t>(recruiter)].ant == a) {
+            ++stats_.self_recruitments;
+          }
+          if (out.nest != actions[a].target) ++stats_.cross_nest_recruitments;
+          if (out.nest != kHomeNest) grant_knowledge(a, out.nest);
+        }
+        out.recruit_succeeded = pairing.recruit_succeeded[idx];
+        out.count = observation_->perceive_count(count_[kHomeNest], rng_);
+        break;
+      }
+      case ActionKind::kIdle:
+        break;
+    }
+  }
+
+  ++round_;
+  return outcomes_;
+}
+
+}  // namespace hh::env

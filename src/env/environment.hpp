@@ -1,0 +1,129 @@
+// The synchronous-round environment of paper Section 2.
+//
+// n probabilistic finite-state machines (ants) execute in numbered rounds.
+// Each round every ant performs exactly one call to search(), go(i), or
+// recruit(b, i); the environment resolves all calls simultaneously:
+//
+//   1. every ant's location l(a, r) is updated (searchers land on a
+//      uniformly random candidate nest, go-ers move to their target,
+//      recruit-ers return to the home nest),
+//   2. the recruitment matching M is computed (Algorithm 1 by default),
+//   3. end-of-round counts c(i, r) are taken, and
+//   4. return values are delivered (counts possibly filtered through an
+//      ObservationModel — the Section 6 noisy-perception extension).
+//
+// Model-rule enforcement: with EnvironmentConfig::enforce_model (default),
+// illegal calls throw hh::ModelViolation — e.g. go(i) to a nest the ant has
+// neither visited nor been recruited to (the knowledge interpretation of
+// the paper's precondition; see DESIGN.md §2), or recruit(1, i) advertising
+// an unknown nest.
+#ifndef HH_ENV_ENVIRONMENT_HPP
+#define HH_ENV_ENVIRONMENT_HPP
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "env/action.hpp"
+#include "env/nest.hpp"
+#include "env/observation.hpp"
+#include "env/pairing.hpp"
+#include "util/rng.hpp"
+
+namespace hh::env {
+
+/// Static description of an environment instance.
+struct EnvironmentConfig {
+  /// Colony size n. Must be >= 1.
+  std::uint32_t num_ants = 0;
+  /// qualities[i] is the quality of candidate nest i+1; size() is k >= 1.
+  std::vector<double> qualities;
+  /// Seed for all environment randomness (search landings, pairing).
+  std::uint64_t seed = 1;
+  /// Validate the model's call preconditions (throws ModelViolation).
+  bool enforce_model = true;
+  /// Permit Action::idle() (Section 6 fault/asynchrony extensions only).
+  bool allow_idle = false;
+};
+
+/// Aggregate statistics for the most recent round (for metrics collection;
+/// none of this is observable by ants).
+struct RoundStats {
+  std::uint32_t searches = 0;
+  std::uint32_t gos = 0;
+  std::uint32_t active_recruits = 0;   ///< recruit(1, ·) calls
+  std::uint32_t passive_recruits = 0;  ///< recruit(0, ·) calls
+  std::uint32_t idles = 0;
+  std::uint32_t successful_recruitments = 0;  ///< |M|
+  std::uint32_t self_recruitments = 0;        ///< pairs (a, a)
+  /// Recruited ants whose returned nest j differed from their input nest.
+  std::uint32_t cross_nest_recruitments = 0;
+};
+
+/// The home-nest-plus-k-candidate-nests world. One instance = one execution.
+class Environment {
+ public:
+  /// Construct with explicit strategies; pass nullptr for the defaults
+  /// (PermutationPairing / ExactObservation).
+  Environment(EnvironmentConfig cfg,
+              std::unique_ptr<PairingModel> pairing = nullptr,
+              std::unique_ptr<ObservationModel> observation = nullptr);
+
+  Environment(const Environment&) = delete;
+  Environment& operator=(const Environment&) = delete;
+  Environment(Environment&&) = default;
+  Environment& operator=(Environment&&) = default;
+  ~Environment() = default;
+
+  /// Execute one synchronous round. actions[a] is ant a's single call for
+  /// this round; actions.size() must equal num_ants(). Returns one Outcome
+  /// per ant (reference valid until the next step()). Throws ModelViolation
+  /// for illegal calls when enforce_model is set.
+  const std::vector<Outcome>& step(std::span<const Action> actions);
+
+  // --- inspection (environment's-eye view; not visible to ants) ---
+
+  /// Colony size n.
+  [[nodiscard]] std::uint32_t num_ants() const { return cfg_.num_ants; }
+  /// Number of candidate nests k.
+  [[nodiscard]] std::uint32_t num_nests() const {
+    return static_cast<std::uint32_t>(cfg_.qualities.size());
+  }
+  /// Rounds completed so far (0 before the first step()).
+  [[nodiscard]] std::uint32_t round() const { return round_; }
+  /// Current location l(a, r) of ant a.
+  [[nodiscard]] NestId location(AntId a) const;
+  /// Current true population count c(i, r); i in [0, k].
+  [[nodiscard]] std::uint32_t count(NestId i) const;
+  /// True quality q(i) of candidate nest i in [1, k].
+  [[nodiscard]] double quality(NestId i) const;
+  /// Whether ant a has knowledge of nest i (visited or been recruited to).
+  [[nodiscard]] bool knows(AntId a, NestId i) const;
+  /// Stats of the most recent round.
+  [[nodiscard]] const RoundStats& last_round_stats() const { return stats_; }
+  /// The active pairing model (for reports).
+  [[nodiscard]] const PairingModel& pairing_model() const { return *pairing_; }
+
+ private:
+  void validate(AntId a, const Action& action) const;
+  void grant_knowledge(AntId a, NestId i);
+
+  EnvironmentConfig cfg_;
+  std::unique_ptr<PairingModel> pairing_;
+  std::unique_ptr<ObservationModel> observation_;
+  util::Rng rng_;
+
+  std::uint32_t round_ = 0;
+  std::vector<NestId> location_;        // l(a, r), indexed by ant
+  std::vector<std::uint32_t> count_;    // c(i, r), indexed by nest (0..k)
+  std::vector<bool> knowledge_;         // (k+1) slots per ant, flattened
+  std::vector<Outcome> outcomes_;       // reused each round
+  std::vector<RecruitRequest> requests_;  // reused each round
+  std::vector<std::uint32_t> request_index_;  // ant -> index into requests_
+  RoundStats stats_;
+};
+
+}  // namespace hh::env
+
+#endif  // HH_ENV_ENVIRONMENT_HPP

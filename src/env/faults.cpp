@@ -1,0 +1,49 @@
+#include "env/faults.hpp"
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace hh::env {
+
+FaultPlan FaultPlan::none(std::uint32_t num_ants) {
+  FaultPlan plan;
+  plan.type.assign(num_ants, FaultType::kNone);
+  plan.crash_round.assign(num_ants, 0);
+  return plan;
+}
+
+FaultPlan FaultPlan::sample(std::uint32_t num_ants, const FaultConfig& cfg,
+                            std::uint64_t seed) {
+  HH_EXPECTS(cfg.crash_fraction >= 0.0 && cfg.crash_fraction <= 1.0);
+  HH_EXPECTS(cfg.byzantine_fraction >= 0.0 && cfg.byzantine_fraction <= 1.0);
+  HH_EXPECTS(cfg.crash_fraction + cfg.byzantine_fraction <= 1.0);
+  HH_EXPECTS(cfg.crash_horizon >= 1);
+
+  FaultPlan plan = none(num_ants);
+  util::Rng rng(seed);
+  const auto crashes =
+      static_cast<std::uint32_t>(cfg.crash_fraction * num_ants);
+  const auto byzantines =
+      static_cast<std::uint32_t>(cfg.byzantine_fraction * num_ants);
+
+  // Choose disjoint victim sets via a random permutation prefix.
+  std::vector<std::uint32_t> perm = util::random_permutation(num_ants, rng);
+  for (std::uint32_t i = 0; i < crashes; ++i) {
+    const AntId a = perm[i];
+    plan.type[a] = FaultType::kCrash;
+    plan.crash_round[a] =
+        static_cast<std::uint32_t>(1 + rng.uniform_u64(cfg.crash_horizon));
+  }
+  for (std::uint32_t i = crashes; i < crashes + byzantines; ++i) {
+    plan.type[perm[i]] = FaultType::kByzantine;
+  }
+  return plan;
+}
+
+std::uint32_t FaultPlan::correct_count() const {
+  std::uint32_t n = 0;
+  for (FaultType t : type) n += (t == FaultType::kNone) ? 1u : 0u;
+  return n;
+}
+
+}  // namespace hh::env

@@ -1,0 +1,64 @@
+// Fault injection plans (paper Section 6, "Fault tolerance": "A small
+// number of ants suffering from crash-faults or even malicious faults,
+// should not affect the overall populations of recruiting ants and the
+// algorithm's performance").
+//
+// This module only *describes* which ants are faulty and how; the core
+// layer applies the behaviour (core::CrashProneAnt / core::ByzantineAnt
+// wrappers) so that algorithms and fault semantics stay decoupled.
+#ifndef HH_ENV_FAULTS_HPP
+#define HH_ENV_FAULTS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "env/nest.hpp"
+
+namespace hh::env {
+
+/// How an individual ant misbehaves.
+enum class FaultType : std::uint8_t {
+  kNone,       ///< correct ant
+  kCrash,      ///< stops acting (idles in place) from its crash round on
+  kByzantine,  ///< adversarial: persistently recruits toward a bad nest
+};
+
+/// Copyable description of the faults to inject, used inside configs.
+struct FaultConfig {
+  double crash_fraction = 0.0;      ///< fraction of ants that crash
+  double byzantine_fraction = 0.0;  ///< fraction of ants that are Byzantine
+  /// Crashes are scheduled uniformly at random in [1, crash_horizon].
+  std::uint32_t crash_horizon = 64;
+
+  [[nodiscard]] bool any() const {
+    return crash_fraction > 0.0 || byzantine_fraction > 0.0;
+  }
+};
+
+/// A concrete per-ant fault assignment sampled from a FaultConfig.
+struct FaultPlan {
+  std::vector<FaultType> type;          ///< indexed by AntId; size n
+  std::vector<std::uint32_t> crash_round;  ///< round >= which a crashed ant idles
+
+  /// All ants correct.
+  [[nodiscard]] static FaultPlan none(std::uint32_t num_ants);
+
+  /// Sample a plan: floor(crash_fraction*n) crash victims with uniform
+  /// crash rounds in [1, crash_horizon], floor(byzantine_fraction*n)
+  /// Byzantine ants; assignments are disjoint and chosen uniformly.
+  [[nodiscard]] static FaultPlan sample(std::uint32_t num_ants,
+                                        const FaultConfig& cfg,
+                                        std::uint64_t seed);
+
+  /// True iff ant a behaves correctly for the entire execution.
+  [[nodiscard]] bool correct(AntId a) const {
+    return type[a] == FaultType::kNone;
+  }
+
+  /// Number of correct ants.
+  [[nodiscard]] std::uint32_t correct_count() const;
+};
+
+}  // namespace hh::env
+
+#endif  // HH_ENV_FAULTS_HPP

@@ -1,0 +1,33 @@
+// Basic identifiers and nest descriptions for the house-hunting model
+// (paper Section 2): a home nest n0 and k candidate nests n1..nk, each
+// with a quality q(i). The paper's primary setting is binary quality
+// Q = {0,1}; the Section 6 extension allows real-valued qualities in [0,1].
+#ifndef HH_ENV_NEST_HPP
+#define HH_ENV_NEST_HPP
+
+#include <cstdint>
+
+namespace hh::env {
+
+/// Index of an ant within the colony, 0..n-1.
+using AntId = std::uint32_t;
+
+/// Index of a nest: 0 is the home nest n0, 1..k are candidate nests.
+using NestId = std::uint32_t;
+
+/// The home nest n0 — where the colony starts and where recruitment happens.
+inline constexpr NestId kHomeNest = 0;
+
+/// A candidate nest with its (true) quality.
+struct Nest {
+  NestId id = 0;
+  double quality = 0.0;  ///< in [0,1]; 1 = suitable, 0 = unsuitable
+
+  /// Paper's binary notion of a suitable nest (quality exactly 1 when
+  /// Q = {0,1}; for real-valued qualities any positive value is habitable).
+  [[nodiscard]] bool good() const { return quality > 0.0; }
+};
+
+}  // namespace hh::env
+
+#endif  // HH_ENV_NEST_HPP

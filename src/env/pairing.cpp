@@ -1,0 +1,104 @@
+#include "env/pairing.hpp"
+
+#include <memory>
+
+#include "util/contracts.hpp"
+
+namespace hh::env {
+
+PairingResult PermutationPairing::pair(std::span<const RecruitRequest> requests,
+                                       util::Rng& rng) const {
+  const std::size_t m = requests.size();
+  PairingResult result;
+  result.recruited_by.assign(m, kNotRecruited);
+  result.recruit_succeeded.assign(m, false);
+  if (m == 0) return result;
+
+  // P: uniform random permutation of all ants in R (Algorithm 1, tie-breaker).
+  const std::vector<std::uint32_t> perm = util::random_permutation(m, rng);
+
+  // First loop of Algorithm 1: build M in permutation order.
+  for (std::uint32_t x : perm) {
+    const RecruitRequest& req = requests[x];
+    // Line 3: a_P(i) ∈ S (active) and not already recruited. An ant can
+    // appear as recruiter at most once because each x is visited once.
+    if (!req.active || result.recruited_by[x] != kNotRecruited) continue;
+    // Line 4: a' drawn uniformly from ALL of R — self-recruitment possible.
+    const auto chosen = static_cast<std::uint32_t>(rng.uniform_u64(m));
+    // Line 5: a' must not already be a recruiter nor recruited.
+    if (result.recruit_succeeded[chosen] ||
+        result.recruited_by[chosen] != kNotRecruited) {
+      continue;  // no retry: the recruiter simply fails this round
+    }
+    result.recruit_succeeded[x] = true;
+    result.recruited_by[chosen] = static_cast<std::int32_t>(x);
+  }
+  return result;
+}
+
+PairingResult UniformProposalPairing::pair(std::span<const RecruitRequest> requests,
+                                           util::Rng& rng) const {
+  const std::size_t m = requests.size();
+  PairingResult result;
+  result.recruited_by.assign(m, kNotRecruited);
+  result.recruit_succeeded.assign(m, false);
+  if (m == 0) return result;
+
+  // Phase 1: every active ant commits to a proposal target up front.
+  std::vector<std::int32_t> proposal(m, kNotRecruited);
+  for (std::size_t x = 0; x < m; ++x) {
+    if (requests[x].active) {
+      proposal[x] = static_cast<std::int32_t>(rng.uniform_u64(m));
+    }
+  }
+
+  // Phase 2: per-target lottery — each proposed-to ant keeps one proposer
+  // uniformly at random (reservoir sampling over its proposers).
+  std::vector<std::int32_t> winner(m, kNotRecruited);
+  std::vector<std::uint32_t> proposer_count(m, 0);
+  for (std::size_t x = 0; x < m; ++x) {
+    if (proposal[x] == kNotRecruited) continue;
+    const auto t = static_cast<std::size_t>(proposal[x]);
+    ++proposer_count[t];
+    if (rng.uniform_u64(proposer_count[t]) == 0) {
+      winner[t] = static_cast<std::int32_t>(x);
+    }
+  }
+
+  // Phase 3: accept tentative matches in random order; endpoints exclusive.
+  std::vector<std::uint32_t> order = util::random_permutation(m, rng);
+  for (std::uint32_t t : order) {
+    if (winner[t] == kNotRecruited) continue;
+    const auto w = static_cast<std::size_t>(winner[t]);
+    const bool target_free = result.recruited_by[t] == kNotRecruited &&
+                             !result.recruit_succeeded[t];
+    const bool recruiter_free = result.recruited_by[w] == kNotRecruited &&
+                                !result.recruit_succeeded[w];
+    // Self-proposal: the single endpoint only needs to be free once.
+    if (w == t) {
+      if (target_free) {
+        result.recruit_succeeded[w] = true;
+        result.recruited_by[t] = static_cast<std::int32_t>(w);
+      }
+      continue;
+    }
+    if (target_free && recruiter_free) {
+      result.recruit_succeeded[w] = true;
+      result.recruited_by[t] = static_cast<std::int32_t>(w);
+    }
+  }
+  return result;
+}
+
+std::unique_ptr<PairingModel> make_pairing_model(PairingKind kind) {
+  switch (kind) {
+    case PairingKind::kPermutation:
+      return std::make_unique<PermutationPairing>();
+    case PairingKind::kUniformProposal:
+      return std::make_unique<UniformProposalPairing>();
+  }
+  HH_ASSERT(false);
+  return nullptr;
+}
+
+}  // namespace hh::env

@@ -1,0 +1,100 @@
+// The centralized random recruitment-matching process (paper Algorithm 1).
+//
+// All ants at the home nest in a round call recruit(b, i); the environment
+// pairs active recruiters with uniformly chosen ants. The paper notes the
+// process "is not a distributed algorithm executed by the ants, but just a
+// modeling tool", and that the results are believed to hold under "other
+// natural models for randomly pairing ants" — hence the strategy interface
+// with the paper's process as the default and an alternative for ablation.
+#ifndef HH_ENV_PAIRING_HPP
+#define HH_ENV_PAIRING_HPP
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "env/nest.hpp"
+#include "util/rng.hpp"
+
+namespace hh::env {
+
+/// One ant's recruit(b, i) call, as seen by the pairing process.
+struct RecruitRequest {
+  AntId ant = 0;              ///< caller
+  bool active = false;        ///< b: true iff the ant recruits actively
+  NestId target = kHomeNest;  ///< i: the nest the ant advertises
+};
+
+/// Index into the request span, or kNotRecruited.
+inline constexpr std::int32_t kNotRecruited = -1;
+
+/// The matching M produced by a pairing process. All vectors are indexed by
+/// position in the request span (NOT by AntId).
+struct PairingResult {
+  /// recruited_by[x] = index of the request whose ant recruited x
+  /// (possibly x itself — self-recruitment is allowed, see DESIGN.md §2),
+  /// or kNotRecruited.
+  std::vector<std::int32_t> recruited_by;
+  /// recruit_succeeded[x] = true iff request x's ant appears as the
+  /// recruiter in a pair of M.
+  std::vector<bool> recruit_succeeded;
+
+  /// Number of pairs in M.
+  [[nodiscard]] std::size_t pair_count() const {
+    std::size_t pairs = 0;
+    for (auto r : recruited_by) pairs += (r != kNotRecruited) ? 1u : 0u;
+    return pairs;
+  }
+};
+
+/// Strategy interface for the home-nest pairing process.
+class PairingModel {
+ public:
+  virtual ~PairingModel() = default;
+
+  /// Compute the matching M for this round's recruit() calls.
+  /// Implementations must return vectors sized to requests.size() and must
+  /// produce a valid matching: each ant appears at most once as recruited
+  /// and at most once as recruiter, and only active ants recruit.
+  [[nodiscard]] virtual PairingResult pair(std::span<const RecruitRequest> requests,
+                                           util::Rng& rng) const = 0;
+
+  /// Short stable identifier for reports.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// The paper's Algorithm 1, implemented literally:
+///   * P: a uniformly random permutation of all ants in R;
+///   * in P-order, each active, not-yet-recruited ant draws a' uniformly
+///     from all of R and the pair is added iff a' is in no pair yet;
+///   * a' may equal the recruiter (self-recruitment; a no-op for the ant).
+class PermutationPairing final : public PairingModel {
+ public:
+  [[nodiscard]] PairingResult pair(std::span<const RecruitRequest> requests,
+                                   util::Rng& rng) const override;
+  [[nodiscard]] std::string_view name() const override { return "permutation"; }
+};
+
+/// An alternative "natural model" used for the pairing ablation (E15):
+/// every active ant first commits to a uniformly random proposal target;
+/// each target chooses one proposer uniformly at random (a lottery rather
+/// than permutation precedence); tentative matches are then accepted in a
+/// random order, skipping any match whose endpoint is already used.
+class UniformProposalPairing final : public PairingModel {
+ public:
+  [[nodiscard]] PairingResult pair(std::span<const RecruitRequest> requests,
+                                   util::Rng& rng) const override;
+  [[nodiscard]] std::string_view name() const override { return "uniform-proposal"; }
+};
+
+/// Selector for configs that must stay copyable (strategy objects are not).
+enum class PairingKind : std::uint8_t { kPermutation, kUniformProposal };
+
+/// Instantiate a pairing model by kind.
+[[nodiscard]] std::unique_ptr<PairingModel> make_pairing_model(PairingKind kind);
+
+}  // namespace hh::env
+
+#endif  // HH_ENV_PAIRING_HPP

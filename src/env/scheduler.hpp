@@ -1,0 +1,61 @@
+// Round schedulers (paper Section 6, "Asynchrony"): the base model is
+// fully synchronous; the partial-synchrony extension lets each ant
+// independently miss a round with some probability, modeling jitter in
+// when ants act. A sleeping ant idles in place and its own state machine
+// does not advance that round.
+#ifndef HH_ENV_SCHEDULER_HPP
+#define HH_ENV_SCHEDULER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "env/nest.hpp"
+#include "util/rng.hpp"
+
+namespace hh::env {
+
+/// Decides, per ant and round, whether the ant gets to act.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// True iff ant a executes its state machine in this round.
+  [[nodiscard]] virtual bool awake(AntId a, std::uint32_t round,
+                                   util::Rng& rng) = 0;
+
+  /// Short stable identifier for reports.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// The paper's base model: every ant acts every round.
+class SynchronousScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] bool awake(AntId, std::uint32_t, util::Rng&) override {
+    return true;
+  }
+  [[nodiscard]] std::string_view name() const override { return "synchronous"; }
+};
+
+/// Partial synchrony: each ant independently sleeps through a round with
+/// probability skip_probability. The first round (the global search) is
+/// never skipped so every ant starts with one known nest.
+class PartialSynchronyScheduler final : public Scheduler {
+ public:
+  explicit PartialSynchronyScheduler(double skip_probability);
+
+  [[nodiscard]] bool awake(AntId a, std::uint32_t round, util::Rng& rng) override;
+  [[nodiscard]] std::string_view name() const override {
+    return "partial-synchrony";
+  }
+
+ private:
+  double skip_probability_;
+};
+
+/// Instantiate a scheduler for the given skip probability (0 = synchronous).
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(double skip_probability);
+
+}  // namespace hh::env
+
+#endif  // HH_ENV_SCHEDULER_HPP

@@ -1,0 +1,112 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace hh::util {
+
+namespace {
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+
+  [[nodiscard]] double span() const { return hi - lo; }
+};
+
+double transform_x(double x, bool log_x) { return log_x ? std::log2(x) : x; }
+
+}  // namespace
+
+std::string plot(const std::vector<Series>& series, const PlotOptions& options) {
+  HH_EXPECTS(!series.empty());
+  HH_EXPECTS(options.width >= 8 && options.height >= 4);
+
+  Range xr;
+  Range yr;
+  bool any_point = false;
+  for (const auto& s : series) {
+    HH_EXPECTS(s.x.size() == s.y.size());
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (options.log_x) HH_EXPECTS(s.x[i] > 0.0);
+      xr.include(transform_x(s.x[i], options.log_x));
+      yr.include(s.y[i]);
+      any_point = true;
+    }
+  }
+  HH_EXPECTS(any_point);
+  if (xr.span() == 0.0) xr.hi = xr.lo + 1.0;
+  if (yr.span() == 0.0) yr.hi = yr.lo + 1.0;
+
+  std::vector<std::string> grid(options.height, std::string(options.width, ' '));
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double fx =
+          (transform_x(s.x[i], options.log_x) - xr.lo) / xr.span();
+      const double fy = (s.y[i] - yr.lo) / yr.span();
+      const auto col = static_cast<std::size_t>(
+          std::round(fx * static_cast<double>(options.width - 1)));
+      const auto row_from_bottom = static_cast<std::size_t>(
+          std::round(fy * static_cast<double>(options.height - 1)));
+      const std::size_t row = options.height - 1 - row_from_bottom;
+      grid[row][col] = s.marker;
+    }
+  }
+
+  std::string out;
+  if (!options.title.empty()) out += options.title + "\n";
+  char buf[64];
+  for (std::size_t r = 0; r < options.height; ++r) {
+    const double y_at_row =
+        yr.hi - yr.span() * static_cast<double>(r) /
+                    static_cast<double>(options.height - 1);
+    std::snprintf(buf, sizeof(buf), "%10.2f |", y_at_row);
+    out += buf;
+    out += grid[r];
+    out += '\n';
+  }
+  out += std::string(11, ' ') + '+' + std::string(options.width, '-') + '\n';
+  std::snprintf(buf, sizeof(buf), "%10.2f", options.log_x ? std::exp2(xr.lo) : xr.lo);
+  out += std::string(12, ' ') + buf;
+  std::snprintf(buf, sizeof(buf), "%10.2f", options.log_x ? std::exp2(xr.hi) : xr.hi);
+  const std::string right = buf;
+  const std::size_t pad =
+      options.width > 10 + right.size() ? options.width - 10 - right.size() : 1;
+  out += std::string(pad, ' ') + right + "  [" + options.x_label +
+         (options.log_x ? ", log scale]" : "]") + '\n';
+  out += "  legend: ";
+  for (const auto& s : series) {
+    out += '\'';
+    out += s.marker;
+    out += "'=" + s.name + "  ";
+  }
+  out += "  y: " + options.y_label + '\n';
+  return out;
+}
+
+std::string sparkline(const std::vector<double>& ys) {
+  static const char* kLevels = " .:-=+*#@";
+  if (ys.empty()) return "";
+  Range r;
+  for (double y : ys) r.include(y);
+  const double span = r.span() == 0.0 ? 1.0 : r.span();
+  std::string out;
+  out.reserve(ys.size());
+  for (double y : ys) {
+    const auto level =
+        static_cast<std::size_t>(std::round((y - r.lo) / span * 8.0));
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace hh::util

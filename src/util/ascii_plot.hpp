@@ -1,0 +1,39 @@
+// ASCII line/scatter plots so the bench binaries can emit "figures" as text.
+#ifndef HH_UTIL_ASCII_PLOT_HPP
+#define HH_UTIL_ASCII_PLOT_HPP
+
+#include <string>
+#include <vector>
+
+namespace hh::util {
+
+/// A named series of (x, y) points; all series of one plot share axes.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+  char marker = '*';
+};
+
+/// Rendering options for plot().
+struct PlotOptions {
+  std::size_t width = 72;   ///< plot-area columns
+  std::size_t height = 20;  ///< plot-area rows
+  bool log_x = false;       ///< log2 scale on the x axis
+  std::string x_label = "x";
+  std::string y_label = "y";
+  std::string title;
+};
+
+/// Render a multi-series scatter plot to a multi-line string. Series
+/// markers overwrite in order so later series show on top. Requires at
+/// least one non-empty series.
+[[nodiscard]] std::string plot(const std::vector<Series>& series,
+                               const PlotOptions& options);
+
+/// One-line sparkline of y values (levels rendered with 8 glyph heights).
+[[nodiscard]] std::string sparkline(const std::vector<double>& ys);
+
+}  // namespace hh::util
+
+#endif  // HH_UTIL_ASCII_PLOT_HPP

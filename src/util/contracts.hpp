@@ -1,0 +1,56 @@
+// Contract checking (C++ Core Guidelines I.6 / I.8 style Expects/Ensures).
+//
+// Violations throw rather than abort so that tests can assert on them and
+// long experiment sweeps fail loudly with context instead of dumping core.
+#ifndef HH_UTIL_CONTRACTS_HPP
+#define HH_UTIL_CONTRACTS_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace hh {
+
+/// Thrown when a function precondition or postcondition is violated.
+/// Indicates a programming error in the caller (Expects) or callee (Ensures).
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an ant algorithm violates a rule of the paper's model
+/// (Section 2), e.g. calling go(i) for a nest it has no knowledge of.
+/// Distinct from ContractViolation so model-conformance tests can target it.
+class ModelViolation : public std::logic_error {
+ public:
+  explicit ModelViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: (" + expr + ") at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace hh
+
+/// Precondition check: argument/state requirements on entry.
+#define HH_EXPECTS(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) ::hh::detail::contract_fail("precondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+/// Postcondition check: guarantees on exit.
+#define HH_ENSURES(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) ::hh::detail::contract_fail("postcondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+/// Invariant check inside a body.
+#define HH_ASSERT(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) ::hh::detail::contract_fail("assertion", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#endif  // HH_UTIL_CONTRACTS_HPP

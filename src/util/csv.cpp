@@ -1,0 +1,82 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+
+#include "util/contracts.hpp"
+
+namespace hh::util {
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  HH_EXPECTS(!header_written_ && !row_open_ && rows_ == 0);
+  begin_row();
+  for (const auto& c : columns) cell(c);
+  end_row();
+  header_written_ = true;
+  rows_ = 0;  // header does not count as a data row
+}
+
+void CsvWriter::begin_row() {
+  HH_EXPECTS(!row_open_);
+  row_open_ = true;
+  cell_written_ = false;
+}
+
+void CsvWriter::separator() {
+  if (cell_written_) *out_ << ',';
+  cell_written_ = true;
+}
+
+std::string CsvWriter::escape(const std::string& value) {
+  const bool needs_quote =
+      value.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return value;
+  std::string quoted = "\"";
+  for (char c : value) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::cell(const std::string& value) {
+  HH_EXPECTS(row_open_);
+  separator();
+  *out_ << escape(value);
+}
+
+void CsvWriter::number(double value) {
+  HH_EXPECTS(row_open_);
+  separator();
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  HH_ASSERT(ec == std::errc());
+  out_->write(buf, ptr - buf);
+}
+
+void CsvWriter::number(std::int64_t value) {
+  HH_EXPECTS(row_open_);
+  separator();
+  *out_ << value;
+}
+
+void CsvWriter::number(std::uint64_t value) {
+  HH_EXPECTS(row_open_);
+  separator();
+  *out_ << value;
+}
+
+void CsvWriter::end_row() {
+  HH_EXPECTS(row_open_);
+  *out_ << '\n';
+  row_open_ = false;
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  begin_row();
+  for (double v : values) number(v);
+  end_row();
+}
+
+}  // namespace hh::util

@@ -1,0 +1,54 @@
+// Minimal CSV writer for experiment outputs (RFC 4180 quoting).
+#ifndef HH_UTIL_CSV_HPP
+#define HH_UTIL_CSV_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hh::util {
+
+/// Streams rows of mixed string/numeric cells as CSV to any std::ostream.
+/// The writer does not own the stream; keep the stream alive while writing.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Write the header row. Call at most once, before any data row.
+  void header(const std::vector<std::string>& columns);
+
+  /// Begin a new row; cells are appended with cell()/number().
+  void begin_row();
+
+  /// Append a string cell (quoted if it contains a delimiter/quote/newline).
+  void cell(const std::string& value);
+
+  /// Append a numeric cell with full round-trip precision.
+  void number(double value);
+  void number(std::int64_t value);
+  void number(std::uint64_t value);
+  void number(int value) { number(static_cast<std::int64_t>(value)); }
+  void number(unsigned value) { number(static_cast<std::uint64_t>(value)); }
+
+  /// Finish the current row (writes the newline).
+  void end_row();
+
+  /// Convenience: write a full row of doubles at once.
+  void row(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  void separator();
+  static std::string escape(const std::string& value);
+
+  std::ostream* out_;
+  bool row_open_ = false;
+  bool cell_written_ = false;
+  bool header_written_ = false;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace hh::util
+
+#endif  // HH_UTIL_CSV_HPP

@@ -1,0 +1,66 @@
+#include "util/fit.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/stats.hpp"
+
+namespace hh::util {
+
+Fit fit_linear(std::span<const double> x, std::span<const double> y) {
+  HH_EXPECTS(x.size() == y.size());
+  HH_EXPECTS(x.size() >= 2);
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+  }
+  Fit f;
+  f.slope = (sxx == 0.0) ? 0.0 : sxy / sxx;
+  f.intercept = my - f.slope * mx;
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = f.predict(x[i]);
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - my) * (y[i] - my);
+  }
+  f.r_squared = (ss_tot == 0.0) ? 1.0 : 1.0 - ss_res / ss_tot;
+  return f;
+}
+
+Fit fit_logarithmic(std::span<const double> x, std::span<const double> y) {
+  std::vector<double> logx;
+  logx.reserve(x.size());
+  for (double v : x) {
+    HH_EXPECTS(v > 0.0);
+    logx.push_back(std::log2(v));
+  }
+  return fit_linear(logx, y);
+}
+
+Fit fit_klogn(std::span<const double> n, std::span<const double> k,
+              std::span<const double> y) {
+  HH_EXPECTS(n.size() == k.size());
+  std::vector<double> feature;
+  feature.reserve(n.size());
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    HH_EXPECTS(n[i] > 0.0);
+    feature.push_back(k[i] * std::log2(n[i]));
+  }
+  return fit_linear(feature, y);
+}
+
+std::string describe(const Fit& fit, const std::string& feature_name) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "y = %.3f*%s %c %.3f  (R^2=%.4f)", fit.slope,
+                feature_name.c_str(), fit.intercept >= 0 ? '+' : '-',
+                std::abs(fit.intercept), fit.r_squared);
+  return buf;
+}
+
+}  // namespace hh::util

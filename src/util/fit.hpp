@@ -1,0 +1,39 @@
+// Least-squares model fits used to check asymptotic scaling claims
+// empirically: rounds ~ a*log2(n) + b (Theorems 3.2, 4.3) and
+// rounds ~ a*k*log2(n) + b (Theorem 5.11).
+#ifndef HH_UTIL_FIT_HPP
+#define HH_UTIL_FIT_HPP
+
+#include <span>
+#include <string>
+
+namespace hh::util {
+
+/// Result of an ordinary least-squares fit y = slope * f(x) + intercept.
+struct Fit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< coefficient of determination in [0, 1]
+
+  /// Predicted y at the (already transformed) feature value.
+  [[nodiscard]] double predict(double feature) const {
+    return slope * feature + intercept;
+  }
+};
+
+/// OLS fit of y against x. Requires equal sizes, size >= 2.
+[[nodiscard]] Fit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Fit y ~ a*log2(x) + b. Requires all x > 0.
+[[nodiscard]] Fit fit_logarithmic(std::span<const double> x, std::span<const double> y);
+
+/// Fit y ~ a * (k*log2(n)) + b given per-point (n, k) pairs.
+[[nodiscard]] Fit fit_klogn(std::span<const double> n, std::span<const double> k,
+                            std::span<const double> y);
+
+/// Human-readable one-line description, e.g. "y = 3.21*log2(n) + 1.5 (R^2=0.997)".
+[[nodiscard]] std::string describe(const Fit& fit, const std::string& feature_name);
+
+}  // namespace hh::util
+
+#endif  // HH_UTIL_FIT_HPP

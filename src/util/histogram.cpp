@@ -1,0 +1,65 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace hh::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  HH_EXPECTS(lo < hi);
+  HH_EXPECTS(bins >= 1);
+}
+
+void Histogram::add(double x) {
+  const auto raw = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width_));
+  const auto clamped = std::clamp<std::ptrdiff_t>(
+      raw, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(clamped)];
+  ++total_;
+}
+
+void Histogram::add_all(const std::vector<double>& xs) {
+  for (double x : xs) add(x);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  HH_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  HH_EXPECTS(bin < counts_.size());
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + width_; }
+
+double Histogram::frequency(std::size_t bin) const {
+  HH_EXPECTS(bin < counts_.size());
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+  const std::size_t max_count = counts_.empty()
+                                    ? 0
+                                    : *std::max_element(counts_.begin(), counts_.end());
+  std::string out;
+  char line[128];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        max_count == 0 ? 0 : counts_[b] * bar_width / max_count;
+    std::snprintf(line, sizeof(line), "[%9.3f, %9.3f) %8zu |", bin_lo(b),
+                  bin_hi(b), counts_[b]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace hh::util

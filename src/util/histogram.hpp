@@ -1,0 +1,50 @@
+// Fixed-width histogram for distribution diagnostics (e.g. the distribution
+// of per-block population change Y_r in Lemma 4.1's symmetry check).
+#ifndef HH_UTIL_HISTOGRAM_HPP
+#define HH_UTIL_HISTOGRAM_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hh::util {
+
+/// Equal-width binning over [lo, hi); values outside are clamped into the
+/// first/last bin so no observation is silently dropped.
+class Histogram {
+ public:
+  /// Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Record one observation.
+  void add(double x);
+
+  /// Record many observations.
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+
+  /// Inclusive lower edge of a bin.
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  /// Exclusive upper edge of a bin.
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+  /// Fraction of mass in the bin (0 when empty histogram).
+  [[nodiscard]] double frequency(std::size_t bin) const;
+
+  /// Multi-line ASCII rendering (one row per bin with a proportional bar).
+  [[nodiscard]] std::string render(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace hh::util
+
+#endif  // HH_UTIL_HISTOGRAM_HPP

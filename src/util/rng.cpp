@@ -1,0 +1,14 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+
+namespace hh::util {
+
+std::vector<std::uint32_t> random_permutation(std::size_t n, Rng& rng) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  shuffle(perm, rng);
+  return perm;
+}
+
+}  // namespace hh::util

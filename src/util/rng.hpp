@@ -1,0 +1,149 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every randomized component in the library takes an explicit seed; given the
+// same seed a simulation is a pure function of its configuration. We use
+// xoshiro256** (public-domain algorithm by Blackman & Vigna) seeded through
+// SplitMix64, rather than std::mt19937_64, because
+//   * its output sequence is stable across standard-library implementations,
+//     so recorded experiment outputs are reproducible anywhere, and
+//   * it is ~3x faster, which matters for the O(n * k log n) round loops.
+#ifndef HH_UTIL_RNG_HPP
+#define HH_UTIL_RNG_HPP
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace hh::util {
+
+/// SplitMix64: tiny generator used to expand a 64-bit seed into the
+/// xoshiro256** state. Also usable standalone for cheap hashing.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64 pseudo-random bits.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — the library's workhorse generator.
+///
+/// Satisfies std::uniform_random_bit_generator so it composes with <random>
+/// and std::shuffle, but prefer the member helpers (uniform_u64, bernoulli,
+/// ...) which are reproducible across platforms (std::distributions are not).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) noexcept { reseed(seed); }
+
+  /// Re-seed in place (resets the stream).
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next 64 pseudo-random bits (xoshiro256** step).
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  [[nodiscard]] std::uint64_t uniform_u64(std::uint64_t bound) {
+    HH_EXPECTS(bound > 0);
+    // Fast path covers bound << 2^64; rejection loop is O(1) expected.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    HH_EXPECTS(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // span == 0 means the full 64-bit range.
+    const std::uint64_t draw = (span == 0) ? (*this)() : uniform_u64(span);
+    return lo + static_cast<std::int64_t>(draw);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  [[nodiscard]] double uniform_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial: true with probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform_double() < p;
+  }
+
+  /// Derive an independent child stream (for per-ant or per-trial streams).
+  [[nodiscard]] Rng split() noexcept { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+/// Fisher–Yates shuffle of v using rng (reproducible across platforms,
+/// unlike std::shuffle whose draw pattern is implementation-defined).
+template <typename T>
+void shuffle(std::vector<T>& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const std::size_t j = rng.uniform_u64(i);
+    using std::swap;
+    swap(v[i - 1], v[j]);
+  }
+}
+
+/// A uniformly random permutation of {0, 1, ..., n-1}.
+[[nodiscard]] std::vector<std::uint32_t> random_permutation(std::size_t n, Rng& rng);
+
+/// Stable 64-bit mix of (seed, a, b) for deriving per-entity seeds.
+[[nodiscard]] constexpr std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a,
+                                               std::uint64_t b = 0) noexcept {
+  SplitMix64 sm(seed ^ (a * 0x9e3779b97f4a7c15ULL) ^ (b * 0xc2b2ae3d27d4eb4fULL));
+  return sm.next();
+}
+
+}  // namespace hh::util
+
+#endif  // HH_UTIL_RNG_HPP

@@ -1,0 +1,61 @@
+// Descriptive statistics over samples collected from experiment trials.
+#ifndef HH_UTIL_STATS_HPP
+#define HH_UTIL_STATS_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hh::util {
+
+/// Summary of a sample: central tendency, spread, order statistics.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p05 = 0.0;  ///< 5th percentile
+  double p95 = 0.0;  ///< 95th percentile
+};
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Sample variance (n-1 denominator); 0 for fewer than two samples.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Sample standard deviation; 0 for fewer than two samples.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Percentile in [0,100] by linear interpolation between order statistics.
+/// Requires a non-empty span (copies and sorts internally).
+[[nodiscard]] double percentile(std::span<const double> xs, double pct);
+
+/// Median (50th percentile). Requires a non-empty span.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Full summary of a sample. Requires a non-empty span.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Returns 0 when either sample has zero variance. Requires size >= 2.
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Two-sided binomial-proportion confidence half-width (normal approximation):
+/// z * sqrt(p(1-p)/n). Useful for sanity bands around empirical probabilities.
+[[nodiscard]] double proportion_ci_halfwidth(double p_hat, std::size_t n, double z = 2.576);
+
+/// Convert any numeric vector into doubles (convenience for Summary input).
+template <typename T>
+[[nodiscard]] std::vector<double> to_doubles(const std::vector<T>& xs) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (const auto& x : xs) out.push_back(static_cast<double>(x));
+  return out;
+}
+
+}  // namespace hh::util
+
+#endif  // HH_UTIL_STATS_HPP

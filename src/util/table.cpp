@@ -1,0 +1,90 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace hh::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  HH_EXPECTS(!headers_.empty());
+}
+
+Table& Table::begin_row() {
+  if (!rows_.empty()) {
+    HH_EXPECTS(rows_.back().size() == headers_.size());
+  }
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  HH_EXPECTS(!rows_.empty());
+  HH_EXPECTS(rows_.back().size() < headers_.size());
+  rows_.back().push_back({value, false});
+  return *this;
+}
+
+Table& Table::num(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  HH_EXPECTS(!rows_.empty());
+  HH_EXPECTS(rows_.back().size() < headers_.size());
+  rows_.back().push_back({buf, true});
+  return *this;
+}
+
+Table& Table::num(std::int64_t value) {
+  HH_EXPECTS(!rows_.empty());
+  HH_EXPECTS(rows_.back().size() < headers_.size());
+  rows_.back().push_back({std::to_string(value), true});
+  return *this;
+}
+
+Table& Table::num(std::uint64_t value) {
+  HH_EXPECTS(!rows_.empty());
+  HH_EXPECTS(rows_.back().size() < headers_.size());
+  rows_.back().push_back({std::to_string(value), true});
+  return *this;
+}
+
+std::string Table::render() const {
+  if (!rows_.empty()) {
+    HH_EXPECTS(rows_.back().size() == headers_.size());
+  }
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].text.size());
+    }
+  }
+
+  auto pad = [](const std::string& s, std::size_t w, bool right) {
+    const std::string fill(w - s.size(), ' ');
+    return right ? fill + s : s + fill;
+  };
+
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += pad(headers_[c], widths[c], false);
+    out += (c + 1 < headers_.size()) ? "  " : "";
+  }
+  out += '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out.append(widths[c], '-');
+    out += (c + 1 < headers_.size()) ? "  " : "";
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += pad(row[c].text, widths[c], row[c].right_align);
+      out += (c + 1 < headers_.size()) ? "  " : "";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace hh::util

@@ -1,0 +1,49 @@
+// Aligned console tables — the bench binaries print their "paper table"
+// rows through this so the output is readable and diffable.
+#ifndef HH_UTIL_TABLE_HPP
+#define HH_UTIL_TABLE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hh::util {
+
+/// Column-aligned text table. Collects rows, then renders with each column
+/// padded to its widest cell. Numeric cells are right-aligned.
+class Table {
+ public:
+  /// Create a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; must be filled with exactly one cell per column.
+  Table& begin_row();
+
+  /// Append a string cell (left-aligned).
+  Table& cell(const std::string& value);
+
+  /// Append numeric cells (right-aligned). `digits` controls precision.
+  Table& num(double value, int digits = 2);
+  Table& num(std::int64_t value);
+  Table& num(std::uint64_t value);
+  Table& num(int value) { return num(static_cast<std::int64_t>(value)); }
+  Table& num(unsigned value) { return num(static_cast<std::uint64_t>(value)); }
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Render the full table (header, separator, rows) as a string.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Cell {
+    std::string text;
+    bool right_align = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace hh::util
+
+#endif  // HH_UTIL_TABLE_HPP

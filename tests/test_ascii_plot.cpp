@@ -1,0 +1,89 @@
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace hh::util {
+namespace {
+
+Series make_series(const std::string& name, std::vector<double> x,
+                   std::vector<double> y, char marker = '*') {
+  Series s;
+  s.name = name;
+  s.x = std::move(x);
+  s.y = std::move(y);
+  s.marker = marker;
+  return s;
+}
+
+TEST(Plot, RendersMarkersAndLegend) {
+  PlotOptions opt;
+  opt.title = "test-title";
+  opt.x_label = "n";
+  opt.y_label = "rounds";
+  const auto s = make_series("algo", {1, 2, 3}, {1, 2, 3}, 'o');
+  const std::string out = plot({s}, opt);
+  EXPECT_NE(out.find("test-title"), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("'o'=algo"), std::string::npos);
+  EXPECT_NE(out.find("rounds"), std::string::npos);
+}
+
+TEST(Plot, MultipleSeriesAllAppear) {
+  PlotOptions opt;
+  const auto a = make_series("a", {1, 2}, {1, 2}, 'a');
+  const auto b = make_series("b", {1, 2}, {2, 1}, 'b');
+  const std::string out = plot({a, b}, opt);
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+TEST(Plot, LogXAcceptsOnlyPositive) {
+  PlotOptions opt;
+  opt.log_x = true;
+  const auto bad = make_series("bad", {0, 2}, {1, 2});
+  EXPECT_THROW((void)plot({bad}, opt), ContractViolation);
+  const auto good = make_series("good", {1, 1024}, {1, 2});
+  EXPECT_NO_THROW((void)plot({good}, opt));
+}
+
+TEST(Plot, ConstantSeriesDoesNotDivideByZero) {
+  PlotOptions opt;
+  const auto s = make_series("flat", {1, 2, 3}, {5, 5, 5});
+  EXPECT_NO_THROW((void)plot({s}, opt));
+  const auto point = make_series("pt", {2}, {3});
+  EXPECT_NO_THROW((void)plot({point}, opt));
+}
+
+TEST(Plot, ContractChecks) {
+  PlotOptions opt;
+  EXPECT_THROW((void)plot({}, opt), ContractViolation);
+  const auto empty = make_series("e", {}, {});
+  EXPECT_THROW((void)plot({empty}, opt), ContractViolation);
+  auto mismatched = make_series("m", {1, 2}, {1});
+  EXPECT_THROW((void)plot({mismatched}, opt), ContractViolation);
+  PlotOptions tiny;
+  tiny.width = 2;
+  const auto s = make_series("s", {1}, {1});
+  EXPECT_THROW((void)plot({s}, tiny), ContractViolation);
+}
+
+TEST(Sparkline, MapsLevelsMonotonically) {
+  const std::string s = sparkline({0, 1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_EQ(s.size(), 9u);
+  EXPECT_EQ(s.front(), ' ');
+  EXPECT_EQ(s.back(), '@');
+}
+
+TEST(Sparkline, EmptyAndFlatInputs) {
+  EXPECT_EQ(sparkline({}), "");
+  const std::string flat = sparkline({3, 3, 3});
+  EXPECT_EQ(flat.size(), 3u);
+  // All identical values map to the same glyph.
+  EXPECT_EQ(flat[0], flat[1]);
+  EXPECT_EQ(flat[1], flat[2]);
+}
+
+}  // namespace
+}  // namespace hh::util

@@ -1,0 +1,136 @@
+// Tests of the baseline algorithms: UniformRecruitAnt (no positive
+// feedback) and QuorumAnt (biology-inspired quorum rule).
+#include <gtest/gtest.h>
+
+#include "core/quorum_ant.hpp"
+#include "core/uniform_recruit_ant.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace hh::core {
+namespace {
+
+using test::go_outcome;
+using test::recruit_outcome;
+using test::search_outcome;
+
+TEST(UniformRecruitAnt, RateIgnoresPopulation) {
+  for (std::uint32_t count : {1u, 5u, 9u}) {
+    int recruits = 0;
+    constexpr int kAnts = 10000;
+    for (int i = 0; i < kAnts; ++i) {
+      UniformRecruitAnt ant(10, util::Rng(100 + i), 0.3);
+      (void)ant.decide(1);
+      ant.observe(search_outcome(1, 1.0, count));
+      recruits += ant.decide(2).active ? 1 : 0;
+    }
+    EXPECT_NEAR(recruits / static_cast<double>(kAnts), 0.3, 0.02)
+        << "count=" << count;
+  }
+}
+
+TEST(UniformRecruitAnt, RejectsInvalidProbability) {
+  EXPECT_THROW(UniformRecruitAnt(10, util::Rng(1), -0.1), ContractViolation);
+  EXPECT_THROW(UniformRecruitAnt(10, util::Rng(1), 1.1), ContractViolation);
+}
+
+TEST(UniformRecruitAnt, NameIsStable) {
+  UniformRecruitAnt ant(10, util::Rng(1), 0.5);
+  EXPECT_EQ(ant.name(), "uniform-recruit");
+}
+
+TEST(QuorumAnt, BadNestTurnsPassive) {
+  QuorumAnt ant(100, util::Rng(1), 35);
+  EXPECT_EQ(ant.decide(1).kind, env::ActionKind::kSearch);
+  ant.observe(search_outcome(2, 0.0, 10));
+  EXPECT_FALSE(ant.quorum_met());
+  const auto action = ant.decide(2);
+  EXPECT_EQ(action.kind, env::ActionKind::kRecruit);
+  EXPECT_FALSE(action.active);
+}
+
+TEST(QuorumAnt, PreQuorumRecruitsProportionallyScaledByTandemRate) {
+  // rate = tandem_rate * count / n = 0.5 * 50/100 = 0.25.
+  int recruits = 0;
+  constexpr int kAnts = 10000;
+  for (int i = 0; i < kAnts; ++i) {
+    QuorumAnt ant(100, util::Rng(300 + i), 75, 0.5);
+    (void)ant.decide(1);
+    ant.observe(search_outcome(1, 1.0, 50));
+    recruits += ant.decide(2).active ? 1 : 0;
+  }
+  EXPECT_NEAR(recruits / static_cast<double>(kAnts), 0.25, 0.02);
+}
+
+TEST(QuorumAnt, QuorumLocksOnThresholdCount) {
+  QuorumAnt ant(100, util::Rng(2), 35);
+  (void)ant.decide(1);
+  ant.observe(search_outcome(1, 1.0, 10));
+  ASSERT_FALSE(ant.quorum_met());
+  (void)ant.decide(2);
+  ant.observe(recruit_outcome(1, 100));
+  (void)ant.decide(3);
+  ant.observe(go_outcome(1, 35));  // threshold reached
+  EXPECT_TRUE(ant.quorum_met());
+  EXPECT_TRUE(ant.finalized());
+  // Post-quorum: transport — recruit(1, nest) every round.
+  for (int r = 4; r < 8; ++r) {
+    const auto action = ant.decide(r);
+    EXPECT_EQ(action.kind, env::ActionKind::kRecruit);
+    EXPECT_TRUE(action.active);
+    EXPECT_EQ(action.target, 1u);
+    ant.observe(recruit_outcome(1, 50));
+  }
+}
+
+TEST(QuorumAnt, BelowThresholdStaysPersuadable) {
+  QuorumAnt ant(100, util::Rng(3), 35);
+  (void)ant.decide(1);
+  ant.observe(search_outcome(1, 1.0, 10));
+  (void)ant.decide(2);
+  ant.observe(recruit_outcome(4, 100, /*recruited=*/true));  // led away
+  EXPECT_EQ(ant.committed_nest(), 4u);
+  EXPECT_FALSE(ant.quorum_met());
+}
+
+TEST(QuorumAnt, PostQuorumIgnoresPoaching) {
+  QuorumAnt ant(100, util::Rng(4), 20);
+  (void)ant.decide(1);
+  ant.observe(search_outcome(1, 1.0, 25));  // already above threshold? no:
+  // quorum is only sensed on a go() visit, so walk one full cycle.
+  (void)ant.decide(2);
+  ant.observe(recruit_outcome(1, 100));
+  (void)ant.decide(3);
+  ant.observe(go_outcome(1, 25));
+  ASSERT_TRUE(ant.quorum_met());
+  (void)ant.decide(4);
+  ant.observe(recruit_outcome(9, 50, /*recruited=*/true));  // poach attempt
+  EXPECT_EQ(ant.committed_nest(), 1u);  // locked
+}
+
+TEST(QuorumAnt, RecruitedPassiveStartsTandemRunning) {
+  QuorumAnt ant(100, util::Rng(5), 35);
+  (void)ant.decide(1);
+  ant.observe(search_outcome(2, 0.0, 10));
+  (void)ant.decide(2);
+  ant.observe(recruit_outcome(1, 100, /*recruited=*/true));
+  EXPECT_EQ(ant.committed_nest(), 1u);
+  // Now assesses the new nest like a pre-quorum ant.
+  const auto assess = ant.decide(3);
+  EXPECT_EQ(assess.kind, env::ActionKind::kGo);
+  EXPECT_EQ(assess.target, 1u);
+}
+
+TEST(QuorumAnt, ConstructorContracts) {
+  EXPECT_THROW(QuorumAnt(0, util::Rng(1), 5), ContractViolation);
+  EXPECT_THROW(QuorumAnt(10, util::Rng(1), 0), ContractViolation);
+  EXPECT_THROW(QuorumAnt(10, util::Rng(1), 5, 1.5), ContractViolation);
+}
+
+TEST(QuorumAnt, NameIsStable) {
+  QuorumAnt ant(10, util::Rng(1), 5);
+  EXPECT_EQ(ant.name(), "quorum");
+}
+
+}  // namespace
+}  // namespace hh::core

@@ -1,0 +1,150 @@
+// Tests of colony assembly and the fault wrappers.
+#include "core/colony.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simple_ant.hpp"
+#include "test_util.hpp"
+
+namespace hh::core {
+namespace {
+
+using test::recruit_outcome;
+using test::search_outcome;
+
+TEST(Colony, FactoryBuildsRequestedSize) {
+  const Colony colony = make_colony(16, AlgorithmKind::kSimple, 1);
+  EXPECT_EQ(colony.size(), 16u);
+  EXPECT_EQ(colony.algorithm, "simple");
+  for (const auto& ant : colony.ants) EXPECT_EQ(ant->name(), "simple");
+}
+
+TEST(Colony, AllAlgorithmKindsConstruct) {
+  for (auto kind :
+       {AlgorithmKind::kOptimal, AlgorithmKind::kOptimalSettle,
+        AlgorithmKind::kSimple, AlgorithmKind::kRateBoosted,
+        AlgorithmKind::kQualityAware, AlgorithmKind::kUniformRecruit,
+        AlgorithmKind::kQuorum}) {
+    const Colony colony = make_colony(4, kind, 1);
+    EXPECT_EQ(colony.size(), 4u);
+    EXPECT_EQ(colony.algorithm, algorithm_name(kind));
+  }
+}
+
+TEST(Colony, FaultPlanPositionsGetWrapped) {
+  env::FaultPlan plan = env::FaultPlan::none(4);
+  plan.type[1] = env::FaultType::kCrash;
+  plan.crash_round[1] = 3;
+  plan.type[2] = env::FaultType::kByzantine;
+  const Colony colony =
+      make_colony(4, AlgorithmKind::kSimple, std::move(plan), 1);
+  EXPECT_EQ(colony.ants[0]->name(), "simple");
+  EXPECT_EQ(colony.ants[1]->name(), "crash-prone");
+  EXPECT_EQ(colony.ants[2]->name(), "byzantine");
+  EXPECT_TRUE(colony.correct(0));
+  EXPECT_FALSE(colony.correct(1));
+  EXPECT_FALSE(colony.correct(2));
+}
+
+TEST(Colony, CustomFactoryIsUsed) {
+  const AntFactory factory = [](env::AntId, util::Rng rng) {
+    return std::make_unique<SimpleAnt>(8, rng);
+  };
+  const Colony colony =
+      make_colony(3, factory, env::FaultPlan::none(3), 9, "custom");
+  EXPECT_EQ(colony.algorithm, "custom");
+  EXPECT_EQ(colony.size(), 3u);
+}
+
+TEST(Colony, PerAntStreamsDiffer) {
+  // Two simple ants in the same colony must make different random choices
+  // eventually; identical streams would make them clones. (count = 1 of
+  // n = 2 gives each a 50% recruit probability per recruit round.)
+  const Colony colony = make_colony(2, AlgorithmKind::kSimple, 5);
+  auto& a = *colony.ants[0];
+  auto& b = *colony.ants[1];
+  (void)a.decide(1);
+  (void)b.decide(1);
+  a.observe(search_outcome(1, 1.0, 1));
+  b.observe(search_outcome(1, 1.0, 1));
+  bool diverged = false;
+  for (int r = 0; r < 64 && !diverged; ++r) {
+    diverged = a.decide(2 + r).active != b.decide(2 + r).active;
+    a.observe(recruit_outcome(1, 10));
+    b.observe(recruit_outcome(1, 10));
+    (void)a.decide(0);
+    (void)b.decide(0);
+    a.observe(test::go_outcome(1, 1));
+    b.observe(test::go_outcome(1, 1));
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(CrashProneAnt, DelegatesUntilCrashRound) {
+  auto inner = std::make_unique<SimpleAnt>(8, util::Rng(1));
+  CrashProneAnt ant(std::move(inner), 3);
+  EXPECT_FALSE(ant.crashed());
+  EXPECT_EQ(ant.decide(1).kind, env::ActionKind::kSearch);
+  ant.observe(search_outcome(1, 1.0, 4));
+  EXPECT_EQ(ant.decide(2).kind, env::ActionKind::kRecruit);
+  ant.observe(recruit_outcome(1, 8));
+  // Round 3: crash.
+  EXPECT_EQ(ant.decide(3).kind, env::ActionKind::kIdle);
+  EXPECT_TRUE(ant.crashed());
+  EXPECT_EQ(ant.decide(4).kind, env::ActionKind::kIdle);
+}
+
+TEST(CrashProneAnt, CommitmentVisibleThroughWrapper) {
+  auto inner = std::make_unique<SimpleAnt>(8, util::Rng(2));
+  CrashProneAnt ant(std::move(inner), 100);
+  (void)ant.decide(1);
+  ant.observe(search_outcome(2, 1.0, 4));
+  EXPECT_EQ(ant.committed_nest(), 2u);
+}
+
+TEST(CrashProneAnt, ConstructorContracts) {
+  EXPECT_THROW(CrashProneAnt(nullptr, 3), ContractViolation);
+  EXPECT_THROW(
+      CrashProneAnt(std::make_unique<SimpleAnt>(8, util::Rng(1)), 0),
+      ContractViolation);
+}
+
+TEST(ByzantineAnt, ScoutsThenRecruitsToWorstNest) {
+  ByzantineAnt ant(8, util::Rng(3), /*scout_rounds=*/3);
+  // Scouting phase: searches.
+  EXPECT_EQ(ant.decide(1).kind, env::ActionKind::kSearch);
+  ant.observe(search_outcome(1, 1.0, 2));
+  EXPECT_EQ(ant.decide(2).kind, env::ActionKind::kSearch);
+  ant.observe(search_outcome(3, 0.0, 2));  // found a bad nest
+  EXPECT_EQ(ant.decide(3).kind, env::ActionKind::kSearch);
+  ant.observe(search_outcome(2, 1.0, 2));
+  // Attack phase: recruits to the worst nest seen (nest 3).
+  const auto attack = ant.decide(4);
+  EXPECT_EQ(attack.kind, env::ActionKind::kRecruit);
+  EXPECT_TRUE(attack.active);
+  EXPECT_EQ(attack.target, 3u);
+  EXPECT_EQ(ant.committed_nest(), 3u);
+}
+
+TEST(ByzantineAnt, CannotBePersuaded) {
+  ByzantineAnt ant(8, util::Rng(4), 1);
+  (void)ant.decide(1);
+  ant.observe(search_outcome(2, 0.0, 1));
+  (void)ant.decide(2);
+  ant.observe(recruit_outcome(1, 8, /*recruited=*/true));  // pull toward 1
+  EXPECT_EQ(ant.committed_nest(), 2u);  // still targeting the bad nest
+  EXPECT_EQ(ant.decide(3).target, 2u);
+}
+
+TEST(AlgorithmName, CoversAllKinds) {
+  EXPECT_EQ(algorithm_name(AlgorithmKind::kOptimal), "optimal");
+  EXPECT_EQ(algorithm_name(AlgorithmKind::kOptimalSettle), "optimal+settle");
+  EXPECT_EQ(algorithm_name(AlgorithmKind::kSimple), "simple");
+  EXPECT_EQ(algorithm_name(AlgorithmKind::kRateBoosted), "rate-boosted");
+  EXPECT_EQ(algorithm_name(AlgorithmKind::kQualityAware), "quality-aware");
+  EXPECT_EQ(algorithm_name(AlgorithmKind::kUniformRecruit), "uniform-recruit");
+  EXPECT_EQ(algorithm_name(AlgorithmKind::kQuorum), "quorum");
+}
+
+}  // namespace
+}  // namespace hh::core

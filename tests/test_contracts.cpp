@@ -1,0 +1,58 @@
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hh {
+namespace {
+
+TEST(Contracts, ExpectsPassesOnTrue) {
+  EXPECT_NO_THROW(HH_EXPECTS(1 + 1 == 2));
+}
+
+TEST(Contracts, ExpectsThrowsOnFalse) {
+  EXPECT_THROW(HH_EXPECTS(1 == 2), ContractViolation);
+}
+
+TEST(Contracts, EnsuresThrowsOnFalse) {
+  EXPECT_THROW(HH_ENSURES(false), ContractViolation);
+}
+
+TEST(Contracts, AssertThrowsOnFalse) {
+  EXPECT_THROW(HH_ASSERT(false), ContractViolation);
+}
+
+TEST(Contracts, MessageNamesKindExpressionAndLocation) {
+  try {
+    HH_EXPECTS(2 < 1);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, ViolationsAreLogicErrors) {
+  // Callers may catch std::logic_error for both contract and model errors.
+  EXPECT_THROW(HH_EXPECTS(false), std::logic_error);
+  EXPECT_THROW(throw ModelViolation("m"), std::logic_error);
+}
+
+TEST(Contracts, ModelViolationCarriesMessage) {
+  try {
+    throw ModelViolation("ant 3 misbehaved");
+  } catch (const ModelViolation& e) {
+    EXPECT_STREQ(e.what(), "ant 3 misbehaved");
+  }
+}
+
+TEST(Contracts, SideEffectsInConditionRunOnce) {
+  int calls = 0;
+  auto bump = [&] { ++calls; return true; };
+  HH_EXPECTS(bump());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace hh

@@ -1,0 +1,186 @@
+// Tests of agreement detection and the convergence detector.
+#include "core/convergence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hh::core {
+namespace {
+
+// Minimal controllable ant for detector tests.
+class FakeAnt final : public Ant {
+ public:
+  explicit FakeAnt(env::NestId nest, bool finalized = false)
+      : nest_(nest), finalized_(finalized) {}
+
+  env::Action decide(std::uint32_t) override { return env::Action::idle(); }
+  void observe(const env::Outcome&) override {}
+  [[nodiscard]] env::NestId committed_nest() const override { return nest_; }
+  [[nodiscard]] bool finalized() const override { return finalized_; }
+  [[nodiscard]] std::string_view name() const override { return "fake"; }
+
+  void set(env::NestId nest, bool finalized) {
+    nest_ = nest;
+    finalized_ = finalized;
+  }
+
+ private:
+  env::NestId nest_;
+  bool finalized_;
+};
+
+struct Fixture {
+  explicit Fixture(std::vector<env::NestId> commitments,
+                   std::vector<double> qualities = {1.0, 0.0})
+      : environment(make_env_config(
+            static_cast<std::uint32_t>(commitments.size()), qualities)) {
+    colony.faults = env::FaultPlan::none(
+        static_cast<std::uint32_t>(commitments.size()));
+    colony.algorithm = "fake";
+    for (env::NestId nest : commitments) {
+      auto ant = std::make_unique<FakeAnt>(nest, true);
+      fakes.push_back(ant.get());
+      colony.ants.push_back(std::move(ant));
+    }
+  }
+
+  static env::EnvironmentConfig make_env_config(std::uint32_t n,
+                                                std::vector<double> q) {
+    env::EnvironmentConfig cfg;
+    cfg.num_ants = n;
+    cfg.qualities = std::move(q);
+    cfg.allow_idle = true;
+    return cfg;
+  }
+
+  /// Run one idle environment round (advances the round counter).
+  void tick() {
+    std::vector<env::Action> idle(colony.size(), env::Action::idle());
+    environment.step(idle);
+  }
+
+  Colony colony;
+  std::vector<FakeAnt*> fakes;
+  env::Environment environment;
+};
+
+TEST(CurrentAgreement, UnanimousGoodNestDetected) {
+  Fixture f({1, 1, 1});
+  const auto agreed =
+      current_agreement(f.colony, f.environment, ConvergenceMode::kCommitment);
+  ASSERT_TRUE(agreed.has_value());
+  EXPECT_EQ(*agreed, 1u);
+}
+
+TEST(CurrentAgreement, DisagreementReturnsNothing) {
+  Fixture f({1, 1, 2}, {1.0, 1.0});
+  EXPECT_FALSE(
+      current_agreement(f.colony, f.environment, ConvergenceMode::kCommitment)
+          .has_value());
+}
+
+TEST(CurrentAgreement, HomeCommitmentBlocksAgreement) {
+  Fixture f({1, env::kHomeNest, 1});
+  EXPECT_FALSE(
+      current_agreement(f.colony, f.environment, ConvergenceMode::kCommitment)
+          .has_value());
+}
+
+TEST(CurrentAgreement, BadNestNeverWins) {
+  Fixture f({2, 2, 2});  // nest 2 has quality 0
+  EXPECT_FALSE(
+      current_agreement(f.colony, f.environment, ConvergenceMode::kCommitment)
+          .has_value());
+}
+
+TEST(CurrentAgreement, FinalizedModeRequiresFinalizedAnts) {
+  Fixture f({1, 1});
+  f.fakes[0]->set(1, false);  // committed but not finalized
+  EXPECT_FALSE(current_agreement(f.colony, f.environment,
+                                 ConvergenceMode::kCommitmentFinalized)
+                   .has_value());
+  f.fakes[0]->set(1, true);
+  EXPECT_TRUE(current_agreement(f.colony, f.environment,
+                                ConvergenceMode::kCommitmentFinalized)
+                  .has_value());
+}
+
+TEST(CurrentAgreement, FaultyAntsAreExempt) {
+  Fixture f({1, 2, 1}, {1.0, 1.0});
+  f.colony.faults.type[1] = env::FaultType::kByzantine;
+  const auto agreed =
+      current_agreement(f.colony, f.environment, ConvergenceMode::kCommitment);
+  ASSERT_TRUE(agreed.has_value());
+  EXPECT_EQ(*agreed, 1u);
+}
+
+TEST(CurrentAgreement, AllFaultyMeansNoAgreement) {
+  Fixture f({1, 1});
+  f.colony.faults.type[0] = env::FaultType::kCrash;
+  f.colony.faults.type[1] = env::FaultType::kCrash;
+  EXPECT_FALSE(
+      current_agreement(f.colony, f.environment, ConvergenceMode::kCommitment)
+          .has_value());
+}
+
+TEST(CurrentAgreement, PhysicalModeUsesLocations) {
+  Fixture f({1, 1});
+  // Commitments say nest 1, but everyone is physically at home.
+  EXPECT_FALSE(
+      current_agreement(f.colony, f.environment, ConvergenceMode::kPhysical)
+          .has_value());
+}
+
+TEST(ConvergenceDetector, FiresImmediatelyWithoutStabilityWindow) {
+  Fixture f({1, 1});
+  ConvergenceDetector det(ConvergenceMode::kCommitment, 0);
+  EXPECT_TRUE(det.update(f.colony, f.environment));
+  EXPECT_TRUE(det.converged());
+  EXPECT_EQ(det.winner(), 1u);
+}
+
+TEST(ConvergenceDetector, StabilityWindowDelaysDecision) {
+  Fixture f({1, 1});
+  ConvergenceDetector det(ConvergenceMode::kCommitment, 2);
+  EXPECT_FALSE(det.update(f.colony, f.environment));
+  f.tick();
+  EXPECT_FALSE(det.update(f.colony, f.environment));
+  f.tick();
+  EXPECT_TRUE(det.update(f.colony, f.environment));
+  // decision_round reports the start of the streak (round 0 here).
+  EXPECT_EQ(det.decision_round(), 0u);
+}
+
+TEST(ConvergenceDetector, BrokenStreakResets) {
+  Fixture f({1, 1});
+  ConvergenceDetector det(ConvergenceMode::kCommitment, 1);
+  EXPECT_FALSE(det.update(f.colony, f.environment));
+  f.fakes[0]->set(env::kHomeNest, true);  // agreement breaks
+  f.tick();
+  EXPECT_FALSE(det.update(f.colony, f.environment));
+  f.fakes[0]->set(1, true);
+  f.tick();
+  EXPECT_FALSE(det.update(f.colony, f.environment));  // streak restarted
+  f.tick();
+  EXPECT_TRUE(det.update(f.colony, f.environment));
+}
+
+TEST(ConvergenceDetector, StickyOnceConverged) {
+  Fixture f({1, 1});
+  ConvergenceDetector det(ConvergenceMode::kCommitment, 0);
+  ASSERT_TRUE(det.update(f.colony, f.environment));
+  f.fakes[0]->set(2, true);  // later disagreement does not un-converge
+  EXPECT_TRUE(det.update(f.colony, f.environment));
+  EXPECT_EQ(det.winner(), 1u);
+}
+
+TEST(DefaultMode, MatchesAlgorithmSemantics) {
+  EXPECT_EQ(default_mode(AlgorithmKind::kOptimal),
+            ConvergenceMode::kCommitmentFinalized);
+  EXPECT_EQ(default_mode(AlgorithmKind::kOptimalSettle),
+            ConvergenceMode::kPhysical);
+  EXPECT_EQ(default_mode(AlgorithmKind::kSimple), ConvergenceMode::kCommitment);
+  EXPECT_EQ(default_mode(AlgorithmKind::kQuorum), ConvergenceMode::kCommitment);
+}
+
+}  // namespace
+}  // namespace hh::core

@@ -1,0 +1,85 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace hh::util {
+namespace {
+
+TEST(CsvWriter, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b"});
+  csv.begin_row();
+  csv.number(1);
+  csv.number(2.5);
+  csv.end_row();
+  EXPECT_EQ(out.str(), "a,b\n1,2.5\n");
+  EXPECT_EQ(csv.rows_written(), 1u);
+}
+
+TEST(CsvWriter, QuotesCellsWithSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.begin_row();
+  csv.cell("plain");
+  csv.cell("has,comma");
+  csv.cell("has\"quote");
+  csv.cell("has\nnewline");
+  csv.end_row();
+  EXPECT_EQ(out.str(), "plain,\"has,comma\",\"has\"\"quote\",\"has\nnewline\"\n");
+}
+
+TEST(CsvWriter, NumberFormatsRoundTrip) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.begin_row();
+  csv.number(0.1);
+  csv.number(static_cast<std::int64_t>(-7));
+  csv.number(static_cast<std::uint64_t>(18446744073709551615ull));
+  csv.end_row();
+  EXPECT_EQ(out.str(), "0.1,-7,18446744073709551615\n");
+}
+
+TEST(CsvWriter, RowConvenience) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({1.0, 2.0, 3.0});
+  csv.row({4.0});
+  EXPECT_EQ(out.str(), "1,2,3\n4\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(CsvWriter, HeaderDoesNotCountAsDataRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"x"});
+  EXPECT_EQ(csv.rows_written(), 0u);
+}
+
+TEST(CsvWriter, ContractViolations) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  EXPECT_THROW(csv.cell("no open row"), ContractViolation);
+  EXPECT_THROW(csv.end_row(), ContractViolation);
+  csv.begin_row();
+  EXPECT_THROW(csv.begin_row(), ContractViolation);
+  csv.end_row();
+  EXPECT_THROW(csv.header({"too"}), ContractViolation);  // after data
+}
+
+TEST(CsvWriter, EmptyCellsAllowed) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.begin_row();
+  csv.cell("");
+  csv.cell("");
+  csv.end_row();
+  EXPECT_EQ(out.str(), ",\n");
+}
+
+}  // namespace
+}  // namespace hh::util

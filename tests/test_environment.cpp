@@ -1,0 +1,305 @@
+// Tests of the Section 2 model semantics: locations l(a,r), end-of-round
+// counts c(i,r), knowledge-gated go()/recruit() preconditions, and the
+// per-round statistics.
+#include "env/environment.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace hh::env {
+namespace {
+
+EnvironmentConfig config(std::uint32_t n, std::vector<double> qualities,
+                         std::uint64_t seed = 1) {
+  EnvironmentConfig cfg;
+  cfg.num_ants = n;
+  cfg.qualities = std::move(qualities);
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Environment, InitialStateAllAntsHome) {
+  Environment e(config(10, {1.0, 0.0}));
+  EXPECT_EQ(e.num_ants(), 10u);
+  EXPECT_EQ(e.num_nests(), 2u);
+  EXPECT_EQ(e.round(), 0u);
+  EXPECT_EQ(e.count(kHomeNest), 10u);
+  EXPECT_EQ(e.count(1), 0u);
+  for (AntId a = 0; a < 10; ++a) EXPECT_EQ(e.location(a), kHomeNest);
+}
+
+TEST(Environment, QualityAccessorMatchesConfig) {
+  Environment e(config(2, {1.0, 0.25, 0.0}));
+  EXPECT_DOUBLE_EQ(e.quality(1), 1.0);
+  EXPECT_DOUBLE_EQ(e.quality(2), 0.25);
+  EXPECT_DOUBLE_EQ(e.quality(3), 0.0);
+  EXPECT_THROW((void)e.quality(0), ContractViolation);
+  EXPECT_THROW((void)e.quality(4), ContractViolation);
+}
+
+TEST(Environment, ConstructorContracts) {
+  EXPECT_THROW(Environment(config(0, {1.0})), ContractViolation);
+  EXPECT_THROW(Environment(config(2, {})), ContractViolation);
+  EXPECT_THROW(Environment(config(2, {1.5})), ContractViolation);
+  EXPECT_THROW(Environment(config(2, {-0.1})), ContractViolation);
+}
+
+TEST(Environment, SearchMovesAntsAndGrantsKnowledge) {
+  Environment e(config(100, {1.0, 1.0, 1.0, 1.0}));
+  std::vector<Action> actions(100, Action::search());
+  const auto& outcomes = e.step(actions);
+  std::uint32_t at_candidates = 0;
+  for (AntId a = 0; a < 100; ++a) {
+    const auto& out = outcomes[a];
+    EXPECT_EQ(out.kind, ActionKind::kSearch);
+    EXPECT_GE(out.nest, 1u);
+    EXPECT_LE(out.nest, 4u);
+    EXPECT_EQ(e.location(a), out.nest);
+    EXPECT_TRUE(e.knows(a, out.nest));
+    at_candidates += 1;
+  }
+  EXPECT_EQ(e.count(kHomeNest), 0u);
+  std::uint32_t total = 0;
+  for (NestId i = 1; i <= 4; ++i) total += e.count(i);
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(e.round(), 1u);
+}
+
+TEST(Environment, SearchIsRoughlyUniformOverNests) {
+  Environment e(config(40000, {1.0, 1.0, 1.0, 1.0}, 7));
+  std::vector<Action> actions(40000, Action::search());
+  e.step(actions);
+  for (NestId i = 1; i <= 4; ++i) {
+    EXPECT_NEAR(e.count(i), 10000.0, 5 * std::sqrt(10000.0)) << "nest " << i;
+  }
+}
+
+TEST(Environment, SearchReturnsEndOfRoundCountAndTrueQuality) {
+  Environment e(config(50, {1.0}));  // k = 1: everyone lands on nest 1
+  std::vector<Action> actions(50, Action::search());
+  const auto& outcomes = e.step(actions);
+  for (const auto& out : outcomes) {
+    EXPECT_EQ(out.nest, 1u);
+    EXPECT_EQ(out.count, 50u);  // counts taken after all moves
+    EXPECT_DOUBLE_EQ(out.quality, 1.0);
+  }
+}
+
+TEST(Environment, GoRequiresKnowledge) {
+  Environment e(config(2, {1.0, 1.0}));
+  std::vector<Action> actions{Action::go(1), Action::go(2)};
+  EXPECT_THROW(e.step(actions), ModelViolation);
+}
+
+TEST(Environment, GoAfterSearchIsLegalAndReturnsCount) {
+  Environment e(config(3, {1.0}));
+  std::vector<Action> search(3, Action::search());
+  e.step(search);  // all at nest 1, all know nest 1
+  std::vector<Action> go(3, Action::go(1));
+  const auto& outcomes = e.step(go);
+  for (AntId a = 0; a < 3; ++a) {
+    EXPECT_EQ(outcomes[a].kind, ActionKind::kGo);
+    EXPECT_EQ(outcomes[a].nest, 1u);
+    EXPECT_EQ(outcomes[a].count, 3u);
+    EXPECT_EQ(e.location(a), 1u);
+  }
+}
+
+TEST(Environment, GoTargetRangeValidated) {
+  Environment e(config(1, {1.0, 1.0}));
+  std::vector<Action> bad_home{Action::go(kHomeNest)};
+  EXPECT_THROW(e.step(bad_home), ModelViolation);
+  std::vector<Action> bad_range{Action::go(3)};
+  EXPECT_THROW(e.step(bad_range), ModelViolation);
+}
+
+TEST(Environment, RecruitMovesCallerHome) {
+  Environment e(config(4, {1.0}));
+  std::vector<Action> search(4, Action::search());
+  e.step(search);
+  std::vector<Action> recruit(4, Action::recruit(false, 1));
+  const auto& outcomes = e.step(recruit);
+  for (AntId a = 0; a < 4; ++a) {
+    EXPECT_EQ(e.location(a), kHomeNest);
+    EXPECT_EQ(outcomes[a].count, 4u);  // c(0, r) after all moves
+  }
+  EXPECT_EQ(e.count(kHomeNest), 4u);
+}
+
+TEST(Environment, ActiveRecruitRequiresKnownCandidate) {
+  Environment e(config(2, {1.0, 1.0}));
+  std::vector<Action> search(2, Action::search());
+  e.step(search);
+  // Advertising the home nest is illegal for b = 1.
+  std::vector<Action> bad{Action::recruit(true, kHomeNest),
+                          Action::recruit(false, kHomeNest)};
+  EXPECT_THROW(e.step(bad), ModelViolation);
+}
+
+TEST(Environment, PassiveRecruitWithHomeTargetIsLegal) {
+  // An ant that knows no candidate nest may wait at home (DESIGN.md §2).
+  Environment e(config(2, {1.0}));
+  std::vector<Action> wait(2, Action::recruit(false, kHomeNest));
+  const auto& outcomes = e.step(wait);
+  for (const auto& out : outcomes) {
+    EXPECT_EQ(out.kind, ActionKind::kRecruit);
+    EXPECT_EQ(out.nest, kHomeNest);  // nobody recruited them
+    EXPECT_FALSE(out.recruited);
+  }
+}
+
+TEST(Environment, RecruitmentTeachesTheAdvertisedNest) {
+  // Ant 0 searches and then recruits ant 1, which has never left home;
+  // ant 1 must then be able to go() to the advertised nest.
+  Environment e(config(2, {1.0}, 3));
+  std::vector<Action> round1{Action::search(), Action::recruit(false, kHomeNest)};
+  e.step(round1);
+  bool taught = false;
+  for (int tries = 0; tries < 64 && !taught; ++tries) {
+    std::vector<Action> round{Action::recruit(true, 1),
+                              Action::recruit(false, kHomeNest)};
+    const auto& outcomes = e.step(round);
+    if (outcomes[1].recruited) {
+      EXPECT_EQ(outcomes[1].nest, 1u);
+      EXPECT_TRUE(e.knows(1, 1));
+      taught = true;
+    }
+  }
+  ASSERT_TRUE(taught) << "recruitment never succeeded in 64 rounds";
+  std::vector<Action> follow{Action::go(1), Action::go(1)};
+  EXPECT_NO_THROW(e.step(follow));
+}
+
+TEST(Environment, IdleRejectedUnlessEnabled) {
+  Environment strict(config(1, {1.0}));
+  std::vector<Action> idle{Action::idle()};
+  EXPECT_THROW(strict.step(idle), ModelViolation);
+
+  auto cfg = config(1, {1.0});
+  cfg.allow_idle = true;
+  Environment lenient(std::move(cfg));
+  EXPECT_NO_THROW(lenient.step(idle));
+  EXPECT_EQ(lenient.location(0), kHomeNest);
+}
+
+TEST(Environment, IdleKeepsCurrentLocation) {
+  auto cfg = config(1, {1.0});
+  cfg.allow_idle = true;
+  Environment e(std::move(cfg));
+  std::vector<Action> search{Action::search()};
+  e.step(search);
+  const NestId where = e.location(0);
+  std::vector<Action> idle{Action::idle()};
+  e.step(idle);
+  EXPECT_EQ(e.location(0), where);
+  EXPECT_EQ(e.count(where), 1u);
+}
+
+TEST(Environment, EnforcementCanBeDisabled) {
+  auto cfg = config(1, {1.0, 1.0});
+  cfg.enforce_model = false;
+  Environment e(std::move(cfg));
+  std::vector<Action> go{Action::go(2)};  // unknown nest, but not enforced
+  EXPECT_NO_THROW(e.step(go));
+  EXPECT_EQ(e.location(0), 2u);
+}
+
+TEST(Environment, StepValidatesActionVectorSize) {
+  Environment e(config(3, {1.0}));
+  std::vector<Action> wrong(2, Action::search());
+  EXPECT_THROW(e.step(wrong), ContractViolation);
+}
+
+TEST(Environment, CountsAlwaysSumToColonySize) {
+  // Random legal walks: each ant targets only nests it knows.
+  Environment e(config(64, {1.0, 0.0, 1.0}, 11));
+  util::Rng rng(5);
+  std::vector<Action> actions(64);
+  std::vector<NestId> known(64, kHomeNest);  // last nest learned, 0 = none
+  for (int round = 0; round < 30; ++round) {
+    for (AntId a = 0; a < 64; ++a) {
+      if (known[a] == kHomeNest || rng.bernoulli(0.3)) {
+        actions[a] = Action::search();
+      } else if (rng.bernoulli(0.5)) {
+        actions[a] = Action::recruit(rng.bernoulli(0.5), known[a]);
+      } else {
+        actions[a] = Action::go(known[a]);
+      }
+    }
+    const auto& outcomes = e.step(actions);
+    for (AntId a = 0; a < 64; ++a) {
+      if (outcomes[a].kind == ActionKind::kSearch ||
+          (outcomes[a].kind == ActionKind::kRecruit &&
+           outcomes[a].nest != kHomeNest)) {
+        known[a] = outcomes[a].nest;
+      }
+    }
+    std::uint32_t total = 0;
+    for (NestId i = 0; i <= 3; ++i) total += e.count(i);
+    ASSERT_EQ(total, 64u) << "round " << round;
+  }
+}
+
+TEST(Environment, RoundStatsCountActions) {
+  Environment e(config(6, {1.0}, 13));
+  std::vector<Action> search(6, Action::search());
+  e.step(search);
+  EXPECT_EQ(e.last_round_stats().searches, 6u);
+  std::vector<Action> mixed{Action::recruit(true, 1),  Action::recruit(true, 1),
+                            Action::recruit(false, 1), Action::recruit(false, 1),
+                            Action::go(1),             Action::search()};
+  e.step(mixed);
+  const RoundStats& stats = e.last_round_stats();
+  EXPECT_EQ(stats.active_recruits, 2u);
+  EXPECT_EQ(stats.passive_recruits, 2u);
+  EXPECT_EQ(stats.gos, 1u);
+  EXPECT_EQ(stats.searches, 1u);
+  EXPECT_LE(stats.successful_recruitments, 2u);
+}
+
+TEST(Environment, CrossNestRecruitmentTracked) {
+  // Two ants committed to different nests recruiting each other must
+  // produce cross-nest recruitments when pairing succeeds.
+  auto cfg = config(2, {1.0, 1.0});
+  cfg.enforce_model = false;  // let us place ants directly
+  Environment e(std::move(cfg), nullptr, nullptr);
+  std::vector<Action> place{Action::go(1), Action::go(2)};
+  e.step(place);
+  std::uint32_t cross = 0;
+  for (int t = 0; t < 50; ++t) {
+    std::vector<Action> duel{Action::recruit(true, 1), Action::recruit(true, 2)};
+    e.step(duel);
+    cross += e.last_round_stats().cross_nest_recruitments;
+  }
+  EXPECT_GT(cross, 0u);
+}
+
+TEST(Environment, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    Environment e(config(32, {1.0, 0.0, 1.0}, seed));
+    std::vector<Action> search(32, Action::search());
+    e.step(search);
+    std::vector<NestId> locations;
+    for (AntId a = 0; a < 32; ++a) locations.push_back(e.location(a));
+    return locations;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(Environment, SelfRecruitmentCountsInStats) {
+  Environment e(config(1, {1.0}, 5));
+  std::vector<Action> search{Action::search()};
+  e.step(search);
+  std::vector<Action> recruit{Action::recruit(true, 1)};
+  e.step(recruit);
+  // A lone recruiter always pairs with itself (Lemma 3.1's remark).
+  EXPECT_EQ(e.last_round_stats().self_recruitments, 1u);
+  EXPECT_EQ(e.last_round_stats().successful_recruitments, 1u);
+}
+
+}  // namespace
+}  // namespace hh::env

@@ -1,0 +1,104 @@
+#include "env/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace hh::env {
+namespace {
+
+TEST(FaultPlan, NoneIsAllCorrect) {
+  const auto plan = FaultPlan::none(10);
+  EXPECT_EQ(plan.type.size(), 10u);
+  EXPECT_EQ(plan.correct_count(), 10u);
+  for (AntId a = 0; a < 10; ++a) EXPECT_TRUE(plan.correct(a));
+}
+
+TEST(FaultPlan, SampleProducesRequestedCounts) {
+  FaultConfig cfg;
+  cfg.crash_fraction = 0.25;
+  cfg.byzantine_fraction = 0.125;
+  const auto plan = FaultPlan::sample(64, cfg, 1);
+  std::uint32_t crashes = 0;
+  std::uint32_t byz = 0;
+  for (FaultType t : plan.type) {
+    crashes += t == FaultType::kCrash ? 1 : 0;
+    byz += t == FaultType::kByzantine ? 1 : 0;
+  }
+  EXPECT_EQ(crashes, 16u);
+  EXPECT_EQ(byz, 8u);
+  EXPECT_EQ(plan.correct_count(), 40u);
+}
+
+TEST(FaultPlan, CrashRoundsWithinHorizon) {
+  FaultConfig cfg;
+  cfg.crash_fraction = 0.5;
+  cfg.crash_horizon = 20;
+  const auto plan = FaultPlan::sample(100, cfg, 2);
+  for (AntId a = 0; a < 100; ++a) {
+    if (plan.type[a] == FaultType::kCrash) {
+      EXPECT_GE(plan.crash_round[a], 1u);
+      EXPECT_LE(plan.crash_round[a], 20u);
+    }
+  }
+}
+
+TEST(FaultPlan, AssignmentsAreDisjoint) {
+  FaultConfig cfg;
+  cfg.crash_fraction = 0.5;
+  cfg.byzantine_fraction = 0.5;
+  const auto plan = FaultPlan::sample(32, cfg, 3);
+  EXPECT_EQ(plan.correct_count(), 0u);
+  std::uint32_t crashes = 0;
+  for (FaultType t : plan.type) crashes += t == FaultType::kCrash ? 1 : 0;
+  EXPECT_EQ(crashes, 16u);  // no double assignment
+}
+
+TEST(FaultPlan, SampleIsDeterministicPerSeed) {
+  FaultConfig cfg;
+  cfg.crash_fraction = 0.3;
+  const auto a = FaultPlan::sample(50, cfg, 7);
+  const auto b = FaultPlan::sample(50, cfg, 7);
+  const auto c = FaultPlan::sample(50, cfg, 8);
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.crash_round, b.crash_round);
+  EXPECT_NE(a.type, c.type);
+}
+
+TEST(FaultPlan, VictimsVaryAcrossSeeds) {
+  FaultConfig cfg;
+  cfg.crash_fraction = 0.1;
+  bool any_difference = false;
+  const auto base = FaultPlan::sample(100, cfg, 1);
+  for (std::uint64_t seed = 2; seed < 6 && !any_difference; ++seed) {
+    any_difference = FaultPlan::sample(100, cfg, seed).type != base.type;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultPlan, ContractChecks) {
+  FaultConfig bad;
+  bad.crash_fraction = 0.8;
+  bad.byzantine_fraction = 0.3;  // sums over 1
+  EXPECT_THROW((void)FaultPlan::sample(10, bad, 1), ContractViolation);
+  FaultConfig negative;
+  negative.crash_fraction = -0.1;
+  EXPECT_THROW((void)FaultPlan::sample(10, negative, 1), ContractViolation);
+  FaultConfig zero_horizon;
+  zero_horizon.crash_fraction = 0.1;
+  zero_horizon.crash_horizon = 0;
+  EXPECT_THROW((void)FaultPlan::sample(10, zero_horizon, 1), ContractViolation);
+}
+
+TEST(FaultConfig, AnyDetectsFaults) {
+  EXPECT_FALSE(FaultConfig{}.any());
+  FaultConfig crash;
+  crash.crash_fraction = 0.1;
+  EXPECT_TRUE(crash.any());
+  FaultConfig byz;
+  byz.byzantine_fraction = 0.1;
+  EXPECT_TRUE(byz.any());
+}
+
+}  // namespace
+}  // namespace hh::env

@@ -1,0 +1,124 @@
+#include "util/fit.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace hh::util {
+namespace {
+
+TEST(FitLinear, RecoversExactLine) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (double v : x) y.push_back(3.0 * v - 2.0);
+  const Fit f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, 3.0, 1e-12);
+  EXPECT_NEAR(f.intercept, -2.0, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinear, PredictMatchesModel) {
+  const std::vector<double> x{0, 1};
+  const std::vector<double> y{1, 3};
+  const Fit f = fit_linear(x, y);
+  EXPECT_NEAR(f.predict(2.0), 5.0, 1e-12);
+}
+
+TEST(FitLinear, FlatDataGivesZeroSlope) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{4, 4, 4};
+  const Fit f = fit_linear(x, y);
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  EXPECT_DOUBLE_EQ(f.intercept, 4.0);
+  EXPECT_DOUBLE_EQ(f.r_squared, 1.0);  // ss_tot == 0 convention
+}
+
+TEST(FitLinear, NoisyDataReducesRSquared) {
+  Rng rng(1);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i + 50.0 * (rng.uniform_double() - 0.5));
+  }
+  const Fit f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 0.1);
+  EXPECT_LT(f.r_squared, 1.0);
+  EXPECT_GT(f.r_squared, 0.9);
+}
+
+TEST(FitLinear, ContractsOnBadInput) {
+  const std::vector<double> one{1};
+  EXPECT_THROW((void)fit_linear(one, one), ContractViolation);
+  const std::vector<double> x{1, 2};
+  const std::vector<double> y{1, 2, 3};
+  EXPECT_THROW((void)fit_linear(x, y), ContractViolation);
+}
+
+TEST(FitLogarithmic, RecoversLogLaw) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (double n : {64.0, 256.0, 1024.0, 4096.0, 16384.0}) {
+    x.push_back(n);
+    y.push_back(5.0 * std::log2(n) + 7.0);
+  }
+  const Fit f = fit_logarithmic(x, y);
+  EXPECT_NEAR(f.slope, 5.0, 1e-9);
+  EXPECT_NEAR(f.intercept, 7.0, 1e-9);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLogarithmic, RejectsNonPositiveX) {
+  const std::vector<double> x{0, 1};
+  const std::vector<double> y{1, 2};
+  EXPECT_THROW((void)fit_logarithmic(x, y), ContractViolation);
+}
+
+TEST(FitKlogn, RecoversKLogNLaw) {
+  std::vector<double> n;
+  std::vector<double> k;
+  std::vector<double> y;
+  for (double nn : {256.0, 1024.0, 4096.0}) {
+    for (double kk : {2.0, 4.0, 8.0, 16.0}) {
+      n.push_back(nn);
+      k.push_back(kk);
+      y.push_back(1.5 * kk * std::log2(nn) + 3.0);
+    }
+  }
+  const Fit f = fit_klogn(n, k, y);
+  EXPECT_NEAR(f.slope, 1.5, 1e-9);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitKlogn, MismatchedSizesThrow) {
+  const std::vector<double> a{1, 2};
+  const std::vector<double> b{1};
+  EXPECT_THROW((void)fit_klogn(a, b, a), ContractViolation);
+}
+
+TEST(Describe, FormatsSignsAndR2) {
+  Fit f;
+  f.slope = 2.5;
+  f.intercept = -1.25;
+  f.r_squared = 0.9876;
+  const std::string s = describe(f, "log2(n)");
+  EXPECT_NE(s.find("2.500*log2(n)"), std::string::npos);
+  EXPECT_NE(s.find("- 1.250"), std::string::npos);
+  EXPECT_NE(s.find("0.9876"), std::string::npos);
+}
+
+TEST(Describe, PositiveInterceptUsesPlus) {
+  Fit f;
+  f.slope = 1.0;
+  f.intercept = 2.0;
+  f.r_squared = 1.0;
+  EXPECT_NE(describe(f, "x").find("+ 2.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hh::util

@@ -1,0 +1,87 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace hh::util {
+namespace {
+
+TEST(Histogram, BinsValuesByRange) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRangeValues) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(100.0);
+  h.add(10.0);  // hi edge is exclusive -> clamped into last bin
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(-1.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), -1.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), -0.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 1.0);
+}
+
+TEST(Histogram, FrequencyNormalizes) {
+  Histogram h(0.0, 4.0, 4);
+  h.add_all({0.5, 0.5, 1.5, 3.5});
+  EXPECT_DOUBLE_EQ(h.frequency(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.frequency(1), 0.25);
+  EXPECT_DOUBLE_EQ(h.frequency(2), 0.0);
+  EXPECT_DOUBLE_EQ(h.frequency(3), 0.25);
+}
+
+TEST(Histogram, FrequencyOfEmptyHistogramIsZero) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.frequency(0), 0.0);
+}
+
+TEST(Histogram, RenderContainsBarsAndCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add_all({0.5, 0.5, 1.5});
+  const std::string s = h.render(10);
+  EXPECT_NE(s.find("##########"), std::string::npos);  // full bar for bin 0
+  EXPECT_NE(s.find("2"), std::string::npos);
+}
+
+TEST(Histogram, RenderOfEmptyHistogramHasNoBars) {
+  Histogram h(0.0, 1.0, 3);
+  const std::string s = h.render(10);
+  EXPECT_EQ(s.find('#'), std::string::npos);
+}
+
+TEST(Histogram, ContractChecks) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), ContractViolation);
+  EXPECT_THROW(Histogram(2.0, 1.0, 3), ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.count(2), ContractViolation);
+  EXPECT_THROW((void)h.bin_lo(5), ContractViolation);
+}
+
+TEST(Histogram, SymmetricDataLooksSymmetric) {
+  // A sanity pattern used by the Lemma 4.1 symmetry bench.
+  Histogram h(-3.0, 3.0, 6);
+  for (int i = 0; i < 100; ++i) {
+    h.add(-1.5);
+    h.add(1.5);
+  }
+  EXPECT_EQ(h.count(1), h.count(4));
+}
+
+}  // namespace
+}  // namespace hh::util

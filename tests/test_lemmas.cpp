@@ -1,0 +1,175 @@
+// Statistical verification of the paper's quantitative lemmas against the
+// real model implementation. Bounds are tested with the paper's constants;
+// all tests use fixed seeds so they are deterministic.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.hpp"
+#include "core/rumor_spread.hpp"
+#include "core/simulation.hpp"
+#include "env/environment.hpp"
+#include "test_util.hpp"
+
+namespace hh {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lemma 2.1: an ant executing recruit(1, ·) in a round with c(0, r) >= 2
+// succeeds with probability at least 1/16.
+TEST(Lemma21, RecruiterSucceedsWithProbabilityAtLeastOneSixteenth) {
+  env::EnvironmentConfig cfg;
+  cfg.num_ants = 32;
+  cfg.qualities = {1.0};
+  cfg.seed = 2025;
+  env::Environment e(std::move(cfg));
+  std::vector<env::Action> search(32, env::Action::search());
+  e.step(search);
+
+  // All 32 ants actively recruit each other for many rounds; track ant 0.
+  std::int64_t successes = 0;
+  constexpr int kRounds = 8000;
+  std::vector<env::Action> recruit(32, env::Action::recruit(true, 1));
+  for (int r = 0; r < kRounds; ++r) {
+    const auto& outcomes = e.step(recruit);
+    successes += outcomes[0].recruit_succeeded ? 1 : 0;
+  }
+  const double p_hat = static_cast<double>(successes) / kRounds;
+  EXPECT_GE(p_hat, 1.0 / 16.0);
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 3.1: an ignorant ant stays ignorant with probability >= 1/4 in any
+// round, whichever strategy it follows.
+TEST(Lemma31, IgnorantStaysIgnorantWithProbabilityAtLeastOneQuarter) {
+  for (auto strategy :
+       {core::IgnorantStrategy::kWaitAtHome, core::IgnorantStrategy::kSearch,
+        core::IgnorantStrategy::kMixed}) {
+    core::RumorSpreadConfig cfg;
+    cfg.num_ants = 4096;
+    cfg.num_nests = 2;  // k = 2: searching finds n_w w.p. 1/2 (worst case)
+    cfg.seed = 7;
+    cfg.strategy = strategy;
+    const auto result = core::run_rumor_spread(cfg);
+    EXPECT_GE(result.stay_ignorant_rate, 0.25)
+        << "strategy " << static_cast<int>(strategy);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 3.2 (shape): even the best-case spreading process needs rounds
+// growing with log n — and at least (log4 n)/2 - O(1) rounds, the explicit
+// bound from the proof.
+TEST(Theorem32, RumorSpreadTakesOmegaLogNRounds) {
+  for (std::uint32_t n : {1u << 8, 1u << 12, 1u << 16}) {
+    core::RumorSpreadConfig cfg;
+    cfg.num_ants = n;
+    cfg.num_nests = 2;
+    cfg.strategy = core::IgnorantStrategy::kWaitAtHome;
+    double min_rounds = 1e9;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      cfg.seed = seed;
+      min_rounds = std::min(
+          min_rounds, static_cast<double>(core::run_rumor_spread(cfg).rounds));
+    }
+    const double bound = std::log2(static_cast<double>(n)) / 4.0;  // log4(n)/2
+    EXPECT_GE(min_rounds, bound) << "n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 4.1 (shape): for competing nests in Algorithm 2, the per-block
+// population change of a competing nest is symmetric around zero —
+// equal-sized competing nests should each win the first block about half
+// the time.
+TEST(Lemma41, FirstBlockWinnerIsSymmetricAcrossSeeds) {
+  int nest1_leads = 0;
+  int nest2_leads = 0;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    auto cfg = test::small_config(128, 2, 0, seed);  // two good nests
+    cfg.record_trajectories = true;
+    cfg.max_rounds = 6;  // round 1 search + one full block
+    core::Simulation sim(cfg, core::AlgorithmKind::kOptimal);
+    (void)sim.run();
+    const auto census = sim.committed_census();
+    if (census[1] > census[2]) ++nest1_leads;
+    if (census[2] > census[1]) ++nest2_leads;
+  }
+  // Binomial(60, 1/2)-ish: both directions must occur a nontrivial number
+  // of times (p < 1e-6 of failing if symmetric).
+  EXPECT_GE(nest1_leads, 10);
+  EXPECT_GE(nest2_leads, 10);
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 5.4: after the first (search) round, the expected relative gap
+// between two good nests is at least 1/(3(n-1)).
+TEST(Lemma54, InitialGapAtLeastPaperBound) {
+  constexpr std::uint32_t kN = 256;
+  double gap_sum = 0.0;
+  constexpr int kTrials = 400;
+  for (int t = 0; t < kTrials; ++t) {
+    env::EnvironmentConfig cfg;
+    cfg.num_ants = kN;
+    cfg.qualities = {1.0, 1.0};
+    cfg.seed = 1000 + t;
+    env::Environment e(std::move(cfg));
+    std::vector<env::Action> search(kN, env::Action::search());
+    e.step(search);
+    const double hi = std::max(e.count(1), e.count(2));
+    const double lo = std::min(e.count(1), e.count(2));
+    gap_sum += (lo == 0.0) ? static_cast<double>(kN) : hi / lo - 1.0;
+  }
+  const double mean_gap = gap_sum / kTrials;
+  EXPECT_GE(mean_gap, 1.0 / (3.0 * (kN - 1)));
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 5.8/5.9 (shape): in Algorithm 3, a nest whose population is far
+// below the others dies out (reaches zero committed ants) quickly.
+TEST(Lemma59, SmallNestsGoExtinct) {
+  auto cfg = test::small_config(256, 4, 0, 31);  // four good nests
+  cfg.record_trajectories = true;
+  core::Simulation sim(cfg, core::AlgorithmKind::kSimple);
+  const auto result = sim.run();
+  ASSERT_TRUE(result.converged);
+  // All non-winning nests must be extinct by the end.
+  for (env::NestId i = 1; i <= 4; ++i) {
+    if (i == result.winner) continue;
+    EXPECT_GT(analysis::extinction_round(result.trajectories, i), 0u)
+        << "nest " << i << " never died";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4.3 (shape): Algorithm 2 converges and does so in rounds growing
+// no faster than ~log n (checked as a generous multiple).
+TEST(Theorem43, OptimalConvergesWithinConstantTimesLogN) {
+  for (std::uint32_t n : {64u, 256u, 1024u}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      auto cfg = test::small_config(n, 4, 2, seed);
+      const auto result = test::run_once(cfg, core::AlgorithmKind::kOptimal);
+      ASSERT_TRUE(result.converged) << "n=" << n << " seed=" << seed;
+      EXPECT_LE(result.rounds, 60.0 * std::log2(static_cast<double>(n)))
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 5.11 (shape): Algorithm 3 converges within a generous multiple
+// of k log n rounds.
+TEST(Theorem511, SimpleConvergesWithinConstantTimesKLogN) {
+  for (std::uint32_t k : {2u, 8u}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      auto cfg = test::small_config(512, k, k / 2, seed);
+      const auto result = test::run_once(cfg, core::AlgorithmKind::kSimple);
+      ASSERT_TRUE(result.converged) << "k=" << k << " seed=" << seed;
+      EXPECT_LE(result.rounds, 40.0 * k * std::log2(512.0))
+          << "k=" << k << " seed=" << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hh

@@ -1,0 +1,135 @@
+// Tests of the trajectory-analysis helpers.
+#include "analysis/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace hh::analysis {
+namespace {
+
+core::Trajectories make_trajectories() {
+  core::Trajectories t;
+  // Rounds with [home, nest1, nest2] counts.
+  t.counts = {{4, 3, 3}, {2, 5, 3}, {0, 8, 2}};
+  t.committed = {{4, 3, 3}, {2, 6, 2}, {0, 10, 0}};
+  t.round_stats.resize(3);
+  return t;
+}
+
+TEST(CountSeries, ExtractsPhysicalCounts) {
+  const auto t = make_trajectories();
+  const auto s = count_series(t, 1);
+  EXPECT_EQ(s, (std::vector<double>{3, 5, 8}));
+}
+
+TEST(CountSeries, ExtractsCommittedCounts) {
+  const auto t = make_trajectories();
+  const auto s = count_series(t, 2, /*committed=*/true);
+  EXPECT_EQ(s, (std::vector<double>{3, 2, 0}));
+}
+
+TEST(CountSeries, OutOfRangeNestThrows) {
+  const auto t = make_trajectories();
+  EXPECT_THROW((void)count_series(t, 7), ContractViolation);
+}
+
+TEST(ProportionSeries, DividesByColonySize) {
+  const auto t = make_trajectories();
+  const auto s = proportion_series(t, 1, 10);
+  EXPECT_DOUBLE_EQ(s[0], 0.3);
+  EXPECT_DOUBLE_EQ(s[2], 0.8);
+  EXPECT_THROW((void)proportion_series(t, 1, 0), ContractViolation);
+}
+
+TEST(GapSeries, ComputesEpsilonDefinition1) {
+  const auto t = make_trajectories();
+  const auto s = gap_series(t, 1, 2);
+  // Round 1: 3 vs 3 -> 0; round 2: 6 vs 2 -> 2; round 3: 10 vs 0 -> cap.
+  EXPECT_DOUBLE_EQ(s[0], 0.0);
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+  EXPECT_DOUBLE_EQ(s[2], 1e9);
+}
+
+TEST(GapSeries, CustomCap) {
+  const auto t = make_trajectories();
+  const auto s = gap_series(t, 1, 2, 123.0);
+  EXPECT_DOUBLE_EQ(s[2], 123.0);
+}
+
+TEST(CompetingNestsSeries, CountsPositiveCommitments) {
+  const auto t = make_trajectories();
+  const auto s = competing_nests_series(t);
+  EXPECT_EQ(s, (std::vector<double>{2, 2, 1}));
+}
+
+TEST(ExtinctionRound, FindsFirstPermanentZero) {
+  const auto t = make_trajectories();
+  EXPECT_EQ(extinction_round(t, 2), 3u);
+  EXPECT_EQ(extinction_round(t, 1), 0u);  // never dies
+}
+
+TEST(ExtinctionRound, ResurrectionResetsDetection) {
+  core::Trajectories t;
+  t.committed = {{0, 1}, {0, 0}, {0, 2}, {0, 0}};
+  EXPECT_EQ(extinction_round(t, 1), 4u);
+}
+
+TEST(ToSeries, BuildsRoundIndexedSeries) {
+  const auto s = to_series({5.0, 6.0, 7.0}, "pop", 'p');
+  EXPECT_EQ(s.name, "pop");
+  EXPECT_EQ(s.marker, 'p');
+  EXPECT_EQ(s.x, (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(s.y, (std::vector<double>{5, 6, 7}));
+}
+
+TEST(WeightedDuration, ChargesTandemRoundsThreeToOne) {
+  core::RunResult r;
+  r.converged = true;
+  r.rounds = 4;
+  r.trajectories.tandem_successes = {2, 0, 1, 0, 5};   // 5th round past T
+  r.trajectories.transport_successes = {0, 3, 0, 0, 0};
+  // Rounds 1..4 charged: tandem(3) + quiet/transport(1) + tandem(3) + 1.
+  EXPECT_DOUBLE_EQ(weighted_duration(r), 8.0);
+}
+
+TEST(WeightedDuration, CustomCostsAndUnconvergedHorizon) {
+  core::RunResult r;
+  r.converged = false;
+  r.trajectories.tandem_successes = {1, 0};
+  r.trajectories.transport_successes = {0, 0};
+  EXPECT_DOUBLE_EQ(weighted_duration(r, 5.0, 2.0), 7.0);
+}
+
+TEST(WeightedDuration, RequiresTrajectories) {
+  core::RunResult r;
+  r.converged = true;
+  r.rounds = 3;
+  EXPECT_THROW((void)weighted_duration(r), ContractViolation);
+}
+
+TEST(WeightedDuration, RejectsInvertedCosts) {
+  core::RunResult r;
+  r.trajectories.tandem_successes = {1};
+  EXPECT_THROW((void)weighted_duration(r, 1.0, 3.0), ContractViolation);
+}
+
+TEST(Metrics, EndToEndFromSimulation) {
+  auto cfg = hh::test::small_config(64, 4, 2, 21);
+  cfg.record_trajectories = true;
+  core::Simulation sim(cfg, core::AlgorithmKind::kSimple);
+  const auto result = sim.run();
+  ASSERT_TRUE(result.converged);
+  const auto winner_pop =
+      count_series(result.trajectories, result.winner, /*committed=*/true);
+  EXPECT_EQ(winner_pop.back(), 64.0);
+  const auto competing = competing_nests_series(result.trajectories);
+  EXPECT_EQ(competing.back(), 1.0);
+  // Every bad nest dies.
+  for (env::NestId bad = 3; bad <= 4; ++bad) {
+    EXPECT_GT(extinction_round(result.trajectories, bad), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hh::analysis

@@ -1,0 +1,278 @@
+// Scripted state-machine tests of Algorithm 2 (OptimalAnt): we hand-feed
+// outcomes and check the exact action sequence of the R1..R4 schedule and
+// every case transition of Section 4.1.
+#include "core/optimal_ant.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace hh::core {
+namespace {
+
+using test::go_outcome;
+using test::recruit_outcome;
+using test::search_outcome;
+using State = OptimalAnt::State;
+
+void expect_action(const env::Action& a, env::ActionKind kind,
+                   env::NestId target = env::kHomeNest, bool active = false) {
+  EXPECT_EQ(a.kind, kind);
+  if (kind != env::ActionKind::kSearch) {
+    EXPECT_EQ(a.target, target);
+  }
+  if (kind == env::ActionKind::kRecruit) {
+    EXPECT_EQ(a.active, active);
+  }
+}
+
+// Drives a fresh ant through round 1 into the active state at nest 2
+// with count 3.
+void drive_to_active(OptimalAnt& ant) {
+  expect_action(ant.decide(1), env::ActionKind::kSearch);
+  ant.observe(search_outcome(2, 1.0, 3));
+  EXPECT_EQ(ant.state(), State::kActive);
+  EXPECT_EQ(ant.committed_nest(), 2u);
+  EXPECT_EQ(ant.count(), 3u);
+}
+
+TEST(OptimalAnt, SearchGoodQualityBecomesActive) {
+  OptimalAnt ant(8);
+  drive_to_active(ant);
+}
+
+TEST(OptimalAnt, SearchBadQualityBecomesPassive) {
+  OptimalAnt ant(8);
+  (void)ant.decide(1);
+  ant.observe(search_outcome(3, 0.0, 5));
+  EXPECT_EQ(ant.state(), State::kPassive);
+  EXPECT_EQ(ant.committed_nest(), 3u);
+}
+
+TEST(OptimalAnt, ActiveCase1KeepsCompetingAndUpdatesCount) {
+  OptimalAnt ant(8);
+  drive_to_active(ant);
+  // R1: recruit(1, nest)
+  expect_action(ant.decide(2), env::ActionKind::kRecruit, 2, true);
+  ant.observe(recruit_outcome(2, 8));  // not poached: j == nest
+  // R2: go(nest_t)
+  expect_action(ant.decide(3), env::ActionKind::kGo, 2);
+  ant.observe(go_outcome(2, 5));  // population grew: case 1
+  EXPECT_EQ(ant.count(), 5u);
+  // R3: go(nest)
+  expect_action(ant.decide(4), env::ActionKind::kGo, 2);
+  ant.observe(go_outcome(2, 5));
+  // R4: recruit(0, nest)
+  expect_action(ant.decide(5), env::ActionKind::kRecruit, 2, false);
+  ant.observe(recruit_outcome(2, 7));  // home count != nest count
+  EXPECT_EQ(ant.state(), State::kActive);
+  // Next block begins with R1 again.
+  expect_action(ant.decide(6), env::ActionKind::kRecruit, 2, true);
+}
+
+TEST(OptimalAnt, ActiveCase1EqualCountIsStillCompeting) {
+  OptimalAnt ant(8);
+  drive_to_active(ant);
+  (void)ant.decide(2);
+  ant.observe(recruit_outcome(2, 8));
+  (void)ant.decide(3);
+  ant.observe(go_outcome(2, 3));  // count_t == count: non-decreasing
+  EXPECT_EQ(ant.state(), State::kActive);
+  expect_action(ant.decide(4), env::ActionKind::kGo, 2);  // case 1 R3
+}
+
+TEST(OptimalAnt, ActiveCase1TerminationDetection) {
+  OptimalAnt ant(8);
+  drive_to_active(ant);
+  (void)ant.decide(2);
+  ant.observe(recruit_outcome(2, 8));
+  (void)ant.decide(3);
+  ant.observe(go_outcome(2, 4));  // case 1, count := 4
+  (void)ant.decide(4);
+  ant.observe(go_outcome(2, 4));
+  (void)ant.decide(5);
+  ant.observe(recruit_outcome(2, 4));  // home count == nest count
+  EXPECT_EQ(ant.state(), State::kFinal);
+  EXPECT_TRUE(ant.finalized());
+  // Final loop: recruit(1, nest) every round.
+  expect_action(ant.decide(6), env::ActionKind::kRecruit, 2, true);
+  ant.observe(recruit_outcome(2, 4));
+  expect_action(ant.decide(7), env::ActionKind::kRecruit, 2, true);
+}
+
+TEST(OptimalAnt, ActiveCase2DropsOutToPassive) {
+  OptimalAnt ant(8);
+  drive_to_active(ant);
+  (void)ant.decide(2);
+  ant.observe(recruit_outcome(2, 8));
+  (void)ant.decide(3);
+  ant.observe(go_outcome(2, 2));  // population decreased: case 2
+  // R3 for case 2 is recruit(0, nest) (the padding round).
+  expect_action(ant.decide(4), env::ActionKind::kRecruit, 2, false);
+  ant.observe(recruit_outcome(2, 1));
+  // R4 go(nest).
+  expect_action(ant.decide(5), env::ActionKind::kGo, 2);
+  ant.observe(go_outcome(2, 2));
+  EXPECT_EQ(ant.state(), State::kPassive);
+  // Passive block starts with R1 go(nest).
+  expect_action(ant.decide(6), env::ActionKind::kGo, 2);
+}
+
+TEST(OptimalAnt, ActiveCase3PoachedToCompetingNest) {
+  OptimalAnt ant(8);
+  drive_to_active(ant);
+  (void)ant.decide(2);
+  ant.observe(recruit_outcome(5, 8));  // recruited to nest 5
+  EXPECT_EQ(ant.committed_nest(), 2u);  // commitment updates at R2
+  // R2 goes to the *returned* nest.
+  expect_action(ant.decide(3), env::ActionKind::kGo, 5);
+  ant.observe(go_outcome(5, 6));
+  EXPECT_EQ(ant.committed_nest(), 5u);
+  // R3 revisits to compare counts.
+  expect_action(ant.decide(4), env::ActionKind::kGo, 5);
+  ant.observe(go_outcome(5, 6));  // count_n == count_t: competing
+  // R4 go(nest), stays active with adopted count.
+  expect_action(ant.decide(5), env::ActionKind::kGo, 5);
+  ant.observe(go_outcome(5, 6));
+  EXPECT_EQ(ant.state(), State::kActive);
+  EXPECT_EQ(ant.count(), 6u);
+  expect_action(ant.decide(6), env::ActionKind::kRecruit, 5, true);
+}
+
+TEST(OptimalAnt, ActiveCase3PoachedToDroppingNestTurnsPassive) {
+  OptimalAnt ant(8);
+  drive_to_active(ant);
+  (void)ant.decide(2);
+  ant.observe(recruit_outcome(5, 8));
+  (void)ant.decide(3);
+  ant.observe(go_outcome(5, 6));
+  (void)ant.decide(4);
+  ant.observe(go_outcome(5, 4));  // count_n < count_t: nest is dropping
+  (void)ant.decide(5);
+  ant.observe(go_outcome(5, 4));
+  EXPECT_EQ(ant.state(), State::kPassive);
+  EXPECT_EQ(ant.committed_nest(), 5u);
+}
+
+TEST(OptimalAnt, PassiveBlockScheduleAndRecruitment) {
+  OptimalAnt ant(8);
+  (void)ant.decide(1);
+  ant.observe(search_outcome(3, 0.0, 5));
+  ASSERT_EQ(ant.state(), State::kPassive);
+  // R1: go(nest).
+  expect_action(ant.decide(2), env::ActionKind::kGo, 3);
+  ant.observe(go_outcome(3, 5));
+  // R2: recruit(0, nest) — gets recruited to nest 1.
+  expect_action(ant.decide(3), env::ActionKind::kRecruit, 3, false);
+  ant.observe(recruit_outcome(1, 4, /*recruited=*/true));
+  EXPECT_EQ(ant.committed_nest(), 1u);
+  EXPECT_EQ(ant.state(), State::kPassive);  // final only after the block
+  // R3/R4: go to the NEW nest (lines 18-19 after lines 16-17).
+  expect_action(ant.decide(4), env::ActionKind::kGo, 1);
+  ant.observe(go_outcome(1, 6));
+  expect_action(ant.decide(5), env::ActionKind::kGo, 1);
+  ant.observe(go_outcome(1, 6));
+  EXPECT_EQ(ant.state(), State::kFinal);
+  expect_action(ant.decide(6), env::ActionKind::kRecruit, 1, true);
+}
+
+TEST(OptimalAnt, PassiveNotRecruitedLoopsForever) {
+  OptimalAnt ant(8);
+  (void)ant.decide(1);
+  ant.observe(search_outcome(3, 0.0, 5));
+  for (int block = 0; block < 3; ++block) {
+    expect_action(ant.decide(0), env::ActionKind::kGo, 3);
+    ant.observe(go_outcome(3, 5));
+    expect_action(ant.decide(0), env::ActionKind::kRecruit, 3, false);
+    ant.observe(recruit_outcome(3, 4));  // j == own nest: not recruited
+    expect_action(ant.decide(0), env::ActionKind::kGo, 3);
+    ant.observe(go_outcome(3, 5));
+    expect_action(ant.decide(0), env::ActionKind::kGo, 3);
+    ant.observe(go_outcome(3, 5));
+    EXPECT_EQ(ant.state(), State::kPassive);
+  }
+}
+
+TEST(OptimalAnt, FinalAntFollowsPoaching) {
+  // Pseudocode line 21 assigns the recruit() return to nest: a poached
+  // final ant switches allegiance.
+  OptimalAnt ant(8);
+  drive_to_active(ant);
+  (void)ant.decide(2);
+  ant.observe(recruit_outcome(2, 8));
+  (void)ant.decide(3);
+  ant.observe(go_outcome(2, 4));
+  (void)ant.decide(4);
+  ant.observe(go_outcome(2, 4));
+  (void)ant.decide(5);
+  ant.observe(recruit_outcome(2, 4));
+  ASSERT_EQ(ant.state(), State::kFinal);
+  (void)ant.decide(6);
+  ant.observe(recruit_outcome(7, 4, /*recruited=*/true));
+  EXPECT_EQ(ant.committed_nest(), 7u);
+  expect_action(ant.decide(7), env::ActionKind::kRecruit, 7, true);
+}
+
+TEST(OptimalAnt, SettleRequiresTwoConsecutiveFullHouseRounds) {
+  OptimalAnt ant(4, /*settle=*/true);
+  drive_to_active(ant);
+  (void)ant.decide(2);
+  ant.observe(recruit_outcome(2, 4));
+  (void)ant.decide(3);
+  ant.observe(go_outcome(2, 4));
+  (void)ant.decide(4);
+  ant.observe(go_outcome(2, 4));
+  (void)ant.decide(5);
+  ant.observe(recruit_outcome(2, 4));
+  ASSERT_EQ(ant.state(), State::kFinal);
+  // One full-house round is not enough...
+  (void)ant.decide(6);
+  ant.observe(recruit_outcome(2, 4));
+  EXPECT_EQ(ant.state(), State::kFinal);
+  // ...an interruption resets the streak...
+  (void)ant.decide(7);
+  ant.observe(recruit_outcome(2, 3));
+  (void)ant.decide(8);
+  ant.observe(recruit_outcome(2, 4));
+  EXPECT_EQ(ant.state(), State::kFinal);
+  // ...two in a row settle the ant.
+  (void)ant.decide(9);
+  ant.observe(recruit_outcome(2, 4));
+  EXPECT_EQ(ant.state(), State::kSettled);
+  EXPECT_TRUE(ant.finalized());
+  // Settled ants go(nest) forever.
+  expect_action(ant.decide(10), env::ActionKind::kGo, 2);
+  ant.observe(go_outcome(2, 4));
+  expect_action(ant.decide(11), env::ActionKind::kGo, 2);
+}
+
+TEST(OptimalAnt, WithoutSettleFlagNeverSettles) {
+  OptimalAnt ant(4, /*settle=*/false);
+  drive_to_active(ant);
+  (void)ant.decide(2);
+  ant.observe(recruit_outcome(2, 4));
+  (void)ant.decide(3);
+  ant.observe(go_outcome(2, 4));
+  (void)ant.decide(4);
+  ant.observe(go_outcome(2, 4));
+  (void)ant.decide(5);
+  ant.observe(recruit_outcome(2, 4));
+  ASSERT_EQ(ant.state(), State::kFinal);
+  for (int r = 0; r < 10; ++r) {
+    (void)ant.decide(6 + r);
+    ant.observe(recruit_outcome(2, 4));
+  }
+  EXPECT_EQ(ant.state(), State::kFinal);
+}
+
+TEST(OptimalAnt, ConstructorRejectsEmptyColony) {
+  EXPECT_THROW(OptimalAnt(0), ContractViolation);
+}
+
+TEST(OptimalAnt, NameIsStable) {
+  OptimalAnt ant(4);
+  EXPECT_EQ(ant.name(), "optimal");
+}
+
+}  // namespace
+}  // namespace hh::core

@@ -1,0 +1,216 @@
+// Tests of the recruitment pairing process (paper Algorithm 1) and the
+// alternative model used for the E15 ablation.
+#include "env/pairing.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace hh::env {
+namespace {
+
+std::vector<RecruitRequest> make_requests(std::size_t active,
+                                          std::size_t passive) {
+  std::vector<RecruitRequest> reqs;
+  for (std::size_t i = 0; i < active + passive; ++i) {
+    RecruitRequest r;
+    r.ant = static_cast<AntId>(i);
+    r.active = i < active;
+    r.target = r.active ? 1 : 2;
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
+// Checks that the result is a valid matching per the model:
+//  * vectors sized to the request count;
+//  * an ant recruited at most once and recruiting at most once;
+//  * only active ants appear as recruiters;
+//  * an ant is never simultaneously recruiter in one pair and recruited in
+//    another (self-pairs are the single allowed overlap).
+void expect_valid_matching(const std::vector<RecruitRequest>& reqs,
+                           const PairingResult& result) {
+  ASSERT_EQ(result.recruited_by.size(), reqs.size());
+  ASSERT_EQ(result.recruit_succeeded.size(), reqs.size());
+  std::vector<int> times_recruiter(reqs.size(), 0);
+  for (std::size_t x = 0; x < reqs.size(); ++x) {
+    const std::int32_t by = result.recruited_by[x];
+    if (by != kNotRecruited) {
+      ASSERT_GE(by, 0);
+      ASSERT_LT(static_cast<std::size_t>(by), reqs.size());
+      EXPECT_TRUE(reqs[static_cast<std::size_t>(by)].active)
+          << "recruiter " << by << " is not active";
+      EXPECT_TRUE(result.recruit_succeeded[static_cast<std::size_t>(by)]);
+      ++times_recruiter[static_cast<std::size_t>(by)];
+    }
+  }
+  for (std::size_t x = 0; x < reqs.size(); ++x) {
+    EXPECT_LE(times_recruiter[x], 1) << "ant recruited twice";
+    if (result.recruit_succeeded[x]) {
+      EXPECT_EQ(times_recruiter[x], 1)
+          << "successful recruiter with no recruited partner";
+      // Recruiter-and-recruited overlap only allowed as a self-pair.
+      if (result.recruited_by[x] != kNotRecruited) {
+        EXPECT_EQ(result.recruited_by[x], static_cast<std::int32_t>(x));
+      }
+    }
+  }
+}
+
+class PairingModelTest : public ::testing::TestWithParam<PairingKind> {};
+
+TEST_P(PairingModelTest, EmptyRequestSet) {
+  util::Rng rng(1);
+  const auto model = make_pairing_model(GetParam());
+  const auto result = model->pair({}, rng);
+  EXPECT_TRUE(result.recruited_by.empty());
+  EXPECT_EQ(result.pair_count(), 0u);
+}
+
+TEST_P(PairingModelTest, AllPassiveNobodyPaired) {
+  util::Rng rng(2);
+  const auto model = make_pairing_model(GetParam());
+  const auto reqs = make_requests(0, 10);
+  const auto result = model->pair(reqs, rng);
+  expect_valid_matching(reqs, result);
+  EXPECT_EQ(result.pair_count(), 0u);
+}
+
+TEST_P(PairingModelTest, MatchingInvariantsHoldOverManyRandomRounds) {
+  util::Rng rng(3);
+  util::Rng shape(4);
+  const auto model = make_pairing_model(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto active = static_cast<std::size_t>(shape.uniform_u64(20));
+    const auto passive = static_cast<std::size_t>(shape.uniform_u64(20));
+    if (active + passive == 0) continue;
+    const auto reqs = make_requests(active, passive);
+    const auto result = model->pair(reqs, rng);
+    expect_valid_matching(reqs, result);
+    EXPECT_LE(result.pair_count(), active);
+    EXPECT_LE(result.pair_count(), reqs.size());
+  }
+}
+
+TEST_P(PairingModelTest, DeterministicGivenRngState) {
+  const auto model = make_pairing_model(GetParam());
+  const auto reqs = make_requests(8, 8);
+  util::Rng rng1(99);
+  util::Rng rng2(99);
+  const auto r1 = model->pair(reqs, rng1);
+  const auto r2 = model->pair(reqs, rng2);
+  EXPECT_EQ(r1.recruited_by, r2.recruited_by);
+  EXPECT_EQ(std::vector<bool>(r1.recruit_succeeded),
+            std::vector<bool>(r2.recruit_succeeded));
+}
+
+TEST_P(PairingModelTest, LoneActiveAntSelfRecruits) {
+  // Lemma 3.1: "if c(0,r) < 2, ant a is forced to recruit itself".
+  util::Rng rng(5);
+  const auto model = make_pairing_model(GetParam());
+  const auto reqs = make_requests(1, 0);
+  int self_pairs = 0;
+  for (int t = 0; t < 50; ++t) {
+    const auto result = model->pair(reqs, rng);
+    expect_valid_matching(reqs, result);
+    if (result.recruited_by[0] == 0) ++self_pairs;
+  }
+  // With only one ant in R the uniform draw always picks it.
+  EXPECT_EQ(self_pairs, 50);
+}
+
+TEST_P(PairingModelTest, ActiveAntsRecruitPassivePoolEffectively) {
+  // With many actives and many passives, a decent fraction of actives
+  // should succeed each round (Lemma 2.1 promises >= 1/16 each).
+  util::Rng rng(6);
+  const auto model = make_pairing_model(GetParam());
+  const auto reqs = make_requests(50, 50);
+  std::size_t pairs = 0;
+  constexpr int kRounds = 200;
+  for (int t = 0; t < kRounds; ++t) pairs += model->pair(reqs, rng).pair_count();
+  const double per_active =
+      static_cast<double>(pairs) / (50.0 * kRounds);
+  EXPECT_GE(per_active, 1.0 / 16.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, PairingModelTest,
+                         ::testing::Values(PairingKind::kPermutation,
+                                           PairingKind::kUniformProposal),
+                         [](const auto& info) {
+                           return info.param == PairingKind::kPermutation
+                                      ? "Permutation"
+                                      : "UniformProposal";
+                         });
+
+TEST(PermutationPairing, Lemma21SuccessProbabilityAtLeastOneSixteenth) {
+  // Lemma 2.1: an active recruiter succeeds with probability >= 1/16
+  // whenever c(0, r) >= 2 — checked empirically across home-nest mixes.
+  PermutationPairing model;
+  util::Rng rng(7);
+  for (const auto& [active, passive] : std::vector<std::pair<int, int>>{
+           {2, 0}, {4, 0}, {16, 0}, {64, 0}, {2, 14}, {8, 8}, {32, 96}}) {
+    const auto reqs = make_requests(active, passive);
+    constexpr int kRounds = 4000;
+    std::int64_t successes = 0;
+    for (int t = 0; t < kRounds; ++t) {
+      const auto result = model.pair(reqs, rng);
+      for (int a = 0; a < active; ++a) successes += result.recruit_succeeded[a];
+    }
+    const double p_hat =
+        static_cast<double>(successes) / (static_cast<double>(active) * kRounds);
+    EXPECT_GE(p_hat, 1.0 / 16.0)
+        << "active=" << active << " passive=" << passive;
+  }
+}
+
+TEST(PermutationPairing, TwoActiveAntsPairingIsSymmetric) {
+  // With R = {a, b} both active, by symmetry each should succeed equally
+  // often.
+  PermutationPairing model;
+  util::Rng rng(8);
+  const auto reqs = make_requests(2, 0);
+  int wins_a = 0;
+  int wins_b = 0;
+  constexpr int kRounds = 20000;
+  for (int t = 0; t < kRounds; ++t) {
+    const auto result = model.pair(reqs, rng);
+    wins_a += result.recruit_succeeded[0];
+    wins_b += result.recruit_succeeded[1];
+  }
+  EXPECT_NEAR(wins_a, wins_b, 4 * std::sqrt(static_cast<double>(kRounds)));
+}
+
+TEST(PermutationPairing, RecruitedAntsAreChosenUniformlyAmongEligible) {
+  // One active recruiter and m-1 passive ants: each of the m ants
+  // (including the recruiter itself) is the uniform draw, so each passive
+  // ant should be recruited with probability ~1/m.
+  PermutationPairing model;
+  util::Rng rng(9);
+  constexpr std::size_t kM = 8;
+  const auto reqs = make_requests(1, kM - 1);
+  std::vector<int> recruited(kM, 0);
+  constexpr int kRounds = 80000;
+  for (int t = 0; t < kRounds; ++t) {
+    const auto result = model.pair(reqs, rng);
+    for (std::size_t x = 0; x < kM; ++x) {
+      if (result.recruited_by[x] != kNotRecruited) ++recruited[x];
+    }
+  }
+  const double expected = static_cast<double>(kRounds) / kM;
+  for (std::size_t x = 0; x < kM; ++x) {
+    EXPECT_NEAR(recruited[x], expected, 5 * std::sqrt(expected)) << "ant " << x;
+  }
+}
+
+TEST(UniformProposalPairing, NameAndFactory) {
+  const auto perm = make_pairing_model(PairingKind::kPermutation);
+  const auto prop = make_pairing_model(PairingKind::kUniformProposal);
+  EXPECT_EQ(perm->name(), "permutation");
+  EXPECT_EQ(prop->name(), "uniform-proposal");
+}
+
+}  // namespace
+}  // namespace hh::env

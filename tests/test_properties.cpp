@@ -1,0 +1,248 @@
+// Parameterized property sweeps (TEST_P): correctness invariants that must
+// hold across the (algorithm, n, k, seed) grid.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "test_util.hpp"
+
+namespace hh::core {
+namespace {
+
+using Params = std::tuple<AlgorithmKind, std::uint32_t /*n*/,
+                          std::uint32_t /*k*/, std::uint64_t /*seed*/>;
+
+class HouseHuntingProperty : public ::testing::TestWithParam<Params> {
+ protected:
+  static SimulationConfig config() {
+    const auto& [kind, n, k, seed] = GetParam();
+    (void)kind;
+    return test::small_config(n, k, k / 2, seed);
+  }
+};
+
+TEST_P(HouseHuntingProperty, ConvergesToOneGoodNest) {
+  const auto& [kind, n, k, seed] = GetParam();
+  (void)n;
+  (void)k;
+  (void)seed;
+  const RunResult r = test::run_once(config(), kind);
+  ASSERT_TRUE(r.converged);
+  EXPECT_GE(r.winner, 1u);
+  EXPECT_DOUBLE_EQ(r.winner_quality, 1.0);
+  EXPECT_GT(r.rounds, 0u);
+}
+
+TEST_P(HouseHuntingProperty, RunIsDeterministic) {
+  const auto& [kind, n, k, seed] = GetParam();
+  (void)n;
+  (void)k;
+  (void)seed;
+  const RunResult a = test::run_once(config(), kind);
+  const RunResult b = test::run_once(config(), kind);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.winner, b.winner);
+  EXPECT_EQ(a.total_recruitments, b.total_recruitments);
+}
+
+TEST_P(HouseHuntingProperty, FinalCensusIsUnanimous) {
+  const auto& [kind, n, k, seed] = GetParam();
+  (void)seed;
+  auto cfg = config();
+  Simulation sim(cfg, kind);
+  const RunResult r = sim.run();
+  ASSERT_TRUE(r.converged);
+  const auto census = sim.committed_census();
+  ASSERT_EQ(census.size(), k + 1u);
+  EXPECT_EQ(census[r.winner], n);
+  for (env::NestId i = 0; i <= k; ++i) {
+    if (i != r.winner) {
+      EXPECT_EQ(census[i], 0u) << "nest " << i;
+    }
+  }
+}
+
+std::string param_name(const ::testing::TestParamInfo<Params>& info) {
+  const auto& [kind, n, k, seed] = info.param;
+  std::string name(algorithm_name(kind));
+  for (auto& c : name) {
+    if (c == '-' || c == '+') c = '_';
+  }
+  return name + "_n" + std::to_string(n) + "_k" + std::to_string(k) + "_s" +
+         std::to_string(seed);
+}
+
+// The grid keeps n/k >= 16, inside Theorem 4.3's k = O(n / log n)
+// assumption — below that, Algorithm 2's all-finalized termination
+// detection can livelock (see Integration.
+// OptimalSmallPopulationRegimeStillReachesCommitment).
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HouseHuntingProperty,
+    ::testing::Combine(
+        ::testing::Values(AlgorithmKind::kOptimal, AlgorithmKind::kSimple,
+                          AlgorithmKind::kRateBoosted),
+        ::testing::Values(128u, 256u),
+        ::testing::Values(2u, 4u, 8u),
+        ::testing::Values(1u, 2u, 3u)),
+    param_name);
+
+// Extension sweeps: Algorithm 3 must stay correct under each perturbation
+// Section 6 claims it tolerates.
+struct Perturbation {
+  const char* name;
+  double count_sigma;
+  double quality_flip;
+  double skip_prob;
+  double crash_fraction;
+  env::PairingKind pairing;
+};
+
+class RobustnessProperty : public ::testing::TestWithParam<Perturbation> {};
+
+TEST_P(RobustnessProperty, SimpleConvergesUnderPerturbation) {
+  const Perturbation& p = GetParam();
+  int converged = 0;
+  constexpr int kTrials = 6;
+  for (int t = 0; t < kTrials; ++t) {
+    auto cfg = test::small_config(256, 4, 2, 9000 + t);
+    cfg.noise.count_sigma = p.count_sigma;
+    cfg.noise.quality_flip_prob = p.quality_flip;
+    cfg.skip_probability = p.skip_prob;
+    cfg.faults.crash_fraction = p.crash_fraction;
+    cfg.pairing = p.pairing;
+    const RunResult r = test::run_once(cfg, AlgorithmKind::kSimple);
+    if (r.converged) {
+      ++converged;
+      EXPECT_DOUBLE_EQ(r.winner_quality, 1.0);
+    }
+  }
+  EXPECT_GE(converged, kTrials - 1) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Perturbations, RobustnessProperty,
+    ::testing::Values(
+        Perturbation{"count_noise", 0.5, 0.0, 0.0, 0.0,
+                     env::PairingKind::kPermutation},
+        Perturbation{"quality_noise", 0.0, 0.05, 0.0, 0.0,
+                     env::PairingKind::kPermutation},
+        Perturbation{"async", 0.0, 0.0, 0.25, 0.0,
+                     env::PairingKind::kPermutation},
+        Perturbation{"crashes", 0.0, 0.0, 0.0, 0.08,
+                     env::PairingKind::kPermutation},
+        Perturbation{"alt_pairing", 0.0, 0.0, 0.0, 0.0,
+                     env::PairingKind::kUniformProposal},
+        Perturbation{"everything", 0.3, 0.02, 0.1, 0.05,
+                     env::PairingKind::kUniformProposal}),
+    [](const auto& info) { return info.param.name; });
+
+// Environment-shape sweep: the ratio of good to bad nests must never
+// affect correctness, only speed — including the single-good-nest needle
+// case and the all-good case.
+class NestMixProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t /*k*/,
+                                                 std::uint32_t /*bad*/>> {};
+
+TEST_P(NestMixProperty, SimpleAndOptimalAlwaysPickGoodNests) {
+  const auto& [k, bad] = GetParam();
+  for (auto kind : {AlgorithmKind::kSimple, AlgorithmKind::kOptimal}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const auto cfg = test::small_config(256, k, bad, 5200 + seed);
+      const RunResult r = test::run_once(cfg, kind);
+      ASSERT_TRUE(r.converged)
+          << algorithm_name(kind) << " k=" << k << " bad=" << bad;
+      EXPECT_DOUBLE_EQ(r.winner_quality, 1.0);
+      EXPECT_LE(r.winner, k - bad);  // good nests come first
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, NestMixProperty,
+    ::testing::Values(std::tuple{2u, 0u}, std::tuple{2u, 1u},
+                      std::tuple{4u, 0u}, std::tuple{4u, 3u},
+                      std::tuple{8u, 4u}, std::tuple{8u, 7u}),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_bad" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Determinism must hold across EVERY extension switch: each perturbed
+// configuration is a pure function of its seed.
+class DeterminismProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeterminismProperty, PerturbedRunsAreReproducible) {
+  auto cfg = test::small_config(128, 4, 2, 6400 + GetParam());
+  switch (GetParam() % 5) {
+    case 0: cfg.noise.count_sigma = 0.4; break;
+    case 1: cfg.faults.crash_fraction = 0.1; break;
+    case 2: cfg.skip_probability = 0.2; break;
+    case 3: cfg.pairing = env::PairingKind::kUniformProposal; break;
+    case 4:
+      cfg.faults.byzantine_fraction = 0.05;
+      cfg.convergence_tolerance = 0.2;
+      break;
+  }
+  const RunResult a = test::run_once(cfg, AlgorithmKind::kSimple);
+  const RunResult b = test::run_once(cfg, AlgorithmKind::kSimple);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.winner, b.winner);
+  EXPECT_EQ(a.total_recruitments, b.total_recruitments);
+  EXPECT_EQ(a.total_tandem_runs, b.total_tandem_runs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Switches, DeterminismProperty,
+                         ::testing::Range(0, 10));
+
+// Quality-aware sweeps over randomized quality vectors: the winner must
+// always be habitable, and across a batch of worlds the mean winner
+// quality must beat the mean habitable quality (selection effect).
+class QualityVectorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QualityVectorProperty, WinnerQualityBeatsHabitableAverage) {
+  util::Rng rng(7100 + GetParam());
+  double winner_quality_sum = 0.0;
+  double habitable_quality_sum = 0.0;
+  int converged = 0;
+  constexpr int kWorlds = 8;
+  for (int w = 0; w < kWorlds; ++w) {
+    core::SimulationConfig cfg;
+    cfg.num_ants = 256;
+    const auto k = static_cast<std::uint32_t>(3 + rng.uniform_u64(5));
+    cfg.qualities.resize(k);
+    double habitable_sum = 0.0;
+    std::uint32_t habitable = 0;
+    for (auto& q : cfg.qualities) {
+      q = rng.bernoulli(0.25) ? 0.0 : 0.1 + 0.9 * rng.uniform_double();
+      if (q > 0.0) {
+        habitable_sum += q;
+        ++habitable;
+      }
+    }
+    if (habitable == 0) {
+      cfg.qualities[0] = 1.0;  // the model requires one good nest
+      habitable_sum = 1.0;
+      habitable = 1;
+    }
+    cfg.seed = rng();
+    const RunResult r =
+        test::run_once(cfg, AlgorithmKind::kQualityAware);
+    if (!r.converged) continue;
+    ++converged;
+    EXPECT_GT(r.winner_quality, 0.0) << "settled on an uninhabitable nest";
+    winner_quality_sum += r.winner_quality;
+    habitable_quality_sum += habitable_sum / habitable;
+  }
+  ASSERT_GE(converged, kWorlds - 2);
+  EXPECT_GT(winner_quality_sum / converged,
+            habitable_quality_sum / converged)
+      << "no quality selection effect";
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, QualityVectorProperty,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace hh::core

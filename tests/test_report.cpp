@@ -1,0 +1,98 @@
+// Tests of the report-emission helpers used by the bench binaries.
+#include "analysis/report.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace hh::analysis {
+namespace {
+
+TEST(AggregateHeaders, StableColumnSet) {
+  const auto headers = aggregate_headers();
+  ASSERT_EQ(headers.size(), 6u);
+  EXPECT_EQ(headers[0], "trials");
+  EXPECT_EQ(headers[1], "conv%");
+}
+
+TEST(AppendAggregateCells, FillsConvergedAggregates) {
+  util::Table table({"cfg", "trials", "conv%", "rounds(med)", "rounds(mean)",
+                     "rounds(p95)", "rounds(max)"});
+  Aggregate agg;
+  agg.trials = 10;
+  agg.converged = 10;
+  agg.convergence_rate = 1.0;
+  agg.round_samples = {10, 20, 30};
+  agg.rounds = util::summarize(agg.round_samples);
+  table.begin_row().cell("x");
+  append_aggregate_cells(table, agg);
+  const std::string out = table.render();
+  EXPECT_NE(out.find("100.0"), std::string::npos);
+  EXPECT_NE(out.find("20.0"), std::string::npos);
+  EXPECT_NE(out.find("30"), std::string::npos);
+}
+
+TEST(AppendAggregateCells, DashesWhenNothingConverged) {
+  util::Table table({"cfg", "trials", "conv%", "rounds(med)", "rounds(mean)",
+                     "rounds(p95)", "rounds(max)"});
+  Aggregate agg;
+  agg.trials = 5;
+  table.begin_row().cell("x");
+  append_aggregate_cells(table, agg);
+  const std::string out = table.render();
+  EXPECT_NE(out.find('-'), std::string::npos);
+}
+
+TEST(WriteCsv, CreatesFileWithHeaderAndRows) {
+  const std::string path =
+      write_csv("unit_test_artifact", {"a", "b"}, {{1.0, 2.0}, {3.0, 4.0}});
+  ASSERT_FALSE(path.empty());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,4");
+  std::filesystem::remove(path);
+}
+
+TEST(WriteCsv, EmptyRowsStillWritesHeader) {
+  const std::string path = write_csv("unit_test_empty", {"only"}, {});
+  ASSERT_FALSE(path.empty());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "only");
+  EXPECT_FALSE(std::getline(in, line));
+  std::filesystem::remove(path);
+}
+
+TEST(PrintBanner, WritesIdAndClaim) {
+  // print_banner writes to stdout; capture via gtest's facility.
+  ::testing::internal::CaptureStdout();
+  print_banner("E99", "everything is fine");
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("E99"), std::string::npos);
+  EXPECT_NE(out.find("paper claim: everything is fine"), std::string::npos);
+}
+
+TEST(PrintFit, WritesFitAndClaim) {
+  ::testing::internal::CaptureStdout();
+  util::Fit fit;
+  fit.slope = 2.0;
+  fit.intercept = 1.0;
+  fit.r_squared = 0.99;
+  print_fit(fit, "log2(n)", "O(log n)");
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("2.000*log2(n)"), std::string::npos);
+  EXPECT_NE(out.find("O(log n)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hh::analysis

@@ -1,0 +1,203 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace hh::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ReseedResetsStream) {
+  Rng a(7);
+  const auto first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, DifferentSeedsProduceDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformU64RespectsBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform_u64(bound), bound);
+  }
+}
+
+TEST(Rng, UniformU64BoundOneIsAlwaysZero) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_u64(1), 0u);
+}
+
+TEST(Rng, UniformU64ZeroBoundThrows) {
+  Rng rng(5);
+  EXPECT_THROW((void)rng.uniform_u64(0), ContractViolation);
+}
+
+TEST(Rng, UniformU64IsRoughlyUniform) {
+  Rng rng(6);
+  constexpr std::uint64_t kBuckets = 16;
+  constexpr int kDraws = 160000;
+  std::vector<int> hist(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++hist[rng.uniform_u64(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (std::uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(hist[b], expected, 5 * std::sqrt(expected)) << "bucket " << b;
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(8);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntInvalidRangeThrows) {
+  Rng rng(10);
+  EXPECT_THROW((void)rng.uniform_int(2, 1), ContractViolation);
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.uniform_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformDoubleMeanNearHalf) {
+  Rng rng(12);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.uniform_double();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));  // clamped
+    EXPECT_TRUE(rng.bernoulli(1.5));    // clamped
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(14);
+  constexpr int kDraws = 100000;
+  for (double p : {0.1, 0.25, 0.5, 0.9}) {
+    int hits = 0;
+    for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(p) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / kDraws, p, 0.01) << "p=" << p;
+  }
+}
+
+TEST(Rng, SplitProducesIndependentLookingStream) {
+  Rng parent(15);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent() == child()) ? 1 : 0;
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Shuffle, PreservesElements) {
+  Rng rng(16);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  shuffle(v, rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Shuffle, HandlesEmptyAndSingleton) {
+  Rng rng(17);
+  std::vector<int> empty;
+  shuffle(empty, rng);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  shuffle(one, rng);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(RandomPermutation, IsAPermutation) {
+  Rng rng(18);
+  const auto perm = random_permutation(100, rng);
+  std::set<std::uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RandomPermutation, AllPositionsRoughlyUniform) {
+  // Element 0 should land in each of the 4 slots ~25% of the time.
+  Rng rng(19);
+  constexpr int kTrials = 40000;
+  std::vector<int> where(4, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    const auto perm = random_permutation(4, rng);
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (perm[i] == 0) ++where[i];
+    }
+  }
+  for (int slot = 0; slot < 4; ++slot) {
+    EXPECT_NEAR(where[slot], kTrials / 4, 5 * std::sqrt(kTrials / 4.0))
+        << "slot " << slot;
+  }
+}
+
+TEST(MixSeed, DeterministicAndSensitiveToAllInputs) {
+  EXPECT_EQ(mix_seed(1, 2, 3), mix_seed(1, 2, 3));
+  EXPECT_NE(mix_seed(1, 2, 3), mix_seed(1, 2, 4));
+  EXPECT_NE(mix_seed(1, 2, 3), mix_seed(1, 3, 3));
+  EXPECT_NE(mix_seed(1, 2, 3), mix_seed(2, 2, 3));
+}
+
+}  // namespace
+}  // namespace hh::util

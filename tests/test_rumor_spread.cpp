@@ -1,0 +1,116 @@
+// Tests of the Section 3 lower-bound experiment process.
+#include "core/rumor_spread.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace hh::core {
+namespace {
+
+RumorSpreadConfig config(std::uint32_t n, std::uint32_t k,
+                         IgnorantStrategy strategy, std::uint64_t seed = 1) {
+  RumorSpreadConfig cfg;
+  cfg.num_ants = n;
+  cfg.num_nests = k;
+  cfg.strategy = strategy;
+  cfg.seed = seed;
+  return cfg;
+}
+
+class RumorStrategyTest : public ::testing::TestWithParam<IgnorantStrategy> {};
+
+TEST_P(RumorStrategyTest, AllAntsEventuallyInformed) {
+  const auto result = run_rumor_spread(config(512, 4, GetParam()));
+  EXPECT_TRUE(result.all_informed);
+  EXPECT_GE(result.rounds, 2u);  // cannot finish during the search round
+}
+
+TEST_P(RumorStrategyTest, InformedCurveIsMonotone) {
+  auto cfg = config(512, 4, GetParam(), 3);
+  cfg.record_curve = true;
+  const auto result = run_rumor_spread(cfg);
+  ASSERT_FALSE(result.informed_per_round.empty());
+  for (std::size_t r = 1; r < result.informed_per_round.size(); ++r) {
+    EXPECT_GE(result.informed_per_round[r], result.informed_per_round[r - 1]);
+  }
+  EXPECT_EQ(result.informed_per_round.back(), 512u);
+}
+
+TEST_P(RumorStrategyTest, Lemma31StayIgnorantAtLeastOneQuarter) {
+  // Lemma 3.1: an ignorant ant stays ignorant w.p. >= 1/4 per round.
+  const auto result = run_rumor_spread(config(2048, 4, GetParam(), 5));
+  EXPECT_GT(result.ignorant_exposures, 0u);
+  EXPECT_GE(result.stay_ignorant_rate, 0.25);
+}
+
+TEST_P(RumorStrategyTest, DeterministicPerSeed) {
+  const auto a = run_rumor_spread(config(256, 4, GetParam(), 9));
+  const auto b = run_rumor_spread(config(256, 4, GetParam(), 9));
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.stay_ignorant_rate, b.stay_ignorant_rate);
+}
+
+TEST_P(RumorStrategyTest, RoundsGrowWithColonySize) {
+  // Theorem 3.2's Omega(log n): median rounds must grow as n does.
+  auto median_rounds = [&](std::uint32_t n) {
+    std::vector<double> rounds;
+    for (std::uint64_t seed = 1; seed <= 9; ++seed) {
+      rounds.push_back(run_rumor_spread(config(n, 4, GetParam(), seed)).rounds);
+    }
+    std::sort(rounds.begin(), rounds.end());
+    return rounds[rounds.size() / 2];
+  };
+  EXPECT_LT(median_rounds(64), median_rounds(1 << 14));
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, RumorStrategyTest,
+                         ::testing::Values(IgnorantStrategy::kWaitAtHome,
+                                           IgnorantStrategy::kSearch,
+                                           IgnorantStrategy::kMixed),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case IgnorantStrategy::kWaitAtHome: return "Wait";
+                             case IgnorantStrategy::kSearch: return "Search";
+                             case IgnorantStrategy::kMixed: return "Mixed";
+                           }
+                           return "?";
+                         });
+
+TEST(RumorSpread, TinyColonyWorks) {
+  const auto result =
+      run_rumor_spread(config(1, 2, IgnorantStrategy::kSearch, 2));
+  EXPECT_TRUE(result.all_informed);
+}
+
+TEST(RumorSpread, RoundCapReportsPartialProgress) {
+  auto cfg = config(1 << 12, 16, IgnorantStrategy::kWaitAtHome, 1);
+  cfg.max_rounds = 2;  // not enough
+  const auto result = run_rumor_spread(cfg);
+  EXPECT_FALSE(result.all_informed);
+  EXPECT_EQ(result.rounds, 2u);
+}
+
+TEST(RumorSpread, ContractChecks) {
+  EXPECT_THROW((void)run_rumor_spread(config(0, 2, IgnorantStrategy::kSearch)),
+               ContractViolation);
+  EXPECT_THROW((void)run_rumor_spread(config(8, 1, IgnorantStrategy::kSearch)),
+               ContractViolation);  // Theorem 3.2 needs k >= 2
+}
+
+TEST(RumorSpread, LargerKSlowsSearchStrategy) {
+  auto median_rounds = [&](std::uint32_t k) {
+    std::vector<double> rounds;
+    for (std::uint64_t seed = 1; seed <= 9; ++seed) {
+      rounds.push_back(
+          run_rumor_spread(config(512, k, IgnorantStrategy::kSearch, seed))
+              .rounds);
+    }
+    std::sort(rounds.begin(), rounds.end());
+    return rounds[rounds.size() / 2];
+  };
+  EXPECT_LE(median_rounds(2), median_rounds(64));
+}
+
+}  // namespace
+}  // namespace hh::core

@@ -1,0 +1,52 @@
+#include "env/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace hh::env {
+namespace {
+
+TEST(SynchronousScheduler, AlwaysAwake) {
+  SynchronousScheduler s;
+  util::Rng rng(1);
+  for (std::uint32_t r = 0; r < 100; ++r) {
+    for (AntId a = 0; a < 5; ++a) EXPECT_TRUE(s.awake(a, r, rng));
+  }
+  EXPECT_EQ(s.name(), "synchronous");
+}
+
+TEST(PartialSynchronyScheduler, NeverSkipsRoundZero) {
+  PartialSynchronyScheduler s(0.9);
+  util::Rng rng(2);
+  for (AntId a = 0; a < 1000; ++a) EXPECT_TRUE(s.awake(a, 0, rng));
+}
+
+TEST(PartialSynchronyScheduler, SkipRateMatchesProbability) {
+  PartialSynchronyScheduler s(0.3);
+  util::Rng rng(3);
+  constexpr int kSamples = 100000;
+  int asleep = 0;
+  for (int i = 0; i < kSamples; ++i) asleep += s.awake(0, 5, rng) ? 0 : 1;
+  EXPECT_NEAR(asleep / static_cast<double>(kSamples), 0.3, 0.01);
+}
+
+TEST(PartialSynchronyScheduler, ZeroProbabilityNeverSkips) {
+  PartialSynchronyScheduler s(0.0);
+  util::Rng rng(4);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(s.awake(0, 3, rng));
+}
+
+TEST(PartialSynchronyScheduler, RejectsInvalidProbability) {
+  EXPECT_THROW(PartialSynchronyScheduler(-0.1), ContractViolation);
+  EXPECT_THROW(PartialSynchronyScheduler(1.0), ContractViolation);
+}
+
+TEST(MakeScheduler, SelectsByProbability) {
+  EXPECT_EQ(make_scheduler(0.0)->name(), "synchronous");
+  EXPECT_EQ(make_scheduler(-1.0)->name(), "synchronous");
+  EXPECT_EQ(make_scheduler(0.2)->name(), "partial-synchrony");
+}
+
+}  // namespace
+}  // namespace hh::env

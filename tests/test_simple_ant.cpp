@@ -1,0 +1,173 @@
+// Scripted state-machine tests of Algorithm 3 (SimpleAnt).
+#include "core/simple_ant.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace hh::core {
+namespace {
+
+using test::go_outcome;
+using test::recruit_outcome;
+using test::search_outcome;
+
+void drive_active(SimpleAnt& ant, std::uint32_t count = 5) {
+  EXPECT_EQ(ant.decide(1).kind, env::ActionKind::kSearch);
+  ant.observe(search_outcome(1, 1.0, count));
+  EXPECT_TRUE(ant.active());
+}
+
+TEST(SimpleAnt, FirstRoundSearches) {
+  SimpleAnt ant(4, util::Rng(1));
+  EXPECT_EQ(ant.decide(1).kind, env::ActionKind::kSearch);
+}
+
+TEST(SimpleAnt, GoodNestStaysActiveBadNestTurnsPassive) {
+  SimpleAnt good(4, util::Rng(1));
+  (void)good.decide(1);
+  good.observe(search_outcome(1, 1.0, 2));
+  EXPECT_TRUE(good.active());
+
+  SimpleAnt bad(4, util::Rng(1));
+  (void)bad.decide(1);
+  bad.observe(search_outcome(2, 0.0, 2));
+  EXPECT_FALSE(bad.active());
+  EXPECT_EQ(bad.committed_nest(), 2u);
+}
+
+TEST(SimpleAnt, AlternatesRecruitAndAssessRounds) {
+  SimpleAnt ant(10, util::Rng(1));
+  drive_active(ant);
+  const auto recruit = ant.decide(2);
+  EXPECT_EQ(recruit.kind, env::ActionKind::kRecruit);
+  EXPECT_EQ(recruit.target, 1u);
+  ant.observe(recruit_outcome(1, 10));
+  const auto assess = ant.decide(3);
+  EXPECT_EQ(assess.kind, env::ActionKind::kGo);
+  EXPECT_EQ(assess.target, 1u);
+  ant.observe(go_outcome(1, 7));
+  EXPECT_EQ(ant.count(), 7u);
+  EXPECT_EQ(ant.decide(4).kind, env::ActionKind::kRecruit);
+}
+
+TEST(SimpleAnt, RecruitProbabilityIsCountOverN) {
+  // Line 6: b := 1 with probability count/n. Empirical check over many
+  // independent ants with count = 5, n = 10.
+  int active_recruits = 0;
+  constexpr int kAnts = 20000;
+  for (int i = 0; i < kAnts; ++i) {
+    SimpleAnt ant(10, util::Rng(1000 + i));
+    (void)ant.decide(1);
+    ant.observe(search_outcome(1, 1.0, 5));
+    active_recruits += ant.decide(2).active ? 1 : 0;
+  }
+  EXPECT_NEAR(active_recruits / static_cast<double>(kAnts), 0.5, 0.02);
+}
+
+TEST(SimpleAnt, FullNestAlwaysRecruitsEmptyNestNever) {
+  SimpleAnt full(10, util::Rng(1));
+  drive_active(full, 10);
+  EXPECT_TRUE(full.decide(2).active);
+
+  SimpleAnt empty(10, util::Rng(2));
+  (void)empty.decide(1);
+  empty.observe(search_outcome(1, 1.0, 0));
+  EXPECT_FALSE(empty.decide(2).active);
+}
+
+TEST(SimpleAnt, PoachedActiveAntSwitchesNest) {
+  SimpleAnt ant(10, util::Rng(1));
+  drive_active(ant);
+  (void)ant.decide(2);
+  ant.observe(recruit_outcome(3, 10, /*recruited=*/true));
+  EXPECT_EQ(ant.committed_nest(), 3u);
+  EXPECT_TRUE(ant.active());
+  // Next assess round goes to the new nest.
+  const auto assess = ant.decide(3);
+  EXPECT_EQ(assess.kind, env::ActionKind::kGo);
+  EXPECT_EQ(assess.target, 3u);
+}
+
+TEST(SimpleAnt, PassiveAlwaysRecruitsPassively) {
+  SimpleAnt ant(10, util::Rng(3));
+  (void)ant.decide(1);
+  ant.observe(search_outcome(2, 0.0, 9));  // bad nest, high count
+  for (int block = 0; block < 5; ++block) {
+    const auto recruit = ant.decide(2 + 2 * block);
+    EXPECT_EQ(recruit.kind, env::ActionKind::kRecruit);
+    EXPECT_FALSE(recruit.active);
+    ant.observe(recruit_outcome(2, 10));  // not recruited
+    const auto assess = ant.decide(3 + 2 * block);
+    EXPECT_EQ(assess.kind, env::ActionKind::kGo);
+    ant.observe(go_outcome(2, 9));
+    EXPECT_FALSE(ant.active());
+  }
+}
+
+TEST(SimpleAnt, RecruitedPassiveBecomesActive) {
+  SimpleAnt ant(10, util::Rng(4));
+  (void)ant.decide(1);
+  ant.observe(search_outcome(2, 0.0, 3));
+  ASSERT_FALSE(ant.active());
+  (void)ant.decide(2);
+  ant.observe(recruit_outcome(1, 10, /*recruited=*/true));
+  EXPECT_TRUE(ant.active());
+  EXPECT_EQ(ant.committed_nest(), 1u);
+  // It assesses the new nest and then recruits for it.
+  const auto assess = ant.decide(3);
+  EXPECT_EQ(assess.target, 1u);
+  ant.observe(go_outcome(1, 10));  // full nest
+  EXPECT_TRUE(ant.decide(4).active);
+}
+
+TEST(SimpleAnt, CountUpdatesDriveRecruitProbability) {
+  // After observing a larger count the ant recruits more often.
+  int recruits_small = 0;
+  int recruits_big = 0;
+  constexpr int kAnts = 10000;
+  for (int i = 0; i < kAnts; ++i) {
+    SimpleAnt ant(100, util::Rng(5000 + i));
+    (void)ant.decide(1);
+    ant.observe(search_outcome(1, 1.0, 10));
+    (void)ant.decide(2);
+    ant.observe(recruit_outcome(1, 100));
+    (void)ant.decide(3);
+    ant.observe(go_outcome(1, i % 2 == 0 ? 10 : 90));
+    const bool b = ant.decide(4).active;
+    (i % 2 == 0 ? recruits_small : recruits_big) += b ? 1 : 0;
+  }
+  EXPECT_NEAR(recruits_small / (kAnts / 2.0), 0.10, 0.02);
+  EXPECT_NEAR(recruits_big / (kAnts / 2.0), 0.90, 0.02);
+}
+
+TEST(SimpleAnt, DeterministicGivenSameRngSeed) {
+  auto run = [](std::uint64_t seed) {
+    SimpleAnt ant(10, util::Rng(seed));
+    (void)ant.decide(1);
+    ant.observe(search_outcome(1, 1.0, 5));
+    std::vector<bool> bs;
+    for (int r = 0; r < 20; ++r) {
+      bs.push_back(ant.decide(2 + 2 * r).active);
+      ant.observe(recruit_outcome(1, 10));
+      (void)ant.decide(3 + 2 * r);
+      ant.observe(go_outcome(1, 5));
+    }
+    return bs;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(SimpleAnt, ConstructorRejectsEmptyColony) {
+  EXPECT_THROW(SimpleAnt(0, util::Rng(1)), ContractViolation);
+}
+
+TEST(SimpleAnt, NameIsStable) {
+  SimpleAnt ant(4, util::Rng(1));
+  EXPECT_EQ(ant.name(), "simple");
+}
+
+}  // namespace
+}  // namespace hh::core

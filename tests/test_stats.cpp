@@ -1,0 +1,132 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace hh::util {
+namespace {
+
+TEST(Mean, Basics) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{7}), 7.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Mean, NegativeValues) {
+  const std::vector<double> xs{-2, -4, 6};
+  EXPECT_DOUBLE_EQ(mean(xs), 0.0);
+}
+
+TEST(Variance, SampleVariance) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  // population variance 4; sample variance = 32/7.
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Variance, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{3}), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{3, 3, 3}), 0.0);
+}
+
+TEST(Stddev, IsSqrtOfVariance) {
+  const std::vector<double> xs{1, 5};
+  EXPECT_NEAR(stddev(xs), std::sqrt(8.0), 1e-12);
+}
+
+TEST(Percentile, OrderStatisticsWithInterpolation) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25);  // between 20 and 30
+  EXPECT_NEAR(percentile(xs, 25), 17.5, 1e-12);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  const std::vector<double> xs{40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+}
+
+TEST(Percentile, SingletonAndContracts) {
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{5}, 73), 5);
+  EXPECT_THROW((void)percentile(std::vector<double>{}, 50), ContractViolation);
+  EXPECT_THROW((void)percentile(std::vector<double>{1}, -1), ContractViolation);
+  EXPECT_THROW((void)percentile(std::vector<double>{1}, 101), ContractViolation);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 2, 3}), 2.5);
+}
+
+TEST(Summarize, AllFieldsConsistent) {
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 10u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.5);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 10);
+  EXPECT_DOUBLE_EQ(s.median, 5.5);
+  EXPECT_LT(s.p05, s.median);
+  EXPECT_GT(s.p95, s.median);
+  EXPECT_NEAR(s.stddev, 3.02765, 1e-4);
+}
+
+TEST(Summarize, EmptyThrows) {
+  EXPECT_THROW((void)summarize(std::vector<double>{}), ContractViolation);
+}
+
+TEST(Pearson, PerfectCorrelations) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> yneg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, yneg), -1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceGivesZero) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> flat{5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(x, flat), 0.0);
+}
+
+TEST(Pearson, MismatchedSizesThrow) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{1, 2};
+  EXPECT_THROW((void)pearson(x, y), ContractViolation);
+}
+
+TEST(ProportionCi, ShrinksWithSampleSize) {
+  const double wide = proportion_ci_halfwidth(0.5, 100);
+  const double narrow = proportion_ci_halfwidth(0.5, 10000);
+  EXPECT_GT(wide, narrow);
+  EXPECT_NEAR(wide / narrow, 10.0, 1e-9);
+}
+
+TEST(ProportionCi, DegenerateProportionsGiveZeroWidth) {
+  EXPECT_DOUBLE_EQ(proportion_ci_halfwidth(0.0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(proportion_ci_halfwidth(1.0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(proportion_ci_halfwidth(-0.3, 100), 0.0);  // clamped
+}
+
+TEST(ProportionCi, ZeroSamplesThrows) {
+  EXPECT_THROW((void)proportion_ci_halfwidth(0.5, 0), ContractViolation);
+}
+
+TEST(ToDoubles, ConvertsIntegerVectors) {
+  const std::vector<int> xs{1, 2, 3};
+  const auto d = to_doubles(xs);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[1], 2.0);
+  const std::vector<std::uint32_t> us{7u};
+  EXPECT_DOUBLE_EQ(to_doubles(us)[0], 7.0);
+}
+
+}  // namespace
+}  // namespace hh::util

@@ -1,0 +1,87 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace hh::util {
+namespace {
+
+TEST(Table, RendersHeaderSeparatorAndRows) {
+  Table t({"name", "value"});
+  t.begin_row().cell("x").num(42);
+  const std::string s = t.render();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("value"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"c"});
+  t.begin_row().cell("short");
+  t.begin_row().cell("a-much-longer-cell");
+  const std::string s = t.render();
+  std::size_t line_len = s.find('\n');
+  // Every line should be equally padded to the widest cell.
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t next = s.find('\n', pos);
+    EXPECT_EQ(next - pos, line_len);
+    pos = next + 1;
+  }
+}
+
+TEST(Table, NumericCellsRightAligned) {
+  Table t({"n"});
+  t.begin_row().num(5);
+  t.begin_row().num(12345);
+  const std::string s = t.render();
+  // "5" must be right-aligned under "12345": preceded by spaces.
+  EXPECT_NE(s.find("    5\n"), std::string::npos);
+}
+
+TEST(Table, DoublePrecisionControl) {
+  Table t({"v"});
+  t.begin_row().num(3.14159, 3);
+  EXPECT_NE(t.render().find("3.142"), std::string::npos);
+}
+
+TEST(Table, RowCountTracksRows) {
+  Table t({"a", "b"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.begin_row().cell("1").cell("2");
+  t.begin_row().cell("3").cell("4");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, ContractViolations) {
+  EXPECT_THROW(Table({}), ContractViolation);
+  Table t({"only"});
+  EXPECT_THROW(t.cell("no row started"), ContractViolation);
+  t.begin_row().cell("x");
+  EXPECT_THROW(t.cell("too many"), ContractViolation);
+  // Starting the next row with an incomplete previous row throws.
+  Table t2({"a", "b"});
+  t2.begin_row().cell("1");
+  EXPECT_THROW(t2.begin_row(), ContractViolation);
+  // Rendering with an incomplete last row throws.
+  Table t3({"a", "b"});
+  t3.begin_row().cell("1");
+  EXPECT_THROW((void)t3.render(), ContractViolation);
+}
+
+TEST(Table, MixedIntTypes) {
+  Table t({"a", "b", "c", "d"});
+  t.begin_row()
+      .num(-1)
+      .num(static_cast<std::int64_t>(-2))
+      .num(static_cast<std::uint64_t>(3))
+      .num(4u);
+  const std::string s = t.render();
+  EXPECT_NE(s.find("-1"), std::string::npos);
+  EXPECT_NE(s.find("-2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hh::util

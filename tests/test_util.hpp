@@ -1,0 +1,65 @@
+// Shared helpers for the anthill test suite.
+#ifndef HH_TESTS_TEST_UTIL_HPP
+#define HH_TESTS_TEST_UTIL_HPP
+
+#include <vector>
+
+#include "core/simulation.hpp"
+
+namespace hh::test {
+
+/// A small standard config: n ants, k nests with `bad` bad ones at the end.
+inline core::SimulationConfig small_config(std::uint32_t n = 128,
+                                           std::uint32_t k = 4,
+                                           std::uint32_t bad = 2,
+                                           std::uint64_t seed = 12345) {
+  core::SimulationConfig cfg;
+  cfg.num_ants = n;
+  cfg.qualities = core::SimulationConfig::binary_qualities(k, bad);
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Run an algorithm once and return the result.
+inline core::RunResult run_once(const core::SimulationConfig& cfg,
+                                core::AlgorithmKind kind,
+                                const core::AlgorithmParams& params = {}) {
+  core::Simulation sim(cfg, kind, params);
+  return sim.run();
+}
+
+/// Hand-feed an outcome to an ant (for scripted FSM tests).
+inline env::Outcome search_outcome(env::NestId nest, double quality,
+                                   std::uint32_t count) {
+  env::Outcome o;
+  o.kind = env::ActionKind::kSearch;
+  o.nest = nest;
+  o.quality = quality;
+  o.count = count;
+  return o;
+}
+
+inline env::Outcome go_outcome(env::NestId nest, std::uint32_t count,
+                               double quality = 1.0) {
+  env::Outcome o;
+  o.kind = env::ActionKind::kGo;
+  o.nest = nest;
+  o.count = count;
+  o.quality = quality;
+  return o;
+}
+
+inline env::Outcome recruit_outcome(env::NestId returned_nest,
+                                    std::uint32_t home_count,
+                                    bool recruited = false) {
+  env::Outcome o;
+  o.kind = env::ActionKind::kRecruit;
+  o.nest = returned_nest;
+  o.count = home_count;
+  o.recruited = recruited;
+  return o;
+}
+
+}  // namespace hh::test
+
+#endif  // HH_TESTS_TEST_UTIL_HPP

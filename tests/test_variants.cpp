@@ -1,0 +1,126 @@
+// Tests of the Section 6 variants: RateBoostedAnt and QualityAwareAnt.
+#include <gtest/gtest.h>
+
+#include "core/quality_aware_ant.hpp"
+#include "core/rate_boosted_ant.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace hh::core {
+namespace {
+
+using test::go_outcome;
+using test::recruit_outcome;
+using test::search_outcome;
+
+TEST(RateBoostedAnt, EstimatesKFromInitialCount) {
+  RateBoostedAnt ant(1000, util::Rng(1));
+  EXPECT_EQ(ant.k_estimate(), 0.0);
+  (void)ant.decide(1);
+  ant.observe(search_outcome(1, 1.0, 125));  // ~ n/k for k = 8
+  EXPECT_NEAR(ant.k_estimate(), 8.0, 1e-9);
+}
+
+TEST(RateBoostedAnt, ZeroInitialCountGivesFiniteEstimate) {
+  RateBoostedAnt ant(1000, util::Rng(2));
+  (void)ant.decide(1);
+  ant.observe(search_outcome(1, 1.0, 0));
+  EXPECT_GE(ant.k_estimate(), 1.0);
+  EXPECT_LE(ant.k_estimate(), 1000.0);
+}
+
+TEST(RateBoostedAnt, EstimateDecaysWithRoundNumber) {
+  RateBoostedAnt ant(1 << 16, util::Rng(3));
+  (void)ant.decide(1);
+  ant.observe(search_outcome(1, 1.0, (1 << 16) / 64));  // k^ = 64
+  const double early = ant.k_estimate();
+  EXPECT_NEAR(early, 64.0, 1e-9);
+  // Push the round number far forward: the estimate must decay to 1.
+  (void)ant.decide(100000);
+  EXPECT_DOUBLE_EQ(ant.k_estimate(), 1.0);
+}
+
+TEST(RateBoostedAnt, RecruitsAtLeastAsOftenAsSimple) {
+  // The boosted probability is max(base, capped boost): with count = n/64
+  // the base rate is 1/64 but the boost gives 1/8.
+  constexpr std::uint32_t kN = 1 << 16;
+  int boosted_recruits = 0;
+  constexpr int kAnts = 8000;
+  for (int i = 0; i < kAnts; ++i) {
+    RateBoostedAnt ant(kN, util::Rng(100 + i));
+    (void)ant.decide(1);
+    ant.observe(search_outcome(1, 1.0, kN / 64));
+    boosted_recruits += ant.decide(2).active ? 1 : 0;
+  }
+  const double rate = boosted_recruits / static_cast<double>(kAnts);
+  // boost = (1/64) * 64 / 8 = 1/8, well above the base 1/64.
+  EXPECT_NEAR(rate, 1.0 / 8.0, 0.02);
+}
+
+TEST(RateBoostedAnt, MatchesSimpleRateAtSmallK) {
+  // k^ <= 8 makes the boost factor k^/8 <= 1, so the max() returns the
+  // base count/n rate.
+  int recruits = 0;
+  constexpr int kAnts = 8000;
+  for (int i = 0; i < kAnts; ++i) {
+    RateBoostedAnt ant(100, util::Rng(500 + i));
+    (void)ant.decide(1);
+    ant.observe(search_outcome(1, 1.0, 50));  // k^ = 2
+    recruits += ant.decide(2).active ? 1 : 0;
+  }
+  EXPECT_NEAR(recruits / static_cast<double>(kAnts), 0.5, 0.02);
+}
+
+TEST(RateBoostedAnt, NameIsStable) {
+  RateBoostedAnt ant(8, util::Rng(1));
+  EXPECT_EQ(ant.name(), "rate-boosted");
+}
+
+TEST(QualityAwareAnt, RecruitRateScalesWithQuality) {
+  // With count/n = 1 and quality q the recruit rate should be ~q.
+  for (double q : {0.25, 0.75}) {
+    int recruits = 0;
+    constexpr int kAnts = 10000;
+    for (int i = 0; i < kAnts; ++i) {
+      QualityAwareAnt ant(10, util::Rng(900 + i));
+      (void)ant.decide(1);
+      ant.observe(search_outcome(1, q, 10));
+      recruits += ant.decide(2).active ? 1 : 0;
+    }
+    EXPECT_NEAR(recruits / static_cast<double>(kAnts), q, 0.02) << "q=" << q;
+  }
+}
+
+TEST(QualityAwareAnt, ZeroQualityNeverRecruits) {
+  QualityAwareAnt ant(10, util::Rng(4));
+  (void)ant.decide(1);
+  ant.observe(search_outcome(1, 0.0, 10));
+  // Quality 0 turns the ant passive (inherited behaviour) so b is 0.
+  EXPECT_FALSE(ant.decide(2).active);
+}
+
+TEST(QualityAwareAnt, ReassessesQualityOnVisit) {
+  // The go() outcome carries a (possibly noisy) quality re-assessment;
+  // the quality-aware ant must use the latest value.
+  int recruits = 0;
+  constexpr int kAnts = 10000;
+  for (int i = 0; i < kAnts; ++i) {
+    QualityAwareAnt ant(10, util::Rng(2000 + i));
+    (void)ant.decide(1);
+    ant.observe(search_outcome(1, 1.0, 10));
+    (void)ant.decide(2);
+    ant.observe(recruit_outcome(1, 10));
+    (void)ant.decide(3);
+    ant.observe(go_outcome(1, 10, /*quality=*/0.5));  // downgraded on visit
+    recruits += ant.decide(4).active ? 1 : 0;
+  }
+  EXPECT_NEAR(recruits / static_cast<double>(kAnts), 0.5, 0.02);
+}
+
+TEST(QualityAwareAnt, NameIsStable) {
+  QualityAwareAnt ant(8, util::Rng(1));
+  EXPECT_EQ(ant.name(), "quality-aware");
+}
+
+}  // namespace
+}  // namespace hh::core
