@@ -11,57 +11,44 @@
 
 #include "anthill.hpp"
 
-namespace {
-
-constexpr int kTrials = 25;
-
-hh::analysis::Aggregate measure(hh::core::AlgorithmKind kind,
-                                hh::env::PairingKind pairing, std::uint32_t n,
-                                std::uint32_t k) {
-  hh::core::SimulationConfig cfg;
-  cfg.num_ants = n;
-  cfg.qualities = hh::core::SimulationConfig::binary_qualities(k, k / 2);
-  cfg.pairing = pairing;
-  return hh::analysis::run_algorithm_trials(cfg, kind, kTrials,
-                                            0x615 + n * 29 + k);
-}
-
-}  // namespace
-
 int main() {
   hh::analysis::print_banner(
       "E15 / Section 2 — pairing-model ablation",
       "the results are believed to hold under other natural random-pairing "
       "models");
 
+  constexpr int kTrials = 25;
+  const auto spec =
+      hh::analysis::SweepSpec("pairing-ablation")
+          .algorithms({hh::core::AlgorithmKind::kSimple,
+                       hh::core::AlgorithmKind::kOptimal})
+          .colony_nest_pairs({{1024, 4}, {4096, 8}, {16384, 8}}, 0.5)
+          .pairings({hh::env::PairingKind::kPermutation,
+                     hh::env::PairingKind::kUniformProposal});
+
+  const hh::analysis::Runner runner;
+  const auto batch = runner.run(spec, kTrials, 0x615);
+
   hh::util::Table table({"algorithm", "n", "k", "pairing", "conv%",
                          "rounds(med)", "rounds(p95)"});
   std::vector<std::vector<double>> csv_rows;
-  for (auto kind :
-       {hh::core::AlgorithmKind::kSimple, hh::core::AlgorithmKind::kOptimal}) {
-    for (const auto& [n, k] :
-         std::vector<std::pair<std::uint32_t, std::uint32_t>>{
-             {1024, 4}, {4096, 8}, {16384, 8}}) {
-      for (auto pairing : {hh::env::PairingKind::kPermutation,
-                           hh::env::PairingKind::kUniformProposal}) {
-        const auto agg = measure(kind, pairing, n, k);
-        table.begin_row()
-            .cell(std::string(hh::core::algorithm_name(kind)))
-            .num(n)
-            .num(k)
-            .cell(pairing == hh::env::PairingKind::kPermutation
-                      ? "permutation (Alg 1)"
-                      : "uniform-proposal")
-            .num(100.0 * agg.convergence_rate, 1)
-            .num(agg.rounds.median, 1)
-            .num(agg.rounds.p95, 1);
-        csv_rows.push_back(
-            {kind == hh::core::AlgorithmKind::kSimple ? 0.0 : 1.0,
-             static_cast<double>(n), static_cast<double>(k),
-             pairing == hh::env::PairingKind::kPermutation ? 0.0 : 1.0,
-             agg.convergence_rate, agg.rounds.median});
-      }
-    }
+  for (const auto& result : batch.results) {
+    const auto& sc = result.scenario;
+    const auto& agg = result.aggregate;
+    const bool permutation =
+        sc.config.pairing == hh::env::PairingKind::kPermutation;
+    table.begin_row()
+        .cell(sc.algorithm)
+        .num(sc.axis_value("n"), 0)
+        .num(sc.axis_value("k"), 0)
+        .cell(permutation ? "permutation (Alg 1)" : "uniform-proposal")
+        .num(100.0 * agg.convergence_rate, 1)
+        .num(agg.rounds.median, 1)
+        .num(agg.rounds.p95, 1);
+    csv_rows.push_back({sc.algorithm == "simple" ? 0.0 : 1.0,
+                        sc.axis_value("n"), sc.axis_value("k"),
+                        permutation ? 0.0 : 1.0, agg.convergence_rate,
+                        agg.rounds.median});
   }
   std::printf("\n%d trials per cell:\n", kTrials);
   std::cout << table.render();

@@ -17,48 +17,58 @@
 
 #include "anthill.hpp"
 
-namespace {
-
-constexpr int kTrials = 20;
-constexpr std::uint32_t kN = 1024;
-
-hh::analysis::Aggregate measure(hh::core::AlgorithmKind kind, std::uint32_t k,
-                                std::uint32_t max_rounds,
-                                const hh::core::AlgorithmParams& params = {}) {
-  hh::core::SimulationConfig cfg;
-  cfg.num_ants = kN;
-  cfg.qualities = hh::core::SimulationConfig::binary_qualities(k, 0);
-  cfg.max_rounds = max_rounds;
-  return hh::analysis::run_algorithm_trials(cfg, kind, kTrials, 0x616 + k,
-                                            params);
-}
-
-}  // namespace
-
 int main() {
   hh::analysis::print_banner(
       "E16 — baselines: feedback removal and quorum thresholds",
       "positive feedback is necessary for consensus (Section 1: 'this is "
       "achieved through positive feedback')");
 
-  // Part 1: uniform-recruit vs simple under an equal round budget.
+  constexpr int kTrials = 20;
+  constexpr std::uint32_t kN = 1024;
+  const std::vector<std::uint32_t> ks = {2, 4, 8};
+  const hh::analysis::Runner runner;
+
+  // Part 1: uniform-recruit vs simple under an equal round budget
+  // (~10x simple's typical need, so failures are structural, not caps).
+  auto part1 = hh::analysis::SweepSpec("feedback-removal")
+                   .base([] {
+                     hh::core::SimulationConfig cfg;
+                     cfg.num_ants = kN;
+                     return cfg;
+                   }())
+                   .algorithms({hh::core::AlgorithmKind::kSimple,
+                                hh::core::AlgorithmKind::kUniformRecruit})
+                   .axis("k",
+                         {static_cast<double>(ks[0]),
+                          static_cast<double>(ks[1]),
+                          static_cast<double>(ks[2])},
+                         [](hh::analysis::Scenario& sc, double k) {
+                           const auto kk = static_cast<std::uint32_t>(k);
+                           sc.config.qualities =
+                               hh::core::SimulationConfig::binary_qualities(
+                                   kk, 0);  // all nests good
+                           sc.config.max_rounds = 200 * kk;
+                         });
+  const auto batch = runner.run(part1, kTrials, 0x616);
+
   hh::util::Table table({"k", "budget", "simple conv%", "simple med",
                          "uniform conv%", "uniform med"});
   std::vector<std::vector<double>> csv_rows;
-  for (std::uint32_t k : {2u, 4u, 8u}) {
-    const std::uint32_t budget = 200 * k;  // ~10x simple's typical need
-    const auto simple =
-        measure(hh::core::AlgorithmKind::kSimple, k, budget);
-    const auto uniform =
-        measure(hh::core::AlgorithmKind::kUniformRecruit, k, budget);
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    // Guard the stride pairing against axis reordering in the spec.
+    HH_EXPECTS(batch.results[i].scenario.algorithm == "simple");
+    HH_EXPECTS(batch.results[ks.size() + i].scenario.algorithm ==
+               "uniform-recruit");
+    const auto& simple = batch.results[i].aggregate;
+    const auto& uniform = batch.results[ks.size() + i].aggregate;
     table.begin_row()
-        .num(k)
-        .num(budget)
+        .num(ks[i])
+        .num(200 * ks[i])
         .num(100.0 * simple.convergence_rate, 1)
         .num(simple.converged ? simple.rounds.median : 0.0, 1)
         .num(100.0 * uniform.convergence_rate, 1)
         .num(uniform.converged ? uniform.rounds.median : 0.0, 1);
-    csv_rows.push_back({static_cast<double>(k), simple.convergence_rate,
+    csv_rows.push_back({static_cast<double>(ks[i]), simple.convergence_rate,
                         uniform.convergence_rate});
   }
   std::printf("\n[feedback removal] n = %u, all nests good:\n", kN);
@@ -68,14 +78,26 @@ int main() {
       "reinforcement cannot concentrate the colony\n");
 
   // Part 2: quorum threshold sweep (speed vs accuracy).
+  constexpr std::uint32_t kQuorumK = 4;
+  const auto qbatch =
+      runner.run(hh::analysis::SweepSpec("quorum-threshold")
+                     .base([] {
+                       hh::core::SimulationConfig cfg;
+                       cfg.num_ants = kN;
+                       cfg.qualities =
+                           hh::core::SimulationConfig::binary_qualities(
+                               kQuorumK, 0);
+                       cfg.max_rounds = 3000;
+                       return cfg;
+                     }())
+                     .algorithm(hh::core::AlgorithmKind::kQuorum)
+                     .quorum_fractions({0.10, 0.20, 0.30, 0.40, 0.55}),
+                 kTrials, 0x617);
   hh::util::Table qtable({"quorum fraction", "threshold/(n/k)", "conv%",
                           "rounds(med)", "split risk"});
-  constexpr std::uint32_t kQuorumK = 4;
-  for (double fraction : {0.10, 0.20, 0.30, 0.40, 0.55}) {
-    hh::core::AlgorithmParams params;
-    params.quorum_fraction = fraction;
-    const auto agg = measure(hh::core::AlgorithmKind::kQuorum, kQuorumK, 3000,
-                             params);
+  for (const auto& result : qbatch.results) {
+    const auto& agg = result.aggregate;
+    const double fraction = result.scenario.axis_value("quorum_fraction");
     const double rel = fraction * kQuorumK;  // threshold over n/k
     qtable.begin_row()
         .num(fraction, 2)

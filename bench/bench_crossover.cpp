@@ -11,29 +11,29 @@
 
 #include "anthill.hpp"
 
-namespace {
-
-constexpr int kTrials = 20;
-
-hh::analysis::Aggregate measure(hh::core::AlgorithmKind kind, std::uint32_t n,
-                                std::uint32_t k) {
-  hh::core::SimulationConfig cfg;
-  cfg.num_ants = n;
-  cfg.qualities = hh::core::SimulationConfig::binary_qualities(k, k / 2);
-  return hh::analysis::run_algorithm_trials(cfg, kind, kTrials,
-                                            0x90 + n * 17 + k);
-}
-
-}  // namespace
-
 int main() {
   hh::analysis::print_banner(
       "E9 — crossover: Algorithm 2 (optimal) vs Algorithm 3 (simple)",
       "simple wins at constant k; optimal wins as k grows (O(log n) vs "
       "O(k log n))");
 
+  constexpr int kTrials = 20;
   constexpr std::uint32_t kN = 1 << 14;
   const std::vector<std::uint32_t> ks = {2, 4, 8, 16, 32, 64};
+
+  hh::core::SimulationConfig base;
+  base.num_ants = kN;
+  const auto spec =
+      hh::analysis::SweepSpec("crossover")
+          .base(base)
+          .algorithms({hh::core::AlgorithmKind::kSimple,
+                       hh::core::AlgorithmKind::kOptimal})
+          .nest_counts(ks, 0.5);
+
+  const hh::analysis::Runner runner;
+  const auto batch = runner.run(spec, kTrials, 0x90);
+  // Expansion order: algorithm varies slowest — simple block, then optimal.
+  const auto& results = batch.results;
 
   hh::util::Table table({"k", "simple med", "optimal med", "ratio s/o",
                          "winner"});
@@ -42,25 +42,30 @@ int main() {
   std::vector<double> optimal_med;
   std::vector<std::vector<double>> csv_rows;
   std::uint32_t crossover_k = 0;
-  for (std::uint32_t k : ks) {
-    const auto simple = measure(hh::core::AlgorithmKind::kSimple, kN, k);
-    const auto optimal = measure(hh::core::AlgorithmKind::kOptimal, kN, k);
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    // Guard the stride pairing against axis reordering in the spec.
+    HH_EXPECTS(results[i].scenario.algorithm == "simple");
+    HH_EXPECTS(results[ks.size() + i].scenario.algorithm == "optimal");
+    HH_EXPECTS(results[i].scenario.axis_value("k") == ks[i]);
+    const auto& simple = results[i].aggregate;
+    const auto& optimal = results[ks.size() + i].aggregate;
     const double ratio = simple.rounds.median / optimal.rounds.median;
-    if (crossover_k == 0 && ratio > 1.0) crossover_k = k;
+    if (crossover_k == 0 && ratio > 1.0) crossover_k = ks[i];
     table.begin_row()
-        .num(k)
+        .num(ks[i])
         .num(simple.rounds.median, 1)
         .num(optimal.rounds.median, 1)
         .num(ratio, 2)
         .cell(ratio < 1.0 ? "simple" : "optimal");
-    xs.push_back(k);
+    xs.push_back(ks[i]);
     simple_med.push_back(simple.rounds.median);
     optimal_med.push_back(optimal.rounds.median);
-    csv_rows.push_back({static_cast<double>(k), simple.rounds.median,
+    csv_rows.push_back({static_cast<double>(ks[i]), simple.rounds.median,
                         optimal.rounds.median, ratio});
   }
-  std::printf("\nn = %u, half the nests good, %d trials per cell:\n", kN,
-              kTrials);
+  std::printf("\nn = %u, half the nests good, %d trials per cell, %u runner "
+              "threads:\n",
+              kN, kTrials, runner.threads());
   std::cout << table.render();
   if (crossover_k != 0) {
     std::printf("\ncrossover: optimal first beats simple at k = %u\n",

@@ -3,6 +3,8 @@
 //
 // We measure the empirical per-recruiter success probability across home-
 // nest sizes and active/passive mixes, against the paper's 1/16 bound.
+// Each mix is a Scenario (axes: active, passive); the per-scenario
+// measurement drives the environment directly via Runner::map.
 #include <cstdio>
 #include <iostream>
 #include <vector>
@@ -11,41 +13,42 @@
 
 namespace {
 
-struct Mix {
-  std::uint32_t active;
-  std::uint32_t passive;
-};
+constexpr std::uint32_t kRounds = 3000;
 
-double success_probability(const Mix& mix, std::uint64_t seed,
-                           std::uint32_t rounds) {
+/// Empirical per-recruiter success probability over kRounds rounds.
+double success_probability(const hh::analysis::Scenario& scenario,
+                           std::uint64_t seed) {
+  const auto active =
+      static_cast<std::uint32_t>(scenario.axis_value("active"));
+  const std::uint32_t passive = scenario.config.num_ants - active;
   hh::env::EnvironmentConfig cfg;
-  cfg.num_ants = mix.active + mix.passive;
-  cfg.qualities = {1.0};
+  cfg.num_ants = scenario.config.num_ants;
+  cfg.qualities = scenario.config.qualities;
   cfg.seed = seed;
   hh::env::Environment environment(std::move(cfg));
 
   // Everyone learns nest 1 in the search round, then the actives recruit
   // for it each round while the passives wait.
-  std::vector<hh::env::Action> search(mix.active + mix.passive,
+  std::vector<hh::env::Action> search(active + passive,
                                       hh::env::Action::search());
   environment.step(search);
   std::vector<hh::env::Action> round;
-  for (std::uint32_t a = 0; a < mix.active; ++a) {
+  for (std::uint32_t a = 0; a < active; ++a) {
     round.push_back(hh::env::Action::recruit(true, 1));
   }
-  for (std::uint32_t p = 0; p < mix.passive; ++p) {
+  for (std::uint32_t p = 0; p < passive; ++p) {
     round.push_back(hh::env::Action::recruit(false, 1));
   }
 
   std::uint64_t successes = 0;
-  for (std::uint32_t r = 0; r < rounds; ++r) {
+  for (std::uint32_t r = 0; r < kRounds; ++r) {
     const auto& outcomes = environment.step(round);
-    for (std::uint32_t a = 0; a < mix.active; ++a) {
+    for (std::uint32_t a = 0; a < active; ++a) {
       successes += outcomes[a].recruit_succeeded ? 1 : 0;
     }
   }
   return static_cast<double>(successes) /
-         (static_cast<double>(mix.active) * rounds);
+         (static_cast<double>(active) * kRounds);
 }
 
 }  // namespace
@@ -55,31 +58,52 @@ int main() {
       "E1 / Lemma 2.1 — recruit(1,.) success probability",
       "each active recruiter succeeds w.p. >= 1/16 when c(0,r) >= 2");
 
-  const std::vector<Mix> mixes = {
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> mixes = {
       {2, 0},    {4, 0},     {16, 0},   {64, 0},   {256, 0},  {1024, 0},
       {4096, 0}, {2, 14},    {8, 8},    {8, 56},   {32, 96},  {128, 128},
       {64, 960}, {512, 512}, {1024, 3072}};
-  constexpr std::uint32_t kRounds = 3000;
+
+  std::vector<hh::analysis::SweepSpec::Point> points;
+  for (const auto& [active, passive] : mixes) {
+    points.push_back({std::to_string(active) + "+" + std::to_string(passive),
+                      static_cast<double>(active),
+                      [active = active, passive = passive](
+                          hh::analysis::Scenario& sc) {
+                        sc.axes.push_back({"passive",
+                                           static_cast<double>(passive),
+                                           std::to_string(passive)});
+                        sc.config.num_ants = active + passive;
+                        sc.config.qualities = {1.0};
+                      }});
+  }
+  const auto scenarios = hh::analysis::SweepSpec("lemma21")
+                             .axis("active", std::move(points))
+                             .expand();
+
+  const hh::analysis::Runner runner;
+  const auto probabilities =
+      runner.map(scenarios, /*trials=*/1, 0xE1, success_probability);
 
   hh::util::Table table(
       {"active", "passive", "c(0,r)", "P[success]", "ci(99%)", ">=1/16?"});
   std::vector<std::vector<double>> csv_rows;
   bool all_hold = true;
-  for (const Mix& mix : mixes) {
-    const double p = success_probability(mix, 0xE1, kRounds);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const auto& [active, passive] = mixes[i];
+    const double p = probabilities[i][0];
     const double ci = hh::util::proportion_ci_halfwidth(
-        p, static_cast<std::size_t>(mix.active) * kRounds);
+        p, static_cast<std::size_t>(active) * kRounds);
     const bool holds = p >= 1.0 / 16.0;
     all_hold = all_hold && holds;
     table.begin_row()
-        .num(mix.active)
-        .num(mix.passive)
-        .num(mix.active + mix.passive)
+        .num(active)
+        .num(passive)
+        .num(active + passive)
         .num(p, 4)
         .num(ci, 5)
         .cell(holds ? "yes" : "NO");
-    csv_rows.push_back({static_cast<double>(mix.active),
-                        static_cast<double>(mix.passive), p, ci});
+    csv_rows.push_back({static_cast<double>(active),
+                        static_cast<double>(passive), p, ci});
   }
   std::cout << table.render();
   std::printf("\npaper bound: 1/16 = %.4f;  bound holds for all mixes: %s\n",

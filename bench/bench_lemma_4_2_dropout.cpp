@@ -9,6 +9,7 @@
 // (rounds r with r = 3 mod 4) contain exactly the active cohorts —
 // passives are at the home nest and finals recruit from home — so
 // consecutive R2 snapshots give per-block Y samples and dropout events.
+// Trials fan out on the sweep runner; per-trial digests merge serially.
 #include <cstdio>
 #include <iostream>
 #include <vector>
@@ -17,22 +18,21 @@
 
 namespace {
 
+/// Per-trial digest of the block dynamics.
 struct BlockStats {
-  std::vector<double> deltas;      // Y samples for nests competing twice
+  std::vector<double> deltas;          // Y samples for nests competing twice
   std::uint64_t competing_blocks = 0;  // nest-blocks with m_b > 1
   std::uint64_t dropouts = 0;          // nest died between blocks
 };
 
-void collect(std::uint32_t n, std::uint32_t k, std::uint64_t seed,
-             BlockStats& stats) {
-  hh::core::SimulationConfig cfg;
-  cfg.num_ants = n;
-  cfg.qualities = hh::core::SimulationConfig::binary_qualities(k, 0);
-  cfg.seed = seed;
-  cfg.record_trajectories = true;
-  hh::core::Simulation sim(cfg, hh::core::AlgorithmKind::kOptimal);
-  const auto result = sim.run();
+BlockStats collect(const hh::analysis::Scenario& scenario,
+                   std::uint64_t seed) {
+  const auto k =
+      static_cast<std::uint32_t>(scenario.config.qualities.size());
+  auto sim = scenario.make_simulation(seed);
+  const auto result = sim->run();
 
+  BlockStats stats;
   // R2 rounds are 3, 7, 11, ... (round 1 = search; blocks start round 2).
   std::vector<std::vector<std::uint32_t>> snapshots;
   for (std::uint32_t r = 3; r <= result.rounds_executed; r += 4) {
@@ -53,6 +53,7 @@ void collect(std::uint32_t n, std::uint32_t k, std::uint64_t seed,
       }
     }
   }
+  return stats;
 }
 
 }  // namespace
@@ -63,16 +64,37 @@ int main() {
       "per-block population change is symmetric; P[drop out] >= 1/66 per "
       "block while competition lasts");
 
+  constexpr int kTrials = 40;
+  auto base = hh::core::SimulationConfig{};
+  base.record_trajectories = true;
+  const auto scenarios =
+      hh::analysis::SweepSpec("lemma42")
+          .base(base)
+          .algorithm(hh::core::AlgorithmKind::kOptimal)
+          .colony_nest_pairs({{256, 2},
+                              {256, 4},
+                              {1024, 4},
+                              {1024, 8},
+                              {4096, 8},
+                              {4096, 16}},
+                             0.0)  // all nests good
+          .expand();
+
+  const hh::analysis::Runner runner;
+  const auto digests = runner.map(scenarios, kTrials, 0x42, collect);
+
   hh::util::Table table({"n", "k", "Y samples", "P[Y<0]", "P[Y>0]", "E[Y]",
                          "P[dropout/block]", ">=1/66?"});
   std::vector<std::vector<double>> csv_rows;
   bool all_hold = true;
   hh::util::Histogram overall(-40.0, 40.0, 16);
-  for (const auto& [n, k] : std::vector<std::pair<std::uint32_t, std::uint32_t>>{
-           {256, 2}, {256, 4}, {1024, 4}, {1024, 8}, {4096, 8}, {4096, 16}}) {
-    BlockStats stats;
-    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
-      collect(n, k, 0x42 * seed + n + k, stats);
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    BlockStats stats;  // merged over the scenario's trials, in trial order
+    for (const BlockStats& d : digests[s]) {
+      stats.deltas.insert(stats.deltas.end(), d.deltas.begin(),
+                          d.deltas.end());
+      stats.competing_blocks += d.competing_blocks;
+      stats.dropouts += d.dropouts;
     }
     std::uint64_t neg = 0;
     std::uint64_t pos = 0;
@@ -93,16 +115,16 @@ int main() {
     const bool holds = p_drop >= 1.0 / 66.0;
     all_hold = all_hold && holds;
     table.begin_row()
-        .num(n)
-        .num(k)
-        .num(stats.deltas.size())
+        .num(scenarios[s].axis_value("n"), 0)
+        .num(scenarios[s].axis_value("k"), 0)
+        .num(static_cast<std::uint64_t>(stats.deltas.size()))
         .num(p_neg, 3)
         .num(p_pos, 3)
         .num(samples ? sum / samples : 0.0, 2)
         .num(p_drop, 4)
         .cell(holds ? "yes" : "NO");
-    csv_rows.push_back({static_cast<double>(n), static_cast<double>(k), p_neg,
-                        p_pos, p_drop});
+    csv_rows.push_back({scenarios[s].axis_value("n"),
+                        scenarios[s].axis_value("k"), p_neg, p_pos, p_drop});
   }
   std::cout << table.render();
   std::printf("\npaper bound: 1/66 = %.4f;  all configurations above it: %s\n",

@@ -3,7 +3,8 @@
 // E[epsilon(i, j, 1)] >= 1/(3(n-1)).
 //
 // The gap seeds Algorithm 3's positive feedback; this bench measures its
-// distribution across colony sizes.
+// distribution across colony sizes — 4000 environment trials per (n, k)
+// cell, fanned out by the sweep runner.
 #include <cstdio>
 #include <iostream>
 #include <vector>
@@ -12,10 +13,12 @@
 
 namespace {
 
-double one_gap(std::uint32_t n, std::uint32_t k, std::uint64_t seed) {
+/// epsilon(1, 2, 1) of one environment trial.
+double one_gap(const hh::analysis::Scenario& scenario, std::uint64_t seed) {
+  const std::uint32_t n = scenario.config.num_ants;
   hh::env::EnvironmentConfig cfg;
   cfg.num_ants = n;
-  cfg.qualities.assign(k, 1.0);
+  cfg.qualities = scenario.config.qualities;
   cfg.seed = seed;
   hh::env::Environment environment(std::move(cfg));
   std::vector<hh::env::Action> search(n, hh::env::Action::search());
@@ -35,33 +38,41 @@ int main() {
       "E[epsilon(i,j,1)] >= 1/(3(n-1)) for any two good nests");
 
   constexpr int kTrials = 4000;
+  const auto scenarios =
+      hh::analysis::SweepSpec("lemma54")
+          .colony_nest_pairs({{64, 2},
+                              {256, 2},
+                              {1024, 2},
+                              {4096, 2},
+                              {1024, 8},
+                              {4096, 16}},
+                             0.0)  // all nests good
+          .expand();
+
+  const hh::analysis::Runner runner;
+  const auto gaps = runner.map(scenarios, kTrials, 0x54, one_gap);
+
   hh::util::Table table({"n", "k", "E[eps]", "median eps", "P[eps=0]",
                          "1/(3(n-1))", "bound ok?"});
   std::vector<std::vector<double>> csv_rows;
   bool all_hold = true;
-  for (const auto& [n, k] : std::vector<std::pair<std::uint32_t, std::uint32_t>>{
-           {64, 2}, {256, 2}, {1024, 2}, {4096, 2}, {1024, 8}, {4096, 16}}) {
-    std::vector<double> gaps;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const double n = scenarios[i].axis_value("n");
     int zero = 0;
-    for (int t = 0; t < kTrials; ++t) {
-      const double g = one_gap(n, k, 0x54 + t * 13 + n);
-      gaps.push_back(g);
-      zero += g == 0.0;
-    }
+    for (double g : gaps[i]) zero += g == 0.0;
     const double bound = 1.0 / (3.0 * (n - 1.0));
-    const double mean_gap = hh::util::mean(gaps);
+    const double mean_gap = hh::util::mean(gaps[i]);
     const bool holds = mean_gap >= bound;
     all_hold = all_hold && holds;
     table.begin_row()
-        .num(n)
-        .num(k)
+        .num(n, 0)
+        .num(scenarios[i].axis_value("k"), 0)
         .num(mean_gap, 5)
-        .num(hh::util::median(gaps), 5)
+        .num(hh::util::median(gaps[i]), 5)
         .num(static_cast<double>(zero) / kTrials, 4)
         .num(bound, 6)
         .cell(holds ? "yes" : "NO");
-    csv_rows.push_back({static_cast<double>(n), static_cast<double>(k),
-                        mean_gap, bound});
+    csv_rows.push_back({n, scenarios[i].axis_value("k"), mean_gap, bound});
   }
   std::cout << table.render();
   std::printf("\nbound holds for all configurations: %s\n",

@@ -7,7 +7,7 @@
 // drops below n/(dk) with d = 64 (the paper's constant) and (b) its
 // extinction round. The paper predicts the spread between the two is
 // O(k log n), and that populations below the threshold never recover to
-// win.
+// win. Trials fan out on the sweep runner; digests merge serially.
 #include <cmath>
 #include <cstdio>
 #include <iostream>
@@ -17,22 +17,22 @@
 
 namespace {
 
+/// Per-trial digest of the extinction dynamics.
 struct Extinction {
   std::vector<double> below_to_death;  // rounds from threshold-cross to death
   std::uint32_t recovered = 0;         // crossed below yet won the race
   std::uint32_t losers = 0;
 };
 
-void collect(std::uint32_t n, std::uint32_t k, std::uint64_t seed,
-             Extinction& out) {
-  hh::core::SimulationConfig cfg;
-  cfg.num_ants = n;
-  cfg.qualities = hh::core::SimulationConfig::binary_qualities(k, 0);
-  cfg.seed = seed;
-  cfg.record_trajectories = true;
-  hh::core::Simulation sim(cfg, hh::core::AlgorithmKind::kSimple);
-  const auto result = sim.run();
-  if (!result.converged) return;
+Extinction collect(const hh::analysis::Scenario& scenario,
+                   std::uint64_t seed) {
+  const std::uint32_t n = scenario.config.num_ants;
+  const auto k =
+      static_cast<std::uint32_t>(scenario.config.qualities.size());
+  auto sim = scenario.make_simulation(seed);
+  const auto result = sim->run();
+  Extinction out;
+  if (!result.converged) return out;
 
   const double threshold = static_cast<double>(n) / (64.0 * k);
   for (hh::env::NestId i = 1; i <= k; ++i) {
@@ -56,6 +56,7 @@ void collect(std::uint32_t n, std::uint32_t k, std::uint64_t seed,
       out.below_to_death.push_back(static_cast<double>(death - below_round));
     }
   }
+  return out;
 }
 
 }  // namespace
@@ -66,32 +67,52 @@ int main() {
       "a nest below n/(dk) ants empties within O(k log n) rounds and never "
       "recovers");
 
+  constexpr int kTrials = 20;
+  auto base = hh::core::SimulationConfig{};
+  base.record_trajectories = true;
+  const auto scenarios = hh::analysis::SweepSpec("lemma59")
+                             .base(base)
+                             .algorithm(hh::core::AlgorithmKind::kSimple)
+                             .colony_nest_pairs({{1024, 2},
+                                                 {1024, 4},
+                                                 {4096, 4},
+                                                 {4096, 8},
+                                                 {16384, 8}},
+                                                0.0)  // all nests good
+                             .expand();
+
+  const hh::analysis::Runner runner;
+  const auto digests = runner.map(scenarios, kTrials, 0x59, collect);
+
   hh::util::Table table({"n", "k", "losers", "med cross->death",
                          "p95 cross->death", "64(c+4)k*log n (c=1)",
                          "recoveries"});
   std::vector<std::vector<double>> csv_rows;
   std::uint32_t total_recoveries = 0;
-  for (const auto& [n, k] : std::vector<std::pair<std::uint32_t, std::uint32_t>>{
-           {1024, 2}, {1024, 4}, {4096, 4}, {4096, 8}, {16384, 8}}) {
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
     Extinction stats;
-    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
-      collect(n, k, 0x59 * seed + n - k, stats);
+    for (const Extinction& d : digests[s]) {
+      stats.below_to_death.insert(stats.below_to_death.end(),
+                                  d.below_to_death.begin(),
+                                  d.below_to_death.end());
+      stats.recovered += d.recovered;
+      stats.losers += d.losers;
     }
     total_recoveries += stats.recovered;
-    const double paper_budget =
-        64.0 * 5.0 * k * std::log2(static_cast<double>(n));
+    const double n = scenarios[s].axis_value("n");
+    const double k = scenarios[s].axis_value("k");
+    const double paper_budget = 64.0 * 5.0 * k * std::log2(n);
     if (stats.below_to_death.empty()) continue;
     const auto summary = hh::util::summarize(stats.below_to_death);
     table.begin_row()
-        .num(n)
-        .num(k)
+        .num(n, 0)
+        .num(k, 0)
         .num(stats.losers)
         .num(summary.median, 1)
         .num(summary.p95, 1)
         .num(paper_budget, 0)
         .num(stats.recovered);
-    csv_rows.push_back({static_cast<double>(n), static_cast<double>(k),
-                        summary.median, summary.p95, paper_budget});
+    csv_rows.push_back({n, k, summary.median, summary.p95, paper_budget});
   }
   std::cout << table.render();
   std::printf(

@@ -63,41 +63,33 @@ void BM_EnvironmentRound(benchmark::State& state) {
 }
 BENCHMARK(BM_EnvironmentRound)->Range(256, 1 << 17);
 
-void BM_SimpleAlgorithmEndToEnd(benchmark::State& state) {
+/// End-to-end simulation through the Scenario + registry path (the same
+/// construction Runner::run performs per trial).
+void BM_AlgorithmEndToEnd(benchmark::State& state, const char* algorithm) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
+  hh::core::SimulationConfig cfg;
+  cfg.num_ants = n;
+  cfg.qualities = hh::core::SimulationConfig::binary_qualities(4, 2);
+  const auto scenario = hh::analysis::Scenario{
+      .name = algorithm, .algorithm = algorithm, .config = cfg};
   std::uint64_t seed = 1;
   std::uint64_t total_rounds = 0;
   for (auto _ : state) {
-    hh::core::SimulationConfig cfg;
-    cfg.num_ants = n;
-    cfg.qualities = hh::core::SimulationConfig::binary_qualities(4, 2);
-    cfg.seed = seed++;
-    hh::core::Simulation sim(cfg, hh::core::AlgorithmKind::kSimple);
-    const auto result = sim.run();
+    const auto result = scenario.make_simulation(seed++)->run();
     total_rounds += result.rounds_executed;
     benchmark::DoNotOptimize(result);
   }
   state.counters["ant_rounds/s"] = benchmark::Counter(
       static_cast<double>(total_rounds) * n, benchmark::Counter::kIsRate);
 }
+
+void BM_SimpleAlgorithmEndToEnd(benchmark::State& state) {
+  BM_AlgorithmEndToEnd(state, "simple");
+}
 BENCHMARK(BM_SimpleAlgorithmEndToEnd)->Range(256, 1 << 14);
 
 void BM_OptimalAlgorithmEndToEnd(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  std::uint64_t seed = 1;
-  std::uint64_t total_rounds = 0;
-  for (auto _ : state) {
-    hh::core::SimulationConfig cfg;
-    cfg.num_ants = n;
-    cfg.qualities = hh::core::SimulationConfig::binary_qualities(4, 2);
-    cfg.seed = seed++;
-    hh::core::Simulation sim(cfg, hh::core::AlgorithmKind::kOptimal);
-    const auto result = sim.run();
-    total_rounds += result.rounds_executed;
-    benchmark::DoNotOptimize(result);
-  }
-  state.counters["ant_rounds/s"] = benchmark::Counter(
-      static_cast<double>(total_rounds) * n, benchmark::Counter::kIsRate);
+  BM_AlgorithmEndToEnd(state, "optimal");
 }
 BENCHMARK(BM_OptimalAlgorithmEndToEnd)->Range(256, 1 << 14);
 

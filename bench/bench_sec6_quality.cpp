@@ -14,50 +14,22 @@
 
 namespace {
 
-constexpr int kTrials = 40;
-constexpr std::uint32_t kN = 1024;
-
-struct QualityOutcome {
-  double mean_winner_quality = 0.0;
-  double best_win_rate = 0.0;
-  double median_rounds = 0.0;
-  double convergence_rate = 0.0;
-};
-
-QualityOutcome run(hh::core::AlgorithmKind kind,
-                   const std::vector<double>& qualities) {
-  // Identify the best nest for the win-rate statistic.
+/// P[the single best nest wins | converged], from per-trial winners.
+double best_win_rate(const hh::analysis::ScenarioResult& result) {
+  const auto& qualities = result.scenario.config.qualities;
   std::size_t best = 0;
   for (std::size_t i = 1; i < qualities.size(); ++i) {
     if (qualities[i] > qualities[best]) best = i;
   }
   const auto best_nest = static_cast<hh::env::NestId>(best + 1);
-
-  double quality_sum = 0.0;
-  std::uint32_t best_wins = 0;
-  std::uint32_t converged = 0;
-  std::vector<double> rounds;
-  for (int t = 0; t < kTrials; ++t) {
-    hh::core::SimulationConfig cfg;
-    cfg.num_ants = kN;
-    cfg.qualities = qualities;
-    cfg.seed = 0x611 + t * 41;
-    hh::core::Simulation sim(cfg, kind);
-    const auto result = sim.run();
-    if (!result.converged) continue;
-    ++converged;
-    quality_sum += result.winner_quality;
-    best_wins += result.winner == best_nest ? 1 : 0;
-    rounds.push_back(result.rounds);
+  std::uint32_t wins = 0;
+  for (const auto& trial : result.trials) {
+    wins += (trial.converged && trial.winner == best_nest) ? 1 : 0;
   }
-  QualityOutcome out;
-  out.convergence_rate = static_cast<double>(converged) / kTrials;
-  if (converged > 0) {
-    out.mean_winner_quality = quality_sum / converged;
-    out.best_win_rate = static_cast<double>(best_wins) / converged;
-    out.median_rounds = hh::util::median(rounds);
-  }
-  return out;
+  return result.aggregate.converged == 0
+             ? 0.0
+             : static_cast<double>(wins) /
+                   static_cast<double>(result.aggregate.converged);
 }
 
 }  // namespace
@@ -68,38 +40,45 @@ int main() {
       "quality-weighted recruitment converges to a high-quality nest "
       "without significantly affecting runtime");
 
-  const std::vector<std::pair<const char*, std::vector<double>>> scenarios = {
-      {"spread", {1.0, 0.8, 0.6, 0.4, 0.2, 0.1}},
-      {"one-clear-best", {1.0, 0.3, 0.3, 0.3}},
-      {"close-call", {1.0, 0.9, 0.5, 0.5}},
-      {"many-poor", {0.9, 0.15, 0.15, 0.15, 0.15, 0.15, 0.15, 0.15}}};
+  constexpr int kTrials = 40;
+  constexpr std::uint32_t kN = 1024;
+
+  const auto batch = hh::analysis::Runner().run(
+      hh::analysis::SweepSpec("non-binary-quality")
+          .base([] {
+            hh::core::SimulationConfig cfg;
+            cfg.num_ants = kN;
+            return cfg;
+          }())
+          .quality_sets(
+              {{"spread", {1.0, 0.8, 0.6, 0.4, 0.2, 0.1}},
+               {"one-clear-best", {1.0, 0.3, 0.3, 0.3}},
+               {"close-call", {1.0, 0.9, 0.5, 0.5}},
+               {"many-poor",
+                {0.9, 0.15, 0.15, 0.15, 0.15, 0.15, 0.15, 0.15}}})
+          .algorithms({hh::core::AlgorithmKind::kQualityAware,
+                       hh::core::AlgorithmKind::kSimple}),
+      kTrials, 0x611);
 
   hh::util::Table table({"scenario", "algorithm", "conv%", "E[winner q]",
                          "P[best wins]", "rounds(med)"});
   std::vector<std::vector<double>> csv_rows;
-  double scenario_id = 0.0;
-  for (const auto& [name, qualities] : scenarios) {
-    const auto aware = run(hh::core::AlgorithmKind::kQualityAware, qualities);
-    const auto plain = run(hh::core::AlgorithmKind::kSimple, qualities);
+  for (std::size_t i = 0; i < batch.results.size(); ++i) {
+    // Quality set is the outer axis; algorithm alternates within it.
+    const auto& result = batch.results[i];
+    const auto& agg = result.aggregate;
+    const bool aware = result.scenario.algorithm == "quality-aware";
+    const double wins = best_win_rate(result);
     table.begin_row()
-        .cell(name)
-        .cell("quality-aware")
-        .num(100.0 * aware.convergence_rate, 1)
-        .num(aware.mean_winner_quality, 3)
-        .num(aware.best_win_rate, 2)
-        .num(aware.median_rounds, 1);
-    table.begin_row()
-        .cell(name)
-        .cell("simple (blind)")
-        .num(100.0 * plain.convergence_rate, 1)
-        .num(plain.mean_winner_quality, 3)
-        .num(plain.best_win_rate, 2)
-        .num(plain.median_rounds, 1);
-    csv_rows.push_back({scenario_id, 1.0, aware.mean_winner_quality,
-                        aware.best_win_rate, aware.median_rounds});
-    csv_rows.push_back({scenario_id, 0.0, plain.mean_winner_quality,
-                        plain.best_win_rate, plain.median_rounds});
-    scenario_id += 1.0;
+        .cell(std::string(result.scenario.axis_label("qualities")))
+        .cell(aware ? "quality-aware" : "simple (blind)")
+        .num(100.0 * agg.convergence_rate, 1)
+        .num(agg.mean_winner_quality, 3)
+        .num(wins, 2)
+        .num(agg.rounds.median, 1);
+    csv_rows.push_back({result.scenario.axis_value("qualities"),
+                        aware ? 1.0 : 0.0, agg.mean_winner_quality, wins,
+                        agg.rounds.median});
   }
   std::printf("\nn = %u, %d trials per cell:\n", kN, kTrials);
   std::cout << table.render();

@@ -12,47 +12,52 @@
 
 #include "anthill.hpp"
 
-namespace {
-
-constexpr int kTrials = 20;
-
-hh::analysis::Aggregate measure(hh::core::AlgorithmKind kind, std::uint32_t n,
-                                std::uint32_t k) {
-  hh::core::SimulationConfig cfg;
-  cfg.num_ants = n;
-  cfg.qualities = hh::core::SimulationConfig::binary_qualities(k, k / 2);
-  return hh::analysis::run_algorithm_trials(cfg, kind, kTrials,
-                                            0x610 + n * 19 + k);
-}
-
-}  // namespace
-
 int main() {
   hh::analysis::print_banner(
       "E10 / Section 6 — rate-boosted recruitment vs Algorithm 3",
       "recruiting at rate ~ (c/n)*k~(r) removes the Theta(k) factor "
       "(conjectured O(log^c n))");
 
+  constexpr int kTrials = 20;
   constexpr std::uint32_t kN = 1 << 14;
+  const std::vector<std::uint32_t> ks = {2, 4, 8, 16, 32, 64};
+  const hh::analysis::Runner runner;
+
+  const auto batch =
+      runner.run(hh::analysis::SweepSpec("rate-boosted/ksweep")
+                     .base([] {
+                       hh::core::SimulationConfig cfg;
+                       cfg.num_ants = kN;
+                       return cfg;
+                     }())
+                     .algorithms({hh::core::AlgorithmKind::kSimple,
+                                  hh::core::AlgorithmKind::kRateBoosted})
+                     .nest_counts(ks, 0.5),
+                 kTrials, 0x610);
+
   hh::util::Table ktable(
       {"k", "simple med", "boosted med", "speedup", "boosted conv%"});
   std::vector<double> xs;
   std::vector<double> simple_med;
   std::vector<double> boosted_med;
   std::vector<std::vector<double>> csv_rows;
-  for (std::uint32_t k : {2u, 4u, 8u, 16u, 32u, 64u}) {
-    const auto simple = measure(hh::core::AlgorithmKind::kSimple, kN, k);
-    const auto boosted = measure(hh::core::AlgorithmKind::kRateBoosted, kN, k);
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    // Algorithm is the outer axis: simple block first, then boosted.
+    HH_EXPECTS(batch.results[i].scenario.algorithm == "simple");
+    HH_EXPECTS(batch.results[ks.size() + i].scenario.algorithm ==
+               "rate-boosted");
+    const auto& simple = batch.results[i].aggregate;
+    const auto& boosted = batch.results[ks.size() + i].aggregate;
     ktable.begin_row()
-        .num(k)
+        .num(ks[i])
         .num(simple.rounds.median, 1)
         .num(boosted.rounds.median, 1)
         .num(simple.rounds.median / boosted.rounds.median, 2)
         .num(100.0 * boosted.convergence_rate, 1);
-    xs.push_back(k);
+    xs.push_back(ks[i]);
     simple_med.push_back(simple.rounds.median);
     boosted_med.push_back(boosted.rounds.median);
-    csv_rows.push_back({static_cast<double>(k), simple.rounds.median,
+    csv_rows.push_back({static_cast<double>(ks[i]), simple.rounds.median,
                         boosted.rounds.median});
   }
   std::printf("\n[k sweep] n = %u:\n", kN);
@@ -73,24 +78,30 @@ int main() {
 
   // n sweep at large k: the boosted variant should scale ~polylog n.
   constexpr std::uint32_t kK = 32;
+  const auto nbatch =
+      runner.run(hh::analysis::SweepSpec("rate-boosted/nsweep")
+                     .algorithm(hh::core::AlgorithmKind::kRateBoosted)
+                     .nest_counts({kK}, 0.5)
+                     .colony_sizes({1u << 11, 1u << 13, 1u << 15, 1u << 17}),
+                 kTrials, 0x611);
   hh::util::Table ntable({"n", "log2(n)", "boosted med", "boosted p95"});
-  std::vector<double> ns;
+  std::vector<double> nsv;
   std::vector<double> meds;
-  for (std::uint32_t n : {1u << 11, 1u << 13, 1u << 15, 1u << 17}) {
-    const auto boosted = measure(hh::core::AlgorithmKind::kRateBoosted, n, kK);
+  for (const auto& result : nbatch.results) {
+    const auto& agg = result.aggregate;
+    const double n = result.scenario.axis_value("n");
     ntable.begin_row()
-        .num(n)
-        .num(std::log2(static_cast<double>(n)), 1)
-        .num(boosted.rounds.median, 1)
-        .num(boosted.rounds.p95, 1);
-    ns.push_back(n);
-    meds.push_back(boosted.rounds.median);
-    csv_rows.push_back(
-        {static_cast<double>(n) + 0.5, 0.0, boosted.rounds.median});
+        .num(n, 0)
+        .num(std::log2(n), 1)
+        .num(agg.rounds.median, 1)
+        .num(agg.rounds.p95, 1);
+    nsv.push_back(n);
+    meds.push_back(agg.rounds.median);
+    csv_rows.push_back({n + 0.5, 0.0, agg.rounds.median});
   }
   std::printf("\n[n sweep] k = %u:\n", kK);
   std::cout << ntable.render();
-  const auto nfit = hh::util::fit_logarithmic(ns, meds);
+  const auto nfit = hh::util::fit_logarithmic(nsv, meds);
   hh::analysis::print_fit(nfit, "log2(n)", "polylog-n rounds at large k");
 
   const auto path = hh::analysis::write_csv(

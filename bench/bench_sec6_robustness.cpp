@@ -16,37 +16,49 @@ constexpr int kTrials = 20;
 constexpr std::uint32_t kN = 1024;
 constexpr std::uint32_t kK = 4;
 
-hh::analysis::Aggregate measure(hh::core::AlgorithmKind kind,
-                                const hh::core::SimulationConfig& base,
-                                std::uint64_t salt) {
-  hh::core::SimulationConfig cfg = base;
-  // Cap the cost of non-converging (fragile) configurations.
-  cfg.max_rounds = 4000;
-  return hh::analysis::run_algorithm_trials(cfg, kind, kTrials, 0x612 + salt);
-}
-
 hh::core::SimulationConfig base_config() {
   hh::core::SimulationConfig cfg;
   cfg.num_ants = kN;
   cfg.qualities = hh::core::SimulationConfig::binary_qualities(kK, kK / 2);
+  // Cap the cost of non-converging (fragile) configurations.
+  cfg.max_rounds = 4000;
   return cfg;
 }
 
-void emit_row(hh::util::Table& table, const char* sweep, double level,
-              const hh::analysis::Aggregate& simple,
-              const hh::analysis::Aggregate& optimal,
-              std::vector<std::vector<double>>& csv_rows, double sweep_id) {
-  table.begin_row()
-      .cell(sweep)
-      .num(level, 2)
-      .num(100.0 * simple.convergence_rate, 1)
-      .num(simple.converged ? simple.rounds.median : 0.0, 1)
-      .num(100.0 * optimal.convergence_rate, 1)
-      .num(optimal.converged ? optimal.rounds.median : 0.0, 1);
-  csv_rows.push_back({sweep_id, level, simple.convergence_rate,
-                      simple.converged ? simple.rounds.median : 0.0,
-                      optimal.convergence_rate,
-                      optimal.converged ? optimal.rounds.median : 0.0});
+/// One perturbation sweep: `levels` of one knob x {simple, other}. The
+/// level axis is outermost, so results come in (simple, other) pairs.
+void emit_sweep(const hh::analysis::Runner& runner, const char* sweep,
+                hh::core::AlgorithmKind other, std::uint64_t seed,
+                const std::vector<double>& levels,
+                const std::function<void(hh::analysis::Scenario&, double)>&
+                    apply,
+                hh::util::Table& table,
+                std::vector<std::vector<double>>& csv_rows, double sweep_id) {
+  const auto batch =
+      runner.run(hh::analysis::SweepSpec(sweep)
+                     .base(base_config())
+                     .axis("level", levels, apply)
+                     .algorithms({hh::core::AlgorithmKind::kSimple, other}),
+                 kTrials, seed);
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    // Guard the stride pairing against axis reordering in the spec.
+    HH_EXPECTS(batch.results[2 * i].scenario.algorithm == "simple");
+    HH_EXPECTS(batch.results[2 * i].scenario.axis_value("level") ==
+               levels[i]);
+    const auto& simple = batch.results[2 * i].aggregate;
+    const auto& other_agg = batch.results[2 * i + 1].aggregate;
+    table.begin_row()
+        .cell(sweep)
+        .num(levels[i], 2)
+        .num(100.0 * simple.convergence_rate, 1)
+        .num(simple.converged ? simple.rounds.median : 0.0, 1)
+        .num(100.0 * other_agg.convergence_rate, 1)
+        .num(other_agg.converged ? other_agg.rounds.median : 0.0, 1);
+    csv_rows.push_back({sweep_id, levels[i], simple.convergence_rate,
+                        simple.converged ? simple.rounds.median : 0.0,
+                        other_agg.convergence_rate,
+                        other_agg.converged ? other_agg.rounds.median : 0.0});
+  }
 }
 
 }  // namespace
@@ -63,68 +75,60 @@ int main() {
   hh::util::Table table({"sweep", "level", "simple conv%", "simple med",
                          "other conv%", "other med"});
   std::vector<std::vector<double>> csv_rows;
+  const hh::analysis::Runner runner;
+  constexpr auto kOptimal = hh::core::AlgorithmKind::kOptimal;
 
   // E12: unbiased multiplicative count noise.
-  for (double sigma : {0.0, 0.25, 0.5, 0.75, 1.0, 1.5}) {
-    auto cfg = base_config();
-    cfg.noise.count_sigma = sigma;
-    emit_row(table, "count-noise sigma", sigma,
-             measure(hh::core::AlgorithmKind::kSimple, cfg, 1),
-             measure(hh::core::AlgorithmKind::kOptimal, cfg, 2), csv_rows, 0);
-  }
+  emit_sweep(runner, "count-noise sigma", kOptimal, 0x612,
+             {0.0, 0.25, 0.5, 0.75, 1.0, 1.5},
+             [](hh::analysis::Scenario& sc, double sigma) {
+               sc.config.noise.count_sigma = sigma;
+             },
+             table, csv_rows, 0);
   // E12b: binary quality misperception.
-  for (double flip : {0.02, 0.05, 0.10}) {
-    auto cfg = base_config();
-    cfg.noise.quality_flip_prob = flip;
-    emit_row(table, "quality-flip prob", flip,
-             measure(hh::core::AlgorithmKind::kSimple, cfg, 3),
-             measure(hh::core::AlgorithmKind::kOptimal, cfg, 4), csv_rows, 1);
-  }
+  emit_sweep(runner, "quality-flip prob", kOptimal, 0x613,
+             {0.02, 0.05, 0.10},
+             [](hh::analysis::Scenario& sc, double flip) {
+               sc.config.noise.quality_flip_prob = flip;
+             },
+             table, csv_rows, 1);
   // E13: crash faults.
-  for (double crash : {0.05, 0.10, 0.20, 0.30}) {
-    auto cfg = base_config();
-    cfg.faults.crash_fraction = crash;
-    emit_row(table, "crash fraction", crash,
-             measure(hh::core::AlgorithmKind::kSimple, cfg, 5),
-             measure(hh::core::AlgorithmKind::kOptimal, cfg, 6), csv_rows, 2);
-  }
+  emit_sweep(runner, "crash fraction", kOptimal, 0x614,
+             {0.05, 0.10, 0.20, 0.30},
+             [](hh::analysis::Scenario& sc, double crash) {
+               sc.config.faults.crash_fraction = crash;
+             },
+             table, csv_rows, 2);
   // E13b: Byzantine recruiters (epsilon-agreement; see convergence docs).
-  for (double byz : {0.02, 0.05, 0.10}) {
-    auto cfg = base_config();
-    cfg.faults.byzantine_fraction = byz;
-    cfg.convergence_tolerance = 3.0 * byz;
-    cfg.stability_rounds = 10;
-    emit_row(table, "byzantine fraction", byz,
-             measure(hh::core::AlgorithmKind::kSimple, cfg, 7),
-             measure(hh::core::AlgorithmKind::kOptimal, cfg, 8), csv_rows, 3);
-  }
+  emit_sweep(runner, "byzantine fraction", kOptimal, 0x615,
+             {0.02, 0.05, 0.10},
+             [](hh::analysis::Scenario& sc, double byz) {
+               sc.config.faults.byzantine_fraction = byz;
+               sc.config.convergence_tolerance = 3.0 * byz;
+               sc.config.stability_rounds = 10;
+             },
+             table, csv_rows, 3);
   // E14: partial synchrony.
-  for (double skip : {0.1, 0.2, 0.3, 0.5}) {
-    auto cfg = base_config();
-    cfg.skip_probability = skip;
-    emit_row(table, "round-skip prob", skip,
-             measure(hh::core::AlgorithmKind::kSimple, cfg, 9),
-             measure(hh::core::AlgorithmKind::kOptimal, cfg, 10), csv_rows, 4);
-  }
+  emit_sweep(runner, "round-skip prob", kOptimal, 0x616,
+             {0.1, 0.2, 0.3, 0.5},
+             [](hh::analysis::Scenario& sc, double skip) {
+               sc.config.skip_probability = skip;
+             },
+             table, csv_rows, 4);
   // Section 6 bullet 1: ants knowing only an approximation of n. The
-  // optimal column keeps exact knowledge (the perturbation applies to the
-  // Algorithm-3 family; see AlgorithmParams::n_estimate_error).
-  for (double err : {0.25, 0.5, 0.75}) {
-    auto cfg = base_config();
-    cfg.max_rounds = 4000;
-    hh::core::AlgorithmParams params;
-    params.n_estimate_error = err;
-    const auto simple = hh::analysis::run_algorithm_trials(
-        cfg, hh::core::AlgorithmKind::kSimple, kTrials, 0x612 + 11, params);
-    const auto boosted = hh::analysis::run_algorithm_trials(
-        cfg, hh::core::AlgorithmKind::kRateBoosted, kTrials, 0x612 + 12,
-        params);
-    emit_row(table, "n-estimate error", err, simple, boosted, csv_rows, 5);
-  }
+  // other column is the rate-boosted variant (the perturbation applies to
+  // the Algorithm-3 family; see AlgorithmParams::n_estimate_error).
+  emit_sweep(runner, "n-estimate error",
+             hh::core::AlgorithmKind::kRateBoosted, 0x617,
+             {0.25, 0.5, 0.75},
+             [](hh::analysis::Scenario& sc, double err) {
+               sc.params.n_estimate_error = err;
+             },
+             table, csv_rows, 5);
 
   std::printf("\nn = %u, k = %u (half good), %d trials per cell, round cap "
-              "4000:\n",
-              kN, kK, kTrials);
+              "4000, %u runner threads:\n",
+              kN, kK, kTrials, runner.threads());
   std::cout << table.render();
   std::printf(
       "\nexpected shape: the 'simple' columns stay near 100%% with "

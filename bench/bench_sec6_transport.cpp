@@ -17,46 +17,27 @@
 
 namespace {
 
-constexpr int kTrials = 20;
-
-struct TransportStats {
-  double median_rounds = 0.0;
-  double median_weighted = 0.0;
+/// Per-trial digest: decision round, barrier-weighted duration, and the
+/// recruitment-mode split.
+struct TransportTrial {
+  bool converged = false;
+  double rounds = 0.0;
+  double weighted = 0.0;
   double tandem = 0.0;
   double transports = 0.0;
-  double convergence_rate = 0.0;
 };
 
-TransportStats measure(hh::core::AlgorithmKind kind, std::uint32_t n,
-                       std::uint32_t k) {
-  std::vector<double> rounds;
-  std::vector<double> weighted;
-  double tandem = 0.0;
-  double transports = 0.0;
-  std::uint32_t converged = 0;
-  for (int t = 0; t < kTrials; ++t) {
-    hh::core::SimulationConfig cfg;
-    cfg.num_ants = n;
-    cfg.qualities = hh::core::SimulationConfig::binary_qualities(k, k / 2);
-    cfg.seed = 0x618 + t * 43;
-    cfg.record_trajectories = true;
-    hh::core::Simulation sim(cfg, kind);
-    const auto result = sim.run();
-    if (!result.converged) continue;
-    ++converged;
-    rounds.push_back(result.rounds);
-    weighted.push_back(hh::analysis::weighted_duration(result));
-    tandem += static_cast<double>(result.total_tandem_runs);
-    transports += static_cast<double>(result.total_transports);
-  }
-  TransportStats out;
-  out.convergence_rate = static_cast<double>(converged) / kTrials;
-  if (converged > 0) {
-    out.median_rounds = hh::util::median(rounds);
-    out.median_weighted = hh::util::median(weighted);
-    out.tandem = tandem / converged;
-    out.transports = transports / converged;
-  }
+TransportTrial measure(const hh::analysis::Scenario& scenario,
+                       std::uint64_t seed) {
+  auto sim = scenario.make_simulation(seed);
+  const auto result = sim->run();
+  TransportTrial out;
+  out.converged = result.converged;
+  if (!result.converged) return out;
+  out.rounds = static_cast<double>(result.rounds);
+  out.weighted = hh::analysis::weighted_duration(result);
+  out.tandem = static_cast<double>(result.total_tandem_runs);
+  out.transports = static_cast<double>(result.total_transports);
   return out;
 }
 
@@ -68,33 +49,57 @@ int main() {
       "a fine-grained runtime analysis distinguishing the two recruitment "
       "modes (transports ~3x faster [21])");
 
+  constexpr int kTrials = 20;
+  auto base = hh::core::SimulationConfig{};
+  base.record_trajectories = true;
+  const auto scenarios =
+      hh::analysis::SweepSpec("transport")
+          .base(base)
+          .colony_nest_pairs({{1024, 4}, {4096, 8}}, 0.5)
+          .algorithms({hh::core::AlgorithmKind::kSimple,
+                       hh::core::AlgorithmKind::kOptimal,
+                       hh::core::AlgorithmKind::kQuorum})
+          .expand();
+
+  const hh::analysis::Runner runner;
+  const auto digests = runner.map(scenarios, kTrials, 0x618, measure);
+
   hh::util::Table table({"algorithm", "n", "k", "conv%", "rounds(med)",
                          "time(med, 3:1)", "time/round", "tandem runs",
                          "transports"});
   std::vector<std::vector<double>> csv_rows;
-  for (const auto& [n, k] : std::vector<std::pair<std::uint32_t, std::uint32_t>>{
-           {1024, 4}, {4096, 8}}) {
-    for (auto kind :
-         {hh::core::AlgorithmKind::kSimple, hh::core::AlgorithmKind::kOptimal,
-          hh::core::AlgorithmKind::kQuorum}) {
-      const auto stats = measure(kind, n, k);
-      table.begin_row()
-          .cell(std::string(hh::core::algorithm_name(kind)))
-          .num(n)
-          .num(k)
-          .num(100.0 * stats.convergence_rate, 1)
-          .num(stats.median_rounds, 1)
-          .num(stats.median_weighted, 1)
-          .num(stats.median_rounds > 0
-                   ? stats.median_weighted / stats.median_rounds
-                   : 0.0,
-               2)
-          .num(stats.tandem, 0)
-          .num(stats.transports, 0);
-      csv_rows.push_back({static_cast<double>(n), static_cast<double>(k),
-                          stats.median_rounds, stats.median_weighted,
-                          stats.tandem, stats.transports});
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    std::vector<double> rounds;
+    std::vector<double> weighted;
+    double tandem = 0.0;
+    double transports = 0.0;
+    std::uint32_t converged = 0;
+    for (const TransportTrial& t : digests[s]) {
+      if (!t.converged) continue;
+      ++converged;
+      rounds.push_back(t.rounds);
+      weighted.push_back(t.weighted);
+      tandem += t.tandem;
+      transports += t.transports;
     }
+    const double conv_rate = static_cast<double>(converged) / kTrials;
+    const double med_rounds = converged ? hh::util::median(rounds) : 0.0;
+    const double med_weighted = converged ? hh::util::median(weighted) : 0.0;
+    const double mean_tandem = converged ? tandem / converged : 0.0;
+    const double mean_transports = converged ? transports / converged : 0.0;
+    table.begin_row()
+        .cell(scenarios[s].algorithm)
+        .num(scenarios[s].axis_value("n"), 0)
+        .num(scenarios[s].axis_value("k"), 0)
+        .num(100.0 * conv_rate, 1)
+        .num(med_rounds, 1)
+        .num(med_weighted, 1)
+        .num(med_rounds > 0 ? med_weighted / med_rounds : 0.0, 2)
+        .num(mean_tandem, 0)
+        .num(mean_transports, 0);
+    csv_rows.push_back({scenarios[s].axis_value("n"),
+                        scenarios[s].axis_value("k"), med_rounds,
+                        med_weighted, mean_tandem, mean_transports});
   }
   std::cout << table.render();
   std::printf(

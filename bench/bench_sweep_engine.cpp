@@ -1,0 +1,134 @@
+// Sweep-engine microbenchmark: trials/second through analysis::Runner at
+// 1 thread vs N threads on a fixed workload, plus a determinism check
+// (the parallel batch must be bit-identical to the serial one).
+//
+// Emits a console table and bench_out/BENCH_sweep_engine.json so the
+// perf trajectory of the batch engine is machine-readable across PRs.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "anthill.hpp"
+
+namespace {
+
+constexpr std::size_t kTrials = 96;
+constexpr std::uint64_t kSeed = 0x5EEE;
+
+hh::analysis::SweepSpec workload() {
+  hh::core::SimulationConfig base;
+  base.num_ants = 512;
+  return hh::analysis::SweepSpec("engine-load")
+      .base(base)
+      .algorithms({hh::core::AlgorithmKind::kSimple,
+                   hh::core::AlgorithmKind::kOptimal})
+      .nest_counts({4, 8}, 0.5);
+}
+
+struct Measurement {
+  unsigned threads = 0;
+  double seconds = 0.0;
+  double trials_per_sec = 0.0;
+  hh::analysis::BatchResult batch;
+};
+
+Measurement measure(unsigned threads,
+                    const std::vector<hh::analysis::Scenario>& scenarios) {
+  Measurement m;
+  m.threads = threads;
+  const hh::analysis::Runner runner(hh::analysis::RunnerOptions{threads});
+  const auto start = std::chrono::steady_clock::now();
+  m.batch = runner.run(scenarios, kTrials, kSeed);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  m.seconds = elapsed.count();
+  m.trials_per_sec =
+      static_cast<double>(scenarios.size() * kTrials) / m.seconds;
+  return m;
+}
+
+bool identical(const hh::analysis::BatchResult& a,
+               const hh::analysis::BatchResult& b) {
+  if (a.results.size() != b.results.size()) return false;
+  for (std::size_t s = 0; s < a.results.size(); ++s) {
+    const auto& ta = a.results[s].trials;
+    const auto& tb = b.results[s].trials;
+    if (ta.size() != tb.size()) return false;
+    for (std::size_t t = 0; t < ta.size(); ++t) {
+      if (ta[t].converged != tb[t].converged || ta[t].rounds != tb[t].rounds ||
+          ta[t].winner != tb[t].winner ||
+          ta[t].recruitments != tb[t].recruitments) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  hh::analysis::print_banner(
+      "sweep-engine — Runner throughput at 1 vs N threads",
+      "the batch engine must scale with cores and stay bit-identical");
+
+  const auto scenarios = workload().expand();
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<unsigned> thread_counts = {1};
+  if (hw > 1) thread_counts.push_back(hw);
+  thread_counts.push_back(2 * hw);  // oversubscription sanity point
+
+  std::vector<Measurement> measurements;
+  for (unsigned threads : thread_counts) {
+    measurements.push_back(measure(threads, scenarios));
+  }
+
+  bool deterministic = true;
+  for (std::size_t i = 1; i < measurements.size(); ++i) {
+    deterministic =
+        deterministic && identical(measurements[0].batch, measurements[i].batch);
+  }
+
+  hh::util::Table table({"threads", "seconds", "trials/sec", "speedup"});
+  for (const Measurement& m : measurements) {
+    table.begin_row()
+        .num(m.threads)
+        .num(m.seconds, 3)
+        .num(m.trials_per_sec, 1)
+        .num(m.trials_per_sec / measurements[0].trials_per_sec, 2);
+  }
+  std::printf("%zu scenarios x %zu trials, n = 512, hardware threads = %u:\n",
+              scenarios.size(), kTrials, hw);
+  std::cout << table.render();
+  std::printf("\nbit-identical across thread counts: %s\n",
+              deterministic ? "yes" : "NO");
+
+  // Machine-readable perf record.
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  const char* path = "bench_out/BENCH_sweep_engine.json";
+  std::ofstream out(path);
+  if (out) {
+    out << "{\n  \"benchmark\": \"sweep_engine\",\n";
+    out << "  \"scenarios\": " << scenarios.size()
+        << ",\n  \"trials_per_scenario\": " << kTrials << ",\n";
+    out << "  \"deterministic\": " << (deterministic ? "true" : "false")
+        << ",\n  \"runs\": [\n";
+    for (std::size_t i = 0; i < measurements.size(); ++i) {
+      const Measurement& m = measurements[i];
+      out << "    {\"threads\": " << m.threads
+          << ", \"seconds\": " << m.seconds
+          << ", \"trials_per_sec\": " << m.trials_per_sec << "}"
+          << (i + 1 < measurements.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("json: %s\n", path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", path);
+  }
+  return deterministic ? 0 : 1;
+}

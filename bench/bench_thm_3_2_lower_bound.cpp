@@ -6,7 +6,8 @@
 // must inform all n ants, so rounds-to-inform-all lower-bounds achievable
 // running time. The paper proves Omega(log n); rumor spreading matches it
 // with O(log n), so the measured curves must be straight lines against
-// log2(n).
+// log2(n). The rumor-spread process is not a Simulation, so scenarios
+// carry (n, k, strategy) and Runner::map drives run_rumor_spread.
 #include <cmath>
 #include <cstdio>
 #include <iostream>
@@ -18,25 +19,6 @@ namespace {
 
 constexpr int kTrials = 15;
 
-hh::analysis::Aggregate measure(std::uint32_t n, std::uint32_t k,
-                                hh::core::IgnorantStrategy strategy) {
-  return hh::analysis::aggregate(hh::analysis::run_trials(
-      [&](std::uint64_t seed) {
-        hh::core::RumorSpreadConfig cfg;
-        cfg.num_ants = n;
-        cfg.num_nests = k;
-        cfg.seed = seed;
-        cfg.strategy = strategy;
-        const auto result = hh::core::run_rumor_spread(cfg);
-        hh::analysis::TrialStats t;
-        t.converged = result.all_informed;
-        t.rounds = result.rounds;
-        t.winner_quality = 1.0;
-        return t;
-      },
-      kTrials, 0x32 + n + k));
-}
-
 const char* strategy_name(hh::core::IgnorantStrategy s) {
   switch (s) {
     case hh::core::IgnorantStrategy::kWaitAtHome: return "wait-at-home";
@@ -44,6 +26,35 @@ const char* strategy_name(hh::core::IgnorantStrategy s) {
     case hh::core::IgnorantStrategy::kMixed: return "mixed";
   }
   return "?";
+}
+
+hh::core::RumorSpreadConfig rumor_config(
+    const hh::analysis::Scenario& scenario, std::uint64_t seed) {
+  hh::core::RumorSpreadConfig cfg;
+  cfg.num_ants = scenario.config.num_ants;
+  cfg.num_nests =
+      static_cast<std::uint32_t>(scenario.config.qualities.size());
+  cfg.seed = seed;
+  cfg.strategy = static_cast<hh::core::IgnorantStrategy>(
+      static_cast<int>(scenario.axis_value("strategy")));
+  return cfg;
+}
+
+hh::analysis::TrialStats rumor_trial(const hh::analysis::Scenario& scenario,
+                                     std::uint64_t seed) {
+  const auto result =
+      hh::core::run_rumor_spread(rumor_config(scenario, seed));
+  hh::analysis::TrialStats t;
+  t.converged = result.all_informed;
+  t.rounds = result.rounds;
+  t.winner_quality = 1.0;
+  return t;
+}
+
+hh::analysis::SweepSpec::Point strategy_point(
+    hh::core::IgnorantStrategy strategy) {
+  return {strategy_name(strategy), static_cast<double>(strategy),
+          [](hh::analysis::Scenario&) {}};
 }
 
 }  // namespace
@@ -60,44 +71,73 @@ int main() {
   const std::vector<hh::core::IgnorantStrategy> strategies = {
       hh::core::IgnorantStrategy::kWaitAtHome,
       hh::core::IgnorantStrategy::kSearch, hh::core::IgnorantStrategy::kMixed};
+  const hh::analysis::Runner runner;
 
   // --- Lemma 3.1 check -----------------------------------------------------
+  const auto lemma_scenarios =
+      hh::analysis::SweepSpec("lemma31")
+          .base([] {
+            hh::core::SimulationConfig cfg;
+            cfg.num_ants = 1 << 14;
+            return cfg;
+          }())
+          .axis("strategy", {strategy_point(strategies[0]),
+                             strategy_point(strategies[1]),
+                             strategy_point(strategies[2])})
+          .nest_counts({2, 16}, 0.0)
+          .expand();
+  const auto lemma_runs = runner.map(
+      lemma_scenarios, /*trials=*/1, 31,
+      [](const hh::analysis::Scenario& sc, std::uint64_t seed) {
+        return hh::core::run_rumor_spread(rumor_config(sc, seed))
+            .stay_ignorant_rate;
+      });
   hh::util::Table lemma_table({"strategy", "k", "P[stay ignorant]", ">=1/4?"});
-  for (auto strategy : strategies) {
-    for (std::uint32_t k : {2u, 16u}) {
-      hh::core::RumorSpreadConfig cfg;
-      cfg.num_ants = 1 << 14;
-      cfg.num_nests = k;
-      cfg.seed = 31;
-      cfg.strategy = strategy;
-      const auto result = hh::core::run_rumor_spread(cfg);
-      lemma_table.begin_row()
-          .cell(strategy_name(strategy))
-          .num(k)
-          .num(result.stay_ignorant_rate, 4)
-          .cell(result.stay_ignorant_rate >= 0.25 ? "yes" : "NO");
-    }
+  for (std::size_t i = 0; i < lemma_scenarios.size(); ++i) {
+    const auto& sc = lemma_scenarios[i];
+    const double rate = lemma_runs[i][0];
+    lemma_table.begin_row()
+        .cell(strategy_name(static_cast<hh::core::IgnorantStrategy>(
+            static_cast<int>(sc.axis_value("strategy")))))
+        .num(sc.axis_value("k"), 0)
+        .num(rate, 4)
+        .cell(rate >= 0.25 ? "yes" : "NO");
   }
   std::printf("\n[Lemma 3.1] per-round ignorance retention (n = 2^14):\n");
   std::cout << lemma_table.render();
 
   // --- Theorem 3.2 scaling -------------------------------------------------
+  const auto scenarios = hh::analysis::SweepSpec("thm32")
+                             .axis("strategy", {strategy_point(strategies[0]),
+                                                strategy_point(strategies[1]),
+                                                strategy_point(strategies[2])})
+                             .nest_counts({4}, 0.0)
+                             .colony_sizes(ns)
+                             .expand();
+  const auto cells = runner.map(scenarios, kTrials, 0x32, rumor_trial);
+
   std::vector<hh::util::Series> series;
   std::vector<std::vector<double>> csv_rows;
   char marker = 'a';
-  for (auto strategy : strategies) {
+  for (std::size_t si = 0; si < strategies.size(); ++si) {
     hh::util::Table table({"n", "log2(n)", "trials", "informed%",
                            "rounds(med)", "rounds(mean)", "rounds(p95)",
                            "(log4 n)/2 bound"});
     std::vector<double> xs;
     std::vector<double> ys;
-    for (std::uint32_t n : ns) {
-      const auto agg = measure(n, 4, strategy);
-      const double log4_bound = std::log2(static_cast<double>(n)) / 4.0;
+    for (std::size_t ni = 0; ni < ns.size(); ++ni) {
+      const std::size_t index = si * ns.size() + ni;
+      // Guard the stride pairing against axis reordering in the spec.
+      HH_EXPECTS(scenarios[index].axis_value("strategy") ==
+                 static_cast<double>(strategies[si]));
+      HH_EXPECTS(scenarios[index].axis_value("n") == ns[ni]);
+      const auto agg = hh::analysis::aggregate(cells[index]);
+      const double n = scenarios[index].axis_value("n");
+      const double log4_bound = std::log2(n) / 4.0;
       table.begin_row()
-          .num(n)
-          .num(std::log2(static_cast<double>(n)), 1)
-          .num(agg.trials)
+          .num(n, 0)
+          .num(std::log2(n), 1)
+          .num(static_cast<std::uint64_t>(agg.trials))
           .num(100.0 * agg.convergence_rate, 1)
           .num(agg.rounds.median, 1)
           .num(agg.rounds.mean, 1)
@@ -105,19 +145,16 @@ int main() {
           .num(log4_bound, 1);
       xs.push_back(n);
       ys.push_back(agg.rounds.median);
-      csv_rows.push_back({static_cast<double>(n),
-                          static_cast<double>(strategy == strategies[0]   ? 0
-                                              : strategy == strategies[1] ? 1
-                                                                          : 2),
-                          agg.rounds.median, agg.rounds.mean, agg.rounds.p95});
+      csv_rows.push_back({n, static_cast<double>(si), agg.rounds.median,
+                          agg.rounds.mean, agg.rounds.p95});
     }
     std::printf("\n[Theorem 3.2] strategy = %s (k = 4):\n",
-                strategy_name(strategy));
+                strategy_name(strategies[si]));
     std::cout << table.render();
     const auto fit = hh::util::fit_logarithmic(xs, ys);
     hh::analysis::print_fit(fit, "log2(n)",
                             "Omega(log n) rounds, matched by O(log n)");
-    series.push_back({strategy_name(strategy), xs, ys, marker++});
+    series.push_back({strategy_name(strategies[si]), xs, ys, marker++});
   }
 
   hh::util::PlotOptions opt;

@@ -15,12 +15,23 @@ namespace {
 
 constexpr int kTrials = 20;
 
-hh::analysis::Aggregate measure(std::uint32_t n, std::uint32_t k) {
-  hh::core::SimulationConfig cfg;
-  cfg.num_ants = n;
-  cfg.qualities = hh::core::SimulationConfig::binary_qualities(k, k / 2);
-  return hh::analysis::run_algorithm_trials(
-      cfg, hh::core::AlgorithmKind::kOptimal, kTrials, 0x43 + n * 31 + k);
+const hh::analysis::Runner& runner() {
+  static const hh::analysis::Runner r;
+  return r;
+}
+
+hh::analysis::BatchResult sweep_n(std::uint32_t k,
+                                  const std::vector<std::uint32_t>& ns) {
+  auto spec = hh::analysis::SweepSpec("thm43/k=" + std::to_string(k))
+                  .algorithm(hh::core::AlgorithmKind::kOptimal)
+                  .colony_sizes(ns)
+                  .nest_counts({k}, 0.5);
+  // Stay inside the theorem's k = O(n / log n) regime.
+  auto scenarios = spec.expand();
+  std::erase_if(scenarios, [&](const hh::analysis::Scenario& sc) {
+    return sc.config.num_ants / k < 16;
+  });
+  return runner().run(scenarios, kTrials, 0x43 + k);
 }
 
 }  // namespace
@@ -42,22 +53,21 @@ int main() {
                            "rounds(mean)", "rounds(p95)"});
     std::vector<double> xs;
     std::vector<double> ys;
-    for (std::uint32_t n : ns) {
-      if (n / k < 16) continue;  // stay inside the theorem's k = O(n/log n)
-      const auto agg = measure(n, k);
+    for (const auto& result : sweep_n(k, ns).results) {
+      const auto& agg = result.aggregate;
+      const double n = result.scenario.axis_value("n");
       table.begin_row()
-          .num(n)
-          .num(std::log2(static_cast<double>(n)), 1)
-          .num(agg.trials)
+          .num(n, 0)
+          .num(std::log2(n), 1)
+          .num(static_cast<std::uint64_t>(agg.trials))
           .num(100.0 * agg.convergence_rate, 1)
           .num(agg.rounds.median, 1)
           .num(agg.rounds.mean, 1)
           .num(agg.rounds.p95, 1);
       xs.push_back(n);
       ys.push_back(agg.rounds.median);
-      csv_rows.push_back({static_cast<double>(n), static_cast<double>(k),
-                          agg.rounds.median, agg.rounds.mean,
-                          agg.convergence_rate});
+      csv_rows.push_back({n, static_cast<double>(k), agg.rounds.median,
+                          agg.rounds.mean, agg.convergence_rate});
     }
     std::printf("\n[n sweep] k = %u (half the nests good):\n", k);
     std::cout << table.render();
@@ -76,24 +86,29 @@ int main() {
 
   // k sweep at fixed n: growth must be much slower than linear in k.
   constexpr std::uint32_t kFixedN = 1 << 14;
+  const auto kspec = hh::analysis::SweepSpec("thm43/ksweep")
+                         .algorithm(hh::core::AlgorithmKind::kOptimal)
+                         .colony_sizes({kFixedN})
+                         .nest_counts({2, 4, 8, 16, 32, 64}, 0.5);
+  const auto kbatch = runner().run(kspec, kTrials, 0x43F);
   hh::util::Table ktable(
       {"k", "trials", "conv%", "rounds(med)", "rounds(mean)", "rounds(p95)"});
   std::vector<double> kxs;
   std::vector<double> kys;
-  for (std::uint32_t k : {2u, 4u, 8u, 16u, 32u, 64u}) {
-    const auto agg = measure(kFixedN, k);
+  for (const auto& result : kbatch.results) {
+    const auto& agg = result.aggregate;
+    const double k = result.scenario.axis_value("k");
     ktable.begin_row()
-        .num(k)
-        .num(agg.trials)
+        .num(k, 0)
+        .num(static_cast<std::uint64_t>(agg.trials))
         .num(100.0 * agg.convergence_rate, 1)
         .num(agg.rounds.median, 1)
         .num(agg.rounds.mean, 1)
         .num(agg.rounds.p95, 1);
     kxs.push_back(k);
     kys.push_back(agg.rounds.median);
-    csv_rows.push_back({static_cast<double>(kFixedN), static_cast<double>(k),
-                        agg.rounds.median, agg.rounds.mean,
-                        agg.convergence_rate});
+    csv_rows.push_back({static_cast<double>(kFixedN), k, agg.rounds.median,
+                        agg.rounds.mean, agg.convergence_rate});
   }
   std::printf("\n[k sweep] n = %u:\n", kFixedN);
   std::cout << ktable.render();

@@ -11,28 +11,23 @@
 
 #include "anthill.hpp"
 
-namespace {
-
-constexpr int kTrials = 20;
-
-hh::analysis::Aggregate measure(std::uint32_t n, std::uint32_t k) {
-  hh::core::SimulationConfig cfg;
-  cfg.num_ants = n;
-  cfg.qualities = hh::core::SimulationConfig::binary_qualities(k, k / 2);
-  return hh::analysis::run_algorithm_trials(
-      cfg, hh::core::AlgorithmKind::kSimple, kTrials, 0x511 + n * 37 + k);
-}
-
-}  // namespace
-
 int main() {
   hh::analysis::print_banner(
       "E6 / Theorem 5.11 — Algorithm 3 (simple) scaling",
       "solves HouseHunting in O(k log n) rounds w.h.p.");
 
+  constexpr int kTrials = 20;
   const std::vector<std::uint32_t> ns = {1u << 7,  1u << 9,  1u << 11,
                                          1u << 13, 1u << 15, 1u << 17};
   const std::vector<std::uint32_t> ks = {2, 4, 8};
+  const hh::analysis::Runner runner;
+
+  // One declarative sweep covers the whole (k, n) grid.
+  const auto batch = runner.run(hh::analysis::SweepSpec("thm511")
+                                    .algorithm(hh::core::AlgorithmKind::kSimple)
+                                    .nest_counts(ks, 0.5)
+                                    .colony_sizes(ns),
+                                kTrials, 0x511);
 
   std::vector<hh::util::Series> series;
   std::vector<double> joint_n;
@@ -40,17 +35,22 @@ int main() {
   std::vector<double> joint_rounds;
   std::vector<std::vector<double>> csv_rows;
   char marker = '2';
-  for (std::uint32_t k : ks) {
+  for (std::size_t ki = 0; ki < ks.size(); ++ki) {
     hh::util::Table table({"n", "log2(n)", "trials", "conv%", "rounds(med)",
                            "rounds(mean)", "rounds(p95)"});
     std::vector<double> xs;
     std::vector<double> ys;
-    for (std::uint32_t n : ns) {
-      const auto agg = measure(n, k);
+    for (std::size_t ni = 0; ni < ns.size(); ++ni) {
+      // k is the outer (slowest) axis of the sweep.
+      const auto& result = batch.results[ki * ns.size() + ni];
+      HH_EXPECTS(result.scenario.axis_value("k") == ks[ki]);
+      HH_EXPECTS(result.scenario.axis_value("n") == ns[ni]);
+      const auto& agg = result.aggregate;
+      const double n = result.scenario.axis_value("n");
       table.begin_row()
-          .num(n)
-          .num(std::log2(static_cast<double>(n)), 1)
-          .num(agg.trials)
+          .num(n, 0)
+          .num(std::log2(n), 1)
+          .num(static_cast<std::uint64_t>(agg.trials))
           .num(100.0 * agg.convergence_rate, 1)
           .num(agg.rounds.median, 1)
           .num(agg.rounds.mean, 1)
@@ -58,18 +58,17 @@ int main() {
       xs.push_back(n);
       ys.push_back(agg.rounds.median);
       joint_n.push_back(n);
-      joint_k.push_back(k);
+      joint_k.push_back(static_cast<double>(ks[ki]));
       joint_rounds.push_back(agg.rounds.median);
-      csv_rows.push_back({static_cast<double>(n), static_cast<double>(k),
-                          agg.rounds.median, agg.rounds.mean,
-                          agg.convergence_rate});
+      csv_rows.push_back({n, static_cast<double>(ks[ki]), agg.rounds.median,
+                          agg.rounds.mean, agg.convergence_rate});
     }
-    std::printf("\n[n sweep] k = %u (half the nests good):\n", k);
+    std::printf("\n[n sweep] k = %u (half the nests good):\n", ks[ki]);
     std::cout << table.render();
     const auto fit = hh::util::fit_logarithmic(xs, ys);
     hh::analysis::print_fit(fit, "log2(n)",
                             "O(k log n): log-n slope grows with k");
-    series.push_back({"k=" + std::to_string(k), xs, ys, marker});
+    series.push_back({"k=" + std::to_string(ks[ki]), xs, ys, marker});
     marker = (marker == '2') ? '4' : '8';
   }
 
@@ -82,27 +81,33 @@ int main() {
 
   // k sweep at fixed n.
   constexpr std::uint32_t kFixedN = 1 << 14;
+  const auto kbatch =
+      runner.run(hh::analysis::SweepSpec("thm511/ksweep")
+                     .algorithm(hh::core::AlgorithmKind::kSimple)
+                     .colony_sizes({kFixedN})
+                     .nest_counts({2, 4, 8, 16, 32, 64}, 0.5),
+                 kTrials, 0x511F);
   hh::util::Table ktable(
       {"k", "trials", "conv%", "rounds(med)", "rounds(mean)", "rounds(p95)"});
   std::vector<double> kxs;
   std::vector<double> kys;
-  for (std::uint32_t k : {2u, 4u, 8u, 16u, 32u, 64u}) {
-    const auto agg = measure(kFixedN, k);
+  for (const auto& result : kbatch.results) {
+    const auto& agg = result.aggregate;
+    const double k = result.scenario.axis_value("k");
     ktable.begin_row()
-        .num(k)
-        .num(agg.trials)
+        .num(k, 0)
+        .num(static_cast<std::uint64_t>(agg.trials))
         .num(100.0 * agg.convergence_rate, 1)
         .num(agg.rounds.median, 1)
         .num(agg.rounds.mean, 1)
         .num(agg.rounds.p95, 1);
     kxs.push_back(k);
     kys.push_back(agg.rounds.median);
-    joint_n.push_back(kFixedN);
+    joint_n.push_back(static_cast<double>(kFixedN));
     joint_k.push_back(k);
     joint_rounds.push_back(agg.rounds.median);
-    csv_rows.push_back({static_cast<double>(kFixedN), static_cast<double>(k),
-                        agg.rounds.median, agg.rounds.mean,
-                        agg.convergence_rate});
+    csv_rows.push_back({static_cast<double>(kFixedN), k, agg.rounds.median,
+                        agg.rounds.mean, agg.convergence_rate});
   }
   std::printf("\n[k sweep] n = %u:\n", kFixedN);
   std::cout << ktable.render();

@@ -1,5 +1,6 @@
 // Compare every algorithm in the library on the same environments:
 // the paper's two algorithms, the Section 6 variants, and the baselines.
+// The whole shoot-out is one SweepSpec over the algorithm registry.
 //
 //   build/examples/example_algorithm_comparison [n] [k]
 #include <cstdio>
@@ -18,51 +19,42 @@ int main(int argc, char** argv) {
   config.qualities = hh::core::SimulationConfig::binary_qualities(k, k / 2);
   config.max_rounds = 3000;
 
-  struct Entry {
-    hh::core::AlgorithmKind kind;
-    const char* note;
+  const std::vector<std::pair<std::string, const char*>> entries = {
+      {"optimal", "Alg 2: O(log n), fragile"},
+      {"optimal+settle", "Alg 2 + settle extension"},
+      {"simple", "Alg 3: O(k log n), natural"},
+      {"rate-boosted", "Sec 6: boosted rates"},
+      {"quorum", "biology: quorum rule"},
+      {"uniform-recruit", "control: no feedback"},
   };
-  const Entry entries[] = {
-      {hh::core::AlgorithmKind::kOptimal, "Alg 2: O(log n), fragile"},
-      {hh::core::AlgorithmKind::kOptimalSettle, "Alg 2 + settle extension"},
-      {hh::core::AlgorithmKind::kSimple, "Alg 3: O(k log n), natural"},
-      {hh::core::AlgorithmKind::kRateBoosted, "Sec 6: boosted rates"},
-      {hh::core::AlgorithmKind::kQuorum, "biology: quorum rule"},
-      {hh::core::AlgorithmKind::kUniformRecruit, "control: no feedback"},
-  };
+  std::vector<std::string> names;
+  for (const auto& [name, note] : entries) names.push_back(name);
+
+  const hh::analysis::Runner runner;
+  const auto batch = runner.run(hh::analysis::SweepSpec("shoot-out")
+                                    .base(config)
+                                    .algorithms(names),
+                                kTrials, 0xC0);
 
   hh::util::Table table({"algorithm", "conv%", "rounds(med)", "rounds(p95)",
                          "recruit events", "note"});
-  for (const Entry& entry : entries) {
-    double total_recruits = 0.0;
-    std::uint32_t converged = 0;
-    std::vector<double> rounds;
-    for (int t = 0; t < kTrials; ++t) {
-      auto cfg = config;
-      cfg.seed = 0xC0 + t * 7;
-      hh::core::Simulation sim(cfg, entry.kind);
-      const auto result = sim.run();
-      if (result.converged) {
-        ++converged;
-        rounds.push_back(result.rounds);
-        total_recruits += static_cast<double>(result.total_recruitments);
-      }
-    }
-    table.begin_row().cell(std::string(hh::core::algorithm_name(entry.kind)));
-    table.num(100.0 * converged / kTrials, 1);
-    if (converged > 0) {
-      table.num(hh::util::median(rounds), 1)
-          .num(hh::util::percentile(rounds, 95), 1)
-          .num(total_recruits / converged, 0);
+  for (std::size_t i = 0; i < batch.results.size(); ++i) {
+    const auto& agg = batch.results[i].aggregate;
+    table.begin_row().cell(batch.results[i].scenario.algorithm);
+    table.num(100.0 * agg.convergence_rate, 1);
+    if (agg.converged > 0) {
+      table.num(agg.rounds.median, 1)
+          .num(agg.rounds.p95, 1)
+          .num(agg.mean_recruitments, 0);
     } else {
       table.cell("-").cell("-").cell("-");
     }
-    table.cell(entry.note);
+    table.cell(entries[i].second);
   }
 
   std::printf("house-hunting shoot-out: n = %u ants, k = %u nests (half "
-              "good), %d trials\n\n",
-              n, k, kTrials);
+              "good), %d trials, %u threads\n\n",
+              n, k, kTrials, runner.threads());
   std::cout << table.render();
   std::printf(
       "\nreading: 'optimal' shines as k grows; 'simple' is the robust "

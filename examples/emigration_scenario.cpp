@@ -16,15 +16,18 @@
 
 int main() {
   constexpr std::uint32_t kColonySize = 200;  // a typical Temnothorax colony
+  constexpr std::uint64_t kSeed = 1856;  // year T. albipennis was described
   hh::core::SimulationConfig config;
   config.num_ants = kColonySize;
   // Nest qualities from the scouts' criteria (Section 1.1): two suitable
   // cavities, three rejects (too bright, entrance too wide, too small).
   config.qualities = {1.0, 1.0, 0.0, 0.0, 0.0};
-  config.seed = 1856;  // the year Temnothorax albipennis was described
   config.record_trajectories = true;
   // Settle extension: the colony should physically end up in the new home.
-  hh::core::Simulation sim(config, hh::core::AlgorithmKind::kOptimalSettle);
+  const auto scenario = hh::analysis::Scenario::of(
+      "emigration", hh::core::AlgorithmKind::kOptimalSettle, config);
+  const auto sim_ptr = scenario.make_simulation(kSeed);
+  hh::core::Simulation& sim = *sim_ptr;
 
   std::printf("== Emigration: %u ants, 5 candidate cavities (2 suitable) ==\n\n",
               kColonySize);
@@ -54,8 +57,10 @@ int main() {
   // Timeline: physical population of each cavity over the emigration.
   hh::core::RunResult result;  // trajectories live in the sim until run()
   std::printf("\npopulation timelines (one glyph per round):\n");
-  // Re-run the identical config to obtain the recorded trajectories.
-  hh::core::Simulation replay(config, hh::core::AlgorithmKind::kOptimalSettle);
+  // Replay the identical scenario + seed to obtain recorded trajectories
+  // (determinism: same scenario, same seed, same execution).
+  const auto replay_ptr = scenario.make_simulation(kSeed);
+  hh::core::Simulation& replay = *replay_ptr;
   result = replay.run();
   for (hh::env::NestId nest = 0; nest < 6; ++nest) {
     const auto series = hh::analysis::count_series(result.trajectories, nest);

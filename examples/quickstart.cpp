@@ -1,6 +1,10 @@
 // Quickstart: run the paper's simple house-hunting algorithm (Algorithm 3)
 // on a small colony and print what happened.
 //
+// Demonstrates the two entry points: a Scenario built once and run once
+// through the algorithm registry, and the same scenario handed to the
+// sweep Runner for a quick trial batch.
+//
 //   build/examples/example_quickstart [n] [k] [seed]
 #include <cmath>
 #include <cstdio>
@@ -18,10 +22,10 @@ int main(int argc, char** argv) {
   hh::core::SimulationConfig config;
   config.num_ants = n;
   config.qualities = hh::core::SimulationConfig::binary_qualities(k, 2);
-  config.seed = seed;
+  const auto scenario = hh::analysis::Scenario::of(
+      "quickstart", hh::core::AlgorithmKind::kSimple, config);
 
-  hh::core::Simulation sim(config, hh::core::AlgorithmKind::kSimple);
-  const hh::core::RunResult result = sim.run();
+  const hh::core::RunResult result = scenario.make_simulation(seed)->run();
 
   std::printf("colony of %u ants choosing between %u candidate nests\n", n, k);
   if (!result.converged) {
@@ -35,5 +39,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.total_recruitments));
   std::printf("theory check: O(k log n) = ~%.0f-round scale — measured %u\n",
               k * std::log2(static_cast<double>(n)), result.rounds);
+
+  // One run is an anecdote; the theorems are with-high-probability
+  // statements. The Runner turns the same scenario into a trial batch.
+  const auto batch = hh::analysis::Runner().run({scenario}, 20, seed);
+  const auto& agg = batch.results.front().aggregate;
+  std::printf("over %zu trials: %.0f%% converge, median %.0f rounds "
+              "(p95 %.0f)\n",
+              agg.trials, 100.0 * agg.convergence_rate, agg.rounds.median,
+              agg.rounds.p95);
   return 0;
 }

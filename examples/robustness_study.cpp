@@ -1,8 +1,8 @@
 // Robustness study: how Algorithm 3 degrades (gracefully) as the world
 // gets worse — noisy perception, faulty ants, and missed rounds, combined.
 //
-// Demonstrates the Section 6 extension switches of SimulationConfig on a
-// single table: each row turns one more knob.
+// Demonstrates a SweepSpec with a custom axis: each point is a named
+// "world" whose mutator turns one more knob on top of the previous ones.
 #include <cstdio>
 #include <iostream>
 
@@ -10,9 +10,30 @@
 
 namespace {
 
-hh::analysis::Aggregate study(const hh::core::SimulationConfig& config) {
-  return hh::analysis::run_algorithm_trials(
-      config, hh::core::AlgorithmKind::kSimple, 15, 0xAB);
+using hh::analysis::Scenario;
+
+void make_noisy(Scenario& sc) { sc.config.noise.count_sigma = 0.5; }
+void make_misjudging(Scenario& sc) {
+  make_noisy(sc);
+  sc.config.noise.quality_flip_prob = 0.03;  // 3% quality misreads
+}
+void make_crashing(Scenario& sc) {
+  make_misjudging(sc);
+  sc.config.faults.crash_fraction = 0.08;  // 8% of scouts die mid-run
+}
+void make_hostile(Scenario& sc) {
+  make_crashing(sc);
+  sc.config.faults.byzantine_fraction = 0.03;  // saboteurs pull to a bad nest
+  // Epsilon-agreement: ~15 saboteurs kidnap a few correct ants every
+  // recruit round, and a victim needs a couple of rounds to visit the bad
+  // nest, reject it, and be re-recruited — so a small kidnapped pool
+  // always exists (see ConvergenceDetector docs for the rationale).
+  sc.config.convergence_tolerance = 0.25;
+  sc.config.stability_rounds = 10;
+}
+void make_bedlam(Scenario& sc) {
+  make_hostile(sc);
+  sc.config.skip_probability = 0.2;  // each ant also misses 20% of rounds
 }
 
 }  // namespace
@@ -23,45 +44,30 @@ int main() {
   config.qualities = hh::core::SimulationConfig::binary_qualities(6, 3);
   config.max_rounds = 5000;
 
+  const auto batch = hh::analysis::Runner().run(
+      hh::analysis::SweepSpec("worlds")
+          .base(config)
+          .algorithm(hh::core::AlgorithmKind::kSimple)
+          .axis("world",
+                {{"pristine (paper model)", 0, [](Scenario&) {}},
+                 {"+ population counts +-50%", 1, make_noisy},
+                 {"+ 3% quality misreads", 2, make_misjudging},
+                 {"+ 8% of ants crash", 3, make_crashing},
+                 {"+ 3% Byzantine saboteurs", 4, make_hostile},
+                 {"+ 20% missed rounds (all at once)", 5, make_bedlam}}),
+      15, 0xAB);
+
   hh::util::Table table(
       {"world", "conv%", "rounds(med)", "rounds(p95)", "E[winner q]"});
-  auto add_row = [&](const char* name, const hh::core::SimulationConfig& cfg) {
-    const auto agg = study(cfg);
+  for (std::size_t i = 0; i < batch.results.size(); ++i) {
+    const auto& agg = batch.results[i].aggregate;
     table.begin_row()
-        .cell(name)
+        .cell(std::string(batch.results[i].scenario.axis_label("world")))
         .num(100.0 * agg.convergence_rate, 1)
         .num(agg.converged ? agg.rounds.median : 0.0, 1)
         .num(agg.converged ? agg.rounds.p95 : 0.0, 1)
         .num(agg.mean_winner_quality, 2);
-  };
-
-  add_row("pristine (paper model)", config);
-
-  auto noisy = config;
-  noisy.noise.count_sigma = 0.5;  // counts off by up to 50%
-  add_row("+ population counts +-50%", noisy);
-
-  auto misjudging = noisy;
-  misjudging.noise.quality_flip_prob = 0.03;  // 3% quality misreads
-  add_row("+ 3% quality misreads", misjudging);
-
-  auto crashing = misjudging;
-  crashing.faults.crash_fraction = 0.08;  // 8% of scouts die mid-run
-  add_row("+ 8% of ants crash", crashing);
-
-  auto hostile = crashing;
-  hostile.faults.byzantine_fraction = 0.03;  // saboteurs pull to a bad nest
-  // Epsilon-agreement: ~15 saboteurs kidnap a few correct ants every
-  // recruit round, and a victim needs a couple of rounds to visit the bad
-  // nest, reject it, and be re-recruited — so a small kidnapped pool
-  // always exists (see ConvergenceDetector docs for the rationale).
-  hostile.convergence_tolerance = 0.25;
-  hostile.stability_rounds = 10;
-  add_row("+ 3% Byzantine saboteurs", hostile);
-
-  auto bedlam = hostile;
-  bedlam.skip_probability = 0.2;  // each ant also misses 20% of rounds
-  add_row("+ 20% missed rounds (all at once)", bedlam);
+  }
 
   std::printf("Algorithm 3 under increasingly hostile worlds\n");
   std::printf("(n = 512, k = 6 with 3 good nests, 15 trials per row)\n\n");

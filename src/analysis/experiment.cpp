@@ -3,17 +3,22 @@
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
 
+// This file implements the deprecated shims themselves.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace hh::analysis {
 
 Aggregate aggregate(const std::vector<TrialStats>& trials) {
   Aggregate agg;
   agg.trials = trials.size();
   double quality_sum = 0.0;
+  double recruit_sum = 0.0;
   for (const TrialStats& t : trials) {
     if (!t.converged) continue;
     ++agg.converged;
     agg.round_samples.push_back(t.rounds);
     quality_sum += t.winner_quality;
+    recruit_sum += t.recruitments;
   }
   agg.convergence_rate =
       agg.trials == 0 ? 0.0
@@ -23,6 +28,8 @@ Aggregate aggregate(const std::vector<TrialStats>& trials) {
     agg.rounds = util::summarize(agg.round_samples);
     agg.mean_winner_quality =
         quality_sum / static_cast<double>(agg.converged);
+    agg.mean_recruitments =
+        recruit_sum / static_cast<double>(agg.converged);
   }
   return agg;
 }
@@ -45,6 +52,7 @@ TrialStats to_trial_stats(const core::RunResult& result) {
   t.rounds = static_cast<double>(result.rounds);
   t.winner = result.winner;
   t.winner_quality = result.winner_quality;
+  t.recruitments = static_cast<double>(result.total_recruitments);
   return t;
 }
 

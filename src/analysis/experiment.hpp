@@ -20,6 +20,7 @@ struct TrialStats {
   double rounds = 0.0;  ///< decision round (valid when converged)
   env::NestId winner = env::kHomeNest;
   double winner_quality = 0.0;
+  double recruitments = 0.0;  ///< total successful recruitments
 };
 
 /// Aggregated view of a batch of trials.
@@ -29,6 +30,7 @@ struct Aggregate {
   double convergence_rate = 0.0;
   util::Summary rounds;               ///< over converged trials only
   double mean_winner_quality = 0.0;   ///< over converged trials only
+  double mean_recruitments = 0.0;     ///< over converged trials only
 
   /// Raw per-trial round counts of converged trials (for fits/plots).
   std::vector<double> round_samples;
@@ -39,6 +41,11 @@ struct Aggregate {
 
 /// Run `count` trials of `trial`, feeding it deterministic per-trial seeds
 /// derived from `base_seed`.
+///
+/// Deprecated: single-threaded, single-scenario. Declare a Scenario (or a
+/// SweepSpec) and use analysis::Runner — runner.hpp — which parallelizes
+/// across trials and scenarios deterministically.
+[[deprecated("use analysis::Runner (runner.hpp)")]]
 [[nodiscard]] std::vector<TrialStats> run_trials(
     const std::function<TrialStats(std::uint64_t seed)>& trial,
     std::size_t count, std::uint64_t base_seed);
@@ -48,6 +55,10 @@ struct Aggregate {
 
 /// Run `trials` executions of `kind` under `base_config` (seed field is
 /// replaced per trial) and aggregate.
+///
+/// Deprecated: see run_trials. Runner::run(scenarios, trials, base_seed)
+/// is the parallel, multi-scenario replacement.
+[[deprecated("use analysis::Runner (runner.hpp)")]]
 [[nodiscard]] Aggregate run_algorithm_trials(
     const core::SimulationConfig& base_config, core::AlgorithmKind kind,
     std::size_t trials, std::uint64_t base_seed,

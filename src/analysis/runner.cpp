@@ -1,0 +1,185 @@
+#include "analysis/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace hh::analysis {
+
+std::uint64_t trial_seed(std::uint64_t base_seed, std::size_t scenario,
+                         std::size_t trial) {
+  // Two SplitMix rounds keep (scenario, trial) pairs from aliasing the
+  // (base_seed, i) pairs of the legacy run_trials derivation.
+  return util::mix_seed(util::mix_seed(base_seed, 0x5CE7A210),
+                        scenario, trial);
+}
+
+void parallel_for_index(std::size_t count, unsigned threads,
+                        const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t workers =
+      std::min<std::size_t>(threads == 0 ? 1 : threads, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> stop{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto work = [&] {
+    // Fail fast: once any cell throws, remaining workers stop claiming
+    // (a sweep-wide error like an unknown algorithm name would otherwise
+    // pay the full trials x scenarios cost before reporting).
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        stop.store(true, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  try {
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+  } catch (...) {
+    // Thread spawn failed partway (resource limit): stop and join what
+    // started, then surface the error instead of std::terminate.
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& t : pool) t.join();
+    throw;
+  }
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+TrialStats run_scenario_trial(const Scenario& scenario, std::uint64_t seed) {
+  return to_trial_stats(scenario.make_simulation(seed)->run());
+}
+
+Runner::Runner(RunnerOptions options)
+    : threads_(options.threads != 0 ? options.threads
+                                    : std::max(1u,
+                                               std::thread::
+                                                   hardware_concurrency())) {}
+
+BatchResult Runner::run(const std::vector<Scenario>& scenarios,
+                        std::size_t trials, std::uint64_t base_seed) const {
+  auto cells = map(scenarios, trials, base_seed, run_scenario_trial);
+  BatchResult batch;
+  batch.trials_per_scenario = trials;
+  batch.base_seed = base_seed;
+  batch.results.reserve(scenarios.size());
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    ScenarioResult result;
+    result.scenario = scenarios[s];
+    result.trials = std::move(cells[s]);
+    result.aggregate = aggregate(result.trials);
+    batch.results.push_back(std::move(result));
+  }
+  return batch;
+}
+
+BatchResult Runner::run(const SweepSpec& spec, std::size_t trials,
+                        std::uint64_t base_seed) const {
+  return run(spec.expand(), trials, base_seed);
+}
+
+const ScenarioResult& BatchResult::at(std::string_view name) const {
+  for (const ScenarioResult& result : results) {
+    if (result.scenario.name == name) return result;
+  }
+  throw std::out_of_range("no scenario named '" + std::string(name) + "'");
+}
+
+namespace {
+
+/// Axis columns for tidy output: the first scenario's axes minus the
+/// algorithm axis (already covered by the algorithm string column).
+std::vector<std::string> tidy_axis_names(
+    const std::vector<ScenarioResult>& results) {
+  std::vector<std::string> names;
+  if (results.empty()) return names;
+  for (const AxisValue& axis : results.front().scenario.axes) {
+    if (axis.axis != "algorithm") names.push_back(axis.axis);
+  }
+  return names;
+}
+
+}  // namespace
+
+std::vector<std::string> BatchResult::tidy_header() const {
+  std::vector<std::string> header = {"scenario", "algorithm"};
+  for (std::string& name : tidy_axis_names(results)) {
+    header.push_back(std::move(name));
+  }
+  header.insert(header.end(), {"trials", "conv%", "rounds(med)",
+                               "rounds(mean)", "rounds(p95)", "E[winner q]"});
+  return header;
+}
+
+std::vector<std::string> BatchResult::tidy_csv_header() const {
+  std::vector<std::string> header = {"scenario_id"};
+  for (std::string& name : tidy_axis_names(results)) {
+    header.push_back(std::move(name));
+  }
+  header.insert(header.end(),
+                {"trials", "conv_rate", "rounds_median", "rounds_mean",
+                 "rounds_p95", "mean_winner_quality"});
+  return header;
+}
+
+std::vector<std::vector<double>> BatchResult::tidy_rows() const {
+  const auto axes = tidy_axis_names(results);
+  std::vector<std::vector<double>> rows;
+  rows.reserve(results.size());
+  for (std::size_t s = 0; s < results.size(); ++s) {
+    const ScenarioResult& result = results[s];
+    const Aggregate& agg = result.aggregate;
+    std::vector<double> row = {static_cast<double>(s)};
+    // Align with tidy_csv_header: values of the first scenario's axes
+    // (shared across one sweep; absent axes read as 0).
+    for (const std::string& axis : axes) {
+      row.push_back(result.scenario.axis_value(axis));
+    }
+    row.insert(row.end(),
+               {static_cast<double>(agg.trials), agg.convergence_rate,
+                agg.rounds.median, agg.rounds.mean, agg.rounds.p95,
+                agg.mean_winner_quality});
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+util::Table BatchResult::tidy_table() const {
+  const auto axes = tidy_axis_names(results);
+  util::Table table(tidy_header());
+  for (const ScenarioResult& result : results) {
+    const Aggregate& agg = result.aggregate;
+    table.begin_row()
+        .cell(result.scenario.name)
+        .cell(result.scenario.algorithm);
+    for (const std::string& axis : axes) {
+      table.num(result.scenario.axis_value(axis), 3);
+    }
+    table.num(static_cast<std::uint64_t>(agg.trials))
+        .num(100.0 * agg.convergence_rate, 1)
+        .num(agg.rounds.median, 1)
+        .num(agg.rounds.mean, 1)
+        .num(agg.rounds.p95, 1)
+        .num(agg.mean_winner_quality, 3);
+  }
+  return table;
+}
+
+}  // namespace hh::analysis

@@ -1,0 +1,132 @@
+// The batch engine: executes trials x scenarios on a std::thread pool with
+// deterministic per-trial seeds, so a sweep's results are bit-identical
+// regardless of thread count. Every (scenario, trial) cell's seed is
+// derived SplitMix-style from (base_seed, scenario index, trial index) and
+// each cell writes its own result slot; aggregation happens serially
+// afterwards — thread scheduling can reorder the work but never the data.
+//
+//   hh::analysis::Runner runner;                     // hardware threads
+//   auto batch = runner.run(spec, /*trials=*/100, /*base_seed=*/42);
+//   std::cout << batch.tidy_table().render();
+#ifndef HH_ANALYSIS_RUNNER_HPP
+#define HH_ANALYSIS_RUNNER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "analysis/scenario.hpp"
+#include "util/table.hpp"
+
+namespace hh::analysis {
+
+struct RunnerOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  unsigned threads = 0;
+};
+
+/// Deterministic seed for trial `trial` of scenario `scenario` under
+/// `base_seed` (stable across thread counts, platforms, and releases).
+[[nodiscard]] std::uint64_t trial_seed(std::uint64_t base_seed,
+                                       std::size_t scenario,
+                                       std::size_t trial);
+
+/// Run body(0..count-1) across `threads` workers (serially when threads
+/// <= 1). Indices are claimed from an atomic counter; the body must write
+/// only to its own index's state. The first exception thrown by any body
+/// is rethrown on the caller after all workers join.
+void parallel_for_index(std::size_t count, unsigned threads,
+                        const std::function<void(std::size_t)>& body);
+
+/// One scenario's outcome: the per-trial stats (trial order, not
+/// completion order) and their aggregate.
+struct ScenarioResult {
+  Scenario scenario;
+  std::vector<TrialStats> trials;
+  Aggregate aggregate;
+};
+
+/// A full batch: one ScenarioResult per scenario, in scenario order, plus
+/// tidy long-format views for tables/CSV.
+struct BatchResult {
+  std::vector<ScenarioResult> results;
+  std::size_t trials_per_scenario = 0;
+  std::uint64_t base_seed = 0;
+
+  /// Result whose scenario name is `name`; throws std::out_of_range.
+  [[nodiscard]] const ScenarioResult& at(std::string_view name) const;
+
+  /// Long-format header for tidy_table(): scenario, algorithm, axes...,
+  /// then the standard aggregate columns. Axis names are taken from the
+  /// first scenario.
+  [[nodiscard]] std::vector<std::string> tidy_header() const;
+  /// Header aligned with tidy_rows() (all-numeric columns) — pair THESE
+  /// two for write_csv.
+  [[nodiscard]] std::vector<std::string> tidy_csv_header() const;
+  /// Numeric long-format rows for write_csv: one scenario-index column,
+  /// the axis values, then the aggregate columns — aligned with
+  /// tidy_csv_header(), NOT with tidy_header() (whose two leading
+  /// columns are strings).
+  [[nodiscard]] std::vector<std::vector<double>> tidy_rows() const;
+  /// Console table of every scenario's aggregate.
+  [[nodiscard]] util::Table tidy_table() const;
+};
+
+/// The scenario/sweep execution engine.
+class Runner {
+ public:
+  explicit Runner(RunnerOptions options = {});
+
+  /// Worker threads this runner will use (resolved, >= 1).
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  /// Standard path: run `trials` simulations of every scenario via the
+  /// algorithm registry and aggregate.
+  [[nodiscard]] BatchResult run(const std::vector<Scenario>& scenarios,
+                                std::size_t trials,
+                                std::uint64_t base_seed) const;
+  [[nodiscard]] BatchResult run(const SweepSpec& spec, std::size_t trials,
+                                std::uint64_t base_seed) const;
+
+  /// Generic path: evaluate fn(scenario, seed) for every (scenario, trial)
+  /// cell in parallel and return the results in deterministic
+  /// [scenario][trial] order. T must be default-constructible and must
+  /// not be bool (std::vector<bool> bit-packs, so concurrent per-cell
+  /// writes would race — return a small struct or int instead). Use this
+  /// for measurements richer than TrialStats (trajectory digests,
+  /// environment-level probes, rumor-spread runs, ...).
+  template <typename Fn>
+  [[nodiscard]] auto map(const std::vector<Scenario>& scenarios,
+                         std::size_t trials, std::uint64_t base_seed,
+                         Fn&& fn) const {
+    using T = std::decay_t<
+        std::invoke_result_t<Fn&, const Scenario&, std::uint64_t>>;
+    static_assert(!std::is_same_v<T, bool>,
+                  "std::vector<bool> bit-packs: concurrent cell writes "
+                  "would race; return int or a struct instead");
+    std::vector<std::vector<T>> out(scenarios.size());
+    for (auto& row : out) row.resize(trials);
+    parallel_for_index(
+        scenarios.size() * trials, threads_, [&](std::size_t index) {
+          const std::size_t s = index / trials;
+          const std::size_t t = index % trials;
+          out[s][t] = fn(scenarios[s], trial_seed(base_seed, s, t));
+        });
+    return out;
+  }
+
+ private:
+  unsigned threads_;
+};
+
+/// The default per-trial measurement used by Runner::run.
+[[nodiscard]] TrialStats run_scenario_trial(const Scenario& scenario,
+                                            std::uint64_t seed);
+
+}  // namespace hh::analysis
+
+#endif  // HH_ANALYSIS_RUNNER_HPP

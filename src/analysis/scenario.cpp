@@ -1,0 +1,255 @@
+#include "analysis/scenario.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace hh::analysis {
+
+namespace {
+
+/// Shortest decimal rendering of an axis value for scenario names.
+std::string format_value(double value) {
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+std::vector<double> binary_qualities_for(std::uint32_t k,
+                                         double bad_fraction) {
+  const auto bad = static_cast<std::uint32_t>(
+      static_cast<double>(k) * bad_fraction);
+  return core::SimulationConfig::binary_qualities(k, bad);
+}
+
+}  // namespace
+
+std::unique_ptr<core::Simulation> Scenario::make_simulation(
+    std::uint64_t seed) const {
+  core::SimulationConfig cfg = config;
+  cfg.seed = seed;
+  return core::make_simulation(algorithm, cfg, params);
+}
+
+double Scenario::axis_value(std::string_view axis, double fallback) const {
+  for (const AxisValue& v : axes) {
+    if (v.axis == axis) return v.value;
+  }
+  return fallback;
+}
+
+std::string_view Scenario::axis_label(std::string_view axis) const {
+  for (const AxisValue& v : axes) {
+    if (v.axis == axis) return v.label;
+  }
+  return {};
+}
+
+Scenario Scenario::of(std::string name, core::AlgorithmKind kind,
+                      core::SimulationConfig config,
+                      core::AlgorithmParams params) {
+  Scenario sc;
+  sc.name = std::move(name);
+  sc.algorithm = std::string(core::algorithm_name(kind));
+  sc.config = std::move(config);
+  sc.params = params;
+  return sc;
+}
+
+SweepSpec::SweepSpec(std::string name) : name_(std::move(name)) {}
+
+SweepSpec& SweepSpec::base(core::SimulationConfig config) {
+  seed_.config = std::move(config);
+  return *this;
+}
+
+SweepSpec& SweepSpec::params(core::AlgorithmParams params) {
+  seed_.params = params;
+  return *this;
+}
+
+SweepSpec& SweepSpec::algorithm(core::AlgorithmKind kind) {
+  seed_.algorithm = std::string(core::algorithm_name(kind));
+  return *this;
+}
+
+SweepSpec& SweepSpec::algorithm(std::string name) {
+  seed_.algorithm = std::move(name);
+  return *this;
+}
+
+SweepSpec& SweepSpec::algorithms(std::vector<std::string> names) {
+  std::vector<Point> points;
+  double index = 0.0;
+  for (std::string& name : names) {
+    points.push_back({name, index++, [name](Scenario& sc) {
+                        sc.algorithm = name;
+                      }});
+  }
+  return axis("algorithm", std::move(points));
+}
+
+SweepSpec& SweepSpec::algorithms(const std::vector<core::AlgorithmKind>& kinds) {
+  std::vector<std::string> names;
+  names.reserve(kinds.size());
+  for (core::AlgorithmKind kind : kinds) {
+    names.emplace_back(core::algorithm_name(kind));
+  }
+  return algorithms(std::move(names));
+}
+
+SweepSpec& SweepSpec::colony_sizes(std::vector<std::uint32_t> ns) {
+  std::vector<Point> points;
+  for (std::uint32_t n : ns) {
+    points.push_back({format_value(n), static_cast<double>(n),
+                      [n](Scenario& sc) { sc.config.num_ants = n; }});
+  }
+  return axis("n", std::move(points));
+}
+
+SweepSpec& SweepSpec::nest_counts(std::vector<std::uint32_t> ks,
+                                  double bad_fraction) {
+  std::vector<Point> points;
+  for (std::uint32_t k : ks) {
+    points.push_back({format_value(k), static_cast<double>(k),
+                      [k, bad_fraction](Scenario& sc) {
+                        sc.config.qualities =
+                            binary_qualities_for(k, bad_fraction);
+                      }});
+  }
+  return axis("k", std::move(points));
+}
+
+SweepSpec& SweepSpec::colony_nest_pairs(
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> nk,
+    double bad_fraction) {
+  std::vector<Point> points;
+  for (const auto& [n, k] : nk) {
+    points.push_back({format_value(n) + "x" + format_value(k),
+                      static_cast<double>(n),
+                      [n = n, k = k, bad_fraction](Scenario& sc) {
+                        sc.config.num_ants = n;
+                        sc.config.qualities =
+                            binary_qualities_for(k, bad_fraction);
+                        sc.axes.push_back(
+                            {"k", static_cast<double>(k), format_value(k)});
+                      }});
+  }
+  return axis("n", std::move(points));
+}
+
+SweepSpec& SweepSpec::quality_sets(
+    std::vector<std::pair<std::string, std::vector<double>>> sets) {
+  std::vector<Point> points;
+  double index = 0.0;
+  for (auto& [label, qualities] : sets) {
+    points.push_back({label, index++, [qualities](Scenario& sc) {
+                        sc.config.qualities = qualities;
+                      }});
+  }
+  return axis("qualities", std::move(points));
+}
+
+SweepSpec& SweepSpec::count_noise(std::vector<double> sigmas) {
+  return axis("count_sigma", std::move(sigmas), [](Scenario& sc, double v) {
+    sc.config.noise.count_sigma = v;
+  });
+}
+
+SweepSpec& SweepSpec::quality_flip(std::vector<double> probs) {
+  return axis("quality_flip", std::move(probs), [](Scenario& sc, double v) {
+    sc.config.noise.quality_flip_prob = v;
+  });
+}
+
+SweepSpec& SweepSpec::crash_fractions(std::vector<double> fractions) {
+  return axis("crash_fraction", std::move(fractions),
+              [](Scenario& sc, double v) {
+                sc.config.faults.crash_fraction = v;
+              });
+}
+
+SweepSpec& SweepSpec::byzantine_fractions(std::vector<double> fractions) {
+  return axis("byzantine_fraction", std::move(fractions),
+              [](Scenario& sc, double v) {
+                sc.config.faults.byzantine_fraction = v;
+              });
+}
+
+SweepSpec& SweepSpec::skip_probabilities(std::vector<double> probs) {
+  return axis("skip_probability", std::move(probs),
+              [](Scenario& sc, double v) { sc.config.skip_probability = v; });
+}
+
+SweepSpec& SweepSpec::pairings(std::vector<env::PairingKind> kinds) {
+  std::vector<Point> points;
+  for (env::PairingKind kind : kinds) {
+    const char* label =
+        kind == env::PairingKind::kPermutation ? "permutation"
+                                               : "uniform-proposal";
+    points.push_back({label, static_cast<double>(static_cast<int>(kind)),
+                      [kind](Scenario& sc) { sc.config.pairing = kind; }});
+  }
+  return axis("pairing", std::move(points));
+}
+
+SweepSpec& SweepSpec::n_estimate_errors(std::vector<double> errors) {
+  return axis("n_estimate_error", std::move(errors),
+              [](Scenario& sc, double v) { sc.params.n_estimate_error = v; });
+}
+
+SweepSpec& SweepSpec::quorum_fractions(std::vector<double> fractions) {
+  return axis("quorum_fraction", std::move(fractions),
+              [](Scenario& sc, double v) { sc.params.quorum_fraction = v; });
+}
+
+SweepSpec& SweepSpec::axis(std::string name, std::vector<Point> points) {
+  HH_EXPECTS(!points.empty());
+  axes_.push_back({std::move(name), std::move(points)});
+  return *this;
+}
+
+SweepSpec& SweepSpec::axis(std::string name, std::vector<double> values,
+                           const std::function<void(Scenario&, double)>& apply) {
+  std::vector<Point> points;
+  for (double v : values) {
+    points.push_back(
+        {format_value(v), v, [apply, v](Scenario& sc) { apply(sc, v); }});
+  }
+  return axis(std::move(name), std::move(points));
+}
+
+std::size_t SweepSpec::size() const {
+  std::size_t product = 1;
+  for (const Axis& axis : axes_) product *= axis.points.size();
+  return product;
+}
+
+std::vector<Scenario> SweepSpec::expand() const {
+  std::vector<Scenario> out;
+  out.reserve(size());
+  // Odometer over the axes, first axis varying slowest.
+  std::vector<std::size_t> index(axes_.size(), 0);
+  for (std::size_t count = size(); count > 0; --count) {
+    Scenario sc = seed_;
+    sc.name = name_;
+    for (std::size_t a = 0; a < axes_.size(); ++a) {
+      const Point& point = axes_[a].points[index[a]];
+      sc.axes.push_back({axes_[a].name, point.value, point.label});
+      point.apply(sc);
+      sc.name += "/" + axes_[a].name + "=" + point.label;
+    }
+    out.push_back(std::move(sc));
+    for (std::size_t a = axes_.size(); a-- > 0;) {
+      if (++index[a] < axes_[a].points.size()) break;
+      index[a] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace hh::analysis

@@ -1,0 +1,159 @@
+// Declarative experiment specs: a Scenario names one simulation
+// configuration (config + algorithm + params); a SweepSpec is a fluent
+// builder whose axes expand to the cross-product of scenarios. Together
+// with analysis::Runner this replaces the hand-rolled sweep loops the
+// bench drivers used to carry: declare the axes, expand, run.
+//
+//   auto scenarios = hh::analysis::SweepSpec("crossover")
+//                        .algorithms({AlgorithmKind::kSimple,
+//                                     AlgorithmKind::kOptimal})
+//                        .colony_sizes({1u << 10, 1u << 14})
+//                        .nest_counts({2, 8, 32})
+//                        .expand();
+#ifndef HH_ANALYSIS_SCENARIO_HPP
+#define HH_ANALYSIS_SCENARIO_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/colony.hpp"
+#include "core/registry.hpp"
+#include "core/simulation.hpp"
+#include "env/pairing.hpp"
+
+namespace hh::analysis {
+
+/// One swept coordinate of a scenario, kept for tidy long-format output:
+/// axis name -> numeric value, plus the point's display label (so drivers
+/// can print coordinates without mirroring the spec's label lists).
+struct AxisValue {
+  std::string axis;
+  double value = 0.0;
+  std::string label;
+};
+
+/// Everything needed to run trials of one experimental condition: a
+/// human-readable name, an algorithm (registry key), the simulation
+/// config (its seed field is overwritten per trial), and tunables.
+struct Scenario {
+  std::string name;
+  std::string algorithm{"simple"};
+  core::SimulationConfig config;
+  core::AlgorithmParams params;
+  /// The swept coordinates that produced this scenario, in sweep order.
+  std::vector<AxisValue> axes;
+
+  /// Build this scenario's simulation for one trial seed (via the
+  /// algorithm registry).
+  [[nodiscard]] std::unique_ptr<core::Simulation> make_simulation(
+      std::uint64_t seed) const;
+
+  /// Value of a swept axis, or `fallback` if this scenario has no such
+  /// axis.
+  [[nodiscard]] double axis_value(std::string_view axis,
+                                  double fallback = 0.0) const;
+
+  /// Display label of a swept axis point ("" if absent or unlabeled).
+  [[nodiscard]] std::string_view axis_label(std::string_view axis) const;
+
+  /// Convenience constructor for a one-off (non-swept) scenario.
+  [[nodiscard]] static Scenario of(std::string name, core::AlgorithmKind kind,
+                                   core::SimulationConfig config,
+                                   core::AlgorithmParams params = {});
+};
+
+/// Fluent cross-product builder. Each axis call appends one dimension;
+/// expand() yields every combination, first-declared axis varying slowest.
+/// Scalar convenience axes cover the library's standard knobs; axis()
+/// accepts arbitrary mutators for anything else.
+class SweepSpec {
+ public:
+  /// A scenario mutation applied when a point of an axis is selected.
+  using Mutator = std::function<void(Scenario&)>;
+
+  /// One point of an axis: display label, numeric value (for tidy
+  /// output), and the mutation it applies.
+  struct Point {
+    std::string label;
+    double value = 0.0;
+    Mutator apply;
+  };
+
+  explicit SweepSpec(std::string name = "sweep");
+
+  // --- base scenario (applied before any axis) --------------------------
+  SweepSpec& base(core::SimulationConfig config);
+  SweepSpec& params(core::AlgorithmParams params);
+  SweepSpec& algorithm(core::AlgorithmKind kind);
+  SweepSpec& algorithm(std::string name);
+
+  // --- standard axes ----------------------------------------------------
+  /// Algorithm axis from registry names.
+  SweepSpec& algorithms(std::vector<std::string> names);
+  /// Algorithm axis from built-in kinds.
+  SweepSpec& algorithms(const std::vector<core::AlgorithmKind>& kinds);
+  /// Colony-size axis (axis "n").
+  SweepSpec& colony_sizes(std::vector<std::uint32_t> ns);
+  /// Nest-count axis (axis "k"): k nests, floor(k * bad_fraction) bad ones
+  /// at the end (binary qualities, as in the paper's experiments).
+  SweepSpec& nest_counts(std::vector<std::uint32_t> ks,
+                         double bad_fraction = 0.5);
+  /// Joint (n, k) axis for sweeps whose sizes move together (axis "n";
+  /// scenarios also record axis "k").
+  SweepSpec& colony_nest_pairs(
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> nk,
+      double bad_fraction = 0.5);
+  /// Named quality-vector axis (axis "qualities"; value = index).
+  SweepSpec& quality_sets(
+      std::vector<std::pair<std::string, std::vector<double>>> sets);
+  /// Section 6 noise: multiplicative count-noise sigma.
+  SweepSpec& count_noise(std::vector<double> sigmas);
+  /// Section 6 noise: binary quality flip probability.
+  SweepSpec& quality_flip(std::vector<double> probs);
+  /// Section 6 faults: crash fraction.
+  SweepSpec& crash_fractions(std::vector<double> fractions);
+  /// Section 6 faults: Byzantine fraction (tolerance/stability are the
+  /// caller's business — pair with axis() or base() when needed).
+  SweepSpec& byzantine_fractions(std::vector<double> fractions);
+  /// Section 6 partial synchrony: per-round skip probability.
+  SweepSpec& skip_probabilities(std::vector<double> probs);
+  /// Pairing-model axis (value = enum index).
+  SweepSpec& pairings(std::vector<env::PairingKind> kinds);
+  /// AlgorithmParams axis: n-estimate error.
+  SweepSpec& n_estimate_errors(std::vector<double> errors);
+  /// AlgorithmParams axis: quorum threshold fraction.
+  SweepSpec& quorum_fractions(std::vector<double> fractions);
+
+  /// Arbitrary axis.
+  SweepSpec& axis(std::string name, std::vector<Point> points);
+  /// Arbitrary numeric axis: label = formatted value.
+  SweepSpec& axis(std::string name, std::vector<double> values,
+                  const std::function<void(Scenario&, double)>& apply);
+
+  /// Number of scenarios expand() will produce (product of axis sizes).
+  [[nodiscard]] std::size_t size() const;
+
+  /// The cross-product, named "<sweep>/<axis>=<label>/..." per scenario.
+  [[nodiscard]] std::vector<Scenario> expand() const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  struct Axis {
+    std::string name;
+    std::vector<Point> points;
+  };
+
+  std::string name_;
+  Scenario seed_;
+  std::vector<Axis> axes_;
+};
+
+}  // namespace hh::analysis
+
+#endif  // HH_ANALYSIS_SCENARIO_HPP

@@ -7,7 +7,7 @@
 // experiment, and the Section 6 extensions (noise, faults, partial
 // synchrony, boosted rates, non-binary qualities) plus baselines.
 //
-// Quick start:
+// Quick start — one simulation:
 //
 //   #include "anthill.hpp"
 //
@@ -19,17 +19,35 @@
 //   hh::core::RunResult result = sim.run();
 //   // result.winner is a quality-1 nest; result.rounds = O(k log n) whp.
 //
+// Quick start — an experiment sweep (the theorems are with-high-probability
+// statements, so the real workload is thousands of trials per condition):
+//
+//   auto spec = hh::analysis::SweepSpec("crossover")
+//                   .algorithms({hh::core::AlgorithmKind::kSimple,
+//                                hh::core::AlgorithmKind::kOptimal})
+//                   .colony_sizes({1u << 10, 1u << 14})
+//                   .nest_counts({2, 8, 32});
+//   hh::analysis::Runner runner;  // std::thread pool, all cores
+//   auto batch = runner.run(spec, /*trials=*/200, /*base_seed=*/42);
+//   std::cout << batch.tidy_table().render();
+//   // bit-identical results at any thread count: per-trial seeds are
+//   // derived from (base_seed, scenario index, trial index).
+//
 // Layering (lower layers never include higher ones):
 //   util/      rng, stats, fits, tables, plots, contracts
 //   env/       the Section 2 model: nests, actions, pairing, environment
-//   core/      the algorithms, colonies, simulation driver, lower bound
-//   analysis/  trial aggregation and report emission (used by bench/)
+//   core/      the algorithms, colonies, simulation driver, lower bound,
+//              and the string-keyed algorithm registry (registry.hpp)
+//   analysis/  scenarios + sweeps (scenario.hpp), the parallel batch
+//              runner (runner.hpp), aggregation, and report emission
 #ifndef HH_ANTHILL_HPP
 #define HH_ANTHILL_HPP
 
 #include "analysis/experiment.hpp"
 #include "analysis/metrics.hpp"
 #include "analysis/report.hpp"
+#include "analysis/runner.hpp"
+#include "analysis/scenario.hpp"
 #include "core/ant.hpp"
 #include "core/colony.hpp"
 #include "core/convergence.hpp"
@@ -37,6 +55,7 @@
 #include "core/quality_aware_ant.hpp"
 #include "core/quorum_ant.hpp"
 #include "core/rate_boosted_ant.hpp"
+#include "core/registry.hpp"
 #include "core/rumor_spread.hpp"
 #include "core/simple_ant.hpp"
 #include "core/simulation.hpp"

@@ -1,0 +1,100 @@
+#include "core/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hh::core {
+
+const std::vector<AlgorithmKind>& all_algorithm_kinds() {
+  static const std::vector<AlgorithmKind> kinds = {
+      AlgorithmKind::kOptimal,        AlgorithmKind::kOptimalSettle,
+      AlgorithmKind::kSimple,         AlgorithmKind::kRateBoosted,
+      AlgorithmKind::kQualityAware,   AlgorithmKind::kUniformRecruit,
+      AlgorithmKind::kQuorum,
+  };
+  return kinds;
+}
+
+std::optional<AlgorithmKind> algorithm_from_name(std::string_view name) {
+  for (AlgorithmKind kind : all_algorithm_kinds()) {
+    if (algorithm_name(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+AlgorithmRegistry::AlgorithmRegistry() {
+  for (AlgorithmKind kind : all_algorithm_kinds()) {
+    factories_.emplace_back(
+        std::string(algorithm_name(kind)),
+        [kind](const SimulationConfig& config, const AlgorithmParams& params) {
+          return std::make_unique<Simulation>(config, kind, params);
+        });
+  }
+}
+
+AlgorithmRegistry& AlgorithmRegistry::instance() {
+  static AlgorithmRegistry registry;
+  return registry;
+}
+
+void AlgorithmRegistry::add(std::string name, SimulationFactory factory) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [existing, fn] : factories_) {
+    if (existing == name) {
+      fn = std::move(factory);
+      return;
+    }
+  }
+  factories_.emplace_back(std::move(name), std::move(factory));
+}
+
+bool AlgorithmRegistry::contains(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return std::any_of(factories_.begin(), factories_.end(),
+                     [&](const auto& entry) { return entry.first == name; });
+}
+
+std::unique_ptr<Simulation> AlgorithmRegistry::make(
+    std::string_view name, const SimulationConfig& config,
+    const AlgorithmParams& params) const {
+  SimulationFactory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [existing, fn] : factories_) {
+      if (existing == name) {
+        factory = fn;
+        break;
+      }
+    }
+  }
+  if (!factory) {
+    std::string known;
+    for (const std::string& n : names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::out_of_range("unknown algorithm '" + std::string(name) +
+                            "' (registered: " + known + ")");
+  }
+  // Invoke outside the lock: factories run whole colony constructions.
+  return factory(config, params);
+}
+
+std::vector<std::string> AlgorithmRegistry::names() const {
+  std::vector<std::string> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(factories_.size());
+    for (const auto& [name, fn] : factories_) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::unique_ptr<Simulation> make_simulation(std::string_view algorithm,
+                                            const SimulationConfig& config,
+                                            const AlgorithmParams& params) {
+  return AlgorithmRegistry::instance().make(algorithm, config, params);
+}
+
+}  // namespace hh::core

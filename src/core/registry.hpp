@@ -1,0 +1,73 @@
+// String-keyed algorithm registry: maps a stable algorithm name to a
+// factory that builds a ready-to-run Simulation. Scenarios (analysis layer)
+// reference algorithms by name, so new variants plug in without switch
+// statements — register a factory once and every sweep, bench, and example
+// can select it by string.
+#ifndef HH_CORE_REGISTRY_HPP
+#define HH_CORE_REGISTRY_HPP
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/colony.hpp"
+#include "core/simulation.hpp"
+
+namespace hh::core {
+
+/// Builds a Simulation for one trial. The config carries the trial's seed;
+/// the factory decides everything else (colony, convergence mode, ...).
+using SimulationFactory = std::function<std::unique_ptr<Simulation>(
+    const SimulationConfig&, const AlgorithmParams&)>;
+
+/// Process-wide name -> factory table. The built-in algorithms (every
+/// AlgorithmKind, keyed by algorithm_name(kind)) are registered on first
+/// access. Lookups are mutex-guarded so Runner worker threads can build
+/// simulations concurrently with each other (registration during a running
+/// sweep is also safe, if pointless).
+class AlgorithmRegistry {
+ public:
+  /// The process-wide instance.
+  [[nodiscard]] static AlgorithmRegistry& instance();
+
+  /// Register (or replace) a factory under `name`.
+  void add(std::string name, SimulationFactory factory);
+
+  /// True iff `name` is registered.
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Build a simulation for `name`. Throws std::out_of_range for an
+  /// unknown name (listing the registered ones).
+  [[nodiscard]] std::unique_ptr<Simulation> make(
+      std::string_view name, const SimulationConfig& config,
+      const AlgorithmParams& params = {}) const;
+
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  AlgorithmRegistry();
+
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, SimulationFactory>> factories_;
+};
+
+/// Convenience: AlgorithmRegistry::instance().make(...).
+[[nodiscard]] std::unique_ptr<Simulation> make_simulation(
+    std::string_view algorithm, const SimulationConfig& config,
+    const AlgorithmParams& params = {});
+
+/// The built-in AlgorithmKind whose algorithm_name() is `name`, if any.
+[[nodiscard]] std::optional<AlgorithmKind> algorithm_from_name(
+    std::string_view name);
+
+/// Every built-in AlgorithmKind, in declaration order.
+[[nodiscard]] const std::vector<AlgorithmKind>& all_algorithm_kinds();
+
+}  // namespace hh::core
+
+#endif  // HH_CORE_REGISTRY_HPP

@@ -1,0 +1,91 @@
+// Tests of the string-keyed algorithm registry.
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace hh::core {
+namespace {
+
+TEST(Registry, ContainsEveryBuiltinKind) {
+  auto& registry = AlgorithmRegistry::instance();
+  for (AlgorithmKind kind : all_algorithm_kinds()) {
+    EXPECT_TRUE(registry.contains(algorithm_name(kind)))
+        << algorithm_name(kind);
+  }
+}
+
+TEST(Registry, RoundTripsEveryKindThroughNames) {
+  for (AlgorithmKind kind : all_algorithm_kinds()) {
+    const auto back = algorithm_from_name(algorithm_name(kind));
+    ASSERT_TRUE(back.has_value()) << algorithm_name(kind);
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(algorithm_from_name("no-such-algorithm").has_value());
+}
+
+TEST(Registry, BuildsARunnableSimulationForEveryKind) {
+  for (AlgorithmKind kind : all_algorithm_kinds()) {
+    const auto cfg = test::small_config(64, 2, 1, 7);
+    auto sim = make_simulation(algorithm_name(kind), cfg);
+    ASSERT_NE(sim, nullptr);
+    EXPECT_EQ(sim->colony().algorithm, algorithm_name(kind));
+    EXPECT_EQ(sim->colony().size(), 64u);
+  }
+}
+
+TEST(Registry, RegistryMatchesDirectConstructionExactly) {
+  // The factory path must reproduce the direct Simulation(kind) path
+  // bit-for-bit: same colony, same environment seed derivations.
+  const auto cfg = test::small_config(128, 4, 2, 99);
+  auto via_registry = make_simulation("simple", cfg);
+  Simulation direct(cfg, AlgorithmKind::kSimple);
+  const auto a = via_registry->run();
+  const auto b = direct.run();
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.winner, b.winner);
+  EXPECT_EQ(a.total_recruitments, b.total_recruitments);
+}
+
+TEST(Registry, UnknownNameThrowsListingKnownOnes) {
+  const auto cfg = test::small_config();
+  try {
+    (void)make_simulation("martian", cfg);
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("martian"), std::string::npos);
+    EXPECT_NE(what.find("simple"), std::string::npos);
+  }
+}
+
+TEST(Registry, CustomRegistrationIsVisibleAndReplaceable) {
+  auto& registry = AlgorithmRegistry::instance();
+  registry.add("test-custom",
+               [](const SimulationConfig& config, const AlgorithmParams& p) {
+                 return std::make_unique<Simulation>(
+                     config, AlgorithmKind::kSimple, p);
+               });
+  EXPECT_TRUE(registry.contains("test-custom"));
+  const auto cfg = test::small_config(64, 2, 1, 3);
+  auto sim = registry.make("test-custom", cfg);
+  EXPECT_TRUE(sim->run().converged);
+  // Replacement under the same name is allowed (last one wins).
+  registry.add("test-custom",
+               [](const SimulationConfig& config, const AlgorithmParams& p) {
+                 return std::make_unique<Simulation>(
+                     config, AlgorithmKind::kOptimal, p);
+               });
+  EXPECT_EQ(registry.make("test-custom", cfg)->colony().algorithm, "optimal");
+}
+
+TEST(Registry, NamesAreSortedAndIncludeBuiltins) {
+  const auto names = AlgorithmRegistry::instance().names();
+  EXPECT_GE(names.size(), all_algorithm_kinds().size());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+}  // namespace
+}  // namespace hh::core

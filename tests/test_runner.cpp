@@ -1,0 +1,163 @@
+// Tests of the parallel batch engine: determinism across thread counts is
+// the core contract — a sweep's results must be a pure function of
+// (scenarios, trials, base_seed), never of scheduling.
+#include "analysis/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.hpp"
+
+namespace hh::analysis {
+namespace {
+
+SweepSpec small_sweep() {
+  return SweepSpec("det")
+      .base(test::small_config(64, 2, 1))
+      .algorithms({core::AlgorithmKind::kSimple,
+                   core::AlgorithmKind::kOptimal})
+      .colony_sizes({32, 64});
+}
+
+void expect_identical(const BatchResult& a, const BatchResult& b) {
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t s = 0; s < a.results.size(); ++s) {
+    const auto& ra = a.results[s];
+    const auto& rb = b.results[s];
+    EXPECT_EQ(ra.scenario.name, rb.scenario.name);
+    ASSERT_EQ(ra.trials.size(), rb.trials.size());
+    for (std::size_t t = 0; t < ra.trials.size(); ++t) {
+      EXPECT_EQ(ra.trials[t].converged, rb.trials[t].converged);
+      EXPECT_EQ(ra.trials[t].rounds, rb.trials[t].rounds);
+      EXPECT_EQ(ra.trials[t].winner, rb.trials[t].winner);
+      EXPECT_EQ(ra.trials[t].winner_quality, rb.trials[t].winner_quality);
+      EXPECT_EQ(ra.trials[t].recruitments, rb.trials[t].recruitments);
+    }
+    EXPECT_EQ(ra.aggregate.converged, rb.aggregate.converged);
+    EXPECT_EQ(ra.aggregate.round_samples, rb.aggregate.round_samples);
+    EXPECT_EQ(ra.aggregate.rounds.mean, rb.aggregate.rounds.mean);
+    EXPECT_EQ(ra.aggregate.mean_winner_quality,
+              rb.aggregate.mean_winner_quality);
+  }
+}
+
+TEST(Runner, BitIdenticalAcrossOneTwoAndEightThreads) {
+  const auto scenarios = small_sweep().expand();
+  constexpr std::size_t kTrials = 12;
+  constexpr std::uint64_t kSeed = 0xBEEF;
+  const auto one = Runner(RunnerOptions{1}).run(scenarios, kTrials, kSeed);
+  const auto two = Runner(RunnerOptions{2}).run(scenarios, kTrials, kSeed);
+  const auto eight = Runner(RunnerOptions{8}).run(scenarios, kTrials, kSeed);
+  expect_identical(one, two);
+  expect_identical(one, eight);
+}
+
+TEST(Runner, DifferentBaseSeedsGiveDifferentTrials) {
+  const auto scenarios = small_sweep().expand();
+  const Runner runner(RunnerOptions{2});
+  const auto a = runner.run(scenarios, 8, 1);
+  const auto b = runner.run(scenarios, 8, 2);
+  bool any_difference = false;
+  for (std::size_t s = 0; s < a.results.size(); ++s) {
+    for (std::size_t t = 0; t < 8; ++t) {
+      any_difference |= a.results[s].trials[t].rounds !=
+                        b.results[s].trials[t].rounds;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Runner, TrialSeedsAreDistinctAcrossCells) {
+  std::set<std::uint64_t> seeds;
+  for (std::size_t s = 0; s < 32; ++s) {
+    for (std::size_t t = 0; t < 32; ++t) {
+      seeds.insert(trial_seed(42, s, t));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 32u * 32u);
+}
+
+TEST(Runner, MapRunsCustomTrialFunctionsDeterministically) {
+  const auto scenarios = SweepSpec("m")
+                             .base(test::small_config(32, 2, 1))
+                             .colony_sizes({32, 64, 96})
+                             .expand();
+  const auto fn = [](const Scenario& sc, std::uint64_t seed) {
+    return static_cast<double>(sc.config.num_ants) +
+           static_cast<double>(seed % 1000) * 1e-3;
+  };
+  const auto one = Runner(RunnerOptions{1}).map(scenarios, 5, 9, fn);
+  const auto four = Runner(RunnerOptions{4}).map(scenarios, 5, 9, fn);
+  ASSERT_EQ(one.size(), 3u);
+  ASSERT_EQ(one[0].size(), 5u);
+  EXPECT_EQ(one, four);
+  // Scenario coordinates reach the trial function.
+  EXPECT_GE(one[2][0], 96.0);
+}
+
+TEST(Runner, RunConsumesSweepSpecsDirectly) {
+  const auto batch = Runner(RunnerOptions{2}).run(small_sweep(), 4, 7);
+  EXPECT_EQ(batch.results.size(), 4u);
+  EXPECT_EQ(batch.trials_per_scenario, 4u);
+  for (const auto& result : batch.results) {
+    EXPECT_EQ(result.aggregate.trials, 4u);
+    // These tiny clean configs always converge.
+    EXPECT_EQ(result.aggregate.converged, 4u);
+  }
+}
+
+TEST(Runner, AtFindsScenariosByName) {
+  const auto batch = Runner(RunnerOptions{2}).run(small_sweep(), 2, 7);
+  const auto& found = batch.at("det/algorithm=optimal/n=64");
+  EXPECT_EQ(found.scenario.algorithm, "optimal");
+  EXPECT_EQ(found.scenario.config.num_ants, 64u);
+  EXPECT_THROW((void)batch.at("nope"), std::out_of_range);
+}
+
+TEST(Runner, TidyOutputsAlignWithHeader) {
+  const auto batch = Runner(RunnerOptions{2}).run(small_sweep(), 3, 11);
+  const auto header = batch.tidy_header();
+  const auto csv_header = batch.tidy_csv_header();
+  const auto rows = batch.tidy_rows();
+  ASSERT_EQ(rows.size(), batch.results.size());
+  // tidy_rows aligns with tidy_csv_header (all numeric), which replaces
+  // tidy_header's two leading string columns with one scenario-id column.
+  EXPECT_EQ(rows.front().size(), csv_header.size());
+  EXPECT_EQ(csv_header.size(), header.size() - 1);
+  EXPECT_EQ(csv_header[0], "scenario_id");
+  EXPECT_EQ(csv_header[1], "n");
+  const auto table = batch.tidy_table();
+  EXPECT_EQ(table.row_count(), batch.results.size());
+  // The algorithm axis is folded into the string column; the first
+  // numeric axis column is n.
+  EXPECT_EQ(header[1], "algorithm");
+  EXPECT_EQ(header[2], "n");
+}
+
+TEST(Runner, ParallelForPropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for_index(16, 4,
+                         [](std::size_t i) {
+                           if (i == 7) throw std::runtime_error("boom");
+                         }),
+      std::runtime_error);
+}
+
+TEST(Runner, MatchesLegacyRunAlgorithmTrialsSemantics) {
+  // Not bit-compatibility (seed derivations differ by design) but
+  // equivalent statistics: same config, same trial count, both engines
+  // should see every trial converge to a good nest.
+  const auto cfg = test::small_config(128, 4, 2);
+  const auto legacy = run_algorithm_trials(cfg, core::AlgorithmKind::kSimple,
+                                           10, 0x7E57);
+  auto sc = Scenario::of("legacy", core::AlgorithmKind::kSimple, cfg);
+  const auto batch = Runner(RunnerOptions{2}).run({sc}, 10, 0x7E57);
+  EXPECT_EQ(legacy.trials, batch.results[0].aggregate.trials);
+  EXPECT_EQ(legacy.converged, 10u);
+  EXPECT_EQ(batch.results[0].aggregate.converged, 10u);
+  EXPECT_DOUBLE_EQ(batch.results[0].aggregate.mean_winner_quality, 1.0);
+}
+
+}  // namespace
+}  // namespace hh::analysis

@@ -1,0 +1,166 @@
+// Tests of the declarative Scenario / SweepSpec experiment specs.
+#include "analysis/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.hpp"
+
+namespace hh::analysis {
+namespace {
+
+core::SimulationConfig base_config() { return test::small_config(64, 4, 2); }
+
+TEST(Scenario, OfBuildsNamedScenario) {
+  const auto sc = Scenario::of("demo", core::AlgorithmKind::kOptimal,
+                               base_config());
+  EXPECT_EQ(sc.name, "demo");
+  EXPECT_EQ(sc.algorithm, "optimal");
+  EXPECT_EQ(sc.config.num_ants, 64u);
+}
+
+TEST(Scenario, MakeSimulationOverridesSeed) {
+  auto sc = Scenario::of("demo", core::AlgorithmKind::kSimple, base_config());
+  sc.config.seed = 1;  // ignored: the trial seed wins
+  auto a = sc.make_simulation(7)->run();
+  sc.config.seed = 2;
+  auto b = sc.make_simulation(7)->run();
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.winner, b.winner);
+}
+
+TEST(Scenario, AxisValueLookupFallsBack) {
+  Scenario sc;
+  sc.axes = {{"n", 128.0, "128"}, {"k", 4.0, "4"}};
+  EXPECT_DOUBLE_EQ(sc.axis_value("n"), 128.0);
+  EXPECT_DOUBLE_EQ(sc.axis_value("k"), 4.0);
+  EXPECT_DOUBLE_EQ(sc.axis_value("absent", -1.0), -1.0);
+}
+
+TEST(Scenario, AxisLabelsSurviveExpansion) {
+  const auto scenarios =
+      SweepSpec("lbl")
+          .base(base_config())
+          .quality_sets({{"spread", {1.0, 0.5}}, {"flat", {1.0, 1.0}}})
+          .expand();
+  ASSERT_EQ(scenarios.size(), 2u);
+  EXPECT_EQ(scenarios[0].axis_label("qualities"), "spread");
+  EXPECT_EQ(scenarios[1].axis_label("qualities"), "flat");
+  EXPECT_EQ(scenarios[0].axis_label("absent"), "");
+}
+
+TEST(SweepSpec, SizeAndExpansionAreTheCrossProduct) {
+  auto spec = SweepSpec("x")
+                  .base(base_config())
+                  .algorithms({core::AlgorithmKind::kSimple,
+                               core::AlgorithmKind::kOptimal})
+                  .colony_sizes({64, 128, 256})
+                  .count_noise({0.0, 0.5});
+  EXPECT_EQ(spec.size(), 2u * 3u * 2u);
+  const auto scenarios = spec.expand();
+  ASSERT_EQ(scenarios.size(), 12u);
+  // Every combination appears exactly once.
+  std::set<std::string> names;
+  for (const auto& sc : scenarios) names.insert(sc.name);
+  EXPECT_EQ(names.size(), 12u);
+}
+
+TEST(SweepSpec, FirstAxisVariesSlowest) {
+  const auto scenarios = SweepSpec("o")
+                             .base(base_config())
+                             .algorithms({core::AlgorithmKind::kSimple,
+                                          core::AlgorithmKind::kOptimal})
+                             .colony_sizes({64, 128})
+                             .expand();
+  ASSERT_EQ(scenarios.size(), 4u);
+  EXPECT_EQ(scenarios[0].algorithm, "simple");
+  EXPECT_EQ(scenarios[0].config.num_ants, 64u);
+  EXPECT_EQ(scenarios[1].algorithm, "simple");
+  EXPECT_EQ(scenarios[1].config.num_ants, 128u);
+  EXPECT_EQ(scenarios[2].algorithm, "optimal");
+  EXPECT_EQ(scenarios[2].config.num_ants, 64u);
+  EXPECT_EQ(scenarios[3].algorithm, "optimal");
+  EXPECT_EQ(scenarios[3].config.num_ants, 128u);
+}
+
+TEST(SweepSpec, AxesRecordCoordinatesForTidyOutput) {
+  const auto scenarios = SweepSpec("t")
+                             .base(base_config())
+                             .colony_sizes({64, 256})
+                             .nest_counts({2, 8}, 0.5)
+                             .expand();
+  ASSERT_EQ(scenarios.size(), 4u);
+  const auto& last = scenarios.back();
+  EXPECT_DOUBLE_EQ(last.axis_value("n"), 256.0);
+  EXPECT_DOUBLE_EQ(last.axis_value("k"), 8.0);
+  EXPECT_EQ(last.config.num_ants, 256u);
+  EXPECT_EQ(last.config.qualities.size(), 8u);
+  // bad_fraction = 0.5: half the nests are quality 0, at the end.
+  EXPECT_DOUBLE_EQ(last.config.qualities.front(), 1.0);
+  EXPECT_DOUBLE_EQ(last.config.qualities.back(), 0.0);
+}
+
+TEST(SweepSpec, ColonyNestPairsMoveJointly) {
+  const auto scenarios =
+      SweepSpec("nk")
+          .base(base_config())
+          .colony_nest_pairs({{1024, 4}, {4096, 8}}, 0.5)
+          .expand();
+  ASSERT_EQ(scenarios.size(), 2u);  // joint axis: 2 scenarios, not 4
+  EXPECT_EQ(scenarios[0].config.num_ants, 1024u);
+  EXPECT_EQ(scenarios[0].config.qualities.size(), 4u);
+  EXPECT_DOUBLE_EQ(scenarios[0].axis_value("k"), 4.0);
+  EXPECT_EQ(scenarios[1].config.num_ants, 4096u);
+  EXPECT_EQ(scenarios[1].config.qualities.size(), 8u);
+  EXPECT_DOUBLE_EQ(scenarios[1].axis_value("k"), 8.0);
+}
+
+TEST(SweepSpec, QualitySetsAndParamsAxes) {
+  const auto scenarios =
+      SweepSpec("q")
+          .base(base_config())
+          .algorithm(core::AlgorithmKind::kQuorum)
+          .quality_sets({{"spread", {1.0, 0.5}}, {"flat", {1.0, 1.0, 1.0}}})
+          .quorum_fractions({0.2, 0.4})
+          .expand();
+  ASSERT_EQ(scenarios.size(), 4u);
+  EXPECT_EQ(scenarios[0].algorithm, "quorum");
+  EXPECT_EQ(scenarios[0].config.qualities, (std::vector<double>{1.0, 0.5}));
+  EXPECT_DOUBLE_EQ(scenarios[0].params.quorum_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(scenarios[1].params.quorum_fraction, 0.4);
+  EXPECT_EQ(scenarios[2].config.qualities.size(), 3u);
+}
+
+TEST(SweepSpec, StandardKnobAxesMutateTheRightFields) {
+  const auto scenarios = SweepSpec("knobs")
+                             .base(base_config())
+                             .quality_flip({0.05})
+                             .crash_fractions({0.1})
+                             .byzantine_fractions({0.02})
+                             .skip_probabilities({0.3})
+                             .pairings({env::PairingKind::kUniformProposal})
+                             .n_estimate_errors({0.25})
+                             .expand();
+  ASSERT_EQ(scenarios.size(), 1u);
+  const auto& sc = scenarios.front();
+  EXPECT_DOUBLE_EQ(sc.config.noise.quality_flip_prob, 0.05);
+  EXPECT_DOUBLE_EQ(sc.config.faults.crash_fraction, 0.1);
+  EXPECT_DOUBLE_EQ(sc.config.faults.byzantine_fraction, 0.02);
+  EXPECT_DOUBLE_EQ(sc.config.skip_probability, 0.3);
+  EXPECT_EQ(sc.config.pairing, env::PairingKind::kUniformProposal);
+  EXPECT_DOUBLE_EQ(sc.params.n_estimate_error, 0.25);
+}
+
+TEST(SweepSpec, EmptySpecYieldsTheBaseScenario) {
+  const auto scenarios = SweepSpec("solo")
+                             .base(base_config())
+                             .algorithm(core::AlgorithmKind::kSimple)
+                             .expand();
+  ASSERT_EQ(scenarios.size(), 1u);
+  EXPECT_EQ(scenarios.front().name, "solo");
+  EXPECT_TRUE(scenarios.front().axes.empty());
+}
+
+}  // namespace
+}  // namespace hh::analysis
