@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/experiment.cpp" "CMakeFiles/anthill.dir/src/analysis/experiment.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/analysis/experiment.cpp.o.d"
+  "/root/repo/src/analysis/metrics.cpp" "CMakeFiles/anthill.dir/src/analysis/metrics.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/analysis/metrics.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "CMakeFiles/anthill.dir/src/analysis/report.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/analysis/report.cpp.o.d"
+  "/root/repo/src/analysis/runner.cpp" "CMakeFiles/anthill.dir/src/analysis/runner.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/analysis/runner.cpp.o.d"
+  "/root/repo/src/analysis/scenario.cpp" "CMakeFiles/anthill.dir/src/analysis/scenario.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/analysis/scenario.cpp.o.d"
+  "/root/repo/src/core/ant.cpp" "CMakeFiles/anthill.dir/src/core/ant.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/core/ant.cpp.o.d"
+  "/root/repo/src/core/colony.cpp" "CMakeFiles/anthill.dir/src/core/colony.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/core/colony.cpp.o.d"
+  "/root/repo/src/core/convergence.cpp" "CMakeFiles/anthill.dir/src/core/convergence.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/core/convergence.cpp.o.d"
+  "/root/repo/src/core/optimal_ant.cpp" "CMakeFiles/anthill.dir/src/core/optimal_ant.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/core/optimal_ant.cpp.o.d"
+  "/root/repo/src/core/quality_aware_ant.cpp" "CMakeFiles/anthill.dir/src/core/quality_aware_ant.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/core/quality_aware_ant.cpp.o.d"
+  "/root/repo/src/core/quorum_ant.cpp" "CMakeFiles/anthill.dir/src/core/quorum_ant.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/core/quorum_ant.cpp.o.d"
+  "/root/repo/src/core/rate_boosted_ant.cpp" "CMakeFiles/anthill.dir/src/core/rate_boosted_ant.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/core/rate_boosted_ant.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "CMakeFiles/anthill.dir/src/core/registry.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/core/registry.cpp.o.d"
+  "/root/repo/src/core/rumor_spread.cpp" "CMakeFiles/anthill.dir/src/core/rumor_spread.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/core/rumor_spread.cpp.o.d"
+  "/root/repo/src/core/simple_ant.cpp" "CMakeFiles/anthill.dir/src/core/simple_ant.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/core/simple_ant.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "CMakeFiles/anthill.dir/src/core/simulation.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/core/simulation.cpp.o.d"
+  "/root/repo/src/core/uniform_recruit_ant.cpp" "CMakeFiles/anthill.dir/src/core/uniform_recruit_ant.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/core/uniform_recruit_ant.cpp.o.d"
+  "/root/repo/src/env/environment.cpp" "CMakeFiles/anthill.dir/src/env/environment.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/env/environment.cpp.o.d"
+  "/root/repo/src/env/faults.cpp" "CMakeFiles/anthill.dir/src/env/faults.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/env/faults.cpp.o.d"
+  "/root/repo/src/env/observation.cpp" "CMakeFiles/anthill.dir/src/env/observation.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/env/observation.cpp.o.d"
+  "/root/repo/src/env/pairing.cpp" "CMakeFiles/anthill.dir/src/env/pairing.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/env/pairing.cpp.o.d"
+  "/root/repo/src/env/scheduler.cpp" "CMakeFiles/anthill.dir/src/env/scheduler.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/env/scheduler.cpp.o.d"
+  "/root/repo/src/util/ascii_plot.cpp" "CMakeFiles/anthill.dir/src/util/ascii_plot.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/util/ascii_plot.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "CMakeFiles/anthill.dir/src/util/csv.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/util/csv.cpp.o.d"
+  "/root/repo/src/util/fit.cpp" "CMakeFiles/anthill.dir/src/util/fit.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/util/fit.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "CMakeFiles/anthill.dir/src/util/histogram.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/util/histogram.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/anthill.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/anthill.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/anthill.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/anthill.dir/src/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pairing.dir/bench/bench_ablation_pairing.cpp.o"
+  "CMakeFiles/bench_ablation_pairing.dir/bench/bench_ablation_pairing.cpp.o.d"
+  "bench_ablation_pairing"
+  "bench_ablation_pairing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pairing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_feedback.dir/bench/bench_baseline_feedback.cpp.o"
+  "CMakeFiles/bench_baseline_feedback.dir/bench/bench_baseline_feedback.cpp.o.d"
+  "bench_baseline_feedback"
+  "bench_baseline_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

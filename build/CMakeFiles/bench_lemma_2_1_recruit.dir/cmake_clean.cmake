@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma_2_1_recruit.dir/bench/bench_lemma_2_1_recruit.cpp.o"
+  "CMakeFiles/bench_lemma_2_1_recruit.dir/bench/bench_lemma_2_1_recruit.cpp.o.d"
+  "bench_lemma_2_1_recruit"
+  "bench_lemma_2_1_recruit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma_2_1_recruit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

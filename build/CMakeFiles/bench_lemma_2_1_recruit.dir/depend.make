@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_lemma_2_1_recruit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma_4_2_dropout.dir/bench/bench_lemma_4_2_dropout.cpp.o"
+  "CMakeFiles/bench_lemma_4_2_dropout.dir/bench/bench_lemma_4_2_dropout.cpp.o.d"
+  "bench_lemma_4_2_dropout"
+  "bench_lemma_4_2_dropout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma_4_2_dropout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

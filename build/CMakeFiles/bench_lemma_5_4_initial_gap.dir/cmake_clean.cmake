@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma_5_4_initial_gap.dir/bench/bench_lemma_5_4_initial_gap.cpp.o"
+  "CMakeFiles/bench_lemma_5_4_initial_gap.dir/bench/bench_lemma_5_4_initial_gap.cpp.o.d"
+  "bench_lemma_5_4_initial_gap"
+  "bench_lemma_5_4_initial_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma_5_4_initial_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_lemma_5_4_initial_gap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma_5_9_extinction.dir/bench/bench_lemma_5_9_extinction.cpp.o"
+  "CMakeFiles/bench_lemma_5_9_extinction.dir/bench/bench_lemma_5_9_extinction.cpp.o.d"
+  "bench_lemma_5_9_extinction"
+  "bench_lemma_5_9_extinction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma_5_9_extinction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

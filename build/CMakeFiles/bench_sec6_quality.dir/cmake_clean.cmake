@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6_quality.dir/bench/bench_sec6_quality.cpp.o"
+  "CMakeFiles/bench_sec6_quality.dir/bench/bench_sec6_quality.cpp.o.d"
+  "bench_sec6_quality"
+  "bench_sec6_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

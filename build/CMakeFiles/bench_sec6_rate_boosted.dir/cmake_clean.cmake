@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6_rate_boosted.dir/bench/bench_sec6_rate_boosted.cpp.o"
+  "CMakeFiles/bench_sec6_rate_boosted.dir/bench/bench_sec6_rate_boosted.cpp.o.d"
+  "bench_sec6_rate_boosted"
+  "bench_sec6_rate_boosted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_rate_boosted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6_robustness.dir/bench/bench_sec6_robustness.cpp.o"
+  "CMakeFiles/bench_sec6_robustness.dir/bench/bench_sec6_robustness.cpp.o.d"
+  "bench_sec6_robustness"
+  "bench_sec6_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

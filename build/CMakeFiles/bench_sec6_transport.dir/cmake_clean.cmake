@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6_transport.dir/bench/bench_sec6_transport.cpp.o"
+  "CMakeFiles/bench_sec6_transport.dir/bench/bench_sec6_transport.cpp.o.d"
+  "bench_sec6_transport"
+  "bench_sec6_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_engine.dir/bench/bench_sweep_engine.cpp.o"
+  "CMakeFiles/bench_sweep_engine.dir/bench/bench_sweep_engine.cpp.o.d"
+  "bench_sweep_engine"
+  "bench_sweep_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

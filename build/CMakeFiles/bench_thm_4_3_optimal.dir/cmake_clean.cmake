@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm_4_3_optimal.dir/bench/bench_thm_4_3_optimal.cpp.o"
+  "CMakeFiles/bench_thm_4_3_optimal.dir/bench/bench_thm_4_3_optimal.cpp.o.d"
+  "bench_thm_4_3_optimal"
+  "bench_thm_4_3_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm_4_3_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm_5_11_simple.dir/bench/bench_thm_5_11_simple.cpp.o"
+  "CMakeFiles/bench_thm_5_11_simple.dir/bench/bench_thm_5_11_simple.cpp.o.d"
+  "bench_thm_5_11_simple"
+  "bench_thm_5_11_simple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm_5_11_simple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

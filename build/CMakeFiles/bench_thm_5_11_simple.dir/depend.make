@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thm_5_11_simple.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_algorithm_comparison.dir/examples/algorithm_comparison.cpp.o"
+  "CMakeFiles/example_algorithm_comparison.dir/examples/algorithm_comparison.cpp.o.d"
+  "example_algorithm_comparison"
+  "example_algorithm_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_algorithm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_emigration_scenario.dir/examples/emigration_scenario.cpp.o"
+  "CMakeFiles/example_emigration_scenario.dir/examples/emigration_scenario.cpp.o.d"
+  "example_emigration_scenario"
+  "example_emigration_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_emigration_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_robustness_study.dir/examples/robustness_study.cpp.o"
+  "CMakeFiles/example_robustness_study.dir/examples/robustness_study.cpp.o.d"
+  "example_robustness_study"
+  "example_robustness_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_robustness_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

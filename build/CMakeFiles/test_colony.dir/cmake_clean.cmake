@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_colony.dir/tests/test_colony.cpp.o"
+  "CMakeFiles/test_colony.dir/tests/test_colony.cpp.o.d"
+  "test_colony"
+  "test_colony.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_colony.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fit.dir/tests/test_fit.cpp.o"
+  "CMakeFiles/test_fit.dir/tests/test_fit.cpp.o.d"
+  "test_fit"
+  "test_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noise_integration.dir/tests/test_noise_integration.cpp.o"
+  "CMakeFiles/test_noise_integration.dir/tests/test_noise_integration.cpp.o.d"
+  "test_noise_integration"
+  "test_noise_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noise_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_observation.dir/tests/test_observation.cpp.o"
+  "CMakeFiles/test_observation.dir/tests/test_observation.cpp.o.d"
+  "test_observation"
+  "test_observation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_observation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimal_ant.dir/tests/test_optimal_ant.cpp.o"
+  "CMakeFiles/test_optimal_ant.dir/tests/test_optimal_ant.cpp.o.d"
+  "test_optimal_ant"
+  "test_optimal_ant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimal_ant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_optimal_ant.
+# This may be replaced when dependencies are built.

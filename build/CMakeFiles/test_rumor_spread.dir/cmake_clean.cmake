@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rumor_spread.dir/tests/test_rumor_spread.cpp.o"
+  "CMakeFiles/test_rumor_spread.dir/tests/test_rumor_spread.cpp.o.d"
+  "test_rumor_spread"
+  "test_rumor_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rumor_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

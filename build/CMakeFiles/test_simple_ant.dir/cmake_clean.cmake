@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simple_ant.dir/tests/test_simple_ant.cpp.o"
+  "CMakeFiles/test_simple_ant.dir/tests/test_simple_ant.cpp.o.d"
+  "test_simple_ant"
+  "test_simple_ant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simple_ant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
