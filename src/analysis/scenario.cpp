@@ -197,6 +197,16 @@ SweepSpec& SweepSpec::pairings(std::vector<env::PairingKind> kinds) {
   return axis("pairing", std::move(points));
 }
 
+SweepSpec& SweepSpec::engines(std::vector<core::EngineKind> kinds) {
+  std::vector<Point> points;
+  for (core::EngineKind kind : kinds) {
+    points.push_back({std::string(core::engine_name(kind)),
+                      static_cast<double>(static_cast<int>(kind)),
+                      [kind](Scenario& sc) { sc.config.engine = kind; }});
+  }
+  return axis("engine", std::move(points));
+}
+
 SweepSpec& SweepSpec::n_estimate_errors(std::vector<double> errors) {
   return axis("n_estimate_error", std::move(errors),
               [](Scenario& sc, double v) { sc.params.n_estimate_error = v; });

@@ -124,6 +124,9 @@ class SweepSpec {
   SweepSpec& skip_probabilities(std::vector<double> probs);
   /// Pairing-model axis (value = enum index).
   SweepSpec& pairings(std::vector<env::PairingKind> kinds);
+  /// Colony-engine axis (value = enum index): scalar reference path vs
+  /// packed SoA fast path — for equivalence sweeps and engine benchmarks.
+  SweepSpec& engines(std::vector<core::EngineKind> kinds);
   /// AlgorithmParams axis: n-estimate error.
   SweepSpec& n_estimate_errors(std::vector<double> errors);
   /// AlgorithmParams axis: quorum threshold fraction.

@@ -49,6 +49,7 @@
 #include "analysis/runner.hpp"
 #include "analysis/scenario.hpp"
 #include "core/ant.hpp"
+#include "core/ant_pack.hpp"
 #include "core/colony.hpp"
 #include "core/convergence.hpp"
 #include "core/optimal_ant.hpp"

@@ -1,0 +1,604 @@
+#include "core/ant_pack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace hh::core {
+
+namespace {
+
+/// Mirror of colony.cpp's believed_n: an ant's private belief of n, drawn
+/// (or not) off the ant's own stream exactly as the per-object factories
+/// draw it — the packed path must consume the identical RNG prefix.
+std::uint32_t believed_n(std::uint32_t num_ants, double error, util::Rng& rng) {
+  if (error <= 0.0) return num_ants;
+  const double lo = static_cast<double>(num_ants) * (1.0 - error);
+  const double hi = static_cast<double>(num_ants) * (1.0 + error);
+  const double belief = lo + (hi - lo) * rng.uniform_double();
+  return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(belief));
+}
+
+/// The Algorithm-3 family (SimpleAnt and its subclasses) as state arrays.
+/// All four variants share one FSM — phases are colony-synchronized under
+/// full synchrony, so the phase lives in the pack, not per ant — and
+/// differ only in the recruit-probability rule.
+class SimpleFamilyPack final : public AntPack {
+ public:
+  SimpleFamilyPack(AlgorithmKind kind, std::uint32_t num_ants,
+                   std::uint32_t num_nests, std::uint64_t colony_seed,
+                   const AlgorithmParams& params)
+      : kind_(kind), uniform_prob_(params.uniform_recruit_prob) {
+    HH_EXPECTS(num_ants >= 1);
+    census_.assign(num_nests + 1, 0);
+    census_[env::kHomeNest] = num_ants;
+    const std::size_t n = num_ants;
+    rng_.reserve(n);
+    believed_n_.reserve(n);
+    for (env::AntId a = 0; a < num_ants; ++a) {
+      // Identical stream derivation to make_colony (colony.cpp).
+      rng_.emplace_back(util::mix_seed(colony_seed, a, 0xA17));
+      // uniform-recruit ignores n and, like its per-object factory, does
+      // not draw a belief; the others draw iff the error is positive.
+      believed_n_.push_back(
+          kind == AlgorithmKind::kUniformRecruit
+              ? num_ants
+              : believed_n(num_ants, params.n_estimate_error, rng_.back()));
+    }
+    active_.assign(n, 1);  // initially active (Algorithm 3, line 1)
+    nest_.assign(n, env::kHomeNest);
+    count_.assign(n, 0);
+    quality_.assign(n, 0.0);
+    round_targets_.reserve(n);  // quiet rounds must not allocate
+    if (kind_ == AlgorithmKind::kRateBoosted) {
+      initial_k_.assign(n, 0.0);
+      halving_period_.reserve(n);
+      for (std::size_t a = 0; a < n; ++a) {
+        // Mirror of RateBoostedAnt's constructor (tau from the believed n).
+        halving_period_.push_back(std::max<std::uint32_t>(
+            8, static_cast<std::uint32_t>(
+                   3.0 * std::log2(static_cast<double>(
+                             std::max(believed_n_[a], 2u))))));
+      }
+    }
+  }
+
+  [[nodiscard]] RoundShape round_shape(std::uint32_t /*round*/) const override {
+    switch (phase_) {
+      case Phase::kInit: return RoundShape::kAllSearch;
+      case Phase::kRecruit: return RoundShape::kAllRecruit;
+      case Phase::kAssess: return RoundShape::kAllGo;
+    }
+    return RoundShape::kGeneric;
+  }
+
+  void fill_recruit_requests(std::uint32_t round,
+                             std::span<env::RecruitRequest> requests) override {
+    HH_EXPECTS(phase_ == Phase::kRecruit);
+    HH_EXPECTS(requests.size() == rng_.size());
+    for (std::size_t a = 0; a < requests.size(); ++a) {
+      const bool b =
+          active_[a] != 0 &&
+          rng_[a].bernoulli(recruit_probability(a, round));  // lines 6 / 10
+      requests[a] = env::RecruitRequest{static_cast<env::AntId>(a), b,
+                                        nest_[a]};           // line 7
+    }
+  }
+
+  [[nodiscard]] std::span<const env::NestId> fill_recruit_soa(
+      std::uint32_t round, std::span<std::uint8_t> active) override {
+    HH_EXPECTS(phase_ == Phase::kRecruit);
+    HH_EXPECTS(active.size() == rng_.size());
+    // Snapshot the advertised nests: observe_recruit_pairing mutates the
+    // nest lane while recruiters' targets must stay the round's values.
+    round_targets_.assign(nest_.begin(), nest_.end());
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      active[a] = (active_[a] != 0 &&
+                   rng_[a].bernoulli(recruit_probability(a, round)))
+                      ? 1
+                      : 0;  // lines 6 / 10
+    }
+    return round_targets_;
+  }
+
+  [[nodiscard]] std::span<const env::NestId> go_targets() const override {
+    return nest_;  // lines 8 / 14: go(nest)
+  }
+
+  // No decide_all override: every round of this family is colony-uniform,
+  // so round_shape() never reports kGeneric and the base assert stands —
+  // one copy of the decision logic (fill_recruit_requests /
+  // fill_recruit_soa / go_targets), not two.
+
+  void observe_all(std::span<const env::Outcome> outcomes) override {
+    HH_EXPECTS(outcomes.size() == rng_.size());
+    switch (phase_) {
+      case Phase::kInit:
+        // Lines 2-4: commit to the found nest; bad quality => passive.
+        std::fill(census_.begin(), census_.end(), 0u);
+        for (std::size_t a = 0; a < outcomes.size(); ++a) {
+          const env::Outcome& out = outcomes[a];
+          nest_[a] = out.nest;
+          ++census_[out.nest];
+          count_[a] = out.count;
+          quality_[a] = out.quality;
+          if (out.quality <= 0.0) active_[a] = 0;
+          if (kind_ == AlgorithmKind::kRateBoosted) {
+            // RateBoostedAnt's one-shot k^ = n / c0 from the initial spread.
+            const double observed = std::max<std::uint32_t>(out.count, 1);
+            initial_k_[a] = std::max(
+                1.0, static_cast<double>(believed_n_[a]) / observed);
+          }
+        }
+        phase_ = Phase::kRecruit;
+        break;
+      case Phase::kRecruit:
+        // Line 7 / lines 10-13: unconditional nest adoption; a recruited
+        // (or poached) ant becomes active.
+        for (std::size_t a = 0; a < outcomes.size(); ++a) {
+          if (outcomes[a].nest != nest_[a]) {
+            --census_[nest_[a]];
+            ++census_[outcomes[a].nest];
+            nest_[a] = outcomes[a].nest;
+            active_[a] = 1;
+          }
+        }
+        phase_ = Phase::kAssess;
+        break;
+      case Phase::kAssess:
+        // Lines 8 / 14 plus nest rejection (see SimpleAnt::observe).
+        for (std::size_t a = 0; a < outcomes.size(); ++a) {
+          count_[a] = outcomes[a].count;
+          quality_[a] = outcomes[a].quality;
+          if (outcomes[a].quality <= 0.0) active_[a] = 0;
+        }
+        phase_ = Phase::kRecruit;
+        break;
+    }
+  }
+
+  void observe_recruit_pairing(std::span<const env::NestId> targets,
+                               const env::PairingScratch& pairing) override {
+    HH_EXPECTS(phase_ == Phase::kRecruit);
+    HH_EXPECTS(targets.size() == rng_.size());
+    // Equivalent to the kRecruit branch of observe_all: a recruited ant's
+    // outcome.nest is its recruiter's advertised nest; everyone else's is
+    // its own target (no change). quality/count are unread in this phase.
+    for (std::size_t a = 0; a < targets.size(); ++a) {
+      const std::int32_t recruiter = pairing.recruited_by[a];
+      if (recruiter == env::kNotRecruited) continue;
+      const env::NestId j = targets[static_cast<std::size_t>(recruiter)];
+      if (j != nest_[a]) {
+        --census_[nest_[a]];
+        ++census_[j];
+        nest_[a] = j;
+        active_[a] = 1;
+      }
+    }
+    phase_ = Phase::kAssess;
+  }
+
+  void observe_go_counts(std::span<const std::uint32_t> counts,
+                         std::span<const double> qualities) override {
+    HH_EXPECTS(phase_ == Phase::kAssess);
+    // Equivalent to the kAssess branch of observe_all under exact
+    // observation: outcome.count == counts[nest], outcome.quality ==
+    // qualities[nest - 1] (every committed nest is a candidate, >= 1).
+    for (std::size_t a = 0; a < rng_.size(); ++a) {
+      const env::NestId nest = nest_[a];
+      count_[a] = counts[nest];
+      const double q = qualities[nest - 1];
+      quality_[a] = q;
+      if (q <= 0.0) active_[a] = 0;
+    }
+    phase_ = Phase::kRecruit;
+  }
+
+  void committed_census(std::span<std::uint32_t> census) const override {
+    HH_EXPECTS(census.size() == census_.size());
+    std::copy(census_.begin(), census_.end(), census.begin());
+  }
+
+  [[nodiscard]] std::uint32_t size() const override {
+    return static_cast<std::uint32_t>(rng_.size());
+  }
+
+  [[nodiscard]] std::string_view name() const override {
+    return algorithm_name(kind_);
+  }
+
+ private:
+  enum class Phase : std::uint8_t { kInit, kRecruit, kAssess };
+
+  /// The variant's b-probability — the exact floating-point expressions of
+  /// SimpleAnt / RateBoostedAnt / QualityAwareAnt / UniformRecruitAnt
+  /// (equivalence requires identical operation order, not just identical
+  /// math).
+  [[nodiscard]] double recruit_probability(std::size_t a,
+                                           std::uint32_t round) const {
+    const double base = static_cast<double>(count_[a]) /
+                        static_cast<double>(believed_n_[a]);
+    switch (kind_) {
+      case AlgorithmKind::kSimple:
+        return base;
+      case AlgorithmKind::kUniformRecruit:
+        return uniform_prob_;
+      case AlgorithmKind::kQualityAware:
+        return base * std::clamp(quality_[a], 0.0, 1.0);
+      case AlgorithmKind::kRateBoosted: {
+        double k_estimate = 0.0;
+        if (initial_k_[a] != 0.0) {
+          const std::uint32_t halvings = round / halving_period_[a];
+          const double decayed =
+              (halvings >= 63)
+                  ? 1.0
+                  : initial_k_[a] / static_cast<double>(1ULL << halvings);
+          k_estimate = std::max(1.0, decayed);
+        }
+        return std::max(base, std::min(0.5, base * k_estimate / 8.0));
+      }
+      default:
+        break;
+    }
+    HH_ASSERT(false);
+    return 0.0;
+  }
+
+  AlgorithmKind kind_;
+  double uniform_prob_;
+  Phase phase_ = Phase::kInit;
+
+  std::vector<std::uint32_t> census_;       // commitment census, maintained
+                                            // incrementally on nest changes
+  std::vector<env::NestId> round_targets_;  // quiet-round nest snapshot
+  std::vector<util::Rng> rng_;              // per-ant private streams
+  std::vector<std::uint32_t> believed_n_;   // n~ (== n unless estimate error)
+  std::vector<std::uint8_t> active_;
+  std::vector<env::NestId> nest_;
+  std::vector<std::uint32_t> count_;
+  std::vector<double> quality_;
+  std::vector<double> initial_k_;           // rate-boosted: k^
+  std::vector<std::uint32_t> halving_period_;  // rate-boosted: tau
+};
+
+/// QuorumAnt as state arrays. The recruit/assess phase is colony-global
+/// (quorum-met ants freeze their phase but never read it); the stage is
+/// per ant.
+class QuorumPack final : public AntPack {
+ public:
+  QuorumPack(std::uint32_t num_ants, std::uint32_t num_nests,
+             std::uint64_t colony_seed, const AlgorithmParams& params)
+      : num_ants_(num_ants),
+        // Mirror of factory_for's threshold derivation (colony.cpp).
+        threshold_(std::max<std::uint32_t>(
+            1, static_cast<std::uint32_t>(params.quorum_fraction * num_ants))),
+        tandem_rate_(params.quorum_tandem_rate) {
+    HH_EXPECTS(num_ants >= 1);
+    HH_EXPECTS(tandem_rate_ >= 0.0 && tandem_rate_ <= 1.0);
+    rng_.reserve(num_ants);
+    for (env::AntId a = 0; a < num_ants; ++a) {
+      rng_.emplace_back(util::mix_seed(colony_seed, a, 0xA17));
+    }
+    stage_.assign(num_ants, static_cast<std::uint8_t>(Stage::kInit));
+    nest_.assign(num_ants, env::kHomeNest);
+    count_.assign(num_ants, 0);
+    census_.assign(num_nests + 1, 0);
+    census_[env::kHomeNest] = num_ants;
+    round_targets_.reserve(num_ants);  // quiet rounds must not allocate
+  }
+
+  [[nodiscard]] RoundShape round_shape(std::uint32_t /*round*/) const override {
+    if (!init_done_) return RoundShape::kAllSearch;
+    if (phase_ == Phase::kRecruit) return RoundShape::kAllRecruit;
+    // Assess rounds are all-go only while no ant has met quorum; quorum-met
+    // ants keep recruiting through assess rounds (direct transport), which
+    // mixes the round — the generic path handles it.
+    return finalized_count_ == 0 ? RoundShape::kAllGo : RoundShape::kGeneric;
+  }
+
+  void fill_recruit_requests(std::uint32_t /*round*/,
+                             std::span<env::RecruitRequest> requests) override {
+    HH_EXPECTS(init_done_ && phase_ == Phase::kRecruit);
+    HH_EXPECTS(requests.size() == rng_.size());
+    for (std::size_t a = 0; a < requests.size(); ++a) {
+      requests[a] =
+          env::RecruitRequest{static_cast<env::AntId>(a), decide_b(a), nest_[a]};
+    }
+  }
+
+  [[nodiscard]] std::span<const env::NestId> fill_recruit_soa(
+      std::uint32_t /*round*/, std::span<std::uint8_t> active) override {
+    HH_EXPECTS(init_done_ && phase_ == Phase::kRecruit);
+    HH_EXPECTS(active.size() == rng_.size());
+    round_targets_.assign(nest_.begin(), nest_.end());
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      active[a] = decide_b(a) ? 1 : 0;
+    }
+    return round_targets_;
+  }
+
+  [[nodiscard]] std::span<const env::NestId> go_targets() const override {
+    return nest_;
+  }
+
+  void decide_all(std::uint32_t /*round*/,
+                  std::span<env::Action> actions) override {
+    HH_EXPECTS(actions.size() == rng_.size());
+    for (std::size_t a = 0; a < actions.size(); ++a) {
+      switch (static_cast<Stage>(stage_[a])) {
+        case Stage::kInit:
+          actions[a] = env::Action::search();
+          break;
+        case Stage::kPassive:
+          actions[a] = (phase_ == Phase::kRecruit)
+                           ? env::Action::recruit(false, nest_[a])
+                           : env::Action::go(nest_[a]);
+          break;
+        case Stage::kPreQuorum:
+          if (phase_ == Phase::kRecruit) {
+            // Population-proportional tandem running, slowed by tandem_rate.
+            const double p = tandem_rate_ * static_cast<double>(count_[a]) /
+                             static_cast<double>(num_ants_);
+            actions[a] = env::Action::recruit(rng_[a].bernoulli(p), nest_[a]);
+          } else {
+            actions[a] = env::Action::go(nest_[a]);
+          }
+          break;
+        case Stage::kQuorumMet:
+          // Transport: recruit every round, commitment locked.
+          actions[a] = env::Action::recruit(true, nest_[a]);
+          break;
+      }
+    }
+  }
+
+  void observe_all(std::span<const env::Outcome> outcomes) override {
+    HH_EXPECTS(outcomes.size() == rng_.size());
+    if (!init_done_) {
+      std::fill(census_.begin(), census_.end(), 0u);
+      for (std::size_t a = 0; a < outcomes.size(); ++a) {
+        nest_[a] = outcomes[a].nest;
+        ++census_[outcomes[a].nest];
+        count_[a] = outcomes[a].count;
+        stage_[a] = static_cast<std::uint8_t>(outcomes[a].quality > 0.0
+                                                  ? Stage::kPreQuorum
+                                                  : Stage::kPassive);
+      }
+      init_done_ = true;
+      phase_ = Phase::kRecruit;
+      return;
+    }
+    if (phase_ == Phase::kRecruit) {
+      for (std::size_t a = 0; a < outcomes.size(); ++a) {
+        switch (static_cast<Stage>(stage_[a])) {
+          case Stage::kPassive:
+            if (outcomes[a].nest != nest_[a]) {
+              --census_[nest_[a]];
+              ++census_[outcomes[a].nest];
+              nest_[a] = outcomes[a].nest;  // recruited: follow the tandem run
+              stage_[a] = static_cast<std::uint8_t>(Stage::kPreQuorum);
+            }
+            break;
+          case Stage::kPreQuorum:
+            if (outcomes[a].nest != nest_[a]) {
+              --census_[nest_[a]];
+              ++census_[outcomes[a].nest];
+              nest_[a] = outcomes[a].nest;  // still persuadable
+            }
+            break;
+          default:
+            break;  // quorum met: commitment locked
+        }
+      }
+      phase_ = Phase::kAssess;
+    } else {
+      for (std::size_t a = 0; a < outcomes.size(); ++a) {
+        switch (static_cast<Stage>(stage_[a])) {
+          case Stage::kPassive:
+            count_[a] = outcomes[a].count;
+            break;
+          case Stage::kPreQuorum:
+            count_[a] = outcomes[a].count;
+            if (count_[a] >= threshold_) {
+              stage_[a] = static_cast<std::uint8_t>(Stage::kQuorumMet);
+              ++finalized_count_;
+            }
+            break;
+          default:
+            break;
+        }
+      }
+      phase_ = Phase::kRecruit;
+    }
+  }
+
+  void observe_recruit_pairing(std::span<const env::NestId> targets,
+                               const env::PairingScratch& pairing) override {
+    HH_EXPECTS(init_done_ && phase_ == Phase::kRecruit);
+    HH_EXPECTS(targets.size() == rng_.size());
+    for (std::size_t a = 0; a < targets.size(); ++a) {
+      const std::int32_t recruiter = pairing.recruited_by[a];
+      if (recruiter == env::kNotRecruited) continue;
+      const env::NestId j = targets[static_cast<std::size_t>(recruiter)];
+      switch (static_cast<Stage>(stage_[a])) {
+        case Stage::kPassive:
+          if (j != nest_[a]) {
+            --census_[nest_[a]];
+            ++census_[j];
+            nest_[a] = j;  // recruited: follow the tandem run
+            stage_[a] = static_cast<std::uint8_t>(Stage::kPreQuorum);
+          }
+          break;
+        case Stage::kPreQuorum:
+          if (j != nest_[a]) {
+            --census_[nest_[a]];
+            ++census_[j];
+            nest_[a] = j;  // still persuadable
+          }
+          break;
+        default:
+          break;  // quorum met: commitment locked
+      }
+    }
+    phase_ = Phase::kAssess;
+  }
+
+  void observe_go_counts(std::span<const std::uint32_t> counts,
+                         std::span<const double> /*qualities*/) override {
+    // Only reachable while no ant has met quorum (round_shape gates on
+    // finalized_count_ == 0), so every ant is kPassive or kPreQuorum.
+    HH_EXPECTS(init_done_ && phase_ == Phase::kAssess);
+    for (std::size_t a = 0; a < rng_.size(); ++a) {
+      count_[a] = counts[nest_[a]];
+      if (static_cast<Stage>(stage_[a]) == Stage::kPreQuorum &&
+          count_[a] >= threshold_) {
+        stage_[a] = static_cast<std::uint8_t>(Stage::kQuorumMet);
+        ++finalized_count_;
+      }
+    }
+    phase_ = Phase::kRecruit;
+  }
+
+  void committed_census(std::span<std::uint32_t> census) const override {
+    HH_EXPECTS(census.size() == census_.size());
+    std::copy(census_.begin(), census_.end(), census.begin());
+  }
+
+  [[nodiscard]] bool finalized(env::AntId a) const override {
+    return static_cast<Stage>(stage_[a]) == Stage::kQuorumMet;
+  }
+
+  [[nodiscard]] bool any_finalized() const override {
+    return finalized_count_ > 0;
+  }
+
+  [[nodiscard]] std::uint32_t size() const override {
+    return num_ants_;
+  }
+
+  [[nodiscard]] std::string_view name() const override {
+    return algorithm_name(AlgorithmKind::kQuorum);
+  }
+
+ private:
+  enum class Stage : std::uint8_t { kInit, kPassive, kPreQuorum, kQuorumMet };
+  enum class Phase : std::uint8_t { kRecruit, kAssess };
+
+  /// The b of QuorumAnt::decide in a recruit-phase round.
+  [[nodiscard]] bool decide_b(std::size_t a) {
+    switch (static_cast<Stage>(stage_[a])) {
+      case Stage::kPassive:
+        return false;
+      case Stage::kPreQuorum: {
+        // Population-proportional tandem running, slowed by tandem_rate.
+        const double p = tandem_rate_ * static_cast<double>(count_[a]) /
+                         static_cast<double>(num_ants_);
+        return rng_[a].bernoulli(p);
+      }
+      case Stage::kQuorumMet:
+        return true;
+      case Stage::kInit:
+        break;
+    }
+    HH_ASSERT(false);  // round_shape reports kAllSearch pre-init
+    return false;
+  }
+
+  std::uint32_t num_ants_;
+  std::uint32_t threshold_;
+  double tandem_rate_;
+  bool init_done_ = false;
+  Phase phase_ = Phase::kRecruit;
+  std::uint32_t finalized_count_ = 0;
+
+  std::vector<std::uint32_t> census_;  // commitment census, incremental
+  std::vector<env::NestId> round_targets_;  // quiet-round nest snapshot
+  std::vector<util::Rng> rng_;
+  std::vector<std::uint8_t> stage_;
+  std::vector<env::NestId> nest_;
+  std::vector<std::uint32_t> count_;
+};
+
+}  // namespace
+
+AntPack::~AntPack() = default;
+
+RoundShape AntPack::round_shape(std::uint32_t /*round*/) const {
+  return RoundShape::kGeneric;
+}
+
+void AntPack::decide_all(std::uint32_t /*round*/,
+                         std::span<env::Action> /*actions*/) {
+  HH_ASSERT(false);  // only called when round_shape() says kGeneric
+}
+
+void AntPack::fill_recruit_requests(std::uint32_t /*round*/,
+                                    std::span<env::RecruitRequest> /*requests*/) {
+  HH_ASSERT(false);  // only called when round_shape() says kAllRecruit
+}
+
+std::span<const env::NestId> AntPack::go_targets() const {
+  HH_ASSERT(false);  // only called when round_shape() says kAllGo
+  return {};
+}
+
+std::span<const env::NestId> AntPack::fill_recruit_soa(
+    std::uint32_t /*round*/, std::span<std::uint8_t> /*active*/) {
+  HH_ASSERT(false);  // only called when round_shape() says kAllRecruit
+  return {};
+}
+
+void AntPack::observe_recruit_pairing(
+    std::span<const env::NestId> /*targets*/,
+    const env::PairingScratch& /*pairing*/) {
+  HH_ASSERT(false);  // only called for packs reporting kAllRecruit rounds
+}
+
+void AntPack::observe_go_counts(std::span<const std::uint32_t> /*counts*/,
+                                std::span<const double> /*qualities*/) {
+  HH_ASSERT(false);  // only called for packs reporting kAllGo rounds
+}
+
+bool AntPack::finalized(env::AntId /*a*/) const { return false; }
+
+bool AntPack::any_finalized() const { return false; }
+
+bool packed_available(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kSimple:
+    case AlgorithmKind::kRateBoosted:
+    case AlgorithmKind::kQualityAware:
+    case AlgorithmKind::kUniformRecruit:
+    case AlgorithmKind::kQuorum:
+      return true;
+    case AlgorithmKind::kOptimal:
+    case AlgorithmKind::kOptimalSettle:
+      return false;
+  }
+  return false;
+}
+
+std::unique_ptr<AntPack> make_ant_pack(AlgorithmKind kind,
+                                       std::uint32_t num_ants,
+                                       std::uint32_t num_nests,
+                                       std::uint64_t colony_seed,
+                                       const AlgorithmParams& params) {
+  switch (kind) {
+    case AlgorithmKind::kSimple:
+    case AlgorithmKind::kRateBoosted:
+    case AlgorithmKind::kQualityAware:
+    case AlgorithmKind::kUniformRecruit:
+      return std::make_unique<SimpleFamilyPack>(kind, num_ants, num_nests,
+                                                colony_seed, params);
+    case AlgorithmKind::kQuorum:
+      return std::make_unique<QuorumPack>(num_ants, num_nests, colony_seed,
+                                          params);
+    case AlgorithmKind::kOptimal:
+    case AlgorithmKind::kOptimalSettle:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace hh::core

@@ -1,0 +1,140 @@
+// The packed (struct-of-arrays) ant engine — the zero-dispatch fast path
+// for large sweeps.
+//
+// The per-object path models each ant as a heap-allocated polymorphic
+// state machine: every round costs n virtual decide() calls, n virtual
+// observe() calls, and another n virtual committed_nest() calls in the
+// convergence detector. But the paper's colonies are n IDENTICAL
+// probabilistic FSMs (Section 2), so an algorithm's whole colony can be
+// run as parallel state arrays — one state/nest/count/RNG lane per ant —
+// with a single non-virtual decide_all/observe_all pass per round over
+// contiguous memory.
+//
+// Equivalence contract: a pack must reproduce the per-object colony
+// BIT-IDENTICALLY — same per-ant RNG streams (seeded exactly as
+// make_colony seeds them), same draw sequence, same floating-point
+// expressions — so RunResults match the reference path for every seed.
+// tests/test_ant_pack.cpp enforces this for every packed algorithm at
+// 1/2/8 runner threads.
+//
+// Packs exist for the Algorithm-3 family (simple, rate-boosted,
+// quality-aware, uniform-recruit) and the quorum baseline. Fault wrappers,
+// partial synchrony, and non-kCommitment convergence stay on the
+// per-object reference path (core::Simulation falls back automatically;
+// see SimulationConfig::engine).
+#ifndef HH_CORE_ANT_PACK_HPP
+#define HH_CORE_ANT_PACK_HPP
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/colony.hpp"
+#include "env/action.hpp"
+#include "env/nest.hpp"
+#include "env/pairing.hpp"
+#include "util/rng.hpp"
+
+namespace hh::core {
+
+/// The composition of a colony-uniform round, letting the driver route to
+/// the environment's SoA fast paths (Environment::step_all_*) instead of
+/// the generic per-action dispatch.
+enum class RoundShape : std::uint8_t {
+  kGeneric,     ///< mixed calls: decide_all + Environment::step
+  kAllSearch,   ///< every ant searches (round 1)
+  kAllRecruit,  ///< every ant recruits: fill_recruit_requests + step_all_recruit
+  kAllGo,       ///< every ant goes: go_targets + step_all_go
+};
+
+/// A whole colony as parallel state arrays. One virtual call per ROUND
+/// (not per ant); the loops inside are non-virtual and allocation-free.
+class AntPack {
+ public:
+  AntPack() = default;
+  AntPack(const AntPack&) = delete;
+  AntPack& operator=(const AntPack&) = delete;
+  virtual ~AntPack();
+
+  /// The shape decide_all would produce for `round` (1-based). The default
+  /// kGeneric is always correct; packs whose FSM phases are colony-
+  /// synchronized report uniform shapes to unlock the env fast paths.
+  [[nodiscard]] virtual RoundShape round_shape(std::uint32_t round) const;
+
+  /// kAllRecruit rounds only: write every ant's recruit(b, i) call into
+  /// `requests` (requests[a].ant = a), drawing the same RNG sequence
+  /// decide_all would draw. The loud (Outcome-producing) form.
+  virtual void fill_recruit_requests(std::uint32_t round,
+                                     std::span<env::RecruitRequest> requests);
+
+  /// kAllRecruit rounds only, SoA form for the quiet path: write every
+  /// ant's b into `active` and return the advertised-nest lane (a
+  /// pack-owned snapshot that stays valid through the following
+  /// observe_recruit_pairing). Same RNG sequence as fill_recruit_requests.
+  [[nodiscard]] virtual std::span<const env::NestId> fill_recruit_soa(
+      std::uint32_t round, std::span<std::uint8_t> active);
+
+  /// kAllGo rounds only: the per-ant go() targets. Packs return a view of
+  /// their committed-nest lane — no copy.
+  [[nodiscard]] virtual std::span<const env::NestId> go_targets() const;
+
+  /// kGeneric rounds only: write every ant's single model call for
+  /// `round` (1-based) into `actions` (size() entries). Packs whose
+  /// round_shape() never reports kGeneric need not implement it.
+  virtual void decide_all(std::uint32_t round,
+                          std::span<env::Action> actions);
+
+  /// Deliver the end-of-round return values (outcomes[a] answers the call
+  /// actions[a] from the matching decide_all()).
+  virtual void observe_all(std::span<const env::Outcome> outcomes) = 0;
+
+  // Quiet observation (exact model only): consume the round's results
+  // straight from the environment's pairing scratch / count arrays instead
+  // of a per-ant Outcome array. Semantically identical to observe_all over
+  // the Outcomes the loud round would have produced.
+
+  /// Apply a kAllRecruit round: `targets` as returned by
+  /// fill_recruit_soa, `pairing` from Environment::last_pairing().
+  virtual void observe_recruit_pairing(std::span<const env::NestId> targets,
+                                       const env::PairingScratch& pairing);
+
+  /// Apply a kAllGo round from end-of-round counts (size k+1, by nest)
+  /// and true qualities (size k, nest i at [i-1]).
+  virtual void observe_go_counts(std::span<const std::uint32_t> counts,
+                                 std::span<const double> qualities);
+
+  /// Overwrite `census` (size k+1, indexed by nest) with the number of
+  /// ants committed to each nest.
+  virtual void committed_census(std::span<std::uint32_t> census) const = 0;
+
+  /// Whether ant a has durably decided (see Ant::finalized).
+  [[nodiscard]] virtual bool finalized(env::AntId a) const;
+
+  /// True iff any ant is finalized — lets the driver skip the per-ant
+  /// finalized() scan when attributing tandem runs vs transports.
+  [[nodiscard]] virtual bool any_finalized() const;
+
+  /// Colony size n.
+  [[nodiscard]] virtual std::uint32_t size() const = 0;
+
+  /// Stable algorithm name (matches algorithm_name(kind)).
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// True iff `kind` has a packed implementation.
+[[nodiscard]] bool packed_available(AlgorithmKind kind);
+
+/// Build the packed colony for `kind`, or nullptr if none exists.
+/// `colony_seed` is the same seed make_colony would receive; per-ant RNG
+/// streams are derived from it identically to the per-object path.
+/// `num_nests` is k (packs keep an incrementally-maintained commitment
+/// census of size k+1).
+[[nodiscard]] std::unique_ptr<AntPack> make_ant_pack(
+    AlgorithmKind kind, std::uint32_t num_ants, std::uint32_t num_nests,
+    std::uint64_t colony_seed, const AlgorithmParams& params);
+
+}  // namespace hh::core
+
+#endif  // HH_CORE_ANT_PACK_HPP

@@ -22,6 +22,24 @@ ConvergenceMode default_mode(AlgorithmKind kind) {
   return ConvergenceMode::kCommitment;
 }
 
+std::optional<env::NestId> agreement_from_census(
+    std::span<const std::uint32_t> census, std::uint32_t correct_total,
+    const env::Environment& environment, double tolerance) {
+  HH_EXPECTS(tolerance >= 0.0 && tolerance < 1.0);
+  HH_EXPECTS(census.size() == environment.num_nests() + 1);
+  if (correct_total == 0) return std::nullopt;
+  env::NestId best = env::kHomeNest;
+  for (env::NestId i = 1; i <= environment.num_nests(); ++i) {
+    if (census[i] > census[best] || best == env::kHomeNest) best = i;
+  }
+  if (best == env::kHomeNest || census[best] == 0) return std::nullopt;
+  if (environment.quality(best) <= 0.0) return std::nullopt;
+  const double required =
+      (1.0 - tolerance) * static_cast<double>(correct_total);
+  if (static_cast<double>(census[best]) < required) return std::nullopt;
+  return best;
+}
+
 std::optional<env::NestId> current_agreement(const Colony& colony,
                                              const env::Environment& environment,
                                              ConvergenceMode mode,
@@ -42,24 +60,27 @@ std::optional<env::NestId> current_agreement(const Colony& colony,
     const bool counts = mode == ConvergenceMode::kCommitment || ant.finalized();
     if (counts) ++census[nest];
   }
-  if (correct_total == 0) return std::nullopt;
-  env::NestId best = env::kHomeNest;
-  for (env::NestId i = 1; i <= environment.num_nests(); ++i) {
-    if (census[i] > census[best] || best == env::kHomeNest) best = i;
-  }
-  if (best == env::kHomeNest || census[best] == 0) return std::nullopt;
-  if (environment.quality(best) <= 0.0) return std::nullopt;
-  const double required =
-      (1.0 - tolerance) * static_cast<double>(correct_total);
-  if (static_cast<double>(census[best]) < required) return std::nullopt;
-  return best;
+  return agreement_from_census(census, correct_total, environment, tolerance);
 }
 
 bool ConvergenceDetector::update(const Colony& colony,
                                  const env::Environment& environment) {
   if (converged_) return true;
-  const auto agreement =
-      current_agreement(colony, environment, mode_, tolerance_);
+  return apply(current_agreement(colony, environment, mode_, tolerance_),
+               environment);
+}
+
+bool ConvergenceDetector::update(std::span<const std::uint32_t> census,
+                                 std::uint32_t correct_total,
+                                 const env::Environment& environment) {
+  if (converged_) return true;
+  return apply(
+      agreement_from_census(census, correct_total, environment, tolerance_),
+      environment);
+}
+
+bool ConvergenceDetector::apply(std::optional<env::NestId> agreement,
+                                const env::Environment& environment) {
   if (!agreement.has_value() || *agreement != streak_nest_) {
     streak_nest_ = agreement.value_or(env::kHomeNest);
     streak_length_ = agreement.has_value() ? 1 : 0;

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "core/colony.hpp"
 #include "env/environment.hpp"
@@ -47,6 +48,14 @@ enum class ConvergenceMode : std::uint8_t {
     const Colony& colony, const env::Environment& environment,
     ConvergenceMode mode, double tolerance = 0.0);
 
+/// Census-form agreement check shared by the per-object and packed
+/// engines: `census[i]` counts the agreeing ants per nest (size k+1) and
+/// `correct_total` is the number of correct ants the census was taken
+/// over. Same winner/tolerance semantics as current_agreement.
+[[nodiscard]] std::optional<env::NestId> agreement_from_census(
+    std::span<const std::uint32_t> census, std::uint32_t correct_total,
+    const env::Environment& environment, double tolerance = 0.0);
+
 /// Streak-tracking detector: update() once per round; fires when agreement
 /// on one nest has held for `stability_rounds + 1` consecutive rounds.
 class ConvergenceDetector {
@@ -61,6 +70,12 @@ class ConvergenceDetector {
   /// Evaluate after a round; returns true once converged (sticky).
   bool update(const Colony& colony, const env::Environment& environment);
 
+  /// Census-form update for the packed engine (kCommitment semantics: the
+  /// census is the commitment census over all `correct_total` ants).
+  bool update(std::span<const std::uint32_t> census,
+              std::uint32_t correct_total,
+              const env::Environment& environment);
+
   [[nodiscard]] bool converged() const { return converged_; }
   /// The winning nest (only meaningful once converged).
   [[nodiscard]] env::NestId winner() const { return winner_; }
@@ -69,6 +84,9 @@ class ConvergenceDetector {
   [[nodiscard]] ConvergenceMode mode() const { return mode_; }
 
  private:
+  bool apply(std::optional<env::NestId> agreement,
+             const env::Environment& environment);
+
   ConvergenceMode mode_;
   std::uint32_t stability_rounds_;
   double tolerance_;

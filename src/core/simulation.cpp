@@ -1,10 +1,23 @@
 #include "core/simulation.hpp"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
+#include "core/ant_pack.hpp"
 #include "util/contracts.hpp"
 
 namespace hh::core {
+
+std::string_view engine_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kAuto: return "auto";
+    case EngineKind::kScalar: return "scalar";
+    case EngineKind::kPacked: return "packed";
+  }
+  HH_ASSERT(false);
+  return "?";
+}
 
 std::vector<double> SimulationConfig::binary_qualities(std::uint32_t k,
                                                        std::uint32_t bad) {
@@ -17,15 +30,23 @@ std::vector<double> SimulationConfig::binary_qualities(std::uint32_t k,
 
 namespace {
 
-env::EnvironmentConfig make_env_config(const SimulationConfig& config) {
+env::EnvironmentConfig make_env_config(const SimulationConfig& config,
+                                       bool trusted_engine) {
   env::EnvironmentConfig ec;
   ec.num_ants = config.num_ants;
   ec.qualities = config.qualities;
   ec.seed = util::mix_seed(config.seed, 0xE1717);
-  ec.enforce_model = config.enforce_model;
+  // The packed engine's FSMs are trusted (validation belongs to the
+  // reference path); skipping it changes no observable output — the model
+  // checks are side-effect-free — only speed.
+  ec.enforce_model = config.enforce_model && !trusted_engine;
   // Idle is only legal in the fault/asynchrony extensions.
   ec.allow_idle = config.faults.any() || config.skip_probability > 0.0;
   return ec;
+}
+
+std::uint64_t colony_seed(const SimulationConfig& config) {
+  return util::mix_seed(config.seed, 0xC0107);
 }
 
 Colony build_colony(const SimulationConfig& config, AlgorithmKind kind,
@@ -36,7 +57,40 @@ Colony build_colony(const SimulationConfig& config, AlgorithmKind kind,
                                    util::mix_seed(config.seed, 0xFA17))
           : env::FaultPlan::none(config.num_ants);
   return make_colony(config.num_ants, kind, std::move(plan),
-                     util::mix_seed(config.seed, 0xC0107), params);
+                     colony_seed(config), params);
+}
+
+/// An ant-less colony shell for the packed engine (keeps colony().algorithm
+/// and the fault-plan invariants intact; the ant state lives in the pack).
+Colony packed_colony_shell(AlgorithmKind kind) {
+  Colony colony;
+  colony.algorithm = std::string(algorithm_name(kind));
+  colony.faults = env::FaultPlan::none(0);
+  return colony;
+}
+
+/// The packed engine covers the paper's base model only: no fault
+/// wrappers, full synchrony, and the kCommitment convergence notion.
+bool packed_eligible(const SimulationConfig& config, AlgorithmKind kind) {
+  return packed_available(kind) &&
+         default_mode(kind) == ConvergenceMode::kCommitment &&
+         !config.faults.any() && config.skip_probability == 0.0;
+}
+
+/// Resolve config.engine for `kind`: kAuto degrades gracefully, kPacked
+/// demands the fast path.
+bool use_packed(const SimulationConfig& config, AlgorithmKind kind) {
+  if (config.engine == EngineKind::kScalar) return false;
+  const bool eligible = packed_eligible(config, kind);
+  if (config.engine == EngineKind::kPacked && !eligible) {
+    throw std::invalid_argument(
+        "engine=packed requested but '" +
+        std::string(algorithm_name(kind)) +
+        "' with this config is not packable (needs a packed "
+        "implementation, no faults, no skip probability, and kCommitment "
+        "convergence); use kAuto to fall back to the per-object engine");
+  }
+  return eligible;
 }
 
 }  // namespace
@@ -51,31 +105,62 @@ std::uint32_t Simulation::auto_max_rounds(const SimulationConfig& config) {
   return static_cast<std::uint32_t>(bound);
 }
 
-Simulation::Simulation(const SimulationConfig& config, Colony colony,
-                       std::optional<ConvergenceMode> mode)
+Simulation::EngineParts Simulation::build_engine(
+    const SimulationConfig& config, AlgorithmKind kind,
+    const AlgorithmParams& params) {
+  if (use_packed(config, kind)) {
+    return EngineParts{
+        packed_colony_shell(kind),
+        make_ant_pack(kind, config.num_ants,
+                      static_cast<std::uint32_t>(config.qualities.size()),
+                      colony_seed(config), params)};
+  }
+  return EngineParts{build_colony(config, kind, params), nullptr};
+}
+
+Simulation::Simulation(const SimulationConfig& config, EngineParts engine,
+                       ConvergenceMode mode)
     : config_(config),
-      colony_(std::move(colony)),
-      env_(make_env_config(config), env::make_pairing_model(config.pairing),
+      colony_(std::move(engine.colony)),
+      pack_(std::move(engine.pack)),
+      env_(make_env_config(config, pack_ != nullptr),
+           env::make_pairing_model(config.pairing),
            env::make_observation_model(config.noise)),
       scheduler_(env::make_scheduler(config.skip_probability)),
       scheduler_rng_(util::mix_seed(config.seed, 0x5C4ED)),
-      detector_(mode.value_or(ConvergenceMode::kCommitment),
-                config.stability_rounds, config.convergence_tolerance),
+      detector_(mode, config.stability_rounds, config.convergence_tolerance),
       max_rounds_(config.max_rounds ? config.max_rounds
                                     : auto_max_rounds(config)) {
   HH_EXPECTS(config.num_ants >= 1);
   HH_EXPECTS(!config.qualities.empty());
-  HH_EXPECTS(colony_.size() == config.num_ants);
+  exact_observation_ = !config.noise.any();
   actions_.resize(config.num_ants);
-  awake_.resize(config.num_ants);
+  if (pack_) {
+    HH_EXPECTS(pack_->size() == config.num_ants);
+    census_.resize(env_.num_nests() + 1);
+    requests_.resize(config.num_ants);
+    recruit_active_.resize(config.num_ants);
+  } else {
+    HH_EXPECTS(colony_.size() == config.num_ants);
+    awake_.resize(config.num_ants);
+  }
 }
+
+Simulation::Simulation(const SimulationConfig& config, Colony colony,
+                       std::optional<ConvergenceMode> mode)
+    : Simulation(config, EngineParts{std::move(colony), nullptr},
+                 mode.value_or(ConvergenceMode::kCommitment)) {}
 
 Simulation::Simulation(const SimulationConfig& config, AlgorithmKind kind,
                        const AlgorithmParams& params)
-    : Simulation(config, build_colony(config, kind, params),
+    : Simulation(config, build_engine(config, kind, params),
                  default_mode(kind)) {}
 
-bool Simulation::step() {
+Simulation::~Simulation() = default;
+
+bool Simulation::step() { return pack_ ? step_packed() : step_scalar(); }
+
+bool Simulation::step_scalar() {
   const std::uint32_t round = env_.round() + 1;  // 1-based, as in the paper
   for (env::AntId a = 0; a < colony_.size(); ++a) {
     // The scheduler is consulted before the ant: a sleeping ant's state
@@ -102,9 +187,85 @@ bool Simulation::step() {
     }
     if (awake_[a]) colony_.ants[a]->observe(outcomes[a]);
   }
+  record_round(tandem, transport);
+  return detector_.update(colony_, env_);
+}
+
+bool Simulation::step_packed() {
+  const std::uint32_t round = env_.round() + 1;  // 1-based, as in the paper
+  // Tandem/transport attribution as in step_scalar; finalized() reflects
+  // pre-observe state there (an ant's own observe cannot change another
+  // ant's attribution), so checking all ants before the batch observe is
+  // equivalent. `succeeded(a)` abstracts over the loud (Outcome) and
+  // quiet (pairing-scratch) result representations.
+  std::uint32_t tandem = 0;
+  std::uint32_t transport = 0;
+  const auto attribute = [&](auto&& succeeded) {
+    if (env_.last_round_stats().successful_recruitments == 0) return;
+    if (!pack_->any_finalized()) {
+      tandem = env_.last_round_stats().successful_recruitments;
+      return;
+    }
+    for (env::AntId a = 0; a < config_.num_ants; ++a) {
+      if (succeeded(a)) {
+        if (pack_->finalized(a)) {
+          ++transport;
+        } else {
+          ++tandem;
+        }
+      }
+    }
+  };
+
+  // All synchronous, all correct: no scheduler consultation, one batch
+  // decide over the state arrays — routed through the environment's
+  // round-shape fast path when the round is colony-uniform, and through
+  // the Outcome-free quiet forms when observation is exact.
+  switch (pack_->round_shape(round)) {
+    case RoundShape::kAllSearch:
+      pack_->observe_all(env_.step_all_search());
+      break;
+    case RoundShape::kAllRecruit: {
+      if (exact_observation_) {
+        const std::span<const env::NestId> targets =
+            pack_->fill_recruit_soa(round, recruit_active_);
+        env_.step_all_recruit_quiet(recruit_active_, targets);
+        const env::PairingScratch& pairing = env_.last_pairing();
+        attribute([&](env::AntId a) { return pairing.recruit_succeeded[a] != 0; });
+        pack_->observe_recruit_pairing(targets, pairing);
+      } else {
+        pack_->fill_recruit_requests(round, requests_);
+        const std::vector<env::Outcome>& outcomes =
+            env_.step_all_recruit(requests_);
+        attribute([&](env::AntId a) { return outcomes[a].recruit_succeeded; });
+        pack_->observe_all(outcomes);
+      }
+      break;
+    }
+    case RoundShape::kAllGo:
+      if (exact_observation_) {
+        env_.step_all_go_quiet(pack_->go_targets());
+        pack_->observe_go_counts(env_.counts(), env_.qualities());
+      } else {
+        pack_->observe_all(env_.step_all_go(pack_->go_targets()));
+      }
+      break;
+    case RoundShape::kGeneric: {
+      pack_->decide_all(round, actions_);
+      const std::vector<env::Outcome>& outcomes = env_.step(actions_);
+      attribute([&](env::AntId a) { return outcomes[a].recruit_succeeded; });
+      pack_->observe_all(outcomes);
+      break;
+    }
+  }
+  record_round(tandem, transport);
+  pack_->committed_census(census_);
+  return detector_.update(census_, config_.num_ants, env_);
+}
+
+void Simulation::record_round(std::uint32_t tandem, std::uint32_t transport) {
   total_tandem_runs_ += tandem;
   total_transports_ += transport;
-
   total_recruitments_ += env_.last_round_stats().successful_recruitments;
   if (config_.record_trajectories) {
     const std::uint32_t k = env_.num_nests();
@@ -116,7 +277,6 @@ bool Simulation::step() {
     trajectories_.tandem_successes.push_back(tandem);
     trajectories_.transport_successes.push_back(transport);
   }
-  return detector_.update(colony_, env_);
 }
 
 RunResult Simulation::run() {
@@ -141,6 +301,10 @@ RunResult Simulation::run() {
 
 std::vector<std::uint32_t> Simulation::committed_census() const {
   std::vector<std::uint32_t> census(env_.num_nests() + 1, 0);
+  if (pack_) {
+    pack_->committed_census(census);
+    return census;
+  }
   for (env::AntId a = 0; a < colony_.size(); ++a) {
     if (!colony_.correct(a)) continue;
     const env::NestId nest = colony_.ants[a]->committed_nest();

@@ -21,6 +21,31 @@
 
 namespace hh::core {
 
+class AntPack;
+
+/// Which colony engine executes the ants.
+///
+/// Both engines produce BIT-IDENTICAL RunResults for the same config and
+/// seed (tests/test_ant_pack.cpp); they differ only in speed and
+/// generality:
+///   * kScalar — the per-object reference path: one polymorphic Ant per
+///     ant, virtual decide()/observe() per round. Handles every extension
+///     (faults, partial synchrony, custom colonies) and validates model
+///     rules when enforce_model is set.
+///   * kPacked — the struct-of-arrays fast path (core::AntPack): the whole
+///     colony as parallel state arrays, one non-virtual pass per round,
+///     zero allocations in the round loop (unless record_trajectories
+///     snapshots are requested). Only for algorithms with a
+///     packed implementation, fault-free configs, full synchrony, and
+///     kCommitment convergence; skips model validation (the packed FSMs
+///     are trusted — the reference path exists to validate semantics).
+///   * kAuto — kPacked whenever eligible, else kScalar. The default: large
+///     sweeps get the fast path, extensions silently keep working.
+enum class EngineKind : std::uint8_t { kAuto, kScalar, kPacked };
+
+/// Stable engine name for reports/tables.
+[[nodiscard]] std::string_view engine_name(EngineKind kind);
+
 /// Everything needed to reproduce one execution (copyable; a simulation is
 /// a deterministic function of this struct plus the algorithm choice).
 struct SimulationConfig {
@@ -50,6 +75,11 @@ struct SimulationConfig {
   env::NoiseConfig noise;         ///< noisy perception
   env::FaultConfig faults;        ///< crash / Byzantine ants
   env::PairingKind pairing = env::PairingKind::kPermutation;
+  /// Colony engine selection (see EngineKind). kAuto picks the packed
+  /// fast path when the algorithm has one and the config is eligible;
+  /// kPacked demands it (throws std::invalid_argument otherwise); kScalar
+  /// forces the per-object reference path.
+  EngineKind engine = EngineKind::kAuto;
 
   /// Convenience: k good nests of quality 1 except `bad` nests of quality 0
   /// placed at the end.
@@ -98,13 +128,19 @@ class Simulation {
  public:
   /// Build the environment and machinery from `config` and take ownership
   /// of `colony` (which must have config.num_ants ants). `mode` defaults
-  /// to the algorithm's natural convergence notion when omitted.
+  /// to the algorithm's natural convergence notion when omitted. An
+  /// explicit colony always runs on the per-object engine (the caller may
+  /// have built arbitrary ants); config.engine is ignored here.
   Simulation(const SimulationConfig& config, Colony colony,
              std::optional<ConvergenceMode> mode = std::nullopt);
 
-  /// Convenience: build the colony for `kind` internally.
+  /// Convenience: build the colony for `kind` internally. Engine selection
+  /// follows config.engine — with the default kAuto, eligible algorithms
+  /// run on the packed SoA fast path (see EngineKind).
   Simulation(const SimulationConfig& config, AlgorithmKind kind,
              const AlgorithmParams& params = {});
+
+  ~Simulation();
 
   /// Execute one round. Returns true once the colony has converged
   /// (sticky; further steps are allowed and keep executing rounds).
@@ -116,7 +152,18 @@ class Simulation {
 
   // --- inspection ---
   [[nodiscard]] const env::Environment& environment() const { return env_; }
+  /// The per-object colony. On the packed engine this holds no ants (the
+  /// state lives in SoA arrays) — use algorithm()/num_ants()/
+  /// committed_census(), which work on both engines.
   [[nodiscard]] const Colony& colony() const { return colony_; }
+  /// True when this simulation runs on the packed SoA engine.
+  [[nodiscard]] bool packed() const { return pack_ != nullptr; }
+  /// The algorithm's registry name (valid on both engines).
+  [[nodiscard]] std::string_view algorithm() const {
+    return colony_.algorithm;
+  }
+  /// Colony size n (valid on both engines, unlike colony().size()).
+  [[nodiscard]] std::uint32_t num_ants() const { return config_.num_ants; }
   [[nodiscard]] std::uint32_t round() const { return env_.round(); }
   [[nodiscard]] bool converged() const { return detector_.converged(); }
   [[nodiscard]] const ConvergenceDetector& detector() const { return detector_; }
@@ -128,8 +175,27 @@ class Simulation {
  private:
   static std::uint32_t auto_max_rounds(const SimulationConfig& config);
 
+  /// Exactly one of `colony` (per-object engine) or `pack` (packed
+  /// engine) is populated; built once by build_engine().
+  struct EngineParts {
+    Colony colony;
+    std::unique_ptr<AntPack> pack;
+  };
+  static EngineParts build_engine(const SimulationConfig& config,
+                                  AlgorithmKind kind,
+                                  const AlgorithmParams& params);
+
+  /// Primary constructor.
+  Simulation(const SimulationConfig& config, EngineParts engine,
+             ConvergenceMode mode);
+
+  bool step_scalar();
+  bool step_packed();
+  void record_round(std::uint32_t tandem, std::uint32_t transport);
+
   SimulationConfig config_;
   Colony colony_;
+  std::unique_ptr<AntPack> pack_;  // non-null iff packed engine
   env::Environment env_;
   std::unique_ptr<env::Scheduler> scheduler_;
   util::Rng scheduler_rng_;
@@ -139,8 +205,12 @@ class Simulation {
   std::uint64_t total_tandem_runs_ = 0;
   std::uint64_t total_transports_ = 0;
   Trajectories trajectories_;
+  bool exact_observation_ = true;      // no noise: quiet rounds eligible
   std::vector<env::Action> actions_;   // reused per round
-  std::vector<bool> awake_;            // reused per round
+  std::vector<bool> awake_;            // reused per round (scalar engine)
+  std::vector<std::uint32_t> census_;  // reused per round (packed engine)
+  std::vector<env::RecruitRequest> requests_;  // reused per round (packed)
+  std::vector<std::uint8_t> recruit_active_;   // reused per round (packed)
 };
 
 }  // namespace hh::core

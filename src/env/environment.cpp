@@ -18,6 +18,7 @@ Environment::Environment(EnvironmentConfig cfg,
                        : std::make_unique<PermutationPairing>()),
       observation_(observation ? std::move(observation)
                                : std::make_unique<ExactObservation>()),
+      observe_exact_(observation_->exact()),
       rng_(cfg_.seed) {
   HH_EXPECTS(cfg_.num_ants >= 1);
   HH_EXPECTS(!cfg_.qualities.empty());
@@ -27,14 +28,18 @@ Environment::Environment(EnvironmentConfig cfg,
   count_.assign(num_nests() + 1, 0);
   count_[kHomeNest] = cfg_.num_ants;
   knowledge_.assign(static_cast<std::size_t>(cfg_.num_ants) * (num_nests() + 1),
-                    false);
+                    0);
   outcomes_.resize(cfg_.num_ants);
+  // Every per-round buffer is sized for the worst case up front so that
+  // step() never allocates (see the invariant in the header).
+  requests_.reserve(cfg_.num_ants);
   request_index_.assign(cfg_.num_ants, kNoRequest);
+  pairing_scratch_.reserve(cfg_.num_ants);
 }
 
 NestId Environment::location(AntId a) const {
   HH_EXPECTS(a < cfg_.num_ants);
-  return location_[a];
+  return all_at_home_ ? kHomeNest : location_[a];
 }
 
 std::uint32_t Environment::count(NestId i) const {
@@ -50,11 +55,11 @@ double Environment::quality(NestId i) const {
 bool Environment::knows(AntId a, NestId i) const {
   HH_EXPECTS(a < cfg_.num_ants);
   HH_EXPECTS(i <= num_nests());
-  return knowledge_[static_cast<std::size_t>(a) * (num_nests() + 1) + i];
+  return knowledge_[static_cast<std::size_t>(a) * (num_nests() + 1) + i] != 0;
 }
 
 void Environment::grant_knowledge(AntId a, NestId i) {
-  knowledge_[static_cast<std::size_t>(a) * (num_nests() + 1) + i] = true;
+  knowledge_[static_cast<std::size_t>(a) * (num_nests() + 1) + i] = 1;
 }
 
 void Environment::validate(AntId a, const Action& action) const {
@@ -114,6 +119,12 @@ const std::vector<Outcome>& Environment::step(std::span<const Action> actions) {
   const std::uint32_t k = num_nests();
   stats_ = RoundStats{};
   requests_.clear();
+  if (all_at_home_) {
+    // Materialize the lazy locations of a preceding step_all_recruit()
+    // round: the kIdle branch below reads location_ in place.
+    std::fill(location_.begin(), location_.end(), kHomeNest);
+    all_at_home_ = false;
+  }
 
   // Phase 1: validate and apply all location updates simultaneously.
   for (AntId a = 0; a < cfg_.num_ants; ++a) {
@@ -155,34 +166,47 @@ const std::vector<Outcome>& Environment::step(std::span<const Action> actions) {
     }
   }
 
-  // Phase 2: the centralized pairing process (Algorithm 1 by default).
-  const PairingResult pairing = pairing_->pair(requests_, rng_);
-  HH_ENSURES(pairing.recruited_by.size() == requests_.size());
-  HH_ENSURES(pairing.recruit_succeeded.size() == requests_.size());
+  // Phase 2: the centralized pairing process (Algorithm 1 by default),
+  // writing into the environment-owned scratch buffers.
+  pairing_->pair_into(requests_, rng_, pairing_scratch_);
+  HH_ENSURES(pairing_scratch_.recruited_by.size() == requests_.size());
+  HH_ENSURES(pairing_scratch_.recruit_succeeded.size() == requests_.size());
 
   // Phase 3: end-of-round counts c(i, r).
   count_.assign(k + 1, 0);
   for (AntId a = 0; a < cfg_.num_ants; ++a) ++count_[location_[a]];
 
-  // Phase 4: deliver return values and update knowledge.
+  // Phase 4: deliver return values and update knowledge. The exact
+  // observation model is the identity and draws no randomness, so the hot
+  // path skips its virtual calls entirely (observe_exact_).
   for (AntId a = 0; a < cfg_.num_ants; ++a) {
     Outcome& out = outcomes_[a];
     switch (out.kind) {
-      case ActionKind::kSearch:
-        out.quality = observation_->perceive_quality(quality(out.nest), rng_);
-        out.count = observation_->perceive_count(count_[out.nest], rng_);
+      case ActionKind::kSearch: {
+        const double q = quality(out.nest);
+        out.quality =
+            observe_exact_ ? q : observation_->perceive_quality(q, rng_);
+        out.count = observe_exact_
+                        ? count_[out.nest]
+                        : observation_->perceive_count(count_[out.nest], rng_);
         grant_knowledge(a, out.nest);
         break;
-      case ActionKind::kGo:
-        out.count = observation_->perceive_count(count_[out.nest], rng_);
+      }
+      case ActionKind::kGo: {
+        out.count = observe_exact_
+                        ? count_[out.nest]
+                        : observation_->perceive_count(count_[out.nest], rng_);
         // Extension beyond the paper's go() signature: a visiting ant can
         // re-assess the nest it is standing in. The paper's algorithms
         // ignore this field; the Section 6 quality-aware variant uses it.
-        out.quality = observation_->perceive_quality(quality(out.nest), rng_);
+        const double q = quality(out.nest);
+        out.quality =
+            observe_exact_ ? q : observation_->perceive_quality(q, rng_);
         break;
+      }
       case ActionKind::kRecruit: {
         const std::uint32_t idx = request_index_[a];
-        const std::int32_t recruiter = pairing.recruited_by[idx];
+        const std::int32_t recruiter = pairing_scratch_.recruited_by[idx];
         if (recruiter != kNotRecruited) {
           // Return value j is the recruiter's advertised nest (Algorithm 1
           // lines 8-10); the ant learns that nest's location (tandem run).
@@ -195,8 +219,10 @@ const std::vector<Outcome>& Environment::step(std::span<const Action> actions) {
           if (out.nest != actions[a].target) ++stats_.cross_nest_recruitments;
           if (out.nest != kHomeNest) grant_knowledge(a, out.nest);
         }
-        out.recruit_succeeded = pairing.recruit_succeeded[idx];
-        out.count = observation_->perceive_count(count_[kHomeNest], rng_);
+        out.recruit_succeeded = pairing_scratch_.recruit_succeeded[idx] != 0;
+        out.count = observe_exact_
+                        ? count_[kHomeNest]
+                        : observation_->perceive_count(count_[kHomeNest], rng_);
         break;
       }
       case ActionKind::kIdle:
@@ -204,6 +230,174 @@ const std::vector<Outcome>& Environment::step(std::span<const Action> actions) {
     }
   }
 
+  ++round_;
+  return outcomes_;
+}
+
+const std::vector<Outcome>& Environment::step_all_search() {
+  const std::uint32_t k = num_nests();
+  stats_ = RoundStats{};
+  stats_.searches = cfg_.num_ants;
+  all_at_home_ = false;  // every location is written below
+  // search() is always legal — nothing to validate.
+  count_.assign(k + 1, 0);
+  for (AntId a = 0; a < cfg_.num_ants; ++a) {
+    // Identical draw to step()'s phase 1: i uniform from {1..k}, ant order.
+    const auto found = static_cast<NestId>(1 + rng_.uniform_u64(k));
+    location_[a] = found;
+    ++count_[found];
+    outcomes_[a] = Outcome{ActionKind::kSearch, found, 0.0, 0, false, false};
+  }
+  for (AntId a = 0; a < cfg_.num_ants; ++a) {
+    Outcome& out = outcomes_[a];
+    const double q = quality(out.nest);
+    out.quality = observe_exact_ ? q : observation_->perceive_quality(q, rng_);
+    out.count = observe_exact_
+                    ? count_[out.nest]
+                    : observation_->perceive_count(count_[out.nest], rng_);
+    grant_knowledge(a, out.nest);
+  }
+  ++round_;
+  return outcomes_;
+}
+
+const std::vector<Outcome>& Environment::step_all_recruit(
+    std::span<const RecruitRequest> requests) {
+  HH_EXPECTS(requests.size() == cfg_.num_ants);
+  const std::uint32_t k = num_nests();
+  stats_ = RoundStats{};
+  if (cfg_.enforce_model) {
+    for (AntId a = 0; a < cfg_.num_ants; ++a) {
+      HH_EXPECTS(requests[a].ant == a);
+      validate(a, Action::recruit(requests[a].active, requests[a].target));
+    }
+  }
+  // Phase 1 collapses: recruitment happens at the home nest, so every
+  // location — and with it every count — is known without writing a thing
+  // (locations materialize lazily through the all_at_home_ flag).
+  all_at_home_ = true;
+  pairing_->pair_into(requests, rng_, pairing_scratch_);
+  HH_ENSURES(pairing_scratch_.recruited_by.size() == requests.size());
+  count_.assign(k + 1, 0);
+  count_[kHomeNest] = cfg_.num_ants;
+  // Phase 4, recruit-only: requests are indexed by ant (requests[a].ant ==
+  // a), so the request_index_ indirection disappears too.
+  const std::uint32_t home_count =
+      observe_exact_ ? cfg_.num_ants : 0;  // noisy path perceives per ant
+  for (AntId a = 0; a < cfg_.num_ants; ++a) {
+    const RecruitRequest& req = requests[a];
+    stats_.active_recruits += req.active ? 1u : 0u;
+    Outcome& out = outcomes_[a];
+    out = Outcome{ActionKind::kRecruit, req.target, 0.0, 0, false, false};
+    const std::int32_t recruiter = pairing_scratch_.recruited_by[a];
+    if (recruiter != kNotRecruited) {
+      out.nest = requests[static_cast<std::size_t>(recruiter)].target;
+      out.recruited = true;
+      ++stats_.successful_recruitments;
+      if (requests[static_cast<std::size_t>(recruiter)].ant == a) {
+        ++stats_.self_recruitments;
+      }
+      if (out.nest != req.target) ++stats_.cross_nest_recruitments;
+      if (out.nest != kHomeNest) grant_knowledge(a, out.nest);
+    }
+    out.recruit_succeeded = pairing_scratch_.recruit_succeeded[a] != 0;
+    out.count = observe_exact_
+                    ? home_count
+                    : observation_->perceive_count(count_[kHomeNest], rng_);
+  }
+  stats_.passive_recruits = cfg_.num_ants - stats_.active_recruits;
+  ++round_;
+  return outcomes_;
+}
+
+void Environment::step_all_recruit_quiet(std::span<const std::uint8_t> active,
+                                         std::span<const NestId> targets) {
+  HH_EXPECTS(observe_exact_);
+  HH_EXPECTS(active.size() == cfg_.num_ants);
+  HH_EXPECTS(targets.size() == cfg_.num_ants);
+  const std::uint32_t k = num_nests();
+  stats_ = RoundStats{};
+  if (cfg_.enforce_model) {
+    for (AntId a = 0; a < cfg_.num_ants; ++a) {
+      validate(a, Action::recruit(active[a] != 0, targets[a]));
+    }
+  }
+  all_at_home_ = true;
+  for (const std::uint8_t b : active) stats_.active_recruits += b ? 1u : 0u;
+  stats_.passive_recruits = cfg_.num_ants - stats_.active_recruits;
+  pairing_->pair_active(active, rng_, pairing_scratch_);
+  HH_ENSURES(pairing_scratch_.recruited_by.size() == active.size());
+  count_.assign(k + 1, 0);
+  count_[kHomeNest] = cfg_.num_ants;
+  // The phase-4 bookkeeping (stats, knowledge) without Outcome writes:
+  // the exact model returns values the caller can read off last_pairing()
+  // and counts() directly. Request x's caller is ant x, so the
+  // self-recruitment test collapses to recruiter == a.
+  for (AntId a = 0; a < cfg_.num_ants; ++a) {
+    const std::int32_t recruiter = pairing_scratch_.recruited_by[a];
+    if (recruiter != kNotRecruited) {
+      const NestId j = targets[static_cast<std::size_t>(recruiter)];
+      ++stats_.successful_recruitments;
+      if (static_cast<AntId>(recruiter) == a) ++stats_.self_recruitments;
+      if (j != targets[a]) ++stats_.cross_nest_recruitments;
+      if (j != kHomeNest) grant_knowledge(a, j);
+    }
+  }
+  ++round_;
+}
+
+void Environment::step_all_go_quiet(std::span<const NestId> targets) {
+  HH_EXPECTS(observe_exact_);
+  HH_EXPECTS(targets.size() == cfg_.num_ants);
+  const std::uint32_t k = num_nests();
+  stats_ = RoundStats{};
+  stats_.gos = cfg_.num_ants;
+  all_at_home_ = false;  // every location is written below
+  if (cfg_.enforce_model) {
+    for (AntId a = 0; a < cfg_.num_ants; ++a) {
+      validate(a, Action::go(targets[a]));
+    }
+  }
+  count_.assign(k + 1, 0);
+  for (AntId a = 0; a < cfg_.num_ants; ++a) {
+    location_[a] = targets[a];
+    ++count_[targets[a]];
+  }
+  // go() grants no knowledge and, exactly observed, returns only
+  // counts()/qualities() — no per-ant work remains.
+  ++round_;
+}
+
+const std::vector<Outcome>& Environment::step_all_go(
+    std::span<const NestId> targets) {
+  HH_EXPECTS(targets.size() == cfg_.num_ants);
+  const std::uint32_t k = num_nests();
+  stats_ = RoundStats{};
+  stats_.gos = cfg_.num_ants;
+  all_at_home_ = false;  // every location is written below
+  if (cfg_.enforce_model) {
+    for (AntId a = 0; a < cfg_.num_ants; ++a) {
+      validate(a, Action::go(targets[a]));
+    }
+  }
+  count_.assign(k + 1, 0);
+  for (AntId a = 0; a < cfg_.num_ants; ++a) {
+    location_[a] = targets[a];
+    ++count_[targets[a]];
+  }
+  for (AntId a = 0; a < cfg_.num_ants; ++a) {
+    const NestId nest = targets[a];
+    // Same per-ant perception order as step()'s kGo branch: count first,
+    // then the re-assessed quality (matters under noisy observation).
+    const std::uint32_t count =
+        observe_exact_ ? count_[nest]
+                       : observation_->perceive_count(count_[nest], rng_);
+    const double q = quality(nest);
+    const double perceived_q =
+        observe_exact_ ? q : observation_->perceive_quality(q, rng_);
+    outcomes_[a] =
+        Outcome{ActionKind::kGo, nest, perceived_q, count, false, false};
+  }
   ++round_;
   return outcomes_;
 }

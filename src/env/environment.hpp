@@ -72,15 +72,64 @@ class Environment {
 
   Environment(const Environment&) = delete;
   Environment& operator=(const Environment&) = delete;
-  Environment(Environment&&) = default;
-  Environment& operator=(Environment&&) = default;
+  // Moves are deleted: the defaulted moves left the moved-from object with
+  // null pairing_/observation_ strategies, so any further use (including
+  // step()) would dereference null. Hold Environments in place (as
+  // Simulation does) or behind unique_ptr when they must relocate.
+  Environment(Environment&&) = delete;
+  Environment& operator=(Environment&&) = delete;
   ~Environment() = default;
 
   /// Execute one synchronous round. actions[a] is ant a's single call for
   /// this round; actions.size() must equal num_ants(). Returns one Outcome
   /// per ant (reference valid until the next step()). Throws ModelViolation
   /// for illegal calls when enforce_model is set.
+  ///
+  /// Hot-path invariant: performs ZERO heap allocations after construction
+  /// (all round state — outcomes, requests, pairing scratch — is owned by
+  /// this object and reused; the only allocating path is the throw on a
+  /// model violation). tests/test_hotpath.cpp asserts this with a
+  /// counting operator new.
   const std::vector<Outcome>& step(std::span<const Action> actions);
+
+  // --- SoA round-shape fast paths -----------------------------------------
+  // The synchronous algorithms produce colony-uniform rounds (every ant
+  // searches, every ant recruits, every ant goes), and the generic step()
+  // pays a per-ant dispatch switch plus Action marshalling it doesn't
+  // need. These entry points execute one round of a known shape over
+  // contiguous inputs instead. Each is RNG-equivalent to step() with the
+  // corresponding action vector: identical draws in identical order,
+  // identical outcomes, counts, knowledge, and stats — the packed engine
+  // (core::AntPack) relies on this, and tests/test_environment.cpp checks
+  // it directly. Same zero-allocation guarantee as step().
+
+  /// One round in which every ant calls search().
+  const std::vector<Outcome>& step_all_search();
+
+  /// One round in which every ant calls recruit(b, i): requests[a] must be
+  /// ant a's call (requests[a].ant == a, requests.size() == num_ants()).
+  const std::vector<Outcome>& step_all_recruit(
+      std::span<const RecruitRequest> requests);
+
+  /// One round in which every ant calls go(targets[a]).
+  const std::vector<Outcome>& step_all_go(std::span<const NestId> targets);
+
+  // Quiet forms: under the EXACT observation model (no perception draws),
+  // a round's return values are fully determined by the pairing and the
+  // end-of-round counts — so these skip materializing the per-ant Outcome
+  // array altogether and the caller reads last_pairing()/counts()
+  // directly. Model bookkeeping (locations, counts, knowledge, stats,
+  // round number) is identical to the loud forms; requires exact
+  /// observation (throws ContractViolation otherwise).
+
+  /// step_all_recruit without Outcomes, in SoA form: active[a] is ant a's
+  /// b and targets[a] its advertised nest (both size n). The matching is
+  /// in last_pairing().
+  void step_all_recruit_quiet(std::span<const std::uint8_t> active,
+                              std::span<const NestId> targets);
+
+  /// step_all_go without Outcomes; per-nest results are in counts().
+  void step_all_go_quiet(std::span<const NestId> targets);
 
   // --- inspection (environment's-eye view; not visible to ants) ---
 
@@ -96,8 +145,21 @@ class Environment {
   [[nodiscard]] NestId location(AntId a) const;
   /// Current true population count c(i, r); i in [0, k].
   [[nodiscard]] std::uint32_t count(NestId i) const;
+  /// All current counts c(·, r), indexed by nest (size k+1).
+  [[nodiscard]] std::span<const std::uint32_t> counts() const {
+    return count_;
+  }
   /// True quality q(i) of candidate nest i in [1, k].
   [[nodiscard]] double quality(NestId i) const;
+  /// All true qualities; nest i's quality is at index i-1 (size k).
+  [[nodiscard]] std::span<const double> qualities() const {
+    return cfg_.qualities;
+  }
+  /// The matching of the most recent recruit round (valid until the next
+  /// round that performs pairing).
+  [[nodiscard]] const PairingScratch& last_pairing() const {
+    return pairing_scratch_;
+  }
   /// Whether ant a has knowledge of nest i (visited or been recruited to).
   [[nodiscard]] bool knows(AntId a, NestId i) const;
   /// Stats of the most recent round.
@@ -112,15 +174,23 @@ class Environment {
   EnvironmentConfig cfg_;
   std::unique_ptr<PairingModel> pairing_;
   std::unique_ptr<ObservationModel> observation_;
+  bool observe_exact_;  // cached observation_->exact(): branch, not virtual call
   util::Rng rng_;
 
   std::uint32_t round_ = 0;
   std::vector<NestId> location_;        // l(a, r), indexed by ant
+  // step_all_recruit() leaves location_ untouched: every ant is at the
+  // home nest, represented by this flag instead of n writes. Cleared by
+  // every round path that materializes real locations.
+  bool all_at_home_ = false;
   std::vector<std::uint32_t> count_;    // c(i, r), indexed by nest (0..k)
-  std::vector<bool> knowledge_;         // (k+1) slots per ant, flattened
+  // (k+1) slots per ant, flattened. uint8_t rather than vector<bool>:
+  // branch-free byte loads/stores on the validation and knowledge paths.
+  std::vector<std::uint8_t> knowledge_;
   std::vector<Outcome> outcomes_;       // reused each round
   std::vector<RecruitRequest> requests_;  // reused each round
   std::vector<std::uint32_t> request_index_;  // ant -> index into requests_
+  PairingScratch pairing_scratch_;      // reused each round
   RoundStats stats_;
 };
 

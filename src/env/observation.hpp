@@ -30,6 +30,11 @@ class ObservationModel {
   [[nodiscard]] virtual double perceive_quality(double true_quality,
                                                 util::Rng& rng) const = 0;
 
+  /// True iff this model is the identity (perceives exactly, draws no
+  /// randomness). The environment caches this to skip the two virtual
+  /// perception calls per ant per round on the exact hot path.
+  [[nodiscard]] virtual bool exact() const { return false; }
+
   /// Short stable identifier for reports.
   [[nodiscard]] virtual std::string_view name() const = 0;
 };
@@ -45,6 +50,7 @@ class ExactObservation final : public ObservationModel {
                                         util::Rng&) const override {
     return true_quality;
   }
+  [[nodiscard]] bool exact() const override { return true; }
   [[nodiscard]] std::string_view name() const override { return "exact"; }
 };
 

@@ -6,88 +6,117 @@
 
 namespace hh::env {
 
-PairingResult PermutationPairing::pair(std::span<const RecruitRequest> requests,
-                                       util::Rng& rng) const {
-  const std::size_t m = requests.size();
+void PairingScratch::reserve(std::size_t max_requests) {
+  recruited_by.reserve(max_requests);
+  recruit_succeeded.reserve(max_requests);
+  perm.reserve(max_requests);
+  active.reserve(max_requests);
+  proposal.reserve(max_requests);
+  winner.reserve(max_requests);
+  proposer_count.reserve(max_requests);
+}
+
+PairingResult PairingModel::pair(std::span<const RecruitRequest> requests,
+                                 util::Rng& rng) const {
+  PairingScratch scratch;
+  pair_into(requests, rng, scratch);
   PairingResult result;
-  result.recruited_by.assign(m, kNotRecruited);
-  result.recruit_succeeded.assign(m, false);
-  if (m == 0) return result;
-
-  // P: uniform random permutation of all ants in R (Algorithm 1, tie-breaker).
-  const std::vector<std::uint32_t> perm = util::random_permutation(m, rng);
-
-  // First loop of Algorithm 1: build M in permutation order.
-  for (std::uint32_t x : perm) {
-    const RecruitRequest& req = requests[x];
-    // Line 3: a_P(i) ∈ S (active) and not already recruited. An ant can
-    // appear as recruiter at most once because each x is visited once.
-    if (!req.active || result.recruited_by[x] != kNotRecruited) continue;
-    // Line 4: a' drawn uniformly from ALL of R — self-recruitment possible.
-    const auto chosen = static_cast<std::uint32_t>(rng.uniform_u64(m));
-    // Line 5: a' must not already be a recruiter nor recruited.
-    if (result.recruit_succeeded[chosen] ||
-        result.recruited_by[chosen] != kNotRecruited) {
-      continue;  // no retry: the recruiter simply fails this round
-    }
-    result.recruit_succeeded[x] = true;
-    result.recruited_by[chosen] = static_cast<std::int32_t>(x);
-  }
+  result.recruited_by = scratch.recruited_by;
+  result.recruit_succeeded.assign(scratch.recruit_succeeded.begin(),
+                                  scratch.recruit_succeeded.end());
   return result;
 }
 
-PairingResult UniformProposalPairing::pair(std::span<const RecruitRequest> requests,
-                                           util::Rng& rng) const {
+void PairingModel::pair_into(std::span<const RecruitRequest> requests,
+                             util::Rng& rng, PairingScratch& scratch) const {
+  // Pack the active flags to one sequential byte array: the matching
+  // loops visit requests in random order, and a 1-byte load beats a
+  // 12-byte RecruitRequest load for cache residency at large m.
   const std::size_t m = requests.size();
-  PairingResult result;
-  result.recruited_by.assign(m, kNotRecruited);
-  result.recruit_succeeded.assign(m, false);
-  if (m == 0) return result;
+  scratch.active.resize(m);
+  for (std::size_t x = 0; x < m; ++x) scratch.active[x] = requests[x].active;
+  pair_active(scratch.active, rng, scratch);
+}
+
+void PermutationPairing::pair_active(std::span<const std::uint8_t> active,
+                                     util::Rng& rng,
+                                     PairingScratch& scratch) const {
+  const std::size_t m = active.size();
+  scratch.recruited_by.assign(m, kNotRecruited);
+  scratch.recruit_succeeded.assign(m, 0);
+  if (m == 0) return;
+
+  // P: uniform random permutation of all ants in R (Algorithm 1, tie-breaker).
+  util::random_permutation_into(scratch.perm, m, rng);
+
+  // First loop of Algorithm 1: build M in permutation order.
+  for (std::uint32_t x : scratch.perm) {
+    // Line 3: a_P(i) ∈ S (active) and not already recruited. An ant can
+    // appear as recruiter at most once because each x is visited once.
+    if (!active[x] || scratch.recruited_by[x] != kNotRecruited) continue;
+    // Line 4: a' drawn uniformly from ALL of R — self-recruitment possible.
+    const auto chosen = static_cast<std::uint32_t>(rng.uniform_u64(m));
+    // Line 5: a' must not already be a recruiter nor recruited.
+    if (scratch.recruit_succeeded[chosen] != 0 ||
+        scratch.recruited_by[chosen] != kNotRecruited) {
+      continue;  // no retry: the recruiter simply fails this round
+    }
+    scratch.recruit_succeeded[x] = 1;
+    scratch.recruited_by[chosen] = static_cast<std::int32_t>(x);
+  }
+}
+
+void UniformProposalPairing::pair_active(std::span<const std::uint8_t> active,
+                                         util::Rng& rng,
+                                         PairingScratch& scratch) const {
+  const std::size_t m = active.size();
+  scratch.recruited_by.assign(m, kNotRecruited);
+  scratch.recruit_succeeded.assign(m, 0);
+  if (m == 0) return;
 
   // Phase 1: every active ant commits to a proposal target up front.
-  std::vector<std::int32_t> proposal(m, kNotRecruited);
+  scratch.proposal.assign(m, kNotRecruited);
   for (std::size_t x = 0; x < m; ++x) {
-    if (requests[x].active) {
-      proposal[x] = static_cast<std::int32_t>(rng.uniform_u64(m));
+    if (active[x]) {
+      scratch.proposal[x] = static_cast<std::int32_t>(rng.uniform_u64(m));
     }
   }
 
   // Phase 2: per-target lottery — each proposed-to ant keeps one proposer
   // uniformly at random (reservoir sampling over its proposers).
-  std::vector<std::int32_t> winner(m, kNotRecruited);
-  std::vector<std::uint32_t> proposer_count(m, 0);
+  scratch.winner.assign(m, kNotRecruited);
+  scratch.proposer_count.assign(m, 0);
   for (std::size_t x = 0; x < m; ++x) {
-    if (proposal[x] == kNotRecruited) continue;
-    const auto t = static_cast<std::size_t>(proposal[x]);
-    ++proposer_count[t];
-    if (rng.uniform_u64(proposer_count[t]) == 0) {
-      winner[t] = static_cast<std::int32_t>(x);
+    if (scratch.proposal[x] == kNotRecruited) continue;
+    const auto t = static_cast<std::size_t>(scratch.proposal[x]);
+    ++scratch.proposer_count[t];
+    if (rng.uniform_u64(scratch.proposer_count[t]) == 0) {
+      scratch.winner[t] = static_cast<std::int32_t>(x);
     }
   }
 
   // Phase 3: accept tentative matches in random order; endpoints exclusive.
-  std::vector<std::uint32_t> order = util::random_permutation(m, rng);
-  for (std::uint32_t t : order) {
-    if (winner[t] == kNotRecruited) continue;
-    const auto w = static_cast<std::size_t>(winner[t]);
-    const bool target_free = result.recruited_by[t] == kNotRecruited &&
-                             !result.recruit_succeeded[t];
-    const bool recruiter_free = result.recruited_by[w] == kNotRecruited &&
-                                !result.recruit_succeeded[w];
+  util::random_permutation_into(scratch.perm, m, rng);
+  for (std::uint32_t t : scratch.perm) {
+    if (scratch.winner[t] == kNotRecruited) continue;
+    const auto w = static_cast<std::size_t>(scratch.winner[t]);
+    const bool target_free = scratch.recruited_by[t] == kNotRecruited &&
+                             scratch.recruit_succeeded[t] == 0;
+    const bool recruiter_free = scratch.recruited_by[w] == kNotRecruited &&
+                                scratch.recruit_succeeded[w] == 0;
     // Self-proposal: the single endpoint only needs to be free once.
     if (w == t) {
       if (target_free) {
-        result.recruit_succeeded[w] = true;
-        result.recruited_by[t] = static_cast<std::int32_t>(w);
+        scratch.recruit_succeeded[w] = 1;
+        scratch.recruited_by[t] = static_cast<std::int32_t>(w);
       }
       continue;
     }
     if (target_free && recruiter_free) {
-      result.recruit_succeeded[w] = true;
-      result.recruited_by[t] = static_cast<std::int32_t>(w);
+      scratch.recruit_succeeded[w] = 1;
+      scratch.recruited_by[t] = static_cast<std::int32_t>(w);
     }
   }
-  return result;
 }
 
 std::unique_ptr<PairingModel> make_pairing_model(PairingKind kind) {

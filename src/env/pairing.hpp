@@ -30,15 +30,48 @@ struct RecruitRequest {
 /// Index into the request span, or kNotRecruited.
 inline constexpr std::int32_t kNotRecruited = -1;
 
-/// The matching M produced by a pairing process. All vectors are indexed by
-/// position in the request span (NOT by AntId).
-struct PairingResult {
+/// Caller-owned buffers for the pairing process: the matching itself plus
+/// every model's workspace. Held by the Environment (one per execution) and
+/// reused across rounds, so pairing performs zero heap allocations after
+/// reserve() — the hot-path contract Environment::step() is built on.
+/// All vectors are indexed by position in the request span (NOT by AntId).
+struct PairingScratch {
   /// recruited_by[x] = index of the request whose ant recruited x
-  /// (possibly x itself — self-recruitment is allowed, see DESIGN.md §2),
-  /// or kNotRecruited.
+  /// (possibly x itself — self-recruitment is allowed, see DESIGN.md), or
+  /// kNotRecruited.
   std::vector<std::int32_t> recruited_by;
-  /// recruit_succeeded[x] = true iff request x's ant appears as the
-  /// recruiter in a pair of M.
+  /// recruit_succeeded[x] != 0 iff request x's ant appears as the
+  /// recruiter in a pair of M. uint8_t rather than bool: flat byte access,
+  /// no bit-packing on the hot path.
+  std::vector<std::uint8_t> recruit_succeeded;
+
+  // Model workspace (contents meaningless between calls).
+  std::vector<std::uint32_t> perm;            ///< permutation buffer
+  std::vector<std::uint8_t> active;           ///< request active flags, packed
+                                              ///< to 1B for the random-order
+                                              ///< matching loop
+  std::vector<std::int32_t> proposal;         ///< uniform-proposal only
+  std::vector<std::int32_t> winner;           ///< uniform-proposal only
+  std::vector<std::uint32_t> proposer_count;  ///< uniform-proposal only
+
+  /// Pre-size every buffer for up to `max_requests` requests.
+  void reserve(std::size_t max_requests);
+
+  /// Number of pairs in M.
+  [[nodiscard]] std::size_t pair_count() const {
+    std::size_t pairs = 0;
+    for (auto r : recruited_by) pairs += (r != kNotRecruited) ? 1u : 0u;
+    return pairs;
+  }
+};
+
+/// The matching M, as owning vectors — the convenience form returned by
+/// PairingModel::pair() for tests and one-off callers. The engine path
+/// uses pair_into() + PairingScratch instead and never materializes this.
+struct PairingResult {
+  /// See PairingScratch::recruited_by.
+  std::vector<std::int32_t> recruited_by;
+  /// See PairingScratch::recruit_succeeded.
   std::vector<bool> recruit_succeeded;
 
   /// Number of pairs in M.
@@ -50,16 +83,31 @@ struct PairingResult {
 };
 
 /// Strategy interface for the home-nest pairing process.
+///
+/// The matching depends on nothing but each request's active flag, so the
+/// virtual core is SoA: pair_active() over a packed byte span. pair_into()
+/// (AoS requests) and pair() (owning vectors) are thin wrappers drawing
+/// the identical RNG sequence.
 class PairingModel {
  public:
   virtual ~PairingModel() = default;
 
-  /// Compute the matching M for this round's recruit() calls.
-  /// Implementations must return vectors sized to requests.size() and must
+  /// Compute the matching M for m recruit() calls given their active
+  /// flags (active.size() == m), writing into `scratch` (resized to m;
+  /// allocation-free when the scratch has capacity). Implementations must
   /// produce a valid matching: each ant appears at most once as recruited
   /// and at most once as recruiter, and only active ants recruit.
-  [[nodiscard]] virtual PairingResult pair(std::span<const RecruitRequest> requests,
-                                           util::Rng& rng) const = 0;
+  virtual void pair_active(std::span<const std::uint8_t> active,
+                           util::Rng& rng, PairingScratch& scratch) const = 0;
+
+  /// AoS wrapper: packs the requests' active flags into scratch.active and
+  /// delegates to pair_active().
+  void pair_into(std::span<const RecruitRequest> requests, util::Rng& rng,
+                 PairingScratch& scratch) const;
+
+  /// Convenience wrapper over pair_into() returning owning vectors.
+  [[nodiscard]] PairingResult pair(std::span<const RecruitRequest> requests,
+                                   util::Rng& rng) const;
 
   /// Short stable identifier for reports.
   [[nodiscard]] virtual std::string_view name() const = 0;
@@ -72,8 +120,8 @@ class PairingModel {
 ///   * a' may equal the recruiter (self-recruitment; a no-op for the ant).
 class PermutationPairing final : public PairingModel {
  public:
-  [[nodiscard]] PairingResult pair(std::span<const RecruitRequest> requests,
-                                   util::Rng& rng) const override;
+  void pair_active(std::span<const std::uint8_t> active, util::Rng& rng,
+                   PairingScratch& scratch) const override;
   [[nodiscard]] std::string_view name() const override { return "permutation"; }
 };
 
@@ -84,8 +132,8 @@ class PermutationPairing final : public PairingModel {
 /// random order, skipping any match whose endpoint is already used.
 class UniformProposalPairing final : public PairingModel {
  public:
-  [[nodiscard]] PairingResult pair(std::span<const RecruitRequest> requests,
-                                   util::Rng& rng) const override;
+  void pair_active(std::span<const std::uint8_t> active, util::Rng& rng,
+                   PairingScratch& scratch) const override;
   [[nodiscard]] std::string_view name() const override { return "uniform-proposal"; }
 };
 

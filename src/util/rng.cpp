@@ -4,10 +4,16 @@
 
 namespace hh::util {
 
+void random_permutation_into(std::vector<std::uint32_t>& out, std::size_t n,
+                             Rng& rng) {
+  out.resize(n);
+  std::iota(out.begin(), out.end(), 0u);
+  shuffle(out, rng);
+}
+
 std::vector<std::uint32_t> random_permutation(std::size_t n, Rng& rng) {
-  std::vector<std::uint32_t> perm(n);
-  std::iota(perm.begin(), perm.end(), 0u);
-  shuffle(perm, rng);
+  std::vector<std::uint32_t> perm;
+  random_permutation_into(perm, n, rng);
   return perm;
 }
 

@@ -137,6 +137,13 @@ void shuffle(std::vector<T>& v, Rng& rng) {
 /// A uniformly random permutation of {0, 1, ..., n-1}.
 [[nodiscard]] std::vector<std::uint32_t> random_permutation(std::size_t n, Rng& rng);
 
+/// Fill `out` with a uniformly random permutation of {0, 1, ..., n-1}.
+/// Allocation-free once out.capacity() >= n — the hot-path form used by the
+/// pairing process (see env::PairingScratch), drawing the exact same RNG
+/// sequence as random_permutation().
+void random_permutation_into(std::vector<std::uint32_t>& out, std::size_t n,
+                             Rng& rng);
+
 /// Stable 64-bit mix of (seed, a, b) for deriving per-entity seeds.
 [[nodiscard]] constexpr std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a,
                                                std::uint64_t b = 0) noexcept {

@@ -1,0 +1,45 @@
+// Counting global allocator for zero-allocation enforcement. Including
+// this header REPLACES the translation unit's global operator new/delete
+// with malloc/free wrappers that bump an atomic counter — include it from
+// at most one TU per binary (tests/test_hotpath.cpp and
+// bench/bench_micro_engine.cpp do).
+//
+// Aligned-new overloads are intentionally not replaced: the default pair
+// stays internally consistent, and the library allocates nothing
+// over-aligned.
+#ifndef HH_TESTS_COUNTING_ALLOC_HPP
+#define HH_TESTS_COUNTING_ALLOC_HPP
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace hh::testing {
+
+inline std::atomic<std::uint64_t> g_allocations{0};
+
+/// Total global-new allocations so far in this binary.
+inline std::uint64_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace hh::testing
+
+void* operator new(std::size_t size) {
+  hh::testing::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  hh::testing::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#endif  // HH_TESTS_COUNTING_ALLOC_HPP

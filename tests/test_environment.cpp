@@ -290,6 +290,106 @@ TEST(Environment, DeterministicGivenSeed) {
   EXPECT_NE(run(42), run(43));
 }
 
+// The SoA round-shape entry points (step_all_search/recruit/go and the
+// quiet forms) must be RNG- and state-equivalent to step() with the
+// corresponding uniform action vector — the packed engine's correctness
+// rests on this.
+TEST(Environment, RoundShapeFastPathsMatchGenericStep) {
+  constexpr std::uint32_t n = 64;
+  const std::vector<double> qualities = {1.0, 1.0, 0.0, 0.0};
+  Environment generic(config(n, qualities, 77));
+  Environment fast(config(n, qualities, 77));
+  Environment quiet(config(n, qualities, 77));
+
+  const auto expect_same_state = [&](const Environment& other,
+                                     const char* label) {
+    for (NestId i = 0; i <= generic.num_nests(); ++i) {
+      EXPECT_EQ(generic.count(i), other.count(i)) << label << " nest " << i;
+    }
+    for (AntId a = 0; a < n; ++a) {
+      EXPECT_EQ(generic.location(a), other.location(a)) << label << " ant " << a;
+      for (NestId i = 0; i <= generic.num_nests(); ++i) {
+        EXPECT_EQ(generic.knows(a, i), other.knows(a, i)) << label;
+      }
+    }
+    EXPECT_EQ(generic.last_round_stats().successful_recruitments,
+              other.last_round_stats().successful_recruitments)
+        << label;
+    EXPECT_EQ(generic.last_round_stats().self_recruitments,
+              other.last_round_stats().self_recruitments)
+        << label;
+    EXPECT_EQ(generic.last_round_stats().cross_nest_recruitments,
+              other.last_round_stats().cross_nest_recruitments)
+        << label;
+    EXPECT_EQ(generic.last_round_stats().active_recruits,
+              other.last_round_stats().active_recruits)
+        << label;
+  };
+
+  // Round 1: all search.
+  std::vector<Action> search(n, Action::search());
+  const std::vector<Outcome> generic_search = generic.step(search);
+  const std::vector<Outcome>& fast_search = fast.step_all_search();
+  for (AntId a = 0; a < n; ++a) {
+    EXPECT_EQ(generic_search[a].nest, fast_search[a].nest);
+    EXPECT_EQ(generic_search[a].count, fast_search[a].count);
+    EXPECT_EQ(generic_search[a].quality, fast_search[a].quality);
+  }
+  quiet.step_all_search();
+  expect_same_state(fast, "after search");
+
+  // Round 2: all recruit (advertising the nest each ant found).
+  std::vector<Action> recruit(n);
+  std::vector<RecruitRequest> requests(n);
+  std::vector<std::uint8_t> active(n);
+  std::vector<NestId> targets(n);
+  for (AntId a = 0; a < n; ++a) {
+    const bool b = a % 2 == 0;
+    recruit[a] = Action::recruit(b, generic.location(a));
+    requests[a] = RecruitRequest{a, b, generic.location(a)};
+    active[a] = b ? 1 : 0;
+    targets[a] = generic.location(a);
+  }
+  const std::vector<Outcome> generic_recruit = generic.step(recruit);
+  const std::vector<Outcome>& fast_recruit = fast.step_all_recruit(requests);
+  quiet.step_all_recruit_quiet(active, targets);
+  for (AntId a = 0; a < n; ++a) {
+    EXPECT_EQ(generic_recruit[a].nest, fast_recruit[a].nest);
+    EXPECT_EQ(generic_recruit[a].recruited, fast_recruit[a].recruited);
+    EXPECT_EQ(generic_recruit[a].recruit_succeeded,
+              fast_recruit[a].recruit_succeeded);
+    EXPECT_EQ(generic_recruit[a].count, fast_recruit[a].count);
+    // Quiet form: same matching, read off the scratch.
+    EXPECT_EQ(generic_recruit[a].recruited,
+              quiet.last_pairing().recruited_by[a] != kNotRecruited);
+    EXPECT_EQ(generic_recruit[a].recruit_succeeded,
+              quiet.last_pairing().recruit_succeeded[a] != 0);
+  }
+  expect_same_state(fast, "after recruit");
+  expect_same_state(quiet, "after quiet recruit");
+
+  // Round 3: all go (to the nest learned in the recruit round).
+  std::vector<Action> go(n);
+  std::vector<NestId> go_targets(n);
+  for (AntId a = 0; a < n; ++a) {
+    go_targets[a] = generic_recruit[a].nest;
+    go[a] = Action::go(go_targets[a]);
+  }
+  const std::vector<Outcome> generic_go = generic.step(go);
+  const std::vector<Outcome>& fast_go = fast.step_all_go(go_targets);
+  quiet.step_all_go_quiet(go_targets);
+  for (AntId a = 0; a < n; ++a) {
+    EXPECT_EQ(generic_go[a].count, fast_go[a].count);
+    EXPECT_EQ(generic_go[a].quality, fast_go[a].quality);
+    EXPECT_EQ(generic_go[a].count, quiet.count(go_targets[a]));
+  }
+  expect_same_state(fast, "after go");
+  expect_same_state(quiet, "after quiet go");
+  EXPECT_EQ(generic.round(), 3u);
+  EXPECT_EQ(fast.round(), 3u);
+  EXPECT_EQ(quiet.round(), 3u);
+}
+
 TEST(Environment, SelfRecruitmentCountsInStats) {
   Environment e(config(1, {1.0}, 5));
   std::vector<Action> search{Action::search()};

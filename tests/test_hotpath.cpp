@@ -1,0 +1,131 @@
+// The zero-allocation invariant of the hot path: after construction,
+// env::Environment::step() — and the whole packed-engine round on top of
+// it — performs no heap allocations. Enforced with a counting global
+// operator new, so a regression (a stray vector copy, a pairing model
+// that forgets its scratch) fails loudly here rather than silently
+// costing a sweep 20% throughput.
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "counting_alloc.hpp"
+#include "env/environment.hpp"
+#include "test_util.hpp"
+
+namespace hh {
+namespace {
+
+/// Allocations performed by fn(). Only the counter reads around measured
+/// regions matter; gtest's own allocations happen outside them.
+template <typename Fn>
+std::uint64_t allocations_during(Fn&& fn) {
+  const std::uint64_t before = testing::allocation_count();
+  fn();
+  return testing::allocation_count() - before;
+}
+
+env::EnvironmentConfig env_config(std::uint32_t n, env::PairingKind kind) {
+  env::EnvironmentConfig cfg;
+  cfg.num_ants = n;
+  cfg.qualities = {1.0, 1.0, 0.0, 0.0};
+  cfg.seed = 9;
+  (void)kind;
+  return cfg;
+}
+
+TEST(HotPath, EnvironmentStepNeverAllocates) {
+  for (const env::PairingKind kind :
+       {env::PairingKind::kPermutation, env::PairingKind::kUniformProposal}) {
+    env::Environment environment(env_config(512, kind),
+                                 env::make_pairing_model(kind));
+    std::vector<env::Action> search(512, env::Action::search());
+    std::vector<env::Action> recruit(512);
+
+    // Round 1 (the all-search round) must already be allocation-free.
+    EXPECT_EQ(allocations_during([&] { environment.step(search); }), 0u)
+        << "search round, pairing " << static_cast<int>(kind);
+
+    // Recruit rounds exercise the pairing process + scratch buffers.
+    for (env::AntId a = 0; a < 512; ++a) {
+      recruit[a] = env::Action::recruit(a % 2 == 0, environment.location(a));
+    }
+    EXPECT_EQ(allocations_during([&] {
+                for (int round = 0; round < 50; ++round) {
+                  environment.step(recruit);
+                }
+              }),
+              0u)
+        << "recruit rounds, pairing " << static_cast<int>(kind);
+  }
+}
+
+TEST(HotPath, PackedSimulationRoundNeverAllocates) {
+  core::SimulationConfig cfg;
+  cfg.num_ants = 512;
+  cfg.qualities = core::SimulationConfig::binary_qualities(4, 2);
+  cfg.seed = 13;
+  cfg.engine = core::EngineKind::kPacked;
+  for (const core::AlgorithmKind kind :
+       {core::AlgorithmKind::kSimple, core::AlgorithmKind::kQuorum}) {
+    core::Simulation sim(cfg, kind);
+    ASSERT_TRUE(sim.packed());
+    sim.step();  // settle any lazy first-round setup
+    EXPECT_EQ(allocations_during([&] {
+                for (int round = 0; round < 100; ++round) sim.step();
+              }),
+              0u)
+        << core::algorithm_name(kind);
+  }
+}
+
+TEST(HotPath, PairIntoReusesScratch) {
+  std::vector<env::RecruitRequest> requests;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    requests.push_back({i, i % 2 == 0, 1});
+  }
+  util::Rng rng(4);
+  env::PairingScratch scratch;
+  scratch.reserve(requests.size());
+  for (const env::PairingKind kind :
+       {env::PairingKind::kPermutation, env::PairingKind::kUniformProposal}) {
+    const auto model = env::make_pairing_model(kind);
+    model->pair_into(requests, rng, scratch);  // warm (workspace sizing)
+    EXPECT_EQ(allocations_during([&] {
+                for (int i = 0; i < 20; ++i) {
+                  model->pair_into(requests, rng, scratch);
+                }
+              }),
+              0u)
+        << model->name();
+    ASSERT_EQ(scratch.recruited_by.size(), requests.size());
+    ASSERT_EQ(scratch.recruit_succeeded.size(), requests.size());
+  }
+}
+
+TEST(HotPath, PairWrapperMatchesPairInto) {
+  // The owning-vector wrapper must draw the identical RNG sequence and
+  // produce the identical matching.
+  std::vector<env::RecruitRequest> requests;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    requests.push_back({i, i % 3 != 0, 1});
+  }
+  for (const env::PairingKind kind :
+       {env::PairingKind::kPermutation, env::PairingKind::kUniformProposal}) {
+    const auto model = env::make_pairing_model(kind);
+    util::Rng rng_a(21);
+    util::Rng rng_b(21);
+    const env::PairingResult result = model->pair(requests, rng_a);
+    env::PairingScratch scratch;
+    model->pair_into(requests, rng_b, scratch);
+    ASSERT_EQ(result.recruited_by, scratch.recruited_by);
+    ASSERT_EQ(result.recruit_succeeded.size(),
+              scratch.recruit_succeeded.size());
+    for (std::size_t i = 0; i < result.recruit_succeeded.size(); ++i) {
+      EXPECT_EQ(result.recruit_succeeded[i],
+                scratch.recruit_succeeded[i] != 0);
+    }
+    EXPECT_EQ(rng_a(), rng_b());  // streams advanced identically
+  }
+}
+
+}  // namespace
+}  // namespace hh

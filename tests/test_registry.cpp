@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/ant_pack.hpp"
+
 #include "test_util.hpp"
 
 namespace hh::core {
@@ -30,8 +32,11 @@ TEST(Registry, BuildsARunnableSimulationForEveryKind) {
     const auto cfg = test::small_config(64, 2, 1, 7);
     auto sim = make_simulation(algorithm_name(kind), cfg);
     ASSERT_NE(sim, nullptr);
-    EXPECT_EQ(sim->colony().algorithm, algorithm_name(kind));
-    EXPECT_EQ(sim->colony().size(), 64u);
+    EXPECT_EQ(sim->algorithm(), algorithm_name(kind));
+    EXPECT_EQ(sim->num_ants(), 64u);
+    // With the default kAuto engine, packable algorithms land on the SoA
+    // fast path and the rest on the per-object reference path.
+    EXPECT_EQ(sim->packed(), packed_available(kind)) << algorithm_name(kind);
   }
 }
 
