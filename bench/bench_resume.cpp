@@ -1,0 +1,289 @@
+// Resumable-sweep benchmark + CI smoke driver.
+//
+// Default mode measures the two levers the checkpointed engine adds on
+// top of the PR-1 Runner and the PR-2 packed hot path:
+//   1. arena reuse — reset-and-rerun vs reconstruct-per-trial at small n,
+//      where construction is the biggest relative cost, and
+//   2. warm resume — a second run_resumable over a completed store must
+//      serve >= 99% of cells from disk and produce a bit-identical batch.
+// Emits a console table and bench_out/BENCH_resume.json (uploaded as a CI
+// artifact alongside BENCH_hotpath.json).
+//
+// Smoke mode (the CI resume job drives this):
+//   bench_resume sweep --store DIR --csv PATH [--threads N] [--trials N]
+// runs a fixed workload resumably into DIR and writes the tidy CSV to
+// PATH. CI runs it once under `timeout -s KILL` (a real mid-run kill),
+// again to completion, then cold into a fresh store at a different thread
+// count, and byte-compares the CSVs.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "anthill.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string tidy_csv(const hh::analysis::BatchResult& batch) {
+  std::ostringstream out;
+  hh::util::CsvWriter csv(out);
+  csv.header(batch.tidy_csv_header());
+  for (const auto& row : batch.tidy_rows()) csv.row(row);
+  return out.str();
+}
+
+// --- smoke mode --------------------------------------------------------------
+
+/// The smoke workload is deliberately heavy enough (seconds, not
+/// milliseconds) that CI's `timeout -s KILL` lands mid-run.
+hh::analysis::SweepSpec smoke_workload() {
+  hh::core::SimulationConfig base;
+  base.num_ants = 1024;
+  return hh::analysis::SweepSpec("smoke")
+      .base(base)
+      .algorithms({hh::core::AlgorithmKind::kSimple,
+                   hh::core::AlgorithmKind::kQuorum})
+      .nest_counts({4, 8}, 0.5);
+}
+
+int run_smoke(int argc, char** argv) {
+  std::string store_dir;
+  std::string csv_path;
+  unsigned threads = 0;
+  std::size_t trials = 400;
+  for (int i = 2; i < argc; ++i) {
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--store") == 0) {
+      store_dir = next("--store");
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      csv_path = next("--csv");
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = static_cast<unsigned>(std::stoul(next("--threads")));
+    } else if (std::strcmp(argv[i], "--trials") == 0) {
+      trials = std::stoul(next("--trials"));
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (store_dir.empty() || csv_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_resume sweep --store DIR --csv PATH "
+                 "[--threads N] [--trials N]\n");
+    return 2;
+  }
+  const auto scenarios = smoke_workload().expand();
+  hh::analysis::ResultStore store(store_dir);
+  std::printf("store: %s (%zu cached records, %zu dropped)\n",
+              store.directory().string().c_str(), store.size(),
+              store.dropped_records());
+  const hh::analysis::Runner runner(hh::analysis::RunnerOptions{threads});
+  hh::analysis::ResumeReport report;
+  const auto start = Clock::now();
+  const auto batch =
+      runner.run_resumable(scenarios, trials, /*base_seed=*/0x5E5, store,
+                           &report);
+  std::printf("cells: %zu total, %zu cached, %zu run in %.2fs at %u threads\n",
+              report.cells_total, report.cells_cached, report.cells_run,
+              seconds_since(start), runner.threads());
+  std::ofstream out(csv_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+    return 1;
+  }
+  out << tidy_csv(batch);
+  std::printf("csv: %s\n", csv_path.c_str());
+  return 0;
+}
+
+// --- benchmark mode ----------------------------------------------------------
+
+struct ArenaMeasurement {
+  std::uint32_t n = 0;
+  double rebuild_trials_per_sec = 0.0;
+  double arena_trials_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+/// Reconstruct-per-trial vs reset-and-rerun, single-threaded, same seeds.
+ArenaMeasurement measure_arena(std::uint32_t n, std::size_t trials) {
+  ArenaMeasurement m;
+  m.n = n;
+  hh::core::SimulationConfig cfg;
+  cfg.num_ants = n;
+  cfg.qualities = hh::core::SimulationConfig::binary_qualities(4, 2);
+  const auto scenario = hh::analysis::Scenario::of(
+      "arena", hh::core::AlgorithmKind::kSimple, cfg);
+
+  double sink = 0.0;
+  auto start = Clock::now();
+  for (std::size_t t = 0; t < trials; ++t) {
+    sink += hh::analysis::run_scenario_trial(
+                scenario, hh::analysis::trial_seed(1, 0, t))
+                .rounds;
+  }
+  const double rebuild_s = seconds_since(start);
+
+  hh::analysis::TrialArena arena;
+  double arena_sink = 0.0;
+  start = Clock::now();
+  for (std::size_t t = 0; t < trials; ++t) {
+    arena_sink +=
+        arena.run(scenario, hh::analysis::trial_seed(1, 0, t)).rounds;
+  }
+  const double arena_s = seconds_since(start);
+  if (sink != arena_sink) {
+    std::fprintf(stderr, "arena diverged from rebuild at n=%u!\n", n);
+    std::exit(1);
+  }
+  m.rebuild_trials_per_sec = static_cast<double>(trials) / rebuild_s;
+  m.arena_trials_per_sec = static_cast<double>(trials) / arena_s;
+  m.speedup = m.arena_trials_per_sec / m.rebuild_trials_per_sec;
+  return m;
+}
+
+int run_bench() {
+  hh::analysis::print_banner(
+      "resume — checkpointed sweeps: arena reuse + warm-resume skip rate",
+      "resume must skip completed cells; reset-and-rerun must beat "
+      "reconstruction at small n");
+
+  // 1. Arena reuse at small n (construction amortization).
+  constexpr std::size_t kArenaTrials = 3000;
+  std::vector<ArenaMeasurement> arena;
+  for (const std::uint32_t n : {32u, 128u, 512u}) {
+    arena.push_back(measure_arena(n, kArenaTrials));
+  }
+  hh::util::Table arena_table(
+      {"n", "rebuild trials/s", "arena trials/s", "speedup"});
+  for (const ArenaMeasurement& m : arena) {
+    arena_table.begin_row()
+        .num(m.n)
+        .num(m.rebuild_trials_per_sec, 0)
+        .num(m.arena_trials_per_sec, 0)
+        .num(m.speedup, 3);
+  }
+  std::printf("arena reuse (simple, k=4, %zu trials, 1 thread):\n",
+              kArenaTrials);
+  std::cout << arena_table.render();
+
+  // 2. Cold vs warm resumable run.
+  const auto scenarios = hh::analysis::SweepSpec("resume-load")
+                             .base([] {
+                               hh::core::SimulationConfig cfg;
+                               cfg.num_ants = 256;
+                               return cfg;
+                             }())
+                             .algorithms({hh::core::AlgorithmKind::kSimple,
+                                          hh::core::AlgorithmKind::kQuorum})
+                             .nest_counts({4, 8}, 0.5)
+                             .expand();
+  constexpr std::size_t kTrials = 300;
+  constexpr std::uint64_t kSeed = 0x5EED;
+  const std::filesystem::path store_dir = "bench_out/resume_store";
+  std::filesystem::remove_all(store_dir);
+  const hh::analysis::Runner runner;
+
+  hh::analysis::ResumeReport cold_report;
+  auto start = Clock::now();
+  std::string cold_csv;
+  {
+    hh::analysis::ResultStore store(store_dir);
+    cold_csv = tidy_csv(runner.run_resumable(scenarios, kTrials, kSeed, store,
+                                             &cold_report));
+  }
+  const double cold_s = seconds_since(start);
+
+  hh::analysis::ResumeReport warm_report;
+  start = Clock::now();
+  std::string warm_csv;
+  {
+    hh::analysis::ResultStore store(store_dir);
+    warm_csv = tidy_csv(runner.run_resumable(scenarios, kTrials, kSeed, store,
+                                             &warm_report));
+  }
+  const double warm_s = seconds_since(start);
+  std::filesystem::remove_all(store_dir);
+
+  const double skip_fraction =
+      warm_report.cells_total == 0
+          ? 0.0
+          : static_cast<double>(warm_report.cells_cached) /
+                static_cast<double>(warm_report.cells_total);
+  const bool identical = cold_csv == warm_csv;
+  const bool skip_ok = skip_fraction >= 0.99;
+
+  hh::util::Table resume_table(
+      {"phase", "seconds", "cells run", "cells cached"});
+  resume_table.begin_row()
+      .cell("cold")
+      .num(cold_s, 3)
+      .num(static_cast<std::uint64_t>(cold_report.cells_run))
+      .num(static_cast<std::uint64_t>(cold_report.cells_cached));
+  resume_table.begin_row()
+      .cell("warm")
+      .num(warm_s, 3)
+      .num(static_cast<std::uint64_t>(warm_report.cells_run))
+      .num(static_cast<std::uint64_t>(warm_report.cells_cached));
+  std::printf("\nresumable run (%zu scenarios x %zu trials, %u threads):\n",
+              scenarios.size(), kTrials, runner.threads());
+  std::cout << resume_table.render();
+  std::printf("\nwarm skip fraction: %.4f (>= 0.99 required: %s)\n",
+              skip_fraction, skip_ok ? "yes" : "NO");
+  std::printf("warm CSV bit-identical to cold: %s\n", identical ? "yes" : "NO");
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  const char* path = "bench_out/BENCH_resume.json";
+  std::ofstream out(path);
+  if (out) {
+    out << "{\n  \"benchmark\": \"resume\",\n";
+    out << "  \"arena_reuse\": [\n";
+    for (std::size_t i = 0; i < arena.size(); ++i) {
+      const ArenaMeasurement& m = arena[i];
+      out << "    {\"n\": " << m.n
+          << ", \"rebuild_trials_per_sec\": " << m.rebuild_trials_per_sec
+          << ", \"arena_trials_per_sec\": " << m.arena_trials_per_sec
+          << ", \"speedup\": " << m.speedup << "}"
+          << (i + 1 < arena.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"cells_total\": " << warm_report.cells_total << ",\n";
+    out << "  \"cold_seconds\": " << cold_s << ",\n";
+    out << "  \"warm_seconds\": " << warm_s << ",\n";
+    out << "  \"warm_cells_run\": " << warm_report.cells_run << ",\n";
+    out << "  \"warm_skip_fraction\": " << skip_fraction << ",\n";
+    out << "  \"warm_identical\": " << (identical ? "true" : "false") << "\n";
+    out << "}\n";
+    std::printf("json: %s\n", path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", path);
+  }
+  return identical && skip_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "sweep") == 0) {
+    return run_smoke(argc, argv);
+  }
+  return run_bench();
+}

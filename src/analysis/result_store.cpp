@@ -1,0 +1,209 @@
+#include "analysis/result_store.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iterator>
+#include <span>
+#include <stdexcept>
+
+#include "util/binary_io.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace hh::analysis {
+
+namespace {
+
+// Shard file layout (all little-endian; see DESIGN.md §4):
+//   header:  magic u32 'HHRS', version u32
+//   records: payload (kPayloadBytes) + checksum32(payload)
+// Payload: fingerprint u64, seed u64, trial u32, converged u8, rounds f64,
+// winner u32, winner_quality f64, recruitments f64.
+constexpr std::uint32_t kShardMagic = 0x53524848;  // "HHRS"
+constexpr std::uint32_t kShardVersion = 1;
+constexpr std::size_t kHeaderBytes = 8;
+constexpr std::size_t kPayloadBytes = 8 + 8 + 4 + 1 + 8 + 4 + 8 + 8;
+constexpr std::size_t kRecordBytes = kPayloadBytes + 4;
+constexpr const char* kShardExtension = ".hhrs";
+
+void encode_payload(std::vector<std::uint8_t>& out, const TrialKey& key,
+                    const TrialStats& stats) {
+  util::put_u64(out, key.fingerprint);
+  util::put_u64(out, key.seed);
+  util::put_u32(out, key.trial);
+  util::put_u8(out, stats.converged ? 1 : 0);
+  util::put_f64(out, stats.rounds);
+  util::put_u32(out, stats.winner);
+  util::put_f64(out, stats.winner_quality);
+  util::put_f64(out, stats.recruitments);
+}
+
+}  // namespace
+
+std::size_t TrialKeyHash::operator()(const TrialKey& key) const {
+  // The fingerprint and seed are already well-mixed 64-bit values; one
+  // extra mix folds the trial index in without a measurable cost.
+  return static_cast<std::size_t>(
+      util::mix_seed(key.fingerprint ^ key.seed, key.trial));
+}
+
+std::uint64_t scenario_fingerprint(const Scenario& scenario) {
+  util::Fnv64 h;
+  h.str("hh.scenario.v1");
+  h.str(scenario.algorithm);
+  const core::SimulationConfig& c = scenario.config;
+  h.u32(c.num_ants);
+  h.u64(c.qualities.size());
+  for (double q : c.qualities) h.f64(q);
+  h.u32(c.max_rounds);
+  h.u32(c.stability_rounds);
+  h.f64(c.convergence_tolerance);
+  h.f64(c.skip_probability);
+  h.f64(c.noise.count_sigma);
+  h.f64(c.noise.quality_flip_prob);
+  h.f64(c.noise.quality_sigma);
+  h.f64(c.faults.crash_fraction);
+  h.f64(c.faults.byzantine_fraction);
+  h.u32(c.faults.crash_horizon);
+  h.u8(static_cast<std::uint8_t>(c.pairing));
+  const core::AlgorithmParams& p = scenario.params;
+  h.f64(p.quorum_fraction);
+  h.f64(p.quorum_tandem_rate);
+  h.f64(p.uniform_recruit_prob);
+  h.f64(p.n_estimate_error);
+  return h.digest();
+}
+
+ResultStore::ResultStore(std::filesystem::path directory)
+    : dir_(std::move(directory)) {
+  std::filesystem::create_directories(dir_);
+  // Nonce for this open: keeps shard names from two sequential (or even
+  // concurrent) processes distinct. Result identity never depends on it.
+  const auto now = std::chrono::steady_clock::now().time_since_epoch().count();
+  session_ = util::mix_seed(static_cast<std::uint64_t>(now),
+                            reinterpret_cast<std::uintptr_t>(this));
+  std::vector<std::filesystem::path> shards;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.is_regular_file() && entry.path().extension() == kShardExtension) {
+      shards.push_back(entry.path());
+    }
+  }
+  // Deterministic load order (directory iteration order is not); duplicate
+  // keys hold identical payloads anyway — trials are pure functions of the
+  // key — so order only matters for reproducible dropped-record counts.
+  std::sort(shards.begin(), shards.end());
+  for (const auto& path : shards) load_shard(path);
+}
+
+void ResultStore::load_shard(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  // One sized read, not a byte-iterator loop: a warm resume over a
+  // million-trial store opens tens of MB of shards and this is its cost.
+  std::error_code ec;
+  const auto file_size = std::filesystem::file_size(path, ec);
+  if (ec) return;
+  std::vector<std::uint8_t> bytes(file_size);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  bytes.resize(static_cast<std::size_t>(std::max<std::streamsize>(
+      in.gcount(), 0)));
+  ++shard_files_;
+  util::ByteReader header(bytes);
+  if (header.u32() != kShardMagic || header.u32() != kShardVersion ||
+      !header.ok()) {
+    // Foreign or future-format file: skip it whole (counted as dropped so
+    // the condition is visible, but never fatal — resume just recomputes).
+    ++dropped_;
+    return;
+  }
+  std::size_t offset = kHeaderBytes;
+  while (offset + kRecordBytes <= bytes.size()) {
+    const std::span<const std::uint8_t> payload{bytes.data() + offset,
+                                                kPayloadBytes};
+    util::ByteReader tail(
+        {bytes.data() + offset + kPayloadBytes, std::size_t{4}});
+    if (tail.u32() != util::checksum32(payload)) {
+      // Torn or corrupt record: everything after it in this shard is
+      // suspect (appends are sequential), so stop reading the file.
+      ++dropped_;
+      return;
+    }
+    util::ByteReader r(payload);
+    TrialKey key;
+    key.fingerprint = r.u64();
+    key.seed = r.u64();
+    key.trial = r.u32();
+    TrialStats stats;
+    stats.converged = r.u8() != 0;
+    stats.rounds = r.f64();
+    stats.winner = r.u32();
+    stats.winner_quality = r.f64();
+    stats.recruitments = r.f64();
+    index_.insert_or_assign(key, stats);
+    offset += kRecordBytes;
+  }
+  if (offset != bytes.size()) ++dropped_;  // trailing partial record
+}
+
+const TrialStats* ResultStore::find(const TrialKey& key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &it->second;
+}
+
+std::unique_ptr<ResultStore::ShardWriter> ResultStore::open_shard() {
+  const std::lock_guard<std::mutex> lock(shard_mutex_);
+  std::filesystem::path path;
+  do {
+    char name[64];
+    std::snprintf(name, sizeof(name), "shard-%016llx-%04u%s",
+                  static_cast<unsigned long long>(session_), next_shard_++,
+                  kShardExtension);
+    path = dir_ / name;
+  } while (std::filesystem::exists(path));
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) {
+    throw std::runtime_error("result store: cannot create shard " +
+                             path.string());
+  }
+  std::vector<std::uint8_t> header;
+  util::put_u32(header, kShardMagic);
+  util::put_u32(header, kShardVersion);
+  out.write(reinterpret_cast<const char*>(header.data()),
+            static_cast<std::streamsize>(header.size()));
+  out.flush();
+  return std::unique_ptr<ShardWriter>(new ShardWriter(std::move(out)));
+}
+
+ResultStore::ShardWriter::ShardWriter(std::ofstream out)
+    : out_(std::move(out)) {
+  buffer_.reserve(kRecordBytes);
+}
+
+void ResultStore::ShardWriter::append(const TrialKey& key,
+                                      const TrialStats& stats) {
+  buffer_.clear();
+  encode_payload(buffer_, key, stats);
+  HH_ASSERT(buffer_.size() == kPayloadBytes);
+  util::put_u32(buffer_, util::checksum32(buffer_));
+  out_.write(reinterpret_cast<const char*>(buffer_.data()),
+             static_cast<std::streamsize>(buffer_.size()));
+}
+
+void ResultStore::ShardWriter::flush() {
+  out_.flush();
+  // A write failure (disk full, quota) never corrupts results — the
+  // in-memory batch is complete regardless — but it must not be silent:
+  // the lost records mean the next resume recomputes them.
+  if (!out_.good() && !write_failed_) {
+    write_failed_ = true;
+    std::fprintf(stderr,
+                 "result store: shard write failed (disk full?); results "
+                 "are intact but this run's records will not resume\n");
+  }
+}
+
+ResultStore::ShardWriter::~ShardWriter() { flush(); }
+
+}  // namespace hh::analysis

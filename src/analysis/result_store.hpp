@@ -1,0 +1,123 @@
+// Sharded, append-only on-disk store of completed trial results — the
+// substrate of resumable million-trial sweeps (Runner::run_resumable).
+//
+// A store is a directory of shard files. Each worker thread of a resumable
+// run appends fixed-size binary records to its OWN shard (no lock on the
+// hot path); opening the store scans every shard and builds an in-memory
+// index keyed by (scenario fingerprint, trial index, trial seed). A cell
+// found in the index is never re-run — and because a trial's result is a
+// pure function of (scenario, seed), a batch reconstructed from any mix of
+// cached and fresh cells is bit-identical to a cold run at any thread
+// count. Kill the process at any point, rerun the same command, and the
+// aggregate cannot change.
+//
+// Durability model: records are framed with a per-record checksum, so a
+// shard torn mid-record by a crash (or mid-write kill) loses only its
+// unflushed tail — the valid prefix is recovered and the lost cells are
+// simply recomputed on resume. See DESIGN.md §4 for the format.
+#ifndef HH_ANALYSIS_RESULT_STORE_HPP
+#define HH_ANALYSIS_RESULT_STORE_HPP
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "analysis/scenario.hpp"
+
+namespace hh::analysis {
+
+/// Identity of one sweep cell: which scenario (by content fingerprint, not
+/// name), which trial slot, and which seed that slot resolved to. The seed
+/// is part of the key so a scenario reused at a different sweep position
+/// (where trial_seed differs) can never alias a cached record.
+struct TrialKey {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t seed = 0;
+  std::uint32_t trial = 0;
+
+  [[nodiscard]] bool operator==(const TrialKey&) const = default;
+};
+
+struct TrialKeyHash {
+  [[nodiscard]] std::size_t operator()(const TrialKey& key) const;
+};
+
+/// Content fingerprint of a scenario: a stable 64-bit hash over every
+/// field that determines a trial's outcome — algorithm name, colony size,
+/// qualities, round caps, stability/tolerance, noise, faults, pairing,
+/// skip probability, and algorithm params.
+///
+/// Deliberately EXCLUDED: the display name and axes (presentation only),
+/// config.seed (overwritten per trial; the trial seed is in the key),
+/// record_trajectories and enforce_model (side-effect-free — they never
+/// change TrialStats), and config.engine (the §1 equivalence contract
+/// makes scalar and packed runs bit-identical, so they share cache).
+[[nodiscard]] std::uint64_t scenario_fingerprint(const Scenario& scenario);
+
+class ResultStore {
+ public:
+  /// Open (creating the directory if needed) and index every shard.
+  /// Records with bad checksums and torn tails are dropped (counted in
+  /// dropped_records()); whole files with a bad header are skipped.
+  explicit ResultStore(std::filesystem::path directory);
+
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  /// The cached result for `key`, or nullptr. Safe to call concurrently
+  /// with other find()s (the index is immutable after construction).
+  [[nodiscard]] const TrialStats* find(const TrialKey& key) const;
+
+  /// Indexed records / shard files scanned / invalid records dropped.
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+  [[nodiscard]] std::size_t shard_files() const { return shard_files_; }
+  [[nodiscard]] std::size_t dropped_records() const { return dropped_; }
+  [[nodiscard]] const std::filesystem::path& directory() const { return dir_; }
+
+  /// Append-only writer over one worker-private shard file. Not
+  /// thread-safe — one writer per worker. flush() pushes buffered records
+  /// to the OS (so they survive a SIGKILL of this process); the
+  /// destructor flushes too. A failed write (disk full) is reported to
+  /// stderr once and exposed via write_failed() — the run's RESULTS stay
+  /// correct either way; only resumability of this run's cells is lost.
+  class ShardWriter {
+   public:
+    void append(const TrialKey& key, const TrialStats& stats);
+    void flush();
+    [[nodiscard]] bool write_failed() const { return write_failed_; }
+    ~ShardWriter();
+
+   private:
+    friend class ResultStore;
+    ShardWriter(std::ofstream out);
+
+    std::ofstream out_;
+    std::vector<std::uint8_t> buffer_;  // reused per record
+    bool write_failed_ = false;
+  };
+
+  /// Create a new shard file for one worker. Thread-safe (file naming is
+  /// serialized); the returned writer itself is single-threaded.
+  [[nodiscard]] std::unique_ptr<ShardWriter> open_shard();
+
+ private:
+  void load_shard(const std::filesystem::path& path);
+
+  std::filesystem::path dir_;
+  std::unordered_map<TrialKey, TrialStats, TrialKeyHash> index_;
+  std::size_t shard_files_ = 0;
+  std::size_t dropped_ = 0;
+
+  std::mutex shard_mutex_;      // guards shard file creation only
+  std::uint64_t session_ = 0;   // per-open nonce, keeps shard names unique
+  unsigned next_shard_ = 0;
+};
+
+}  // namespace hh::analysis
+
+#endif  // HH_ANALYSIS_RESULT_STORE_HPP

@@ -3,13 +3,22 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <limits>
 #include <mutex>
+#include <numeric>
 #include <stdexcept>
 #include <thread>
 
+#include "analysis/result_store.hpp"
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 
 namespace hh::analysis {
+
+unsigned resolve_threads(unsigned threads) {
+  return threads != 0 ? threads
+                      : std::max(1u, std::thread::hardware_concurrency());
+}
 
 std::uint64_t trial_seed(std::uint64_t base_seed, std::size_t scenario,
                          std::size_t trial) {
@@ -19,28 +28,35 @@ std::uint64_t trial_seed(std::uint64_t base_seed, std::size_t scenario,
                         scenario, trial);
 }
 
-void parallel_for_index(std::size_t count, unsigned threads,
-                        const std::function<void(std::size_t)>& body) {
+void parallel_for_chunks(
+    std::size_t count, unsigned threads, std::size_t chunk,
+    const std::function<void(std::size_t worker, std::size_t begin,
+                             std::size_t end)>& body) {
   if (count == 0) return;
+  HH_EXPECTS(chunk >= 1);
+  const std::size_t chunks = (count + chunk - 1) / chunk;
   const std::size_t workers =
-      std::min<std::size_t>(threads == 0 ? 1 : threads, count);
+      std::min<std::size_t>(resolve_threads(threads), chunks);
+  const auto block = [&](std::size_t worker, std::size_t c) {
+    body(worker, c * chunk, std::min(count, (c + 1) * chunk));
+  };
   if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+    for (std::size_t c = 0; c < chunks; ++c) block(0, c);
     return;
   }
   std::atomic<std::size_t> next{0};
   std::atomic<bool> stop{false};
   std::mutex error_mutex;
   std::exception_ptr first_error;
-  auto work = [&] {
+  auto work = [&](std::size_t worker) {
     // Fail fast: once any cell throws, remaining workers stop claiming
     // (a sweep-wide error like an unknown algorithm name would otherwise
     // pay the full trials x scenarios cost before reporting).
     while (!stop.load(std::memory_order_relaxed)) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
       try {
-        body(i);
+        block(worker, c);
       } catch (...) {
         stop.store(true, std::memory_order_relaxed);
         const std::lock_guard<std::mutex> lock(error_mutex);
@@ -51,7 +67,7 @@ void parallel_for_index(std::size_t count, unsigned threads,
   std::vector<std::thread> pool;
   pool.reserve(workers);
   try {
-    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work, w);
   } catch (...) {
     // Thread spawn failed partway (resource limit): stop and join what
     // started, then surface the error instead of std::terminate.
@@ -63,19 +79,104 @@ void parallel_for_index(std::size_t count, unsigned threads,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void parallel_for_index(std::size_t count, unsigned threads,
+                        const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(count, threads, 1,
+                      [&body](std::size_t /*worker*/, std::size_t begin,
+                              std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) body(i);
+                      });
+}
+
 TrialStats run_scenario_trial(const Scenario& scenario, std::uint64_t seed) {
   return to_trial_stats(scenario.make_simulation(seed)->run());
 }
 
-Runner::Runner(RunnerOptions options)
-    : threads_(options.threads != 0 ? options.threads
-                                    : std::max(1u,
-                                               std::thread::
-                                                   hardware_concurrency())) {}
+TrialStats TrialArena::run(const Scenario& scenario, std::uint64_t seed) {
+  // Reset-and-rerun when the held simulation is for this very scenario
+  // object and its engine supports in-place reset; reconstruct otherwise.
+  // Both paths are bit-identical (core::Simulation::reset's contract).
+  if (simulation_ != nullptr && scenario_ == &scenario &&
+      simulation_->reset(seed)) {
+    ++resets_;
+  } else {
+    simulation_ = scenario.make_simulation(seed);
+    scenario_ = &scenario;
+    ++builds_;
+  }
+  return to_trial_stats(simulation_->run());
+}
 
-BatchResult Runner::run(const std::vector<Scenario>& scenarios,
-                        std::size_t trials, std::uint64_t base_seed) const {
-  auto cells = map(scenarios, trials, base_seed, run_scenario_trial);
+Runner::Runner(RunnerOptions options)
+    : threads_(resolve_threads(options.threads)) {}
+
+BatchResult Runner::run_cells(const std::vector<Scenario>& scenarios,
+                              std::size_t trials, std::uint64_t base_seed,
+                              ResultStore* store, ResumeReport* report) const {
+  const std::size_t cell_count = scenarios.size() * trials;
+  std::vector<TrialStats> cells(cell_count);
+  // The cells still to execute, in deterministic (scenario-major) order —
+  // consecutive entries usually share a scenario, which is what makes the
+  // per-worker arena's reset-and-rerun path hit.
+  std::vector<std::size_t> todo;
+  std::vector<std::uint64_t> fingerprints;
+  if (store != nullptr) {
+    fingerprints.reserve(scenarios.size());
+    for (const Scenario& scenario : scenarios) {
+      fingerprints.push_back(scenario_fingerprint(scenario));
+    }
+    todo.reserve(cell_count);
+    for (std::size_t i = 0; i < cell_count; ++i) {
+      const std::size_t s = i / trials;
+      const std::size_t t = i % trials;
+      const TrialKey key{fingerprints[s], trial_seed(base_seed, s, t),
+                         static_cast<std::uint32_t>(t)};
+      if (const TrialStats* hit = store->find(key)) {
+        cells[i] = *hit;
+      } else {
+        todo.push_back(i);
+      }
+    }
+  } else {
+    todo.resize(cell_count);
+    std::iota(todo.begin(), todo.end(), std::size_t{0});
+  }
+  if (report != nullptr) {
+    report->cells_total = cell_count;
+    report->cells_run = todo.size();
+    report->cells_cached = cell_count - todo.size();
+  }
+
+  // Small-n trial batching: claim a block of cells per atomic increment so
+  // short trials aren't dominated by claim traffic, but keep blocks small
+  // enough that the tail stays balanced across workers. Each worker owns a
+  // TrialArena (simulation reuse) and, when persisting, a private store
+  // shard it flushes after every block — the post-kill recovery point.
+  const std::size_t chunk = std::clamp<std::size_t>(
+      todo.size() / (static_cast<std::size_t>(threads_) * 8), 1, 64);
+  std::vector<TrialArena> arenas(threads_);
+  std::vector<std::unique_ptr<ResultStore::ShardWriter>> writers(threads_);
+  parallel_for_chunks(
+      todo.size(), threads_, chunk,
+      [&](std::size_t worker, std::size_t begin, std::size_t end) {
+        TrialArena& arena = arenas[worker];
+        auto& writer = writers[worker];
+        for (std::size_t j = begin; j < end; ++j) {
+          const std::size_t cell = todo[j];
+          const std::size_t s = cell / trials;
+          const std::size_t t = cell % trials;
+          const std::uint64_t seed = trial_seed(base_seed, s, t);
+          cells[cell] = arena.run(scenarios[s], seed);
+          if (store != nullptr) {
+            if (writer == nullptr) writer = store->open_shard();
+            writer->append(TrialKey{fingerprints[s], seed,
+                                    static_cast<std::uint32_t>(t)},
+                           cells[cell]);
+          }
+        }
+        if (writer != nullptr) writer->flush();
+      });
+
   BatchResult batch;
   batch.trials_per_scenario = trials;
   batch.base_seed = base_seed;
@@ -83,16 +184,36 @@ BatchResult Runner::run(const std::vector<Scenario>& scenarios,
   for (std::size_t s = 0; s < scenarios.size(); ++s) {
     ScenarioResult result;
     result.scenario = scenarios[s];
-    result.trials = std::move(cells[s]);
+    result.trials.assign(cells.begin() + static_cast<std::ptrdiff_t>(s * trials),
+                         cells.begin() +
+                             static_cast<std::ptrdiff_t>((s + 1) * trials));
     result.aggregate = aggregate(result.trials);
     batch.results.push_back(std::move(result));
   }
   return batch;
 }
 
+BatchResult Runner::run(const std::vector<Scenario>& scenarios,
+                        std::size_t trials, std::uint64_t base_seed) const {
+  return run_cells(scenarios, trials, base_seed, nullptr, nullptr);
+}
+
 BatchResult Runner::run(const SweepSpec& spec, std::size_t trials,
                         std::uint64_t base_seed) const {
   return run(spec.expand(), trials, base_seed);
+}
+
+BatchResult Runner::run_resumable(const std::vector<Scenario>& scenarios,
+                                  std::size_t trials, std::uint64_t base_seed,
+                                  ResultStore& store,
+                                  ResumeReport* report) const {
+  return run_cells(scenarios, trials, base_seed, &store, report);
+}
+
+BatchResult Runner::run_resumable(const SweepSpec& spec, std::size_t trials,
+                                  std::uint64_t base_seed, ResultStore& store,
+                                  ResumeReport* report) const {
+  return run_resumable(spec.expand(), trials, base_seed, store, report);
 }
 
 const ScenarioResult& BatchResult::at(std::string_view name) const {
@@ -104,14 +225,21 @@ const ScenarioResult& BatchResult::at(std::string_view name) const {
 
 namespace {
 
-/// Axis columns for tidy output: the first scenario's axes minus the
-/// algorithm axis (already covered by the algorithm string column).
+/// Axis columns for tidy output: the UNION of every scenario's axes in
+/// first-appearance order, minus the algorithm axis (already covered by
+/// the algorithm string column). Taking only the first scenario's axes
+/// used to silently report heterogeneous batches wrong — a scenario's
+/// value for an axis it never swept would render as 0.
 std::vector<std::string> tidy_axis_names(
     const std::vector<ScenarioResult>& results) {
   std::vector<std::string> names;
-  if (results.empty()) return names;
-  for (const AxisValue& axis : results.front().scenario.axes) {
-    if (axis.axis != "algorithm") names.push_back(axis.axis);
+  for (const ScenarioResult& result : results) {
+    for (const AxisValue& axis : result.scenario.axes) {
+      if (axis.axis == "algorithm") continue;
+      if (std::find(names.begin(), names.end(), axis.axis) == names.end()) {
+        names.push_back(axis.axis);
+      }
+    }
   }
   return names;
 }
@@ -147,10 +275,11 @@ std::vector<std::vector<double>> BatchResult::tidy_rows() const {
     const ScenarioResult& result = results[s];
     const Aggregate& agg = result.aggregate;
     std::vector<double> row = {static_cast<double>(s)};
-    // Align with tidy_csv_header: values of the first scenario's axes
-    // (shared across one sweep; absent axes read as 0).
+    // Align with tidy_csv_header: the union axes, NaN where this scenario
+    // never swept the axis (0 would masquerade as a real coordinate).
     for (const std::string& axis : axes) {
-      row.push_back(result.scenario.axis_value(axis));
+      row.push_back(result.scenario.axis_value(
+          axis, std::numeric_limits<double>::quiet_NaN()));
     }
     row.insert(row.end(),
                {static_cast<double>(agg.trials), agg.convergence_rate,
@@ -170,7 +299,12 @@ util::Table BatchResult::tidy_table() const {
         .cell(result.scenario.name)
         .cell(result.scenario.algorithm);
     for (const std::string& axis : axes) {
-      table.num(result.scenario.axis_value(axis), 3);
+      // Blank cell for an axis this scenario never swept.
+      if (result.scenario.has_axis(axis)) {
+        table.num(result.scenario.axis_value(axis), 3);
+      } else {
+        table.cell("");
+      }
     }
     table.num(static_cast<std::uint64_t>(agg.trials))
         .num(100.0 * agg.convergence_rate, 1)

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <type_traits>
@@ -24,10 +25,19 @@
 
 namespace hh::analysis {
 
+class ResultStore;
+
 struct RunnerOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   unsigned threads = 0;
 };
+
+/// THE resolution of the threads=0 default, shared by Runner and the free
+/// parallel loops: 0 means std::thread::hardware_concurrency() (at least
+/// 1), anything else is taken literally. There is exactly one place this
+/// policy lives — a caller passing RunnerOptions{.threads = 0} through any
+/// path gets all cores, never a silent serial run.
+[[nodiscard]] unsigned resolve_threads(unsigned threads);
 
 /// Deterministic seed for trial `trial` of scenario `scenario` under
 /// `base_seed` (stable across thread counts, platforms, and releases).
@@ -35,12 +45,57 @@ struct RunnerOptions {
                                        std::size_t scenario,
                                        std::size_t trial);
 
-/// Run body(0..count-1) across `threads` workers (serially when threads
-/// <= 1). Indices are claimed from an atomic counter; the body must write
-/// only to its own index's state. The first exception thrown by any body
-/// is rethrown on the caller after all workers join.
+/// Run body(0..count-1) across resolve_threads(threads) workers (serially
+/// when that is 1). Indices are claimed from an atomic counter; the body
+/// must write only to its own index's state. The first exception thrown by
+/// any body is rethrown on the caller after all workers join.
 void parallel_for_index(std::size_t count, unsigned threads,
                         const std::function<void(std::size_t)>& body);
+
+/// Chunked, worker-aware variant: workers claim `chunk`-sized index blocks
+/// from an atomic counter and invoke body(worker, begin, end) per block.
+/// `worker` is a dense id in [0, workers) — the hook for per-worker state
+/// (arenas, shard writers) that must never be shared across threads.
+/// Work-claiming order is nondeterministic; deterministic programs must
+/// make body(w, i, j) write only to slots [i, j). Exceptions propagate as
+/// in parallel_for_index.
+void parallel_for_chunks(
+    std::size_t count, unsigned threads, std::size_t chunk,
+    const std::function<void(std::size_t worker, std::size_t begin,
+                             std::size_t end)>& body);
+
+/// One worker's reusable trial state: holds the last trial's Simulation
+/// and, when the engine supports it, reruns the next trial of the same
+/// scenario by reset-and-rerun instead of reconstructing — amortizing the
+/// per-trial construction cost (env buffers, pack lanes, ~10ns/ant) away
+/// across a worker's trials. Falls back to construction transparently
+/// (different scenario, or a non-resettable engine), so results are
+/// bit-identical either way. Not thread-safe: one arena per worker.
+class TrialArena {
+ public:
+  /// Run one trial of `scenario` under `seed`. The reference must stay
+  /// valid and the scenario unmutated while the arena may reuse it
+  /// (reuse is keyed on the scenario's address).
+  [[nodiscard]] TrialStats run(const Scenario& scenario, std::uint64_t seed);
+
+  /// Trials served by in-place reset vs fresh construction (for benches).
+  [[nodiscard]] std::uint64_t resets() const { return resets_; }
+  [[nodiscard]] std::uint64_t builds() const { return builds_; }
+
+ private:
+  const Scenario* scenario_ = nullptr;
+  std::unique_ptr<core::Simulation> simulation_;
+  std::uint64_t resets_ = 0;
+  std::uint64_t builds_ = 0;
+};
+
+/// What run_resumable did: how many cells the sweep had, how many were
+/// served from the store, and how many were actually executed.
+struct ResumeReport {
+  std::size_t cells_total = 0;
+  std::size_t cells_cached = 0;
+  std::size_t cells_run = 0;
+};
 
 /// One scenario's outcome: the per-trial stats (trial order, not
 /// completion order) and their aggregate.
@@ -61,8 +116,10 @@ struct BatchResult {
   [[nodiscard]] const ScenarioResult& at(std::string_view name) const;
 
   /// Long-format header for tidy_table(): scenario, algorithm, axes...,
-  /// then the standard aggregate columns. Axis names are taken from the
-  /// first scenario.
+  /// then the standard aggregate columns. Axis names are the UNION of all
+  /// scenarios' axes in first-appearance order — a heterogeneous batch
+  /// (scenarios from different sweeps) reports every axis; a scenario
+  /// lacking one shows NaN (rows/CSV) or a blank cell (table).
   [[nodiscard]] std::vector<std::string> tidy_header() const;
   /// Header aligned with tidy_rows() (all-numeric columns) — pair THESE
   /// two for write_csv.
@@ -92,6 +149,26 @@ class Runner {
   [[nodiscard]] BatchResult run(const SweepSpec& spec, std::size_t trials,
                                 std::uint64_t base_seed) const;
 
+  /// Checkpointed path for long sweeps: every (scenario, trial) cell
+  /// already present in `store` — keyed by (scenario_fingerprint, trial,
+  /// trial_seed) — is served from disk; only the missing cells run, each
+  /// worker appending its fresh results to a private store shard as it
+  /// goes (no lock on the hot path). The returned BatchResult is
+  /// BIT-IDENTICAL to what run() would produce cold, for ANY mix of
+  /// cached and fresh cells and any thread count — interrupt the process
+  /// anywhere, rerun the same command, and the aggregate cannot change
+  /// (tests/test_resume.cpp pins this at 1/2/8 threads against torn
+  /// shards). `report`, when non-null, receives the cached/run split.
+  [[nodiscard]] BatchResult run_resumable(
+      const std::vector<Scenario>& scenarios, std::size_t trials,
+      std::uint64_t base_seed, ResultStore& store,
+      ResumeReport* report = nullptr) const;
+  [[nodiscard]] BatchResult run_resumable(const SweepSpec& spec,
+                                          std::size_t trials,
+                                          std::uint64_t base_seed,
+                                          ResultStore& store,
+                                          ResumeReport* report = nullptr) const;
+
   /// Generic path: evaluate fn(scenario, seed) for every (scenario, trial)
   /// cell in parallel and return the results in deterministic
   /// [scenario][trial] order. T must be default-constructible and must
@@ -120,6 +197,12 @@ class Runner {
   }
 
  private:
+  /// Shared executor of run()/run_resumable(): fills the cell matrix from
+  /// `store` (when given) and the workers, then aggregates.
+  BatchResult run_cells(const std::vector<Scenario>& scenarios,
+                        std::size_t trials, std::uint64_t base_seed,
+                        ResultStore* store, ResumeReport* report) const;
+
   unsigned threads_;
 };
 

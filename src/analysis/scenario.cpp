@@ -42,6 +42,13 @@ double Scenario::axis_value(std::string_view axis, double fallback) const {
   return fallback;
 }
 
+bool Scenario::has_axis(std::string_view axis) const {
+  for (const AxisValue& v : axes) {
+    if (v.axis == axis) return true;
+  }
+  return false;
+}
+
 std::string_view Scenario::axis_label(std::string_view axis) const {
   for (const AxisValue& v : axes) {
     if (v.axis == axis) return v.label;

@@ -58,6 +58,10 @@ struct Scenario {
   [[nodiscard]] double axis_value(std::string_view axis,
                                   double fallback = 0.0) const;
 
+  /// Whether this scenario swept `axis` at all (distinguishes a genuine
+  /// coordinate from axis_value's fallback).
+  [[nodiscard]] bool has_axis(std::string_view axis) const;
+
   /// Display label of a swept axis point ("" if absent or unlabeled).
   [[nodiscard]] std::string_view axis_label(std::string_view axis) const;
 

@@ -46,6 +46,7 @@
 #include "analysis/experiment.hpp"
 #include "analysis/metrics.hpp"
 #include "analysis/report.hpp"
+#include "analysis/result_store.hpp"
 #include "analysis/runner.hpp"
 #include "analysis/scenario.hpp"
 #include "core/ant.hpp"

@@ -29,39 +29,58 @@ class SimpleFamilyPack final : public AntPack {
   SimpleFamilyPack(AlgorithmKind kind, std::uint32_t num_ants,
                    std::uint32_t num_nests, std::uint64_t colony_seed,
                    const AlgorithmParams& params)
-      : kind_(kind), uniform_prob_(params.uniform_recruit_prob) {
+      : kind_(kind),
+        uniform_prob_(params.uniform_recruit_prob),
+        n_estimate_error_(params.n_estimate_error) {
     HH_EXPECTS(num_ants >= 1);
-    census_.assign(num_nests + 1, 0);
-    census_[env::kHomeNest] = num_ants;
+    census_.resize(num_nests + 1);
     const std::size_t n = num_ants;
-    rng_.reserve(n);
-    believed_n_.reserve(n);
-    for (env::AntId a = 0; a < num_ants; ++a) {
-      // Identical stream derivation to make_colony (colony.cpp).
-      rng_.emplace_back(util::mix_seed(colony_seed, a, 0xA17));
-      // uniform-recruit ignores n and, like its per-object factory, does
-      // not draw a belief; the others draw iff the error is positive.
-      believed_n_.push_back(
-          kind == AlgorithmKind::kUniformRecruit
-              ? num_ants
-              : believed_n(num_ants, params.n_estimate_error, rng_.back()));
-    }
-    active_.assign(n, 1);  // initially active (Algorithm 3, line 1)
-    nest_.assign(n, env::kHomeNest);
-    count_.assign(n, 0);
-    quality_.assign(n, 0.0);
+    rng_.resize(n, util::Rng(0));
+    believed_n_.resize(n);
+    active_.resize(n);
+    nest_.resize(n);
+    count_.resize(n);
+    quality_.resize(n);
     round_targets_.reserve(n);  // quiet rounds must not allocate
     if (kind_ == AlgorithmKind::kRateBoosted) {
-      initial_k_.assign(n, 0.0);
-      halving_period_.reserve(n);
-      for (std::size_t a = 0; a < n; ++a) {
+      initial_k_.resize(n);
+      halving_period_.resize(n);
+    }
+    const bool did_reset = reset(colony_seed);
+    HH_ASSERT(did_reset);
+  }
+
+  bool reset(std::uint64_t colony_seed) override {
+    const auto num_ants = static_cast<std::uint32_t>(rng_.size());
+    std::fill(census_.begin(), census_.end(), 0u);
+    census_[env::kHomeNest] = num_ants;
+    phase_ = Phase::kInit;
+    for (env::AntId a = 0; a < num_ants; ++a) {
+      // Identical stream derivation to make_colony (colony.cpp).
+      rng_[a].reseed(util::mix_seed(colony_seed, a, 0xA17));
+      // uniform-recruit ignores n and, like its per-object factory, does
+      // not draw a belief; the others draw iff the error is positive.
+      believed_n_[a] =
+          kind_ == AlgorithmKind::kUniformRecruit
+              ? num_ants
+              : believed_n(num_ants, n_estimate_error_, rng_[a]);
+    }
+    std::fill(active_.begin(), active_.end(),
+              std::uint8_t{1});  // initially active (Algorithm 3, line 1)
+    std::fill(nest_.begin(), nest_.end(), env::kHomeNest);
+    std::fill(count_.begin(), count_.end(), 0u);
+    std::fill(quality_.begin(), quality_.end(), 0.0);
+    if (kind_ == AlgorithmKind::kRateBoosted) {
+      std::fill(initial_k_.begin(), initial_k_.end(), 0.0);
+      for (std::size_t a = 0; a < num_ants; ++a) {
         // Mirror of RateBoostedAnt's constructor (tau from the believed n).
-        halving_period_.push_back(std::max<std::uint32_t>(
+        halving_period_[a] = std::max<std::uint32_t>(
             8, static_cast<std::uint32_t>(
                    3.0 * std::log2(static_cast<double>(
-                             std::max(believed_n_[a], 2u))))));
+                             std::max(believed_n_[a], 2u)))));
       }
     }
+    return true;
   }
 
   [[nodiscard]] RoundShape round_shape(std::uint32_t /*round*/) const override {
@@ -247,6 +266,7 @@ class SimpleFamilyPack final : public AntPack {
 
   AlgorithmKind kind_;
   double uniform_prob_;
+  double n_estimate_error_;
   Phase phase_ = Phase::kInit;
 
   std::vector<std::uint32_t> census_;       // commitment census, maintained
@@ -276,16 +296,30 @@ class QuorumPack final : public AntPack {
         tandem_rate_(params.quorum_tandem_rate) {
     HH_EXPECTS(num_ants >= 1);
     HH_EXPECTS(tandem_rate_ >= 0.0 && tandem_rate_ <= 1.0);
-    rng_.reserve(num_ants);
-    for (env::AntId a = 0; a < num_ants; ++a) {
-      rng_.emplace_back(util::mix_seed(colony_seed, a, 0xA17));
-    }
-    stage_.assign(num_ants, static_cast<std::uint8_t>(Stage::kInit));
-    nest_.assign(num_ants, env::kHomeNest);
-    count_.assign(num_ants, 0);
-    census_.assign(num_nests + 1, 0);
-    census_[env::kHomeNest] = num_ants;
+    rng_.resize(num_ants, util::Rng(0));
+    stage_.resize(num_ants);
+    nest_.resize(num_ants);
+    count_.resize(num_ants);
+    census_.resize(num_nests + 1);
     round_targets_.reserve(num_ants);  // quiet rounds must not allocate
+    const bool did_reset = reset(colony_seed);
+    HH_ASSERT(did_reset);
+  }
+
+  bool reset(std::uint64_t colony_seed) override {
+    for (env::AntId a = 0; a < num_ants_; ++a) {
+      rng_[a].reseed(util::mix_seed(colony_seed, a, 0xA17));
+    }
+    std::fill(stage_.begin(), stage_.end(),
+              static_cast<std::uint8_t>(Stage::kInit));
+    std::fill(nest_.begin(), nest_.end(), env::kHomeNest);
+    std::fill(count_.begin(), count_.end(), 0u);
+    std::fill(census_.begin(), census_.end(), 0u);
+    census_[env::kHomeNest] = num_ants_;
+    init_done_ = false;
+    phase_ = Phase::kRecruit;
+    finalized_count_ = 0;
+    return true;
   }
 
   [[nodiscard]] RoundShape round_shape(std::uint32_t /*round*/) const override {
@@ -559,6 +593,8 @@ void AntPack::observe_go_counts(std::span<const std::uint32_t> /*counts*/,
                                 std::span<const double> /*qualities*/) {
   HH_ASSERT(false);  // only called for packs reporting kAllGo rounds
 }
+
+bool AntPack::reset(std::uint64_t /*colony_seed*/) { return false; }
 
 bool AntPack::finalized(env::AntId /*a*/) const { return false; }
 

@@ -116,6 +116,15 @@ class AntPack {
   /// finalized() scan when attributing tandem runs vs transports.
   [[nodiscard]] virtual bool any_finalized() const;
 
+  /// Rewind the whole colony to its pre-round-1 state under a new colony
+  /// seed, reusing every lane — per-ant RNG streams are re-derived exactly
+  /// as construction derives them (mix_seed(colony_seed, ant, 0xA17),
+  /// including the believed-n draw order), so a reset pack is
+  /// indistinguishable from a freshly built one. Returns false when the
+  /// pack does not support in-place reset (the caller reconstructs); the
+  /// built-in packs all return true. Allocation-free.
+  [[nodiscard]] virtual bool reset(std::uint64_t colony_seed);
+
   /// Colony size n.
   [[nodiscard]] virtual std::uint32_t size() const = 0;
 

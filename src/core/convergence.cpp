@@ -66,37 +66,54 @@ std::optional<env::NestId> current_agreement(const Colony& colony,
 bool ConvergenceDetector::update(const Colony& colony,
                                  const env::Environment& environment) {
   if (converged_) return true;
-  return apply(current_agreement(colony, environment, mode_, tolerance_),
-               environment);
+  return observe_agreement(
+      current_agreement(colony, environment, mode_, tolerance_),
+      environment.round());
 }
 
 bool ConvergenceDetector::update(std::span<const std::uint32_t> census,
                                  std::uint32_t correct_total,
                                  const env::Environment& environment) {
   if (converged_) return true;
-  return apply(
+  return observe_agreement(
       agreement_from_census(census, correct_total, environment, tolerance_),
-      environment);
+      environment.round());
 }
 
-bool ConvergenceDetector::apply(std::optional<env::NestId> agreement,
-                                const env::Environment& environment) {
-  if (!agreement.has_value() || *agreement != streak_nest_) {
-    streak_nest_ = agreement.value_or(env::kHomeNest);
-    streak_length_ = agreement.has_value() ? 1 : 0;
-    streak_start_ = environment.round();
-    if (agreement.has_value() && streak_length_ >= stability_rounds_ + 1) {
-      converged_ = true;
-      winner_ = *agreement;
-    }
-    return converged_;
+bool ConvergenceDetector::observe_agreement(
+    std::optional<env::NestId> agreement, std::uint32_t round) {
+  if (converged_) return true;
+  if (!agreement.has_value()) {
+    // The streak breaks; streak_start_ deliberately keeps its last value
+    // (decision_round() is only meaningful once converged, and an
+    // agreement-free round must not masquerade as a streak origin).
+    streak_nest_ = env::kHomeNest;
+    streak_length_ = 0;
+    return false;
   }
-  ++streak_length_;
+  if (*agreement != streak_nest_) {
+    // New streak — whether after a break (streak_nest_ == kHomeNest, which
+    // agreement_from_census never returns) or a flip to a different nest
+    // on the very next round. Either way it starts at this round.
+    streak_nest_ = *agreement;
+    streak_length_ = 1;
+    streak_start_ = round;
+  } else {
+    ++streak_length_;
+  }
   if (streak_length_ >= stability_rounds_ + 1) {
     converged_ = true;
     winner_ = streak_nest_;
   }
   return converged_;
+}
+
+void ConvergenceDetector::reset() {
+  converged_ = false;
+  winner_ = env::kHomeNest;
+  streak_nest_ = env::kHomeNest;
+  streak_length_ = 0;
+  streak_start_ = 0;
 }
 
 }  // namespace hh::core

@@ -76,6 +76,24 @@ class ConvergenceDetector {
               std::uint32_t correct_total,
               const env::Environment& environment);
 
+  /// The streak bookkeeping both update() overloads feed: `agreement` is
+  /// the round's agreed nest (nullopt = none), `round` the 1-based round
+  /// just completed. Exposed so the semantics can be pinned by
+  /// table-driven tests without building colonies. The rules:
+  ///   * no agreement  -> the streak breaks; streak state (including
+  ///     decision_round) is otherwise untouched;
+  ///   * a new nest    -> a fresh streak starts AT `round` (so
+  ///     decision_round() is the first round of the winning agreement);
+  ///   * the same nest -> the streak extends;
+  ///   * converged once the streak spans stability_rounds + 1 consecutive
+  ///     rounds (with the default stability 0, immediately). Sticky.
+  bool observe_agreement(std::optional<env::NestId> agreement,
+                         std::uint32_t round);
+
+  /// Forget everything (for arena reuse across trials); equivalent to a
+  /// freshly constructed detector with the same mode/stability/tolerance.
+  void reset();
+
   [[nodiscard]] bool converged() const { return converged_; }
   /// The winning nest (only meaningful once converged).
   [[nodiscard]] env::NestId winner() const { return winner_; }
@@ -84,9 +102,6 @@ class ConvergenceDetector {
   [[nodiscard]] ConvergenceMode mode() const { return mode_; }
 
  private:
-  bool apply(std::optional<env::NestId> agreement,
-             const env::Environment& environment);
-
   ConvergenceMode mode_;
   std::uint32_t stability_rounds_;
   double tolerance_;

@@ -30,12 +30,19 @@ std::vector<double> SimulationConfig::binary_qualities(std::uint32_t k,
 
 namespace {
 
+// Seed-derivation tags shared by construction and reset(): the two paths
+// must derive identical sub-seeds or reset-and-rerun would diverge from a
+// fresh construction.
+constexpr std::uint64_t kEnvSeedTag = 0xE1717;
+constexpr std::uint64_t kColonySeedTag = 0xC0107;
+constexpr std::uint64_t kSchedulerSeedTag = 0x5C4ED;
+
 env::EnvironmentConfig make_env_config(const SimulationConfig& config,
                                        bool trusted_engine) {
   env::EnvironmentConfig ec;
   ec.num_ants = config.num_ants;
   ec.qualities = config.qualities;
-  ec.seed = util::mix_seed(config.seed, 0xE1717);
+  ec.seed = util::mix_seed(config.seed, kEnvSeedTag);
   // The packed engine's FSMs are trusted (validation belongs to the
   // reference path); skipping it changes no observable output — the model
   // checks are side-effect-free — only speed.
@@ -46,7 +53,7 @@ env::EnvironmentConfig make_env_config(const SimulationConfig& config,
 }
 
 std::uint64_t colony_seed(const SimulationConfig& config) {
-  return util::mix_seed(config.seed, 0xC0107);
+  return util::mix_seed(config.seed, kColonySeedTag);
 }
 
 Colony build_colony(const SimulationConfig& config, AlgorithmKind kind,
@@ -127,7 +134,7 @@ Simulation::Simulation(const SimulationConfig& config, EngineParts engine,
            env::make_pairing_model(config.pairing),
            env::make_observation_model(config.noise)),
       scheduler_(env::make_scheduler(config.skip_probability)),
-      scheduler_rng_(util::mix_seed(config.seed, 0x5C4ED)),
+      scheduler_rng_(util::mix_seed(config.seed, kSchedulerSeedTag)),
       detector_(mode, config.stability_rounds, config.convergence_tolerance),
       max_rounds_(config.max_rounds ? config.max_rounds
                                     : auto_max_rounds(config)) {
@@ -157,6 +164,25 @@ Simulation::Simulation(const SimulationConfig& config, AlgorithmKind kind,
                  default_mode(kind)) {}
 
 Simulation::~Simulation() = default;
+
+bool Simulation::reset(std::uint64_t seed) {
+  // Only the packed engine resets: its state is plain lanes with a
+  // documented re-derivation. The per-object colony holds polymorphic
+  // ants (possibly wrapped in fault shims) with no reset contract.
+  if (!pack_) return false;
+  if (!pack_->reset(util::mix_seed(seed, kColonySeedTag))) return false;
+  // From here the reset cannot fail; every derivation mirrors the
+  // constructor's (make_env_config / colony_seed / scheduler seeds).
+  config_.seed = seed;
+  env_.reset(util::mix_seed(seed, kEnvSeedTag));
+  scheduler_rng_.reseed(util::mix_seed(seed, kSchedulerSeedTag));
+  detector_.reset();
+  total_recruitments_ = 0;
+  total_tandem_runs_ = 0;
+  total_transports_ = 0;
+  trajectories_ = Trajectories{};
+  return true;
+}
 
 bool Simulation::step() { return pack_ ? step_packed() : step_scalar(); }
 

@@ -150,6 +150,17 @@ class Simulation {
   /// Continues from the current round if step() was called before.
   [[nodiscard]] RunResult run();
 
+  /// Rewind this simulation to round 0 under a new master seed, reusing
+  /// every buffer (environment, pack lanes, detector) instead of
+  /// reconstructing — the arena-reuse path Runner workers use to amortize
+  /// per-trial construction away (DESIGN.md §4). A reset simulation is
+  /// BIT-IDENTICAL to a freshly constructed one with the same config and
+  /// `seed` (tests/test_resume.cpp pins this). Returns false — leaving the
+  /// simulation untouched — when the engine cannot reset in place (the
+  /// per-object path's polymorphic ants carry no reset hook); callers
+  /// reconstruct then.
+  [[nodiscard]] bool reset(std::uint64_t seed);
+
   // --- inspection ---
   [[nodiscard]] const env::Environment& environment() const { return env_; }
   /// The per-object colony. On the packed engine this holds no ants (the

@@ -1,5 +1,6 @@
 #include "env/environment.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "util/contracts.hpp"
@@ -35,6 +36,23 @@ Environment::Environment(EnvironmentConfig cfg,
   requests_.reserve(cfg_.num_ants);
   request_index_.assign(cfg_.num_ants, kNoRequest);
   pairing_scratch_.reserve(cfg_.num_ants);
+}
+
+void Environment::reset(std::uint64_t seed) {
+  // Mirror of the constructor's initial state, minus the allocations: the
+  // equivalence tests (tests/test_resume.cpp) pin reset-and-rerun to a
+  // fresh construction bit for bit.
+  cfg_.seed = seed;
+  rng_.reseed(seed);
+  round_ = 0;
+  all_at_home_ = false;
+  std::fill(location_.begin(), location_.end(), kHomeNest);
+  std::fill(count_.begin(), count_.end(), 0u);
+  count_[kHomeNest] = cfg_.num_ants;
+  std::fill(knowledge_.begin(), knowledge_.end(), std::uint8_t{0});
+  requests_.clear();
+  std::fill(request_index_.begin(), request_index_.end(), kNoRequest);
+  stats_ = RoundStats{};
 }
 
 NestId Environment::location(AntId a) const {

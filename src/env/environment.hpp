@@ -114,6 +114,14 @@ class Environment {
   /// One round in which every ant calls go(targets[a]).
   const std::vector<Outcome>& step_all_go(std::span<const NestId> targets);
 
+  /// Rewind to the pre-round-1 state under a new seed, reusing every
+  /// buffer: all ants home, counts/knowledge/stats cleared, round() == 0,
+  /// RNG reseeded. A reset environment is indistinguishable from a freshly
+  /// constructed one with `seed` in its config — the arena-reuse invariant
+  /// (DESIGN.md §4) that lets Runner workers rerun trials without paying
+  /// construction. Allocation-free.
+  void reset(std::uint64_t seed);
+
   // Quiet forms: under the EXACT observation model (no perception draws),
   // a round's return values are fully determined by the pairing and the
   // end-of-round counts — so these skip materializing the per-ant Outcome

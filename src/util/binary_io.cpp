@@ -1,0 +1,14 @@
+#include "util/binary_io.hpp"
+
+namespace hh::util {
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data, std::uint64_t seed) {
+  std::uint64_t hash = seed;
+  for (std::uint8_t byte : data) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace hh::util

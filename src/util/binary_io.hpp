@@ -1,0 +1,143 @@
+// Little-endian binary record codec + streaming FNV-1a hashing.
+//
+// The analysis layer's on-disk result store (analysis/result_store.hpp)
+// persists fixed-size trial records across processes and platforms, so the
+// encoding must be byte-stable: explicit little-endian integer layout,
+// IEEE-754 doubles via bit_cast, no struct memcpy (padding and endianness
+// would leak in). The same streaming hasher doubles as the scenario
+// fingerprint function and the per-record checksum.
+#ifndef HH_UTIL_BINARY_IO_HPP
+#define HH_UTIL_BINARY_IO_HPP
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace hh::util {
+
+// --- little-endian append encoding -----------------------------------------
+
+inline void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+inline void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+// --- bounds-checked sequential decoding -------------------------------------
+
+/// Reads the encoding above back. Out-of-bounds reads flip ok() to false
+/// and return 0 instead of throwing — a torn shard tail is an expected
+/// condition for the result store, not an error.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    if (!has(1)) return 0;
+    return data_[pos_++];
+  }
+
+  [[nodiscard]] std::uint32_t u32() {
+    if (!has(4)) return 0;
+    const std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) |
+                            static_cast<std::uint32_t>(data_[pos_ + 1]) << 8 |
+                            static_cast<std::uint32_t>(data_[pos_ + 2]) << 16 |
+                            static_cast<std::uint32_t>(data_[pos_ + 3]) << 24;
+    pos_ += 4;
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | hi << 32;
+  }
+
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+
+  /// False once any read ran past the end (all reads after that return 0).
+  [[nodiscard]] bool ok() const { return ok_; }
+  /// Bytes not yet consumed.
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+ private:
+  [[nodiscard]] bool has(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- streaming FNV-1a hashing ------------------------------------------------
+
+/// 64-bit FNV-1a over a byte range.
+[[nodiscard]] std::uint64_t fnv1a64(std::span<const std::uint8_t> data,
+                                    std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Streaming FNV-1a hasher with typed update helpers. Values are hashed in
+/// their little-endian encoding, so a Fnv64 digest equals fnv1a64 over the
+/// equivalent put_* byte stream — and is stable across platforms.
+class Fnv64 {
+ public:
+  void bytes(std::span<const std::uint8_t> data) {
+    hash_ = fnv1a64(data, hash_);
+  }
+  void u8(std::uint8_t v) { step(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) step(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  /// Length-prefixed, so consecutive strings can't alias ("ab","c" != "a","bc").
+  void str(std::string_view s) {
+    u64(s.size());
+    for (char c : s) step(static_cast<std::uint8_t>(c));
+  }
+
+  [[nodiscard]] std::uint64_t digest() const { return hash_; }
+
+ private:
+  void step(std::uint8_t byte) {
+    hash_ ^= byte;
+    hash_ *= 0x100000001b3ULL;
+  }
+
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+/// 32-bit checksum for record framing (folded 64-bit FNV-1a).
+[[nodiscard]] inline std::uint32_t checksum32(
+    std::span<const std::uint8_t> data) {
+  const std::uint64_t h = fnv1a64(data);
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+}  // namespace hh::util
+
+#endif  // HH_UTIL_BINARY_IO_HPP

@@ -173,6 +173,82 @@ TEST(ConvergenceDetector, StickyOnceConverged) {
   EXPECT_EQ(det.winner(), 1u);
 }
 
+// --- table-driven pinning of the streak bookkeeping -------------------------
+// observe_agreement() is fed one agreement per round (0 = none); expected
+// convergence round/winner/decision_round pin the semantics exactly —
+// including the stability_rounds == 0 immediate case, same-round flips,
+// and streaks broken by agreement-free rounds.
+
+struct StreakCase {
+  const char* label;
+  std::uint32_t stability_rounds;
+  /// Per round r = 1, 2, ...: the agreed nest, 0 for no agreement.
+  std::vector<env::NestId> agreements;
+  /// 0 = never converges; otherwise the 1-based round update() first
+  /// returns true.
+  std::uint32_t converges_at;
+  env::NestId winner;          ///< checked when converges_at != 0
+  std::uint32_t decision_round;  ///< first round of the winning streak
+};
+
+TEST(ConvergenceDetector, StreakBookkeepingTable) {
+  const std::vector<StreakCase> cases = {
+      {"immediate with stability 0", 0, {2}, 1, 2, 1},
+      {"gap then agreement, stability 0", 0, {0, 0, 3}, 3, 3, 3},
+      {"stability 2 needs three consecutive rounds", 2, {1, 1, 1}, 3, 1, 1},
+      {"flip restarts the streak", 1, {1, 2, 2}, 3, 2, 2},
+      {"flip on the very next round, stability 0", 0, {1, 2}, 1, 1, 1},
+      {"break by no-agreement restarts", 1, {1, 0, 1, 1}, 4, 1, 3},
+      {"same nest after a break is a NEW streak", 2, {2, 2, 0, 2, 2, 2}, 6, 2, 4},
+      {"alternating nests never satisfy stability 1", 1, {1, 2, 1, 2, 1, 2}, 0,
+       0, 0},
+      {"all empty never converges", 0, {0, 0, 0, 0}, 0, 0, 0},
+      {"stability longer than the trace", 3, {1, 1, 1}, 0, 0, 0},
+  };
+  for (const StreakCase& c : cases) {
+    ConvergenceDetector det(ConvergenceMode::kCommitment, c.stability_rounds);
+    std::uint32_t fired_at = 0;
+    for (std::uint32_t r = 1; r <= c.agreements.size(); ++r) {
+      const env::NestId nest = c.agreements[r - 1];
+      const bool converged = det.observe_agreement(
+          nest == 0 ? std::nullopt : std::optional<env::NestId>(nest), r);
+      if (converged && fired_at == 0) fired_at = r;
+    }
+    EXPECT_EQ(fired_at, c.converges_at) << c.label;
+    EXPECT_EQ(det.converged(), c.converges_at != 0) << c.label;
+    if (c.converges_at != 0) {
+      EXPECT_EQ(det.winner(), c.winner) << c.label;
+      EXPECT_EQ(det.decision_round(), c.decision_round) << c.label;
+    }
+  }
+}
+
+TEST(ConvergenceDetector, AgreementFreeRoundsDoNotTouchTheStreakStart) {
+  // Regression: the old bookkeeping stamped streak_start_ on EVERY
+  // transition, including rounds with no agreement at all. The streak
+  // origin must come only from a round that actually started a streak.
+  ConvergenceDetector det(ConvergenceMode::kCommitment, 1);
+  EXPECT_FALSE(det.observe_agreement(std::optional<env::NestId>(1), 1));
+  EXPECT_FALSE(det.observe_agreement(std::nullopt, 2));
+  EXPECT_FALSE(det.observe_agreement(std::optional<env::NestId>(1), 3));
+  EXPECT_TRUE(det.observe_agreement(std::optional<env::NestId>(1), 4));
+  EXPECT_EQ(det.decision_round(), 3u);  // the streak that won began at 3
+}
+
+TEST(ConvergenceDetector, ResetForgetsEverything) {
+  ConvergenceDetector det(ConvergenceMode::kCommitment, 1);
+  EXPECT_FALSE(det.observe_agreement(std::optional<env::NestId>(2), 1));
+  EXPECT_TRUE(det.observe_agreement(std::optional<env::NestId>(2), 2));
+  ASSERT_TRUE(det.converged());
+  det.reset();
+  EXPECT_FALSE(det.converged());
+  EXPECT_EQ(det.decision_round(), 0u);
+  // A reset detector needs a full fresh streak again.
+  EXPECT_FALSE(det.observe_agreement(std::optional<env::NestId>(1), 1));
+  EXPECT_TRUE(det.observe_agreement(std::optional<env::NestId>(1), 2));
+  EXPECT_EQ(det.winner(), 1u);
+}
+
 TEST(DefaultMode, MatchesAlgorithmSemantics) {
   EXPECT_EQ(default_mode(AlgorithmKind::kOptimal),
             ConvergenceMode::kCommitmentFinalized);

@@ -1,0 +1,215 @@
+// The sharded result store: record codec round-trips, fingerprint
+// sensitivity, and — the property resume correctness rests on — torn and
+// corrupt shards degrading to "recompute those cells", never to wrong data.
+#include "analysis/result_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "test_util.hpp"
+#include "util/binary_io.hpp"
+
+namespace hh::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+using test::TempDir;
+
+TrialStats sample_stats(std::uint32_t i) {
+  TrialStats stats;
+  stats.converged = (i % 2) == 0;
+  stats.rounds = 17.0 + i;
+  stats.winner = 1 + (i % 3);
+  stats.winner_quality = 1.0;
+  stats.recruitments = 1000.0 + i;
+  return stats;
+}
+
+TEST(ResultStore, RoundTripsRecordsAcrossReopen) {
+  const TempDir dir("roundtrip");
+  std::vector<TrialKey> keys;
+  {
+    ResultStore store(dir.path);
+    EXPECT_EQ(store.size(), 0u);
+    auto writer = store.open_shard();
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      keys.push_back(TrialKey{0xF00D + i, 0x5EED + i, i});
+      writer->append(keys.back(), sample_stats(i));
+    }
+    writer->flush();
+  }
+  ResultStore reopened(dir.path);
+  EXPECT_EQ(reopened.size(), 64u);
+  EXPECT_EQ(reopened.dropped_records(), 0u);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const TrialStats* hit = reopened.find(keys[i]);
+    ASSERT_NE(hit, nullptr);
+    const TrialStats want = sample_stats(i);
+    EXPECT_EQ(hit->converged, want.converged);
+    EXPECT_EQ(hit->rounds, want.rounds);
+    EXPECT_EQ(hit->winner, want.winner);
+    EXPECT_EQ(hit->winner_quality, want.winner_quality);
+    EXPECT_EQ(hit->recruitments, want.recruitments);
+  }
+  EXPECT_EQ(reopened.find(TrialKey{1, 2, 3}), nullptr);
+}
+
+TEST(ResultStore, MultipleShardsAllLoad) {
+  const TempDir dir("shards");
+  {
+    ResultStore store(dir.path);
+    auto a = store.open_shard();
+    auto b = store.open_shard();
+    a->append(TrialKey{1, 1, 0}, sample_stats(0));
+    b->append(TrialKey{2, 2, 0}, sample_stats(1));
+  }
+  ResultStore reopened(dir.path);
+  EXPECT_EQ(reopened.shard_files(), 2u);
+  EXPECT_EQ(reopened.size(), 2u);
+  EXPECT_NE(reopened.find(TrialKey{1, 1, 0}), nullptr);
+  EXPECT_NE(reopened.find(TrialKey{2, 2, 0}), nullptr);
+}
+
+TEST(ResultStore, TornShardTailIsDroppedNotFatal) {
+  const TempDir dir("torn");
+  fs::path shard;
+  {
+    ResultStore store(dir.path);
+    auto writer = store.open_shard();
+    for (std::uint32_t i = 0; i < 10; ++i) {
+      writer->append(TrialKey{7, 7, i}, sample_stats(i));
+    }
+  }
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    shard = entry.path();
+  }
+  // Simulate a mid-write kill: chop the file mid-record.
+  const auto full = fs::file_size(shard);
+  fs::resize_file(shard, full - 20);
+  ResultStore reopened(dir.path);
+  // The valid prefix survives; exactly the torn record is gone.
+  EXPECT_EQ(reopened.size(), 9u);
+  EXPECT_EQ(reopened.dropped_records(), 1u);
+  EXPECT_NE(reopened.find(TrialKey{7, 7, 0}), nullptr);
+  EXPECT_EQ(reopened.find(TrialKey{7, 7, 9}), nullptr);
+}
+
+TEST(ResultStore, CorruptByteInvalidatesOnlyThatShardSuffix) {
+  const TempDir dir("corrupt");
+  {
+    ResultStore store(dir.path);
+    auto writer = store.open_shard();
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      writer->append(TrialKey{9, 9, i}, sample_stats(i));
+    }
+  }
+  fs::path shard;
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    shard = entry.path();
+  }
+  // Flip one payload byte in the 4th record (header is 8 bytes, each
+  // record 53): the checksum must reject it and everything after it.
+  std::fstream f(shard, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(8 + 3 * 53 + 10);
+  const char evil = 0x42;
+  f.write(&evil, 1);
+  f.close();
+  ResultStore reopened(dir.path);
+  EXPECT_EQ(reopened.size(), 3u);
+  EXPECT_GE(reopened.dropped_records(), 1u);
+}
+
+TEST(ResultStore, ForeignFileWithBadHeaderIsSkipped) {
+  const TempDir dir("foreign");
+  fs::create_directories(dir.path);
+  std::ofstream(dir.path / "junk.hhrs") << "this is not a shard";
+  ResultStore store(dir.path);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.dropped_records(), 1u);
+}
+
+TEST(ScenarioFingerprint, SensitiveToOutcomeAffectingFields) {
+  const Scenario base = Scenario::of("a", core::AlgorithmKind::kSimple,
+                                     test::small_config(64, 4, 2));
+  const std::uint64_t fp = scenario_fingerprint(base);
+
+  Scenario other = base;
+  other.config.num_ants = 65;
+  EXPECT_NE(scenario_fingerprint(other), fp);
+
+  other = base;
+  other.algorithm = "quorum";
+  EXPECT_NE(scenario_fingerprint(other), fp);
+
+  other = base;
+  other.config.qualities[1] = 0.5;
+  EXPECT_NE(scenario_fingerprint(other), fp);
+
+  other = base;
+  other.config.stability_rounds = 3;
+  EXPECT_NE(scenario_fingerprint(other), fp);
+
+  other = base;
+  other.config.noise.count_sigma = 0.1;
+  EXPECT_NE(scenario_fingerprint(other), fp);
+
+  other = base;
+  other.params.n_estimate_error = 0.2;
+  EXPECT_NE(scenario_fingerprint(other), fp);
+}
+
+TEST(ScenarioFingerprint, InsensitiveToPresentationAndPerTrialFields) {
+  const Scenario base = Scenario::of("a", core::AlgorithmKind::kSimple,
+                                     test::small_config(64, 4, 2));
+  const std::uint64_t fp = scenario_fingerprint(base);
+
+  Scenario other = base;
+  other.name = "renamed/for/display";
+  other.axes.push_back({"n", 64.0, "64"});
+  EXPECT_EQ(scenario_fingerprint(other), fp);
+
+  // The per-trial seed is overwritten by the runner; it must not split
+  // the cache.
+  other = base;
+  other.config.seed = 999;
+  EXPECT_EQ(scenario_fingerprint(other), fp);
+
+  // Scalar and packed are bit-identical by the §1 equivalence contract,
+  // so they deliberately share cache entries.
+  other = base;
+  other.config.engine = core::EngineKind::kScalar;
+  EXPECT_EQ(scenario_fingerprint(other), fp);
+}
+
+TEST(BinaryIo, CodecRoundTripsAndDetectsTruncation) {
+  std::vector<std::uint8_t> bytes;
+  util::put_u8(bytes, 0xAB);
+  util::put_u32(bytes, 0xDEADBEEF);
+  util::put_u64(bytes, 0x0123456789ABCDEFULL);
+  util::put_f64(bytes, -0.25);
+  util::ByteReader r(bytes);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.f64(), -0.25);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+  (void)r.u32();  // past the end
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BinaryIo, StreamingHashMatchesBufferHash) {
+  std::vector<std::uint8_t> bytes;
+  util::put_u32(bytes, 77);
+  util::put_f64(bytes, 3.5);
+  util::Fnv64 h;
+  h.u32(77);
+  h.f64(3.5);
+  EXPECT_EQ(h.digest(), util::fnv1a64(bytes));
+}
+
+}  // namespace
+}  // namespace hh::analysis

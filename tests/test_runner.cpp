@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "test_util.hpp"
@@ -133,6 +135,53 @@ TEST(Runner, TidyOutputsAlignWithHeader) {
   // numeric axis column is n.
   EXPECT_EQ(header[1], "algorithm");
   EXPECT_EQ(header[2], "n");
+}
+
+TEST(Runner, TidyOutputsUnionAxesAcrossHeterogeneousScenarios) {
+  // Regression: axis columns used to come from the FIRST scenario only, so
+  // a batch mixing scenarios from different sweeps reported the other
+  // sweeps' axes as 0. The union must appear, with NaN marking a scenario
+  // that never swept an axis.
+  auto a = SweepSpec("size")
+               .base(test::small_config(32, 2, 1))
+               .colony_sizes({32, 64})
+               .expand();
+  const auto b = SweepSpec("noise")
+                     .base(test::small_config(32, 2, 1))
+                     .count_noise({0.0, 0.3})
+                     .expand();
+  a.insert(a.end(), b.begin(), b.end());
+  const auto batch = Runner(RunnerOptions{2}).run(a, 2, 5);
+
+  const auto header = batch.tidy_csv_header();
+  const auto n_col = std::find(header.begin(), header.end(), "n");
+  const auto sigma_col = std::find(header.begin(), header.end(), "count_sigma");
+  ASSERT_NE(n_col, header.end());
+  ASSERT_NE(sigma_col, header.end());
+  const auto n_index = static_cast<std::size_t>(n_col - header.begin());
+  const auto sigma_index = static_cast<std::size_t>(sigma_col - header.begin());
+
+  const auto rows = batch.tidy_rows();
+  ASSERT_EQ(rows.size(), 4u);
+  for (const auto& row : rows) ASSERT_EQ(row.size(), header.size());
+  // The size sweep has real n values but no count_sigma coordinate...
+  EXPECT_EQ(rows[0][n_index], 32.0);
+  EXPECT_EQ(rows[1][n_index], 64.0);
+  EXPECT_TRUE(std::isnan(rows[0][sigma_index]));
+  EXPECT_TRUE(std::isnan(rows[1][sigma_index]));
+  // ...and the noise sweep vice versa. In particular sigma=0.3 must NOT
+  // read as 0 for the size scenarios, nor n as 0 for the noise ones.
+  EXPECT_TRUE(std::isnan(rows[2][n_index]));
+  EXPECT_TRUE(std::isnan(rows[3][n_index]));
+  EXPECT_EQ(rows[2][sigma_index], 0.0);
+  EXPECT_EQ(rows[3][sigma_index], 0.3);
+
+  // The console table renders every row without throwing (absent axes are
+  // blank cells), and the headers agree on the union too.
+  EXPECT_EQ(batch.tidy_table().row_count(), 4u);
+  const auto display = batch.tidy_header();
+  EXPECT_NE(std::find(display.begin(), display.end(), "count_sigma"),
+            display.end());
 }
 
 TEST(Runner, ParallelForPropagatesExceptions) {

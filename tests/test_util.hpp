@@ -2,11 +2,31 @@
 #ifndef HH_TESTS_TEST_UTIL_HPP
 #define HH_TESTS_TEST_UTIL_HPP
 
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "core/simulation.hpp"
 
 namespace hh::test {
+
+/// A fresh per-test scratch directory under gtest's temp root, removed on
+/// destruction (for result-store / resume tests).
+struct TempDir {
+  std::filesystem::path path;
+
+  explicit TempDir(const char* tag) {
+    static int counter = 0;
+    path = std::filesystem::path(::testing::TempDir()) /
+           ("hh-" + std::string(tag) + "-" + std::to_string(counter++));
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+};
 
 /// A small standard config: n ants, k nests with `bad` bad ones at the end.
 inline core::SimulationConfig small_config(std::uint32_t n = 128,
