@@ -157,6 +157,46 @@ BENCHMARK_CAPTURE(BM_EngineRound, packed, hh::core::EngineKind::kPacked)
     ->Range(64, 1 << 16);
 
 // ---------------------------------------------------------------------------
+// One FAULT-INJECTED engine round, steady state: crash + Byzantine lanes
+// force every round through the masked SoA path (packed) vs the wrapper
+// chain (scalar). allocs_per_round must stay 0 on the packed rows — the
+// masked entry points extend the zero-allocation invariant to mixed
+// rounds.
+
+void BM_FaultedEngineRound(benchmark::State& state,
+                           hh::core::EngineKind engine) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  hh::core::SimulationConfig cfg;
+  cfg.num_ants = n;
+  cfg.qualities = hh::core::SimulationConfig::binary_qualities(4, 2);
+  cfg.seed = 7;
+  cfg.max_rounds = ~0u;
+  cfg.engine = engine;
+  cfg.faults.crash_fraction = 0.1;
+  cfg.faults.byzantine_fraction = 0.05;
+  cfg.convergence_tolerance = 0.25;
+  hh::core::Simulation sim(cfg, hh::core::AlgorithmKind::kSimple);
+  for (int warmup = 0; warmup < 16; ++warmup) sim.step();
+
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = allocation_count();
+    benchmark::DoNotOptimize(sim.step());
+    allocs += allocation_count() - before;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["allocs_per_round"] = benchmark::Counter(
+      static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+}
+BENCHMARK_CAPTURE(BM_FaultedEngineRound, scalar, hh::core::EngineKind::kScalar)
+    ->RangeMultiplier(8)
+    ->Range(64, 1 << 14);
+BENCHMARK_CAPTURE(BM_FaultedEngineRound, packed, hh::core::EngineKind::kPacked)
+    ->RangeMultiplier(8)
+    ->Range(64, 1 << 14);
+
+// ---------------------------------------------------------------------------
 // End-to-end trial throughput through the Scenario + registry path (the
 // same construction Runner::run performs per trial), per engine.
 
@@ -201,6 +241,14 @@ BENCHMARK_CAPTURE(BM_TrialThroughput, quorum_packed, "quorum",
                   hh::core::EngineKind::kPacked)
     ->RangeMultiplier(8)
     ->Range(64, 1 << 14);
+BENCHMARK_CAPTURE(BM_TrialThroughput, optimal_scalar, "optimal",
+                  hh::core::EngineKind::kScalar)
+    ->RangeMultiplier(8)
+    ->Range(64, 1 << 14);
+BENCHMARK_CAPTURE(BM_TrialThroughput, optimal_packed, "optimal",
+                  hh::core::EngineKind::kPacked)
+    ->RangeMultiplier(8)
+    ->Range(64, 1 << 14);
 
 // ---------------------------------------------------------------------------
 // The headline ratio, measured in one place so the JSON carries it
@@ -208,11 +256,15 @@ BENCHMARK_CAPTURE(BM_TrialThroughput, quorum_packed, "quorum",
 // "speedup" = scalar time / packed time.
 
 void BM_PackedSpeedup(benchmark::State& state, const char* algorithm,
-                      std::uint32_t k) {
+                      std::uint32_t k, double crash_fraction = 0.0,
+                      double byzantine_fraction = 0.0) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   hh::core::SimulationConfig cfg;
   cfg.num_ants = n;
   cfg.qualities = hh::core::SimulationConfig::binary_qualities(k, k / 2);
+  cfg.faults.crash_fraction = crash_fraction;
+  cfg.faults.byzantine_fraction = byzantine_fraction;
+  if (byzantine_fraction > 0.0) cfg.convergence_tolerance = 0.25;
   auto scenario = hh::analysis::Scenario{
       .name = algorithm, .algorithm = algorithm, .config = cfg};
   std::uint64_t iteration = 0;
@@ -237,6 +289,25 @@ void BM_PackedSpeedup(benchmark::State& state, const char* algorithm,
 BENCHMARK_CAPTURE(BM_PackedSpeedup, simple_k8, "simple", 8u)->Arg(4096);
 BENCHMARK_CAPTURE(BM_PackedSpeedup, simple_k4, "simple", 4u)->Arg(4096);
 BENCHMARK_CAPTURE(BM_PackedSpeedup, quorum_k8, "quorum", 8u)->Arg(4096);
+
+// The headline this PR adds: Algorithm 2 (optimal), settle on and off,
+// end-to-end through the masked per-ant-phase path — the last algorithm
+// to leave the slow per-object path.
+void BM_PackedOptimalSpeedup(benchmark::State& state, const char* algorithm,
+                             std::uint32_t k) {
+  BM_PackedSpeedup(state, algorithm, k);
+}
+BENCHMARK_CAPTURE(BM_PackedOptimalSpeedup, optimal_k8, "optimal", 8u)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_PackedOptimalSpeedup, optimal_settle_k8,
+                  "optimal+settle", 8u)
+    ->Arg(4096);
+
+// Faulted end-to-end ratio: the fault lanes must not give the speedup
+// back.
+BENCHMARK_CAPTURE(BM_PackedSpeedup, faulted_simple_k4, "simple", 4u, 0.1,
+                  0.05)
+    ->Arg(4096);
 
 }  // namespace
 

@@ -6,6 +6,7 @@
 // of ants").
 #include <cstdio>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "anthill.hpp"
@@ -25,6 +26,10 @@ hh::core::SimulationConfig base_config() {
   return cfg;
 }
 
+/// --resume-dir DIR: all six perturbation sweeps checkpoint into one
+/// store, so the slow non-converging (fragile) cells never recompute.
+std::string g_resume_dir;  // NOLINT(cert-err58-cpp)
+
 /// One perturbation sweep: `levels` of one knob x {simple, other}. The
 /// level axis is outermost, so results come in (simple, other) pairs.
 void emit_sweep(const hh::analysis::Runner& runner, const char* sweep,
@@ -34,12 +39,13 @@ void emit_sweep(const hh::analysis::Runner& runner, const char* sweep,
                     apply,
                 hh::util::Table& table,
                 std::vector<std::vector<double>>& csv_rows, double sweep_id) {
-  const auto batch =
-      runner.run(hh::analysis::SweepSpec(sweep)
-                     .base(base_config())
-                     .axis("level", levels, apply)
-                     .algorithms({hh::core::AlgorithmKind::kSimple, other}),
-                 kTrials, seed);
+  const auto batch = hh::analysis::run_sweep(
+      runner,
+      hh::analysis::SweepSpec(sweep)
+          .base(base_config())
+          .axis("level", levels, apply)
+          .algorithms({hh::core::AlgorithmKind::kSimple, other}),
+      kTrials, seed, g_resume_dir);
   for (std::size_t i = 0; i < levels.size(); ++i) {
     // Guard the stride pairing against axis reordering in the spec.
     HH_EXPECTS(batch.results[2 * i].scenario.algorithm == "simple");
@@ -63,7 +69,8 @@ void emit_sweep(const hh::analysis::Runner& runner, const char* sweep,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_resume_dir = hh::analysis::resume_dir_from_args(argc, argv);
   hh::analysis::print_banner(
       "E12-E14 / Section 6 — robustness: noise, faults, asynchrony",
       "Algorithm 3 tolerates unbiased noise, a small number of faults, and "

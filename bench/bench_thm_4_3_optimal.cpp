@@ -15,6 +15,10 @@ namespace {
 
 constexpr int kTrials = 20;
 
+/// --resume-dir DIR: checkpoint every completed (scenario, trial) cell so
+/// an interrupted sweep rerun with the same flag resumes where it died.
+std::string g_resume_dir;  // NOLINT(cert-err58-cpp)
+
 const hh::analysis::Runner& runner() {
   static const hh::analysis::Runner r;
   return r;
@@ -31,12 +35,14 @@ hh::analysis::BatchResult sweep_n(std::uint32_t k,
   std::erase_if(scenarios, [&](const hh::analysis::Scenario& sc) {
     return sc.config.num_ants / k < 16;
   });
-  return runner().run(scenarios, kTrials, 0x43 + k);
+  return hh::analysis::run_sweep(runner(), scenarios, kTrials, 0x43 + k,
+                                 g_resume_dir);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_resume_dir = hh::analysis::resume_dir_from_args(argc, argv);
   hh::analysis::print_banner(
       "E4 / Theorem 4.3 — Algorithm 2 (optimal) scaling",
       "solves HouseHunting in O(log n) rounds w.h.p.");
@@ -90,7 +96,8 @@ int main() {
                          .algorithm(hh::core::AlgorithmKind::kOptimal)
                          .colony_sizes({kFixedN})
                          .nest_counts({2, 4, 8, 16, 32, 64}, 0.5);
-  const auto kbatch = runner().run(kspec, kTrials, 0x43F);
+  const auto kbatch =
+      hh::analysis::run_sweep(runner(), kspec, kTrials, 0x43F, g_resume_dir);
   hh::util::Table ktable(
       {"k", "trials", "conv%", "rounds(med)", "rounds(mean)", "rounds(p95)"});
   std::vector<double> kxs;

@@ -7,11 +7,15 @@
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "anthill.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  // --resume-dir DIR checkpoints every cell (Runner::run_resumable), so
+  // the big-n grid survives interruption.
+  const std::string resume_dir = hh::analysis::resume_dir_from_args(argc, argv);
   hh::analysis::print_banner(
       "E6 / Theorem 5.11 — Algorithm 3 (simple) scaling",
       "solves HouseHunting in O(k log n) rounds w.h.p.");
@@ -23,11 +27,13 @@ int main() {
   const hh::analysis::Runner runner;
 
   // One declarative sweep covers the whole (k, n) grid.
-  const auto batch = runner.run(hh::analysis::SweepSpec("thm511")
-                                    .algorithm(hh::core::AlgorithmKind::kSimple)
-                                    .nest_counts(ks, 0.5)
-                                    .colony_sizes(ns),
-                                kTrials, 0x511);
+  const auto batch = hh::analysis::run_sweep(
+      runner,
+      hh::analysis::SweepSpec("thm511")
+          .algorithm(hh::core::AlgorithmKind::kSimple)
+          .nest_counts(ks, 0.5)
+          .colony_sizes(ns),
+      kTrials, 0x511, resume_dir);
 
   std::vector<hh::util::Series> series;
   std::vector<double> joint_n;
@@ -81,12 +87,13 @@ int main() {
 
   // k sweep at fixed n.
   constexpr std::uint32_t kFixedN = 1 << 14;
-  const auto kbatch =
-      runner.run(hh::analysis::SweepSpec("thm511/ksweep")
-                     .algorithm(hh::core::AlgorithmKind::kSimple)
-                     .colony_sizes({kFixedN})
-                     .nest_counts({2, 4, 8, 16, 32, 64}, 0.5),
-                 kTrials, 0x511F);
+  const auto kbatch = hh::analysis::run_sweep(
+      runner,
+      hh::analysis::SweepSpec("thm511/ksweep")
+          .algorithm(hh::core::AlgorithmKind::kSimple)
+          .colony_sizes({kFixedN})
+          .nest_counts({2, 4, 8, 16, 32, 64}, 0.5),
+      kTrials, 0x511F, resume_dir);
   hh::util::Table ktable(
       {"k", "trials", "conv%", "rounds(med)", "rounds(mean)", "rounds(p95)"});
   std::vector<double> kxs;

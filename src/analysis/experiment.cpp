@@ -14,6 +14,8 @@ Aggregate aggregate(const std::vector<TrialStats>& trials) {
   double quality_sum = 0.0;
   double recruit_sum = 0.0;
   for (const TrialStats& t : trials) {
+    if (t.engine == core::EngineKind::kPacked) ++agg.packed_trials;
+    if (t.engine == core::EngineKind::kScalar) ++agg.scalar_trials;
     if (!t.converged) continue;
     ++agg.converged;
     agg.round_samples.push_back(t.rounds);
@@ -53,6 +55,7 @@ TrialStats to_trial_stats(const core::RunResult& result) {
   t.winner = result.winner;
   t.winner_quality = result.winner_quality;
   t.recruitments = static_cast<double>(result.total_recruitments);
+  t.engine = result.engine;
   return t;
 }
 

@@ -21,12 +21,23 @@ struct TrialStats {
   env::NestId winner = env::kHomeNest;
   double winner_quality = 0.0;
   double recruitments = 0.0;  ///< total successful recruitments
+  /// Diagnostic: the engine that executed the trial (kScalar/kPacked), or
+  /// kAuto for "unknown" — cells served from a ResultStore cache keep
+  /// kAuto, because scalar and packed runs share cache entries by the
+  /// equivalence contract and the store records only model outcomes.
+  /// Never part of result identity (excluded from store payloads and CSV).
+  core::EngineKind engine = core::EngineKind::kAuto;
 };
 
 /// Aggregated view of a batch of trials.
 struct Aggregate {
   std::size_t trials = 0;
   std::size_t converged = 0;
+  /// Engine observability (never part of result identity): how many
+  /// trials ran on the packed engine / fell back to scalar. Trials of
+  /// unknown engine (cache-served cells) count in neither.
+  std::size_t packed_trials = 0;
+  std::size_t scalar_trials = 0;
   double convergence_rate = 0.0;
   util::Summary rounds;               ///< over converged trials only
   double mean_winner_quality = 0.0;   ///< over converged trials only

@@ -1,10 +1,13 @@
 #include "analysis/report.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <string_view>
 
+#include "analysis/result_store.hpp"
 #include "util/csv.hpp"
 
 namespace hh::analysis {
@@ -61,6 +64,42 @@ std::string write_csv(const std::string& name,
   csv.header(header);
   for (const auto& row : rows) csv.row(row);
   return path;
+}
+
+std::string resume_dir_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--resume-dir") {
+      if (i + 1 >= argc) {
+        std::cerr << "--resume-dir needs a directory argument\n";
+        std::exit(2);
+      }
+      return argv[i + 1];
+    }
+  }
+  return {};
+}
+
+BatchResult run_sweep(const Runner& runner,
+                      const std::vector<Scenario>& scenarios,
+                      std::size_t trials, std::uint64_t base_seed,
+                      const std::string& resume_dir) {
+  if (resume_dir.empty()) {
+    return runner.run(scenarios, trials, base_seed);
+  }
+  ResultStore store(resume_dir);
+  ResumeReport report;
+  BatchResult batch =
+      runner.run_resumable(scenarios, trials, base_seed, store, &report);
+  std::printf("[resume %s] cells: %zu total, %zu cached, %zu run\n",
+              resume_dir.c_str(), report.cells_total, report.cells_cached,
+              report.cells_run);
+  return batch;
+}
+
+BatchResult run_sweep(const Runner& runner, const SweepSpec& spec,
+                      std::size_t trials, std::uint64_t base_seed,
+                      const std::string& resume_dir) {
+  return run_sweep(runner, spec.expand(), trials, base_seed, resume_dir);
 }
 
 }  // namespace hh::analysis

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/experiment.hpp"
+#include "analysis/runner.hpp"
 #include "util/fit.hpp"
 #include "util/table.hpp"
 
@@ -34,6 +35,26 @@ void print_fit(const util::Fit& fit, const std::string& feature,
 std::string write_csv(const std::string& name,
                       const std::vector<std::string>& header,
                       const std::vector<std::vector<double>>& rows);
+
+/// `--resume-dir DIR` from a bench driver's argv ("" when absent). The
+/// long drivers pass it through run_sweep so multi-hour sweeps survive
+/// interruption (Runner::run_resumable, DESIGN.md §4).
+[[nodiscard]] std::string resume_dir_from_args(int argc, char** argv);
+
+/// Run one sweep: plain Runner::run when `resume_dir` is empty, else
+/// resumably through an analysis::ResultStore rooted at `resume_dir`
+/// (opened per call — every call indexes all previously persisted cells,
+/// so one directory serves all of a driver's sweeps). Prints the
+/// cached/run split when resuming. Results are bit-identical either way.
+[[nodiscard]] BatchResult run_sweep(const Runner& runner,
+                                    const std::vector<Scenario>& scenarios,
+                                    std::size_t trials,
+                                    std::uint64_t base_seed,
+                                    const std::string& resume_dir);
+[[nodiscard]] BatchResult run_sweep(const Runner& runner,
+                                    const SweepSpec& spec, std::size_t trials,
+                                    std::uint64_t base_seed,
+                                    const std::string& resume_dir);
 
 }  // namespace hh::analysis
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/optimal_pack.hpp"
 #include "util/contracts.hpp"
 
 namespace hh::core {
@@ -22,23 +23,23 @@ std::uint32_t believed_n(std::uint32_t num_ants, double error, util::Rng& rng) {
 
 /// The Algorithm-3 family (SimpleAnt and its subclasses) as state arrays.
 /// All four variants share one FSM — phases are colony-synchronized under
-/// full synchrony, so the phase lives in the pack, not per ant — and
-/// differ only in the recruit-probability rule.
+/// full synchrony, so the phase lives in the pack, not per ant (a crashed
+/// ant's frozen phase is irrelevant: it only idles) — and differ only in
+/// the recruit-probability rule.
 class SimpleFamilyPack final : public AntPack {
  public:
   SimpleFamilyPack(AlgorithmKind kind, std::uint32_t num_ants,
                    std::uint32_t num_nests, std::uint64_t colony_seed,
-                   const AlgorithmParams& params)
-      : kind_(kind),
+                   const AlgorithmParams& params, const env::FaultPlan* faults)
+      : AntPack(num_ants, num_nests),
+        kind_(kind),
         uniform_prob_(params.uniform_recruit_prob),
         n_estimate_error_(params.n_estimate_error) {
     HH_EXPECTS(num_ants >= 1);
-    census_.resize(num_nests + 1);
     const std::size_t n = num_ants;
     rng_.resize(n, util::Rng(0));
     believed_n_.resize(n);
     active_.resize(n);
-    nest_.resize(n);
     count_.resize(n);
     quality_.resize(n);
     round_targets_.reserve(n);  // quiet rounds must not allocate
@@ -46,28 +47,28 @@ class SimpleFamilyPack final : public AntPack {
       initial_k_.resize(n);
       halving_period_.resize(n);
     }
+    if (faults != nullptr) install_fault_plan(*faults);
     const bool did_reset = reset(colony_seed);
     HH_ASSERT(did_reset);
   }
 
-  bool reset(std::uint64_t colony_seed) override {
-    const auto num_ants = static_cast<std::uint32_t>(rng_.size());
-    std::fill(census_.begin(), census_.end(), 0u);
-    census_[env::kHomeNest] = num_ants;
+  [[nodiscard]] bool do_reset(std::uint64_t colony_seed) override {
+    const auto num_ants = size();
+    reset_commitments();
     phase_ = Phase::kInit;
     for (env::AntId a = 0; a < num_ants; ++a) {
       // Identical stream derivation to make_colony (colony.cpp).
       rng_[a].reseed(util::mix_seed(colony_seed, a, 0xA17));
       // uniform-recruit ignores n and, like its per-object factory, does
-      // not draw a belief; the others draw iff the error is positive.
+      // not draw a belief; Byzantine positions never construct the inner
+      // ant at all (no draw); the others draw iff the error is positive.
       believed_n_[a] =
-          kind_ == AlgorithmKind::kUniformRecruit
+          (kind_ == AlgorithmKind::kUniformRecruit || byzantine(a))
               ? num_ants
               : believed_n(num_ants, n_estimate_error_, rng_[a]);
     }
     std::fill(active_.begin(), active_.end(),
               std::uint8_t{1});  // initially active (Algorithm 3, line 1)
-    std::fill(nest_.begin(), nest_.end(), env::kHomeNest);
     std::fill(count_.begin(), count_.end(), 0u);
     std::fill(quality_.begin(), quality_.end(), 0.0);
     if (kind_ == AlgorithmKind::kRateBoosted) {
@@ -83,13 +84,14 @@ class SimpleFamilyPack final : public AntPack {
     return true;
   }
 
-  [[nodiscard]] RoundShape round_shape(std::uint32_t /*round*/) const override {
+  [[nodiscard]] RoundShape correct_shape(std::uint32_t /*round*/) const override {
     switch (phase_) {
       case Phase::kInit: return RoundShape::kAllSearch;
       case Phase::kRecruit: return RoundShape::kAllRecruit;
       case Phase::kAssess: return RoundShape::kAllGo;
     }
-    return RoundShape::kGeneric;
+    HH_ASSERT(false);
+    return RoundShape::kAllGo;
   }
 
   void fill_recruit_requests(std::uint32_t round,
@@ -97,9 +99,7 @@ class SimpleFamilyPack final : public AntPack {
     HH_EXPECTS(phase_ == Phase::kRecruit);
     HH_EXPECTS(requests.size() == rng_.size());
     for (std::size_t a = 0; a < requests.size(); ++a) {
-      const bool b =
-          active_[a] != 0 &&
-          rng_[a].bernoulli(recruit_probability(a, round));  // lines 6 / 10
+      const bool b = decide_b(a, round);  // lines 6 / 10
       requests[a] = env::RecruitRequest{static_cast<env::AntId>(a), b,
                                         nest_[a]};           // line 7
     }
@@ -113,10 +113,7 @@ class SimpleFamilyPack final : public AntPack {
     // nest lane while recruiters' targets must stay the round's values.
     round_targets_.assign(nest_.begin(), nest_.end());
     for (std::size_t a = 0; a < active.size(); ++a) {
-      active[a] = (active_[a] != 0 &&
-                   rng_[a].bernoulli(recruit_probability(a, round)))
-                      ? 1
-                      : 0;  // lines 6 / 10
+      active[a] = decide_b(a, round) ? 1 : 0;  // lines 6 / 10
     }
     return round_targets_;
   }
@@ -125,56 +122,91 @@ class SimpleFamilyPack final : public AntPack {
     return nest_;  // lines 8 / 14: go(nest)
   }
 
-  // No decide_all override: every round of this family is colony-uniform,
-  // so round_shape() never reports kGeneric and the base assert stands —
-  // one copy of the decision logic (fill_recruit_requests /
-  // fill_recruit_soa / go_targets), not two.
-
-  void observe_all(std::span<const env::Outcome> outcomes) override {
-    HH_EXPECTS(outcomes.size() == rng_.size());
+  void decide_masked(std::uint32_t round, std::span<const std::uint8_t> act,
+                     std::span<env::MaskedOp> op,
+                     std::span<std::uint8_t> active,
+                     std::span<env::NestId> targets) override {
     switch (phase_) {
       case Phase::kInit:
-        // Lines 2-4: commit to the found nest; bad quality => passive.
-        std::fill(census_.begin(), census_.end(), 0u);
-        for (std::size_t a = 0; a < outcomes.size(); ++a) {
-          const env::Outcome& out = outcomes[a];
-          nest_[a] = out.nest;
-          ++census_[out.nest];
-          count_[a] = out.count;
-          quality_[a] = out.quality;
-          if (out.quality <= 0.0) active_[a] = 0;
-          if (kind_ == AlgorithmKind::kRateBoosted) {
-            // RateBoostedAnt's one-shot k^ = n / c0 from the initial spread.
-            const double observed = std::max<std::uint32_t>(out.count, 1);
-            initial_k_[a] = std::max(
-                1.0, static_cast<double>(believed_n_[a]) / observed);
-          }
+        for (std::size_t a = 0; a < act.size(); ++a) {
+          if (act[a]) op[a] = env::MaskedOp::kSearch;  // line 2
         }
-        phase_ = Phase::kRecruit;
         break;
       case Phase::kRecruit:
-        // Line 7 / lines 10-13: unconditional nest adoption; a recruited
-        // (or poached) ant becomes active.
-        for (std::size_t a = 0; a < outcomes.size(); ++a) {
-          if (outcomes[a].nest != nest_[a]) {
-            --census_[nest_[a]];
-            ++census_[outcomes[a].nest];
-            nest_[a] = outcomes[a].nest;
-            active_[a] = 1;
-          }
+        for (std::size_t a = 0; a < act.size(); ++a) {
+          if (!act[a]) continue;
+          op[a] = env::MaskedOp::kRecruit;
+          active[a] = decide_b(a, round) ? 1 : 0;  // lines 6 / 10
+          targets[a] = nest_[a];                   // line 7
         }
-        phase_ = Phase::kAssess;
         break;
       case Phase::kAssess:
-        // Lines 8 / 14 plus nest rejection (see SimpleAnt::observe).
-        for (std::size_t a = 0; a < outcomes.size(); ++a) {
-          count_[a] = outcomes[a].count;
-          quality_[a] = outcomes[a].quality;
-          if (outcomes[a].quality <= 0.0) active_[a] = 0;
+        for (std::size_t a = 0; a < act.size(); ++a) {
+          if (!act[a]) continue;
+          op[a] = env::MaskedOp::kGo;  // lines 8 / 14
+          targets[a] = nest_[a];
         }
-        phase_ = Phase::kRecruit;
         break;
     }
+  }
+
+  // observe_all is the base forward onto this kernel (act all-ones).
+  void observe_masked_acting(std::span<const std::uint8_t> act,
+                             std::span<const env::Outcome> outcomes) override {
+    switch (phase_) {
+      case Phase::kInit:
+        for (std::size_t a = 0; a < act.size(); ++a) {
+          if (!act[a]) continue;
+          apply_init(a, outcomes[a].nest, outcomes[a].count,
+                     outcomes[a].quality);
+        }
+        break;
+      case Phase::kRecruit:
+        for (std::size_t a = 0; a < act.size(); ++a) {
+          if (act[a]) apply_recruit(a, outcomes[a].nest);
+        }
+        break;
+      case Phase::kAssess:
+        for (std::size_t a = 0; a < act.size(); ++a) {
+          if (act[a]) apply_assess(a, outcomes[a].count, outcomes[a].quality);
+        }
+        break;
+    }
+    advance_phase();
+  }
+
+  void observe_masked_quiet_acting(
+      std::span<const std::uint8_t> act, const env::Environment& env,
+      std::span<const env::MaskedOp> /*op*/,
+      std::span<const env::NestId> targets) override {
+    const std::span<const std::uint32_t> counts = env.counts();
+    const std::span<const double> qualities = env.qualities();
+    switch (phase_) {
+      case Phase::kInit:
+        for (std::size_t a = 0; a < act.size(); ++a) {
+          if (!act[a]) continue;
+          const env::NestId found = env.location(static_cast<env::AntId>(a));
+          apply_init(a, found, counts[found], qualities[found - 1]);
+        }
+        break;
+      case Phase::kRecruit:
+        for (std::size_t a = 0; a < act.size(); ++a) {
+          if (!act[a]) continue;
+          const std::int32_t recruiter =
+              env.recruited_by_ant(static_cast<env::AntId>(a));
+          if (recruiter == env::kNotRecruited) continue;  // nest unchanged
+          apply_recruit(a, targets[static_cast<std::size_t>(recruiter)]);
+        }
+        break;
+      case Phase::kAssess:
+        for (std::size_t a = 0; a < act.size(); ++a) {
+          if (!act[a]) continue;
+          const env::NestId nest = nest_[a];
+          apply_assess(a, counts[nest], qualities[nest - 1]);
+        }
+        break;
+    }
+    advance_phase();
   }
 
   void observe_recruit_pairing(std::span<const env::NestId> targets,
@@ -187,15 +219,9 @@ class SimpleFamilyPack final : public AntPack {
     for (std::size_t a = 0; a < targets.size(); ++a) {
       const std::int32_t recruiter = pairing.recruited_by[a];
       if (recruiter == env::kNotRecruited) continue;
-      const env::NestId j = targets[static_cast<std::size_t>(recruiter)];
-      if (j != nest_[a]) {
-        --census_[nest_[a]];
-        ++census_[j];
-        nest_[a] = j;
-        active_[a] = 1;
-      }
+      apply_recruit(a, targets[static_cast<std::size_t>(recruiter)]);
     }
-    phase_ = Phase::kAssess;
+    advance_phase();
   }
 
   void observe_go_counts(std::span<const std::uint32_t> counts,
@@ -206,21 +232,9 @@ class SimpleFamilyPack final : public AntPack {
     // qualities[nest - 1] (every committed nest is a candidate, >= 1).
     for (std::size_t a = 0; a < rng_.size(); ++a) {
       const env::NestId nest = nest_[a];
-      count_[a] = counts[nest];
-      const double q = qualities[nest - 1];
-      quality_[a] = q;
-      if (q <= 0.0) active_[a] = 0;
+      apply_assess(a, counts[nest], qualities[nest - 1]);
     }
-    phase_ = Phase::kRecruit;
-  }
-
-  void committed_census(std::span<std::uint32_t> census) const override {
-    HH_EXPECTS(census.size() == census_.size());
-    std::copy(census_.begin(), census_.end(), census.begin());
-  }
-
-  [[nodiscard]] std::uint32_t size() const override {
-    return static_cast<std::uint32_t>(rng_.size());
+    advance_phase();
   }
 
   [[nodiscard]] std::string_view name() const override {
@@ -229,6 +243,49 @@ class SimpleFamilyPack final : public AntPack {
 
  private:
   enum class Phase : std::uint8_t { kInit, kRecruit, kAssess };
+
+  /// The ant's b this recruit round — drawing iff the scalar ant would
+  /// (SimpleAnt::decide short-circuits the bernoulli for passive ants).
+  [[nodiscard]] bool decide_b(std::size_t a, std::uint32_t round) {
+    return active_[a] != 0 && rng_[a].bernoulli(recruit_probability(a, round));
+  }
+
+  /// Lines 2-4: commit to the found nest; bad quality => passive.
+  void apply_init(std::size_t a, env::NestId found, std::uint32_t count,
+                  double quality) {
+    adopt(a, found);
+    count_[a] = count;
+    quality_[a] = quality;
+    if (quality <= 0.0) active_[a] = 0;
+    if (kind_ == AlgorithmKind::kRateBoosted) {
+      // RateBoostedAnt's one-shot k^ = n / c0 from the initial spread.
+      const double observed = std::max<std::uint32_t>(count, 1);
+      initial_k_[a] =
+          std::max(1.0, static_cast<double>(believed_n_[a]) / observed);
+    }
+  }
+
+  /// Line 7 / lines 10-13: unconditional nest adoption; a recruited
+  /// (or poached) ant becomes active.
+  void apply_recruit(std::size_t a, env::NestId j) {
+    if (j != nest_[a]) {
+      adopt(a, j);
+      active_[a] = 1;
+    }
+  }
+
+  /// Lines 8 / 14 plus nest rejection (see SimpleAnt::observe).
+  void apply_assess(std::size_t a, std::uint32_t count, double quality) {
+    count_[a] = count;
+    quality_[a] = quality;
+    if (quality <= 0.0) active_[a] = 0;
+  }
+
+  void advance_phase() {
+    phase_ = (phase_ == Phase::kAssess || phase_ == Phase::kInit)
+                 ? Phase::kRecruit
+                 : Phase::kAssess;
+  }
 
   /// The variant's b-probability — the exact floating-point expressions of
   /// SimpleAnt / RateBoostedAnt / QualityAwareAnt / UniformRecruitAnt
@@ -269,13 +326,10 @@ class SimpleFamilyPack final : public AntPack {
   double n_estimate_error_;
   Phase phase_ = Phase::kInit;
 
-  std::vector<std::uint32_t> census_;       // commitment census, maintained
-                                            // incrementally on nest changes
   std::vector<env::NestId> round_targets_;  // quiet-round nest snapshot
   std::vector<util::Rng> rng_;              // per-ant private streams
   std::vector<std::uint32_t> believed_n_;   // n~ (== n unless estimate error)
   std::vector<std::uint8_t> active_;
-  std::vector<env::NestId> nest_;
   std::vector<std::uint32_t> count_;
   std::vector<double> quality_;
   std::vector<double> initial_k_;           // rate-boosted: k^
@@ -283,13 +337,14 @@ class SimpleFamilyPack final : public AntPack {
 };
 
 /// QuorumAnt as state arrays. The recruit/assess phase is colony-global
-/// (quorum-met ants freeze their phase but never read it); the stage is
-/// per ant.
+/// (quorum-met and crashed ants freeze their phase but never read it);
+/// the stage is per ant.
 class QuorumPack final : public AntPack {
  public:
   QuorumPack(std::uint32_t num_ants, std::uint32_t num_nests,
-             std::uint64_t colony_seed, const AlgorithmParams& params)
-      : num_ants_(num_ants),
+             std::uint64_t colony_seed, const AlgorithmParams& params,
+             const env::FaultPlan* faults)
+      : AntPack(num_ants, num_nests),
         // Mirror of factory_for's threshold derivation (colony.cpp).
         threshold_(std::max<std::uint32_t>(
             1, static_cast<std::uint32_t>(params.quorum_fraction * num_ants))),
@@ -298,37 +353,35 @@ class QuorumPack final : public AntPack {
     HH_EXPECTS(tandem_rate_ >= 0.0 && tandem_rate_ <= 1.0);
     rng_.resize(num_ants, util::Rng(0));
     stage_.resize(num_ants);
-    nest_.resize(num_ants);
     count_.resize(num_ants);
-    census_.resize(num_nests + 1);
     round_targets_.reserve(num_ants);  // quiet rounds must not allocate
+    if (faults != nullptr) install_fault_plan(*faults);
     const bool did_reset = reset(colony_seed);
     HH_ASSERT(did_reset);
   }
 
-  bool reset(std::uint64_t colony_seed) override {
-    for (env::AntId a = 0; a < num_ants_; ++a) {
+  [[nodiscard]] bool do_reset(std::uint64_t colony_seed) override {
+    for (env::AntId a = 0; a < size(); ++a) {
       rng_[a].reseed(util::mix_seed(colony_seed, a, 0xA17));
     }
     std::fill(stage_.begin(), stage_.end(),
               static_cast<std::uint8_t>(Stage::kInit));
-    std::fill(nest_.begin(), nest_.end(), env::kHomeNest);
     std::fill(count_.begin(), count_.end(), 0u);
-    std::fill(census_.begin(), census_.end(), 0u);
-    census_[env::kHomeNest] = num_ants_;
+    reset_commitments();
     init_done_ = false;
     phase_ = Phase::kRecruit;
     finalized_count_ = 0;
     return true;
   }
 
-  [[nodiscard]] RoundShape round_shape(std::uint32_t /*round*/) const override {
+  [[nodiscard]] RoundShape correct_shape(std::uint32_t /*round*/) const override {
     if (!init_done_) return RoundShape::kAllSearch;
     if (phase_ == Phase::kRecruit) return RoundShape::kAllRecruit;
     // Assess rounds are all-go only while no ant has met quorum; quorum-met
     // ants keep recruiting through assess rounds (direct transport), which
-    // mixes the round — the generic path handles it.
-    return finalized_count_ == 0 ? RoundShape::kAllGo : RoundShape::kGeneric;
+    // mixes the round — the masked path handles it.
+    return finalized_count_ == 0 ? RoundShape::kAllGo
+                                 : RoundShape::kMaskedRecruit;
   }
 
   void fill_recruit_requests(std::uint32_t /*round*/,
@@ -356,91 +409,95 @@ class QuorumPack final : public AntPack {
     return nest_;
   }
 
-  void decide_all(std::uint32_t /*round*/,
-                  std::span<env::Action> actions) override {
-    HH_EXPECTS(actions.size() == rng_.size());
-    for (std::size_t a = 0; a < actions.size(); ++a) {
-      switch (static_cast<Stage>(stage_[a])) {
-        case Stage::kInit:
-          actions[a] = env::Action::search();
-          break;
-        case Stage::kPassive:
-          actions[a] = (phase_ == Phase::kRecruit)
-                           ? env::Action::recruit(false, nest_[a])
-                           : env::Action::go(nest_[a]);
-          break;
-        case Stage::kPreQuorum:
-          if (phase_ == Phase::kRecruit) {
-            // Population-proportional tandem running, slowed by tandem_rate.
-            const double p = tandem_rate_ * static_cast<double>(count_[a]) /
-                             static_cast<double>(num_ants_);
-            actions[a] = env::Action::recruit(rng_[a].bernoulli(p), nest_[a]);
-          } else {
-            actions[a] = env::Action::go(nest_[a]);
-          }
-          break;
-        case Stage::kQuorumMet:
-          // Transport: recruit every round, commitment locked.
-          actions[a] = env::Action::recruit(true, nest_[a]);
-          break;
+  void decide_masked(std::uint32_t /*round*/, std::span<const std::uint8_t> act,
+                     std::span<env::MaskedOp> op,
+                     std::span<std::uint8_t> active,
+                     std::span<env::NestId> targets) override {
+    if (!init_done_) {
+      for (std::size_t a = 0; a < act.size(); ++a) {
+        if (act[a]) op[a] = env::MaskedOp::kSearch;
+      }
+      return;
+    }
+    if (phase_ == Phase::kRecruit) {
+      for (std::size_t a = 0; a < act.size(); ++a) {
+        if (!act[a]) continue;
+        op[a] = env::MaskedOp::kRecruit;
+        active[a] = decide_b(a) ? 1 : 0;
+        targets[a] = nest_[a];
+      }
+      return;
+    }
+    for (std::size_t a = 0; a < act.size(); ++a) {
+      if (!act[a]) continue;
+      if (static_cast<Stage>(stage_[a]) == Stage::kQuorumMet) {
+        // Transport: recruit every round, commitment locked.
+        op[a] = env::MaskedOp::kRecruit;
+        active[a] = 1;
+        targets[a] = nest_[a];
+      } else {
+        op[a] = env::MaskedOp::kGo;
+        targets[a] = nest_[a];
       }
     }
   }
 
-  void observe_all(std::span<const env::Outcome> outcomes) override {
-    HH_EXPECTS(outcomes.size() == rng_.size());
+  // observe_all is the base forward onto this kernel (act all-ones).
+  void observe_masked_acting(std::span<const std::uint8_t> act,
+                             std::span<const env::Outcome> outcomes) override {
     if (!init_done_) {
-      std::fill(census_.begin(), census_.end(), 0u);
-      for (std::size_t a = 0; a < outcomes.size(); ++a) {
-        nest_[a] = outcomes[a].nest;
-        ++census_[outcomes[a].nest];
-        count_[a] = outcomes[a].count;
-        stage_[a] = static_cast<std::uint8_t>(outcomes[a].quality > 0.0
-                                                  ? Stage::kPreQuorum
-                                                  : Stage::kPassive);
+      for (std::size_t a = 0; a < act.size(); ++a) {
+        if (!act[a]) continue;
+        apply_init(a, outcomes[a].nest, outcomes[a].count,
+                   outcomes[a].quality);
       }
-      init_done_ = true;
-      phase_ = Phase::kRecruit;
+      finish_init();
       return;
     }
     if (phase_ == Phase::kRecruit) {
-      for (std::size_t a = 0; a < outcomes.size(); ++a) {
-        switch (static_cast<Stage>(stage_[a])) {
-          case Stage::kPassive:
-            if (outcomes[a].nest != nest_[a]) {
-              --census_[nest_[a]];
-              ++census_[outcomes[a].nest];
-              nest_[a] = outcomes[a].nest;  // recruited: follow the tandem run
-              stage_[a] = static_cast<std::uint8_t>(Stage::kPreQuorum);
-            }
-            break;
-          case Stage::kPreQuorum:
-            if (outcomes[a].nest != nest_[a]) {
-              --census_[nest_[a]];
-              ++census_[outcomes[a].nest];
-              nest_[a] = outcomes[a].nest;  // still persuadable
-            }
-            break;
-          default:
-            break;  // quorum met: commitment locked
-        }
+      for (std::size_t a = 0; a < act.size(); ++a) {
+        if (act[a]) apply_recruit(a, outcomes[a].nest);
       }
       phase_ = Phase::kAssess;
     } else {
-      for (std::size_t a = 0; a < outcomes.size(); ++a) {
-        switch (static_cast<Stage>(stage_[a])) {
-          case Stage::kPassive:
-            count_[a] = outcomes[a].count;
-            break;
-          case Stage::kPreQuorum:
-            count_[a] = outcomes[a].count;
-            if (count_[a] >= threshold_) {
-              stage_[a] = static_cast<std::uint8_t>(Stage::kQuorumMet);
-              ++finalized_count_;
-            }
-            break;
-          default:
-            break;
+      for (std::size_t a = 0; a < act.size(); ++a) {
+        // Quorum-met ants recruit through assess rounds; their return
+        // value is ignored (commitment locked), so only the goers learn.
+        if (act[a] && static_cast<Stage>(stage_[a]) != Stage::kQuorumMet) {
+          apply_assess(a, outcomes[a].count);
+        }
+      }
+      phase_ = Phase::kRecruit;
+    }
+  }
+
+  void observe_masked_quiet_acting(
+      std::span<const std::uint8_t> act, const env::Environment& env,
+      std::span<const env::MaskedOp> /*op*/,
+      std::span<const env::NestId> targets) override {
+    const std::span<const std::uint32_t> counts = env.counts();
+    if (!init_done_) {
+      for (std::size_t a = 0; a < act.size(); ++a) {
+        if (!act[a]) continue;
+        const env::NestId found = env.location(static_cast<env::AntId>(a));
+        apply_init(a, found, counts[found], env.qualities()[found - 1]);
+      }
+      finish_init();
+      return;
+    }
+    if (phase_ == Phase::kRecruit) {
+      for (std::size_t a = 0; a < act.size(); ++a) {
+        if (!act[a]) continue;
+        const std::int32_t recruiter =
+            env.recruited_by_ant(static_cast<env::AntId>(a));
+        if (recruiter == env::kNotRecruited) continue;
+        apply_recruit(a, targets[static_cast<std::size_t>(recruiter)]);
+      }
+      phase_ = Phase::kAssess;
+    } else {
+      for (std::size_t a = 0; a < act.size(); ++a) {
+        if (act[a] && static_cast<Stage>(stage_[a]) != Stage::kQuorumMet) {
+          apply_assess(a, counts[nest_[a]]);
         }
       }
       phase_ = Phase::kRecruit;
@@ -454,49 +511,20 @@ class QuorumPack final : public AntPack {
     for (std::size_t a = 0; a < targets.size(); ++a) {
       const std::int32_t recruiter = pairing.recruited_by[a];
       if (recruiter == env::kNotRecruited) continue;
-      const env::NestId j = targets[static_cast<std::size_t>(recruiter)];
-      switch (static_cast<Stage>(stage_[a])) {
-        case Stage::kPassive:
-          if (j != nest_[a]) {
-            --census_[nest_[a]];
-            ++census_[j];
-            nest_[a] = j;  // recruited: follow the tandem run
-            stage_[a] = static_cast<std::uint8_t>(Stage::kPreQuorum);
-          }
-          break;
-        case Stage::kPreQuorum:
-          if (j != nest_[a]) {
-            --census_[nest_[a]];
-            ++census_[j];
-            nest_[a] = j;  // still persuadable
-          }
-          break;
-        default:
-          break;  // quorum met: commitment locked
-      }
+      apply_recruit(a, targets[static_cast<std::size_t>(recruiter)]);
     }
     phase_ = Phase::kAssess;
   }
 
   void observe_go_counts(std::span<const std::uint32_t> counts,
                          std::span<const double> /*qualities*/) override {
-    // Only reachable while no ant has met quorum (round_shape gates on
+    // Only reachable while no ant has met quorum (correct_shape gates on
     // finalized_count_ == 0), so every ant is kPassive or kPreQuorum.
     HH_EXPECTS(init_done_ && phase_ == Phase::kAssess);
     for (std::size_t a = 0; a < rng_.size(); ++a) {
-      count_[a] = counts[nest_[a]];
-      if (static_cast<Stage>(stage_[a]) == Stage::kPreQuorum &&
-          count_[a] >= threshold_) {
-        stage_[a] = static_cast<std::uint8_t>(Stage::kQuorumMet);
-        ++finalized_count_;
-      }
+      apply_assess(a, counts[nest_[a]]);
     }
     phase_ = Phase::kRecruit;
-  }
-
-  void committed_census(std::span<std::uint32_t> census) const override {
-    HH_EXPECTS(census.size() == census_.size());
-    std::copy(census_.begin(), census_.end(), census.begin());
   }
 
   [[nodiscard]] bool finalized(env::AntId a) const override {
@@ -505,10 +533,6 @@ class QuorumPack final : public AntPack {
 
   [[nodiscard]] bool any_finalized() const override {
     return finalized_count_ > 0;
-  }
-
-  [[nodiscard]] std::uint32_t size() const override {
-    return num_ants_;
   }
 
   [[nodiscard]] std::string_view name() const override {
@@ -527,7 +551,7 @@ class QuorumPack final : public AntPack {
       case Stage::kPreQuorum: {
         // Population-proportional tandem running, slowed by tandem_rate.
         const double p = tandem_rate_ * static_cast<double>(count_[a]) /
-                         static_cast<double>(num_ants_);
+                         static_cast<double>(size());
         return rng_[a].bernoulli(p);
       }
       case Stage::kQuorumMet:
@@ -535,36 +559,250 @@ class QuorumPack final : public AntPack {
       case Stage::kInit:
         break;
     }
-    HH_ASSERT(false);  // round_shape reports kAllSearch pre-init
+    HH_ASSERT(false);  // correct_shape reports kAllSearch pre-init
     return false;
   }
 
-  std::uint32_t num_ants_;
+  void apply_init(std::size_t a, env::NestId found, std::uint32_t count,
+                  double quality) {
+    adopt(a, found);
+    count_[a] = count;
+    stage_[a] = static_cast<std::uint8_t>(quality > 0.0 ? Stage::kPreQuorum
+                                                        : Stage::kPassive);
+  }
+
+  void finish_init() {
+    init_done_ = true;
+    phase_ = Phase::kRecruit;
+  }
+
+  void apply_recruit(std::size_t a, env::NestId j) {
+    switch (static_cast<Stage>(stage_[a])) {
+      case Stage::kPassive:
+        if (j != nest_[a]) {
+          adopt(a, j);  // recruited: follow the tandem run
+          stage_[a] = static_cast<std::uint8_t>(Stage::kPreQuorum);
+        }
+        break;
+      case Stage::kPreQuorum:
+        if (j != nest_[a]) adopt(a, j);  // still persuadable
+        break;
+      default:
+        break;  // quorum met: commitment locked
+    }
+  }
+
+  void apply_assess(std::size_t a, std::uint32_t count) {
+    switch (static_cast<Stage>(stage_[a])) {
+      case Stage::kPassive:
+        count_[a] = count;
+        break;
+      case Stage::kPreQuorum:
+        count_[a] = count;
+        if (count_[a] >= threshold_) {
+          stage_[a] = static_cast<std::uint8_t>(Stage::kQuorumMet);
+          ++finalized_count_;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
   std::uint32_t threshold_;
   double tandem_rate_;
   bool init_done_ = false;
   Phase phase_ = Phase::kRecruit;
   std::uint32_t finalized_count_ = 0;
 
-  std::vector<std::uint32_t> census_;  // commitment census, incremental
   std::vector<env::NestId> round_targets_;  // quiet-round nest snapshot
   std::vector<util::Rng> rng_;
   std::vector<std::uint8_t> stage_;
-  std::vector<env::NestId> nest_;
   std::vector<std::uint32_t> count_;
 };
 
 }  // namespace
 
-AntPack::~AntPack() = default;
-
-RoundShape AntPack::round_shape(std::uint32_t /*round*/) const {
-  return RoundShape::kGeneric;
+AntPack::AntPack(std::uint32_t num_ants, std::uint32_t num_nests)
+    : num_ants_(num_ants) {
+  HH_EXPECTS(num_ants >= 1);
+  act_.assign(num_ants, 1);  // everyone acts until a fault plan says not
+  nest_.assign(num_ants, env::kHomeNest);
+  census_.assign(num_nests + 1, 0);
+  census_[env::kHomeNest] = num_ants;  // re-derived by reset_commitments
 }
 
-void AntPack::decide_all(std::uint32_t /*round*/,
-                         std::span<env::Action> /*actions*/) {
-  HH_ASSERT(false);  // only called when round_shape() says kGeneric
+AntPack::~AntPack() = default;
+
+void AntPack::reset_commitments() {
+  std::fill(nest_.begin(), nest_.end(), env::kHomeNest);
+  std::fill(census_.begin(), census_.end(), 0u);
+  census_[env::kHomeNest] = correct_count();
+}
+
+void AntPack::committed_census(std::span<std::uint32_t> census) const {
+  HH_EXPECTS(census.size() == census_.size());
+  std::copy(census_.begin(), census_.end(), census.begin());
+}
+
+void AntPack::observe_all(std::span<const env::Outcome> outcomes) {
+  HH_ASSERT(!has_faults_);  // uniform shapes are never reported faulted
+  observe_masked_acting(act_, outcomes);
+}
+
+void AntPack::install_fault_plan(const env::FaultPlan& plan) {
+  HH_EXPECTS(plan.type.size() == num_ants_);
+  HH_EXPECTS(plan.crash_round.size() == num_ants_);
+  correct_count_ = 0;
+  byz_count_ = 0;
+  fault_type_.resize(num_ants_);
+  crash_round_.resize(num_ants_);
+  byz_target_.assign(num_ants_, env::kHomeNest);
+  byz_quality_.assign(num_ants_, kByzantineNoTargetQuality);
+  for (env::AntId a = 0; a < num_ants_; ++a) {
+    fault_type_[a] = static_cast<std::uint8_t>(plan.type[a]);
+    crash_round_[a] = plan.crash_round[a];
+    correct_count_ += plan.type[a] == env::FaultType::kNone ? 1u : 0u;
+    byz_count_ += plan.type[a] == env::FaultType::kByzantine ? 1u : 0u;
+  }
+  // A plan whose victim counts floored to zero is behaviorally fault-free:
+  // keep the uniform fast paths.
+  has_faults_ = correct_count_ != num_ants_;
+}
+
+bool AntPack::reset(std::uint64_t colony_seed) {
+  if (!do_reset(colony_seed)) return false;
+  if (has_faults_) {
+    // Re-derive the Byzantine scout state; the installed plan (types,
+    // crash rounds) persists — Simulation::reset reinstalls it when the
+    // plan itself depends on the master seed.
+    std::fill(byz_target_.begin(), byz_target_.end(), env::kHomeNest);
+    std::fill(byz_quality_.begin(), byz_quality_.end(),
+              kByzantineNoTargetQuality);
+  }
+  return true;
+}
+
+RoundShape AntPack::round_shape(std::uint32_t round) const {
+  const RoundShape shape = correct_shape(round);
+  if (!has_faults_) return shape;
+  // Any faulty ant deviates from a uniform shape: crashed ants idle,
+  // Byzantine ants search through their scout rounds and recruit after.
+  const bool byz_recruiting = byz_count_ > 0 && round > kByzantineScoutRounds;
+  const bool recruiters = shape == RoundShape::kAllRecruit ||
+                          shape == RoundShape::kMaskedRecruit ||
+                          byz_recruiting;
+  return recruiters ? RoundShape::kMaskedRecruit : RoundShape::kMaskedGo;
+}
+
+void AntPack::overlay_faults(std::uint32_t round, std::span<env::MaskedOp> op,
+                             std::span<std::uint8_t> active,
+                             std::span<env::NestId> targets) {
+  for (env::AntId a = 0; a < num_ants_; ++a) {
+    switch (static_cast<env::FaultType>(fault_type_[a])) {
+      case env::FaultType::kNone:
+        act_[a] = 1;
+        break;
+      case env::FaultType::kCrash:
+        // CrashProneAnt: idles (and stops observing) from its crash round.
+        if (round < crash_round_[a]) {
+          act_[a] = 1;
+        } else {
+          act_[a] = 0;
+          op[a] = env::MaskedOp::kIdle;
+        }
+        break;
+      case env::FaultType::kByzantine:
+        // ByzantineAnt: scout for the worst nest, then recruit toward it
+        // every round, forever, ignoring all feedback.
+        act_[a] = 0;
+        if (round <= kByzantineScoutRounds) {
+          op[a] = env::MaskedOp::kSearch;
+        } else {
+          op[a] = env::MaskedOp::kRecruit;
+          active[a] = 1;
+          targets[a] = byz_target_[a];
+        }
+        break;
+    }
+  }
+}
+
+void AntPack::fill_masked(std::uint32_t round, std::span<env::MaskedOp> op,
+                          std::span<std::uint8_t> active,
+                          std::span<env::NestId> targets) {
+  HH_EXPECTS(op.size() == num_ants_);
+  HH_EXPECTS(active.size() == num_ants_);
+  HH_EXPECTS(targets.size() == num_ants_);
+  masked_round_ = round;
+  if (has_faults_) overlay_faults(round, op, active, targets);
+  decide_masked(round, act_, op, active, targets);
+}
+
+void AntPack::observe_masked(std::span<const env::Outcome> outcomes) {
+  // Byzantine search outcomes exist only during the scout window — skip
+  // the O(n) scan for the rest of the run (mirrors the quiet form).
+  if (byz_count_ > 0 && masked_round_ <= kByzantineScoutRounds) {
+    for (env::AntId a = 0; a < num_ants_; ++a) {
+      if (!byzantine(a) || outcomes[a].kind != env::ActionKind::kSearch) {
+        continue;
+      }
+      // Track the worst nest seen; ties broken toward the first found so
+      // the adversary concentrates its pull on a single bad nest.
+      if (outcomes[a].quality < byz_quality_[a]) {
+        byz_quality_[a] = outcomes[a].quality;
+        byz_target_[a] = outcomes[a].nest;
+      }
+    }
+  }
+  observe_masked_acting(act_, outcomes);
+}
+
+void AntPack::observe_masked_quiet(const env::Environment& env,
+                                   std::span<const env::MaskedOp> op,
+                                   std::span<const env::NestId> targets) {
+  if (byz_count_ > 0 && masked_round_ <= kByzantineScoutRounds) {
+    for (env::AntId a = 0; a < num_ants_; ++a) {
+      if (!byzantine(a)) continue;
+      const env::NestId found = env.location(a);
+      const double q = env.qualities()[found - 1];  // exact observation
+      if (q < byz_quality_[a]) {
+        byz_quality_[a] = q;
+        byz_target_[a] = found;
+      }
+    }
+  }
+  observe_masked_quiet_acting(act_, env, op, targets);
+}
+
+std::uint32_t AntPack::agreement_census(ConvergenceMode mode,
+                                        const env::Environment& /*env*/,
+                                        std::span<std::uint32_t> census) const {
+  // Packs default to the kCommitment notion; packs whose algorithms use
+  // finalized/physical agreement override (OptimalPack).
+  HH_EXPECTS(mode == ConvergenceMode::kCommitment);
+  committed_census(census);
+  return correct_count();
+}
+
+void AntPack::decide_masked(std::uint32_t /*round*/,
+                            std::span<const std::uint8_t> /*act*/,
+                            std::span<env::MaskedOp> /*op*/,
+                            std::span<std::uint8_t> /*active*/,
+                            std::span<env::NestId> /*targets*/) {
+  HH_ASSERT(false);  // only called when round_shape() says kMasked*
+}
+
+void AntPack::observe_masked_acting(std::span<const std::uint8_t> /*act*/,
+                                    std::span<const env::Outcome> /*outcomes*/) {
+  HH_ASSERT(false);  // only called when round_shape() says kMasked*
+}
+
+void AntPack::observe_masked_quiet_acting(
+    std::span<const std::uint8_t> /*act*/, const env::Environment& /*env*/,
+    std::span<const env::MaskedOp> /*op*/,
+    std::span<const env::NestId> /*targets*/) {
+  HH_ASSERT(false);  // only called when round_shape() says kMasked*
 }
 
 void AntPack::fill_recruit_requests(std::uint32_t /*round*/,
@@ -594,8 +832,6 @@ void AntPack::observe_go_counts(std::span<const std::uint32_t> /*counts*/,
   HH_ASSERT(false);  // only called for packs reporting kAllGo rounds
 }
 
-bool AntPack::reset(std::uint64_t /*colony_seed*/) { return false; }
-
 bool AntPack::finalized(env::AntId /*a*/) const { return false; }
 
 bool AntPack::any_finalized() const { return false; }
@@ -607,10 +843,9 @@ bool packed_available(AlgorithmKind kind) {
     case AlgorithmKind::kQualityAware:
     case AlgorithmKind::kUniformRecruit:
     case AlgorithmKind::kQuorum:
-      return true;
     case AlgorithmKind::kOptimal:
     case AlgorithmKind::kOptimalSettle:
-      return false;
+      return true;
   }
   return false;
 }
@@ -619,20 +854,24 @@ std::unique_ptr<AntPack> make_ant_pack(AlgorithmKind kind,
                                        std::uint32_t num_ants,
                                        std::uint32_t num_nests,
                                        std::uint64_t colony_seed,
-                                       const AlgorithmParams& params) {
+                                       const AlgorithmParams& params,
+                                       const env::FaultPlan* faults) {
   switch (kind) {
     case AlgorithmKind::kSimple:
     case AlgorithmKind::kRateBoosted:
     case AlgorithmKind::kQualityAware:
     case AlgorithmKind::kUniformRecruit:
       return std::make_unique<SimpleFamilyPack>(kind, num_ants, num_nests,
-                                                colony_seed, params);
+                                                colony_seed, params, faults);
     case AlgorithmKind::kQuorum:
       return std::make_unique<QuorumPack>(num_ants, num_nests, colony_seed,
-                                          params);
+                                          params, faults);
     case AlgorithmKind::kOptimal:
+      return make_optimal_pack(num_ants, num_nests, colony_seed,
+                               /*settle=*/false, faults);
     case AlgorithmKind::kOptimalSettle:
-      return nullptr;
+      return make_optimal_pack(num_ants, num_nests, colony_seed,
+                               /*settle=*/true, faults);
   }
   return nullptr;
 }

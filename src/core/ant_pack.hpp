@@ -7,7 +7,7 @@
 // convergence detector. But the paper's colonies are n IDENTICAL
 // probabilistic FSMs (Section 2), so an algorithm's whole colony can be
 // run as parallel state arrays — one state/nest/count/RNG lane per ant —
-// with a single non-virtual decide_all/observe_all pass per round over
+// with a single non-virtual decide/observe pass per round over
 // contiguous memory.
 //
 // Equivalence contract: a pack must reproduce the per-object colony
@@ -17,11 +17,29 @@
 // tests/test_ant_pack.cpp enforces this for every packed algorithm at
 // 1/2/8 runner threads.
 //
-// Packs exist for the Algorithm-3 family (simple, rate-boosted,
-// quality-aware, uniform-recruit) and the quorum baseline. Fault wrappers,
-// partial synchrony, and non-kCommitment convergence stay on the
-// per-object reference path (core::Simulation falls back automatically;
-// see SimulationConfig::engine).
+// Layering (the phase-aware decision-kernel split):
+//   * DERIVED packs implement the algorithm's correct-ant kernels:
+//     correct_shape() classifies each round, decide_masked()/the uniform
+//     fill_* methods produce the acting ants' calls, and the observe
+//     kernels absorb results — always drawing per-ant RNG in ant order,
+//     exactly as the scalar ants would.
+//   * The BASE class owns the generic fault lanes (crash rounds,
+//     Byzantine scout/recruit machines mirrored from the core fault
+//     wrappers, driven by env::FaultPlan): it overlays faulty ants onto
+//     each round's op/active/target lanes and gates the derived kernels
+//     to the acting correct ants, so every algorithm gains packed fault
+//     support without fault code of its own.
+//   * Colony-uniform rounds (every ant searches/recruits/goes) route
+//     through the environment's all-* fast paths; mixed-phase rounds
+//     (Algorithm 2's interleaved R1-R4 blocks, any faulted round) route
+//     through the masked SoA entry points (Environment::step_masked_*).
+//     Under exact observation both use the Outcome-free quiet forms.
+//
+// Packs exist for every built-in algorithm: the Algorithm-3 family
+// (simple, rate-boosted, quality-aware, uniform-recruit), the quorum
+// baseline, and Algorithm 2 (optimal, with and without the Section 4.2
+// settle fix; see optimal_pack.cpp). Partial synchrony is the one
+// extension that stays on the per-object reference path.
 #ifndef HH_CORE_ANT_PACK_HPP
 #define HH_CORE_ANT_PACK_HPP
 
@@ -32,40 +50,70 @@
 #include <vector>
 
 #include "core/colony.hpp"
+#include "core/convergence.hpp"
 #include "env/action.hpp"
+#include "env/environment.hpp"
+#include "env/faults.hpp"
 #include "env/nest.hpp"
 #include "env/pairing.hpp"
 #include "util/rng.hpp"
 
 namespace hh::core {
 
-/// The composition of a colony-uniform round, letting the driver route to
-/// the environment's SoA fast paths (Environment::step_all_*) instead of
-/// the generic per-action dispatch.
+/// The composition of a round, letting the driver route to the
+/// environment's SoA fast paths instead of the generic per-action
+/// dispatch. Uniform shapes are reported only when EVERY ant makes that
+/// call (so never under fault lanes); the masked shapes carry mixed
+/// rounds through Environment::step_masked_*.
 enum class RoundShape : std::uint8_t {
-  kGeneric,     ///< mixed calls: decide_all + Environment::step
-  kAllSearch,   ///< every ant searches (round 1)
-  kAllRecruit,  ///< every ant recruits: fill_recruit_requests + step_all_recruit
-  kAllGo,       ///< every ant goes: go_targets + step_all_go
+  kAllSearch,      ///< every ant searches (round 1, fault-free)
+  kAllRecruit,     ///< every ant recruits: fill_recruit_* + step_all_recruit
+  kAllGo,          ///< every ant goes: go_targets + step_all_go
+  kMaskedRecruit,  ///< mixed ops, recruiters possible: fill_masked +
+                   ///< step_masked_recruit
+  kMaskedGo,       ///< mixed ops, NO recruiters: fill_masked + step_masked_go
 };
 
 /// A whole colony as parallel state arrays. One virtual call per ROUND
 /// (not per ant); the loops inside are non-virtual and allocation-free.
 class AntPack {
  public:
-  AntPack() = default;
   AntPack(const AntPack&) = delete;
   AntPack& operator=(const AntPack&) = delete;
   virtual ~AntPack();
 
-  /// The shape decide_all would produce for `round` (1-based). The default
-  /// kGeneric is always correct; packs whose FSM phases are colony-
-  /// synchronized report uniform shapes to unlock the env fast paths.
-  [[nodiscard]] virtual RoundShape round_shape(std::uint32_t round) const;
+  // --- driver interface (core::Simulation) --------------------------------
+
+  /// The shape of `round` (1-based), fault lanes included: a colony whose
+  /// correct ants are uniform still reports a masked shape when any
+  /// faulty ant deviates (a crashed ant idles, a Byzantine ant searches
+  /// then recruits).
+  [[nodiscard]] RoundShape round_shape(std::uint32_t round) const;
+
+  /// kMaskedRecruit/kMaskedGo rounds: fill every ant's op/active/target
+  /// lanes for `round` — fault rows written by the base class, acting
+  /// correct ants by the derived decide kernel (drawing the same RNG
+  /// sequence the scalar colony would).
+  void fill_masked(std::uint32_t round, std::span<env::MaskedOp> op,
+                   std::span<std::uint8_t> active,
+                   std::span<env::NestId> targets);
+
+  /// Absorb a masked round's Outcomes (the loud form — required under
+  /// noisy observation).
+  void observe_masked(std::span<const env::Outcome> outcomes);
+
+  /// Absorb a masked round quietly (exact observation): results are read
+  /// straight off the environment (counts, locations, the ant-indexed
+  /// matching view). `op` and `targets` must be the lanes fill_masked
+  /// produced for this round — each ant's result kind and the recruit
+  /// returns resolve through them.
+  void observe_masked_quiet(const env::Environment& env,
+                            std::span<const env::MaskedOp> op,
+                            std::span<const env::NestId> targets);
 
   /// kAllRecruit rounds only: write every ant's recruit(b, i) call into
-  /// `requests` (requests[a].ant = a), drawing the same RNG sequence
-  /// decide_all would draw. The loud (Outcome-producing) form.
+  /// `requests` (requests[a].ant = a), drawing the same RNG sequence the
+  /// scalar colony would draw. The loud (Outcome-producing) form.
   virtual void fill_recruit_requests(std::uint32_t round,
                                      std::span<env::RecruitRequest> requests);
 
@@ -80,15 +128,12 @@ class AntPack {
   /// their committed-nest lane — no copy.
   [[nodiscard]] virtual std::span<const env::NestId> go_targets() const;
 
-  /// kGeneric rounds only: write every ant's single model call for
-  /// `round` (1-based) into `actions` (size() entries). Packs whose
-  /// round_shape() never reports kGeneric need not implement it.
-  virtual void decide_all(std::uint32_t round,
-                          std::span<env::Action> actions);
-
-  /// Deliver the end-of-round return values (outcomes[a] answers the call
-  /// actions[a] from the matching decide_all()).
-  virtual void observe_all(std::span<const env::Outcome> outcomes) = 0;
+  /// Deliver the end-of-round return values of a uniform round
+  /// (outcomes[a] answers ant a's call). Uniform shapes are only reported
+  /// fault-free, where the act lane is all-ones — so the default forwards
+  /// to the masked observe kernel, which IS the uniform kernel then (one
+  /// copy of every transition, not two).
+  virtual void observe_all(std::span<const env::Outcome> outcomes);
 
   // Quiet observation (exact model only): consume the round's results
   // straight from the environment's pairing scratch / count arrays instead
@@ -106,15 +151,42 @@ class AntPack {
                                  std::span<const double> qualities);
 
   /// Overwrite `census` (size k+1, indexed by nest) with the number of
-  /// ants committed to each nest.
-  virtual void committed_census(std::span<std::uint32_t> census) const = 0;
+  /// CORRECT ants committed to each nest (faulty ants are exempt from
+  /// convergence, matching the scalar path's committed_census). The base
+  /// serves it from the shared commitment lanes; packs that adopt nests
+  /// exclusively through adopt() need no override.
+  virtual void committed_census(std::span<std::uint32_t> census) const;
 
-  /// Whether ant a has durably decided (see Ant::finalized).
+  /// The agreement census the convergence detector consumes, under the
+  /// algorithm's convergence notion (see core::current_agreement):
+  /// `census[i]` counts the correct ants agreeing on nest i — committed
+  /// (kCommitment), committed AND finalized (kCommitmentFinalized), or
+  /// physically located there and finalized (kPhysical). Returns the
+  /// number of correct ants the census was taken over. The base handles
+  /// kCommitment via committed_census(); packs whose algorithms default
+  /// to another mode override.
+  [[nodiscard]] virtual std::uint32_t agreement_census(
+      ConvergenceMode mode, const env::Environment& env,
+      std::span<std::uint32_t> census) const;
+
+  /// Whether ant a has durably decided (see Ant::finalized). Byzantine
+  /// ants never report finalized (their lanes never run the correct-ant
+  /// kernels), matching core::ByzantineAnt.
   [[nodiscard]] virtual bool finalized(env::AntId a) const;
 
   /// True iff any ant is finalized — lets the driver skip the per-ant
   /// finalized() scan when attributing tandem runs vs transports.
   [[nodiscard]] virtual bool any_finalized() const;
+
+  /// Install the per-ant fault lanes a sampled env::FaultPlan describes:
+  /// crash victims idle from their crash round on (their lanes freeze,
+  /// exactly like core::CrashProneAnt freezes its inner ant); Byzantine
+  /// positions never run the algorithm kernel at all — they scout for the
+  /// worst nest, then actively recruit toward it forever
+  /// (core::ByzantineAnt). Call before reset(); reset() re-derives the
+  /// Byzantine scout state but keeps the installed plan. Allocation-free
+  /// after the first installation at a given colony size.
+  void install_fault_plan(const env::FaultPlan& plan);
 
   /// Rewind the whole colony to its pre-round-1 state under a new colony
   /// seed, reusing every lane — per-ant RNG streams are re-derived exactly
@@ -123,13 +195,116 @@ class AntPack {
   /// indistinguishable from a freshly built one. Returns false when the
   /// pack does not support in-place reset (the caller reconstructs); the
   /// built-in packs all return true. Allocation-free.
-  [[nodiscard]] virtual bool reset(std::uint64_t colony_seed);
+  [[nodiscard]] bool reset(std::uint64_t colony_seed);
 
   /// Colony size n.
-  [[nodiscard]] virtual std::uint32_t size() const = 0;
+  [[nodiscard]] std::uint32_t size() const { return num_ants_; }
 
   /// Stable algorithm name (matches algorithm_name(kind)).
   [[nodiscard]] virtual std::string_view name() const = 0;
+
+ protected:
+  AntPack(std::uint32_t num_ants, std::uint32_t num_nests);
+
+  // --- the decision-kernel interface derived packs implement ---------------
+
+  /// The shape `round` would have if every ant were correct. The base
+  /// overlays fault lanes on top (a uniform shape degrades to a masked
+  /// one; byz recruiters can turn kAllGo/kMaskedGo into kMaskedRecruit).
+  [[nodiscard]] virtual RoundShape correct_shape(std::uint32_t round) const = 0;
+
+  /// reset() body: re-derive every lane from `colony_seed`. Byzantine
+  /// positions must skip the algorithm's per-ant construction draws
+  /// (their scalar counterparts never construct the inner ant); use
+  /// byzantine(a). Return false if in-place reset is unsupported.
+  [[nodiscard]] virtual bool do_reset(std::uint64_t colony_seed) = 0;
+
+  /// Masked decide kernel: for every ant with act[a] != 0 write op[a]
+  /// (+ active/targets as the op requires), drawing per-ant RNG exactly
+  /// as the scalar ant's decide() would. Rows with act[a] == 0 are the
+  /// base class's (faulty ants) — leave them untouched.
+  virtual void decide_masked(std::uint32_t round,
+                             std::span<const std::uint8_t> act,
+                             std::span<env::MaskedOp> op,
+                             std::span<std::uint8_t> active,
+                             std::span<env::NestId> targets);
+
+  /// Masked observe kernel, loud form: apply outcomes[a] for every ant
+  /// with act[a] != 0.
+  virtual void observe_masked_acting(std::span<const std::uint8_t> act,
+                                     std::span<const env::Outcome> outcomes);
+
+  /// Masked observe kernel, quiet form (exact observation): derive each
+  /// acting ant's results from the environment (counts(), location(),
+  /// recruited_by_ant()) and the round's op/target lanes — op[a] is the
+  /// single source of truth for whether ant a's result is a recruit
+  /// return or a visit count (no kernel re-derives its decide table).
+  virtual void observe_masked_quiet_acting(std::span<const std::uint8_t> act,
+                                           const env::Environment& env,
+                                           std::span<const env::MaskedOp> op,
+                                           std::span<const env::NestId> targets);
+
+  // --- fault-lane helpers for derived kernels ------------------------------
+
+  [[nodiscard]] bool has_faults() const { return has_faults_; }
+  /// The round fill_masked() last planned — for observe kernels that need
+  /// the round number back (Algorithm 2's block step).
+  [[nodiscard]] std::uint32_t masked_round() const { return masked_round_; }
+  /// True iff ant a is Byzantine (its lane never runs the derived kernel).
+  [[nodiscard]] bool byzantine(env::AntId a) const {
+    return has_faults_ && fault_type_[a] ==
+                              static_cast<std::uint8_t>(env::FaultType::kByzantine);
+  }
+  /// True iff ant a belongs in convergence censuses (correct ants only;
+  /// crash-SCHEDULED ants are exempt from the start, like the scalar
+  /// path's Colony::correct).
+  [[nodiscard]] bool counts_in_census(env::AntId a) const {
+    return !has_faults_ ||
+           fault_type_[a] == static_cast<std::uint8_t>(env::FaultType::kNone);
+  }
+  /// Number of correct ants (the census total).
+  [[nodiscard]] std::uint32_t correct_count() const {
+    return has_faults_ ? correct_count_ : num_ants_;
+  }
+
+  // --- shared commitment lanes ---------------------------------------------
+  // Every pack tracks one committed nest per ant plus the incremental
+  // census of correct ants over it; the lanes and their maintenance live
+  // here ONCE so the census-exemption rule cannot drift between packs.
+
+  /// Commitment change with census maintenance (correct ants only).
+  void adopt(std::size_t a, env::NestId j) {
+    if (counts_in_census(static_cast<env::AntId>(a))) {
+      --census_[nest_[a]];
+      ++census_[j];
+    }
+    nest_[a] = j;
+  }
+
+  /// Rewind the commitment lanes to round 0: every ant committed to the
+  /// home nest, census over the correct ants (do_reset calls this).
+  void reset_commitments();
+
+  std::vector<env::NestId> nest_;      ///< committed nest per ant
+  std::vector<std::uint32_t> census_;  ///< committed census, correct ants
+
+ private:
+  /// Recompute the acting lane for `round` and write the faulty ants'
+  /// op/active/target rows.
+  void overlay_faults(std::uint32_t round, std::span<env::MaskedOp> op,
+                      std::span<std::uint8_t> active,
+                      std::span<env::NestId> targets);
+
+  std::uint32_t num_ants_;
+  bool has_faults_ = false;
+  std::uint32_t correct_count_ = 0;
+  std::uint32_t byz_count_ = 0;
+  std::uint32_t masked_round_ = 0;  ///< round of the last fill_masked
+  std::vector<std::uint8_t> act_;   ///< 1 = run the derived kernel this round
+  std::vector<std::uint8_t> fault_type_;     ///< env::FaultType per ant
+  std::vector<std::uint32_t> crash_round_;   ///< round >= which the ant idles
+  std::vector<env::NestId> byz_target_;      ///< worst nest found so far
+  std::vector<double> byz_quality_;          ///< its quality (2.0 = none yet)
 };
 
 /// True iff `kind` has a packed implementation.
@@ -139,10 +314,12 @@ class AntPack {
 /// `colony_seed` is the same seed make_colony would receive; per-ant RNG
 /// streams are derived from it identically to the per-object path.
 /// `num_nests` is k (packs keep an incrementally-maintained commitment
-/// census of size k+1).
+/// census of size k+1). `faults`, when non-null, is the sampled plan the
+/// scalar path would wrap ants with — installed as pack-level fault lanes.
 [[nodiscard]] std::unique_ptr<AntPack> make_ant_pack(
     AlgorithmKind kind, std::uint32_t num_ants, std::uint32_t num_nests,
-    std::uint64_t colony_seed, const AlgorithmParams& params);
+    std::uint64_t colony_seed, const AlgorithmParams& params,
+    const env::FaultPlan* faults = nullptr);
 
 }  // namespace hh::core
 

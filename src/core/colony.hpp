@@ -103,13 +103,20 @@ class CrashProneAnt final : public Ant {
   bool crashed_ = false;
 };
 
+/// How many rounds a Byzantine ant scouts before it starts recruiting —
+/// and the above-any-real-quality sentinel its worst-nest tracker starts
+/// from. Shared with the packed engine's fault lanes (core/ant_pack.cpp),
+/// which must mirror the adversary exactly.
+inline constexpr std::uint32_t kByzantineScoutRounds = 8;
+inline constexpr double kByzantineNoTargetQuality = 2.0;
+
 /// Byzantine ant (Section 6 "malicious faults"): spends a few rounds
 /// searching for the worst nest it can find, then actively recruits the
 /// colony toward it every round, forever, ignoring all feedback.
 class ByzantineAnt final : public Ant {
  public:
   ByzantineAnt(std::uint32_t num_ants, util::Rng rng,
-               std::uint32_t scout_rounds = 8);
+               std::uint32_t scout_rounds = kByzantineScoutRounds);
 
   [[nodiscard]] env::Action decide(std::uint32_t round) override;
   void observe(const env::Outcome& outcome) override;
@@ -121,7 +128,7 @@ class ByzantineAnt final : public Ant {
   std::uint32_t scout_rounds_;
   std::uint32_t rounds_scouted_ = 0;
   env::NestId target_ = env::kHomeNest;  ///< worst nest found so far
-  double target_quality_ = 2.0;          ///< above any real quality
+  double target_quality_ = kByzantineNoTargetQuality;
 };
 
 }  // namespace hh::core

@@ -36,6 +36,7 @@ namespace {
 constexpr std::uint64_t kEnvSeedTag = 0xE1717;
 constexpr std::uint64_t kColonySeedTag = 0xC0107;
 constexpr std::uint64_t kSchedulerSeedTag = 0x5C4ED;
+constexpr std::uint64_t kFaultSeedTag = 0xFA17;
 
 env::EnvironmentConfig make_env_config(const SimulationConfig& config,
                                        bool trusted_engine) {
@@ -56,14 +57,21 @@ std::uint64_t colony_seed(const SimulationConfig& config) {
   return util::mix_seed(config.seed, kColonySeedTag);
 }
 
+/// The per-execution fault assignment (shared derivation between the two
+/// engines: the packed fault lanes must see the very plan the scalar
+/// wrappers would).
+env::FaultPlan sample_fault_plan(const SimulationConfig& config,
+                                 std::uint64_t seed) {
+  return config.faults.any()
+             ? env::FaultPlan::sample(config.num_ants, config.faults,
+                                      util::mix_seed(seed, kFaultSeedTag))
+             : env::FaultPlan::none(config.num_ants);
+}
+
 Colony build_colony(const SimulationConfig& config, AlgorithmKind kind,
                     const AlgorithmParams& params) {
-  env::FaultPlan plan =
-      config.faults.any()
-          ? env::FaultPlan::sample(config.num_ants, config.faults,
-                                   util::mix_seed(config.seed, 0xFA17))
-          : env::FaultPlan::none(config.num_ants);
-  return make_colony(config.num_ants, kind, std::move(plan),
+  return make_colony(config.num_ants, kind,
+                     sample_fault_plan(config, config.seed),
                      colony_seed(config), params);
 }
 
@@ -76,28 +84,21 @@ Colony packed_colony_shell(AlgorithmKind kind) {
   return colony;
 }
 
-/// The packed engine covers the paper's base model only: no fault
-/// wrappers, full synchrony, and the kCommitment convergence notion.
-bool packed_eligible(const SimulationConfig& config, AlgorithmKind kind) {
-  return packed_available(kind) &&
-         default_mode(kind) == ConvergenceMode::kCommitment &&
-         !config.faults.any() && config.skip_probability == 0.0;
-}
-
-/// Resolve config.engine for `kind`: kAuto degrades gracefully, kPacked
-/// demands the fast path.
-bool use_packed(const SimulationConfig& config, AlgorithmKind kind) {
-  if (config.engine == EngineKind::kScalar) return false;
-  const bool eligible = packed_eligible(config, kind);
-  if (config.engine == EngineKind::kPacked && !eligible) {
-    throw std::invalid_argument(
-        "engine=packed requested but '" +
-        std::string(algorithm_name(kind)) +
-        "' with this config is not packable (needs a packed "
-        "implementation, no faults, no skip probability, and kCommitment "
-        "convergence); use kAuto to fall back to the per-object engine");
+/// Why `config` cannot run on the packed engine, or "" when it can.
+/// Every algorithm has a pack and the pack-level fault lanes cover
+/// crash/Byzantine plans and every convergence mode; partial synchrony is
+/// the one extension still needing the per-object scheduler.
+std::string unpackable_reason(const SimulationConfig& config,
+                              AlgorithmKind kind) {
+  if (!packed_available(kind)) {
+    return "algorithm '" + std::string(algorithm_name(kind)) +
+           "' has no packed implementation";
   }
-  return eligible;
+  if (config.skip_probability > 0.0) {
+    return "partial synchrony (skip_probability > 0) requires the "
+           "per-object round scheduler";
+  }
+  return {};
 }
 
 }  // namespace
@@ -115,14 +116,27 @@ std::uint32_t Simulation::auto_max_rounds(const SimulationConfig& config) {
 Simulation::EngineParts Simulation::build_engine(
     const SimulationConfig& config, AlgorithmKind kind,
     const AlgorithmParams& params) {
-  if (use_packed(config, kind)) {
+  const std::string reason = unpackable_reason(config, kind);
+  if (config.engine == EngineKind::kPacked && !reason.empty()) {
+    throw std::invalid_argument(
+        "engine=packed requested but " + reason +
+        "; use kAuto to fall back to the per-object engine");
+  }
+  if (config.engine != EngineKind::kScalar && reason.empty()) {
+    const bool faulted = config.faults.any();
+    const env::FaultPlan plan =
+        faulted ? sample_fault_plan(config, config.seed) : env::FaultPlan{};
     return EngineParts{
         packed_colony_shell(kind),
         make_ant_pack(kind, config.num_ants,
                       static_cast<std::uint32_t>(config.qualities.size()),
-                      colony_seed(config), params)};
+                      colony_seed(config), params, faulted ? &plan : nullptr),
+        {}};
   }
-  return EngineParts{build_colony(config, kind, params), nullptr};
+  // kScalar by request carries no fallback reason; a degraded kAuto does.
+  return EngineParts{build_colony(config, kind, params), nullptr,
+                     config.engine == EngineKind::kAuto ? reason
+                                                        : std::string{}};
 }
 
 Simulation::Simulation(const SimulationConfig& config, EngineParts engine,
@@ -140,6 +154,7 @@ Simulation::Simulation(const SimulationConfig& config, EngineParts engine,
                                     : auto_max_rounds(config)) {
   HH_EXPECTS(config.num_ants >= 1);
   HH_EXPECTS(!config.qualities.empty());
+  engine_fallback_ = std::move(engine.fallback);
   exact_observation_ = !config.noise.any();
   actions_.resize(config.num_ants);
   if (pack_) {
@@ -147,6 +162,8 @@ Simulation::Simulation(const SimulationConfig& config, EngineParts engine,
     census_.resize(env_.num_nests() + 1);
     requests_.resize(config.num_ants);
     recruit_active_.resize(config.num_ants);
+    masked_op_.resize(config.num_ants);
+    masked_targets_.resize(config.num_ants);
   } else {
     HH_EXPECTS(colony_.size() == config.num_ants);
     awake_.resize(config.num_ants);
@@ -155,7 +172,16 @@ Simulation::Simulation(const SimulationConfig& config, EngineParts engine,
 
 Simulation::Simulation(const SimulationConfig& config, Colony colony,
                        std::optional<ConvergenceMode> mode)
-    : Simulation(config, EngineParts{std::move(colony), nullptr},
+    : Simulation(config,
+                 EngineParts{std::move(colony), nullptr,
+                             // A caller-built colony ignores config.engine
+                             // (documented), so BOTH kAuto and kPacked are
+                             // effectively fallbacks here — record the
+                             // reason rather than reporting a clean
+                             // scalar-by-request run.
+                             config.engine != EngineKind::kScalar
+                                 ? "caller-built colonies run per-object"
+                                 : std::string{}},
                  mode.value_or(ConvergenceMode::kCommitment)) {}
 
 Simulation::Simulation(const SimulationConfig& config, AlgorithmKind kind,
@@ -170,6 +196,12 @@ bool Simulation::reset(std::uint64_t seed) {
   // documented re-derivation. The per-object colony holds polymorphic
   // ants (possibly wrapped in fault shims) with no reset contract.
   if (!pack_) return false;
+  // The fault plan is itself a function of the master seed — reinstall
+  // before the lane reset so believed-n draws skip the new Byzantine
+  // positions exactly as a fresh construction would.
+  if (config_.faults.any()) {
+    pack_->install_fault_plan(sample_fault_plan(config_, seed));
+  }
   if (!pack_->reset(util::mix_seed(seed, kColonySeedTag))) return false;
   // From here the reset cannot fail; every derivation mirrors the
   // constructor's (make_env_config / colony_seed / scheduler seeds).
@@ -243,10 +275,11 @@ bool Simulation::step_packed() {
     }
   };
 
-  // All synchronous, all correct: no scheduler consultation, one batch
-  // decide over the state arrays — routed through the environment's
-  // round-shape fast path when the round is colony-uniform, and through
-  // the Outcome-free quiet forms when observation is exact.
+  // All synchronous: no scheduler consultation, one batch decide over the
+  // state arrays — routed through the environment's round-shape fast path
+  // when the round is colony-uniform, through the masked SoA entry points
+  // when phases (or fault lanes) mix the round, and through the
+  // Outcome-free quiet forms when observation is exact.
   switch (pack_->round_shape(round)) {
     case RoundShape::kAllSearch:
       pack_->observe_all(env_.step_all_search());
@@ -276,17 +309,37 @@ bool Simulation::step_packed() {
         pack_->observe_all(env_.step_all_go(pack_->go_targets()));
       }
       break;
-    case RoundShape::kGeneric: {
-      pack_->decide_all(round, actions_);
-      const std::vector<env::Outcome>& outcomes = env_.step(actions_);
-      attribute([&](env::AntId a) { return outcomes[a].recruit_succeeded; });
-      pack_->observe_all(outcomes);
+    case RoundShape::kMaskedRecruit: {
+      pack_->fill_masked(round, masked_op_, recruit_active_, masked_targets_);
+      if (exact_observation_) {
+        env_.step_masked_recruit_quiet(masked_op_, recruit_active_,
+                                       masked_targets_);
+        attribute([&](env::AntId a) { return env_.recruit_succeeded_ant(a); });
+        pack_->observe_masked_quiet(env_, masked_op_, masked_targets_);
+      } else {
+        const std::vector<env::Outcome>& outcomes =
+            env_.step_masked_recruit(masked_op_, recruit_active_,
+                                     masked_targets_);
+        attribute([&](env::AntId a) { return outcomes[a].recruit_succeeded; });
+        pack_->observe_masked(outcomes);
+      }
       break;
     }
+    case RoundShape::kMaskedGo:
+      // No recruiters: nothing to pair, nothing to attribute.
+      pack_->fill_masked(round, masked_op_, recruit_active_, masked_targets_);
+      if (exact_observation_) {
+        env_.step_masked_go_quiet(masked_op_, masked_targets_);
+        pack_->observe_masked_quiet(env_, masked_op_, masked_targets_);
+      } else {
+        pack_->observe_masked(env_.step_masked_go(masked_op_, masked_targets_));
+      }
+      break;
   }
   record_round(tandem, transport);
-  pack_->committed_census(census_);
-  return detector_.update(census_, config_.num_ants, env_);
+  const std::uint32_t correct_total =
+      pack_->agreement_census(detector_.mode(), env_, census_);
+  return detector_.update(census_, correct_total, env_);
 }
 
 void Simulation::record_round(std::uint32_t tandem, std::uint32_t transport) {
@@ -310,6 +363,8 @@ RunResult Simulation::run() {
     step();
   }
   RunResult result;
+  result.engine = engine_used();
+  result.engine_fallback = engine_fallback_;
   result.converged = detector_.converged();
   result.rounds_executed = env_.round();
   result.total_recruitments = total_recruitments_;

@@ -35,12 +35,17 @@ class AntPack;
 ///   * kPacked — the struct-of-arrays fast path (core::AntPack): the whole
 ///     colony as parallel state arrays, one non-virtual pass per round,
 ///     zero allocations in the round loop (unless record_trajectories
-///     snapshots are requested). Only for algorithms with a
-///     packed implementation, fault-free configs, full synchrony, and
-///     kCommitment convergence; skips model validation (the packed FSMs
-///     are trusted — the reference path exists to validate semantics).
-///   * kAuto — kPacked whenever eligible, else kScalar. The default: large
-///     sweeps get the fast path, extensions silently keep working.
+///     snapshots are requested). Covers every built-in algorithm —
+///     optimal's per-ant phase machine included — every crash/Byzantine
+///     fault plan (pack-level fault lanes), every convergence mode, and
+///     noisy observation; partial synchrony and caller-built colonies are
+///     the remaining scalar-only cases. Skips model validation (the
+///     packed FSMs are trusted — the reference path exists to validate
+///     semantics).
+///   * kAuto — kPacked whenever eligible, else kScalar. The default:
+///     large sweeps get the fast path, and any fallback is LOUD — the
+///     engine that ran and the reason land on RunResult::engine /
+///     engine_fallback.
 enum class EngineKind : std::uint8_t { kAuto, kScalar, kPacked };
 
 /// Stable engine name for reports/tables.
@@ -105,6 +110,15 @@ struct Trajectories {
 
 /// Outcome of a run.
 struct RunResult {
+  /// The engine that actually executed the run — kScalar or kPacked,
+  /// never kAuto. With engine=kAuto in the config, check engine_fallback
+  /// to see WHY a run landed on the reference path.
+  EngineKind engine = EngineKind::kScalar;
+  /// Why an engine=kAuto config fell back to the per-object path (empty
+  /// when the packed engine ran, or when scalar was explicitly
+  /// requested). Makes silent fallbacks observable — sweeps can assert
+  /// on it instead of discovering a 3x slowdown in a profile.
+  std::string engine_fallback;
   bool converged = false;
   /// Round at which the winning agreement began (valid when converged).
   std::uint32_t rounds = 0;
@@ -130,7 +144,9 @@ class Simulation {
   /// of `colony` (which must have config.num_ants ants). `mode` defaults
   /// to the algorithm's natural convergence notion when omitted. An
   /// explicit colony always runs on the per-object engine (the caller may
-  /// have built arbitrary ants); config.engine is ignored here.
+  /// have built arbitrary ants); config.engine is ignored here, and any
+  /// non-kScalar request is recorded as an engine fallback on the
+  /// RunResult so the substitution stays observable.
   Simulation(const SimulationConfig& config, Colony colony,
              std::optional<ConvergenceMode> mode = std::nullopt);
 
@@ -169,6 +185,15 @@ class Simulation {
   [[nodiscard]] const Colony& colony() const { return colony_; }
   /// True when this simulation runs on the packed SoA engine.
   [[nodiscard]] bool packed() const { return pack_ != nullptr; }
+  /// The engine executing this simulation (kScalar or kPacked).
+  [[nodiscard]] EngineKind engine_used() const {
+    return packed() ? EngineKind::kPacked : EngineKind::kScalar;
+  }
+  /// Why an engine=kAuto config fell back to scalar ("" otherwise); also
+  /// carried on every RunResult (see RunResult::engine_fallback).
+  [[nodiscard]] const std::string& engine_fallback() const {
+    return engine_fallback_;
+  }
   /// The algorithm's registry name (valid on both engines).
   [[nodiscard]] std::string_view algorithm() const {
     return colony_.algorithm;
@@ -191,6 +216,8 @@ class Simulation {
   struct EngineParts {
     Colony colony;
     std::unique_ptr<AntPack> pack;
+    /// Why kAuto fell back to the per-object engine ("" = no fallback).
+    std::string fallback;
   };
   static EngineParts build_engine(const SimulationConfig& config,
                                   AlgorithmKind kind,
@@ -217,11 +244,14 @@ class Simulation {
   std::uint64_t total_transports_ = 0;
   Trajectories trajectories_;
   bool exact_observation_ = true;      // no noise: quiet rounds eligible
+  std::string engine_fallback_;        // why kAuto fell back ("" = packed)
   std::vector<env::Action> actions_;   // reused per round
   std::vector<bool> awake_;            // reused per round (scalar engine)
   std::vector<std::uint32_t> census_;  // reused per round (packed engine)
   std::vector<env::RecruitRequest> requests_;  // reused per round (packed)
   std::vector<std::uint8_t> recruit_active_;   // reused per round (packed)
+  std::vector<env::MaskedOp> masked_op_;       // reused per round (packed)
+  std::vector<env::NestId> masked_targets_;    // reused per round (packed)
 };
 
 }  // namespace hh::core

@@ -52,6 +52,8 @@ void Environment::reset(std::uint64_t seed) {
   std::fill(knowledge_.begin(), knowledge_.end(), std::uint8_t{0});
   requests_.clear();
   std::fill(request_index_.begin(), request_index_.end(), kNoRequest);
+  requests_ant_indexed_ = false;
+  pairing_current_ = false;
   stats_ = RoundStats{};
 }
 
@@ -132,11 +134,13 @@ void Environment::validate(AntId a, const Action& action) const {
   }
 }
 
-const std::vector<Outcome>& Environment::step(std::span<const Action> actions) {
-  HH_EXPECTS(actions.size() == cfg_.num_ants);
+template <bool kLoud, typename ActionAt>
+void Environment::round_phase1(const ActionAt& action_at) {
   const std::uint32_t k = num_nests();
   stats_ = RoundStats{};
   requests_.clear();
+  requests_ant_indexed_ = false;
+  pairing_current_ = true;  // every step_rows round runs the pairing
   if (all_at_home_) {
     // Materialize the lazy locations of a preceding step_all_recruit()
     // round: the kIdle branch below reads location_ in place.
@@ -144,9 +148,9 @@ const std::vector<Outcome>& Environment::step(std::span<const Action> actions) {
     all_at_home_ = false;
   }
 
-  // Phase 1: validate and apply all location updates simultaneously.
+  // Validate and apply all location updates simultaneously.
   for (AntId a = 0; a < cfg_.num_ants; ++a) {
-    const Action& action = actions[a];
+    const Action action = action_at(a);
     if (cfg_.enforce_model) validate(a, action);
     request_index_[a] = kNoRequest;
     switch (action.kind) {
@@ -154,22 +158,30 @@ const std::vector<Outcome>& Environment::step(std::span<const Action> actions) {
         // search(): i chosen uniformly at random from {1..k}.
         const auto found = static_cast<NestId>(1 + rng_.uniform_u64(k));
         location_[a] = found;
-        outcomes_[a] = Outcome{ActionKind::kSearch, found, 0.0, 0, false, false};
+        grant_knowledge(a, found);
+        if constexpr (kLoud) {
+          outcomes_[a] =
+              Outcome{ActionKind::kSearch, found, 0.0, 0, false, false};
+        }
         ++stats_.searches;
         break;
       }
       case ActionKind::kGo:
         location_[a] = action.target;
-        outcomes_[a] =
-            Outcome{ActionKind::kGo, action.target, 0.0, 0, false, false};
+        if constexpr (kLoud) {
+          outcomes_[a] =
+              Outcome{ActionKind::kGo, action.target, 0.0, 0, false, false};
+        }
         ++stats_.gos;
         break;
       case ActionKind::kRecruit:
         location_[a] = kHomeNest;  // recruitment happens at the home nest
         request_index_[a] = static_cast<std::uint32_t>(requests_.size());
         requests_.push_back(RecruitRequest{a, action.active, action.target});
-        outcomes_[a] =
-            Outcome{ActionKind::kRecruit, action.target, 0.0, 0, false, false};
+        if constexpr (kLoud) {
+          outcomes_[a] = Outcome{ActionKind::kRecruit, action.target, 0.0, 0,
+                                 false, false};
+        }
         if (action.active) {
           ++stats_.active_recruits;
         } else {
@@ -177,12 +189,21 @@ const std::vector<Outcome>& Environment::step(std::span<const Action> actions) {
         }
         break;
       case ActionKind::kIdle:
-        outcomes_[a] =
-            Outcome{ActionKind::kIdle, location_[a], 0.0, 0, false, false};
+        if constexpr (kLoud) {
+          outcomes_[a] =
+              Outcome{ActionKind::kIdle, location_[a], 0.0, 0, false, false};
+        }
         ++stats_.idles;
         break;
     }
   }
+}
+
+template <typename ActionAt>
+const std::vector<Outcome>& Environment::step_rows(const ActionAt& action_at) {
+  const std::uint32_t k = num_nests();
+  // Phase 1 (shared with the quiet form).
+  round_phase1<true>(action_at);
 
   // Phase 2: the centralized pairing process (Algorithm 1 by default),
   // writing into the environment-owned scratch buffers.
@@ -201,13 +222,13 @@ const std::vector<Outcome>& Environment::step(std::span<const Action> actions) {
     Outcome& out = outcomes_[a];
     switch (out.kind) {
       case ActionKind::kSearch: {
+        // (Knowledge of the found nest was granted in phase 1.)
         const double q = quality(out.nest);
         out.quality =
             observe_exact_ ? q : observation_->perceive_quality(q, rng_);
         out.count = observe_exact_
                         ? count_[out.nest]
                         : observation_->perceive_count(count_[out.nest], rng_);
-        grant_knowledge(a, out.nest);
         break;
       }
       case ActionKind::kGo: {
@@ -234,7 +255,10 @@ const std::vector<Outcome>& Environment::step(std::span<const Action> actions) {
           if (requests_[static_cast<std::size_t>(recruiter)].ant == a) {
             ++stats_.self_recruitments;
           }
-          if (out.nest != actions[a].target) ++stats_.cross_nest_recruitments;
+          // requests_[idx].target is the ant's own advertised nest.
+          if (out.nest != requests_[idx].target) {
+            ++stats_.cross_nest_recruitments;
+          }
           if (out.nest != kHomeNest) grant_knowledge(a, out.nest);
         }
         out.recruit_succeeded = pairing_scratch_.recruit_succeeded[idx] != 0;
@@ -252,9 +276,134 @@ const std::vector<Outcome>& Environment::step(std::span<const Action> actions) {
   return outcomes_;
 }
 
+template <typename ActionAt>
+void Environment::step_rows_quiet(const ActionAt& action_at) {
+  // The Outcome-free core: the SAME phase-1/pairing/count bookkeeping and
+  // RNG draws as step_rows (exact observation draws nothing in phase 4),
+  // but the per-ant return values are never materialized — callers read
+  // last_pairing()/recruited_by_ant()/counts()/location() directly.
+  HH_EXPECTS(observe_exact_);
+  const std::uint32_t k = num_nests();
+  round_phase1<false>(action_at);
+
+  pairing_->pair_into(requests_, rng_, pairing_scratch_);
+  HH_ENSURES(pairing_scratch_.recruited_by.size() == requests_.size());
+
+  count_.assign(k + 1, 0);
+  for (AntId a = 0; a < cfg_.num_ants; ++a) ++count_[location_[a]];
+
+  // Matching bookkeeping (stats + tandem-run knowledge), indexed by
+  // request position x (request x's caller is requests_[x].ant).
+  for (std::size_t x = 0; x < requests_.size(); ++x) {
+    const std::int32_t recruiter = pairing_scratch_.recruited_by[x];
+    if (recruiter == kNotRecruited) continue;
+    const RecruitRequest& from = requests_[static_cast<std::size_t>(recruiter)];
+    ++stats_.successful_recruitments;
+    if (from.ant == requests_[x].ant) ++stats_.self_recruitments;
+    if (from.target != requests_[x].target) ++stats_.cross_nest_recruitments;
+    if (from.target != kHomeNest) grant_knowledge(requests_[x].ant, from.target);
+  }
+
+  ++round_;
+}
+
+const std::vector<Outcome>& Environment::step(std::span<const Action> actions) {
+  HH_EXPECTS(actions.size() == cfg_.num_ants);
+  return step_rows([&](AntId a) { return actions[a]; });
+}
+
+namespace {
+
+/// Adapter: the masked SoA lanes as an Action-yielding row accessor.
+struct MaskedRows {
+  std::span<const MaskedOp> op;
+  std::span<const std::uint8_t> active;
+  std::span<const NestId> targets;
+
+  Action operator()(AntId a) const {
+    switch (op[a]) {
+      case MaskedOp::kGo: return Action::go(targets[a]);
+      case MaskedOp::kRecruit: return Action::recruit(active[a] != 0, targets[a]);
+      case MaskedOp::kSearch: return Action::search();
+      case MaskedOp::kIdle: break;
+    }
+    return Action::idle();
+  }
+};
+
+}  // namespace
+
+const std::vector<Outcome>& Environment::step_masked_recruit(
+    std::span<const MaskedOp> op, std::span<const std::uint8_t> active,
+    std::span<const NestId> targets) {
+  HH_EXPECTS(op.size() == cfg_.num_ants);
+  HH_EXPECTS(active.size() == cfg_.num_ants);
+  HH_EXPECTS(targets.size() == cfg_.num_ants);
+  return step_rows(MaskedRows{op, active, targets});
+}
+
+void Environment::step_masked_recruit_quiet(
+    std::span<const MaskedOp> op, std::span<const std::uint8_t> active,
+    std::span<const NestId> targets) {
+  HH_EXPECTS(op.size() == cfg_.num_ants);
+  HH_EXPECTS(active.size() == cfg_.num_ants);
+  HH_EXPECTS(targets.size() == cfg_.num_ants);
+  step_rows_quiet(MaskedRows{op, active, targets});
+}
+
+const std::vector<Outcome>& Environment::step_masked_go(
+    std::span<const MaskedOp> op, std::span<const NestId> targets) {
+  HH_EXPECTS(op.size() == cfg_.num_ants);
+  HH_EXPECTS(targets.size() == cfg_.num_ants);
+  // No recruiters: the request list stays empty and pair_active() on an
+  // empty span draws nothing, so sharing step_rows keeps this
+  // RNG-equivalent to step() with the same (recruit-free) action vector.
+  return step_rows([&](AntId a) {
+    HH_ASSERT(op[a] != MaskedOp::kRecruit);
+    return MaskedRows{op, {}, targets}(a);
+  });
+}
+
+void Environment::step_masked_go_quiet(std::span<const MaskedOp> op,
+                                       std::span<const NestId> targets) {
+  HH_EXPECTS(op.size() == cfg_.num_ants);
+  HH_EXPECTS(targets.size() == cfg_.num_ants);
+  step_rows_quiet([&](AntId a) {
+    HH_ASSERT(op[a] != MaskedOp::kRecruit);
+    return MaskedRows{op, {}, targets}(a);
+  });
+}
+
+std::int32_t Environment::recruited_by_ant(AntId a) const {
+  HH_EXPECTS(a < cfg_.num_ants);
+  if (!pairing_current_) return kNotRecruited;
+  if (requests_ant_indexed_) {
+    // All-recruit rounds: request position x IS ant x.
+    return pairing_scratch_.recruited_by[a];
+  }
+  const std::uint32_t idx = request_index_[a];
+  if (idx == kNoRequest) return kNotRecruited;
+  const std::int32_t recruiter = pairing_scratch_.recruited_by[idx];
+  if (recruiter == kNotRecruited) return kNotRecruited;
+  return static_cast<std::int32_t>(
+      requests_[static_cast<std::size_t>(recruiter)].ant);
+}
+
+bool Environment::recruit_succeeded_ant(AntId a) const {
+  HH_EXPECTS(a < cfg_.num_ants);
+  if (!pairing_current_) return false;
+  if (requests_ant_indexed_) {
+    return pairing_scratch_.recruit_succeeded[a] != 0;
+  }
+  const std::uint32_t idx = request_index_[a];
+  if (idx == kNoRequest) return false;
+  return pairing_scratch_.recruit_succeeded[idx] != 0;
+}
+
 const std::vector<Outcome>& Environment::step_all_search() {
   const std::uint32_t k = num_nests();
   stats_ = RoundStats{};
+  pairing_current_ = false;  // no pairing: this round's matching is empty
   stats_.searches = cfg_.num_ants;
   all_at_home_ = false;  // every location is written below
   // search() is always legal — nothing to validate.
@@ -294,6 +443,8 @@ const std::vector<Outcome>& Environment::step_all_recruit(
   // location — and with it every count — is known without writing a thing
   // (locations materialize lazily through the all_at_home_ flag).
   all_at_home_ = true;
+  requests_ant_indexed_ = true;
+  pairing_current_ = true;
   pairing_->pair_into(requests, rng_, pairing_scratch_);
   HH_ENSURES(pairing_scratch_.recruited_by.size() == requests.size());
   count_.assign(k + 1, 0);
@@ -341,6 +492,8 @@ void Environment::step_all_recruit_quiet(std::span<const std::uint8_t> active,
     }
   }
   all_at_home_ = true;
+  requests_ant_indexed_ = true;
+  pairing_current_ = true;
   for (const std::uint8_t b : active) stats_.active_recruits += b ? 1u : 0u;
   stats_.passive_recruits = cfg_.num_ants - stats_.active_recruits;
   pairing_->pair_active(active, rng_, pairing_scratch_);
@@ -369,6 +522,7 @@ void Environment::step_all_go_quiet(std::span<const NestId> targets) {
   HH_EXPECTS(targets.size() == cfg_.num_ants);
   const std::uint32_t k = num_nests();
   stats_ = RoundStats{};
+  pairing_current_ = false;  // no pairing: this round's matching is empty
   stats_.gos = cfg_.num_ants;
   all_at_home_ = false;  // every location is written below
   if (cfg_.enforce_model) {
@@ -391,6 +545,7 @@ const std::vector<Outcome>& Environment::step_all_go(
   HH_EXPECTS(targets.size() == cfg_.num_ants);
   const std::uint32_t k = num_nests();
   stats_ = RoundStats{};
+  pairing_current_ = false;  // no pairing: this round's matching is empty
   stats_.gos = cfg_.num_ants;
   all_at_home_ = false;  // every location is written below
   if (cfg_.enforce_model) {

@@ -61,6 +61,17 @@ struct RoundStats {
   std::uint32_t cross_nest_recruitments = 0;
 };
 
+/// Per-ant operation selector for the masked SoA entry points
+/// (step_masked_recruit / step_masked_go): one byte per ant instead of an
+/// Action struct, chosen so mixed-phase rounds (Algorithm 2's interleaved
+/// R1-R4 blocks, fault-injected colonies) stay on the SoA hot path.
+enum class MaskedOp : std::uint8_t {
+  kIdle = 0,  ///< stay put (crashed ant; allow_idle configs only)
+  kGo,        ///< go(targets[a])
+  kRecruit,   ///< recruit(active[a] != 0, targets[a])
+  kSearch,    ///< search() (round-1 ants, Byzantine scouts)
+};
+
 /// The home-nest-plus-k-candidate-nests world. One instance = one execution.
 class Environment {
  public:
@@ -139,6 +150,38 @@ class Environment {
   /// step_all_go without Outcomes; per-nest results are in counts().
   void step_all_go_quiet(std::span<const NestId> targets);
 
+  // --- masked SoA entry points --------------------------------------------
+  // Mixed-phase rounds in SoA form: op[a] selects ant a's call (see
+  // MaskedOp), targets[a] its go destination or advertised nest, active[a]
+  // its b for recruits. RNG-equivalent to step() with the corresponding
+  // action vector — both run the same row-level core — so packs whose
+  // rounds are NOT colony-uniform (per-ant phase lanes, fault lanes) keep
+  // the zero-allocation contract instead of falling back to per-object
+  // dispatch. tests/test_environment.cpp pins the equivalence.
+
+  /// One mixed round that may contain recruiters. After it,
+  /// last_pairing() holds the matching (indexed by request position) and
+  /// recruited_by_ant()/recruit_succeeded_ant() give the ant-indexed view.
+  const std::vector<Outcome>& step_masked_recruit(
+      std::span<const MaskedOp> op, std::span<const std::uint8_t> active,
+      std::span<const NestId> targets);
+
+  /// step_masked_recruit without Outcomes (exact observation only).
+  void step_masked_recruit_quiet(std::span<const MaskedOp> op,
+                                 std::span<const std::uint8_t> active,
+                                 std::span<const NestId> targets);
+
+  /// One mixed round with NO recruiters (op values kGo/kSearch/kIdle
+  /// only): skips the pairing process, which draws nothing on an empty
+  /// request set, so it stays RNG-equivalent to step(). `active` is not
+  /// needed; `targets` is read only at kGo positions.
+  const std::vector<Outcome>& step_masked_go(std::span<const MaskedOp> op,
+                                             std::span<const NestId> targets);
+
+  /// step_masked_go without Outcomes (exact observation only).
+  void step_masked_go_quiet(std::span<const MaskedOp> op,
+                            std::span<const NestId> targets);
+
   // --- inspection (environment's-eye view; not visible to ants) ---
 
   /// Colony size n.
@@ -168,6 +211,16 @@ class Environment {
   [[nodiscard]] const PairingScratch& last_pairing() const {
     return pairing_scratch_;
   }
+  /// Ant-indexed view of the LAST ROUND's matching: the AntId that
+  /// recruited `a`, or kNotRecruited — including when `a` made no
+  /// recruit() call, and for every ant after a round with no recruit
+  /// calls at all (step_all_search/go), whose matching is empty by
+  /// definition. Translates the pairing scratch's request-position
+  /// indices, which packs must not do themselves.
+  [[nodiscard]] std::int32_t recruited_by_ant(AntId a) const;
+  /// Ant-indexed view: whether `a` successfully recruited someone in the
+  /// last round.
+  [[nodiscard]] bool recruit_succeeded_ant(AntId a) const;
   /// Whether ant a has knowledge of nest i (visited or been recruited to).
   [[nodiscard]] bool knows(AntId a, NestId i) const;
   /// Stats of the most recent round.
@@ -178,6 +231,23 @@ class Environment {
  private:
   void validate(AntId a, const Action& action) const;
   void grant_knowledge(AntId a, NestId i);
+
+  /// The row-level core every generic/masked round goes through:
+  /// `action_at(a)` yields ant a's Action. step() and the masked entry
+  /// points are thin adapters over these two, which is what makes them
+  /// RNG-equivalent by construction.
+  template <typename ActionAt>
+  const std::vector<Outcome>& step_rows(const ActionAt& action_at);
+  /// The Outcome-free form (exact observation only): same bookkeeping,
+  /// no per-ant return values materialized.
+  template <typename ActionAt>
+  void step_rows_quiet(const ActionAt& action_at);
+  /// Phase 1 shared by both forms — validation, location updates, the
+  /// search landing draws, request building, stats — ONE copy so the
+  /// loud and quiet paths cannot drift apart. kLoud additionally seeds
+  /// the per-ant Outcome rows phase 4 completes.
+  template <bool kLoud, typename ActionAt>
+  void round_phase1(const ActionAt& action_at);
 
   EnvironmentConfig cfg_;
   std::unique_ptr<PairingModel> pairing_;
@@ -198,6 +268,14 @@ class Environment {
   std::vector<Outcome> outcomes_;       // reused each round
   std::vector<RecruitRequest> requests_;  // reused each round
   std::vector<std::uint32_t> request_index_;  // ant -> index into requests_
+  // True when the last recruit-bearing round used the all-recruit entry
+  // points, whose pairing scratch is indexed directly by ant (the
+  // request_index_ indirection is skipped there).
+  bool requests_ant_indexed_ = false;
+  // False after rounds that perform no pairing (all-search/all-go): the
+  // scratch and request_index_ then describe an OLDER round, and the
+  // ant-indexed views must report an empty matching, not stale pairs.
+  bool pairing_current_ = false;
   PairingScratch pairing_scratch_;      // reused each round
   RoundStats stats_;
 };

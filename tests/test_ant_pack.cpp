@@ -17,9 +17,10 @@ namespace hh::core {
 namespace {
 
 const std::vector<AlgorithmKind> kPackedKinds = {
-    AlgorithmKind::kSimple, AlgorithmKind::kRateBoosted,
-    AlgorithmKind::kQualityAware, AlgorithmKind::kUniformRecruit,
-    AlgorithmKind::kQuorum,
+    AlgorithmKind::kSimple,         AlgorithmKind::kRateBoosted,
+    AlgorithmKind::kQualityAware,   AlgorithmKind::kUniformRecruit,
+    AlgorithmKind::kQuorum,         AlgorithmKind::kOptimal,
+    AlgorithmKind::kOptimalSettle,
 };
 
 SimulationConfig base_config(std::uint64_t seed) {
@@ -32,6 +33,10 @@ SimulationConfig base_config(std::uint64_t seed) {
 
 void expect_identical(const RunResult& scalar, const RunResult& packed,
                       const std::string& label) {
+  // The engine tag itself differs by construction — everything the model
+  // produced must not.
+  EXPECT_EQ(scalar.engine, EngineKind::kScalar) << label;
+  EXPECT_EQ(packed.engine, EngineKind::kPacked) << label;
   EXPECT_EQ(scalar.converged, packed.converged) << label;
   EXPECT_EQ(scalar.rounds, packed.rounds) << label;
   EXPECT_EQ(scalar.rounds_executed, packed.rounds_executed) << label;
@@ -50,12 +55,10 @@ RunResult run_with_engine(SimulationConfig cfg, AlgorithmKind kind,
   return sim.run();
 }
 
-TEST(AntPack, AvailableForTheAlgorithm3FamilyAndQuorum) {
-  for (AlgorithmKind kind : kPackedKinds) {
+TEST(AntPack, AvailableForEveryBuiltInAlgorithm) {
+  for (AlgorithmKind kind : all_algorithm_kinds()) {
     EXPECT_TRUE(packed_available(kind)) << algorithm_name(kind);
   }
-  EXPECT_FALSE(packed_available(AlgorithmKind::kOptimal));
-  EXPECT_FALSE(packed_available(AlgorithmKind::kOptimalSettle));
 }
 
 TEST(AntPack, BitIdenticalToScalarForEveryPackedKindAndSeed) {
@@ -102,10 +105,76 @@ TEST(AntPack, BitIdenticalUnderNoiseAndAlternatePairing) {
   }
 }
 
+/// A crash plan, a Byzantine plan, and both at once. Byzantine recruiters
+/// keep a rotating pool of correct ants kidnapped, so those configs get
+/// the paper's epsilon-agreement knobs plus a round cap (equivalence must
+/// hold for non-converging executions too — both engines hit the cap the
+/// same way).
+std::vector<SimulationConfig> fault_configs(std::uint64_t seed) {
+  SimulationConfig crash = base_config(seed);
+  crash.faults.crash_fraction = 0.15;
+  crash.faults.crash_horizon = 32;
+
+  SimulationConfig byz = base_config(seed);
+  byz.faults.byzantine_fraction = 0.05;
+  byz.convergence_tolerance = 0.2;
+  byz.stability_rounds = 4;
+  byz.max_rounds = 400;
+
+  SimulationConfig both = base_config(seed);
+  both.faults.crash_fraction = 0.1;
+  both.faults.byzantine_fraction = 0.05;
+  both.convergence_tolerance = 0.25;
+  both.stability_rounds = 4;
+  both.max_rounds = 400;
+  return {crash, byz, both};
+}
+
+TEST(AntPack, BitIdenticalUnderCrashAndByzantineFaultLanes) {
+  // The pack-level fault lanes must reproduce the per-object wrappers
+  // (CrashProneAnt freezing, ByzantineAnt scout-then-recruit) exactly —
+  // for every algorithm, settle on and off included.
+  for (AlgorithmKind kind : kPackedKinds) {
+    for (std::uint64_t seed : {1ull, 9001ull}) {
+      std::size_t variant = 0;
+      for (const SimulationConfig& cfg : fault_configs(seed)) {
+        const auto scalar = run_with_engine(cfg, kind, EngineKind::kScalar);
+        const auto packed = run_with_engine(cfg, kind, EngineKind::kPacked);
+        expect_identical(scalar, packed,
+                         std::string(algorithm_name(kind)) + "/faults=" +
+                             std::to_string(variant++) + "/seed=" +
+                             std::to_string(seed));
+      }
+    }
+  }
+}
+
+TEST(AntPack, BitIdenticalUnderFaultsWithNoise) {
+  // Faulted AND noisy: the loud masked path (per-ant Outcomes, noisy
+  // perception draws in ant order) with fault lanes on top.
+  auto cfg = base_config(17);
+  cfg.faults.crash_fraction = 0.1;
+  cfg.faults.byzantine_fraction = 0.05;
+  cfg.noise.count_sigma = 0.25;
+  cfg.noise.quality_flip_prob = 0.05;
+  cfg.convergence_tolerance = 0.25;
+  cfg.stability_rounds = 4;
+  cfg.max_rounds = 400;
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kSimple, AlgorithmKind::kQuorum,
+        AlgorithmKind::kOptimal, AlgorithmKind::kOptimalSettle}) {
+    const auto scalar = run_with_engine(cfg, kind, EngineKind::kScalar);
+    const auto packed = run_with_engine(cfg, kind, EngineKind::kPacked);
+    expect_identical(scalar, packed, std::string(algorithm_name(kind)));
+  }
+}
+
 TEST(AntPack, TrajectoriesMatchBetweenEngines) {
   auto cfg = base_config(3);
   cfg.record_trajectories = true;
-  for (AlgorithmKind kind : {AlgorithmKind::kSimple, AlgorithmKind::kQuorum}) {
+  for (AlgorithmKind kind : {AlgorithmKind::kSimple, AlgorithmKind::kQuorum,
+                             AlgorithmKind::kOptimal,
+                             AlgorithmKind::kOptimalSettle}) {
     const auto scalar = run_with_engine(cfg, kind, EngineKind::kScalar);
     const auto packed = run_with_engine(cfg, kind, EngineKind::kPacked);
     ASSERT_EQ(scalar.trajectories.counts, packed.trajectories.counts);
@@ -124,7 +193,8 @@ TEST(AntPack, RunnerBatchesAreIdenticalAcrossEnginesAndThreadCounts) {
       analysis::SweepSpec("engine-equivalence")
           .base(base_config(0))
           .algorithms({"simple", "rate-boosted", "quality-aware",
-                       "uniform-recruit", "quorum"})
+                       "uniform-recruit", "quorum", "optimal",
+                       "optimal+settle"})
           .engines({EngineKind::kScalar, EngineKind::kPacked});
   const auto scenarios = spec.expand();
   constexpr std::size_t kTrials = 16;
@@ -173,22 +243,67 @@ TEST(AntPack, RunnerBatchesAreIdenticalAcrossEnginesAndThreadCounts) {
   }
 }
 
-TEST(AntPack, AutoFallsBackToScalarWhenIneligible) {
-  // Faults force the per-object path (wrappers need real Ant objects).
+TEST(AntPack, FaultedOptimalSweepsAreIdenticalAcrossEnginesAndThreadCounts) {
+  // The acceptance gate for the phase-aware engine: optimal (settle on
+  // and off) and fault-injected configs, swept over both engines, must be
+  // bit-identical per trial at 1, 2, and 8 runner threads.
+  auto base = base_config(0);
+  base.convergence_tolerance = 0.25;
+  base.stability_rounds = 2;
+  base.max_rounds = 400;
+  auto spec = analysis::SweepSpec("faulted-engine-equivalence")
+                  .base(base)
+                  .algorithms({"optimal", "optimal+settle", "simple",
+                               "quorum"})
+                  .crash_fractions({0.0, 0.1})
+                  .byzantine_fractions({0.0, 0.05})
+                  .engines({EngineKind::kScalar, EngineKind::kPacked});
+  const auto scenarios = spec.expand();
+  constexpr std::size_t kTrials = 4;
+  constexpr std::uint64_t kSeed = 99;
+
+  std::vector<analysis::BatchResult> batches;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    batches.push_back(analysis::Runner(analysis::RunnerOptions{threads})
+                          .run(scenarios, kTrials, kSeed));
+  }
+  for (std::size_t b = 1; b < batches.size(); ++b) {
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+      const auto& t0 = batches[0].results[s].trials;
+      const auto& tb = batches[b].results[s].trials;
+      ASSERT_EQ(t0.size(), tb.size());
+      for (std::size_t t = 0; t < t0.size(); ++t) {
+        EXPECT_EQ(t0[t].converged, tb[t].converged) << scenarios[s].name;
+        EXPECT_EQ(t0[t].rounds, tb[t].rounds) << scenarios[s].name;
+        EXPECT_EQ(t0[t].winner, tb[t].winner) << scenarios[s].name;
+        EXPECT_EQ(t0[t].recruitments, tb[t].recruitments) << scenarios[s].name;
+      }
+    }
+  }
+
+  // Cross-engine equivalence at equal trial seeds for every packed cell.
+  for (const auto& scenario : scenarios) {
+    if (scenario.config.engine != EngineKind::kPacked) continue;
+    auto scalar_scenario = scenario;
+    scalar_scenario.config.engine = EngineKind::kScalar;
+    const auto packed = scenario.make_simulation(19)->run();
+    const auto scalar = scalar_scenario.make_simulation(19)->run();
+    expect_identical(scalar, packed, scenario.name);
+  }
+}
+
+TEST(AntPack, FaultedAndOptimalConfigsNowRunPacked) {
+  // Faults run on pack-level fault lanes — no per-object wrappers needed.
   auto cfg = base_config(2);
   cfg.faults.crash_fraction = 0.1;
   Simulation faulty(cfg, AlgorithmKind::kSimple);
-  EXPECT_FALSE(faulty.packed());
+  EXPECT_TRUE(faulty.packed());
+  EXPECT_EQ(faulty.engine_used(), EngineKind::kPacked);
+  EXPECT_TRUE(faulty.engine_fallback().empty());
 
-  // Partial synchrony likewise.
-  auto skewed = base_config(2);
-  skewed.skip_probability = 0.2;
-  Simulation sleepy(skewed, AlgorithmKind::kSimple);
-  EXPECT_FALSE(sleepy.packed());
-
-  // Unpacked algorithms always fall back under kAuto.
+  // Algorithm 2 runs packed through the masked (per-ant phase) path.
   Simulation optimal(base_config(2), AlgorithmKind::kOptimal);
-  EXPECT_FALSE(optimal.packed());
+  EXPECT_TRUE(optimal.packed());
 
   // kAuto picks packed when eligible; kScalar overrides.
   Simulation eager(base_config(2), AlgorithmKind::kSimple);
@@ -199,17 +314,50 @@ TEST(AntPack, AutoFallsBackToScalarWhenIneligible) {
   EXPECT_FALSE(reference.packed());
 }
 
+TEST(AntPack, FallbackIsLoudOnRunResult) {
+  // Partial synchrony is the one remaining scalar-only extension: kAuto
+  // degrades, but the chosen engine and the reason land on the RunResult
+  // so a sweep can assert on them instead of silently running 3x slower.
+  auto skewed = base_config(2);
+  skewed.skip_probability = 0.2;
+  Simulation sleepy(skewed, AlgorithmKind::kSimple);
+  EXPECT_FALSE(sleepy.packed());
+  EXPECT_EQ(sleepy.engine_used(), EngineKind::kScalar);
+  EXPECT_NE(sleepy.engine_fallback().find("synchrony"), std::string::npos);
+  const RunResult result = sleepy.run();
+  EXPECT_EQ(result.engine, EngineKind::kScalar);
+  EXPECT_EQ(result.engine_fallback, sleepy.engine_fallback());
+
+  // An explicitly requested engine is not a fallback: no reason recorded.
+  auto forced = base_config(2);
+  forced.engine = EngineKind::kScalar;
+  Simulation reference(forced, AlgorithmKind::kSimple);
+  EXPECT_TRUE(reference.engine_fallback().empty());
+  EXPECT_EQ(reference.run().engine, EngineKind::kScalar);
+
+  // The packed engine reports itself with no fallback.
+  Simulation packed(base_config(2), AlgorithmKind::kOptimal);
+  const RunResult fast = packed.run();
+  EXPECT_EQ(fast.engine, EngineKind::kPacked);
+  EXPECT_TRUE(fast.engine_fallback.empty());
+}
+
 TEST(AntPack, ExplicitPackedRequestThrowsWhenImpossible) {
+  // Faults and optimal are packable now; partial synchrony still is not.
   auto cfg = base_config(2);
   cfg.engine = EngineKind::kPacked;
-  cfg.faults.byzantine_fraction = 0.1;
+  cfg.skip_probability = 0.3;
   EXPECT_THROW(Simulation(cfg, AlgorithmKind::kSimple),
                std::invalid_argument);
 
-  auto unpackable = base_config(2);
-  unpackable.engine = EngineKind::kPacked;
-  EXPECT_THROW(Simulation(unpackable, AlgorithmKind::kOptimal),
-               std::invalid_argument);
+  auto packable = base_config(2);
+  packable.engine = EngineKind::kPacked;
+  packable.faults.byzantine_fraction = 0.1;
+  packable.convergence_tolerance = 0.3;
+  EXPECT_NO_THROW(Simulation(packable, AlgorithmKind::kSimple));
+  auto optimal_packed = base_config(2);
+  optimal_packed.engine = EngineKind::kPacked;  // demand, don't fall back
+  EXPECT_NO_THROW(Simulation(optimal_packed, AlgorithmKind::kOptimal));
 }
 
 TEST(AntPack, ExplicitColonyAlwaysRunsScalar) {
@@ -218,7 +366,21 @@ TEST(AntPack, ExplicitColonyAlwaysRunsScalar) {
                               util::mix_seed(cfg.seed, 0xC0107));
   Simulation sim(cfg, std::move(colony));
   EXPECT_FALSE(sim.packed());
+  EXPECT_FALSE(sim.engine_fallback().empty());
   EXPECT_TRUE(sim.run().converged);
+
+  // Even an explicit kPacked request lands scalar here (config.engine is
+  // documented as ignored for caller-built colonies) — but never
+  // silently: the substitution is recorded as a fallback.
+  auto forced = base_config(4);
+  forced.engine = EngineKind::kPacked;
+  Colony another = make_colony(forced.num_ants, AlgorithmKind::kSimple,
+                               util::mix_seed(forced.seed, 0xC0107));
+  Simulation substituted(forced, std::move(another));
+  EXPECT_FALSE(substituted.packed());
+  const RunResult result = substituted.run();
+  EXPECT_EQ(result.engine, EngineKind::kScalar);
+  EXPECT_FALSE(result.engine_fallback.empty());
 }
 
 }  // namespace

@@ -390,6 +390,137 @@ TEST(Environment, RoundShapeFastPathsMatchGenericStep) {
   EXPECT_EQ(quiet.round(), 3u);
 }
 
+// The masked SoA entry points (step_masked_recruit/go and the quiet
+// forms) must be RNG- and state-equivalent to step() with the
+// corresponding MIXED action vector — the per-ant-phase packs (optimal)
+// and the pack-level fault lanes rest on this.
+TEST(Environment, MaskedEntryPointsMatchGenericStep) {
+  constexpr std::uint32_t n = 64;
+  const std::vector<double> qualities = {1.0, 1.0, 0.0, 0.0};
+  auto cfg = config(n, qualities, 91);
+  cfg.allow_idle = true;  // masked rounds carry crashed (idle) ants
+  Environment generic(cfg);
+  Environment masked(cfg);
+  Environment quiet(cfg);
+
+  const auto expect_same_state = [&](const Environment& other,
+                                     const char* label) {
+    for (NestId i = 0; i <= generic.num_nests(); ++i) {
+      EXPECT_EQ(generic.count(i), other.count(i)) << label << " nest " << i;
+    }
+    for (AntId a = 0; a < n; ++a) {
+      EXPECT_EQ(generic.location(a), other.location(a))
+          << label << " ant " << a;
+      for (NestId i = 0; i <= generic.num_nests(); ++i) {
+        EXPECT_EQ(generic.knows(a, i), other.knows(a, i)) << label;
+      }
+    }
+    EXPECT_EQ(generic.last_round_stats().successful_recruitments,
+              other.last_round_stats().successful_recruitments)
+        << label;
+    EXPECT_EQ(generic.last_round_stats().idles,
+              other.last_round_stats().idles)
+        << label;
+    EXPECT_EQ(generic.last_round_stats().searches,
+              other.last_round_stats().searches)
+        << label;
+    EXPECT_EQ(generic.last_round_stats().gos, other.last_round_stats().gos)
+        << label;
+  };
+
+  // Round 1: a go-free mix — searchers and idlers (a crashed-at-round-1
+  // colony slice). No recruiters => the masked_go form.
+  std::vector<Action> actions(n);
+  std::vector<MaskedOp> op(n);
+  std::vector<std::uint8_t> active(n, 0);
+  std::vector<NestId> targets(n, kHomeNest);
+  for (AntId a = 0; a < n; ++a) {
+    const bool idle = a % 7 == 0;
+    actions[a] = idle ? Action::idle() : Action::search();
+    op[a] = idle ? MaskedOp::kIdle : MaskedOp::kSearch;
+  }
+  const std::vector<Outcome> generic_r1 = generic.step(actions);
+  const std::vector<Outcome>& masked_r1 = masked.step_masked_go(op, targets);
+  quiet.step_masked_go_quiet(op, targets);
+  for (AntId a = 0; a < n; ++a) {
+    EXPECT_EQ(generic_r1[a].nest, masked_r1[a].nest);
+    EXPECT_EQ(generic_r1[a].count, masked_r1[a].count);
+    EXPECT_EQ(generic_r1[a].quality, masked_r1[a].quality);
+  }
+  expect_same_state(masked, "after masked search/idle");
+  expect_same_state(quiet, "after quiet masked search/idle");
+
+  // Round 2: the full mix — recruiters (active and passive), goers,
+  // searchers, and idlers in one round, as an Algorithm-2 block round
+  // with fault lanes would produce.
+  for (AntId a = 0; a < n; ++a) {
+    const NestId known = generic.location(a) == kHomeNest
+                             ? kHomeNest
+                             : generic.location(a);
+    switch (a % 4) {
+      case 0:
+        actions[a] = Action::idle();
+        op[a] = MaskedOp::kIdle;
+        break;
+      case 1:
+        actions[a] = Action::recruit(known != kHomeNest, known);
+        op[a] = MaskedOp::kRecruit;
+        active[a] = known != kHomeNest ? 1 : 0;
+        targets[a] = known;
+        break;
+      case 2:
+        if (known == kHomeNest) {
+          actions[a] = Action::search();
+          op[a] = MaskedOp::kSearch;
+        } else {
+          actions[a] = Action::go(known);
+          op[a] = MaskedOp::kGo;
+          targets[a] = known;
+        }
+        break;
+      default:
+        actions[a] = Action::search();
+        op[a] = MaskedOp::kSearch;
+        break;
+    }
+  }
+  const std::vector<Outcome> generic_r2 = generic.step(actions);
+  const std::vector<Outcome>& masked_r2 =
+      masked.step_masked_recruit(op, active, targets);
+  quiet.step_masked_recruit_quiet(op, active, targets);
+  for (AntId a = 0; a < n; ++a) {
+    EXPECT_EQ(generic_r2[a].nest, masked_r2[a].nest) << "ant " << a;
+    EXPECT_EQ(generic_r2[a].count, masked_r2[a].count) << "ant " << a;
+    EXPECT_EQ(generic_r2[a].recruited, masked_r2[a].recruited) << "ant " << a;
+    EXPECT_EQ(generic_r2[a].recruit_succeeded, masked_r2[a].recruit_succeeded)
+        << "ant " << a;
+    // Ant-indexed matching views agree with the Outcomes on both the loud
+    // and the quiet environment.
+    EXPECT_EQ(masked_r2[a].recruited,
+              masked.recruited_by_ant(a) != kNotRecruited)
+        << "ant " << a;
+    EXPECT_EQ(masked_r2[a].recruit_succeeded, masked.recruit_succeeded_ant(a))
+        << "ant " << a;
+    EXPECT_EQ(generic_r2[a].recruited,
+              quiet.recruited_by_ant(a) != kNotRecruited)
+        << "ant " << a;
+    EXPECT_EQ(generic_r2[a].recruit_succeeded, quiet.recruit_succeeded_ant(a))
+        << "ant " << a;
+    if (generic_r2[a].recruited) {
+      const std::int32_t recruiter = quiet.recruited_by_ant(a);
+      ASSERT_GE(recruiter, 0);
+      EXPECT_EQ(generic_r2[a].nest,
+                targets[static_cast<std::size_t>(recruiter)])
+          << "ant " << a;
+    }
+  }
+  expect_same_state(masked, "after masked mixed round");
+  expect_same_state(quiet, "after quiet masked mixed round");
+  EXPECT_EQ(generic.round(), 2u);
+  EXPECT_EQ(masked.round(), 2u);
+  EXPECT_EQ(quiet.round(), 2u);
+}
+
 TEST(Environment, SelfRecruitmentCountsInStats) {
   Environment e(config(1, {1.0}, 5));
   std::vector<Action> search{Action::search()};

@@ -64,11 +64,39 @@ TEST(HotPath, PackedSimulationRoundNeverAllocates) {
   cfg.qualities = core::SimulationConfig::binary_qualities(4, 2);
   cfg.seed = 13;
   cfg.engine = core::EngineKind::kPacked;
+  // simple/quorum cover the uniform round shapes; optimal (settle on and
+  // off) covers the masked mixed-phase rounds — every round >= 2 of
+  // Algorithm 2 interleaves recruit and go calls across per-ant states.
   for (const core::AlgorithmKind kind :
-       {core::AlgorithmKind::kSimple, core::AlgorithmKind::kQuorum}) {
+       {core::AlgorithmKind::kSimple, core::AlgorithmKind::kQuorum,
+        core::AlgorithmKind::kOptimal, core::AlgorithmKind::kOptimalSettle}) {
     core::Simulation sim(cfg, kind);
     ASSERT_TRUE(sim.packed());
     sim.step();  // settle any lazy first-round setup
+    EXPECT_EQ(allocations_during([&] {
+                for (int round = 0; round < 100; ++round) sim.step();
+              }),
+              0u)
+        << core::algorithm_name(kind);
+  }
+}
+
+TEST(HotPath, FaultedPackedRoundNeverAllocates) {
+  // Crash + Byzantine lanes push every round through the masked SoA entry
+  // points; the zero-allocation contract must survive the overlay.
+  core::SimulationConfig cfg;
+  cfg.num_ants = 512;
+  cfg.qualities = core::SimulationConfig::binary_qualities(4, 2);
+  cfg.seed = 29;
+  cfg.engine = core::EngineKind::kPacked;
+  cfg.faults.crash_fraction = 0.1;
+  cfg.faults.byzantine_fraction = 0.05;
+  cfg.convergence_tolerance = 0.25;
+  for (const core::AlgorithmKind kind :
+       {core::AlgorithmKind::kSimple, core::AlgorithmKind::kOptimal}) {
+    core::Simulation sim(cfg, kind);
+    ASSERT_TRUE(sim.packed());
+    for (int warmup = 0; warmup < 12; ++warmup) sim.step();
     EXPECT_EQ(allocations_during([&] {
                 for (int round = 0; round < 100; ++round) sim.step();
               }),

@@ -24,14 +24,16 @@ namespace {
 namespace fs = std::filesystem;
 using test::TempDir;
 
-/// A heterogeneous workload: packed algorithms (simple, quorum) AND the
-/// scalar-only optimal, so resume covers both arena paths.
+/// A heterogeneous workload: packed (kAuto) and forced-scalar engine
+/// cells of three algorithms, so resume covers both arena paths (the
+/// reset-and-rerun pack path and the reconstruct-per-trial scalar path).
 std::vector<Scenario> workload() {
   return SweepSpec("resume")
       .base(test::small_config(48, 3, 1))
       .algorithms({core::AlgorithmKind::kSimple, core::AlgorithmKind::kOptimal,
                    core::AlgorithmKind::kQuorum})
       .colony_sizes({32, 48})
+      .engines({core::EngineKind::kAuto, core::EngineKind::kScalar})
       .expand();
 }
 
@@ -193,7 +195,8 @@ TEST(ArenaReuse, ResetAndRerunIsBitIdenticalToFreshConstruction) {
   for (const core::AlgorithmKind kind :
        {core::AlgorithmKind::kSimple, core::AlgorithmKind::kRateBoosted,
         core::AlgorithmKind::kQualityAware, core::AlgorithmKind::kUniformRecruit,
-        core::AlgorithmKind::kQuorum}) {
+        core::AlgorithmKind::kQuorum, core::AlgorithmKind::kOptimal,
+        core::AlgorithmKind::kOptimalSettle}) {
     for (const std::uint64_t seed_b : {7ull, 1234567ull}) {
       core::SimulationConfig cfg = test::small_config(96, 4, 2, /*seed=*/11);
       core::Simulation reused(cfg, kind);
@@ -225,8 +228,34 @@ TEST(ArenaReuse, ResetMatchesFreshUnderNoiseAndBothPairings) {
   }
 }
 
+TEST(ArenaReuse, ResetMatchesFreshUnderFaultPlans) {
+  // The fault plan is a function of the master seed: a reset must
+  // resample it (new crash rounds, new Byzantine positions) exactly as a
+  // fresh construction would.
+  core::SimulationConfig cfg = test::small_config(96, 4, 2, /*seed=*/21);
+  cfg.faults.crash_fraction = 0.1;
+  cfg.faults.byzantine_fraction = 0.05;
+  cfg.convergence_tolerance = 0.25;
+  cfg.stability_rounds = 2;
+  cfg.max_rounds = 400;
+  for (const core::AlgorithmKind kind :
+       {core::AlgorithmKind::kSimple, core::AlgorithmKind::kQuorum,
+        core::AlgorithmKind::kOptimal, core::AlgorithmKind::kOptimalSettle}) {
+    core::Simulation reused(cfg, kind);
+    ASSERT_TRUE(reused.packed());
+    (void)reused.run();
+    ASSERT_TRUE(reused.reset(77));
+    const core::RunResult warm = reused.run();
+    core::SimulationConfig fresh_cfg = cfg;
+    fresh_cfg.seed = 77;
+    core::Simulation fresh(fresh_cfg, kind);
+    expect_same_run(fresh.run(), warm);
+  }
+}
+
 TEST(ArenaReuse, ScalarEnginesDeclineResetAndArenaFallsBack) {
-  const core::SimulationConfig cfg = test::small_config(48, 3, 1);
+  core::SimulationConfig cfg = test::small_config(48, 3, 1);
+  cfg.engine = core::EngineKind::kScalar;  // force the per-object path
   core::Simulation scalar(cfg, core::AlgorithmKind::kOptimal);
   EXPECT_FALSE(scalar.reset(5));  // per-object engine: no reset hook
 
