@@ -11,23 +11,25 @@
 
 #include "anthill.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  hh::analysis::cli::Experiment exp("ablation_pairing", argc, argv);
+
+  constexpr int kTrials = 25;
+  exp.declare("pairing-ablation",
+              hh::analysis::SweepSpec("pairing-ablation")
+                  .algorithms({hh::core::AlgorithmKind::kSimple,
+                               hh::core::AlgorithmKind::kOptimal})
+                  .colony_nest_pairs({{1024, 4}, {4096, 8}, {16384, 8}}, 0.5)
+                  .pairings({hh::env::PairingKind::kPermutation,
+                             hh::env::PairingKind::kUniformProposal}),
+              kTrials, 0x615);
+  if (exp.dump_spec_requested()) return 0;
+
   hh::analysis::print_banner(
       "E15 / Section 2 — pairing-model ablation",
       "the results are believed to hold under other natural random-pairing "
       "models");
-
-  constexpr int kTrials = 25;
-  const auto spec =
-      hh::analysis::SweepSpec("pairing-ablation")
-          .algorithms({hh::core::AlgorithmKind::kSimple,
-                       hh::core::AlgorithmKind::kOptimal})
-          .colony_nest_pairs({{1024, 4}, {4096, 8}, {16384, 8}}, 0.5)
-          .pairings({hh::env::PairingKind::kPermutation,
-                     hh::env::PairingKind::kUniformProposal});
-
-  const hh::analysis::Runner runner;
-  const auto batch = runner.run(spec, kTrials, 0x615);
+  const auto batch = exp.run("pairing-ablation");
 
   hh::util::Table table({"algorithm", "n", "k", "pairing", "conv%",
                          "rounds(med)", "rounds(p95)"});

@@ -17,43 +17,66 @@
 
 #include "anthill.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  hh::analysis::cli::Experiment exp("baseline_feedback", argc, argv);
+
+  constexpr int kTrials = 20;
+  constexpr std::uint32_t kN = 1024;
+  constexpr std::uint32_t kQuorumK = 4;
+  const std::vector<std::uint32_t> ks = {2, 4, 8};
+
+  // Part 1: uniform-recruit vs simple under an equal round budget
+  // (~10x simple's typical need, so failures are structural, not caps).
+  exp.declare("feedback-removal",
+              hh::analysis::SweepSpec("feedback-removal")
+                  .base([] {
+                    hh::core::SimulationConfig cfg;
+                    cfg.num_ants = kN;
+                    return cfg;
+                  }())
+                  .algorithms({hh::core::AlgorithmKind::kSimple,
+                               hh::core::AlgorithmKind::kUniformRecruit})
+                  .axis("k",
+                        {static_cast<double>(ks[0]),
+                         static_cast<double>(ks[1]),
+                         static_cast<double>(ks[2])},
+                        [](hh::analysis::Scenario& sc, double k) {
+                          const auto kk = static_cast<std::uint32_t>(k);
+                          sc.config.qualities =
+                              hh::core::SimulationConfig::binary_qualities(
+                                  kk, 0);  // all nests good
+                          sc.config.max_rounds = 200 * kk;
+                        }),
+              kTrials, 0x616);
+  // Part 2: quorum threshold sweep (speed vs accuracy).
+  exp.declare("quorum-threshold",
+              hh::analysis::SweepSpec("quorum-threshold")
+                  .base([] {
+                    hh::core::SimulationConfig cfg;
+                    cfg.num_ants = kN;
+                    cfg.qualities =
+                        hh::core::SimulationConfig::binary_qualities(
+                            kQuorumK, 0);
+                    cfg.max_rounds = 3000;
+                    return cfg;
+                  }())
+                  .algorithm(hh::core::AlgorithmKind::kQuorum)
+                  .quorum_fractions({0.10, 0.20, 0.30, 0.40, 0.55}),
+              kTrials, 0x617);
+  if (exp.dump_spec_requested()) return 0;
+
   hh::analysis::print_banner(
       "E16 — baselines: feedback removal and quorum thresholds",
       "positive feedback is necessary for consensus (Section 1: 'this is "
       "achieved through positive feedback')");
 
-  constexpr int kTrials = 20;
-  constexpr std::uint32_t kN = 1024;
-  const std::vector<std::uint32_t> ks = {2, 4, 8};
-  const hh::analysis::Runner runner;
-
-  // Part 1: uniform-recruit vs simple under an equal round budget
-  // (~10x simple's typical need, so failures are structural, not caps).
-  auto part1 = hh::analysis::SweepSpec("feedback-removal")
-                   .base([] {
-                     hh::core::SimulationConfig cfg;
-                     cfg.num_ants = kN;
-                     return cfg;
-                   }())
-                   .algorithms({hh::core::AlgorithmKind::kSimple,
-                                hh::core::AlgorithmKind::kUniformRecruit})
-                   .axis("k",
-                         {static_cast<double>(ks[0]),
-                          static_cast<double>(ks[1]),
-                          static_cast<double>(ks[2])},
-                         [](hh::analysis::Scenario& sc, double k) {
-                           const auto kk = static_cast<std::uint32_t>(k);
-                           sc.config.qualities =
-                               hh::core::SimulationConfig::binary_qualities(
-                                   kk, 0);  // all nests good
-                           sc.config.max_rounds = 200 * kk;
-                         });
-  const auto batch = runner.run(part1, kTrials, 0x616);
+  const auto batch = exp.run("feedback-removal");
 
   hh::util::Table table({"k", "budget", "simple conv%", "simple med",
                          "uniform conv%", "uniform med"});
   std::vector<std::vector<double>> csv_rows;
+  // The stride pairing assumes the in-code ({simple, uniform} x k) grid.
+  HH_EXPECTS(batch.results.size() == 2 * ks.size());
   for (std::size_t i = 0; i < ks.size(); ++i) {
     // Guard the stride pairing against axis reordering in the spec.
     HH_EXPECTS(batch.results[i].scenario.algorithm == "simple");
@@ -77,22 +100,7 @@ int main() {
       "expected shape: simple ~100%%, uniform near 0%% — equal relative "
       "reinforcement cannot concentrate the colony\n");
 
-  // Part 2: quorum threshold sweep (speed vs accuracy).
-  constexpr std::uint32_t kQuorumK = 4;
-  const auto qbatch =
-      runner.run(hh::analysis::SweepSpec("quorum-threshold")
-                     .base([] {
-                       hh::core::SimulationConfig cfg;
-                       cfg.num_ants = kN;
-                       cfg.qualities =
-                           hh::core::SimulationConfig::binary_qualities(
-                               kQuorumK, 0);
-                       cfg.max_rounds = 3000;
-                       return cfg;
-                     }())
-                     .algorithm(hh::core::AlgorithmKind::kQuorum)
-                     .quorum_fractions({0.10, 0.20, 0.30, 0.40, 0.55}),
-                 kTrials, 0x617);
+  const auto qbatch = exp.run("quorum-threshold");
   hh::util::Table qtable({"quorum fraction", "threshold/(n/k)", "conv%",
                           "rounds(med)", "split risk"});
   for (const auto& result : qbatch.results) {

@@ -11,11 +11,8 @@
 
 #include "anthill.hpp"
 
-int main() {
-  hh::analysis::print_banner(
-      "E9 — crossover: Algorithm 2 (optimal) vs Algorithm 3 (simple)",
-      "simple wins at constant k; optimal wins as k grows (O(log n) vs "
-      "O(k log n))");
+int main(int argc, char** argv) {
+  hh::analysis::cli::Experiment exp("crossover", argc, argv);
 
   constexpr int kTrials = 20;
   constexpr std::uint32_t kN = 1 << 14;
@@ -23,17 +20,25 @@ int main() {
 
   hh::core::SimulationConfig base;
   base.num_ants = kN;
-  const auto spec =
-      hh::analysis::SweepSpec("crossover")
-          .base(base)
-          .algorithms({hh::core::AlgorithmKind::kSimple,
-                       hh::core::AlgorithmKind::kOptimal})
-          .nest_counts(ks, 0.5);
+  exp.declare("crossover",
+              hh::analysis::SweepSpec("crossover")
+                  .base(base)
+                  .algorithms({hh::core::AlgorithmKind::kSimple,
+                               hh::core::AlgorithmKind::kOptimal})
+                  .nest_counts(ks, 0.5),
+              kTrials, 0x90);
+  if (exp.dump_spec_requested()) return 0;
 
-  const hh::analysis::Runner runner;
-  const auto batch = runner.run(spec, kTrials, 0x90);
+  hh::analysis::print_banner(
+      "E9 — crossover: Algorithm 2 (optimal) vs Algorithm 3 (simple)",
+      "simple wins at constant k; optimal wins as k grows (O(log n) vs "
+      "O(k log n))");
+  const auto batch = exp.run("crossover");
   // Expansion order: algorithm varies slowest — simple block, then optimal.
   const auto& results = batch.results;
+  // A --spec file may reshape the sweep; the stride pairing assumes the
+  // in-code ({simple, optimal} x k) grid, so demand the shape.
+  HH_EXPECTS(results.size() == 2 * ks.size());
 
   hh::util::Table table({"k", "simple med", "optimal med", "ratio s/o",
                          "winner"});
@@ -65,7 +70,7 @@ int main() {
   }
   std::printf("\nn = %u, half the nests good, %d trials per cell, %u runner "
               "threads:\n",
-              kN, kTrials, runner.threads());
+              kN, kTrials, exp.runner().threads());
   std::cout << table.render();
   if (crossover_k != 0) {
     std::printf("\ncrossover: optimal first beats simple at k = %u\n",

@@ -53,10 +53,8 @@ double success_probability(const hh::analysis::Scenario& scenario,
 
 }  // namespace
 
-int main() {
-  hh::analysis::print_banner(
-      "E1 / Lemma 2.1 — recruit(1,.) success probability",
-      "each active recruiter succeeds w.p. >= 1/16 when c(0,r) >= 2");
+int main(int argc, char** argv) {
+  hh::analysis::cli::Experiment exp("lemma_2_1_recruit", argc, argv);
 
   const std::vector<std::pair<std::uint32_t, std::uint32_t>> mixes = {
       {2, 0},    {4, 0},     {16, 0},   {64, 0},   {256, 0},  {1024, 0},
@@ -76,23 +74,39 @@ int main() {
                         sc.config.qualities = {1.0};
                       }});
   }
-  const auto scenarios = hh::analysis::SweepSpec("lemma21")
-                             .axis("active", std::move(points))
-                             .expand();
+  exp.declare("mixes",
+              hh::analysis::SweepSpec("lemma21")
+                  .axis("active", std::move(points)),
+              /*trials=*/1, 0xE1);
+  if (exp.dump_spec_requested()) return 0;
 
-  const hh::analysis::Runner runner;
-  const auto probabilities =
-      runner.map(scenarios, /*trials=*/1, 0xE1, success_probability);
+  hh::analysis::print_banner(
+      "E1 / Lemma 2.1 — recruit(1,.) success probability",
+      "each active recruiter succeeds w.p. >= 1/16 when c(0,r) >= 2");
+
+  const auto& scenarios = exp.scenarios("mixes");
+  const auto probabilities = exp.runner().map(
+      scenarios, exp.trials("mixes"), exp.base_seed("mixes"),
+      success_probability);
 
   hh::util::Table table(
       {"active", "passive", "c(0,r)", "P[success]", "ci(99%)", ">=1/16?"});
   std::vector<std::vector<double>> csv_rows;
   bool all_hold = true;
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
-    const auto& [active, passive] = mixes[i];
-    const double p = probabilities[i][0];
+    // Read the mix off the scenario itself (a --spec file may reshape it).
+    const auto active =
+        static_cast<std::uint32_t>(scenarios[i].axis_value("active"));
+    const auto passive =
+        static_cast<std::uint32_t>(scenarios[i].axis_value("passive"));
+    // Mean over however many trials ran (--trials can raise the default
+    // 1); each trial contributes active * kRounds Bernoulli samples.
+    double p = 0.0;
+    for (const double sample : probabilities[i]) p += sample;
+    p /= static_cast<double>(probabilities[i].size());
     const double ci = hh::util::proportion_ci_halfwidth(
-        p, static_cast<std::size_t>(active) * kRounds);
+        p, static_cast<std::size_t>(active) * kRounds *
+               probabilities[i].size());
     const bool holds = p >= 1.0 / 16.0;
     all_hold = all_hold && holds;
     table.begin_row()

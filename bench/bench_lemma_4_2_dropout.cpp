@@ -58,30 +58,34 @@ BlockStats collect(const hh::analysis::Scenario& scenario,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hh::analysis::cli::Experiment exp("lemma_4_2_dropout", argc, argv);
+
+  constexpr int kTrials = 40;
+  auto base = hh::core::SimulationConfig{};
+  base.record_trajectories = true;
+  exp.declare("blocks",
+              hh::analysis::SweepSpec("lemma42")
+                  .base(base)
+                  .algorithm(hh::core::AlgorithmKind::kOptimal)
+                  .colony_nest_pairs({{256, 2},
+                                      {256, 4},
+                                      {1024, 4},
+                                      {1024, 8},
+                                      {4096, 8},
+                                      {4096, 16}},
+                                     0.0),  // all nests good
+              kTrials, 0x42);
+  if (exp.dump_spec_requested()) return 0;
+
   hh::analysis::print_banner(
       "E5 / Lemmas 4.1 + 4.2 — Algorithm 2 competition dynamics",
       "per-block population change is symmetric; P[drop out] >= 1/66 per "
       "block while competition lasts");
 
-  constexpr int kTrials = 40;
-  auto base = hh::core::SimulationConfig{};
-  base.record_trajectories = true;
-  const auto scenarios =
-      hh::analysis::SweepSpec("lemma42")
-          .base(base)
-          .algorithm(hh::core::AlgorithmKind::kOptimal)
-          .colony_nest_pairs({{256, 2},
-                              {256, 4},
-                              {1024, 4},
-                              {1024, 8},
-                              {4096, 8},
-                              {4096, 16}},
-                             0.0)  // all nests good
-          .expand();
-
-  const hh::analysis::Runner runner;
-  const auto digests = runner.map(scenarios, kTrials, 0x42, collect);
+  const auto& scenarios = exp.scenarios("blocks");
+  const auto digests = exp.runner().map(scenarios, exp.trials("blocks"),
+                                        exp.base_seed("blocks"), collect);
 
   hh::util::Table table({"n", "k", "Y samples", "P[Y<0]", "P[Y>0]", "E[Y]",
                          "P[dropout/block]", ">=1/66?"});

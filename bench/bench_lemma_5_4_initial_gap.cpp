@@ -32,25 +32,30 @@ double one_gap(const hh::analysis::Scenario& scenario, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hh::analysis::cli::Experiment exp("lemma_5_4_initial_gap", argc, argv);
+
+  constexpr int kTrials = 4000;
+  exp.declare("gaps",
+              hh::analysis::SweepSpec("lemma54")
+                  .colony_nest_pairs({{64, 2},
+                                      {256, 2},
+                                      {1024, 2},
+                                      {4096, 2},
+                                      {1024, 8},
+                                      {4096, 16}},
+                                     0.0),  // all nests good
+              kTrials, 0x54);
+  if (exp.dump_spec_requested()) return 0;
+
   hh::analysis::print_banner(
       "E7 / Lemma 5.4 — initial population gap after the search round",
       "E[epsilon(i,j,1)] >= 1/(3(n-1)) for any two good nests");
 
-  constexpr int kTrials = 4000;
-  const auto scenarios =
-      hh::analysis::SweepSpec("lemma54")
-          .colony_nest_pairs({{64, 2},
-                              {256, 2},
-                              {1024, 2},
-                              {4096, 2},
-                              {1024, 8},
-                              {4096, 16}},
-                             0.0)  // all nests good
-          .expand();
-
-  const hh::analysis::Runner runner;
-  const auto gaps = runner.map(scenarios, kTrials, 0x54, one_gap);
+  const auto& scenarios = exp.scenarios("gaps");
+  const std::size_t trials = exp.trials("gaps");
+  const auto gaps =
+      exp.runner().map(scenarios, trials, exp.base_seed("gaps"), one_gap);
 
   hh::util::Table table({"n", "k", "E[eps]", "median eps", "P[eps=0]",
                          "1/(3(n-1))", "bound ok?"});
@@ -69,7 +74,7 @@ int main() {
         .num(scenarios[i].axis_value("k"), 0)
         .num(mean_gap, 5)
         .num(hh::util::median(gaps[i]), 5)
-        .num(static_cast<double>(zero) / kTrials, 4)
+        .num(static_cast<double>(zero) / static_cast<double>(trials), 4)
         .num(bound, 6)
         .cell(holds ? "yes" : "NO");
     csv_rows.push_back({n, scenarios[i].axis_value("k"), mean_gap, bound});

@@ -61,28 +61,34 @@ Extinction collect(const hh::analysis::Scenario& scenario,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hh::analysis::cli::Experiment exp("lemma_5_9_extinction", argc, argv);
+
+  constexpr int kTrials = 20;
+  auto base = hh::core::SimulationConfig{};
+  base.record_trajectories = true;
+  exp.declare("extinction",
+              hh::analysis::SweepSpec("lemma59")
+                  .base(base)
+                  .algorithm(hh::core::AlgorithmKind::kSimple)
+                  .colony_nest_pairs({{1024, 2},
+                                      {1024, 4},
+                                      {4096, 4},
+                                      {4096, 8},
+                                      {16384, 8}},
+                                     0.0),  // all nests good
+              kTrials, 0x59);
+  if (exp.dump_spec_requested()) return 0;
+
   hh::analysis::print_banner(
       "E8 / Lemmas 5.8 + 5.9 — small nests die out",
       "a nest below n/(dk) ants empties within O(k log n) rounds and never "
       "recovers");
 
-  constexpr int kTrials = 20;
-  auto base = hh::core::SimulationConfig{};
-  base.record_trajectories = true;
-  const auto scenarios = hh::analysis::SweepSpec("lemma59")
-                             .base(base)
-                             .algorithm(hh::core::AlgorithmKind::kSimple)
-                             .colony_nest_pairs({{1024, 2},
-                                                 {1024, 4},
-                                                 {4096, 4},
-                                                 {4096, 8},
-                                                 {16384, 8}},
-                                                0.0)  // all nests good
-                             .expand();
-
-  const hh::analysis::Runner runner;
-  const auto digests = runner.map(scenarios, kTrials, 0x59, collect);
+  const auto& scenarios = exp.scenarios("extinction");
+  const auto digests = exp.runner().map(
+      scenarios, exp.trials("extinction"), exp.base_seed("extinction"),
+      collect);
 
   hh::util::Table table({"n", "k", "losers", "med cross->death",
                          "p95 cross->death", "64(c+4)k*log n (c=1)",

@@ -34,16 +34,14 @@ double best_win_rate(const hh::analysis::ScenarioResult& result) {
 
 }  // namespace
 
-int main() {
-  hh::analysis::print_banner(
-      "E11 / Section 6 — non-binary nest qualities",
-      "quality-weighted recruitment converges to a high-quality nest "
-      "without significantly affecting runtime");
+int main(int argc, char** argv) {
+  hh::analysis::cli::Experiment exp("sec6_quality", argc, argv);
 
   constexpr int kTrials = 40;
   constexpr std::uint32_t kN = 1024;
 
-  const auto batch = hh::analysis::Runner().run(
+  exp.declare(
+      "non-binary-quality",
       hh::analysis::SweepSpec("non-binary-quality")
           .base([] {
             hh::core::SimulationConfig cfg;
@@ -59,6 +57,13 @@ int main() {
           .algorithms({hh::core::AlgorithmKind::kQualityAware,
                        hh::core::AlgorithmKind::kSimple}),
       kTrials, 0x611);
+  if (exp.dump_spec_requested()) return 0;
+
+  hh::analysis::print_banner(
+      "E11 / Section 6 — non-binary nest qualities",
+      "quality-weighted recruitment converges to a high-quality nest "
+      "without significantly affecting runtime");
+  const auto batch = exp.run("non-binary-quality");
 
   hh::util::Table table({"scenario", "algorithm", "conv%", "E[winner q]",
                          "P[best wins]", "rounds(med)"});

@@ -12,31 +12,43 @@
 
 #include "anthill.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  hh::analysis::cli::Experiment exp("sec6_rate_boosted", argc, argv);
+
+  constexpr int kTrials = 20;
+  constexpr std::uint32_t kN = 1 << 14;
+  constexpr std::uint32_t kK = 32;
+  const std::vector<std::uint32_t> ks = {2, 4, 8, 16, 32, 64};
+
+  exp.declare("ksweep",
+              hh::analysis::SweepSpec("rate-boosted/ksweep")
+                  .base([] {
+                    hh::core::SimulationConfig cfg;
+                    cfg.num_ants = kN;
+                    return cfg;
+                  }())
+                  .algorithms({hh::core::AlgorithmKind::kSimple,
+                               hh::core::AlgorithmKind::kRateBoosted})
+                  .nest_counts(ks, 0.5),
+              kTrials, 0x610);
+  exp.declare("nsweep",
+              hh::analysis::SweepSpec("rate-boosted/nsweep")
+                  .algorithm(hh::core::AlgorithmKind::kRateBoosted)
+                  .nest_counts({kK}, 0.5)
+                  .colony_sizes({1u << 11, 1u << 13, 1u << 15, 1u << 17}),
+              kTrials, 0x611);
+  if (exp.dump_spec_requested()) return 0;
+
   hh::analysis::print_banner(
       "E10 / Section 6 — rate-boosted recruitment vs Algorithm 3",
       "recruiting at rate ~ (c/n)*k~(r) removes the Theta(k) factor "
       "(conjectured O(log^c n))");
-
-  constexpr int kTrials = 20;
-  constexpr std::uint32_t kN = 1 << 14;
-  const std::vector<std::uint32_t> ks = {2, 4, 8, 16, 32, 64};
-  const hh::analysis::Runner runner;
-
-  const auto batch =
-      runner.run(hh::analysis::SweepSpec("rate-boosted/ksweep")
-                     .base([] {
-                       hh::core::SimulationConfig cfg;
-                       cfg.num_ants = kN;
-                       return cfg;
-                     }())
-                     .algorithms({hh::core::AlgorithmKind::kSimple,
-                                  hh::core::AlgorithmKind::kRateBoosted})
-                     .nest_counts(ks, 0.5),
-                 kTrials, 0x610);
+  const auto batch = exp.run("ksweep");
 
   hh::util::Table ktable(
       {"k", "simple med", "boosted med", "speedup", "boosted conv%"});
+  // The stride pairing assumes the in-code ({simple, boosted} x k) grid.
+  HH_EXPECTS(batch.results.size() == 2 * ks.size());
   std::vector<double> xs;
   std::vector<double> simple_med;
   std::vector<double> boosted_med;
@@ -77,13 +89,7 @@ int main() {
       opt);
 
   // n sweep at large k: the boosted variant should scale ~polylog n.
-  constexpr std::uint32_t kK = 32;
-  const auto nbatch =
-      runner.run(hh::analysis::SweepSpec("rate-boosted/nsweep")
-                     .algorithm(hh::core::AlgorithmKind::kRateBoosted)
-                     .nest_counts({kK}, 0.5)
-                     .colony_sizes({1u << 11, 1u << 13, 1u << 15, 1u << 17}),
-                 kTrials, 0x611);
+  const auto nbatch = exp.run("nsweep");
   hh::util::Table ntable({"n", "log2(n)", "boosted med", "boosted p95"});
   std::vector<double> nsv;
   std::vector<double> meds;

@@ -5,6 +5,7 @@
 // the synchrony in the execution and the precise counting of the number
 // of ants").
 #include <cstdio>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -26,51 +27,81 @@ hh::core::SimulationConfig base_config() {
   return cfg;
 }
 
-/// --resume-dir DIR: all six perturbation sweeps checkpoint into one
-/// store, so the slow non-converging (fragile) cells never recompute.
-std::string g_resume_dir;  // NOLINT(cert-err58-cpp)
-
 /// One perturbation sweep: `levels` of one knob x {simple, other}. The
 /// level axis is outermost, so results come in (simple, other) pairs.
-void emit_sweep(const hh::analysis::Runner& runner, const char* sweep,
-                hh::core::AlgorithmKind other, std::uint64_t seed,
-                const std::vector<double>& levels,
-                const std::function<void(hh::analysis::Scenario&, double)>&
-                    apply,
-                hh::util::Table& table,
-                std::vector<std::vector<double>>& csv_rows, double sweep_id) {
-  const auto batch = hh::analysis::run_sweep(
-      runner,
-      hh::analysis::SweepSpec(sweep)
-          .base(base_config())
-          .axis("level", levels, apply)
-          .algorithms({hh::core::AlgorithmKind::kSimple, other}),
-      kTrials, seed, g_resume_dir);
-  for (std::size_t i = 0; i < levels.size(); ++i) {
-    // Guard the stride pairing against axis reordering in the spec.
-    HH_EXPECTS(batch.results[2 * i].scenario.algorithm == "simple");
-    HH_EXPECTS(batch.results[2 * i].scenario.axis_value("level") ==
-               levels[i]);
-    const auto& simple = batch.results[2 * i].aggregate;
-    const auto& other_agg = batch.results[2 * i + 1].aggregate;
-    table.begin_row()
-        .cell(sweep)
-        .num(levels[i], 2)
-        .num(100.0 * simple.convergence_rate, 1)
-        .num(simple.converged ? simple.rounds.median : 0.0, 1)
-        .num(100.0 * other_agg.convergence_rate, 1)
-        .num(other_agg.converged ? other_agg.rounds.median : 0.0, 1);
-    csv_rows.push_back({sweep_id, levels[i], simple.convergence_rate,
-                        simple.converged ? simple.rounds.median : 0.0,
-                        other_agg.convergence_rate,
-                        other_agg.converged ? other_agg.rounds.median : 0.0});
-  }
+struct Perturbation {
+  const char* sweep;
+  hh::core::AlgorithmKind other;
+  std::uint64_t seed;
+  std::vector<double> levels;
+  std::function<void(hh::analysis::Scenario&, double)> apply;
+  double sweep_id;
+};
+
+std::vector<Perturbation> perturbations() {
+  using hh::analysis::Scenario;
+  constexpr auto kOptimal = hh::core::AlgorithmKind::kOptimal;
+  return {
+      // E12: unbiased multiplicative count noise.
+      {"count-noise sigma", kOptimal, 0x612,
+       {0.0, 0.25, 0.5, 0.75, 1.0, 1.5},
+       [](Scenario& sc, double sigma) { sc.config.noise.count_sigma = sigma; },
+       0},
+      // E12b: binary quality misperception.
+      {"quality-flip prob", kOptimal, 0x613, {0.02, 0.05, 0.10},
+       [](Scenario& sc, double flip) {
+         sc.config.noise.quality_flip_prob = flip;
+       },
+       1},
+      // E13: crash faults.
+      {"crash fraction", kOptimal, 0x614, {0.05, 0.10, 0.20, 0.30},
+       [](Scenario& sc, double crash) {
+         sc.config.faults.crash_fraction = crash;
+       },
+       2},
+      // E13b: Byzantine recruiters (epsilon-agreement; see convergence
+      // docs).
+      {"byzantine fraction", kOptimal, 0x615, {0.02, 0.05, 0.10},
+       [](Scenario& sc, double byz) {
+         sc.config.faults.byzantine_fraction = byz;
+         sc.config.convergence_tolerance = 3.0 * byz;
+         sc.config.stability_rounds = 10;
+       },
+       3},
+      // E14: partial synchrony.
+      {"round-skip prob", kOptimal, 0x616, {0.1, 0.2, 0.3, 0.5},
+       [](Scenario& sc, double skip) { sc.config.skip_probability = skip; },
+       4},
+      // Section 6 bullet 1: ants knowing only an approximation of n. The
+      // other column is the rate-boosted variant (the perturbation
+      // applies to the Algorithm-3 family; see
+      // AlgorithmParams::n_estimate_error).
+      {"n-estimate error", hh::core::AlgorithmKind::kRateBoosted, 0x617,
+       {0.25, 0.5, 0.75},
+       [](Scenario& sc, double err) { sc.params.n_estimate_error = err; },
+       5},
+  };
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_resume_dir = hh::analysis::resume_dir_from_args(argc, argv);
+  // Standard driver flags; --resume-dir checkpoints all six perturbation
+  // sweeps into one store, so the slow non-converging (fragile) cells
+  // never recompute.
+  hh::analysis::cli::Experiment exp("sec6_robustness", argc, argv);
+
+  const std::vector<Perturbation> sweeps = perturbations();
+  for (const Perturbation& p : sweeps) {
+    exp.declare(p.sweep,
+                hh::analysis::SweepSpec(p.sweep)
+                    .base(base_config())
+                    .axis("level", p.levels, p.apply)
+                    .algorithms({hh::core::AlgorithmKind::kSimple, p.other}),
+                kTrials, p.seed);
+  }
+  if (exp.dump_spec_requested()) return 0;
+
   hh::analysis::print_banner(
       "E12-E14 / Section 6 — robustness: noise, faults, asynchrony",
       "Algorithm 3 tolerates unbiased noise, a small number of faults, and "
@@ -82,60 +113,36 @@ int main(int argc, char** argv) {
   hh::util::Table table({"sweep", "level", "simple conv%", "simple med",
                          "other conv%", "other med"});
   std::vector<std::vector<double>> csv_rows;
-  const hh::analysis::Runner runner;
-  constexpr auto kOptimal = hh::core::AlgorithmKind::kOptimal;
-
-  // E12: unbiased multiplicative count noise.
-  emit_sweep(runner, "count-noise sigma", kOptimal, 0x612,
-             {0.0, 0.25, 0.5, 0.75, 1.0, 1.5},
-             [](hh::analysis::Scenario& sc, double sigma) {
-               sc.config.noise.count_sigma = sigma;
-             },
-             table, csv_rows, 0);
-  // E12b: binary quality misperception.
-  emit_sweep(runner, "quality-flip prob", kOptimal, 0x613,
-             {0.02, 0.05, 0.10},
-             [](hh::analysis::Scenario& sc, double flip) {
-               sc.config.noise.quality_flip_prob = flip;
-             },
-             table, csv_rows, 1);
-  // E13: crash faults.
-  emit_sweep(runner, "crash fraction", kOptimal, 0x614,
-             {0.05, 0.10, 0.20, 0.30},
-             [](hh::analysis::Scenario& sc, double crash) {
-               sc.config.faults.crash_fraction = crash;
-             },
-             table, csv_rows, 2);
-  // E13b: Byzantine recruiters (epsilon-agreement; see convergence docs).
-  emit_sweep(runner, "byzantine fraction", kOptimal, 0x615,
-             {0.02, 0.05, 0.10},
-             [](hh::analysis::Scenario& sc, double byz) {
-               sc.config.faults.byzantine_fraction = byz;
-               sc.config.convergence_tolerance = 3.0 * byz;
-               sc.config.stability_rounds = 10;
-             },
-             table, csv_rows, 3);
-  // E14: partial synchrony.
-  emit_sweep(runner, "round-skip prob", kOptimal, 0x616,
-             {0.1, 0.2, 0.3, 0.5},
-             [](hh::analysis::Scenario& sc, double skip) {
-               sc.config.skip_probability = skip;
-             },
-             table, csv_rows, 4);
-  // Section 6 bullet 1: ants knowing only an approximation of n. The
-  // other column is the rate-boosted variant (the perturbation applies to
-  // the Algorithm-3 family; see AlgorithmParams::n_estimate_error).
-  emit_sweep(runner, "n-estimate error",
-             hh::core::AlgorithmKind::kRateBoosted, 0x617,
-             {0.25, 0.5, 0.75},
-             [](hh::analysis::Scenario& sc, double err) {
-               sc.params.n_estimate_error = err;
-             },
-             table, csv_rows, 5);
+  for (const Perturbation& p : sweeps) {
+    const auto batch = exp.run(p.sweep);
+    // A --spec file may reshape the sweep; the pairing below assumes the
+    // in-code (level x {simple, other}) structure, so demand it.
+    HH_EXPECTS(batch.results.size() == 2 * p.levels.size());
+    for (std::size_t i = 0; i < p.levels.size(); ++i) {
+      // Guard the stride pairing against axis reordering in the spec.
+      HH_EXPECTS(batch.results[2 * i].scenario.algorithm == "simple");
+      HH_EXPECTS(batch.results[2 * i].scenario.axis_value("level") ==
+                 p.levels[i]);
+      const auto& simple = batch.results[2 * i].aggregate;
+      const auto& other_agg = batch.results[2 * i + 1].aggregate;
+      table.begin_row()
+          .cell(p.sweep)
+          .num(p.levels[i], 2)
+          .num(100.0 * simple.convergence_rate, 1)
+          .num(simple.converged ? simple.rounds.median : 0.0, 1)
+          .num(100.0 * other_agg.convergence_rate, 1)
+          .num(other_agg.converged ? other_agg.rounds.median : 0.0, 1);
+      csv_rows.push_back({p.sweep_id, p.levels[i], simple.convergence_rate,
+                          simple.converged ? simple.rounds.median : 0.0,
+                          other_agg.convergence_rate,
+                          other_agg.converged ? other_agg.rounds.median
+                                              : 0.0});
+    }
+  }
 
   std::printf("\nn = %u, k = %u (half good), %d trials per cell, round cap "
               "4000, %u runner threads:\n",
-              kN, kK, kTrials, runner.threads());
+              kN, kK, kTrials, exp.runner().threads());
   std::cout << table.render();
   std::printf(
       "\nexpected shape: the 'simple' columns stay near 100%% with "

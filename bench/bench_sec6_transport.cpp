@@ -43,26 +43,31 @@ TransportTrial measure(const hh::analysis::Scenario& scenario,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hh::analysis::cli::Experiment exp("sec6_transport", argc, argv);
+
+  constexpr int kTrials = 20;
+  auto base = hh::core::SimulationConfig{};
+  base.record_trajectories = true;
+  exp.declare("transport",
+              hh::analysis::SweepSpec("transport")
+                  .base(base)
+                  .colony_nest_pairs({{1024, 4}, {4096, 8}}, 0.5)
+                  .algorithms({hh::core::AlgorithmKind::kSimple,
+                               hh::core::AlgorithmKind::kOptimal,
+                               hh::core::AlgorithmKind::kQuorum}),
+              kTrials, 0x618);
+  if (exp.dump_spec_requested()) return 0;
+
   hh::analysis::print_banner(
       "E18 / Section 6 — tandem runs vs direct transports",
       "a fine-grained runtime analysis distinguishing the two recruitment "
       "modes (transports ~3x faster [21])");
 
-  constexpr int kTrials = 20;
-  auto base = hh::core::SimulationConfig{};
-  base.record_trajectories = true;
-  const auto scenarios =
-      hh::analysis::SweepSpec("transport")
-          .base(base)
-          .colony_nest_pairs({{1024, 4}, {4096, 8}}, 0.5)
-          .algorithms({hh::core::AlgorithmKind::kSimple,
-                       hh::core::AlgorithmKind::kOptimal,
-                       hh::core::AlgorithmKind::kQuorum})
-          .expand();
-
-  const hh::analysis::Runner runner;
-  const auto digests = runner.map(scenarios, kTrials, 0x618, measure);
+  const auto& scenarios = exp.scenarios("transport");
+  const auto digests = exp.runner().map(
+      scenarios, exp.trials("transport"), exp.base_seed("transport"),
+      measure);
 
   hh::util::Table table({"algorithm", "n", "k", "conv%", "rounds(med)",
                          "time(med, 3:1)", "time/round", "tandem runs",
@@ -82,7 +87,8 @@ int main() {
       tandem += t.tandem;
       transports += t.transports;
     }
-    const double conv_rate = static_cast<double>(converged) / kTrials;
+    const double conv_rate = static_cast<double>(converged) /
+                             static_cast<double>(exp.trials("transport"));
     const double med_rounds = converged ? hh::util::median(rounds) : 0.0;
     const double med_weighted = converged ? hh::util::median(weighted) : 0.0;
     const double mean_tandem = converged ? tandem / converged : 0.0;

@@ -37,17 +37,18 @@ struct Measurement {
 };
 
 Measurement measure(unsigned threads,
-                    const std::vector<hh::analysis::Scenario>& scenarios) {
+                    const std::vector<hh::analysis::Scenario>& scenarios,
+                    std::size_t trials, std::uint64_t seed) {
   Measurement m;
   m.threads = threads;
   const hh::analysis::Runner runner(hh::analysis::RunnerOptions{threads});
   const auto start = std::chrono::steady_clock::now();
-  m.batch = runner.run(scenarios, kTrials, kSeed);
+  m.batch = runner.run(scenarios, trials, seed);
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
   m.seconds = elapsed.count();
   m.trials_per_sec =
-      static_cast<double>(scenarios.size() * kTrials) / m.seconds;
+      static_cast<double>(scenarios.size() * trials) / m.seconds;
   return m;
 }
 
@@ -71,12 +72,18 @@ bool identical(const hh::analysis::BatchResult& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hh::analysis::cli::Experiment exp("sweep_engine", argc, argv);
+  exp.declare("engine-load", workload(), kTrials, kSeed);
+  if (exp.dump_spec_requested()) return 0;
+
   hh::analysis::print_banner(
       "sweep-engine — Runner throughput at 1 vs N threads",
       "the batch engine must scale with cores and stay bit-identical");
 
-  const auto scenarios = workload().expand();
+  const auto& scenarios = exp.scenarios("engine-load");
+  const std::size_t trials = exp.trials("engine-load");
+  const std::uint64_t seed = exp.base_seed("engine-load");
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::vector<unsigned> thread_counts = {1};
   if (hw > 1) thread_counts.push_back(hw);
@@ -84,7 +91,7 @@ int main() {
 
   std::vector<Measurement> measurements;
   for (unsigned threads : thread_counts) {
-    measurements.push_back(measure(threads, scenarios));
+    measurements.push_back(measure(threads, scenarios, trials, seed));
   }
 
   bool deterministic = true;
@@ -102,7 +109,7 @@ int main() {
         .num(m.trials_per_sec / measurements[0].trials_per_sec, 2);
   }
   std::printf("%zu scenarios x %zu trials, n = 512, hardware threads = %u:\n",
-              scenarios.size(), kTrials, hw);
+              scenarios.size(), trials, hw);
   std::cout << table.render();
   std::printf("\nbit-identical across thread counts: %s\n",
               deterministic ? "yes" : "NO");
@@ -115,7 +122,7 @@ int main() {
   if (out) {
     out << "{\n  \"benchmark\": \"sweep_engine\",\n";
     out << "  \"scenarios\": " << scenarios.size()
-        << ",\n  \"trials_per_scenario\": " << kTrials << ",\n";
+        << ",\n  \"trials_per_scenario\": " << trials << ",\n";
     out << "  \"deterministic\": " << (deterministic ? "true" : "false")
         << ",\n  \"runs\": [\n";
     for (std::size_t i = 0; i < measurements.size(); ++i) {

@@ -17,8 +17,6 @@
 
 namespace {
 
-constexpr int kTrials = 15;
-
 const char* strategy_name(hh::core::IgnorantStrategy s) {
   switch (s) {
     case hh::core::IgnorantStrategy::kWaitAtHome: return "wait-at-home";
@@ -59,35 +57,48 @@ hh::analysis::SweepSpec::Point strategy_point(
 
 }  // namespace
 
-int main() {
-  hh::analysis::print_banner(
-      "E2+E3 / Lemma 3.1, Theorem 3.2 — rumor-spreading lower bound",
-      "any algorithm needs Omega(log n) rounds; an ignorant ant stays "
-      "ignorant w.p. >= 1/4 per round");
+int main(int argc, char** argv) {
+  hh::analysis::cli::Experiment exp("thm_3_2_lower_bound", argc, argv);
 
+  constexpr int kScalingTrials = 15;
   const std::vector<std::uint32_t> ns = {1u << 6,  1u << 8,  1u << 10,
                                          1u << 12, 1u << 14, 1u << 16,
                                          1u << 18};
   const std::vector<hh::core::IgnorantStrategy> strategies = {
       hh::core::IgnorantStrategy::kWaitAtHome,
       hh::core::IgnorantStrategy::kSearch, hh::core::IgnorantStrategy::kMixed};
-  const hh::analysis::Runner runner;
+
+  exp.declare("lemma31",
+              hh::analysis::SweepSpec("lemma31")
+                  .base([] {
+                    hh::core::SimulationConfig cfg;
+                    cfg.num_ants = 1 << 14;
+                    return cfg;
+                  }())
+                  .axis("strategy", {strategy_point(strategies[0]),
+                                     strategy_point(strategies[1]),
+                                     strategy_point(strategies[2])})
+                  .nest_counts({2, 16}, 0.0),
+              /*trials=*/1, 31);
+  exp.declare("thm32",
+              hh::analysis::SweepSpec("thm32")
+                  .axis("strategy", {strategy_point(strategies[0]),
+                                     strategy_point(strategies[1]),
+                                     strategy_point(strategies[2])})
+                  .nest_counts({4}, 0.0)
+                  .colony_sizes(ns),
+              kScalingTrials, 0x32);
+  if (exp.dump_spec_requested()) return 0;
+
+  hh::analysis::print_banner(
+      "E2+E3 / Lemma 3.1, Theorem 3.2 — rumor-spreading lower bound",
+      "any algorithm needs Omega(log n) rounds; an ignorant ant stays "
+      "ignorant w.p. >= 1/4 per round");
 
   // --- Lemma 3.1 check -----------------------------------------------------
-  const auto lemma_scenarios =
-      hh::analysis::SweepSpec("lemma31")
-          .base([] {
-            hh::core::SimulationConfig cfg;
-            cfg.num_ants = 1 << 14;
-            return cfg;
-          }())
-          .axis("strategy", {strategy_point(strategies[0]),
-                             strategy_point(strategies[1]),
-                             strategy_point(strategies[2])})
-          .nest_counts({2, 16}, 0.0)
-          .expand();
-  const auto lemma_runs = runner.map(
-      lemma_scenarios, /*trials=*/1, 31,
+  const auto& lemma_scenarios = exp.scenarios("lemma31");
+  const auto lemma_runs = exp.runner().map(
+      lemma_scenarios, exp.trials("lemma31"), exp.base_seed("lemma31"),
       [](const hh::analysis::Scenario& sc, std::uint64_t seed) {
         return hh::core::run_rumor_spread(rumor_config(sc, seed))
             .stay_ignorant_rate;
@@ -107,14 +118,11 @@ int main() {
   std::cout << lemma_table.render();
 
   // --- Theorem 3.2 scaling -------------------------------------------------
-  const auto scenarios = hh::analysis::SweepSpec("thm32")
-                             .axis("strategy", {strategy_point(strategies[0]),
-                                                strategy_point(strategies[1]),
-                                                strategy_point(strategies[2])})
-                             .nest_counts({4}, 0.0)
-                             .colony_sizes(ns)
-                             .expand();
-  const auto cells = runner.map(scenarios, kTrials, 0x32, rumor_trial);
+  const auto& scenarios = exp.scenarios("thm32");
+  // The block indexing below assumes the in-code (strategy x n) grid.
+  HH_EXPECTS(scenarios.size() == strategies.size() * ns.size());
+  const auto cells = exp.runner().map(scenarios, exp.trials("thm32"),
+                                      exp.base_seed("thm32"), rumor_trial);
 
   std::vector<hh::util::Series> series;
   std::vector<std::vector<double>> csv_rows;

@@ -15,41 +15,47 @@ namespace {
 
 constexpr int kTrials = 20;
 
-/// --resume-dir DIR: checkpoint every completed (scenario, trial) cell so
-/// an interrupted sweep rerun with the same flag resumes where it died.
-std::string g_resume_dir;  // NOLINT(cert-err58-cpp)
-
-const hh::analysis::Runner& runner() {
-  static const hh::analysis::Runner r;
-  return r;
-}
-
-hh::analysis::BatchResult sweep_n(std::uint32_t k,
-                                  const std::vector<std::uint32_t>& ns) {
-  auto spec = hh::analysis::SweepSpec("thm43/k=" + std::to_string(k))
-                  .algorithm(hh::core::AlgorithmKind::kOptimal)
-                  .colony_sizes(ns)
-                  .nest_counts({k}, 0.5);
-  // Stay inside the theorem's k = O(n / log n) regime.
-  auto scenarios = spec.expand();
+/// The "rounds vs n at fixed k" scenario list, filtered to the theorem's
+/// k = O(n / log n) regime (a custom filter, so the sweep is declared as
+/// its concrete scenarios; --dump-spec emits the filtered list).
+std::vector<hh::analysis::Scenario> n_scenarios(
+    std::uint32_t k, const std::vector<std::uint32_t>& ns) {
+  auto scenarios = hh::analysis::SweepSpec("thm43/k=" + std::to_string(k))
+                       .algorithm(hh::core::AlgorithmKind::kOptimal)
+                       .colony_sizes(ns)
+                       .nest_counts({k}, 0.5)
+                       .expand();
   std::erase_if(scenarios, [&](const hh::analysis::Scenario& sc) {
     return sc.config.num_ants / k < 16;
   });
-  return hh::analysis::run_sweep(runner(), scenarios, kTrials, 0x43 + k,
-                                 g_resume_dir);
+  return scenarios;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_resume_dir = hh::analysis::resume_dir_from_args(argc, argv);
-  hh::analysis::print_banner(
-      "E4 / Theorem 4.3 — Algorithm 2 (optimal) scaling",
-      "solves HouseHunting in O(log n) rounds w.h.p.");
+  hh::analysis::cli::Experiment exp("thm_4_3_optimal", argc, argv);
 
   const std::vector<std::uint32_t> ns = {1u << 7,  1u << 9,  1u << 11,
                                          1u << 13, 1u << 15, 1u << 17};
   const std::vector<std::uint32_t> ks = {2, 8, 32};
+  constexpr std::uint32_t kFixedN = 1 << 14;
+
+  for (std::uint32_t k : ks) {
+    exp.declare("k=" + std::to_string(k), n_scenarios(k, ns), kTrials,
+                0x43 + k);
+  }
+  exp.declare("ksweep",
+              hh::analysis::SweepSpec("thm43/ksweep")
+                  .algorithm(hh::core::AlgorithmKind::kOptimal)
+                  .colony_sizes({kFixedN})
+                  .nest_counts({2, 4, 8, 16, 32, 64}, 0.5),
+              kTrials, 0x43F);
+  if (exp.dump_spec_requested()) return 0;
+
+  hh::analysis::print_banner(
+      "E4 / Theorem 4.3 — Algorithm 2 (optimal) scaling",
+      "solves HouseHunting in O(log n) rounds w.h.p.");
 
   std::vector<hh::util::Series> series;
   std::vector<std::vector<double>> csv_rows;
@@ -59,7 +65,8 @@ int main(int argc, char** argv) {
                            "rounds(mean)", "rounds(p95)"});
     std::vector<double> xs;
     std::vector<double> ys;
-    for (const auto& result : sweep_n(k, ns).results) {
+    for (const auto& result :
+         exp.run("k=" + std::to_string(k)).results) {
       const auto& agg = result.aggregate;
       const double n = result.scenario.axis_value("n");
       table.begin_row()
@@ -91,13 +98,7 @@ int main(int argc, char** argv) {
   std::cout << hh::util::plot(series, opt);
 
   // k sweep at fixed n: growth must be much slower than linear in k.
-  constexpr std::uint32_t kFixedN = 1 << 14;
-  const auto kspec = hh::analysis::SweepSpec("thm43/ksweep")
-                         .algorithm(hh::core::AlgorithmKind::kOptimal)
-                         .colony_sizes({kFixedN})
-                         .nest_counts({2, 4, 8, 16, 32, 64}, 0.5);
-  const auto kbatch =
-      hh::analysis::run_sweep(runner(), kspec, kTrials, 0x43F, g_resume_dir);
+  const auto kbatch = exp.run("ksweep");
   hh::util::Table ktable(
       {"k", "trials", "conv%", "rounds(med)", "rounds(mean)", "rounds(p95)"});
   std::vector<double> kxs;

@@ -13,27 +13,38 @@
 #include "anthill.hpp"
 
 int main(int argc, char** argv) {
-  // --resume-dir DIR checkpoints every cell (Runner::run_resumable), so
-  // the big-n grid survives interruption.
-  const std::string resume_dir = hh::analysis::resume_dir_from_args(argc, argv);
-  hh::analysis::print_banner(
-      "E6 / Theorem 5.11 — Algorithm 3 (simple) scaling",
-      "solves HouseHunting in O(k log n) rounds w.h.p.");
+  // Standard driver flags (--spec/--dump-spec/--resume-dir/...): with
+  // --resume-dir, every cell checkpoints (Runner::run_resumable), so the
+  // big-n grid survives interruption.
+  hh::analysis::cli::Experiment exp("thm_5_11_simple", argc, argv);
 
   constexpr int kTrials = 20;
+  constexpr std::uint32_t kFixedN = 1 << 14;
   const std::vector<std::uint32_t> ns = {1u << 7,  1u << 9,  1u << 11,
                                          1u << 13, 1u << 15, 1u << 17};
   const std::vector<std::uint32_t> ks = {2, 4, 8};
-  const hh::analysis::Runner runner;
 
   // One declarative sweep covers the whole (k, n) grid.
-  const auto batch = hh::analysis::run_sweep(
-      runner,
-      hh::analysis::SweepSpec("thm511")
-          .algorithm(hh::core::AlgorithmKind::kSimple)
-          .nest_counts(ks, 0.5)
-          .colony_sizes(ns),
-      kTrials, 0x511, resume_dir);
+  exp.declare("grid",
+              hh::analysis::SweepSpec("thm511")
+                  .algorithm(hh::core::AlgorithmKind::kSimple)
+                  .nest_counts(ks, 0.5)
+                  .colony_sizes(ns),
+              kTrials, 0x511);
+  exp.declare("ksweep",
+              hh::analysis::SweepSpec("thm511/ksweep")
+                  .algorithm(hh::core::AlgorithmKind::kSimple)
+                  .colony_sizes({kFixedN})
+                  .nest_counts({2, 4, 8, 16, 32, 64}, 0.5),
+              kTrials, 0x511F);
+  if (exp.dump_spec_requested()) return 0;
+
+  hh::analysis::print_banner(
+      "E6 / Theorem 5.11 — Algorithm 3 (simple) scaling",
+      "solves HouseHunting in O(k log n) rounds w.h.p.");
+  const auto batch = exp.run("grid");
+  // The block indexing below assumes the in-code (k x n) grid shape.
+  HH_EXPECTS(batch.results.size() == ks.size() * ns.size());
 
   std::vector<hh::util::Series> series;
   std::vector<double> joint_n;
@@ -86,14 +97,7 @@ int main(int argc, char** argv) {
   std::cout << hh::util::plot(series, opt);
 
   // k sweep at fixed n.
-  constexpr std::uint32_t kFixedN = 1 << 14;
-  const auto kbatch = hh::analysis::run_sweep(
-      runner,
-      hh::analysis::SweepSpec("thm511/ksweep")
-          .algorithm(hh::core::AlgorithmKind::kSimple)
-          .colony_sizes({kFixedN})
-          .nest_counts({2, 4, 8, 16, 32, 64}, 0.5),
-      kTrials, 0x511F, resume_dir);
+  const auto kbatch = exp.run("ksweep");
   hh::util::Table ktable(
       {"k", "trials", "conv%", "rounds(med)", "rounds(mean)", "rounds(p95)"});
   std::vector<double> kxs;

@@ -1,0 +1,228 @@
+#include "analysis/cli.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <stdexcept>
+
+#include "analysis/report.hpp"
+#include "util/contracts.hpp"
+
+namespace hh::analysis::cli {
+
+namespace {
+
+void print_usage(std::string_view driver, std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: %.*s [--spec FILE] [--dump-spec] [--resume-dir DIR]\n"
+      "       %*s [--threads N] [--trials N] [--seed N] [--help]\n"
+      "\n"
+      "  --spec FILE     run from a serialized experiment spec (\"-\" = "
+      "stdin)\n"
+      "  --dump-spec     print the canonical spec JSON of this run and "
+      "exit\n"
+      "  --resume-dir D  checkpoint/resume every trial cell in a result "
+      "store at D\n"
+      "  --threads N     worker threads (default 0 = all cores)\n"
+      "  --trials N      override every sweep's trials-per-scenario\n"
+      "  --seed N        override every sweep's base seed\n",
+      static_cast<int>(driver.size()), driver.data(),
+      static_cast<int>(driver.size()), "");
+}
+
+[[noreturn]] void usage_error(std::string_view driver,
+                              const std::string& message) {
+  std::fprintf(stderr, "%s\n", message.c_str());
+  print_usage(driver, stderr);
+  std::exit(2);
+}
+
+std::uint64_t parse_u64_flag(std::string_view driver, const char* flag,
+                             const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 0);
+  // strtoull silently wraps negative input ("-3" -> ~1.8e19), so demand a
+  // leading digit outright.
+  if (std::isdigit(static_cast<unsigned char>(*text)) == 0 || end == nullptr ||
+      *end != '\0' || errno == ERANGE) {
+    usage_error(driver, std::string(flag) + " needs an unsigned integer, got '" +
+                            text + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+Options parse_options(int argc, char** argv, std::string_view driver) {
+  Options options;
+  const auto value_of = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      // Keeps the old resume_dir_from_args contract: a flag without its
+      // argument is a usage error (exit 2), reported on stderr.
+      std::fprintf(stderr, "%s needs a%s argument\n", flag,
+                   std::strcmp(flag, "--resume-dir") == 0 ? " directory" : "n");
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--spec") {
+      options.spec_path = value_of(i, "--spec");
+    } else if (arg == "--dump-spec") {
+      options.dump_spec = true;
+    } else if (arg == "--resume-dir") {
+      options.resume_dir = value_of(i, "--resume-dir");
+    } else if (arg == "--threads") {
+      options.threads = static_cast<unsigned>(
+          parse_u64_flag(driver, "--threads", value_of(i, "--threads")));
+    } else if (arg == "--trials") {
+      const std::uint64_t trials =
+          parse_u64_flag(driver, "--trials", value_of(i, "--trials"));
+      if (trials == 0) usage_error(driver, "--trials must be >= 1");
+      options.trials = static_cast<std::size_t>(trials);
+    } else if (arg == "--seed") {
+      options.base_seed = parse_u64_flag(driver, "--seed", value_of(i, "--seed"));
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(driver, stdout);
+      std::exit(0);
+    } else {
+      usage_error(driver, "unknown argument '" + std::string(arg) + "'");
+    }
+  }
+  return options;
+}
+
+Experiment::Experiment(std::string name, int argc, char** argv)
+    : Experiment(std::move(name), parse_options(argc, argv, argv != nullptr &&
+                                                                argc > 0
+                                                            ? argv[0]
+                                                            : "driver")) {}
+
+Experiment::Experiment(std::string name, Options options)
+    : name_(std::move(name)), options_(std::move(options)) {
+  effective_.name = name_;
+  if (!options_.spec_path.empty()) {
+    try {
+      loaded_ = load_experiment_spec(options_.spec_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      std::exit(2);
+    }
+    loaded_consumed_.assign(loaded_.sweeps.size(), false);
+  }
+}
+
+Experiment::~Experiment() = default;
+
+void Experiment::adopt(SweepEntry entry) {
+  HH_EXPECTS(!entry.name.empty());
+  for (const SweepEntry& existing : effective_.sweeps) {
+    if (existing.name == entry.name) {
+      std::fprintf(stderr, "driver bug: sweep '%s' declared twice\n",
+                   entry.name.c_str());
+      std::exit(2);
+    }
+  }
+  // A --spec file entry of the same name replaces the in-code defaults.
+  for (std::size_t i = 0; i < loaded_.sweeps.size(); ++i) {
+    if (loaded_.sweeps[i].name == entry.name) {
+      entry = loaded_.sweeps[i];
+      loaded_consumed_[i] = true;
+      break;
+    }
+  }
+  if (options_.trials) entry.trials = *options_.trials;
+  if (options_.base_seed) entry.base_seed = *options_.base_seed;
+  effective_.sweeps.push_back(std::move(entry));
+  expansions_.emplace_back();
+}
+
+void Experiment::declare(std::string sweep, SweepSpec spec, std::size_t trials,
+                         std::uint64_t base_seed) {
+  SweepEntry entry;
+  entry.name = std::move(sweep);
+  entry.trials = trials;
+  entry.base_seed = base_seed;
+  entry.sweep = std::move(spec);
+  adopt(std::move(entry));
+}
+
+void Experiment::declare(std::string sweep, std::vector<Scenario> scenarios,
+                         std::size_t trials, std::uint64_t base_seed) {
+  SweepEntry entry;
+  entry.name = std::move(sweep);
+  entry.trials = trials;
+  entry.base_seed = base_seed;
+  entry.scenarios = std::move(scenarios);
+  adopt(std::move(entry));
+}
+
+bool Experiment::dump_spec_requested() {
+  // A file sweep the driver never declared would silently not run — that
+  // is data loss, not a default to fall back on.
+  for (std::size_t i = 0; i < loaded_.sweeps.size(); ++i) {
+    if (!loaded_consumed_[i]) {
+      std::fprintf(stderr,
+                   "spec file '%s' contains sweep '%s', which driver '%s' "
+                   "does not declare (declared:",
+                   options_.spec_path.c_str(), loaded_.sweeps[i].name.c_str(),
+                   name_.c_str());
+      for (const SweepEntry& entry : effective_.sweeps) {
+        std::fprintf(stderr, " %s", entry.name.c_str());
+      }
+      std::fprintf(stderr, ")\n");
+      std::exit(2);
+    }
+  }
+  if (!options_.dump_spec) return false;
+  std::cout << dump_experiment_spec(effective_) << '\n';
+  return true;
+}
+
+std::size_t Experiment::index_or_throw(std::string_view sweep) const {
+  for (std::size_t i = 0; i < effective_.sweeps.size(); ++i) {
+    if (effective_.sweeps[i].name == sweep) return i;
+  }
+  throw std::out_of_range("no declared sweep named '" + std::string(sweep) +
+                          "'");
+}
+
+const std::vector<Scenario>& Experiment::scenarios(std::string_view sweep) {
+  const std::size_t i = index_or_throw(sweep);
+  Expansion& expansion = expansions_[i];
+  if (!expansion.ready) {
+    expansion.scenarios = effective_.sweeps[i].expand();
+    expansion.ready = true;
+  }
+  return expansion.scenarios;
+}
+
+std::size_t Experiment::trials(std::string_view sweep) const {
+  return effective_.sweeps[index_or_throw(sweep)].trials;
+}
+
+std::uint64_t Experiment::base_seed(std::string_view sweep) const {
+  return effective_.sweeps[index_or_throw(sweep)].base_seed;
+}
+
+const Runner& Experiment::runner() {
+  if (runner_ == nullptr) {
+    runner_ = std::make_unique<Runner>(RunnerOptions{options_.threads});
+  }
+  return *runner_;
+}
+
+BatchResult Experiment::run(std::string_view sweep) {
+  const std::size_t i = index_or_throw(sweep);
+  const SweepEntry& entry = effective_.sweeps[i];
+  return run_sweep(runner(), scenarios(sweep), entry.trials, entry.base_seed,
+                   options_.resume_dir);
+}
+
+}  // namespace hh::analysis::cli

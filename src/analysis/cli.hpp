@@ -1,0 +1,132 @@
+// The shared bench-driver front-end: one flag parser and one
+// declare-then-run harness replacing the hand-rolled argv loops the 15
+// drivers used to carry.
+//
+// Every driver follows the same shape:
+//
+//   int main(int argc, char** argv) {
+//     hh::analysis::cli::Experiment exp("thm511", argc, argv);
+//     exp.declare("grid",   spec,  kTrials, 0x511);     // defaults
+//     exp.declare("ksweep", kspec, kTrials, 0x511F);
+//     if (exp.dump_spec_requested()) return 0;           // --dump-spec
+//     const auto batch = exp.run("grid");                // or exp.scenarios()
+//     ...reporting...
+//   }
+//
+// Standard flags (uniform across all drivers):
+//   --spec FILE     run from a serialized ExperimentSpec instead of the
+//                   declared defaults ("-" = stdin). Sweeps are matched
+//                   by name; a file sweep the driver never declares is an
+//                   error (it would silently not run).
+//   --dump-spec     print the canonical JSON of what WOULD run (defaults
+//                   + any --spec/--trials/--seed overrides) and exit.
+//                   `driver --dump-spec | driver --spec /dev/stdin`
+//                   reproduces the flag-driven run bit-for-bit — same
+//                   ResultStore fingerprints, same tidy CSV.
+//   --resume-dir D  checkpoint every (scenario, trial) cell into an
+//                   analysis::ResultStore at D (Runner::run_resumable).
+//   --threads N     worker threads (0 = all cores).
+//   --trials N      override every sweep's trial count.
+//   --seed N        override every sweep's base seed.
+#ifndef HH_ANALYSIS_CLI_HPP
+#define HH_ANALYSIS_CLI_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/runner.hpp"
+#include "analysis/spec.hpp"
+
+namespace hh::analysis::cli {
+
+/// The parsed standard flag set.
+struct Options {
+  std::string spec_path;    ///< --spec FILE ("" = none, "-" = stdin)
+  bool dump_spec = false;   ///< --dump-spec
+  std::string resume_dir;   ///< --resume-dir DIR ("" = no checkpointing)
+  unsigned threads = 0;     ///< --threads N (0 = hardware concurrency)
+  std::optional<std::size_t> trials;       ///< --trials N override
+  std::optional<std::uint64_t> base_seed;  ///< --seed N override
+};
+
+/// Parse a driver's argv. Prints usage and calls std::exit — 0 on
+/// --help, 2 on a malformed or unknown flag (matching the old
+/// resume_dir_from_args behavior for a missing --resume-dir argument).
+[[nodiscard]] Options parse_options(int argc, char** argv,
+                                    std::string_view driver);
+
+/// The declare-then-run harness. Declaration must be complete before
+/// dump_spec_requested(); execution accessors are valid after it.
+class Experiment {
+ public:
+  /// Parses argv (see parse_options) and, under --spec, loads the file —
+  /// exiting with a diagnostic on unreadable/malformed specs.
+  Experiment(std::string name, int argc, char** argv);
+  /// Testing seam: inject pre-parsed options (no exit paths except the
+  /// declared-sweep validation).
+  Experiment(std::string name, Options options);
+  ~Experiment();
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  /// Declare one sweep with its in-code defaults. Under --spec, a file
+  /// entry of the same name REPLACES the defaults (scenarios, trials,
+  /// seed); --trials/--seed apply on top either way.
+  void declare(std::string sweep, SweepSpec spec, std::size_t trials,
+               std::uint64_t base_seed);
+  void declare(std::string sweep, std::vector<Scenario> scenarios,
+               std::size_t trials, std::uint64_t base_seed);
+
+  /// Call once after all declare()s. Validates that every sweep in a
+  /// --spec file was declared (exit 2 otherwise — a file sweep that
+  /// never runs would be silent data loss); under --dump-spec prints the
+  /// canonical JSON to stdout and returns true (driver returns 0).
+  [[nodiscard]] bool dump_spec_requested();
+
+  /// Run one declared sweep: Runner::run, or run_resumable under
+  /// --resume-dir (cached/run split printed), plus the engine-fallback
+  /// summary (report.hpp). Throws std::out_of_range for an undeclared
+  /// name.
+  [[nodiscard]] BatchResult run(std::string_view sweep);
+
+  /// The expanded scenarios / effective trials / effective seed of a
+  /// declared sweep — for drivers that measure through Runner::map
+  /// instead of run(). The scenario vector is cached (stable reference).
+  [[nodiscard]] const std::vector<Scenario>& scenarios(std::string_view sweep);
+  [[nodiscard]] std::size_t trials(std::string_view sweep) const;
+  [[nodiscard]] std::uint64_t base_seed(std::string_view sweep) const;
+
+  /// The shared runner (constructed once from --threads).
+  [[nodiscard]] const Runner& runner();
+
+  [[nodiscard]] const Options& options() const { return options_; }
+  /// The effective experiment description (what --dump-spec prints).
+  [[nodiscard]] const ExperimentSpec& spec() const { return effective_; }
+
+ private:
+  /// Lazily expanded scenario cache, parallel to effective_.sweeps.
+  struct Expansion {
+    std::vector<Scenario> scenarios;
+    bool ready = false;
+  };
+
+  [[nodiscard]] std::size_t index_or_throw(std::string_view sweep) const;
+  void adopt(SweepEntry entry);
+
+  std::string name_;
+  Options options_;
+  ExperimentSpec loaded_;              ///< --spec file content
+  std::vector<bool> loaded_consumed_;  ///< per loaded_.sweeps entry
+  ExperimentSpec effective_;           ///< the declared (effective) sweeps
+  std::vector<Expansion> expansions_;  ///< parallel to effective_.sweeps
+  std::unique_ptr<Runner> runner_;
+};
+
+}  // namespace hh::analysis::cli
+
+#endif  // HH_ANALYSIS_CLI_HPP

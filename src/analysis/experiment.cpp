@@ -1,5 +1,7 @@
 #include "analysis/experiment.hpp"
 
+#include <algorithm>
+
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
 
@@ -7,6 +9,19 @@
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace hh::analysis {
+
+void count_fallback_reason(
+    std::vector<std::pair<std::string, std::size_t>>& reasons,
+    const std::string& reason, std::size_t count) {
+  const auto it =
+      std::find_if(reasons.begin(), reasons.end(),
+                   [&](const auto& r) { return r.first == reason; });
+  if (it == reasons.end()) {
+    reasons.emplace_back(reason, count);
+  } else {
+    it->second += count;
+  }
+}
 
 Aggregate aggregate(const std::vector<TrialStats>& trials) {
   Aggregate agg;
@@ -16,12 +31,16 @@ Aggregate aggregate(const std::vector<TrialStats>& trials) {
   for (const TrialStats& t : trials) {
     if (t.engine == core::EngineKind::kPacked) ++agg.packed_trials;
     if (t.engine == core::EngineKind::kScalar) ++agg.scalar_trials;
+    if (!t.engine_fallback.empty()) {
+      count_fallback_reason(agg.fallback_reasons, t.engine_fallback);
+    }
     if (!t.converged) continue;
     ++agg.converged;
     agg.round_samples.push_back(t.rounds);
     quality_sum += t.winner_quality;
     recruit_sum += t.recruitments;
   }
+  std::sort(agg.fallback_reasons.begin(), agg.fallback_reasons.end());
   agg.convergence_rate =
       agg.trials == 0 ? 0.0
                       : static_cast<double>(agg.converged) /
@@ -56,6 +75,7 @@ TrialStats to_trial_stats(const core::RunResult& result) {
   t.winner_quality = result.winner_quality;
   t.recruitments = static_cast<double>(result.total_recruitments);
   t.engine = result.engine;
+  t.engine_fallback = result.engine_fallback;
   return t;
 }
 

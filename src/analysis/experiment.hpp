@@ -25,8 +25,13 @@ struct TrialStats {
   /// kAuto for "unknown" — cells served from a ResultStore cache keep
   /// kAuto, because scalar and packed runs share cache entries by the
   /// equivalence contract and the store records only model outcomes.
-  /// Never part of result identity (excluded from store payloads and CSV).
+  /// Never part of result identity (excluded from store payloads).
   core::EngineKind engine = core::EngineKind::kAuto;
+  /// Diagnostic: why a kAuto trial fell back to the scalar engine
+  /// (RunResult::engine_fallback; "" when packed ran, when scalar was
+  /// explicit, or for cache-served cells). Like `engine`, never part of
+  /// result identity.
+  std::string engine_fallback;
 };
 
 /// Aggregated view of a batch of trials.
@@ -38,6 +43,11 @@ struct Aggregate {
   /// unknown engine (cache-served cells) count in neither.
   std::size_t packed_trials = 0;
   std::size_t scalar_trials = 0;
+  /// Distinct engine-fallback reasons seen across the trials, with their
+  /// trial counts, sorted by reason. Empty when nothing fell back — so a
+  /// silently-degraded sweep is visible from the aggregate alone (the
+  /// tidy report prints these; see BatchResult/report.hpp).
+  std::vector<std::pair<std::string, std::size_t>> fallback_reasons;
   double convergence_rate = 0.0;
   util::Summary rounds;               ///< over converged trials only
   double mean_winner_quality = 0.0;   ///< over converged trials only
@@ -49,6 +59,14 @@ struct Aggregate {
 
 /// Collapse TrialStats into an Aggregate.
 [[nodiscard]] Aggregate aggregate(const std::vector<TrialStats>& trials);
+
+/// Merge `count` occurrences of one fallback reason into a distinct-reason
+/// counter list (first-seen order preserved) — THE accumulation both
+/// Aggregate::fallback_reasons and the batch-level engine summary
+/// (report.hpp) use, so reason bookkeeping cannot drift between them.
+void count_fallback_reason(
+    std::vector<std::pair<std::string, std::size_t>>& reasons,
+    const std::string& reason, std::size_t count = 1);
 
 /// Run `count` trials of `trial`, feeding it deterministic per-trial seeds
 /// derived from `base_seed`.

@@ -1,5 +1,6 @@
 #include "analysis/report.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -44,6 +45,35 @@ void print_fit(const util::Fit& fit, const std::string& feature,
             << paper_claim << "]\n";
 }
 
+void print_engine_summary(const BatchResult& batch) {
+  std::size_t packed = 0;
+  std::size_t scalar = 0;
+  std::size_t total = 0;
+  // Reason -> trials, aggregated across scenarios, first-seen order.
+  std::vector<std::pair<std::string, std::size_t>> reasons;
+  for (const ScenarioResult& result : batch.results) {
+    packed += result.aggregate.packed_trials;
+    scalar += result.aggregate.scalar_trials;
+    total += result.aggregate.trials;
+    for (const auto& [reason, count] : result.aggregate.fallback_reasons) {
+      count_fallback_reason(reasons, reason, count);
+    }
+  }
+  if (reasons.empty()) return;  // cleanly packed / explicit-engine batch
+  // Only trials with a recorded reason FELL BACK; an explicitly requested
+  // kScalar run is scalar by choice, not degradation.
+  std::size_t fell_back = 0;
+  for (const auto& [reason, count] : reasons) fell_back += count;
+  std::printf("[engine] %zu/%zu trials fell back to the scalar path "
+              "(%zu packed, %zu scalar by request, %zu cache-served):\n",
+              fell_back, total, packed, scalar - fell_back,
+              total - packed - scalar);
+  for (const auto& [reason, count] : reasons) {
+    std::printf("[engine]   %zu trial%s: %s\n", count, count == 1 ? "" : "s",
+                reason.c_str());
+  }
+}
+
 std::string write_csv(const std::string& name,
                       const std::vector<std::string>& header,
                       const std::vector<std::vector<double>>& rows) {
@@ -66,6 +96,9 @@ std::string write_csv(const std::string& name,
   return path;
 }
 
+// The deprecated shim is implemented (and kept byte-compatible) here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 std::string resume_dir_from_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--resume-dir") {
@@ -78,13 +111,16 @@ std::string resume_dir_from_args(int argc, char** argv) {
   }
   return {};
 }
+#pragma GCC diagnostic pop
 
 BatchResult run_sweep(const Runner& runner,
                       const std::vector<Scenario>& scenarios,
                       std::size_t trials, std::uint64_t base_seed,
                       const std::string& resume_dir) {
   if (resume_dir.empty()) {
-    return runner.run(scenarios, trials, base_seed);
+    BatchResult batch = runner.run(scenarios, trials, base_seed);
+    print_engine_summary(batch);
+    return batch;
   }
   ResultStore store(resume_dir);
   ResumeReport report;
@@ -93,6 +129,7 @@ BatchResult run_sweep(const Runner& runner,
   std::printf("[resume %s] cells: %zu total, %zu cached, %zu run\n",
               resume_dir.c_str(), report.cells_total, report.cells_cached,
               report.cells_run);
+  print_engine_summary(batch);
   return batch;
 }
 

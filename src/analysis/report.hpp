@@ -28,6 +28,14 @@ void append_aggregate_cells(util::Table& table, const Aggregate& agg);
 void print_fit(const util::Fit& fit, const std::string& feature,
                const std::string& paper_claim);
 
+/// Print the batch's engine split when anything fell back to the scalar
+/// path: total packed/scalar/cache-served trial counts plus one line per
+/// DISTINCT RunResult::engine_fallback reason with its trial count — so a
+/// silently-degraded sweep (3x slower than its spec implies) is obvious
+/// from the report alone. Prints nothing for a cleanly packed (or fully
+/// cache-served) batch. Called by run_sweep after every sweep.
+void print_engine_summary(const BatchResult& batch);
+
 /// Write rows to bench_out/<name>.csv (directory created on demand);
 /// returns the path written, or an empty string on I/O failure (reported
 /// to stderr; benches keep running — the console table is the artifact of
@@ -36,9 +44,13 @@ std::string write_csv(const std::string& name,
                       const std::vector<std::string>& header,
                       const std::vector<std::vector<double>>& rows);
 
-/// `--resume-dir DIR` from a bench driver's argv ("" when absent). The
-/// long drivers pass it through run_sweep so multi-hour sweeps survive
-/// interruption (Runner::run_resumable, DESIGN.md §4).
+/// `--resume-dir DIR` from a bench driver's argv ("" when absent).
+///
+/// Deprecated: the flag is one of the standard set analysis::cli parses —
+/// construct a cli::Experiment (cli.hpp) or call cli::parse_options and
+/// read Options::resume_dir, which preserves this function's behavior
+/// byte-for-byte (including exit(2) on a missing directory argument).
+[[deprecated("use analysis::cli::parse_options (cli.hpp)")]]
 [[nodiscard]] std::string resume_dir_from_args(int argc, char** argv);
 
 /// Run one sweep: plain Runner::run when `resume_dir` is empty, else

@@ -7,6 +7,7 @@
 #include <span>
 #include <stdexcept>
 
+#include "analysis/spec.hpp"
 #include "util/binary_io.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
@@ -49,29 +50,15 @@ std::size_t TrialKeyHash::operator()(const TrialKey& key) const {
 }
 
 std::uint64_t scenario_fingerprint(const Scenario& scenario) {
+  // v2: the hash input IS the canonical serialized identity (analysis/
+  // spec.hpp) — the very bytes `--dump-spec` emits for the scenario's
+  // outcome-determining fields. A spec-file-driven sweep therefore shares
+  // every cached cell with the flag-driven run it was dumped from, and a
+  // field added to AlgorithmParams (one algorithm_param_table() row)
+  // reaches the fingerprint with no edit here.
   util::Fnv64 h;
-  h.str("hh.scenario.v1");
-  h.str(scenario.algorithm);
-  const core::SimulationConfig& c = scenario.config;
-  h.u32(c.num_ants);
-  h.u64(c.qualities.size());
-  for (double q : c.qualities) h.f64(q);
-  h.u32(c.max_rounds);
-  h.u32(c.stability_rounds);
-  h.f64(c.convergence_tolerance);
-  h.f64(c.skip_probability);
-  h.f64(c.noise.count_sigma);
-  h.f64(c.noise.quality_flip_prob);
-  h.f64(c.noise.quality_sigma);
-  h.f64(c.faults.crash_fraction);
-  h.f64(c.faults.byzantine_fraction);
-  h.u32(c.faults.crash_horizon);
-  h.u8(static_cast<std::uint8_t>(c.pairing));
-  const core::AlgorithmParams& p = scenario.params;
-  h.f64(p.quorum_fraction);
-  h.f64(p.quorum_tandem_rate);
-  h.f64(p.uniform_recruit_prob);
-  h.f64(p.n_estimate_error);
+  h.str("hh.scenario.v2");
+  h.str(scenario_identity_json(scenario));
   return h.digest();
 }
 

@@ -244,6 +244,25 @@ std::vector<std::string> tidy_axis_names(
   return names;
 }
 
+/// The engine cell of the tidy table: which engine(s) actually executed
+/// a scenario's trials. "cached" = every cell came from a ResultStore
+/// (engine unknown by design); a '!' marks scalar fallbacks so a
+/// degraded sweep stands out in a column of "packed".
+std::string engine_cell(const Aggregate& agg) {
+  const std::size_t known = agg.packed_trials + agg.scalar_trials;
+  if (known == 0) return agg.trials == 0 ? "-" : "cached";
+  std::string cell;
+  if (agg.packed_trials > 0) {
+    cell = "packed:" + std::to_string(agg.packed_trials);
+  }
+  if (agg.scalar_trials > 0) {
+    if (!cell.empty()) cell += "+";
+    cell += "scalar:" + std::to_string(agg.scalar_trials);
+    if (!agg.fallback_reasons.empty()) cell += "!";
+  }
+  return cell;
+}
+
 }  // namespace
 
 std::vector<std::string> BatchResult::tidy_header() const {
@@ -252,7 +271,8 @@ std::vector<std::string> BatchResult::tidy_header() const {
     header.push_back(std::move(name));
   }
   header.insert(header.end(), {"trials", "conv%", "rounds(med)",
-                               "rounds(mean)", "rounds(p95)", "E[winner q]"});
+                               "rounds(mean)", "rounds(p95)", "E[winner q]",
+                               "engines"});
   return header;
 }
 
@@ -261,6 +281,10 @@ std::vector<std::string> BatchResult::tidy_csv_header() const {
   for (std::string& name : tidy_axis_names(results)) {
     header.push_back(std::move(name));
   }
+  // NO engine columns here, deliberately: tidy CSV is identity-bearing
+  // (test_resume pins warm-vs-cold byte equality, and cache-served cells
+  // have unknown engines). Engine visibility lives in tidy_table()'s
+  // "engines" column and print_engine_summary (report.hpp).
   header.insert(header.end(),
                 {"trials", "conv_rate", "rounds_median", "rounds_mean",
                  "rounds_p95", "mean_winner_quality"});
@@ -311,7 +335,8 @@ util::Table BatchResult::tidy_table() const {
         .num(agg.rounds.median, 1)
         .num(agg.rounds.mean, 1)
         .num(agg.rounds.p95, 1)
-        .num(agg.mean_winner_quality, 3);
+        .num(agg.mean_winner_quality, 3)
+        .cell(engine_cell(agg));
   }
   return table;
 }

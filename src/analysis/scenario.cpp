@@ -97,7 +97,10 @@ SweepSpec& SweepSpec::algorithms(std::vector<std::string> names) {
                         sc.algorithm = name;
                       }});
   }
-  return axis("algorithm", std::move(points));
+  AxisDesc desc;
+  desc.kind = "algorithms";
+  desc.labels = std::move(names);
+  return add_axis("algorithm", std::move(points), std::move(desc));
 }
 
 SweepSpec& SweepSpec::algorithms(const std::vector<core::AlgorithmKind>& kinds) {
@@ -111,24 +114,31 @@ SweepSpec& SweepSpec::algorithms(const std::vector<core::AlgorithmKind>& kinds) 
 
 SweepSpec& SweepSpec::colony_sizes(std::vector<std::uint32_t> ns) {
   std::vector<Point> points;
+  AxisDesc desc;
+  desc.kind = "colony_sizes";
   for (std::uint32_t n : ns) {
     points.push_back({format_value(n), static_cast<double>(n),
                       [n](Scenario& sc) { sc.config.num_ants = n; }});
+    desc.values.push_back(n);
   }
-  return axis("n", std::move(points));
+  return add_axis("n", std::move(points), std::move(desc));
 }
 
 SweepSpec& SweepSpec::nest_counts(std::vector<std::uint32_t> ks,
                                   double bad_fraction) {
   std::vector<Point> points;
+  AxisDesc desc;
+  desc.kind = "nest_counts";
+  desc.fraction = bad_fraction;
   for (std::uint32_t k : ks) {
     points.push_back({format_value(k), static_cast<double>(k),
                       [k, bad_fraction](Scenario& sc) {
                         sc.config.qualities =
                             binary_qualities_for(k, bad_fraction);
                       }});
+    desc.values.push_back(k);
   }
-  return axis("k", std::move(points));
+  return add_axis("k", std::move(points), std::move(desc));
 }
 
 SweepSpec& SweepSpec::colony_nest_pairs(
@@ -146,98 +156,171 @@ SweepSpec& SweepSpec::colony_nest_pairs(
                             {"k", static_cast<double>(k), format_value(k)});
                       }});
   }
-  return axis("n", std::move(points));
+  AxisDesc desc;
+  desc.kind = "colony_nest_pairs";
+  desc.fraction = bad_fraction;
+  desc.pairs = std::move(nk);
+  return add_axis("n", std::move(points), std::move(desc));
 }
 
 SweepSpec& SweepSpec::quality_sets(
     std::vector<std::pair<std::string, std::vector<double>>> sets) {
   std::vector<Point> points;
+  AxisDesc desc;
+  desc.kind = "quality_sets";
   double index = 0.0;
   for (auto& [label, qualities] : sets) {
     points.push_back({label, index++, [qualities](Scenario& sc) {
                         sc.config.qualities = qualities;
                       }});
+    desc.labels.push_back(label);
+    desc.vectors.push_back(qualities);
   }
-  return axis("qualities", std::move(points));
+  return add_axis("qualities", std::move(points), std::move(desc));
 }
 
-SweepSpec& SweepSpec::count_noise(std::vector<double> sigmas) {
-  return axis("count_sigma", std::move(sigmas), [](Scenario& sc, double v) {
-    sc.config.noise.count_sigma = v;
-  });
-}
+namespace {
 
-SweepSpec& SweepSpec::quality_flip(std::vector<double> probs) {
-  return axis("quality_flip", std::move(probs), [](Scenario& sc, double v) {
-    sc.config.noise.quality_flip_prob = v;
-  });
-}
-
-SweepSpec& SweepSpec::crash_fractions(std::vector<double> fractions) {
-  return axis("crash_fraction", std::move(fractions),
-              [](Scenario& sc, double v) {
-                sc.config.faults.crash_fraction = v;
-              });
-}
-
-SweepSpec& SweepSpec::byzantine_fractions(std::vector<double> fractions) {
-  return axis("byzantine_fraction", std::move(fractions),
-              [](Scenario& sc, double v) {
-                sc.config.faults.byzantine_fraction = v;
-              });
-}
-
-SweepSpec& SweepSpec::skip_probabilities(std::vector<double> probs) {
-  return axis("skip_probability", std::move(probs),
-              [](Scenario& sc, double v) { sc.config.skip_probability = v; });
-}
-
-SweepSpec& SweepSpec::pairings(std::vector<env::PairingKind> kinds) {
-  std::vector<Point> points;
-  for (env::PairingKind kind : kinds) {
-    const char* label =
-        kind == env::PairingKind::kPermutation ? "permutation"
-                                               : "uniform-proposal";
-    points.push_back({label, static_cast<double>(static_cast<int>(kind)),
-                      [kind](Scenario& sc) { sc.config.pairing = kind; }});
-  }
-  return axis("pairing", std::move(points));
-}
-
-SweepSpec& SweepSpec::engines(std::vector<core::EngineKind> kinds) {
-  std::vector<Point> points;
-  for (core::EngineKind kind : kinds) {
-    points.push_back({std::string(core::engine_name(kind)),
-                      static_cast<double>(static_cast<int>(kind)),
-                      [kind](Scenario& sc) { sc.config.engine = kind; }});
-  }
-  return axis("engine", std::move(points));
-}
-
-SweepSpec& SweepSpec::n_estimate_errors(std::vector<double> errors) {
-  return axis("n_estimate_error", std::move(errors),
-              [](Scenario& sc, double v) { sc.params.n_estimate_error = v; });
-}
-
-SweepSpec& SweepSpec::quorum_fractions(std::vector<double> fractions) {
-  return axis("quorum_fraction", std::move(fractions),
-              [](Scenario& sc, double v) { sc.params.quorum_fraction = v; });
-}
-
-SweepSpec& SweepSpec::axis(std::string name, std::vector<Point> points) {
-  HH_EXPECTS(!points.empty());
-  axes_.push_back({std::move(name), std::move(points)});
-  return *this;
-}
-
-SweepSpec& SweepSpec::axis(std::string name, std::vector<double> values,
-                           const std::function<void(Scenario&, double)>& apply) {
-  std::vector<Point> points;
+/// Point list for a plain numeric knob (label = formatted value).
+std::vector<SweepSpec::Point> numeric_points(
+    const std::vector<double>& values,
+    const std::function<void(Scenario&, double)>& apply) {
+  std::vector<SweepSpec::Point> points;
   for (double v : values) {
     points.push_back(
         {format_value(v), v, [apply, v](Scenario& sc) { apply(sc, v); }});
   }
-  return axis(std::move(name), std::move(points));
+  return points;
+}
+
+}  // namespace
+
+SweepSpec& SweepSpec::numeric_axis(
+    std::string kind, std::string axis_name, std::vector<double> values,
+    const std::function<void(Scenario&, double)>& apply) {
+  std::vector<Point> points = numeric_points(values, apply);
+  AxisDesc desc;
+  desc.kind = std::move(kind);
+  desc.values = std::move(values);
+  return add_axis(std::move(axis_name), std::move(points), std::move(desc));
+}
+
+SweepSpec& SweepSpec::count_noise(std::vector<double> sigmas) {
+  return numeric_axis("count_noise", "count_sigma", std::move(sigmas),
+                      [](Scenario& sc, double v) {
+                        sc.config.noise.count_sigma = v;
+                      });
+}
+
+SweepSpec& SweepSpec::quality_flip(std::vector<double> probs) {
+  return numeric_axis("quality_flip", "quality_flip", std::move(probs),
+                      [](Scenario& sc, double v) {
+                        sc.config.noise.quality_flip_prob = v;
+                      });
+}
+
+SweepSpec& SweepSpec::crash_fractions(std::vector<double> fractions) {
+  return numeric_axis("crash_fractions", "crash_fraction",
+                      std::move(fractions), [](Scenario& sc, double v) {
+                        sc.config.faults.crash_fraction = v;
+                      });
+}
+
+SweepSpec& SweepSpec::byzantine_fractions(std::vector<double> fractions) {
+  return numeric_axis("byzantine_fractions", "byzantine_fraction",
+                      std::move(fractions), [](Scenario& sc, double v) {
+                        sc.config.faults.byzantine_fraction = v;
+                      });
+}
+
+SweepSpec& SweepSpec::skip_probabilities(std::vector<double> probs) {
+  return numeric_axis("skip_probabilities", "skip_probability",
+                      std::move(probs), [](Scenario& sc, double v) {
+                        sc.config.skip_probability = v;
+                      });
+}
+
+SweepSpec& SweepSpec::pairings(std::vector<env::PairingKind> kinds) {
+  std::vector<Point> points;
+  AxisDesc desc;
+  desc.kind = "pairings";
+  for (env::PairingKind kind : kinds) {
+    const std::string label(env::pairing_name(kind));
+    points.push_back({label, static_cast<double>(static_cast<int>(kind)),
+                      [kind](Scenario& sc) { sc.config.pairing = kind; }});
+    desc.labels.push_back(label);
+  }
+  return add_axis("pairing", std::move(points), std::move(desc));
+}
+
+SweepSpec& SweepSpec::engines(std::vector<core::EngineKind> kinds) {
+  std::vector<Point> points;
+  AxisDesc desc;
+  desc.kind = "engines";
+  for (core::EngineKind kind : kinds) {
+    points.push_back({std::string(core::engine_name(kind)),
+                      static_cast<double>(static_cast<int>(kind)),
+                      [kind](Scenario& sc) { sc.config.engine = kind; }});
+    desc.labels.emplace_back(core::engine_name(kind));
+  }
+  return add_axis("engine", std::move(points), std::move(desc));
+}
+
+SweepSpec& SweepSpec::n_estimate_errors(std::vector<double> errors) {
+  return numeric_axis("n_estimate_errors", "n_estimate_error",
+                      std::move(errors), [](Scenario& sc, double v) {
+                        sc.params.n_estimate_error = v;
+                      });
+}
+
+SweepSpec& SweepSpec::quorum_fractions(std::vector<double> fractions) {
+  return numeric_axis("quorum_fractions", "quorum_fraction",
+                      std::move(fractions), [](Scenario& sc, double v) {
+                        sc.params.quorum_fraction = v;
+                      });
+}
+
+SweepSpec& SweepSpec::param_values(const std::string& key,
+                                   std::vector<double> values) {
+  const core::ParamInfo* info = core::find_param(key);
+  HH_EXPECTS(info != nullptr);  // algorithm_param_table() keys only
+  for (const double v : values) {
+    HH_EXPECTS(v >= info->min_value && v <= info->max_value);
+  }
+  std::vector<Point> points =
+      numeric_points(values, [field = info->field](Scenario& sc, double v) {
+        sc.params.*field = v;
+      });
+  AxisDesc desc;
+  desc.kind = "param_values";
+  desc.labels = {key};
+  desc.values = std::move(values);
+  return add_axis(key, std::move(points), std::move(desc));
+}
+
+SweepSpec& SweepSpec::axis(std::string name, std::vector<Point> points) {
+  // Custom mutators carry no declarative description (empty kind): the
+  // sweep still runs and dumps, but serializes as expanded scenarios.
+  return add_axis(std::move(name), std::move(points), AxisDesc{});
+}
+
+SweepSpec& SweepSpec::axis(std::string name, std::vector<double> values,
+                           const std::function<void(Scenario&, double)>& apply) {
+  return add_axis(std::move(name), numeric_points(values, apply), AxisDesc{});
+}
+
+SweepSpec& SweepSpec::add_axis(std::string name, std::vector<Point> points,
+                               AxisDesc desc) {
+  HH_EXPECTS(!points.empty());
+  axes_.push_back({std::move(name), std::move(points), std::move(desc)});
+  return *this;
+}
+
+bool SweepSpec::serializable() const {
+  for (const Axis& axis : axes_) {
+    if (axis.desc.kind.empty()) return false;
+  }
+  return true;
 }
 
 std::size_t SweepSpec::size() const {

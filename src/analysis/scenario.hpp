@@ -88,6 +88,30 @@ class SweepSpec {
     Mutator apply;
   };
 
+  /// Declarative description of one axis, recorded by every STANDARD axis
+  /// builder so a sweep built from the fluent API serializes to canonical
+  /// JSON (analysis/spec.hpp) and parses back to an identical sweep. The
+  /// payload fields used depend on `kind` (the builder method's name);
+  /// an empty kind marks a custom axis() — a mutator the spec layer
+  /// cannot serialize declaratively (it falls back to emitting the
+  /// expanded scenarios instead).
+  struct AxisDesc {
+    std::string kind;  ///< builder name ("colony_sizes", ...); "" = custom
+    std::vector<double> values;
+    std::vector<std::string> labels;  ///< algorithms, pairings, engines, sets
+    std::vector<std::vector<double>> vectors;  ///< quality_sets payloads
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;  ///< (n, k)
+    double fraction = 0.0;  ///< bad_fraction where applicable
+  };
+
+  /// One declared axis: tidy-output name, expansion points, and the
+  /// declarative description (for serialization).
+  struct Axis {
+    std::string name;
+    std::vector<Point> points;
+    AxisDesc desc;
+  };
+
   explicit SweepSpec(std::string name = "sweep");
 
   // --- base scenario (applied before any axis) --------------------------
@@ -135,6 +159,11 @@ class SweepSpec {
   SweepSpec& n_estimate_errors(std::vector<double> errors);
   /// AlgorithmParams axis: quorum threshold fraction.
   SweepSpec& quorum_fractions(std::vector<double> fractions);
+  /// AlgorithmParams axis over ANY core::algorithm_param_table() key
+  /// (axis name = key) — the generic form; registered variants' params
+  /// are sweepable by name with no new builder. Values are range-checked
+  /// against the table row.
+  SweepSpec& param_values(const std::string& key, std::vector<double> values);
 
   /// Arbitrary axis.
   SweepSpec& axis(std::string name, std::vector<Point> points);
@@ -150,11 +179,22 @@ class SweepSpec {
 
   [[nodiscard]] const std::string& name() const { return name_; }
 
+  // --- introspection (the JSON spec layer serializes through these) -----
+  /// The declared axes, in declaration order.
+  [[nodiscard]] const std::vector<Axis>& axes() const { return axes_; }
+  /// The base scenario every expansion starts from (its name is unused;
+  /// expand() stamps the sweep name).
+  [[nodiscard]] const Scenario& base_scenario() const { return seed_; }
+  /// True iff every axis was declared through a standard builder, so the
+  /// whole sweep serializes declaratively.
+  [[nodiscard]] bool serializable() const;
+
  private:
-  struct Axis {
-    std::string name;
-    std::vector<Point> points;
-  };
+  SweepSpec& add_axis(std::string name, std::vector<Point> points,
+                      AxisDesc desc);
+  SweepSpec& numeric_axis(std::string kind, std::string axis_name,
+                          std::vector<double> values,
+                          const std::function<void(Scenario&, double)>& apply);
 
   std::string name_;
   Scenario seed_;

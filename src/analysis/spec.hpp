@@ -1,0 +1,121 @@
+// Serializable experiment descriptions — canonical JSON for Scenario,
+// SweepSpec, and whole experiments, built on util/json.
+//
+// An ExperimentSpec is the complete, file-driven description of what a
+// bench driver runs: named sweeps, each with trials and a base seed, each
+// either DECLARATIVE (a base scenario + standard sweep axes — the form a
+// human writes and edits) or CONCRETE (an explicit scenario list — the
+// fallback for sweeps built with custom mutator axes). `driver
+// --dump-spec` emits this form; `driver --spec FILE` (analysis/cli.hpp)
+// runs from it, reproducing the flag-driven run bit-for-bit: the JSON
+// number codec round-trips doubles exactly, and ResultStore fingerprints
+// are themselves computed over scenario_identity_json(), so a spec-driven
+// sweep shares every cached cell with its flag-driven twin.
+//
+// Canonical form: fixed key order, every field emitted (no
+// defaults-omitted ambiguity), exact shortest-round-trip numbers, 64-bit
+// seeds as decimal strings (JSON numbers are doubles; seeds use all 64
+// bits). Canonicalization makes serialization a fixed point —
+// dump(parse(dump(x))) == dump(x) — which tests/test_spec.cpp pins.
+//
+// Errors: every structural problem (unknown key, wrong type, bad enum
+// name, out-of-range value) throws SpecError carrying the JSON path
+// ("sweeps[2].base.config.noise.count_sigma"), so a typo in a 400-line
+// spec file is a one-line fix, not a hunt.
+#ifndef HH_ANALYSIS_SPEC_HPP
+#define HH_ANALYSIS_SPEC_HPP
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/scenario.hpp"
+#include "util/json.hpp"
+
+namespace hh::analysis {
+
+/// A structural error in a spec document, qualified with the JSON path of
+/// the offending element.
+class SpecError : public std::runtime_error {
+ public:
+  SpecError(std::string path, const std::string& message);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// One named unit of work inside an experiment: a sweep (declarative or
+/// concrete), how many trials per scenario, and the batch base seed.
+struct SweepEntry {
+  std::string name;
+  std::size_t trials = 1;
+  std::uint64_t base_seed = 0;
+  /// Declarative form (preferred; present when the sweep was built from
+  /// standard axes). When absent, `scenarios` is the concrete form.
+  std::optional<SweepSpec> sweep;
+  std::vector<Scenario> scenarios;
+
+  /// The scenario list this entry runs (expands `sweep` when present).
+  [[nodiscard]] std::vector<Scenario> expand() const;
+  /// Number of scenarios expand() will produce.
+  [[nodiscard]] std::size_t size() const;
+};
+
+/// A whole driver run: named sweeps in execution order.
+struct ExperimentSpec {
+  std::string name;
+  std::vector<SweepEntry> sweeps;
+
+  /// The entry named `sweep`, or nullptr.
+  [[nodiscard]] const SweepEntry* find(std::string_view sweep) const;
+};
+
+// --- Scenario ---------------------------------------------------------------
+
+/// Full canonical JSON of one scenario (name, algorithm, config, params,
+/// axes — everything, so a concrete spec reproduces the scenario
+/// bit-identically).
+[[nodiscard]] util::Json scenario_to_json(const Scenario& scenario);
+
+/// Parse a scenario; `path` prefixes error locations.
+[[nodiscard]] Scenario scenario_from_json(const util::Json& json,
+                                          const std::string& path = "scenario");
+
+/// The canonical IDENTITY rendering of a scenario: compact JSON over
+/// exactly the fields that determine a trial's outcome — algorithm,
+/// config WITHOUT seed/engine/enforce_model/record_trajectories (see
+/// scenario_fingerprint's contract in result_store.hpp), and params.
+/// ResultStore fingerprints hash these bytes.
+[[nodiscard]] std::string scenario_identity_json(const Scenario& scenario);
+
+// --- SweepEntry / ExperimentSpec --------------------------------------------
+
+/// Canonical JSON of one sweep entry. A serializable SweepSpec emits the
+/// declarative base+axes form; anything else emits expanded scenarios.
+[[nodiscard]] util::Json sweep_entry_to_json(const SweepEntry& entry);
+
+[[nodiscard]] SweepEntry sweep_entry_from_json(const util::Json& json,
+                                               const std::string& path);
+
+[[nodiscard]] util::Json experiment_to_json(const ExperimentSpec& spec);
+[[nodiscard]] ExperimentSpec experiment_from_json(const util::Json& json);
+
+/// Parse/serialize a whole spec document. dump defaults to pretty (the
+/// file is meant to be edited); parse accepts any whitespace.
+[[nodiscard]] ExperimentSpec parse_experiment_spec(std::string_view text);
+[[nodiscard]] std::string dump_experiment_spec(const ExperimentSpec& spec,
+                                               int indent = 2);
+
+/// Load a spec from `path` ("-" = stdin). Throws std::runtime_error on
+/// I/O failure, JsonParseError / SpecError on malformed content (both
+/// augmented with the file name).
+[[nodiscard]] ExperimentSpec load_experiment_spec(const std::string& path);
+
+}  // namespace hh::analysis
+
+#endif  // HH_ANALYSIS_SPEC_HPP

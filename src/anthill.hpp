@@ -43,16 +43,20 @@
 #ifndef HH_ANTHILL_HPP
 #define HH_ANTHILL_HPP
 
+#include "analysis/cli.hpp"
 #include "analysis/experiment.hpp"
 #include "analysis/metrics.hpp"
 #include "analysis/report.hpp"
 #include "analysis/result_store.hpp"
 #include "analysis/runner.hpp"
 #include "analysis/scenario.hpp"
+#include "analysis/spec.hpp"
 #include "core/ant.hpp"
 #include "core/ant_pack.hpp"
+#include "core/capabilities.hpp"
 #include "core/colony.hpp"
 #include "core/convergence.hpp"
+#include "core/idle_search_ant.hpp"
 #include "core/optimal_ant.hpp"
 #include "core/quality_aware_ant.hpp"
 #include "core/quorum_ant.hpp"
@@ -74,6 +78,7 @@
 #include "util/csv.hpp"
 #include "util/fit.hpp"
 #include "util/histogram.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"

@@ -850,6 +850,14 @@ bool packed_available(AlgorithmKind kind) {
   return false;
 }
 
+Capabilities packed_capabilities(AlgorithmKind kind) {
+  // One declaration covers every built-in: they all derive from the
+  // AntPack base, whose fault lanes, loud/quiet observe kernels, and
+  // agreement censuses supply the whole matrix except partial synchrony.
+  return packed_available(kind) ? Capabilities::standard_pack()
+                                : Capabilities{};
+}
+
 std::unique_ptr<AntPack> make_ant_pack(AlgorithmKind kind,
                                        std::uint32_t num_ants,
                                        std::uint32_t num_nests,

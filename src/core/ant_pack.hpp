@@ -49,6 +49,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/capabilities.hpp"
 #include "core/colony.hpp"
 #include "core/convergence.hpp"
 #include "env/action.hpp"
@@ -309,6 +310,14 @@ class AntPack {
 
 /// True iff `kind` has a packed implementation.
 [[nodiscard]] bool packed_available(AlgorithmKind kind);
+
+/// The declared capability matrix of `kind`'s packed engine — what
+/// configurations the pack may run, consumed by the data-driven engine
+/// selection (core/capabilities.hpp, core/registry.hpp). Every built-in
+/// pack rides the AntPack base's fault lanes and masked observation, so
+/// they all declare Capabilities::standard_pack(); tests/test_registry.cpp
+/// holds each declaration to what tests/test_ant_pack.cpp exercises.
+[[nodiscard]] Capabilities packed_capabilities(AlgorithmKind kind);
 
 /// Build the packed colony for `kind`, or nullptr if none exists.
 /// `colony_seed` is the same seed make_colony would receive; per-ant RNG

@@ -1,0 +1,83 @@
+#include "core/capabilities.hpp"
+
+#include "core/simulation.hpp"
+
+namespace hh::core {
+
+Capabilities Capabilities::standard_pack() {
+  Capabilities caps;
+  caps.crash_faults = true;
+  caps.byzantine_faults = true;
+  caps.partial_synchrony = false;
+  caps.count_noise = true;
+  caps.quality_noise = true;
+  caps.with(env::PairingKind::kPermutation)
+      .with(env::PairingKind::kUniformProposal)
+      .with(ConvergenceMode::kCommitment)
+      .with(ConvergenceMode::kCommitmentFinalized)
+      .with(ConvergenceMode::kPhysical);
+  return caps;
+}
+
+namespace {
+
+std::string_view mode_label(ConvergenceMode mode) {
+  switch (mode) {
+    case ConvergenceMode::kCommitment: return "commitment";
+    case ConvergenceMode::kCommitmentFinalized: return "commitment+finalized";
+    case ConvergenceMode::kPhysical: return "physical";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::vector<std::string> capability_gaps(const SimulationConfig& config,
+                                         ConvergenceMode mode,
+                                         const Capabilities& declared) {
+  std::vector<std::string> gaps;
+  if (config.skip_probability > 0.0 && !declared.partial_synchrony) {
+    gaps.emplace_back(
+        "partial synchrony (skip_probability > 0) requires the "
+        "per-object round scheduler");
+  }
+  if (config.faults.crash_fraction > 0.0 && !declared.crash_faults) {
+    gaps.emplace_back("crash faults are outside the pack's declared "
+                      "capabilities");
+  }
+  if (config.faults.byzantine_fraction > 0.0 && !declared.byzantine_faults) {
+    gaps.emplace_back("Byzantine faults are outside the pack's declared "
+                      "capabilities");
+  }
+  if (config.noise.count_sigma > 0.0 && !declared.count_noise) {
+    gaps.emplace_back("count noise (count_sigma > 0) is outside the pack's "
+                      "declared capabilities");
+  }
+  if ((config.noise.quality_flip_prob > 0.0 ||
+       config.noise.quality_sigma > 0.0) &&
+      !declared.quality_noise) {
+    gaps.emplace_back("quality noise is outside the pack's declared "
+                      "capabilities");
+  }
+  if (!declared.supports(config.pairing)) {
+    gaps.emplace_back("pairing model '" +
+                      std::string(env::pairing_name(config.pairing)) +
+                      "' is outside the pack's declared capabilities");
+  }
+  if (!declared.supports(mode)) {
+    gaps.emplace_back("convergence mode '" + std::string(mode_label(mode)) +
+                      "' is outside the pack's declared capabilities");
+  }
+  return gaps;
+}
+
+std::string join_gaps(const std::vector<std::string>& gaps) {
+  std::string joined;
+  for (const std::string& gap : gaps) {
+    if (!joined.empty()) joined += "; ";
+    joined += gap;
+  }
+  return joined;
+}
+
+}  // namespace hh::core

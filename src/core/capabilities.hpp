@@ -1,0 +1,90 @@
+// The declared capability matrix of an algorithm's packed engine, and the
+// data-driven diff that replaces hand-coded kAuto eligibility checks.
+//
+// The per-object (scalar) reference path handles every model extension by
+// construction — polymorphic ants compose with the fault wrappers, the
+// round scheduler, and any observation model. A packed (SoA) engine only
+// covers what its kernels were written for, so each algorithm DECLARES
+// what its pack supports, and engine selection becomes a pure function:
+//
+//     gaps = capability_gaps(config, mode, declared)
+//     gaps empty  -> the pack may run
+//     kAuto       -> fall back to scalar, RunResult::engine_fallback =
+//                    the joined gap list
+//     kPacked     -> std::invalid_argument naming the exact gaps
+//
+// No conditional anywhere else decides eligibility; registering a new
+// algorithm (core/registry.hpp) means declaring its matrix once and the
+// selection, fallback messages, and kPacked errors follow from the data.
+#ifndef HH_CORE_CAPABILITIES_HPP
+#define HH_CORE_CAPABILITIES_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/convergence.hpp"
+#include "env/pairing.hpp"
+
+namespace hh::core {
+
+struct SimulationConfig;
+
+/// What a packed implementation covers. Default-constructed = nothing
+/// (the safe declaration for a scalar-only algorithm).
+struct Capabilities {
+  bool crash_faults = false;       ///< env::FaultType::kCrash plans
+  bool byzantine_faults = false;   ///< env::FaultType::kByzantine plans
+  bool partial_synchrony = false;  ///< config.skip_probability > 0
+  bool count_noise = false;        ///< NoiseConfig::count_sigma > 0
+  bool quality_noise = false;      ///< quality_flip_prob / quality_sigma > 0
+  std::uint8_t pairings = 0;           ///< bitmask over env::PairingKind
+  std::uint8_t convergence_modes = 0;  ///< bitmask over ConvergenceMode
+
+  [[nodiscard]] bool supports(env::PairingKind kind) const {
+    return (pairings & mask(static_cast<std::uint8_t>(kind))) != 0;
+  }
+  [[nodiscard]] bool supports(ConvergenceMode mode) const {
+    return (convergence_modes & mask(static_cast<std::uint8_t>(mode))) != 0;
+  }
+
+  // Fluent declaration helpers (registration code reads as a sentence).
+  Capabilities& with(env::PairingKind kind) {
+    pairings |= mask(static_cast<std::uint8_t>(kind));
+    return *this;
+  }
+  Capabilities& with(ConvergenceMode mode) {
+    convergence_modes |= mask(static_cast<std::uint8_t>(mode));
+    return *this;
+  }
+
+  /// Everything the PR-4 pack architecture guarantees for a pack built on
+  /// the AntPack base: generic crash/Byzantine fault lanes, loud + quiet
+  /// observation (so any noise model), both pairing models, and all three
+  /// agreement censuses. Partial synchrony stays off — the per-ant skip
+  /// draws live in the per-object scheduler only.
+  [[nodiscard]] static Capabilities standard_pack();
+
+  [[nodiscard]] bool operator==(const Capabilities&) const = default;
+
+ private:
+  [[nodiscard]] static std::uint8_t mask(std::uint8_t bit) {
+    return static_cast<std::uint8_t>(std::uint8_t{1} << bit);
+  }
+};
+
+/// Every requirement of `config` (+ the detector's `mode`) that `declared`
+/// does not cover, as human-readable reasons — empty means the pack may
+/// run this configuration. THE source of truth for engine selection; the
+/// strings land verbatim on RunResult::engine_fallback and in the
+/// engine=kPacked std::invalid_argument.
+[[nodiscard]] std::vector<std::string> capability_gaps(
+    const SimulationConfig& config, ConvergenceMode mode,
+    const Capabilities& declared);
+
+/// The gaps joined for a fallback message ("; "-separated).
+[[nodiscard]] std::string join_gaps(const std::vector<std::string>& gaps);
+
+}  // namespace hh::core
+
+#endif  // HH_CORE_CAPABILITIES_HPP

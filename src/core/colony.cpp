@@ -53,18 +53,16 @@ Colony make_colony(std::uint32_t num_ants, const AntFactory& factory,
   return colony;
 }
 
-namespace {
-
-// Section 6 extension: an ant's private belief of the colony size, drawn
-// uniformly from [n(1-e), n(1+e)] off the ant's own stream. e = 0 returns
-// the exact n (the base model).
-std::uint32_t believed_n(std::uint32_t num_ants, double error, util::Rng& rng) {
+std::uint32_t believed_colony_size(std::uint32_t num_ants, double error,
+                                   util::Rng& rng) {
   if (error <= 0.0) return num_ants;
   const double lo = static_cast<double>(num_ants) * (1.0 - error);
   const double hi = static_cast<double>(num_ants) * (1.0 + error);
   const double belief = lo + (hi - lo) * rng.uniform_double();
   return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(belief));
 }
+
+namespace {
 
 AntFactory factory_for(std::uint32_t num_ants, AlgorithmKind kind,
                        const AlgorithmParams& params) {
@@ -79,17 +77,17 @@ AntFactory factory_for(std::uint32_t num_ants, AlgorithmKind kind,
       };
     case AlgorithmKind::kSimple:
       return [num_ants, params](env::AntId, util::Rng rng) {
-        const std::uint32_t n = believed_n(num_ants, params.n_estimate_error, rng);
+        const std::uint32_t n = believed_colony_size(num_ants, params.n_estimate_error, rng);
         return std::make_unique<SimpleAnt>(n, rng);
       };
     case AlgorithmKind::kRateBoosted:
       return [num_ants, params](env::AntId, util::Rng rng) {
-        const std::uint32_t n = believed_n(num_ants, params.n_estimate_error, rng);
+        const std::uint32_t n = believed_colony_size(num_ants, params.n_estimate_error, rng);
         return std::make_unique<RateBoostedAnt>(n, rng);
       };
     case AlgorithmKind::kQualityAware:
       return [num_ants, params](env::AntId, util::Rng rng) {
-        const std::uint32_t n = believed_n(num_ants, params.n_estimate_error, rng);
+        const std::uint32_t n = believed_colony_size(num_ants, params.n_estimate_error, rng);
         return std::make_unique<QualityAwareAnt>(n, rng);
       };
     case AlgorithmKind::kUniformRecruit:

@@ -42,6 +42,11 @@ struct AlgorithmParams {
   /// n~ drawn uniformly from [n(1-e), n(1+e)] instead of the true n.
   /// 0 = exact knowledge (the paper's base model).
   double n_estimate_error = 0.0;
+  /// IdleSearchAnt: probability that a passive ("idle") ant spends a
+  /// recruitment round re-scouting instead of waiting at the home nest
+  /// (the Afek–Gordon–Sulamy idle-ants-as-reserve rule; see
+  /// core/idle_search_ant.hpp).
+  double idle_search_prob = 0.25;
 };
 
 /// A set of ants plus the fault assignment they were built under.
@@ -61,6 +66,14 @@ struct Colony {
 /// ant's private stream.
 using AntFactory =
     std::function<std::unique_ptr<Ant>(env::AntId, util::Rng)>;
+
+/// Section 6 extension: an ant's private belief of the colony size, drawn
+/// uniformly from [n(1-e), n(1+e)] off the ant's own stream. e = 0 returns
+/// the exact n (the base model) without touching the stream. Shared by
+/// the Algorithm-3 family and registered variants so believed-n draws
+/// stay identical across per-object and packed engines.
+[[nodiscard]] std::uint32_t believed_colony_size(std::uint32_t num_ants,
+                                                 double error, util::Rng& rng);
 
 /// Assemble a colony of `num_ants` ants from `factory`, replacing faulty
 /// positions per `plan`: crash victims are wrapped in CrashProneAnt and

@@ -1,8 +1,20 @@
-// String-keyed algorithm registry: maps a stable algorithm name to a
-// factory that builds a ready-to-run Simulation. Scenarios (analysis layer)
-// reference algorithms by name, so new variants plug in without switch
-// statements — register a factory once and every sweep, bench, and example
-// can select it by string.
+// Registry v2 — the capability-driven algorithm catalog.
+//
+// An algorithm plugs into every sweep, bench, spec file, and example
+// through ONE typed artifact: an AlgorithmSpec bundling
+//   * the scalar colony factory (required — the reference path),
+//   * an optional packed-engine factory plus its DECLARED capability
+//     matrix (core/capabilities.hpp) — kAuto engine selection, fallback
+//     messages, and engine=kPacked errors are computed as a diff of the
+//     config against this declaration, never hand-coded,
+//   * the algorithm's convergence mode, and
+//   * its parameter schema: which AlgorithmParams fields it consults,
+//     keyed into the data-driven algorithm_param_table() that the JSON
+//     spec layer (analysis/spec.hpp) serializes and validates against.
+//
+// Scenarios reference algorithms by name, so a new variant — packed or
+// not — needs exactly one add() call and zero edits to the engine
+// (core/idle_search_ant.cpp registers a PAPERS.md variant this way).
 #ifndef HH_CORE_REGISTRY_HPP
 #define HH_CORE_REGISTRY_HPP
 
@@ -10,38 +22,117 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/capabilities.hpp"
 #include "core/colony.hpp"
 #include "core/simulation.hpp"
 
 namespace hh::core {
 
-/// Builds a Simulation for one trial. The config carries the trial's seed;
-/// the factory decides everything else (colony, convergence mode, ...).
+class AntPack;
+
+/// One tunable of AlgorithmParams, described as data so serialization,
+/// validation, and documentation never enumerate the struct by hand.
+struct ParamInfo {
+  std::string_view key;                 ///< stable spec-file key
+  double AlgorithmParams::* field;      ///< the struct member it names
+  double min_value;                     ///< inclusive valid range
+  double max_value;
+  std::string_view doc;                 ///< one-line description
+};
+
+/// Every AlgorithmParams field, in declaration order. THE schema the JSON
+/// layer serializes params through; adding a field to AlgorithmParams
+/// means adding one row here and every spec, fingerprint, and validation
+/// path picks it up.
+[[nodiscard]] std::span<const ParamInfo> algorithm_param_table();
+
+/// The table row for `key`, or nullptr.
+[[nodiscard]] const ParamInfo* find_param(std::string_view key);
+
+/// Legacy factory shape: builds a whole Simulation. Kept as an escape
+/// hatch (AlgorithmSpec::simulation) for callers that assemble exotic
+/// simulations themselves; such algorithms bypass capability-driven
+/// engine selection entirely.
 using SimulationFactory = std::function<std::unique_ptr<Simulation>(
     const SimulationConfig&, const AlgorithmParams&)>;
 
-/// Process-wide name -> factory table. The built-in algorithms (every
-/// AlgorithmKind, keyed by algorithm_name(kind)) are registered on first
-/// access. Lookups are mutex-guarded so Runner worker threads can build
-/// simulations concurrently with each other (registration during a running
-/// sweep is also safe, if pointless).
+/// Builds the per-object colony for one trial. `colony_seed` is the
+/// derived colony seed (per-ant streams come from it exactly as
+/// make_colony derives them); `plan` is the sampled fault assignment.
+using ColonyFactory = std::function<Colony(
+    const SimulationConfig&, env::FaultPlan plan, std::uint64_t colony_seed,
+    const AlgorithmParams&)>;
+
+/// Builds the packed colony for one trial. `faults`, when non-null, is
+/// the sampled plan to install as pack-level fault lanes. Must reproduce
+/// the colony factory's ants BIT-IDENTICALLY (the §1 equivalence
+/// contract) for every configuration inside the declared capabilities.
+using PackFactory = std::function<std::unique_ptr<AntPack>(
+    const SimulationConfig&, std::uint64_t colony_seed,
+    const AlgorithmParams&, const env::FaultPlan* faults)>;
+
+/// Everything the engine needs to run an algorithm by name.
+struct AlgorithmSpec {
+  std::string name;     ///< stable registry key ("simple", "idle-search")
+  std::string summary;  ///< one-liner for listings (--algorithms)
+
+  ColonyFactory colony;           ///< required (unless `simulation` set)
+  PackFactory pack;               ///< optional packed fast path
+  Capabilities capabilities;      ///< declared coverage of `pack`
+  /// The convergence notion the algorithm is verified under.
+  ConvergenceMode mode = ConvergenceMode::kCommitment;
+  /// Parameter schema: algorithm_param_table() keys this algorithm
+  /// consults — documentation/listing metadata (bench_spec --algorithms)
+  /// and the registry test's contract. Spec parsing validates params
+  /// against the TABLE, not this list: a cross-algorithm sweep may set a
+  /// knob only some of its algorithms read (the others ignore it — but
+  /// note every table param is part of result-cache identity).
+  std::vector<std::string> params;
+
+  /// Legacy escape hatch: when set, make() calls this and ignores the
+  /// factories above (the simulation decides its own engine).
+  SimulationFactory simulation;
+};
+
+/// Process-wide name -> AlgorithmSpec table. The built-in algorithms
+/// (every AlgorithmKind, keyed by algorithm_name(kind)) are registered on
+/// first access. Lookups are mutex-guarded so Runner worker threads can
+/// build simulations concurrently with each other (registration during a
+/// running sweep is also safe, if pointless).
 class AlgorithmRegistry {
  public:
   /// The process-wide instance.
   [[nodiscard]] static AlgorithmRegistry& instance();
 
-  /// Register (or replace) a factory under `name`.
+  /// Register (or replace) an algorithm. spec.name must be non-empty and
+  /// spec must carry either a colony factory or a legacy simulation
+  /// factory; spec.params keys must exist in algorithm_param_table()
+  /// (std::invalid_argument otherwise).
+  void add(AlgorithmSpec spec);
+
+  /// Legacy registration: wrap a bare SimulationFactory. Equivalent to an
+  /// AlgorithmSpec with only `simulation` set — no capability matrix, no
+  /// param schema. Prefer add(AlgorithmSpec).
   void add(std::string name, SimulationFactory factory);
 
   /// True iff `name` is registered.
   [[nodiscard]] bool contains(std::string_view name) const;
 
+  /// The registered spec for `name`, or nullptr. The returned pointer
+  /// stays valid across later registrations (specs are immutable once
+  /// registered; replacement installs a new object).
+  [[nodiscard]] std::shared_ptr<const AlgorithmSpec> find(
+      std::string_view name) const;
+
   /// Build a simulation for `name`. Throws std::out_of_range for an
-  /// unknown name (listing the registered ones).
+  /// unknown name (listing the registered ones); std::invalid_argument
+  /// when config.engine = kPacked demands a pack the spec's capability
+  /// matrix rules out (the message names the exact gaps).
   [[nodiscard]] std::unique_ptr<Simulation> make(
       std::string_view name, const SimulationConfig& config,
       const AlgorithmParams& params = {}) const;
@@ -53,8 +144,16 @@ class AlgorithmRegistry {
   AlgorithmRegistry();
 
   mutable std::mutex mutex_;
-  std::vector<std::pair<std::string, SimulationFactory>> factories_;
+  std::vector<std::shared_ptr<const AlgorithmSpec>> specs_;
 };
+
+/// All registered algorithm names, ", "-joined — for error messages
+/// (shared by the registry and the spec parser, so unknown-name
+/// diagnostics never drift).
+[[nodiscard]] std::string known_algorithms();
+
+/// The algorithm_param_table() keys, ", "-joined — for error messages.
+[[nodiscard]] std::string known_params();
 
 /// Convenience: AlgorithmRegistry::instance().make(...).
 [[nodiscard]] std::unique_ptr<Simulation> make_simulation(
@@ -67,6 +166,10 @@ class AlgorithmRegistry {
 
 /// Every built-in AlgorithmKind, in declaration order.
 [[nodiscard]] const std::vector<AlgorithmKind>& all_algorithm_kinds();
+
+/// The AlgorithmSpec registered for built-in `kind` (capability matrix
+/// from packed_capabilities(), factories over make_colony/make_ant_pack).
+[[nodiscard]] AlgorithmSpec builtin_algorithm_spec(AlgorithmKind kind);
 
 }  // namespace hh::core
 

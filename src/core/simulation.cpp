@@ -5,6 +5,8 @@
 #include <string>
 
 #include "core/ant_pack.hpp"
+#include "core/capabilities.hpp"
+#include "core/registry.hpp"
 #include "util/contracts.hpp"
 
 namespace hh::core {
@@ -68,37 +70,39 @@ env::FaultPlan sample_fault_plan(const SimulationConfig& config,
              : env::FaultPlan::none(config.num_ants);
 }
 
-Colony build_colony(const SimulationConfig& config, AlgorithmKind kind,
-                    const AlgorithmParams& params) {
-  return make_colony(config.num_ants, kind,
-                     sample_fault_plan(config, config.seed),
-                     colony_seed(config), params);
-}
-
 /// An ant-less colony shell for the packed engine (keeps colony().algorithm
 /// and the fault-plan invariants intact; the ant state lives in the pack).
-Colony packed_colony_shell(AlgorithmKind kind) {
+Colony packed_colony_shell(std::string algorithm) {
   Colony colony;
-  colony.algorithm = std::string(algorithm_name(kind));
+  colony.algorithm = std::move(algorithm);
   colony.faults = env::FaultPlan::none(0);
   return colony;
 }
 
-/// Why `config` cannot run on the packed engine, or "" when it can.
-/// Every algorithm has a pack and the pack-level fault lanes cover
-/// crash/Byzantine plans and every convergence mode; partial synchrony is
-/// the one extension still needing the per-object scheduler.
-std::string unpackable_reason(const SimulationConfig& config,
-                              AlgorithmKind kind) {
-  if (!packed_available(kind)) {
-    return "algorithm '" + std::string(algorithm_name(kind)) +
-           "' has no packed implementation";
+/// Why `config` cannot run on `spec`'s packed engine: the data-driven
+/// diff of the config against the spec's DECLARED capability matrix
+/// (core/capabilities.hpp). No other code decides kAuto eligibility.
+std::vector<std::string> engine_gaps(const SimulationConfig& config,
+                                     const AlgorithmSpec& spec) {
+  if (!spec.pack) {
+    return {"algorithm '" + spec.name + "' has no packed implementation"};
   }
-  if (config.skip_probability > 0.0) {
-    return "partial synchrony (skip_probability > 0) requires the "
-           "per-object round scheduler";
-  }
-  return {};
+  return capability_gaps(config, spec.mode, spec.capabilities);
+}
+
+/// The cached built-in AlgorithmSpec for `kind` (the kind constructor
+/// runs per trial; the spec is immutable data, built once).
+const AlgorithmSpec& builtin_spec_cached(AlgorithmKind kind) {
+  static const std::vector<AlgorithmSpec> specs = [] {
+    std::vector<AlgorithmSpec> out;
+    for (AlgorithmKind k : all_algorithm_kinds()) {
+      // Indexable by enum value: declaration order == registry order.
+      HH_ASSERT(static_cast<std::size_t>(k) == out.size());
+      out.push_back(builtin_algorithm_spec(k));
+    }
+    return out;
+  }();
+  return specs[static_cast<std::size_t>(kind)];
 }
 
 }  // namespace
@@ -114,29 +118,36 @@ std::uint32_t Simulation::auto_max_rounds(const SimulationConfig& config) {
 }
 
 Simulation::EngineParts Simulation::build_engine(
-    const SimulationConfig& config, AlgorithmKind kind,
+    const SimulationConfig& config, const AlgorithmSpec& spec,
     const AlgorithmParams& params) {
-  const std::string reason = unpackable_reason(config, kind);
-  if (config.engine == EngineKind::kPacked && !reason.empty()) {
+  if (!spec.colony) {
     throw std::invalid_argument(
-        "engine=packed requested but " + reason +
+        "algorithm spec '" + spec.name +
+        "' has no colony factory (legacy simulation-factory specs build "
+        "through AlgorithmRegistry::make, not this constructor)");
+  }
+  const std::vector<std::string> gaps = engine_gaps(config, spec);
+  if (config.engine == EngineKind::kPacked && !gaps.empty()) {
+    throw std::invalid_argument(
+        "engine=packed requested but " + join_gaps(gaps) +
         "; use kAuto to fall back to the per-object engine");
   }
-  if (config.engine != EngineKind::kScalar && reason.empty()) {
+  if (config.engine != EngineKind::kScalar && gaps.empty()) {
     const bool faulted = config.faults.any();
     const env::FaultPlan plan =
         faulted ? sample_fault_plan(config, config.seed) : env::FaultPlan{};
     return EngineParts{
-        packed_colony_shell(kind),
-        make_ant_pack(kind, config.num_ants,
-                      static_cast<std::uint32_t>(config.qualities.size()),
-                      colony_seed(config), params, faulted ? &plan : nullptr),
+        packed_colony_shell(spec.name),
+        spec.pack(config, colony_seed(config), params,
+                  faulted ? &plan : nullptr),
         {}};
   }
   // kScalar by request carries no fallback reason; a degraded kAuto does.
-  return EngineParts{build_colony(config, kind, params), nullptr,
-                     config.engine == EngineKind::kAuto ? reason
-                                                        : std::string{}};
+  return EngineParts{
+      spec.colony(config, sample_fault_plan(config, config.seed),
+                  colony_seed(config), params),
+      nullptr,
+      config.engine == EngineKind::kAuto ? join_gaps(gaps) : std::string{}};
 }
 
 Simulation::Simulation(const SimulationConfig& config, EngineParts engine,
@@ -186,8 +197,12 @@ Simulation::Simulation(const SimulationConfig& config, Colony colony,
 
 Simulation::Simulation(const SimulationConfig& config, AlgorithmKind kind,
                        const AlgorithmParams& params)
-    : Simulation(config, build_engine(config, kind, params),
-                 default_mode(kind)) {}
+    : Simulation(config, builtin_spec_cached(kind), params) {}
+
+Simulation::Simulation(const SimulationConfig& config,
+                       const AlgorithmSpec& spec,
+                       const AlgorithmParams& params)
+    : Simulation(config, build_engine(config, spec, params), spec.mode) {}
 
 Simulation::~Simulation() = default;
 

@@ -22,6 +22,7 @@
 namespace hh::core {
 
 class AntPack;
+struct AlgorithmSpec;  // core/registry.hpp
 
 /// Which colony engine executes the ants.
 ///
@@ -150,10 +151,21 @@ class Simulation {
   Simulation(const SimulationConfig& config, Colony colony,
              std::optional<ConvergenceMode> mode = std::nullopt);
 
-  /// Convenience: build the colony for `kind` internally. Engine selection
-  /// follows config.engine — with the default kAuto, eligible algorithms
-  /// run on the packed SoA fast path (see EngineKind).
+  /// Convenience: build the colony for `kind` internally. Sugar over the
+  /// AlgorithmSpec constructor with the built-in spec for `kind` — engine
+  /// selection follows config.engine through the same capability diff.
   Simulation(const SimulationConfig& config, AlgorithmKind kind,
+             const AlgorithmParams& params = {});
+
+  /// Registry-v2 path: assemble the engine from an AlgorithmSpec
+  /// (core/registry.hpp). Engine selection is a data-driven diff of the
+  /// config against spec.capabilities (core/capabilities.hpp): with
+  /// kAuto, any gap lands the run on the spec's colony factory and the
+  /// joined gap list on engine_fallback(); with kPacked, a gap throws
+  /// std::invalid_argument naming the exact capabilities missing. The
+  /// spec must carry a colony factory (legacy simulation-factory-only
+  /// specs are the registry's business, not this constructor's).
+  Simulation(const SimulationConfig& config, const AlgorithmSpec& spec,
              const AlgorithmParams& params = {});
 
   ~Simulation();
@@ -220,7 +232,7 @@ class Simulation {
     std::string fallback;
   };
   static EngineParts build_engine(const SimulationConfig& config,
-                                  AlgorithmKind kind,
+                                  const AlgorithmSpec& spec,
                                   const AlgorithmParams& params);
 
   /// Primary constructor.

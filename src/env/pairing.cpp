@@ -119,6 +119,22 @@ void UniformProposalPairing::pair_active(std::span<const std::uint8_t> active,
   }
 }
 
+std::string_view pairing_name(PairingKind kind) {
+  switch (kind) {
+    case PairingKind::kPermutation: return "permutation";
+    case PairingKind::kUniformProposal: return "uniform-proposal";
+  }
+  return "?";
+}
+
+std::optional<PairingKind> pairing_from_name(std::string_view name) {
+  for (const PairingKind kind :
+       {PairingKind::kPermutation, PairingKind::kUniformProposal}) {
+    if (pairing_name(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
 std::unique_ptr<PairingModel> make_pairing_model(PairingKind kind) {
   switch (kind) {
     case PairingKind::kPermutation:

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -139,6 +140,15 @@ class UniformProposalPairing final : public PairingModel {
 
 /// Selector for configs that must stay copyable (strategy objects are not).
 enum class PairingKind : std::uint8_t { kPermutation, kUniformProposal };
+
+/// Stable pairing-model name ("permutation" / "uniform-proposal"),
+/// matching the model's name() — THE vocabulary reports, capability-gap
+/// messages, and spec files share (analysis/spec.cpp parses it back).
+[[nodiscard]] std::string_view pairing_name(PairingKind kind);
+
+/// The PairingKind whose pairing_name() is `name`, if any.
+[[nodiscard]] std::optional<PairingKind> pairing_from_name(
+    std::string_view name);
 
 /// Instantiate a pairing model by kind.
 [[nodiscard]] std::unique_ptr<PairingModel> make_pairing_model(PairingKind kind);

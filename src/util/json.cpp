@@ -1,0 +1,466 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/contracts.hpp"
+
+namespace hh::util {
+
+namespace {
+
+std::string kind_name(Json::Kind kind) {
+  switch (kind) {
+    case Json::Kind::kNull: return "null";
+    case Json::Kind::kBool: return "bool";
+    case Json::Kind::kNumber: return "number";
+    case Json::Kind::kString: return "string";
+    case Json::Kind::kArray: return "array";
+    case Json::Kind::kObject: return "object";
+  }
+  HH_ASSERT(false);
+  return "?";
+}
+
+[[noreturn]] void kind_mismatch(Json::Kind want, Json::Kind got) {
+  throw std::runtime_error("expected " + kind_name(want) + ", got " +
+                           kind_name(got));
+}
+
+}  // namespace
+
+JsonParseError::JsonParseError(const std::string& message, std::size_t line,
+                               std::size_t column)
+    : std::runtime_error("JSON parse error at line " + std::to_string(line) +
+                         ", column " + std::to_string(column) + ": " +
+                         message),
+      line_(line),
+      column_(column) {}
+
+bool Json::as_bool() const {
+  if (!is_bool()) kind_mismatch(Kind::kBool, kind());
+  return std::get<bool>(value_);
+}
+
+double Json::as_number() const {
+  if (!is_number()) kind_mismatch(Kind::kNumber, kind());
+  return std::get<double>(value_);
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) kind_mismatch(Kind::kString, kind());
+  return std::get<std::string>(value_);
+}
+
+const Json::Array& Json::as_array() const {
+  if (!is_array()) kind_mismatch(Kind::kArray, kind());
+  return std::get<Array>(value_);
+}
+
+const Json::Object& Json::as_object() const {
+  if (!is_object()) kind_mismatch(Kind::kObject, kind());
+  return std::get<Object>(value_);
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : std::get<Object>(value_)) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::set(std::string key, Json value) {
+  if (is_null()) value_ = Object{};
+  HH_EXPECTS(is_object());
+  auto& object = std::get<Object>(value_);
+  for (auto& [k, v] : object) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::push_back(Json value) {
+  if (is_null()) value_ = Array{};
+  HH_EXPECTS(is_array());
+  std::get<Array>(value_).push_back(std::move(value));
+}
+
+// --- parser -----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json run() {
+    Json value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    // Derive line/column from the byte offset (errors are rare; a rescan
+    // beats carrying the counters through the hot parse loop).
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw JsonParseError(message, line, column);
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_whitespace() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return;
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (eof() || peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json parse_value() {
+    // Containers recurse; bound the depth so a hostile/degenerate
+    // document throws a parse error instead of overflowing the stack.
+    if (depth_ >= kMaxDepth) fail("nesting too deep");
+    ++depth_;
+    Json value = parse_value_inner();
+    --depth_;
+    return value;
+  }
+
+  Json parse_value_inner() {
+    skip_whitespace();
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json::Object members;
+    skip_whitespace();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return Json(std::move(members));
+    }
+    while (true) {
+      skip_whitespace();
+      if (eof() || peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      for (const auto& [existing, value] : members) {
+        if (existing == key) fail("duplicate object key \"" + key + "\"");
+      }
+      skip_whitespace();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value());
+      skip_whitespace();
+      if (eof()) fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Json(std::move(members));
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json::Array elements;
+    skip_whitespace();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return Json(std::move(elements));
+    }
+    while (true) {
+      elements.push_back(parse_value());
+      skip_whitespace();
+      if (eof()) fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Json(std::move(elements));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (eof()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) fail("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_unicode_escape(out); break;
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  void append_unicode_escape(std::string& out) {
+    const std::uint32_t code = parse_hex4();
+    // Spec identifiers are ASCII in practice, but be a correct citizen:
+    // encode the code point as UTF-8 (surrogate pairs included).
+    std::uint32_t cp = code;
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      if (!consume_literal("\\u")) fail("unpaired UTF-16 surrogate");
+      const std::uint32_t low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+      cp = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unpaired UTF-16 surrogate");
+    }
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) fail("truncated \\u escape");
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    const auto digits = [&] {
+      std::size_t n = 0;
+      while (!eof() && peek() >= '0' && peek() <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    const std::size_t int_digits = digits();
+    if (int_digits == 0) fail("invalid number");
+    // JSON forbids leading zeros ("0123"); accept a single leading 0 only.
+    if (int_digits > 1 && text_[start + (text_[start] == '-' ? 1 : 0)] == '0') {
+      fail("number has a leading zero");
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (digits() == 0) fail("digits required after decimal point");
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (digits() == 0) fail("digits required in exponent");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("invalid number");
+    if (!std::isfinite(value)) fail("number out of double range");
+    return Json(value);
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Json parse_json(std::string_view text) { return Parser(text).run(); }
+
+// --- writer -----------------------------------------------------------------
+
+std::string format_double(double v) {
+  HH_EXPECTS(std::isfinite(v));  // JSON has no NaN/Inf encoding
+  // Integral doubles (the common case: counts, seeds, binary qualities)
+  // print as integers — stable, and what a human would write in a spec.
+  if (v == std::floor(v) && std::abs(v) < 9007199254740992.0 /* 2^53 */) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  // Shortest rendering that round-trips: try increasing precision. %.17g
+  // always round-trips IEEE doubles; 15 or 16 usually suffice and read
+  // better.
+  char buf[40];
+  for (const int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_into(std::string& out, const Json& value, int indent, int depth) {
+  const bool pretty = indent > 0;
+  const auto newline_pad = [&](int levels) {
+    if (!pretty) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent) *
+                   static_cast<std::size_t>(levels),
+               ' ');
+  };
+  switch (value.kind()) {
+    case Json::Kind::kNull: out += "null"; return;
+    case Json::Kind::kBool: out += value.as_bool() ? "true" : "false"; return;
+    case Json::Kind::kNumber: out += format_double(value.as_number()); return;
+    case Json::Kind::kString: append_escaped(out, value.as_string()); return;
+    case Json::Kind::kArray: {
+      const Json::Array& elements = value.as_array();
+      if (elements.empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < elements.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        newline_pad(depth + 1);
+        dump_into(out, elements[i], indent, depth + 1);
+      }
+      newline_pad(depth);
+      out.push_back(']');
+      return;
+    }
+    case Json::Kind::kObject: {
+      const Json::Object& members = value.as_object();
+      if (members.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : members) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline_pad(depth + 1);
+        append_escaped(out, key);
+        out.push_back(':');
+        if (pretty) out.push_back(' ');
+        dump_into(out, member, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out.push_back('}');
+      return;
+    }
+  }
+  HH_ASSERT(false);
+}
+
+}  // namespace
+
+std::string dump_json(const Json& value, int indent) {
+  std::string out;
+  dump_into(out, value, indent, 0);
+  return out;
+}
+
+}  // namespace hh::util

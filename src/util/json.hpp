@@ -1,0 +1,118 @@
+// Minimal JSON value type, parser, and writer — the substrate of the
+// serializable experiment-description layer (analysis/spec.hpp). No
+// external dependencies, by design: spec files must parse identically on
+// every machine a sweep resumes on.
+//
+// Scope (deliberately narrow):
+//   * values: null, bool, double, string, array, object;
+//   * objects preserve INSERTION order (canonical emission depends on it);
+//   * numbers are IEEE doubles, formatted with the shortest decimal
+//     rendering that parses back bit-identically (format_double) — so
+//     dump(parse(dump(x))) == dump(x), the fixed-point property the spec
+//     round-trip tests pin;
+//   * parse errors carry line/column; spec-level errors add a key path.
+#ifndef HH_UTIL_JSON_HPP
+#define HH_UTIL_JSON_HPP
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace hh::util {
+
+/// Parse failure: what went wrong and where (1-based line/column).
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& message, std::size_t line,
+                 std::size_t column);
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] std::size_t column() const { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// One JSON value. Cheap to move; objects keep key insertion order.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  /// Ordered key -> value pairs (no de-duplication: last set() wins on
+  /// lookup, the parser rejects duplicate keys outright).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  enum class Kind : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject,
+  };
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}                    // NOLINT
+  Json(bool b) : value_(b) {}                                  // NOLINT
+  Json(double v) : value_(v) {}                                // NOLINT
+  Json(int v) : value_(static_cast<double>(v)) {}              // NOLINT
+  Json(unsigned v) : value_(static_cast<double>(v)) {}         // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}                // NOLINT
+  Json(std::string_view s) : value_(std::string(s)) {}         // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}              // NOLINT
+  Json(Array a) : value_(std::move(a)) {}                      // NOLINT
+  Json(Object o) : value_(std::move(o)) {}                     // NOLINT
+
+  [[nodiscard]] Kind kind() const {
+    return static_cast<Kind>(value_.index());
+  }
+  [[nodiscard]] bool is_null() const { return kind() == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind() == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind() == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind() == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind() == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind() == Kind::kObject; }
+
+  /// Typed accessors; throw std::runtime_error on a kind mismatch (the
+  /// spec layer wraps these with path-qualified diagnostics).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member by key, or nullptr when absent (or not an object).
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  /// Append/overwrite an object member (value stays ordered by first
+  /// insertion). Converts a null value to an empty object first.
+  void set(std::string key, Json value);
+
+  /// Append an array element (converts null to an empty array first).
+  void push_back(Json value);
+
+  [[nodiscard]] bool operator==(const Json& other) const = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+/// Parse one JSON document (must consume the whole input). Throws
+/// JsonParseError. Duplicate object keys are rejected.
+[[nodiscard]] Json parse_json(std::string_view text);
+
+/// Serialize. indent <= 0 emits the compact canonical form (no
+/// whitespace); indent > 0 pretty-prints with that many spaces per level.
+/// Either way, doubles go through format_double, so equal values always
+/// serialize to equal bytes.
+[[nodiscard]] std::string dump_json(const Json& value, int indent = 0);
+
+/// The shortest decimal rendering of `v` that strtod parses back to
+/// exactly `v`. Integral values within 2^53 render without a decimal
+/// point ("42", not "4.2e1"). `v` must be finite (JSON has no NaN/Inf).
+[[nodiscard]] std::string format_double(double v);
+
+}  // namespace hh::util
+
+#endif  // HH_UTIL_JSON_HPP

@@ -1,0 +1,160 @@
+// The shared bench-driver front-end: flag parsing (including the
+// deprecated resume_dir_from_args equivalence), the declare/override/run
+// model, and the acceptance property the redesign is named for —
+// `driver --dump-spec | driver --spec -` reproduces the flag-driven run's
+// fingerprints and tidy CSV at any thread count.
+#include "analysis/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "analysis/report.hpp"
+#include "analysis/result_store.hpp"
+#include "test_util.hpp"
+
+namespace hh::analysis::cli {
+namespace {
+
+using test::TempDir;
+
+Options parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "driver");
+  return parse_options(static_cast<int>(args.size()),
+                       const_cast<char**>(args.data()), "driver");
+}
+
+TEST(CliOptions, ParsesTheStandardFlagSet) {
+  const Options o = parse({"--spec", "-", "--dump-spec", "--resume-dir",
+                           "/tmp/x", "--threads", "3", "--trials", "17",
+                           "--seed", "0xbeef"});
+  EXPECT_EQ(o.spec_path, "-");
+  EXPECT_TRUE(o.dump_spec);
+  EXPECT_EQ(o.resume_dir, "/tmp/x");
+  EXPECT_EQ(o.threads, 3u);
+  ASSERT_TRUE(o.trials.has_value());
+  EXPECT_EQ(*o.trials, 17u);
+  ASSERT_TRUE(o.base_seed.has_value());
+  EXPECT_EQ(*o.base_seed, 0xbeefu);
+}
+
+TEST(CliOptions, DefaultsMatchNoFlags) {
+  const Options o = parse({});
+  EXPECT_TRUE(o.spec_path.empty());
+  EXPECT_FALSE(o.dump_spec);
+  EXPECT_TRUE(o.resume_dir.empty());
+  EXPECT_EQ(o.threads, 0u);
+  EXPECT_FALSE(o.trials.has_value());
+  EXPECT_FALSE(o.base_seed.has_value());
+}
+
+TEST(CliOptions, MatchesDeprecatedResumeDirHelper) {
+  // Satellite contract: the folded-in parser preserves the free
+  // function's behavior for the flag's presence/absence.
+  const char* with[] = {"prog", "--resume-dir", "/stores/a"};
+  const char* without[] = {"prog", "--threads", "2"};
+  EXPECT_EQ(parse({"--resume-dir", "/stores/a"}).resume_dir,
+            resume_dir_from_args(3, const_cast<char**>(with)));
+  EXPECT_EQ(parse({"--threads", "2"}).resume_dir,
+            resume_dir_from_args(3, const_cast<char**>(without)));
+}
+
+SweepSpec small_sweep(std::uint32_t n) {
+  core::SimulationConfig base;
+  base.num_ants = n;
+  return SweepSpec("small")
+      .base(base)
+      .algorithms({core::AlgorithmKind::kSimple, core::AlgorithmKind::kQuorum})
+      .nest_counts({2, 4}, 0.5);
+}
+
+TEST(CliExperiment, DeclareRunAndAccessorsWork) {
+  Experiment exp("unit", Options{});
+  exp.declare("sweep", small_sweep(48), 3, 0xAB);
+  EXPECT_FALSE(exp.dump_spec_requested());
+  EXPECT_EQ(exp.trials("sweep"), 3u);
+  EXPECT_EQ(exp.base_seed("sweep"), 0xABu);
+  EXPECT_EQ(exp.scenarios("sweep").size(), 4u);
+  const BatchResult batch = exp.run("sweep");
+  EXPECT_EQ(batch.results.size(), 4u);
+  EXPECT_EQ(batch.trials_per_scenario, 3u);
+  EXPECT_THROW((void)exp.run("nope"), std::out_of_range);
+}
+
+TEST(CliExperiment, TrialsAndSeedOverridesApplyToEverySweep) {
+  Options options;
+  options.trials = 5;
+  options.base_seed = 0x99;
+  Experiment exp("unit", options);
+  exp.declare("a", small_sweep(32), 2, 1);
+  exp.declare("b", small_sweep(64), 7, 2);
+  EXPECT_EQ(exp.trials("a"), 5u);
+  EXPECT_EQ(exp.trials("b"), 5u);
+  EXPECT_EQ(exp.base_seed("a"), 0x99u);
+  EXPECT_EQ(exp.base_seed("b"), 0x99u);
+}
+
+TEST(CliExperiment, DumpThenLoadReproducesRunBitForBitAtAnyThreadCount) {
+  // THE acceptance property: the dumped spec, loaded back through --spec,
+  // must yield identical scenarios (same ResultStore fingerprints) and an
+  // identical tidy CSV at 1/2/8 threads.
+  const TempDir dir("cli-dump");
+  Experiment original("unit", Options{});
+  original.declare("sweep", small_sweep(40), 4, 0x77);
+  const std::string dumped = dump_experiment_spec(original.spec());
+  const auto spec_path = dir.path / "dumped.json";
+  std::filesystem::create_directories(dir.path);
+  std::ofstream(spec_path) << dumped;
+
+  Options from_file;
+  from_file.spec_path = spec_path.string();
+  Experiment reloaded("unit", from_file);
+  // Deliberately different in-code defaults: the file must win.
+  reloaded.declare("sweep", small_sweep(9999), 1, 0xDEAD);
+  EXPECT_FALSE(reloaded.dump_spec_requested());
+  EXPECT_EQ(reloaded.trials("sweep"), 4u);
+  EXPECT_EQ(reloaded.base_seed("sweep"), 0x77u);
+
+  const auto& a = original.scenarios("sweep");
+  const auto& b = reloaded.scenarios("sweep");
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(scenario_fingerprint(a[i]), scenario_fingerprint(b[i]));
+  }
+  const BatchResult reference =
+      Runner(RunnerOptions{1}).run(a, original.trials("sweep"),
+                                   original.base_seed("sweep"));
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    const BatchResult from_spec = Runner(RunnerOptions{threads})
+                                      .run(b, reloaded.trials("sweep"),
+                                           reloaded.base_seed("sweep"));
+    EXPECT_EQ(from_spec.tidy_rows(), reference.tidy_rows()) << threads;
+    EXPECT_EQ(from_spec.tidy_csv_header(), reference.tidy_csv_header());
+  }
+}
+
+TEST(CliExperiment, ResumeDirRunsThroughTheResultStore) {
+  const TempDir dir("cli-resume");
+  Options options;
+  options.resume_dir = (dir.path / "store").string();
+  {
+    Experiment cold("unit", options);
+    cold.declare("sweep", small_sweep(32), 2, 5);
+    const BatchResult first = cold.run("sweep");
+    EXPECT_EQ(first.results.size(), 4u);
+  }
+  // A second run over the same store must serve every cell from cache and
+  // still produce the identical batch.
+  Experiment warm("unit", options);
+  warm.declare("sweep", small_sweep(32), 2, 5);
+  const BatchResult again = warm.run("sweep");
+  Experiment plain("unit", Options{});
+  plain.declare("sweep", small_sweep(32), 2, 5);
+  EXPECT_EQ(again.tidy_rows(), plain.run("sweep").tidy_rows());
+  ResultStore store(options.resume_dir);
+  EXPECT_EQ(store.size(), 8u);  // 4 scenarios x 2 trials, all persisted
+}
+
+}  // namespace
+}  // namespace hh::analysis::cli

@@ -92,5 +92,170 @@ TEST(Registry, NamesAreSortedAndIncludeBuiltins) {
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
 }
 
+// --- registry v2: specs, capability matrices, param schemas -----------------
+
+TEST(RegistryV2, BuiltinSpecsDeclareTheStandardPackMatrix) {
+  for (AlgorithmKind kind : all_algorithm_kinds()) {
+    const AlgorithmSpec spec = builtin_algorithm_spec(kind);
+    EXPECT_EQ(spec.name, algorithm_name(kind));
+    EXPECT_EQ(spec.mode, default_mode(kind));
+    EXPECT_EQ(static_cast<bool>(spec.pack), packed_available(kind));
+    ASSERT_TRUE(static_cast<bool>(spec.colony));
+    // Every built-in pack rides the AntPack base (PR 4), whose fault
+    // lanes + loud/quiet observe kernels supply the whole standard
+    // matrix; partial synchrony stays scalar-only.
+    if (spec.pack) {
+      EXPECT_EQ(spec.capabilities, Capabilities::standard_pack())
+          << spec.name;
+      EXPECT_FALSE(spec.capabilities.partial_synchrony);
+    }
+    // The declared param schema only names real table keys.
+    for (const std::string& key : spec.params) {
+      EXPECT_NE(find_param(key), nullptr) << spec.name << "." << key;
+    }
+  }
+}
+
+TEST(RegistryV2, DeclaredCapabilitiesPredictEngineSelection) {
+  // The declared matrix must match what tests/test_ant_pack.cpp actually
+  // exercises packed: crash and Byzantine fault lanes, count and quality
+  // noise, both pairing models — and NOT partial synchrony. Engine
+  // selection is a pure function of the declaration (capability_gaps), so
+  // each declared capability demanded via kPacked must build packed, and
+  // the one undeclared extension must throw/fall back naming itself.
+  for (AlgorithmKind kind : all_algorithm_kinds()) {
+    if (!packed_available(kind)) continue;
+    const auto demand_packed = [&](auto mutate) {
+      auto cfg = test::small_config(32, 4, 2);
+      cfg.engine = EngineKind::kPacked;
+      mutate(cfg);
+      Simulation sim(cfg, kind);
+      EXPECT_TRUE(sim.packed()) << algorithm_name(kind);
+    };
+    demand_packed([](SimulationConfig& cfg) {
+      cfg.faults.crash_fraction = 0.25;  // declared: crash_faults
+    });
+    demand_packed([](SimulationConfig& cfg) {
+      cfg.faults.byzantine_fraction = 0.1;  // declared: byzantine_faults
+      cfg.convergence_tolerance = 0.3;
+    });
+    demand_packed([](SimulationConfig& cfg) {
+      cfg.noise.count_sigma = 0.5;  // declared: count_noise
+    });
+    demand_packed([](SimulationConfig& cfg) {
+      cfg.noise.quality_flip_prob = 0.05;  // declared: quality_noise
+    });
+    demand_packed([](SimulationConfig& cfg) {
+      cfg.pairing = env::PairingKind::kUniformProposal;  // declared
+    });
+
+    // Undeclared: partial synchrony. kPacked names the gap; kAuto lands
+    // scalar with the same reason on the fallback.
+    auto skewed = test::small_config(32, 4, 2);
+    skewed.skip_probability = 0.2;
+    skewed.engine = EngineKind::kPacked;
+    try {
+      Simulation sim(skewed, kind);
+      FAIL() << "expected invalid_argument for " << algorithm_name(kind);
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("synchrony"), std::string::npos);
+    }
+    skewed.engine = EngineKind::kAuto;
+    Simulation fallback(skewed, kind);
+    EXPECT_FALSE(fallback.packed());
+    EXPECT_NE(fallback.engine_fallback().find("synchrony"),
+              std::string::npos);
+  }
+}
+
+TEST(RegistryV2, IdleSearchVariantIsRegisteredPurelyThroughTheSpecApi) {
+  auto& registry = AlgorithmRegistry::instance();
+  ASSERT_TRUE(registry.contains("idle-search"));
+  const auto spec = registry.find("idle-search");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_FALSE(static_cast<bool>(spec->pack));  // scalar-only by declaration
+  EXPECT_EQ(spec->params,
+            (std::vector<std::string>{"n_estimate_error", "idle_search_prob"}));
+
+  // Runs (and converges) by name through the registry...
+  const auto cfg = test::small_config(128, 4, 2, 21);
+  auto sim = registry.make("idle-search", cfg);
+  EXPECT_FALSE(sim->packed());
+  const RunResult result = sim->run();
+  EXPECT_TRUE(result.converged);
+  EXPECT_NE(result.engine_fallback.find("no packed implementation"),
+            std::string::npos);
+
+  // ...honors its param schema (idle_search_prob = 0 behaves like plain
+  // waiting passives; still converges)...
+  AlgorithmParams params;
+  params.idle_search_prob = 0.0;
+  EXPECT_TRUE(registry.make("idle-search", cfg, params)->run().converged);
+
+  // ...and demands on the packed engine fail loudly, naming the gap.
+  auto packed_cfg = cfg;
+  packed_cfg.engine = EngineKind::kPacked;
+  try {
+    (void)registry.make("idle-search", packed_cfg);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("idle-search"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("no packed implementation"),
+              std::string::npos);
+  }
+
+  // Under fault plans the generic wrappers apply (the variant wrote no
+  // fault code): crash-prone idle-search colonies still converge.
+  auto faulted = test::small_config(128, 4, 2, 22);
+  faulted.faults.crash_fraction = 0.1;
+  EXPECT_TRUE(registry.make("idle-search", faulted)->run().converged);
+}
+
+TEST(RegistryV2, AddValidatesSpecs) {
+  auto& registry = AlgorithmRegistry::instance();
+  AlgorithmSpec nameless;
+  nameless.simulation = [](const SimulationConfig& c, const AlgorithmParams& p) {
+    return std::make_unique<Simulation>(c, AlgorithmKind::kSimple, p);
+  };
+  EXPECT_THROW(registry.add(std::move(nameless)), std::invalid_argument);
+
+  AlgorithmSpec empty;
+  empty.name = "test-empty";
+  EXPECT_THROW(registry.add(std::move(empty)), std::invalid_argument);
+
+  AlgorithmSpec bad_param;
+  bad_param.name = "test-bad-param";
+  bad_param.colony = builtin_algorithm_spec(AlgorithmKind::kSimple).colony;
+  bad_param.params = {"no_such_knob"};
+  EXPECT_THROW(registry.add(std::move(bad_param)), std::invalid_argument);
+}
+
+TEST(RegistryV2, SpecRegisteredPackIsSelectedByTheCapabilityDiff) {
+  // A third-party spec that ships a pack + the standard matrix gets kAuto
+  // packed selection with zero engine edits — the tentpole's promise.
+  auto& registry = AlgorithmRegistry::instance();
+  AlgorithmSpec spec = builtin_algorithm_spec(AlgorithmKind::kSimple);
+  spec.name = "test-packed-clone";
+  registry.add(spec);
+
+  const auto cfg = test::small_config(64, 4, 2, 9);
+  auto fast = registry.make("test-packed-clone", cfg);
+  EXPECT_TRUE(fast->packed());
+  EXPECT_EQ(fast->algorithm(), "test-packed-clone");
+  // Bit-identical to the built-in it clones: same factories, same seeds.
+  const RunResult a = fast->run();
+  const RunResult b = Simulation(cfg, AlgorithmKind::kSimple).run();
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.winner, b.winner);
+  EXPECT_EQ(a.total_recruitments, b.total_recruitments);
+
+  // Partial synchrony still falls back through the same diff.
+  auto skewed = cfg;
+  skewed.skip_probability = 0.1;
+  auto slow = registry.make("test-packed-clone", skewed);
+  EXPECT_FALSE(slow->packed());
+  EXPECT_NE(slow->engine_fallback().find("synchrony"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hh::core

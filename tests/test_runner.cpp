@@ -124,9 +124,12 @@ TEST(Runner, TidyOutputsAlignWithHeader) {
   const auto rows = batch.tidy_rows();
   ASSERT_EQ(rows.size(), batch.results.size());
   // tidy_rows aligns with tidy_csv_header (all numeric), which replaces
-  // tidy_header's two leading string columns with one scenario-id column.
+  // tidy_header's two leading string columns with one scenario-id column
+  // and drops the trailing diagnostic "engines" column (identity-bearing
+  // CSV must stay byte-identical between cached and fresh runs).
   EXPECT_EQ(rows.front().size(), csv_header.size());
-  EXPECT_EQ(csv_header.size(), header.size() - 1);
+  EXPECT_EQ(csv_header.size(), header.size() - 2);
+  EXPECT_EQ(header.back(), "engines");
   EXPECT_EQ(csv_header[0], "scenario_id");
   EXPECT_EQ(csv_header[1], "n");
   const auto table = batch.tidy_table();
