@@ -1,0 +1,158 @@
+// Sweep-service benchmark + CI artifact: an in-process anthill-serve
+// instance exercised over real TCP by the streaming client, measuring
+//   1. submit-to-first-result latency — wall time from sending the
+//      submit line to the accepted event and to the first progress event
+//      (the first completed work block);
+//   2. cold vs warm wall time — the same spec submitted twice; the warm
+//      job must be served entirely from the shared ResultStore;
+//   3. dedup hit rate — cached/total on the warm submission (1.0 or the
+//      bench fails).
+// Also pins the service's core contract: the warm job's CSV bytes equal
+// the cold job's. Emits bench_out/BENCH_service.json (CI artifact).
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "anthill.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+hh::analysis::ExperimentSpec workload() {
+  hh::analysis::SweepEntry entry;
+  entry.name = "service-load";
+  entry.trials = 150;
+  entry.base_seed = 0x5EED;
+  entry.sweep = hh::analysis::SweepSpec("service-load")
+                    .base([] {
+                      hh::core::SimulationConfig cfg;
+                      cfg.num_ants = 256;
+                      return cfg;
+                    }())
+                    .algorithms({hh::core::AlgorithmKind::kSimple,
+                                 hh::core::AlgorithmKind::kQuorum})
+                    .nest_counts({4, 8}, 0.5);
+  hh::analysis::ExperimentSpec spec;
+  spec.name = "bench-service";
+  spec.sweeps.push_back(std::move(entry));
+  return spec;
+}
+
+struct SubmitTiming {
+  double wall_s = 0.0;
+  double first_progress_s = -1.0;  ///< -1 when no progress event arrived
+  hh::service::JobOutcome outcome;
+};
+
+SubmitTiming timed_submit(hh::service::Client& client,
+                          const hh::analysis::ExperimentSpec& spec) {
+  SubmitTiming t;
+  const auto start = Clock::now();
+  t.outcome = client.submit(spec, [&](const hh::util::Json&) {
+    if (t.first_progress_s < 0.0) t.first_progress_s = seconds_since(start);
+  });
+  t.wall_s = seconds_since(start);
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  hh::analysis::print_banner(
+      "service — resident sweep daemon: latency, warm reuse, dedup",
+      "a resubmitted spec must be 100% cache-served and byte-identical");
+
+  const std::filesystem::path store_dir = "bench_out/service_store";
+  std::filesystem::remove_all(store_dir);
+  hh::service::Server server(hh::service::ServerOptions{
+      .store_dir = store_dir.string(),
+  });
+  server.start();
+
+  hh::service::Client client =
+      hh::service::Client::connect("127.0.0.1", server.port());
+  if (!client.connected()) {
+    std::fprintf(stderr, "connect failed: %s\n", client.error().c_str());
+    return 1;
+  }
+
+  const hh::analysis::ExperimentSpec spec = workload();
+  const SubmitTiming cold = timed_submit(client, spec);
+  if (!cold.outcome.ok) {
+    std::fprintf(stderr, "cold job failed: %s\n", cold.outcome.error.c_str());
+    return 1;
+  }
+  const SubmitTiming warm = timed_submit(client, spec);
+  if (!warm.outcome.ok) {
+    std::fprintf(stderr, "warm job failed: %s\n", warm.outcome.error.c_str());
+    return 1;
+  }
+  if (!client.shutdown_server()) {
+    std::fprintf(stderr, "shutdown failed: %s\n", client.error().c_str());
+    return 1;
+  }
+  server.wait();
+
+  const double hit_rate =
+      warm.outcome.cells_total == 0
+          ? 0.0
+          : static_cast<double>(warm.outcome.cached) /
+                static_cast<double>(warm.outcome.cells_total);
+  const bool identical =
+      cold.outcome.sweeps.size() == warm.outcome.sweeps.size() &&
+      cold.outcome.sweeps[0].rows == warm.outcome.sweeps[0].rows &&
+      cold.outcome.sweeps[0].csv_header == warm.outcome.sweeps[0].csv_header;
+  const bool hit_ok = hit_rate >= 1.0;
+
+  hh::util::Table table({"phase", "wall s", "first progress s", "cells run",
+                         "cells cached"});
+  table.begin_row()
+      .cell("cold")
+      .num(cold.wall_s, 3)
+      .num(cold.first_progress_s, 3)
+      .num(static_cast<std::uint64_t>(cold.outcome.run))
+      .num(static_cast<std::uint64_t>(cold.outcome.cached));
+  table.begin_row()
+      .cell("warm")
+      .num(warm.wall_s, 3)
+      .num(warm.first_progress_s, 3)
+      .num(static_cast<std::uint64_t>(warm.outcome.run))
+      .num(static_cast<std::uint64_t>(warm.outcome.cached));
+  std::printf("served sweep (%zu cells, TCP localhost):\n",
+              cold.outcome.cells_total);
+  std::cout << table.render();
+  std::printf("\ndedup hit rate (warm): %.4f (1.0 required: %s)\n", hit_rate,
+              hit_ok ? "yes" : "NO");
+  std::printf("warm rows identical to cold: %s\n", identical ? "yes" : "NO");
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  std::filesystem::remove_all(store_dir);
+  const char* path = "bench_out/BENCH_service.json";
+  std::ofstream out(path);
+  if (out) {
+    out << "{\n  \"benchmark\": \"service\",\n";
+    out << "  \"cells_total\": " << cold.outcome.cells_total << ",\n";
+    out << "  \"cold_wall_seconds\": " << cold.wall_s << ",\n";
+    out << "  \"cold_first_progress_seconds\": " << cold.first_progress_s
+        << ",\n";
+    out << "  \"warm_wall_seconds\": " << warm.wall_s << ",\n";
+    out << "  \"warm_first_progress_seconds\": " << warm.first_progress_s
+        << ",\n";
+    out << "  \"warm_dedup_hit_rate\": " << hit_rate << ",\n";
+    out << "  \"warm_identical\": " << (identical ? "true" : "false") << "\n";
+    out << "}\n";
+    std::printf("json: %s\n", path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", path);
+  }
+  return identical && hit_ok ? 0 : 1;
+}

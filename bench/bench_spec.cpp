@@ -8,10 +8,10 @@
 //   ./bench_thm_5_11_simple --dump-spec | ./bench_spec --spec -
 //
 // Accepts the standard driver flags (--resume-dir/--threads/--trials/
-// --seed, and --dump-spec to echo the canonical normalized form). Every
-// sweep's tidy table goes to stdout and its tidy CSV to
-// bench_out/spec_<sweep>.csv.
-#include <cctype>
+// --seed/--progress, and --dump-spec to echo the canonical normalized
+// form). Every sweep's tidy table goes to stdout, its tidy CSV to
+// bench_out/spec_<sweep>.csv, and a run manifest (spec identity, git sha,
+// engine split) to bench_out/spec_<sweep>.manifest.json.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -21,14 +21,6 @@
 #include "anthill.hpp"
 
 namespace {
-
-std::string csv_name(const std::string& sweep) {
-  std::string out = "spec_";
-  for (const char c : sweep) {
-    out.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
-  }
-  return out;
-}
 
 std::string capability_summary(const hh::core::AlgorithmSpec& spec) {
   if (!spec.pack) return "scalar-only";
@@ -109,13 +101,26 @@ int main(int argc, char** argv) {
                 entry.name.c_str(), entry.size(), entry.trials,
                 static_cast<unsigned long long>(entry.base_seed),
                 runner.threads());
-    const hh::analysis::BatchResult batch =
-        hh::analysis::run_sweep(runner, entry.expand(), entry.trials,
-                                entry.base_seed, options.resume_dir);
+    const hh::analysis::BatchResult batch = hh::analysis::run_sweep(
+        runner, entry.expand(), entry.trials, entry.base_seed,
+        options.resume_dir,
+        options.progress ? hh::analysis::stderr_progress(entry.name)
+                         : hh::analysis::ProgressFn{});
     std::cout << batch.tidy_table().render();
+    // spec_csv_name is the naming contract shared with anthill-client:
+    // both must emit the same file for the same sweep.
     const std::string path = hh::analysis::write_csv(
-        csv_name(entry.name), batch.tidy_csv_header(), batch.tidy_rows());
-    if (!path.empty()) std::printf("csv: %s\n", path.c_str());
+        hh::service::spec_csv_name(entry.name), batch.tidy_csv_header(),
+        batch.tidy_rows());
+    if (!path.empty()) {
+      std::printf("csv: %s\n", path.c_str());
+      hh::analysis::ManifestInfo info;
+      info.threads = runner.threads();
+      info.store_dir = options.resume_dir;
+      const std::string manifest =
+          hh::analysis::write_run_manifest(path, batch, info);
+      if (!manifest.empty()) std::printf("manifest: %s\n", manifest.c_str());
+    }
   }
   return 0;
 }

@@ -19,7 +19,8 @@ void print_usage(std::string_view driver, std::FILE* out) {
   std::fprintf(
       out,
       "usage: %.*s [--spec FILE] [--dump-spec] [--resume-dir DIR]\n"
-      "       %*s [--threads N] [--trials N] [--seed N] [--help]\n"
+      "       %*s [--threads N] [--trials N] [--seed N] [--progress] "
+      "[--help]\n"
       "\n"
       "  --spec FILE     run from a serialized experiment spec (\"-\" = "
       "stdin)\n"
@@ -29,7 +30,8 @@ void print_usage(std::string_view driver, std::FILE* out) {
       "store at D\n"
       "  --threads N     worker threads (default 0 = all cores)\n"
       "  --trials N      override every sweep's trials-per-scenario\n"
-      "  --seed N        override every sweep's base seed\n",
+      "  --seed N        override every sweep's base seed\n"
+      "  --progress      repaint a progress line on stderr per sweep\n",
       static_cast<int>(driver.size()), driver.data(),
       static_cast<int>(driver.size()), "");
 }
@@ -62,8 +64,8 @@ Options parse_options(int argc, char** argv, std::string_view driver) {
   Options options;
   const auto value_of = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
-      // Keeps the old resume_dir_from_args contract: a flag without its
-      // argument is a usage error (exit 2), reported on stderr.
+      // A flag without its required argument is a usage error (exit 2),
+      // reported on stderr.
       std::fprintf(stderr, "%s needs a%s argument\n", flag,
                    std::strcmp(flag, "--resume-dir") == 0 ? " directory" : "n");
       std::exit(2);
@@ -88,6 +90,8 @@ Options parse_options(int argc, char** argv, std::string_view driver) {
       options.trials = static_cast<std::size_t>(trials);
     } else if (arg == "--seed") {
       options.base_seed = parse_u64_flag(driver, "--seed", value_of(i, "--seed"));
+    } else if (arg == "--progress") {
+      options.progress = true;
     } else if (arg == "--help" || arg == "-h") {
       print_usage(driver, stdout);
       std::exit(0);
@@ -222,7 +226,9 @@ BatchResult Experiment::run(std::string_view sweep) {
   const std::size_t i = index_or_throw(sweep);
   const SweepEntry& entry = effective_.sweeps[i];
   return run_sweep(runner(), scenarios(sweep), entry.trials, entry.base_seed,
-                   options_.resume_dir);
+                   options_.resume_dir,
+                   options_.progress ? stderr_progress(entry.name)
+                                     : ProgressFn{});
 }
 
 }  // namespace hh::analysis::cli

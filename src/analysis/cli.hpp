@@ -28,6 +28,8 @@
 //   --threads N     worker threads (0 = all cores).
 //   --trials N      override every sweep's trial count.
 //   --seed N        override every sweep's base seed.
+//   --progress      repaint a per-sweep progress line on stderr
+//                   (stderr_progress in report.hpp) as blocks finish.
 #ifndef HH_ANALYSIS_CLI_HPP
 #define HH_ANALYSIS_CLI_HPP
 
@@ -49,13 +51,14 @@ struct Options {
   bool dump_spec = false;   ///< --dump-spec
   std::string resume_dir;   ///< --resume-dir DIR ("" = no checkpointing)
   unsigned threads = 0;     ///< --threads N (0 = hardware concurrency)
+  bool progress = false;    ///< --progress (stderr status line per sweep)
   std::optional<std::size_t> trials;       ///< --trials N override
   std::optional<std::uint64_t> base_seed;  ///< --seed N override
 };
 
 /// Parse a driver's argv. Prints usage and calls std::exit — 0 on
-/// --help, 2 on a malformed or unknown flag (matching the old
-/// resume_dir_from_args behavior for a missing --resume-dir argument).
+/// --help, 2 on a malformed or unknown flag (a flag without its required
+/// argument is a usage error, reported on stderr).
 [[nodiscard]] Options parse_options(int argc, char** argv,
                                     std::string_view driver);
 

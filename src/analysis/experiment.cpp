@@ -2,12 +2,6 @@
 
 #include <algorithm>
 
-#include "util/contracts.hpp"
-#include "util/rng.hpp"
-
-// This file implements the deprecated shims themselves.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 namespace hh::analysis {
 
 void count_fallback_reason(
@@ -55,18 +49,6 @@ Aggregate aggregate(const std::vector<TrialStats>& trials) {
   return agg;
 }
 
-std::vector<TrialStats> run_trials(
-    const std::function<TrialStats(std::uint64_t seed)>& trial,
-    std::size_t count, std::uint64_t base_seed) {
-  HH_EXPECTS(count >= 1);
-  std::vector<TrialStats> out;
-  out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    out.push_back(trial(util::mix_seed(base_seed, i, 0x7121A1)));
-  }
-  return out;
-}
-
 TrialStats to_trial_stats(const core::RunResult& result) {
   TrialStats t;
   t.converged = result.converged;
@@ -77,20 +59,6 @@ TrialStats to_trial_stats(const core::RunResult& result) {
   t.engine = result.engine;
   t.engine_fallback = result.engine_fallback;
   return t;
-}
-
-Aggregate run_algorithm_trials(const core::SimulationConfig& base_config,
-                               core::AlgorithmKind kind, std::size_t trials,
-                               std::uint64_t base_seed,
-                               const core::AlgorithmParams& params) {
-  return aggregate(run_trials(
-      [&](std::uint64_t seed) {
-        core::SimulationConfig config = base_config;
-        config.seed = seed;
-        core::Simulation sim(config, kind, params);
-        return to_trial_stats(sim.run());
-      },
-      trials, base_seed));
 }
 
 }  // namespace hh::analysis

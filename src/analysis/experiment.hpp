@@ -5,7 +5,6 @@
 #define HH_ANALYSIS_EXPERIMENT_HPP
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "core/colony.hpp"
@@ -68,30 +67,8 @@ void count_fallback_reason(
     std::vector<std::pair<std::string, std::size_t>>& reasons,
     const std::string& reason, std::size_t count = 1);
 
-/// Run `count` trials of `trial`, feeding it deterministic per-trial seeds
-/// derived from `base_seed`.
-///
-/// Deprecated: single-threaded, single-scenario. Declare a Scenario (or a
-/// SweepSpec) and use analysis::Runner — runner.hpp — which parallelizes
-/// across trials and scenarios deterministically.
-[[deprecated("use analysis::Runner (runner.hpp)")]]
-[[nodiscard]] std::vector<TrialStats> run_trials(
-    const std::function<TrialStats(std::uint64_t seed)>& trial,
-    std::size_t count, std::uint64_t base_seed);
-
 /// Convenience: TrialStats from a completed RunResult.
 [[nodiscard]] TrialStats to_trial_stats(const core::RunResult& result);
-
-/// Run `trials` executions of `kind` under `base_config` (seed field is
-/// replaced per trial) and aggregate.
-///
-/// Deprecated: see run_trials. Runner::run(scenarios, trials, base_seed)
-/// is the parallel, multi-scenario replacement.
-[[deprecated("use analysis::Runner (runner.hpp)")]]
-[[nodiscard]] Aggregate run_algorithm_trials(
-    const core::SimulationConfig& base_config, core::AlgorithmKind kind,
-    std::size_t trials, std::uint64_t base_seed,
-    const core::AlgorithmParams& params = {});
 
 }  // namespace hh::analysis
 

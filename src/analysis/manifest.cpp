@@ -1,0 +1,124 @@
+#include "analysis/manifest.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "analysis/result_store.hpp"
+#include "analysis/spec.hpp"
+
+#ifndef ANTHILL_GIT_SHA
+#define ANTHILL_GIT_SHA "unknown"
+#endif
+
+namespace hh::analysis {
+namespace {
+
+std::string hex_fingerprint(std::uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, fp);
+  return buf;
+}
+
+}  // namespace
+
+const char* build_git_sha() { return ANTHILL_GIT_SHA; }
+
+util::Json run_manifest_json(const BatchResult& batch,
+                             const ManifestInfo& info) {
+  std::size_t packed = 0;
+  std::size_t scalar = 0;
+  std::size_t trials_total = 0;
+  std::vector<std::pair<std::string, std::size_t>> reasons;
+  for (const ScenarioResult& result : batch.results) {
+    packed += result.aggregate.packed_trials;
+    scalar += result.aggregate.scalar_trials;
+    trials_total += result.aggregate.trials;
+    for (const auto& [reason, count] : result.aggregate.fallback_reasons) {
+      count_fallback_reason(reasons, reason, count);
+    }
+  }
+
+  util::Json cells;
+  if (info.resume != nullptr) {
+    cells.set("total", static_cast<double>(info.resume->cells_total));
+    cells.set("cached", static_cast<double>(info.resume->cells_cached));
+    cells.set("run", static_cast<double>(info.resume->cells_run));
+  } else {
+    // Cache-served cells are exactly the trials of unknown engine.
+    const std::size_t cached = trials_total - packed - scalar;
+    cells.set("total", static_cast<double>(trials_total));
+    cells.set("cached", static_cast<double>(cached));
+    cells.set("run", static_cast<double>(trials_total - cached));
+  }
+
+  util::Json fallback;
+  for (const auto& [reason, count] : reasons) {
+    fallback.set(reason, static_cast<double>(count));
+  }
+  util::Json engines;
+  engines.set("packed", static_cast<double>(packed));
+  engines.set("scalar", static_cast<double>(scalar));
+  engines.set("fallback_reasons",
+              fallback.is_null() ? util::Json(util::Json::Object{})
+                                 : std::move(fallback));
+
+  util::Json scenarios;
+  for (const ScenarioResult& result : batch.results) {
+    util::Json entry;
+    entry.set("name", result.scenario.name);
+    entry.set("algorithm", result.scenario.algorithm);
+    entry.set("fingerprint",
+              hex_fingerprint(scenario_fingerprint(result.scenario)));
+    // The exact bytes the fingerprint hashes, parsed back into structure —
+    // a manifest reader can re-derive and cross-check the fingerprint.
+    entry.set("identity",
+              util::parse_json(scenario_identity_json(result.scenario)));
+    scenarios.push_back(std::move(entry));
+  }
+  if (scenarios.is_null()) scenarios = util::Json(util::Json::Array{});
+
+  util::Json manifest;
+  manifest.set("anthill_manifest", 1);
+  manifest.set("git_sha", build_git_sha());
+  manifest.set("threads", static_cast<double>(info.threads));
+  manifest.set("trials_per_scenario",
+               static_cast<double>(batch.trials_per_scenario));
+  // All 64 seed bits survive only as a decimal string (JSON numbers are
+  // doubles) — the same convention the spec codec uses.
+  manifest.set("base_seed", std::to_string(batch.base_seed));
+  manifest.set("cells", std::move(cells));
+  manifest.set("engines", std::move(engines));
+  manifest.set("store_dir",
+               info.store_dir.empty() ? util::Json(nullptr)
+                                      : util::Json(info.store_dir));
+  manifest.set("scenarios", std::move(scenarios));
+  return manifest;
+}
+
+std::string write_run_manifest(const std::string& csv_path,
+                               const BatchResult& batch,
+                               const ManifestInfo& info) {
+  if (csv_path.empty()) return {};
+  std::string path = csv_path;
+  const std::string suffix = ".csv";
+  if (path.size() >= suffix.size() &&
+      path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    path.resize(path.size() - suffix.size());
+  }
+  path += ".manifest.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot open " << path << " for writing\n";
+    return {};
+  }
+  out << util::dump_json(run_manifest_json(batch, info), 2) << '\n';
+  if (!out) {
+    std::cerr << "warning: short write to " << path << '\n';
+    return {};
+  }
+  return path;
+}
+
+}  // namespace hh::analysis

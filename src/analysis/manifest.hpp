@@ -1,0 +1,45 @@
+// Run manifests: a JSON sidecar written next to every sweep CSV that
+// records how the artifact was produced — build identity (git sha),
+// thread count, cell accounting (total/cached/run), engine and fallback
+// counts, and the full identity of every scenario (name, algorithm,
+// ResultStore fingerprint, and the exact identity JSON those fingerprints
+// hash). The sweep service reuses this very document as its on-disk job
+// record, so offline and served runs leave the same provenance trail.
+#ifndef HH_ANALYSIS_MANIFEST_HPP
+#define HH_ANALYSIS_MANIFEST_HPP
+
+#include <string>
+
+#include "analysis/runner.hpp"
+#include "util/json.hpp"
+
+namespace hh::analysis {
+
+/// The git sha this binary was configured from ("unknown" when the build
+/// tree was exported outside git). Baked in at CMake configure time.
+[[nodiscard]] const char* build_git_sha();
+
+/// Context a manifest records beyond what the BatchResult itself holds.
+struct ManifestInfo {
+  unsigned threads = 0;               ///< runner worker threads
+  const ResumeReport* resume = nullptr;  ///< cached/run split, when resumable
+  std::string store_dir;              ///< result-store directory ("" = none)
+};
+
+/// Build the manifest document for one batch. When `info.resume` is null
+/// the cached count is inferred from the engine counters (cache-served
+/// cells are the only trials with an unknown engine).
+[[nodiscard]] util::Json run_manifest_json(const BatchResult& batch,
+                                           const ManifestInfo& info);
+
+/// Write run_manifest_json next to `csv_path` (foo.csv -> foo.manifest.json;
+/// any other extension gets ".manifest.json" appended). Returns the path
+/// written, or "" on I/O failure (stderr warning) or when `csv_path` is
+/// empty — like write_csv, never fatal.
+std::string write_run_manifest(const std::string& csv_path,
+                               const BatchResult& batch,
+                               const ManifestInfo& info);
+
+}  // namespace hh::analysis
+
+#endif  // HH_ANALYSIS_MANIFEST_HPP

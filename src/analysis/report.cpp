@@ -1,12 +1,10 @@
 #include "analysis/report.hpp"
 
-#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <string_view>
+#include <utility>
 
 #include "analysis/result_store.hpp"
 #include "util/csv.hpp"
@@ -96,36 +94,31 @@ std::string write_csv(const std::string& name,
   return path;
 }
 
-// The deprecated shim is implemented (and kept byte-compatible) here.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-std::string resume_dir_from_args(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--resume-dir") {
-      if (i + 1 >= argc) {
-        std::cerr << "--resume-dir needs a directory argument\n";
-        std::exit(2);
-      }
-      return argv[i + 1];
-    }
-  }
-  return {};
+ProgressFn stderr_progress(std::string label) {
+  // The snapshot stream is already serialized by the runner, so plain
+  // fprintf is safe; \r repaints in place, the final snapshot newlines.
+  return [label = std::move(label)](const RunProgress& p) {
+    std::fprintf(stderr, "\r[%s] %zu/%zu cells (%zu cached, %zu fresh)%s",
+                 label.c_str(), p.cells_done(), p.cells_total, p.cells_cached,
+                 p.cells_fresh_done, p.finished() ? "\n" : "");
+    std::fflush(stderr);
+  };
 }
-#pragma GCC diagnostic pop
 
 BatchResult run_sweep(const Runner& runner,
                       const std::vector<Scenario>& scenarios,
                       std::size_t trials, std::uint64_t base_seed,
-                      const std::string& resume_dir) {
+                      const std::string& resume_dir,
+                      const ProgressFn& progress) {
   if (resume_dir.empty()) {
-    BatchResult batch = runner.run(scenarios, trials, base_seed);
+    BatchResult batch = runner.run(scenarios, trials, base_seed, progress);
     print_engine_summary(batch);
     return batch;
   }
   ResultStore store(resume_dir);
   ResumeReport report;
-  BatchResult batch =
-      runner.run_resumable(scenarios, trials, base_seed, store, &report);
+  BatchResult batch = runner.run_resumable(scenarios, trials, base_seed,
+                                           store, &report, progress);
   std::printf("[resume %s] cells: %zu total, %zu cached, %zu run\n",
               resume_dir.c_str(), report.cells_total, report.cells_cached,
               report.cells_run);
@@ -135,8 +128,10 @@ BatchResult run_sweep(const Runner& runner,
 
 BatchResult run_sweep(const Runner& runner, const SweepSpec& spec,
                       std::size_t trials, std::uint64_t base_seed,
-                      const std::string& resume_dir) {
-  return run_sweep(runner, spec.expand(), trials, base_seed, resume_dir);
+                      const std::string& resume_dir,
+                      const ProgressFn& progress) {
+  return run_sweep(runner, spec.expand(), trials, base_seed, resume_dir,
+                   progress);
 }
 
 }  // namespace hh::analysis

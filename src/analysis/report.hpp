@@ -44,29 +44,29 @@ std::string write_csv(const std::string& name,
                       const std::vector<std::string>& header,
                       const std::vector<std::vector<double>>& rows);
 
-/// `--resume-dir DIR` from a bench driver's argv ("" when absent).
-///
-/// Deprecated: the flag is one of the standard set analysis::cli parses —
-/// construct a cli::Experiment (cli.hpp) or call cli::parse_options and
-/// read Options::resume_dir, which preserves this function's behavior
-/// byte-for-byte (including exit(2) on a missing directory argument).
-[[deprecated("use analysis::cli::parse_options (cli.hpp)")]]
-[[nodiscard]] std::string resume_dir_from_args(int argc, char** argv);
+/// A ProgressFn that repaints one stderr status line per snapshot
+/// ("\r[label] 128/512 cells (64 cached, 64 fresh)"), finishing with a
+/// newline once every fresh cell is done. stderr so CSV/stdout pipelines
+/// stay clean; suitable for `--progress` on any driver.
+[[nodiscard]] ProgressFn stderr_progress(std::string label);
 
 /// Run one sweep: plain Runner::run when `resume_dir` is empty, else
 /// resumably through an analysis::ResultStore rooted at `resume_dir`
 /// (opened per call — every call indexes all previously persisted cells,
 /// so one directory serves all of a driver's sweeps). Prints the
 /// cached/run split when resuming. Results are bit-identical either way.
+/// `progress` is forwarded to the runner (see stderr_progress).
 [[nodiscard]] BatchResult run_sweep(const Runner& runner,
                                     const std::vector<Scenario>& scenarios,
                                     std::size_t trials,
                                     std::uint64_t base_seed,
-                                    const std::string& resume_dir);
+                                    const std::string& resume_dir,
+                                    const ProgressFn& progress = {});
 [[nodiscard]] BatchResult run_sweep(const Runner& runner,
                                     const SweepSpec& spec, std::size_t trials,
                                     std::uint64_t base_seed,
-                                    const std::string& resume_dir);
+                                    const std::string& resume_dir,
+                                    const ProgressFn& progress = {});
 
 }  // namespace hh::analysis
 

@@ -40,6 +40,15 @@ void encode_payload(std::vector<std::uint8_t>& out, const TrialKey& key,
   util::put_f64(out, stats.recruitments);
 }
 
+std::string sanitize_namespace(std::string ns) {
+  for (char& c : ns) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    if (!ok) c = '_';
+  }
+  return ns;
+}
+
 }  // namespace
 
 std::size_t TrialKeyHash::operator()(const TrialKey& key) const {
@@ -62,50 +71,80 @@ std::uint64_t scenario_fingerprint(const Scenario& scenario) {
   return h.digest();
 }
 
-ResultStore::ResultStore(std::filesystem::path directory)
-    : dir_(std::move(directory)) {
+ResultStore::ResultStore(std::filesystem::path directory,
+                         std::string writer_namespace)
+    : dir_(std::move(directory)), ns_(sanitize_namespace(std::move(writer_namespace))) {
   std::filesystem::create_directories(dir_);
   // Nonce for this open: keeps shard names from two sequential (or even
   // concurrent) processes distinct. Result identity never depends on it.
   const auto now = std::chrono::steady_clock::now().time_since_epoch().count();
   session_ = util::mix_seed(static_cast<std::uint64_t>(now),
                             reinterpret_cast<std::uintptr_t>(this));
+  (void)scan_directory();
+}
+
+std::size_t ResultStore::scan_directory() {
   std::vector<std::filesystem::path> shards;
   for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
     if (entry.is_regular_file() && entry.path().extension() == kShardExtension) {
       shards.push_back(entry.path());
     }
   }
-  // Deterministic load order (directory iteration order is not); duplicate
-  // keys hold identical payloads anyway — trials are pure functions of the
-  // key — so order only matters for reproducible dropped-record counts.
-  std::sort(shards.begin(), shards.end());
-  for (const auto& path : shards) load_shard(path);
+  for (const auto& path : shards) files_.try_emplace(path);
+  // files_ is path-sorted, so the scan order is deterministic (directory
+  // iteration order is not); duplicate keys hold identical payloads anyway
+  // — trials are pure functions of the key — so order only matters for
+  // reproducible dropped-record counts.
+  std::size_t added = 0;
+  for (auto& [path, state] : files_) added += scan_shard(path, state);
+  return added;
 }
 
-void ResultStore::load_shard(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return;
-  // One sized read, not a byte-iterator loop: a warm resume over a
-  // million-trial store opens tens of MB of shards and this is its cost.
+std::size_t ResultStore::reload() { return scan_directory(); }
+
+std::size_t ResultStore::scan_shard(const std::filesystem::path& path,
+                                    ShardState& state) {
+  if (state.dead) return 0;
   std::error_code ec;
   const auto file_size = std::filesystem::file_size(path, ec);
-  if (ec) return;
-  std::vector<std::uint8_t> bytes(file_size);
+  if (ec) return 0;  // vanished (a compact elsewhere); keep the cursor
+  if (file_size <= state.offset && state.header_ok) return 0;
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;
+  if (!state.header_ok) {
+    // One sized read, not a byte-iterator loop: a cold open over a
+    // million-trial store reads tens of MB of shards and this is its cost.
+    std::vector<std::uint8_t> head(std::min<std::uintmax_t>(file_size,
+                                                            kHeaderBytes));
+    in.read(reinterpret_cast<char*>(head.data()),
+            static_cast<std::streamsize>(head.size()));
+    util::ByteReader header({head.data(),
+                             static_cast<std::size_t>(std::max<std::streamsize>(
+                                 in.gcount(), 0))});
+    if (header.u32() != kShardMagic || header.u32() != kShardVersion ||
+        !header.ok()) {
+      // Foreign or future-format file: skip it whole (counted as dropped
+      // so the condition is visible, but never fatal — resume just
+      // recomputes).
+      state.dead = true;
+      ++dropped_;
+      return 0;
+    }
+    state.header_ok = true;
+    state.offset = kHeaderBytes;
+  }
+
+  std::vector<std::uint8_t> bytes(
+      static_cast<std::size_t>(file_size - state.offset));
+  in.seekg(static_cast<std::streamoff>(state.offset));
   in.read(reinterpret_cast<char*>(bytes.data()),
           static_cast<std::streamsize>(bytes.size()));
-  bytes.resize(static_cast<std::size_t>(std::max<std::streamsize>(
-      in.gcount(), 0)));
-  ++shard_files_;
-  util::ByteReader header(bytes);
-  if (header.u32() != kShardMagic || header.u32() != kShardVersion ||
-      !header.ok()) {
-    // Foreign or future-format file: skip it whole (counted as dropped so
-    // the condition is visible, but never fatal — resume just recomputes).
-    ++dropped_;
-    return;
-  }
-  std::size_t offset = kHeaderBytes;
+  bytes.resize(
+      static_cast<std::size_t>(std::max<std::streamsize>(in.gcount(), 0)));
+
+  std::size_t added = 0;
+  std::size_t offset = 0;
   while (offset + kRecordBytes <= bytes.size()) {
     const std::span<const std::uint8_t> payload{bytes.data() + offset,
                                                 kPayloadBytes};
@@ -113,9 +152,16 @@ void ResultStore::load_shard(const std::filesystem::path& path) {
         {bytes.data() + offset + kPayloadBytes, std::size_t{4}});
     if (tail.u32() != util::checksum32(payload)) {
       // Torn or corrupt record: everything after it in this shard is
-      // suspect (appends are sequential), so stop reading the file.
-      ++dropped_;
-      return;
+      // suspect (appends are sequential), so stop reading the file — but
+      // keep the cursor HERE. A record torn because its writer (possibly
+      // another process) was mid-append is complete on a later reload();
+      // genuine corruption just re-fails the same cheap check. Count the
+      // drop once per position.
+      if (state.counted_bad_at != state.offset) {
+        state.counted_bad_at = state.offset;
+        ++dropped_;
+      }
+      return added;
     }
     util::ByteReader r(payload);
     TrialKey key;
@@ -130,8 +176,15 @@ void ResultStore::load_shard(const std::filesystem::path& path) {
     stats.recruitments = r.f64();
     index_.insert_or_assign(key, stats);
     offset += kRecordBytes;
+    state.offset += kRecordBytes;
+    ++added;
   }
-  if (offset != bytes.size()) ++dropped_;  // trailing partial record
+  if (offset != bytes.size() && state.counted_bad_at != state.offset) {
+    // Trailing partial record: same re-verify-on-reload treatment.
+    state.counted_bad_at = state.offset;
+    ++dropped_;
+  }
+  return added;
 }
 
 const TrialStats* ResultStore::find(const TrialKey& key) const {
@@ -139,16 +192,27 @@ const TrialStats* ResultStore::find(const TrialKey& key) const {
   return it == index_.end() ? nullptr : &it->second;
 }
 
-std::unique_ptr<ResultStore::ShardWriter> ResultStore::open_shard() {
+std::filesystem::path ResultStore::next_shard_path() {
   const std::lock_guard<std::mutex> lock(shard_mutex_);
   std::filesystem::path path;
   do {
-    char name[64];
-    std::snprintf(name, sizeof(name), "shard-%016llx-%04u%s",
-                  static_cast<unsigned long long>(session_), next_shard_++,
-                  kShardExtension);
+    char name[96];
+    if (ns_.empty()) {
+      std::snprintf(name, sizeof(name), "shard-%016llx-%04u%s",
+                    static_cast<unsigned long long>(session_), next_shard_++,
+                    kShardExtension);
+    } else {
+      std::snprintf(name, sizeof(name), "shard-%.32s-%016llx-%04u%s",
+                    ns_.c_str(), static_cast<unsigned long long>(session_),
+                    next_shard_++, kShardExtension);
+    }
     path = dir_ / name;
   } while (std::filesystem::exists(path));
+  return path;
+}
+
+std::unique_ptr<ResultStore::ShardWriter> ResultStore::open_shard() {
+  const std::filesystem::path path = next_shard_path();
   std::ofstream out(path, std::ios::binary | std::ios::app);
   if (!out) {
     throw std::runtime_error("result store: cannot create shard " +
@@ -161,6 +225,66 @@ std::unique_ptr<ResultStore::ShardWriter> ResultStore::open_shard() {
             static_cast<std::streamsize>(header.size()));
   out.flush();
   return std::unique_ptr<ShardWriter>(new ShardWriter(std::move(out)));
+}
+
+ResultStore::CompactReport ResultStore::compact() {
+  CompactReport report;
+  // Snapshot what exists NOW; only these are removed afterwards (a writer
+  // racing this call in the same process would be a coordinator bug — see
+  // the header contract).
+  std::vector<std::filesystem::path> old_files;
+  old_files.reserve(files_.size());
+  for (const auto& [path, state] : files_) old_files.push_back(path);
+
+  // Deterministic record order: sorted by key, so equal stores compact to
+  // byte-identical shards regardless of insertion history.
+  std::vector<const std::pair<const TrialKey, TrialStats>*> records;
+  records.reserve(index_.size());
+  for (const auto& entry : index_) records.push_back(&entry);
+  std::sort(records.begin(), records.end(), [](const auto* a, const auto* b) {
+    const TrialKey& x = a->first;
+    const TrialKey& y = b->first;
+    if (x.fingerprint != y.fingerprint) return x.fingerprint < y.fingerprint;
+    if (x.trial != y.trial) return x.trial < y.trial;
+    return x.seed < y.seed;
+  });
+
+  const std::filesystem::path merged = next_shard_path();
+  {
+    std::ofstream out(merged, std::ios::binary);
+    if (!out) {
+      throw std::runtime_error("result store: cannot create merged shard " +
+                               merged.string());
+    }
+    std::vector<std::uint8_t> header;
+    util::put_u32(header, kShardMagic);
+    util::put_u32(header, kShardVersion);
+    out.write(reinterpret_cast<const char*>(header.data()),
+              static_cast<std::streamsize>(header.size()));
+    ShardWriter writer(std::move(out));
+    for (const auto* entry : records) writer.append(entry->first, entry->second);
+    writer.flush();
+    if (writer.write_failed()) {
+      // Disk full mid-merge: leave the store exactly as it was.
+      std::error_code ec;
+      std::filesystem::remove(merged, ec);
+      return report;
+    }
+  }
+  report.records = records.size();
+
+  // The merged shard is complete and checksummed on disk; removing the old
+  // files is now safe at any crash point (duplicates are idempotent).
+  for (const auto& path : old_files) {
+    std::error_code ec;
+    if (std::filesystem::remove(path, ec) && !ec) ++report.removed_files;
+  }
+  files_.clear();
+  ShardState state;
+  state.header_ok = true;
+  state.offset = kHeaderBytes + records.size() * kRecordBytes;
+  files_.emplace(merged, state);
+  return report;
 }
 
 ResultStore::ShardWriter::ShardWriter(std::ofstream out)

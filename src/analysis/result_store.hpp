@@ -1,5 +1,6 @@
 // Sharded, append-only on-disk store of completed trial results — the
-// substrate of resumable million-trial sweeps (Runner::run_resumable).
+// substrate of resumable million-trial sweeps (Runner::run_resumable) and
+// of the resident sweep service (service/server.hpp).
 //
 // A store is a directory of shard files. Each worker thread of a resumable
 // run appends fixed-size binary records to its OWN shard (no lock on the
@@ -11,6 +12,16 @@
 // count. Kill the process at any point, rerun the same command, and the
 // aggregate cannot change.
 //
+// Cross-process model: N processes may write into ONE directory at once,
+// each opening the store with its own writer namespace (a tag baked into
+// its shard filenames, so two processes can never race on a file) — there
+// is no cross-process locking, on the hot path or anywhere else. Readers
+// pick up other writers' records with reload() (incremental: only new
+// bytes are parsed, and a tail that was mid-append at the previous scan is
+// re-verified). compact() merges every indexed record into a single shard
+// and removes the rest — run it only while no other process is writing the
+// directory (see DESIGN.md §7 for the invariants).
+//
 // Durability model: records are framed with a per-record checksum, so a
 // shard torn mid-record by a crash (or mid-write kill) loses only its
 // unflushed tail — the valid prefix is recovered and the lost cells are
@@ -21,8 +32,10 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -64,20 +77,54 @@ class ResultStore {
   /// Open (creating the directory if needed) and index every shard.
   /// Records with bad checksums and torn tails are dropped (counted in
   /// dropped_records()); whole files with a bad header are skipped.
-  explicit ResultStore(std::filesystem::path directory);
+  ///
+  /// `writer_namespace` tags every shard THIS store creates (letters,
+  /// digits, '-', '_'; other characters are replaced with '_'). Give each
+  /// process of a shared directory its own namespace so shard files can
+  /// never collide; loading is namespace-agnostic — every *.hhrs file in
+  /// the directory is indexed regardless of who wrote it.
+  explicit ResultStore(std::filesystem::path directory,
+                       std::string writer_namespace = {});
 
   ResultStore(const ResultStore&) = delete;
   ResultStore& operator=(const ResultStore&) = delete;
 
   /// The cached result for `key`, or nullptr. Safe to call concurrently
-  /// with other find()s (the index is immutable after construction).
+  /// with other find()s (the index is immutable outside reload()/
+  /// compact()); never call it concurrently with those two.
   [[nodiscard]] const TrialStats* find(const TrialKey& key) const;
+
+  /// Rescan the directory and index everything appended since the last
+  /// scan — new shard files (any writer's) and new records on known ones.
+  /// Incremental: previously parsed bytes are never re-read, except that
+  /// a tail which failed its checksum at the last scan is re-verified (a
+  /// record that was MID-APPEND by a live writer then may be complete
+  /// now). Returns the number of newly indexed records. Not thread-safe
+  /// with find(); the caller serializes (the sweep service reloads
+  /// between jobs, never during one).
+  std::size_t reload();
+
+  struct CompactReport {
+    std::size_t records = 0;        ///< records in the merged shard
+    std::size_t removed_files = 0;  ///< old shard files deleted
+  };
+
+  /// Merge every indexed record into one freshly written shard and delete
+  /// all other shard files. Safe against a crash at any point (the merged
+  /// shard is complete and checksummed before anything is removed;
+  /// duplicate records are idempotent). NOT safe under concurrent writers
+  /// in other processes — their open shards would be unlinked and their
+  /// records lost to future opens. Run it from the single coordinating
+  /// process while the directory is quiescent. On a failed write (disk
+  /// full) the store is left untouched.
+  CompactReport compact();
 
   /// Indexed records / shard files scanned / invalid records dropped.
   [[nodiscard]] std::size_t size() const { return index_.size(); }
-  [[nodiscard]] std::size_t shard_files() const { return shard_files_; }
+  [[nodiscard]] std::size_t shard_files() const { return files_.size(); }
   [[nodiscard]] std::size_t dropped_records() const { return dropped_; }
   [[nodiscard]] const std::filesystem::path& directory() const { return dir_; }
+  [[nodiscard]] const std::string& writer_namespace() const { return ns_; }
 
   /// Append-only writer over one worker-private shard file. Not
   /// thread-safe — one writer per worker. flush() pushes buffered records
@@ -106,11 +153,28 @@ class ResultStore {
   [[nodiscard]] std::unique_ptr<ShardWriter> open_shard();
 
  private:
-  void load_shard(const std::filesystem::path& path);
+  /// Per-shard-file scan cursor (reload() resumes parsing here).
+  struct ShardState {
+    std::uintmax_t offset = 0;  ///< bytes consumed through last valid record
+    bool header_ok = false;
+    bool dead = false;  ///< bad header: never read this file again
+    /// Offset whose invalid record was already counted in dropped_ (so a
+    /// persistently-torn tail is not re-counted every reload).
+    std::uintmax_t counted_bad_at = static_cast<std::uintmax_t>(-1);
+  };
+
+  /// Parse everything after state.offset; returns newly indexed records.
+  std::size_t scan_shard(const std::filesystem::path& path, ShardState& state);
+  /// Index all *.hhrs files (new cursors for unseen paths).
+  std::size_t scan_directory();
+  /// Reserve the next shard filename for this writer (serialized).
+  std::filesystem::path next_shard_path();
 
   std::filesystem::path dir_;
+  std::string ns_;
   std::unordered_map<TrialKey, TrialStats, TrialKeyHash> index_;
-  std::size_t shard_files_ = 0;
+  /// Scan cursors keyed by path; std::map for deterministic scan order.
+  std::map<std::filesystem::path, ShardState> files_;
   std::size_t dropped_ = 0;
 
   std::mutex shard_mutex_;      // guards shard file creation only

@@ -112,7 +112,8 @@ Runner::Runner(RunnerOptions options)
 
 BatchResult Runner::run_cells(const std::vector<Scenario>& scenarios,
                               std::size_t trials, std::uint64_t base_seed,
-                              ResultStore* store, ResumeReport* report) const {
+                              ResultStore* store, ResumeReport* report,
+                              const ProgressFn& progress) const {
   const std::size_t cell_count = scenarios.size() * trials;
   std::vector<TrialStats> cells(cell_count);
   // The cells still to execute, in deterministic (scenario-major) order —
@@ -147,6 +148,18 @@ BatchResult Runner::run_cells(const std::vector<Scenario>& scenarios,
     report->cells_cached = cell_count - todo.size();
   }
 
+  // Progress streaming: one cumulative snapshot per finished block, built
+  // under a mutex so the sink never runs concurrently with itself. When
+  // every cell was cache-served no block ever runs, so emit one snapshot
+  // up front — a fully warm sweep still reports its (all-cached) outcome.
+  RunProgress snapshot;
+  snapshot.scenarios_total = scenarios.size();
+  snapshot.cells_total = cell_count;
+  snapshot.cells_cached = cell_count - todo.size();
+  snapshot.cells_fresh_total = todo.size();
+  std::mutex progress_mutex;
+  if (progress && todo.empty() && cell_count > 0) progress(snapshot);
+
   // Small-n trial batching: claim a block of cells per atomic increment so
   // short trials aren't dominated by claim traffic, but keep blocks small
   // enough that the tail stays balanced across workers. Each worker owns a
@@ -175,6 +188,12 @@ BatchResult Runner::run_cells(const std::vector<Scenario>& scenarios,
           }
         }
         if (writer != nullptr) writer->flush();
+        if (progress) {
+          const std::lock_guard<std::mutex> lock(progress_mutex);
+          snapshot.cells_fresh_done += end - begin;
+          snapshot.scenario = todo[end - 1] / trials;
+          progress(snapshot);
+        }
       });
 
   BatchResult batch;
@@ -194,26 +213,30 @@ BatchResult Runner::run_cells(const std::vector<Scenario>& scenarios,
 }
 
 BatchResult Runner::run(const std::vector<Scenario>& scenarios,
-                        std::size_t trials, std::uint64_t base_seed) const {
-  return run_cells(scenarios, trials, base_seed, nullptr, nullptr);
+                        std::size_t trials, std::uint64_t base_seed,
+                        const ProgressFn& progress) const {
+  return run_cells(scenarios, trials, base_seed, nullptr, nullptr, progress);
 }
 
 BatchResult Runner::run(const SweepSpec& spec, std::size_t trials,
-                        std::uint64_t base_seed) const {
-  return run(spec.expand(), trials, base_seed);
+                        std::uint64_t base_seed,
+                        const ProgressFn& progress) const {
+  return run(spec.expand(), trials, base_seed, progress);
 }
 
 BatchResult Runner::run_resumable(const std::vector<Scenario>& scenarios,
                                   std::size_t trials, std::uint64_t base_seed,
-                                  ResultStore& store,
-                                  ResumeReport* report) const {
-  return run_cells(scenarios, trials, base_seed, &store, report);
+                                  ResultStore& store, ResumeReport* report,
+                                  const ProgressFn& progress) const {
+  return run_cells(scenarios, trials, base_seed, &store, report, progress);
 }
 
 BatchResult Runner::run_resumable(const SweepSpec& spec, std::size_t trials,
                                   std::uint64_t base_seed, ResultStore& store,
-                                  ResumeReport* report) const {
-  return run_resumable(spec.expand(), trials, base_seed, store, report);
+                                  ResumeReport* report,
+                                  const ProgressFn& progress) const {
+  return run_resumable(spec.expand(), trials, base_seed, store, report,
+                       progress);
 }
 
 const ScenarioResult& BatchResult::at(std::string_view name) const {

@@ -97,6 +97,32 @@ struct ResumeReport {
   std::size_t cells_run = 0;
 };
 
+/// A progress snapshot delivered after each completed work block (and once
+/// up front when every cell was cache-served): overall cell accounting
+/// plus the scenario the finishing block ended in. Counts are cumulative
+/// and cells_done() is nondecreasing across calls; block completion order
+/// is nondeterministic, so `scenario` may move backwards.
+struct RunProgress {
+  std::size_t scenario = 0;          ///< scenario index of the block's last cell
+  std::size_t scenarios_total = 0;
+  std::size_t cells_total = 0;       ///< scenarios x trials
+  std::size_t cells_cached = 0;      ///< served from the store up front
+  std::size_t cells_fresh_done = 0;  ///< executed so far, all workers
+  std::size_t cells_fresh_total = 0; ///< cells_total - cells_cached
+
+  [[nodiscard]] std::size_t cells_done() const {
+    return cells_cached + cells_fresh_done;
+  }
+  [[nodiscard]] bool finished() const {
+    return cells_fresh_done == cells_fresh_total;
+  }
+};
+
+/// Progress sink for Runner::run/run_resumable. Called under an internal
+/// mutex (never concurrently with itself) from worker threads — keep it
+/// fast; it is on the batch's critical path.
+using ProgressFn = std::function<void(const RunProgress&)>;
+
 /// One scenario's outcome: the per-trial stats (trial order, not
 /// completion order) and their aggregate.
 struct ScenarioResult {
@@ -142,12 +168,14 @@ class Runner {
   [[nodiscard]] unsigned threads() const { return threads_; }
 
   /// Standard path: run `trials` simulations of every scenario via the
-  /// algorithm registry and aggregate.
+  /// algorithm registry and aggregate. `progress`, when set, receives a
+  /// RunProgress snapshot per completed work block.
   [[nodiscard]] BatchResult run(const std::vector<Scenario>& scenarios,
-                                std::size_t trials,
-                                std::uint64_t base_seed) const;
+                                std::size_t trials, std::uint64_t base_seed,
+                                const ProgressFn& progress = {}) const;
   [[nodiscard]] BatchResult run(const SweepSpec& spec, std::size_t trials,
-                                std::uint64_t base_seed) const;
+                                std::uint64_t base_seed,
+                                const ProgressFn& progress = {}) const;
 
   /// Checkpointed path for long sweeps: every (scenario, trial) cell
   /// already present in `store` — keyed by (scenario_fingerprint, trial,
@@ -158,16 +186,16 @@ class Runner {
   /// cached and fresh cells and any thread count — interrupt the process
   /// anywhere, rerun the same command, and the aggregate cannot change
   /// (tests/test_resume.cpp pins this at 1/2/8 threads against torn
-  /// shards). `report`, when non-null, receives the cached/run split.
+  /// shards). `report`, when non-null, receives the cached/run split;
+  /// `progress` streams per-block snapshots exactly as in run().
   [[nodiscard]] BatchResult run_resumable(
       const std::vector<Scenario>& scenarios, std::size_t trials,
       std::uint64_t base_seed, ResultStore& store,
-      ResumeReport* report = nullptr) const;
-  [[nodiscard]] BatchResult run_resumable(const SweepSpec& spec,
-                                          std::size_t trials,
-                                          std::uint64_t base_seed,
-                                          ResultStore& store,
-                                          ResumeReport* report = nullptr) const;
+      ResumeReport* report = nullptr, const ProgressFn& progress = {}) const;
+  [[nodiscard]] BatchResult run_resumable(
+      const SweepSpec& spec, std::size_t trials, std::uint64_t base_seed,
+      ResultStore& store, ResumeReport* report = nullptr,
+      const ProgressFn& progress = {}) const;
 
   /// Generic path: evaluate fn(scenario, seed) for every (scenario, trial)
   /// cell in parallel and return the results in deterministic
@@ -201,7 +229,8 @@ class Runner {
   /// `store` (when given) and the workers, then aggregates.
   BatchResult run_cells(const std::vector<Scenario>& scenarios,
                         std::size_t trials, std::uint64_t base_seed,
-                        ResultStore* store, ResumeReport* report) const;
+                        ResultStore* store, ResumeReport* report,
+                        const ProgressFn& progress) const;
 
   unsigned threads_;
 };

@@ -40,11 +40,14 @@
 //              and the string-keyed algorithm registry (registry.hpp)
 //   analysis/  scenarios + sweeps (scenario.hpp), the parallel batch
 //              runner (runner.hpp), aggregation, and report emission
+//   service/   the resident sweep daemon (anthill-serve), its NDJSON
+//              protocol, and the streaming client
 #ifndef HH_ANTHILL_HPP
 #define HH_ANTHILL_HPP
 
 #include "analysis/cli.hpp"
 #include "analysis/experiment.hpp"
+#include "analysis/manifest.hpp"
 #include "analysis/metrics.hpp"
 #include "analysis/report.hpp"
 #include "analysis/result_store.hpp"
@@ -73,6 +76,9 @@
 #include "env/observation.hpp"
 #include "env/pairing.hpp"
 #include "env/scheduler.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/contracts.hpp"
 #include "util/csv.hpp"

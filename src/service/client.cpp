@@ -1,0 +1,169 @@
+#include "service/client.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/csv.hpp"
+
+namespace hh::service {
+namespace {
+
+std::size_t size_field(const util::Json& body, const char* key) {
+  const util::Json* v = body.find(key);
+  return (v != nullptr && v->is_number())
+             ? static_cast<std::size_t>(v->as_number())
+             : 0;
+}
+
+std::string string_field(const util::Json& body, const char* key) {
+  const util::Json* v = body.find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string() : std::string();
+}
+
+}  // namespace
+
+Client Client::connect(const std::string& host, std::uint16_t port) {
+  Client client;
+  client.socket_ = util::net::Socket::connect_tcp(host, port);
+  if (!client.socket_.valid()) {
+    client.error_ = "cannot connect to " + host + ":" + std::to_string(port);
+    return client;
+  }
+  Event hello;
+  if (!client.next_event(hello) || hello.kind != "hello") {
+    client.error_ = client.error_.empty() ? "server did not say hello"
+                                          : client.error_;
+    client.socket_.close();
+    return client;
+  }
+  client.store_dir_ = string_field(hello.body, "store_dir");
+  client.store_records_ = size_field(hello.body, "store_records");
+  return client;
+}
+
+bool Client::send(const Request& request) {
+  if (!socket_.send_all(encode_request(request)) ||
+      !socket_.send_all("\n")) {
+    error_ = "connection lost while sending";
+    return false;
+  }
+  return true;
+}
+
+bool Client::next_event(Event& event) {
+  std::string line;
+  if (!reader_.next_line(line)) {
+    error_ = "connection closed by server";
+    return false;
+  }
+  try {
+    event = parse_event(line);
+  } catch (const ProtocolError& e) {
+    error_ = e.what();
+    return false;
+  }
+  return true;
+}
+
+bool Client::ping() {
+  Request request;
+  request.op = Request::Op::kPing;
+  if (!send(request)) return false;
+  Event event;
+  return next_event(event) && event.kind == "pong";
+}
+
+util::Json Client::status() {
+  Request request;
+  request.op = Request::Op::kStatus;
+  if (!send(request)) return {};
+  Event event;
+  if (!next_event(event)) return {};
+  if (event.kind != "status") {
+    error_ = "expected status event, got '" + event.kind + "'";
+    return {};
+  }
+  return event.body;
+}
+
+bool Client::shutdown_server() {
+  Request request;
+  request.op = Request::Op::kShutdown;
+  if (!send(request)) return false;
+  Event event;
+  return next_event(event) && event.kind == "bye";
+}
+
+JobOutcome Client::submit(const analysis::ExperimentSpec& spec,
+                          const ProgressEventFn& on_progress) {
+  JobOutcome outcome;
+  Request request;
+  request.op = Request::Op::kSubmit;
+  request.spec = spec;
+  if (!send(request)) {
+    outcome.error = error_;
+    return outcome;
+  }
+  // Tail the stream: accepted -> progress* -> sweep_done per sweep ->
+  // job_done. Any error event for this job (or the transport dying)
+  // terminates the tail.
+  Event event;
+  while (next_event(event)) {
+    if (event.kind == "accepted") {
+      outcome.job_id = string_field(event.body, "job");
+    } else if (event.kind == "progress") {
+      ++outcome.progress_events;
+      if (on_progress) on_progress(event.body);
+    } else if (event.kind == "sweep_done") {
+      SweepResult sweep;
+      sweep.sweep = string_field(event.body, "sweep");
+      sweep.csv_name = string_field(event.body, "csv_name");
+      if (const util::Json* h = event.body.find("csv_header")) {
+        sweep.csv_header = strings_from_json(*h);
+      }
+      if (const util::Json* r = event.body.find("rows")) {
+        sweep.rows = rows_from_json(*r);
+      }
+      sweep.cells_total = size_field(event.body, "cells_total");
+      sweep.cached = size_field(event.body, "cached");
+      sweep.run = size_field(event.body, "run");
+      outcome.sweeps.push_back(std::move(sweep));
+    } else if (event.kind == "job_done") {
+      outcome.ok = true;
+      outcome.cells_total = size_field(event.body, "cells_total");
+      outcome.cached = size_field(event.body, "cached");
+      outcome.run = size_field(event.body, "run");
+      outcome.record_path = string_field(event.body, "record");
+      return outcome;
+    } else if (event.kind == "error") {
+      outcome.error = string_field(event.body, "message");
+      return outcome;
+    }
+    // Unknown kinds are skipped: a newer server may add event types.
+  }
+  outcome.error = error_;
+  return outcome;
+}
+
+std::vector<std::string> write_outcome_csvs(const JobOutcome& outcome,
+                                            const std::string& out_dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  std::error_code ec;
+  fs::create_directories(out_dir, ec);
+  if (ec) return paths;
+  for (const SweepResult& sweep : outcome.sweeps) {
+    const fs::path path = fs::path(out_dir) / (sweep.csv_name + ".csv");
+    std::ofstream out(path);
+    if (!out) return paths;
+    util::CsvWriter csv(out);
+    csv.header(sweep.csv_header);
+    for (const auto& row : sweep.rows) csv.row(row);
+    out.flush();
+    if (!out) return paths;
+    paths.push_back(path.string());
+  }
+  return paths;
+}
+
+}  // namespace hh::service

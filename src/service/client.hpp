@@ -1,0 +1,119 @@
+// Thin client for anthill-serve: connects over localhost TCP, submits an
+// ExperimentSpec, tails the job's NDJSON event stream, and hands back the
+// streamed tidy tables so callers can write EXACTLY the CSVs the offline
+// drivers write (same CsvWriter, same spec_<sweep>.csv naming — the
+// byte-identity contract tests/test_service.cpp pins).
+#ifndef HH_SERVICE_CLIENT_HPP
+#define HH_SERVICE_CLIENT_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/spec.hpp"
+#include "service/protocol.hpp"
+#include "util/json.hpp"
+#include "util/socket.hpp"
+
+namespace hh::service {
+
+/// One sweep's streamed result: the tidy CSV table plus the cache split.
+struct SweepResult {
+  std::string sweep;            ///< sweep entry name
+  std::string csv_name;         ///< server-side spec_csv_name(sweep)
+  std::vector<std::string> csv_header;
+  std::vector<std::vector<double>> rows;
+  std::size_t cells_total = 0;
+  std::size_t cached = 0;
+  std::size_t run = 0;
+};
+
+/// Outcome of one submitted job after its stream completed.
+struct JobOutcome {
+  bool ok = false;
+  std::string error;            ///< set when !ok
+  std::string job_id;           ///< "job-NNNNNN" once accepted
+  std::size_t cells_total = 0;
+  std::size_t cached = 0;
+  std::size_t run = 0;
+  std::size_t progress_events = 0;
+  std::string record_path;      ///< server-side job record, "" if unwritten
+  std::vector<SweepResult> sweeps;
+};
+
+/// Raw progress callback: the body of each "progress" event.
+using ProgressEventFn = std::function<void(const util::Json& body)>;
+
+class Client {
+ public:
+  /// Connect and consume the server's hello event. Check connected();
+  /// error() explains a failure.
+  [[nodiscard]] static Client connect(const std::string& host,
+                                      std::uint16_t port);
+
+  [[nodiscard]] bool connected() const { return socket_.valid(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  /// From the hello event.
+  [[nodiscard]] const std::string& server_store_dir() const {
+    return store_dir_;
+  }
+  [[nodiscard]] std::size_t server_store_records() const {
+    return store_records_;
+  }
+
+  /// Round-trip a ping; false on any transport/protocol failure.
+  [[nodiscard]] bool ping();
+
+  /// Fetch the server's status event body (null Json on failure, with
+  /// error() set).
+  [[nodiscard]] util::Json status();
+
+  /// Ask the server to shut down (waits for its "bye").
+  [[nodiscard]] bool shutdown_server();
+
+  /// Submit `spec` and tail the stream until job_done/error. Progress
+  /// events (if any) are forwarded to `on_progress`.
+  [[nodiscard]] JobOutcome submit(const analysis::ExperimentSpec& spec,
+                                  const ProgressEventFn& on_progress = {});
+
+  /// Movable (connect returns by value): the reader is rebound to the
+  /// moved socket, preserving any buffered bytes.
+  Client(Client&& other) noexcept
+      : socket_(std::move(other.socket_)),
+        reader_(std::move(other.reader_)),
+        error_(std::move(other.error_)),
+        store_dir_(std::move(other.store_dir_)),
+        store_records_(other.store_records_) {
+    reader_.rebind(socket_);
+  }
+  Client& operator=(Client&&) = delete;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client() = default;
+
+ private:
+  Client() = default;
+
+  /// Send one request line; false (and error_) on failure.
+  bool send(const Request& request);
+  /// Read the next event line; false (and error_) on EOF/parse failure.
+  bool next_event(Event& event);
+
+  util::net::Socket socket_;
+  util::net::LineReader reader_{socket_};
+  std::string error_;
+  std::string store_dir_;
+  std::size_t store_records_ = 0;
+};
+
+/// Write every sweep's CSV under `out_dir` (created on demand) with the
+/// same bytes `bench_spec --spec` writes to bench_out/: CsvWriter, header
+/// then rows. Returns the written paths; on any I/O failure stops and
+/// returns what was written so far with `ok` false via the outcome param.
+std::vector<std::string> write_outcome_csvs(const JobOutcome& outcome,
+                                            const std::string& out_dir);
+
+}  // namespace hh::service
+
+#endif  // HH_SERVICE_CLIENT_HPP

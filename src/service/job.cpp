@@ -1,0 +1,60 @@
+#include "service/job.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace hh::service {
+
+std::string Job::display_id() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "job-%06llu",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::uint64_t JobQueue::submit(
+    analysis::ExperimentSpec spec, EventSink sink,
+    const std::function<void(std::uint64_t)>& accepted) {
+  Job job;
+  job.spec = std::move(spec);
+  job.sink = std::move(sink);
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return 0;  // shutting down: refuse, caller reports it
+    id = job.id = next_id_++;
+    if (accepted) accepted(id);  // under the lock: precedes any pop()
+    queue_.push_back(std::move(job));
+  }
+  ready_.notify_one();
+  return id;
+}
+
+std::optional<Job> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (closed_) return std::nullopt;
+  Job job = std::move(queue_.front());
+  queue_.pop_front();
+  return job;
+}
+
+std::vector<Job> JobQueue::close() {
+  std::vector<Job> orphans;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    orphans.assign(std::make_move_iterator(queue_.begin()),
+                   std::make_move_iterator(queue_.end()));
+    queue_.clear();
+  }
+  ready_.notify_all();
+  return orphans;
+}
+
+std::size_t JobQueue::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace hh::service

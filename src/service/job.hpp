@@ -1,0 +1,72 @@
+// Job model of the sweep service: a submitted ExperimentSpec plus the
+// event sink that streams its lifecycle back to the submitting session,
+// and the thread-safe FIFO the scheduler thread drains.
+//
+// Lifecycle (DESIGN.md §7): queued -> running -> done | failed. Queued
+// jobs that are still pending when the server shuts down are cancelled
+// (their sinks get a final error event).
+#ifndef HH_SERVICE_JOB_HPP
+#define HH_SERVICE_JOB_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/spec.hpp"
+
+namespace hh::service {
+
+/// Delivers one encoded NDJSON event line (no trailing '\n') to whoever
+/// is watching a job. May be invoked from the scheduler thread; must be
+/// safe to call after the watching session died (sinks swallow dead
+/// sockets — see Server::session_sink).
+using EventSink = std::function<void(const std::string& line)>;
+
+struct Job {
+  std::uint64_t id = 0;
+  analysis::ExperimentSpec spec;
+  EventSink sink;  ///< may be empty (fire-and-forget submission)
+
+  /// Display id, e.g. "job-000007" — what every event's "job" field holds.
+  [[nodiscard]] std::string display_id() const;
+};
+
+/// Thread-safe submission queue: sessions push, the single scheduler
+/// thread pops. close() wakes every popper and hands back the jobs that
+/// never ran so the server can cancel them loudly.
+class JobQueue {
+ public:
+  /// Enqueue and return the assigned job id (1-based, monotonic), or 0
+  /// when the queue is already closed. `accepted`, when set, is invoked
+  /// with the id BEFORE the job becomes poppable — the server's hook for
+  /// sending the "accepted" event strictly ahead of any scheduler event
+  /// for the job (it runs under the queue lock; keep it brief).
+  std::uint64_t submit(analysis::ExperimentSpec spec, EventSink sink,
+                       const std::function<void(std::uint64_t)>& accepted = {});
+
+  /// Block until a job or close(); nullopt once closed (pending jobs are
+  /// NOT drained after close — they come back from close() instead).
+  [[nodiscard]] std::optional<Job> pop();
+
+  /// Close the queue: pop() returns nullopt from now on. Returns every
+  /// job that was still pending, in submission order.
+  std::vector<Job> close();
+
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Job> queue_;
+  std::uint64_t next_id_ = 1;
+  bool closed_ = false;
+};
+
+}  // namespace hh::service
+
+#endif  // HH_SERVICE_JOB_HPP

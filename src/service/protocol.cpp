@@ -1,0 +1,145 @@
+#include "service/protocol.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <limits>
+
+namespace hh::service {
+namespace {
+
+Request::Op parse_op(const std::string& name) {
+  if (name == "ping") return Request::Op::kPing;
+  if (name == "status") return Request::Op::kStatus;
+  if (name == "submit") return Request::Op::kSubmit;
+  if (name == "shutdown") return Request::Op::kShutdown;
+  throw ProtocolError("unknown op '" + name + "'");
+}
+
+const char* op_name(Request::Op op) {
+  switch (op) {
+    case Request::Op::kPing: return "ping";
+    case Request::Op::kStatus: return "status";
+    case Request::Op::kSubmit: return "submit";
+    case Request::Op::kShutdown: return "shutdown";
+  }
+  return "ping";
+}
+
+}  // namespace
+
+std::string encode_request(const Request& request) {
+  util::Json json;
+  json.set("op", op_name(request.op));
+  if (request.op == Request::Op::kSubmit) {
+    json.set("spec", analysis::experiment_to_json(request.spec));
+  }
+  return util::dump_json(json);
+}
+
+Request parse_request(std::string_view line) {
+  util::Json json;
+  try {
+    json = util::parse_json(line);
+  } catch (const util::JsonParseError& e) {
+    throw ProtocolError(std::string("bad request JSON: ") + e.what());
+  }
+  if (!json.is_object()) throw ProtocolError("request must be a JSON object");
+  const util::Json* op = json.find("op");
+  if (op == nullptr || !op->is_string()) {
+    throw ProtocolError("request needs a string \"op\" field");
+  }
+  Request request;
+  request.op = parse_op(op->as_string());
+  if (request.op == Request::Op::kSubmit) {
+    const util::Json* spec = json.find("spec");
+    if (spec == nullptr) {
+      throw ProtocolError("submit needs a \"spec\" field");
+    }
+    try {
+      request.spec = analysis::experiment_from_json(*spec);
+    } catch (const std::exception& e) {
+      throw ProtocolError(std::string("bad spec: ") + e.what());
+    }
+  }
+  return request;
+}
+
+std::string encode_event(const std::string& kind, util::Json body) {
+  // "event" must render first so humans tailing the stream can read it;
+  // rebuilding the object puts it there regardless of how body was built.
+  util::Json out;
+  out.set("event", kind);
+  if (!body.is_null()) {
+    for (auto& [key, value] : body.as_object()) {
+      if (key != "event") out.set(key, std::move(value));
+    }
+  }
+  return util::dump_json(out);
+}
+
+Event parse_event(std::string_view line) {
+  Event event;
+  try {
+    event.body = util::parse_json(line);
+  } catch (const util::JsonParseError& e) {
+    throw ProtocolError(std::string("bad event JSON: ") + e.what());
+  }
+  if (!event.body.is_object()) {
+    throw ProtocolError("event must be a JSON object");
+  }
+  const util::Json* kind = event.body.find("event");
+  if (kind == nullptr || !kind->is_string()) {
+    throw ProtocolError("event needs a string \"event\" field");
+  }
+  event.kind = kind->as_string();
+  return event;
+}
+
+util::Json rows_to_json(const std::vector<std::vector<double>>& rows) {
+  util::Json out{util::Json::Array{}};
+  for (const auto& row : rows) {
+    util::Json jrow{util::Json::Array{}};
+    for (const double v : row) {
+      jrow.push_back(std::isfinite(v) ? util::Json(v) : util::Json(nullptr));
+    }
+    out.push_back(std::move(jrow));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> rows_from_json(const util::Json& json) {
+  std::vector<std::vector<double>> rows;
+  for (const util::Json& jrow : json.as_array()) {
+    std::vector<double> row;
+    row.reserve(jrow.as_array().size());
+    for (const util::Json& v : jrow.as_array()) {
+      row.push_back(v.is_null() ? std::numeric_limits<double>::quiet_NaN()
+                                : v.as_number());
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+util::Json strings_to_json(const std::vector<std::string>& v) {
+  util::Json out{util::Json::Array{}};
+  for (const std::string& s : v) out.push_back(s);
+  return out;
+}
+
+std::vector<std::string> strings_from_json(const util::Json& json) {
+  std::vector<std::string> out;
+  out.reserve(json.as_array().size());
+  for (const util::Json& s : json.as_array()) out.push_back(s.as_string());
+  return out;
+}
+
+std::string spec_csv_name(const std::string& sweep) {
+  std::string out = "spec_";
+  for (const char c : sweep) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace hh::service

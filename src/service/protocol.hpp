@@ -1,0 +1,93 @@
+// The anthill-serve wire protocol: newline-delimited JSON (NDJSON) over a
+// localhost TCP stream. One JSON object per line; requests flow client →
+// server, events flow back. See DESIGN.md §7 for the full grammar and the
+// job lifecycle state machine.
+//
+// Requests ("op"):
+//   {"op":"ping"}                      -> {"event":"pong"}
+//   {"op":"status"}                    -> {"event":"status",...}
+//   {"op":"submit","spec":{...}}       -> accepted, then progress* /
+//                                         sweep_done* / job_done | error
+//   {"op":"shutdown"}                  -> {"event":"bye"}, server drains
+//
+// The spec payload is the canonical serializable ExperimentSpec
+// (analysis/spec.hpp) — the same document `driver --dump-spec` emits —
+// so anything that can write a spec file can talk to the service.
+//
+// Tidy rows may contain NaN (a scenario that never swept an axis), and
+// JSON has no NaN: the row codec transports non-finite doubles as `null`
+// and restores NaN on decode. Every finite double round-trips exactly
+// (util::format_double), which is what makes client-side CSV output
+// byte-identical to the server's own.
+#ifndef HH_SERVICE_PROTOCOL_HPP
+#define HH_SERVICE_PROTOCOL_HPP
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/spec.hpp"
+#include "util/json.hpp"
+
+namespace hh::service {
+
+inline constexpr int kProtocolVersion = 1;
+
+/// A malformed request or event line (bad JSON, unknown op, missing
+/// field). Sessions answer these with an error event, never by dying.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Request {
+  enum class Op { kPing, kStatus, kSubmit, kShutdown };
+
+  Op op = Op::kPing;
+  analysis::ExperimentSpec spec;  ///< kSubmit only
+};
+
+/// One request per line, compact canonical JSON (no newline appended).
+[[nodiscard]] std::string encode_request(const Request& request);
+
+/// Parse a request line. Throws ProtocolError on anything malformed.
+[[nodiscard]] Request parse_request(std::string_view line);
+
+/// A server event, decoded just enough to dispatch on: its kind plus the
+/// whole body for kind-specific fields.
+struct Event {
+  std::string kind;
+  util::Json body;
+};
+
+/// Serialize an event body (must be an object; "event" is set to `kind`
+/// and ordered first). No newline appended.
+[[nodiscard]] std::string encode_event(const std::string& kind,
+                                       util::Json body);
+
+/// Parse an event line. Throws ProtocolError when the line is not a JSON
+/// object with a string "event" field.
+[[nodiscard]] Event parse_event(std::string_view line);
+
+/// Tidy-row transport: doubles, with non-finite values encoded as null
+/// (JSON has no NaN) and decoded back to quiet NaN.
+[[nodiscard]] util::Json rows_to_json(
+    const std::vector<std::vector<double>>& rows);
+[[nodiscard]] std::vector<std::vector<double>> rows_from_json(
+    const util::Json& json);
+
+/// String-array transport for CSV headers.
+[[nodiscard]] util::Json strings_to_json(const std::vector<std::string>& v);
+[[nodiscard]] std::vector<std::string> strings_from_json(
+    const util::Json& json);
+
+/// The CSV artifact name for one sweep — "spec_<name>" with every
+/// non-alphanumeric byte replaced by '_'. THE naming contract between
+/// bench_spec and anthill-client: both write bench_out/<this>.csv, which
+/// is what makes their artifacts byte-comparable.
+[[nodiscard]] std::string spec_csv_name(const std::string& sweep);
+
+}  // namespace hh::service
+
+#endif  // HH_SERVICE_PROTOCOL_HPP

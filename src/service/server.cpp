@@ -1,0 +1,310 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/manifest.hpp"
+#include "service/protocol.hpp"
+#include "util/socket.hpp"
+
+namespace hh::service {
+namespace {
+
+/// Total (scenario, trial) cells a spec will schedule.
+std::size_t spec_cells(const analysis::ExperimentSpec& spec) {
+  std::size_t cells = 0;
+  for (const analysis::SweepEntry& entry : spec.sweeps) {
+    cells += entry.size() * entry.trials;
+  }
+  return cells;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      listener_(util::net::Listener::bind_tcp(options_.host, options_.port)),
+      store_([&] {
+        if (options_.store_dir.empty()) {
+          throw std::runtime_error("anthill-serve needs a store directory");
+        }
+        return options_.store_dir;
+      }(), options_.writer_namespace),
+      runner_(analysis::RunnerOptions{options_.threads}) {
+  if (!listener_.valid()) {
+    throw std::runtime_error("cannot bind " + options_.host + ":" +
+                             std::to_string(options_.port));
+  }
+  store_records_.store(store_.size());
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+Server::~Server() {
+  request_stop();
+  wait();
+}
+
+void Server::serve_forever() {
+  while (true) {
+    util::net::Socket socket = listener_.accept();
+    if (!socket.valid()) break;  // listener closed: stopping
+    auto session = std::make_shared<Session>();
+    session->socket = std::move(socket);
+    const std::lock_guard<std::mutex> lock(sessions_mutex_);
+    if (stopping_.load()) break;  // raced request_stop: drop the socket
+    sessions_.push_back(session);
+    session_threads_.emplace_back(
+        [this, session] { session_loop(session); });
+  }
+}
+
+void Server::start() {
+  accept_thread_ = std::thread([this] { serve_forever(); });
+}
+
+void Server::request_stop() {
+  if (stopping_.exchange(true)) return;
+  listener_.close();
+  // Cancel everything still queued; the in-flight job (if any) finishes
+  // and streams normally before the scheduler sees the closed queue.
+  for (Job& orphan : queue_.close()) {
+    if (orphan.sink) {
+      util::Json body;
+      body.set("job", orphan.display_id());
+      body.set("message", "server shutting down before this job started");
+      orphan.sink(encode_event("error", body));
+    }
+    jobs_failed_.fetch_add(1);
+  }
+}
+
+void Server::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (scheduler_.joinable()) scheduler_.join();
+  // Only after the scheduler drained: unblock session readers and join.
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    const std::lock_guard<std::mutex> lock(sessions_mutex_);
+    threads.swap(session_threads_);
+    sessions.swap(sessions_);
+  }
+  for (const auto& session : sessions) session->socket.shutdown_both();
+  for (std::thread& thread : threads) thread.join();
+}
+
+void Server::send_line(const std::shared_ptr<Session>& session,
+                       const std::string& line) {
+  if (!session->alive.load(std::memory_order_acquire)) return;
+  const std::lock_guard<std::mutex> lock(session->write_mutex);
+  if (!session->socket.send_all(line) || !session->socket.send_all("\n")) {
+    session->alive.store(false, std::memory_order_release);
+  }
+}
+
+EventSink Server::session_sink(const std::shared_ptr<Session>& session) {
+  return [session](const std::string& line) { send_line(session, line); };
+}
+
+util::Json Server::status_json() {
+  util::Json body;
+  body.set("proto", kProtocolVersion);
+  body.set("jobs_pending", static_cast<double>(queue_.pending()));
+  body.set("job_running", job_running_.load());
+  body.set("jobs_done", static_cast<double>(jobs_done_.load()));
+  body.set("jobs_failed", static_cast<double>(jobs_failed_.load()));
+  body.set("store_records", static_cast<double>(store_records_.load()));
+  body.set("store_dir", options_.store_dir);
+  return body;
+}
+
+void Server::session_loop(const std::shared_ptr<Session>& session) {
+  {
+    util::Json hello;
+    hello.set("proto", kProtocolVersion);
+    hello.set("server", "anthill-serve");
+    hello.set("store_dir", options_.store_dir);
+    hello.set("store_records", static_cast<double>(store_records_.load()));
+    send_line(session, encode_event("hello", hello));
+  }
+  util::net::LineReader reader(session->socket);
+  std::string line;
+  while (session->alive.load(std::memory_order_acquire) &&
+         reader.next_line(line)) {
+    if (line.empty()) continue;
+    Request request;
+    try {
+      request = parse_request(line);
+    } catch (const ProtocolError& e) {
+      util::Json body;
+      body.set("message", e.what());
+      send_line(session, encode_event("error", body));
+      continue;
+    }
+    switch (request.op) {
+      case Request::Op::kPing:
+        send_line(session, encode_event("pong", util::Json()));
+        break;
+      case Request::Op::kStatus:
+        send_line(session, encode_event("status", status_json()));
+        break;
+      case Request::Op::kSubmit: {
+        const std::size_t cells = spec_cells(request.spec);
+        const std::size_t sweeps = request.spec.sweeps.size();
+        const std::uint64_t id = queue_.submit(
+            std::move(request.spec), session_sink(session),
+            [&](std::uint64_t assigned) {
+              // Still under the queue lock: "accepted" is on the wire
+              // before the scheduler can emit anything for this job.
+              Job preview;
+              preview.id = assigned;
+              util::Json body;
+              body.set("job", preview.display_id());
+              body.set("sweeps", static_cast<double>(sweeps));
+              body.set("cells", static_cast<double>(cells));
+              send_line(session, encode_event("accepted", body));
+            });
+        if (id == 0) {
+          util::Json body;
+          body.set("message", "server is shutting down; submission refused");
+          send_line(session, encode_event("error", body));
+        }
+        break;
+      }
+      case Request::Op::kShutdown:
+        send_line(session, encode_event("bye", util::Json()));
+        request_stop();
+        break;
+    }
+  }
+  session->alive.store(false, std::memory_order_release);
+}
+
+void Server::scheduler_loop() {
+  while (auto job = queue_.pop()) {
+    job_running_.store(true);
+    execute_job(*job);
+    job_running_.store(false);
+  }
+}
+
+void Server::execute_job(Job& job) {
+  const std::string id = job.display_id();
+  const auto emit = [&](const char* kind, util::Json body) {
+    if (job.sink) {
+      body.set("job", id);
+      job.sink(encode_event(kind, std::move(body)));
+    }
+  };
+  try {
+    // Pick up every cell persisted by earlier jobs and by other writers
+    // (prior daemon lives, offline bench_spec runs) since the last job.
+    store_.reload();
+    store_records_.store(store_.size());
+
+    analysis::ResumeReport job_total;
+    util::Json sweep_records{util::Json::Array{}};
+    for (const analysis::SweepEntry& entry : job.spec.sweeps) {
+      const std::vector<analysis::Scenario> scenarios = entry.expand();
+      // Progress throttling: a block can be as small as one trial, and a
+      // million-cell sweep must not produce a million events — cap the
+      // stream at ~64 updates per sweep (plus the final one).
+      std::size_t last_emitted = 0;
+      const analysis::ProgressFn progress =
+          [&](const analysis::RunProgress& p) {
+            const std::size_t step =
+                std::max<std::size_t>(1, p.cells_fresh_total / 64);
+            if (p.cells_fresh_done != p.cells_fresh_total &&
+                p.cells_fresh_done < last_emitted + step) {
+              return;
+            }
+            last_emitted = p.cells_fresh_done;
+            util::Json body;
+            body.set("sweep", entry.name);
+            body.set("scenario", static_cast<double>(p.scenario));
+            body.set("scenarios", static_cast<double>(p.scenarios_total));
+            body.set("cells_done", static_cast<double>(p.cells_done()));
+            body.set("cells_total", static_cast<double>(p.cells_total));
+            body.set("cached", static_cast<double>(p.cells_cached));
+            body.set("fresh_done", static_cast<double>(p.cells_fresh_done));
+            body.set("fresh_total", static_cast<double>(p.cells_fresh_total));
+            emit("progress", std::move(body));
+          };
+
+      analysis::ResumeReport report;
+      const analysis::BatchResult batch = runner_.run_resumable(
+          scenarios, entry.trials, entry.base_seed, store_, &report,
+          job.sink ? progress : analysis::ProgressFn{});
+      job_total.cells_total += report.cells_total;
+      job_total.cells_cached += report.cells_cached;
+      job_total.cells_run += report.cells_run;
+
+      // The sweep's run manifest, reused verbatim as the job record entry.
+      analysis::ManifestInfo info;
+      info.threads = runner_.threads();
+      info.resume = &report;
+      info.store_dir = options_.store_dir;
+      util::Json record;
+      record.set("sweep", entry.name);
+      record.set("manifest", analysis::run_manifest_json(batch, info));
+      sweep_records.push_back(std::move(record));
+
+      util::Json done;
+      done.set("sweep", entry.name);
+      done.set("csv_name", spec_csv_name(entry.name));
+      done.set("csv_header", strings_to_json(batch.tidy_csv_header()));
+      done.set("rows", rows_to_json(batch.tidy_rows()));
+      done.set("cells_total", static_cast<double>(report.cells_total));
+      done.set("cached", static_cast<double>(report.cells_cached));
+      done.set("run", static_cast<double>(report.cells_run));
+      emit("sweep_done", std::move(done));
+    }
+
+    // Index this job's fresh shards so status/hello counts stay current
+    // even if no further job runs.
+    store_.reload();
+    store_records_.store(store_.size());
+
+    const std::string record_path = write_job_record(job, sweep_records);
+    util::Json done;
+    done.set("spec", job.spec.name);
+    done.set("cells_total", static_cast<double>(job_total.cells_total));
+    done.set("cached", static_cast<double>(job_total.cells_cached));
+    done.set("run", static_cast<double>(job_total.cells_run));
+    done.set("record", record_path.empty() ? util::Json(nullptr)
+                                           : util::Json(record_path));
+    emit("job_done", std::move(done));
+    jobs_done_.fetch_add(1);
+  } catch (const std::exception& e) {
+    util::Json body;
+    body.set("message", e.what());
+    emit("error", std::move(body));
+    jobs_failed_.fetch_add(1);
+  }
+}
+
+std::string Server::write_job_record(const Job& job,
+                                     const util::Json& sweep_records) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path dir = fs::path(options_.store_dir) / "jobs";
+  fs::create_directories(dir, ec);
+  if (ec) return {};
+  util::Json record;
+  record.set("job", job.display_id());
+  record.set("spec", job.spec.name);
+  record.set("git_sha", analysis::build_git_sha());
+  record.set("sweeps", sweep_records);
+  const fs::path path = dir / (job.display_id() + ".json");
+  std::ofstream out(path);
+  if (!out) return {};
+  out << util::dump_json(record, 2) << '\n';
+  if (!out) return {};
+  return path.string();
+}
+
+}  // namespace hh::service

@@ -1,0 +1,121 @@
+// The resident sweep daemon: accepts NDJSON requests over localhost TCP,
+// schedules submitted ExperimentSpecs on a persistent Runner, dedups
+// every (scenario_fingerprint, trial, trial_seed) cell against a shared
+// ResultStore, and streams progress/aggregate events back to the
+// submitting session.
+//
+// Threading model (DESIGN.md §7):
+//   * accept thread      — serve_forever(): hands sockets to sessions;
+//   * session threads    — one per connection: parse requests, enqueue
+//                          jobs, answer ping/status inline. All writes to
+//                          a session socket go through its own mutex, so
+//                          scheduler events and inline replies interleave
+//                          whole-line, never mid-byte;
+//   * scheduler thread   — exactly ONE: owns the Runner and the store.
+//                          Jobs run serially; the store reload()s before
+//                          each job, so every job sees all cells any
+//                          earlier job (or prior daemon life) persisted.
+//                          Serial execution is what makes reload() safe —
+//                          find() never races a writer in this process.
+//
+// Results are bit-identical to a cold `bench_spec --spec` run of the same
+// spec: same Runner seeding, same store fingerprints, same tidy rows.
+#ifndef HH_SERVICE_SERVER_HPP
+#define HH_SERVICE_SERVER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/result_store.hpp"
+#include "analysis/runner.hpp"
+#include "service/job.hpp"
+#include "util/socket.hpp"
+
+namespace hh::service {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;   ///< 0 = kernel-assigned (read back via port())
+  std::string store_dir;    ///< REQUIRED: the shared result-store directory
+  unsigned threads = 0;     ///< runner workers (0 = all cores)
+  /// Writer namespace for this daemon's shards. Run N daemons against one
+  /// store dir by giving each its own namespace.
+  std::string writer_namespace = "serve";
+};
+
+class Server {
+ public:
+  /// Binds and opens the store. Throws std::runtime_error when the
+  /// address can't be bound or store_dir is empty.
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+  [[nodiscard]] const analysis::ResultStore& store() const { return store_; }
+
+  /// Accept loop; returns once request_stop() is called. Call directly
+  /// (daemon main) or via start() (tests, in-process benches).
+  void serve_forever();
+
+  /// serve_forever() on a background thread.
+  void start();
+
+  /// Async stop: close the listener, cancel queued jobs (their sinks get
+  /// an error event), let the in-flight job finish, then drop sessions.
+  void request_stop();
+
+  /// Join everything started by start()/serve_forever(). Idempotent.
+  void wait();
+
+ private:
+  /// One connected client: its socket plus the write lock that keeps
+  /// event lines whole under concurrent writers.
+  struct Session {
+    util::net::Socket socket;
+    std::mutex write_mutex;
+    std::atomic<bool> alive{true};
+  };
+
+  void session_loop(const std::shared_ptr<Session>& session);
+  void scheduler_loop();
+  void execute_job(Job& job);
+  /// Persist the job record (<store>/jobs/job-NNNNNN.json); "" on failure.
+  std::string write_job_record(const Job& job,
+                               const util::Json& sweep_records);
+  /// Send one event line to a session; marks it dead on failure.
+  static void send_line(const std::shared_ptr<Session>& session,
+                        const std::string& line);
+  /// An EventSink bound to `session` (drops silently once it died).
+  [[nodiscard]] static EventSink session_sink(
+      const std::shared_ptr<Session>& session);
+  [[nodiscard]] util::Json status_json();
+
+  ServerOptions options_;
+  util::net::Listener listener_;
+  analysis::ResultStore store_;
+  analysis::Runner runner_;
+  JobQueue queue_;
+
+  std::thread scheduler_;
+  std::thread accept_thread_;       ///< only under start()
+  std::vector<std::thread> session_threads_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  std::mutex sessions_mutex_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> jobs_done_{0};
+  std::atomic<std::size_t> jobs_failed_{0};
+  std::atomic<bool> job_running_{false};
+  std::atomic<std::size_t> store_records_{0};
+};
+
+}  // namespace hh::service
+
+#endif  // HH_SERVICE_SERVER_HPP

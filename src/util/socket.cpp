@@ -1,0 +1,205 @@
+#include "util/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace hh::util::net {
+namespace {
+
+/// Fill a sockaddr_in for a numeric IPv4 host. False on a bad address.
+bool make_addr(const std::string& host, std::uint16_t port,
+               sockaddr_in& addr) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  return ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Socket
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket::~Socket() { close(); }
+
+Socket Socket::connect_tcp(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr;
+  if (!make_addr(host, port, addr)) return Socket();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Socket();
+  while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+         0) {
+    if (errno == EINTR) continue;
+    ::close(fd);
+    return Socket();
+  }
+  // The protocol is small request/event lines; don't batch them.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+bool Socket::send_all(std::string_view bytes) {
+  if (fd_ < 0) return false;
+  const char* data = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    ssize_t n = ::send(fd_, data, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+long Socket::recv_some(char* buf, std::size_t len) {
+  if (fd_ < 0) return -1;
+  while (true) {
+    ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LineReader
+
+bool LineReader::next_line(std::string& line) {
+  while (true) {
+    std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return true;
+    }
+    if (eof_) {
+      if (buffer_.empty()) return false;
+      line = std::move(buffer_);  // final unterminated line
+      buffer_.clear();
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return true;
+    }
+    char chunk[4096];
+    long n = socket_->recv_some(chunk, sizeof(chunk));
+    if (n <= 0) {
+      eof_ = true;
+      continue;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Listener
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_),
+      port_(other.port_),
+      closed_(other.closed_.load()) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+Listener::~Listener() {
+  close();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener Listener::bind_tcp(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr;
+  if (!make_addr(host, port, addr)) return Listener();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Listener();
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Listener();
+  }
+  // Read back the actual port (resolves port 0 to the kernel's pick).
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return Listener();
+  }
+  Listener listener;
+  listener.fd_ = fd;
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+Socket Listener::accept() {
+  // Poll with a short timeout so close() from another thread is seen
+  // promptly (closing an fd does not reliably wake a blocked accept()).
+  while (fd_ >= 0 && !closed_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    int rc = ::poll(&pfd, 1, 250);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Socket();
+    }
+    if (rc == 0) continue;  // timeout: re-check closed_
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return Socket();
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Socket(fd);
+  }
+  return Socket();
+}
+
+void Listener::close() {
+  // Mark closed and shut down, but keep the fd number alive until the
+  // destructor — actually closing here could let the kernel reuse the fd
+  // for a new connection while another thread is still inside accept().
+  bool was_closed = closed_.exchange(true, std::memory_order_acq_rel);
+  if (!was_closed && fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);  // unblock a concurrent accept()'s poll
+  }
+}
+
+}  // namespace hh::util::net

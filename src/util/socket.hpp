@@ -1,0 +1,115 @@
+// Minimal POSIX stream-socket wrapper for the sweep service: a TCP
+// listener bound to localhost, an RAII connected socket, and a buffered
+// newline-delimited reader — exactly what an NDJSON line protocol needs,
+// nothing more. No external dependencies; Linux/POSIX only (the service
+// layer is gated off on platforms without <sys/socket.h>).
+//
+// Error model: constructors/factories return INVALID objects on failure
+// (check valid()); I/O methods return false/-1 — the service layer turns
+// these into dropped sessions, never exceptions across threads. Writes
+// never raise SIGPIPE (MSG_NOSIGNAL).
+#ifndef HH_UTIL_SOCKET_HPP
+#define HH_UTIL_SOCKET_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hh::util::net {
+
+/// RAII over one connected stream socket. Move-only; the destructor
+/// closes. A default-constructed Socket is invalid.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket();
+
+  /// Connect to host:port (numeric IPv4 host, e.g. "127.0.0.1").
+  /// Invalid socket on failure.
+  [[nodiscard]] static Socket connect_tcp(const std::string& host,
+                                          std::uint16_t port);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Send the whole buffer, handling partial writes and EINTR. False on
+  /// any error (peer gone); never raises SIGPIPE.
+  bool send_all(std::string_view bytes);
+
+  /// Read up to `len` bytes. Returns bytes read (> 0), 0 on orderly EOF,
+  /// -1 on error.
+  [[nodiscard]] long recv_some(char* buf, std::size_t len);
+
+  /// Shut down both directions — unblocks a recv_some() in another
+  /// thread (the fd itself stays owned until destruction/close()).
+  void shutdown_both();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Buffered newline-delimited reader over a Socket.
+class LineReader {
+ public:
+  explicit LineReader(Socket& socket) : socket_(&socket) {}
+
+  /// Next line WITHOUT its trailing '\n' ('\r\n' is tolerated and
+  /// stripped). A final unterminated line is delivered at EOF. Returns
+  /// false on EOF/error with nothing buffered.
+  bool next_line(std::string& line);
+
+  /// Repoint at `socket`, keeping buffered bytes — for owners whose
+  /// Socket member moved (e.g. a move-constructed client).
+  void rebind(Socket& socket) { socket_ = &socket; }
+
+ private:
+  Socket* socket_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+/// Listening TCP socket. Move-constructible only (no assignment — the
+/// close flag is sticky); the destructor closes.
+class Listener {
+ public:
+  Listener() = default;
+  Listener(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  Listener& operator=(Listener&&) = delete;
+  ~Listener();
+
+  /// Bind + listen on host:port (port 0 = kernel-assigned ephemeral
+  /// port, readable back via port()). Invalid listener on failure.
+  [[nodiscard]] static Listener bind_tcp(const std::string& host,
+                                         std::uint16_t port);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  /// The actually bound port (resolves port 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Accept one connection. Blocks (in a poll loop) until a peer
+  /// arrives or close() is called from another thread; returns an
+  /// invalid Socket on close/error.
+  [[nodiscard]] Socket accept();
+
+  /// Close the listening socket; unblocks concurrent accept() calls.
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace hh::util::net
+
+#endif  // HH_UTIL_SOCKET_HPP

@@ -1,6 +1,6 @@
-// The shared bench-driver front-end: flag parsing (including the
-// deprecated resume_dir_from_args equivalence), the declare/override/run
-// model, and the acceptance property the redesign is named for —
+// The shared bench-driver front-end: flag parsing, the
+// declare/override/run model, and the acceptance property the redesign
+// is named for —
 // `driver --dump-spec | driver --spec -` reproduces the flag-driven run's
 // fingerprints and tidy CSV at any thread count.
 #include "analysis/cli.hpp"
@@ -46,17 +46,6 @@ TEST(CliOptions, DefaultsMatchNoFlags) {
   EXPECT_EQ(o.threads, 0u);
   EXPECT_FALSE(o.trials.has_value());
   EXPECT_FALSE(o.base_seed.has_value());
-}
-
-TEST(CliOptions, MatchesDeprecatedResumeDirHelper) {
-  // Satellite contract: the folded-in parser preserves the free
-  // function's behavior for the flag's presence/absence.
-  const char* with[] = {"prog", "--resume-dir", "/stores/a"};
-  const char* without[] = {"prog", "--threads", "2"};
-  EXPECT_EQ(parse({"--resume-dir", "/stores/a"}).resume_dir,
-            resume_dir_from_args(3, const_cast<char**>(with)));
-  EXPECT_EQ(parse({"--threads", "2"}).resume_dir,
-            resume_dir_from_args(3, const_cast<char**>(without)));
 }
 
 SweepSpec small_sweep(std::uint32_t n) {

@@ -33,37 +33,6 @@ TEST(Aggregate, EmptyAndAllFailed) {
   EXPECT_TRUE(agg.round_samples.empty());
 }
 
-TEST(RunTrials, FeedsDistinctDeterministicSeeds) {
-  std::vector<std::uint64_t> seen;
-  const auto trials = run_trials(
-      [&](std::uint64_t seed) {
-        seen.push_back(seed);
-        TrialStats t;
-        t.converged = true;
-        t.rounds = static_cast<double>(seed % 97);
-        return t;
-      },
-      5, 42);
-  EXPECT_EQ(trials.size(), 5u);
-  EXPECT_EQ(seen.size(), 5u);
-  for (std::size_t i = 1; i < seen.size(); ++i) EXPECT_NE(seen[0], seen[i]);
-
-  // Re-running with the same base seed gives the same seeds.
-  std::vector<std::uint64_t> seen2;
-  (void)run_trials(
-      [&](std::uint64_t seed) {
-        seen2.push_back(seed);
-        return TrialStats{};
-      },
-      5, 42);
-  EXPECT_EQ(seen, seen2);
-}
-
-TEST(RunTrials, ZeroCountThrows) {
-  EXPECT_THROW((void)run_trials([](std::uint64_t) { return TrialStats{}; }, 0, 1),
-               ContractViolation);
-}
-
 TEST(ToTrialStats, CopiesRunResultFields) {
   core::RunResult r;
   r.converged = true;
@@ -75,25 +44,6 @@ TEST(ToTrialStats, CopiesRunResultFields) {
   EXPECT_DOUBLE_EQ(t.rounds, 17.0);
   EXPECT_EQ(t.winner, 3u);
   EXPECT_DOUBLE_EQ(t.winner_quality, 1.0);
-}
-
-TEST(RunAlgorithmTrials, AggregatesRealRuns) {
-  const auto cfg = hh::test::small_config(64, 4, 2);
-  const Aggregate agg =
-      run_algorithm_trials(cfg, core::AlgorithmKind::kSimple, 8, 99);
-  EXPECT_EQ(agg.trials, 8u);
-  EXPECT_DOUBLE_EQ(agg.convergence_rate, 1.0);
-  EXPECT_GT(agg.rounds.median, 0.0);
-  EXPECT_DOUBLE_EQ(agg.mean_winner_quality, 1.0);
-}
-
-TEST(RunAlgorithmTrials, DeterministicPerBaseSeed) {
-  const auto cfg = hh::test::small_config(64, 4, 2);
-  const Aggregate a =
-      run_algorithm_trials(cfg, core::AlgorithmKind::kSimple, 4, 7);
-  const Aggregate b =
-      run_algorithm_trials(cfg, core::AlgorithmKind::kSimple, 4, 7);
-  EXPECT_EQ(a.round_samples, b.round_samples);
 }
 
 }  // namespace

@@ -1,0 +1,110 @@
+// Tests of the run-manifest sidecar: document shape, cache accounting
+// (explicit ResumeReport vs engine-count inference), and the sidecar
+// naming next to the CSV artifact.
+#include "analysis/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/result_store.hpp"
+#include "analysis/runner.hpp"
+#include "analysis/spec.hpp"
+#include "test_util.hpp"
+#include "util/json.hpp"
+
+namespace hh::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+BatchResult small_batch() {
+  const auto scenarios = SweepSpec("manifest")
+                             .base(test::small_config(48, 2, 1))
+                             .algorithms({core::AlgorithmKind::kSimple})
+                             .colony_sizes({32, 48})
+                             .expand();
+  return Runner(RunnerOptions{1}).run(scenarios, 4, 99);
+}
+
+TEST(Manifest, RecordsIdentityThreadsAndEngineSplit) {
+  const BatchResult batch = small_batch();
+  ManifestInfo info;
+  info.threads = 3;
+  const util::Json doc = run_manifest_json(batch, info);
+
+  EXPECT_EQ(doc.find("anthill_manifest")->as_number(), 1.0);
+  EXPECT_FALSE(doc.find("git_sha")->as_string().empty());
+  EXPECT_EQ(doc.find("threads")->as_number(), 3.0);
+  EXPECT_EQ(doc.find("trials_per_scenario")->as_number(), 4.0);
+  EXPECT_EQ(doc.find("base_seed")->as_string(), "99");
+  EXPECT_TRUE(doc.find("store_dir")->is_null());
+
+  // Every scenario appears with its store fingerprint and the exact
+  // identity document that fingerprint hashes.
+  const util::Json& scenarios = *doc.find("scenarios");
+  ASSERT_EQ(scenarios.as_array().size(), batch.results.size());
+  for (std::size_t i = 0; i < batch.results.size(); ++i) {
+    const util::Json& entry = scenarios.as_array()[i];
+    EXPECT_EQ(entry.find("name")->as_string(),
+              batch.results[i].scenario.name);
+    char expected[17];
+    std::snprintf(expected, sizeof(expected), "%016llx",
+                  static_cast<unsigned long long>(
+                      scenario_fingerprint(batch.results[i].scenario)));
+    EXPECT_EQ(entry.find("fingerprint")->as_string(), expected);
+    EXPECT_EQ(*entry.find("identity"),
+              util::parse_json(
+                  scenario_identity_json(batch.results[i].scenario)));
+  }
+
+  // A fresh run has no cache-served trials: inference says cached == 0.
+  const util::Json& cells = *doc.find("cells");
+  EXPECT_EQ(cells.find("total")->as_number(), 8.0);
+  EXPECT_EQ(cells.find("cached")->as_number(), 0.0);
+  EXPECT_EQ(cells.find("run")->as_number(), 8.0);
+}
+
+TEST(Manifest, PrefersTheResumeReportWhenPresent) {
+  const BatchResult batch = small_batch();
+  ResumeReport report;
+  report.cells_total = 8;
+  report.cells_cached = 5;
+  report.cells_run = 3;
+  ManifestInfo info;
+  info.threads = 1;
+  info.resume = &report;
+  info.store_dir = "runs/store";
+  const util::Json doc = run_manifest_json(batch, info);
+  const util::Json& cells = *doc.find("cells");
+  EXPECT_EQ(cells.find("cached")->as_number(), 5.0);
+  EXPECT_EQ(cells.find("run")->as_number(), 3.0);
+  EXPECT_EQ(doc.find("store_dir")->as_string(), "runs/store");
+}
+
+TEST(Manifest, WritesSidecarNextToTheCsv) {
+  test::TempDir dir("manifest");
+  fs::create_directories(dir.path);
+  const BatchResult batch = small_batch();
+  ManifestInfo info;
+  info.threads = 2;
+
+  const std::string csv = (dir.path / "spec_demo.csv").string();
+  const std::string path = write_run_manifest(csv, batch, info);
+  EXPECT_EQ(path, (dir.path / "spec_demo.manifest.json").string());
+  ASSERT_TRUE(fs::exists(path));
+
+  // The file parses back to exactly the in-memory document.
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  EXPECT_EQ(util::parse_json(text.str()), run_manifest_json(batch, info));
+
+  // Empty CSV path (write_csv failed): no manifest, no throw.
+  EXPECT_EQ(write_run_manifest("", batch, info), "");
+}
+
+}  // namespace
+}  // namespace hh::analysis

@@ -131,6 +131,108 @@ TEST(ResultStore, ForeignFileWithBadHeaderIsSkipped) {
   EXPECT_EQ(store.dropped_records(), 1u);
 }
 
+TEST(ResultStore, WriterNamespaceTagsShardFilenames) {
+  const TempDir dir("namespace");
+  ResultStore store(dir.path, "worker/7");  // '/' must be sanitized
+  EXPECT_EQ(store.writer_namespace(), "worker_7");
+  auto writer = store.open_shard();
+  writer->append(TrialKey{1, 1, 0}, sample_stats(0));
+  writer->flush();
+  std::size_t shards = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    ++shards;
+    EXPECT_NE(entry.path().filename().string().find("shard-worker_7-"),
+              std::string::npos)
+        << entry.path();
+  }
+  EXPECT_EQ(shards, 1u);
+}
+
+TEST(ResultStore, ReloadPicksUpAnotherWritersRecords) {
+  const TempDir dir("reload");
+  ResultStore reader(dir.path, "reader");
+  EXPECT_EQ(reader.size(), 0u);
+  {
+    ResultStore writer_store(dir.path, "writer");
+    auto writer = writer_store.open_shard();
+    for (std::uint32_t i = 0; i < 5; ++i) {
+      writer->append(TrialKey{3, 3, i}, sample_stats(i));
+    }
+  }
+  // Nothing visible until an explicit reload; then everything is.
+  EXPECT_EQ(reader.find(TrialKey{3, 3, 0}), nullptr);
+  EXPECT_EQ(reader.reload(), 5u);
+  EXPECT_EQ(reader.size(), 5u);
+  EXPECT_NE(reader.find(TrialKey{3, 3, 4}), nullptr);
+  // A second reload with nothing new indexes nothing.
+  EXPECT_EQ(reader.reload(), 0u);
+  EXPECT_EQ(reader.dropped_records(), 0u);
+}
+
+TEST(ResultStore, ReloadReverifiesATornTailThatCompletesLater) {
+  const TempDir dir("reload-torn");
+  fs::path shard;
+  {
+    ResultStore store(dir.path);
+    auto writer = store.open_shard();
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      writer->append(TrialKey{4, 4, i}, sample_stats(i));
+    }
+  }
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    shard = entry.path();
+  }
+  // Keep the complete image, then truncate mid-record to simulate a read
+  // that raced a live writer's append.
+  std::string full;
+  {
+    std::ifstream in(shard, std::ios::binary);
+    full.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  fs::resize_file(shard, full.size() - 20);
+  ResultStore reader(dir.path);
+  EXPECT_EQ(reader.size(), 2u);
+  EXPECT_EQ(reader.dropped_records(), 1u);
+  // The "writer" finishes its append; reload must recover the record the
+  // first scan saw only partially.
+  std::ofstream(shard, std::ios::binary) << full;
+  EXPECT_EQ(reader.reload(), 1u);
+  EXPECT_EQ(reader.size(), 3u);
+  EXPECT_NE(reader.find(TrialKey{4, 4, 2}), nullptr);
+}
+
+TEST(ResultStore, CompactMergesEveryShardIntoOne) {
+  const TempDir dir("compact");
+  {
+    ResultStore a(dir.path, "a");
+    ResultStore b(dir.path, "b");
+    auto wa = a.open_shard();
+    auto wb = b.open_shard();
+    for (std::uint32_t i = 0; i < 6; ++i) {
+      (i % 2 == 0 ? wa : wb)->append(TrialKey{8, 8, i}, sample_stats(i));
+    }
+  }
+  ResultStore store(dir.path, "merger");
+  EXPECT_EQ(store.shard_files(), 2u);
+  EXPECT_EQ(store.size(), 6u);
+  const auto report = store.compact();
+  EXPECT_EQ(report.records, 6u);
+  EXPECT_EQ(report.removed_files, 2u);
+  EXPECT_EQ(store.shard_files(), 1u);
+  EXPECT_EQ(store.size(), 6u);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    ASSERT_NE(store.find(TrialKey{8, 8, i}), nullptr);
+    EXPECT_EQ(store.find(TrialKey{8, 8, i})->rounds, 17.0 + i);
+  }
+  // A cold reopen of the compacted directory sees the same index, and a
+  // second compact is a no-op shape-wise (one shard in, one shard out).
+  ResultStore reopened(dir.path);
+  EXPECT_EQ(reopened.shard_files(), 1u);
+  EXPECT_EQ(reopened.size(), 6u);
+  EXPECT_EQ(reopened.dropped_records(), 0u);
+}
+
 TEST(ScenarioFingerprint, SensitiveToOutcomeAffectingFields) {
   const Scenario base = Scenario::of("a", core::AlgorithmKind::kSimple,
                                      test::small_config(64, 4, 2));

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <set>
 
+#include "analysis/result_store.hpp"
 #include "test_util.hpp"
 
 namespace hh::analysis {
@@ -196,19 +197,52 @@ TEST(Runner, ParallelForPropagatesExceptions) {
       std::runtime_error);
 }
 
-TEST(Runner, MatchesLegacyRunAlgorithmTrialsSemantics) {
-  // Not bit-compatibility (seed derivations differ by design) but
-  // equivalent statistics: same config, same trial count, both engines
-  // should see every trial converge to a good nest.
-  const auto cfg = test::small_config(128, 4, 2);
-  const auto legacy = run_algorithm_trials(cfg, core::AlgorithmKind::kSimple,
-                                           10, 0x7E57);
-  auto sc = Scenario::of("legacy", core::AlgorithmKind::kSimple, cfg);
-  const auto batch = Runner(RunnerOptions{2}).run({sc}, 10, 0x7E57);
-  EXPECT_EQ(legacy.trials, batch.results[0].aggregate.trials);
-  EXPECT_EQ(legacy.converged, 10u);
-  EXPECT_EQ(batch.results[0].aggregate.converged, 10u);
-  EXPECT_DOUBLE_EQ(batch.results[0].aggregate.mean_winner_quality, 1.0);
+TEST(Runner, ProgressSnapshotsCoverEveryFreshCell) {
+  // Cold run: cumulative fresh-done counts must be strictly increasing
+  // and end exactly at the cell count, with no cells reported cached.
+  const auto cfg = test::small_config(48, 3, 1);
+  const std::vector<Scenario> scenarios = {
+      Scenario::of("a", core::AlgorithmKind::kSimple, cfg),
+      Scenario::of("b", core::AlgorithmKind::kQuorum, cfg)};
+  std::vector<RunProgress> seen;
+  const auto batch = Runner(RunnerOptions{2}).run(
+      scenarios, 5, 0x7E57,
+      [&](const RunProgress& p) { seen.push_back(p); });
+  ASSERT_FALSE(seen.empty());
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_GT(seen[i].cells_fresh_done, seen[i - 1].cells_fresh_done);
+  }
+  const RunProgress& last = seen.back();
+  EXPECT_TRUE(last.finished());
+  EXPECT_EQ(last.cells_total, 10u);
+  EXPECT_EQ(last.cells_cached, 0u);
+  EXPECT_EQ(last.cells_fresh_done, 10u);
+  EXPECT_EQ(last.scenarios_total, 2u);
+  EXPECT_LT(last.scenario, 2u);
+  EXPECT_EQ(batch.results[0].aggregate.trials, 5u);
+}
+
+TEST(Runner, ProgressOnFullyCachedRunReportsAllCellsUpFront) {
+  // Warm run: nothing executes, but the sink still gets one snapshot
+  // saying every cell was served from the store.
+  const test::TempDir dir("runner-progress");
+  const auto cfg = test::small_config(48, 3, 1);
+  const std::vector<Scenario> scenarios = {
+      Scenario::of("a", core::AlgorithmKind::kSimple, cfg)};
+  const Runner runner(RunnerOptions{2});
+  {
+    ResultStore store(dir.path);
+    (void)runner.run_resumable(scenarios, 4, 0xF00D, store);
+  }
+  ResultStore store(dir.path);
+  std::vector<RunProgress> seen;
+  (void)runner.run_resumable(scenarios, 4, 0xF00D, store, nullptr,
+                             [&](const RunProgress& p) { seen.push_back(p); });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_TRUE(seen[0].finished());
+  EXPECT_EQ(seen[0].cells_total, 4u);
+  EXPECT_EQ(seen[0].cells_cached, 4u);
+  EXPECT_EQ(seen[0].cells_fresh_total, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,207 @@
+// End-to-end tests of the sweep service: an in-process Server plus real
+// TCP clients. The load-bearing contract is byte-identity — serve+client
+// must produce EXACTLY the CSV a cold offline run writes, and a warm
+// resubmission must be 100% cache-served with identical output.
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/report.hpp"
+#include "analysis/runner.hpp"
+#include "analysis/spec.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "test_util.hpp"
+#include "util/csv.hpp"
+#include "util/socket.hpp"
+
+namespace hh::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+analysis::ExperimentSpec tiny_spec() {
+  analysis::SweepEntry entry;
+  entry.name = "serve-tiny";
+  entry.trials = 3;
+  entry.base_seed = 0xF00D;
+  entry.sweep = analysis::SweepSpec("serve-tiny")
+                    .base(test::small_config(48, 2, 1))
+                    .algorithms({core::AlgorithmKind::kSimple,
+                                 core::AlgorithmKind::kOptimal})
+                    .colony_sizes({32, 48});
+  analysis::ExperimentSpec spec;
+  spec.name = "serve-e2e";
+  spec.sweeps.push_back(std::move(entry));
+  return spec;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// The bytes bench_spec's write_csv would emit for this batch.
+std::string offline_csv_bytes(const analysis::BatchResult& batch) {
+  std::ostringstream out;
+  util::CsvWriter csv(out);
+  csv.header(batch.tidy_csv_header());
+  for (const auto& row : batch.tidy_rows()) csv.row(row);
+  return out.str();
+}
+
+struct ServeFixture {
+  test::TempDir dir{"service"};
+  Server server;
+
+  ServeFixture()
+      : server(ServerOptions{
+            .host = "127.0.0.1",
+            .port = 0,
+            .store_dir = (dir.path / "store").string(),
+            .threads = 2,
+            .writer_namespace = "serve",
+        }) {
+    server.start();
+  }
+  ~ServeFixture() {
+    server.request_stop();
+    server.wait();
+  }
+
+  [[nodiscard]] Client connect() const {
+    return Client::connect("127.0.0.1", server.port());
+  }
+};
+
+TEST(Service, HelloPingAndStatusRoundTrip) {
+  ServeFixture serve;
+  Client client = serve.connect();
+  ASSERT_TRUE(client.connected()) << client.error();
+  EXPECT_EQ(client.server_store_records(), 0u);
+  EXPECT_TRUE(client.ping());
+  const util::Json status = client.status();
+  ASSERT_TRUE(status.is_object()) << client.error();
+  EXPECT_EQ(status.find("jobs_done")->as_number(), 0.0);
+  EXPECT_EQ(status.find("store_records")->as_number(), 0.0);
+  EXPECT_FALSE(status.find("job_running")->as_bool());
+}
+
+TEST(Service, ColdJobMatchesOfflineRunByteForByte) {
+  ServeFixture serve;
+  const analysis::ExperimentSpec spec = tiny_spec();
+
+  Client client = serve.connect();
+  ASSERT_TRUE(client.connected()) << client.error();
+  std::size_t progress_events = 0;
+  const JobOutcome outcome = client.submit(
+      spec, [&](const util::Json&) { ++progress_events; });
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.job_id, "job-000001");
+  EXPECT_EQ(outcome.cells_total, 12u);
+  EXPECT_EQ(outcome.cached, 0u);
+  EXPECT_EQ(outcome.run, 12u);
+  EXPECT_GE(progress_events, 1u);
+  ASSERT_EQ(outcome.sweeps.size(), 1u);
+  EXPECT_EQ(outcome.sweeps[0].csv_name, "spec_serve_tiny");
+
+  // Byte-identity against a cold offline run of the same spec.
+  const analysis::Runner runner(analysis::RunnerOptions{1});
+  const analysis::BatchResult offline = runner.run(
+      spec.sweeps[0].expand(), spec.sweeps[0].trials, spec.sweeps[0].base_seed);
+  const fs::path out_dir = serve.dir.path / "client_out";
+  const auto paths = write_outcome_csvs(outcome, out_dir.string());
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(slurp(paths[0]), offline_csv_bytes(offline));
+
+  // The job record landed under <store>/jobs.
+  EXPECT_FALSE(outcome.record_path.empty());
+  EXPECT_TRUE(fs::exists(outcome.record_path));
+}
+
+TEST(Service, WarmResubmissionIsFullyCachedAndIdentical) {
+  ServeFixture serve;
+  const analysis::ExperimentSpec spec = tiny_spec();
+
+  Client first = serve.connect();
+  ASSERT_TRUE(first.connected()) << first.error();
+  const JobOutcome cold = first.submit(spec);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_EQ(cold.run, 12u);
+
+  // A NEW connection resubmitting the same spec: zero simulation.
+  Client second = serve.connect();
+  ASSERT_TRUE(second.connected()) << second.error();
+  EXPECT_EQ(second.server_store_records(), 12u);
+  const JobOutcome warm = second.submit(spec);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_EQ(warm.cells_total, 12u);
+  EXPECT_EQ(warm.cached, 12u);
+  EXPECT_EQ(warm.run, 0u);
+
+  const auto cold_paths =
+      write_outcome_csvs(cold, (serve.dir.path / "cold").string());
+  const auto warm_paths =
+      write_outcome_csvs(warm, (serve.dir.path / "warm").string());
+  ASSERT_EQ(cold_paths.size(), 1u);
+  ASSERT_EQ(warm_paths.size(), 1u);
+  EXPECT_EQ(slurp(cold_paths[0]), slurp(warm_paths[0]));
+}
+
+TEST(Service, MalformedLinesGetErrorEventsNotDisconnects) {
+  ServeFixture serve;
+  util::net::Socket socket =
+      util::net::Socket::connect_tcp("127.0.0.1", serve.server.port());
+  ASSERT_TRUE(socket.valid());
+  util::net::LineReader reader(socket);
+  std::string line;
+  ASSERT_TRUE(reader.next_line(line));
+  EXPECT_EQ(parse_event(line).kind, "hello");
+
+  ASSERT_TRUE(socket.send_all("this is not json\n"));
+  ASSERT_TRUE(reader.next_line(line));
+  EXPECT_EQ(parse_event(line).kind, "error");
+
+  ASSERT_TRUE(socket.send_all("{\"op\":\"frobnicate\"}\n"));
+  ASSERT_TRUE(reader.next_line(line));
+  EXPECT_EQ(parse_event(line).kind, "error");
+
+  ASSERT_TRUE(socket.send_all("{\"op\":\"submit\",\"spec\":{\"bogus\":1}}\n"));
+  ASSERT_TRUE(reader.next_line(line));
+  EXPECT_EQ(parse_event(line).kind, "error");
+
+  // The session survived all three: a ping still answers.
+  ASSERT_TRUE(socket.send_all("{\"op\":\"ping\"}\n"));
+  ASSERT_TRUE(reader.next_line(line));
+  EXPECT_EQ(parse_event(line).kind, "pong");
+}
+
+TEST(Service, ShutdownOverTheWireStopsTheServer) {
+  test::TempDir dir("service-stop");
+  Server server(ServerOptions{.store_dir = (dir.path / "store").string(),
+                              .threads = 1});
+  server.start();
+  Client client = Client::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.connected()) << client.error();
+  EXPECT_TRUE(client.shutdown_server());
+  server.wait();  // must return: accept + scheduler + sessions all joined
+}
+
+TEST(Service, SpecCsvNameMatchesBenchSpecNaming) {
+  // The naming contract behind byte-identity: both sides sanitize the
+  // sweep name the same way.
+  EXPECT_EQ(spec_csv_name("idle-vs-simple"), "spec_idle_vs_simple");
+  EXPECT_EQ(spec_csv_name("a b/c"), "spec_a_b_c");
+  EXPECT_EQ(spec_csv_name("Alnum09"), "spec_Alnum09");
+}
+
+}  // namespace
+}  // namespace hh::service

@@ -1,0 +1,148 @@
+// Cross-process ResultStore tests: two OS processes (fork) writing into
+// ONE store directory at once under disjoint writer namespaces, then a
+// fresh store indexing both writers' shards, serving a fully-cached rerun
+// whose CSV is byte-identical to a cold single-process run at 1, 2, and 8
+// threads — the invariant DESIGN.md §7 promises for the sweep service.
+#include "analysis/result_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "analysis/runner.hpp"
+#include "test_util.hpp"
+#include "util/csv.hpp"
+
+namespace hh::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Each process owns ONE of these sweeps — disjoint scenario
+/// fingerprints, so neither writer can be served from the other's cache
+/// and BOTH must produce shards no matter how fork scheduling interleaves
+/// them.
+SweepSpec writer_sweep(core::AlgorithmKind kind) {
+  return SweepSpec(kind == core::AlgorithmKind::kSimple ? "xproc-simple"
+                                                        : "xproc-optimal")
+      .base(test::small_config(48, 2, 1))
+      .algorithms({kind})
+      .colony_sizes({32, 48});
+}
+
+constexpr std::size_t kTrials = 6;
+constexpr std::uint64_t kSeed = 0xCAFE;
+
+std::string csv_bytes(const BatchResult& batch) {
+  std::ostringstream out;
+  util::CsvWriter csv(out);
+  csv.header(batch.tidy_csv_header());
+  for (const auto& row : batch.tidy_rows()) csv.row(row);
+  return out.str();
+}
+
+/// Run one sweep resumably in THIS process under `ns`. Returns false on
+/// any failure (usable from the forked child, where gtest assertions
+/// must not fire). A cold directory means every cell must actually run.
+bool run_as_writer(const fs::path& dir, const std::string& ns,
+                   core::AlgorithmKind kind) {
+  try {
+    ResultStore store(dir, ns);
+    const Runner runner(RunnerOptions{2});
+    ResumeReport report;
+    const BatchResult batch = runner.run_resumable(
+        writer_sweep(kind).expand(), kTrials, kSeed, store, &report);
+    return batch.results.size() == 2 && report.cells_total == 12 &&
+           report.cells_run == 12;
+  } catch (...) {
+    return false;
+  }
+}
+
+TEST(StoreConcurrency, TwoProcessesOneDirectoryThenByteIdenticalWarmRuns) {
+  test::TempDir dir("xproc-store");
+  const fs::path store_dir = dir.path / "store";
+
+  // Child and parent run their own sweeps concurrently into one
+  // directory, each under its own writer namespace — racing writers,
+  // disjoint files, disjoint cells.
+  const pid_t child = fork();
+  ASSERT_GE(child, 0) << "fork failed";
+  if (child == 0) {
+    _exit(run_as_writer(store_dir, "alpha", core::AlgorithmKind::kSimple)
+              ? 0
+              : 1);
+  }
+  const bool parent_ok =
+      run_as_writer(store_dir, "beta", core::AlgorithmKind::kOptimal);
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  EXPECT_TRUE(parent_ok);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0) << "child writer failed";
+
+  // Both writers' shards coexist under their own names.
+  bool saw_alpha = false;
+  bool saw_beta = false;
+  for (const auto& entry : fs::directory_iterator(store_dir)) {
+    const std::string name = entry.path().filename().string();
+    saw_alpha = saw_alpha || name.find("shard-alpha-") == 0;
+    saw_beta = saw_beta || name.find("shard-beta-") == 0;
+  }
+  EXPECT_TRUE(saw_alpha);
+  EXPECT_TRUE(saw_beta);
+
+  // Reference: cold runs of both sweeps, no store at all.
+  const auto simple = writer_sweep(core::AlgorithmKind::kSimple).expand();
+  const auto optimal = writer_sweep(core::AlgorithmKind::kOptimal).expand();
+  const std::string cold_simple =
+      csv_bytes(Runner(RunnerOptions{1}).run(simple, kTrials, kSeed));
+  const std::string cold_optimal =
+      csv_bytes(Runner(RunnerOptions{1}).run(optimal, kTrials, kSeed));
+
+  // A fresh store indexes the union of both writers and serves EVERY
+  // cell of BOTH sweeps from cache, at any thread count, byte-identically
+  // — including the cells the OTHER process computed.
+  const auto expect_fully_cached = [&](const std::string& cold_csv,
+                                       const std::vector<Scenario>& scen,
+                                       unsigned threads) {
+    ResultStore merged(store_dir, "reader");
+    ResumeReport report;
+    const BatchResult warm =
+        Runner(RunnerOptions{threads})
+            .run_resumable(scen, kTrials, kSeed, merged, &report);
+    EXPECT_EQ(report.cells_total, 12u) << threads << " threads";
+    EXPECT_EQ(report.cells_cached, 12u) << threads << " threads";
+    EXPECT_EQ(report.cells_run, 0u) << threads << " threads";
+    EXPECT_EQ(csv_bytes(warm), cold_csv) << threads << " threads";
+  };
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    expect_fully_cached(cold_simple, simple, threads);
+    expect_fully_cached(cold_optimal, optimal, threads);
+  }
+
+  // Explicit merge: compact() folds every shard into one file and the
+  // compacted store still serves both sweeps from cache.
+  {
+    ResultStore merged(store_dir, "compactor");
+    const auto compacted = merged.compact();
+    EXPECT_EQ(compacted.records, 24u);
+    EXPECT_EQ(merged.shard_files(), 1u);
+  }
+  ResultStore after(store_dir, "reader2");
+  ResumeReport report;
+  const BatchResult warm = Runner(RunnerOptions{2})
+                               .run_resumable(simple, kTrials, kSeed, after,
+                                              &report);
+  EXPECT_EQ(report.cells_cached, 12u);
+  EXPECT_EQ(csv_bytes(warm), cold_simple);
+}
+
+}  // namespace
+}  // namespace hh::analysis

@@ -1,0 +1,188 @@
+// Thin client for anthill-serve (DESIGN.md §7):
+//
+//   ./anthill-client --connect 7411 --spec examples/idle_search_sweep.json
+//   ./anthill-client --connect 127.0.0.1:7411 --status
+//   ./anthill-client --connect 7411 --shutdown
+//
+// Submits a serialized ExperimentSpec, tails the job's NDJSON event
+// stream, and writes the SAME tidy CSVs bench_spec writes (bench_out/
+// spec_<sweep>.csv by default) — byte-identical to an offline run of the
+// same spec against a cold store.
+//
+// Flags:
+//   --connect [HOST:]PORT  server address (host defaults to 127.0.0.1)
+//   --spec FILE            spec to submit ("-" reads stdin)
+//   --trials N             override every sweep's trials (like bench_spec)
+//   --seed S               override every sweep's base seed
+//   --out DIR              CSV output directory   (default bench_out)
+//   --progress             stream per-block progress lines to stderr
+//   --status               print the server's status JSON and exit
+//   --ping                 round-trip a ping and exit
+//   --shutdown             ask the server to shut down and exit
+//
+// Exit codes: 0 success, 1 job/transport failure, 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <optional>
+#include <string>
+
+#include "analysis/spec.hpp"
+#include "service/client.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --connect [HOST:]PORT (--spec FILE [--trials N] "
+               "[--seed S] [--out DIR] [--progress] | --status | --ping | "
+               "--shutdown)\n",
+               argv0);
+  return 2;
+}
+
+bool parse_connect(const std::string& arg, std::string& host,
+                   std::uint16_t& port) {
+  const std::size_t colon = arg.rfind(':');
+  const std::string port_text =
+      colon == std::string::npos ? arg : arg.substr(colon + 1);
+  if (colon != std::string::npos) host = arg.substr(0, colon);
+  const int value = std::atoi(port_text.c_str());
+  if (value <= 0 || value > 65535) return false;
+  port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+void print_progress(const hh::util::Json& body) {
+  const auto num = [&](const char* key) -> long long {
+    const hh::util::Json* v = body.find(key);
+    return (v != nullptr && v->is_number())
+               ? static_cast<long long>(v->as_number())
+               : 0;
+  };
+  const hh::util::Json* sweep = body.find("sweep");
+  std::fprintf(stderr, "\r[%s] %lld/%lld cells (%lld cached, %lld fresh)",
+               sweep != nullptr && sweep->is_string()
+                   ? sweep->as_string().c_str()
+                   : "?",
+               num("cells_done"), num("cells_total"), num("cached"),
+               num("fresh_done"));
+  if (num("fresh_done") == num("fresh_total")) std::fputc('\n', stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string spec_path;
+  std::string out_dir = "bench_out";
+  std::optional<std::size_t> trials;
+  std::optional<std::uint64_t> seed;
+  bool progress = false;
+  bool do_status = false;
+  bool do_ping = false;
+  bool do_shutdown = false;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--connect") == 0) {
+      if (!parse_connect(next(), host, port)) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--spec") == 0) {
+      spec_path = next();
+    } else if (std::strcmp(argv[i], "--trials") == 0) {
+      trials = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_dir = next();
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      progress = true;
+    } else if (std::strcmp(argv[i], "--status") == 0) {
+      do_status = true;
+    } else if (std::strcmp(argv[i], "--ping") == 0) {
+      do_ping = true;
+    } else if (std::strcmp(argv[i], "--shutdown") == 0) {
+      do_shutdown = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (port == 0) return usage(argv[0]);
+  if (!do_status && !do_ping && !do_shutdown && spec_path.empty()) {
+    return usage(argv[0]);
+  }
+
+  hh::service::Client client = hh::service::Client::connect(host, port);
+  if (!client.connected()) {
+    std::fprintf(stderr, "anthill-client: %s\n", client.error().c_str());
+    return 2;
+  }
+
+  if (do_ping) {
+    if (!client.ping()) {
+      std::fprintf(stderr, "anthill-client: ping failed: %s\n",
+                   client.error().c_str());
+      return 1;
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+  if (do_status) {
+    const hh::util::Json status = client.status();
+    if (status.is_null()) {
+      std::fprintf(stderr, "anthill-client: %s\n", client.error().c_str());
+      return 1;
+    }
+    std::printf("%s\n", hh::util::dump_json(status, 2).c_str());
+    return 0;
+  }
+  if (do_shutdown) {
+    if (!client.shutdown_server()) {
+      std::fprintf(stderr, "anthill-client: shutdown failed: %s\n",
+                   client.error().c_str());
+      return 1;
+    }
+    std::printf("server shutting down\n");
+    return 0;
+  }
+
+  hh::analysis::ExperimentSpec spec;
+  try {
+    spec = hh::analysis::load_experiment_spec(spec_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "anthill-client: %s\n", e.what());
+    return 2;
+  }
+  // Overrides apply client-side, exactly like bench_spec's --trials/--seed
+  // — the server always runs the spec it was handed.
+  for (hh::analysis::SweepEntry& entry : spec.sweeps) {
+    if (trials) entry.trials = *trials;
+    if (seed) entry.base_seed = *seed;
+  }
+
+  const hh::service::JobOutcome outcome = client.submit(
+      spec, progress ? print_progress : hh::service::ProgressEventFn{});
+  if (!outcome.ok) {
+    std::fprintf(stderr, "anthill-client: job failed: %s\n",
+                 outcome.error.empty() ? "unknown error"
+                                       : outcome.error.c_str());
+    return 1;
+  }
+  for (const std::string& path :
+       hh::service::write_outcome_csvs(outcome, out_dir)) {
+    std::printf("csv: %s\n", path.c_str());
+  }
+  // Stable summary line — CI greps this (keep the format).
+  std::printf("job done: cells=%zu cached=%zu run=%zu\n", outcome.cells_total,
+              outcome.cached, outcome.run);
+  return 0;
+}

@@ -1,0 +1,130 @@
+// The resident sweep daemon (DESIGN.md §7):
+//
+//   ./anthill-serve --store runs/store [--port 7411] [--threads 4]
+//
+// Listens on localhost TCP for NDJSON requests (ping/status/submit/
+// shutdown), runs submitted ExperimentSpecs on a persistent Runner, and
+// dedups every (scenario, trial, seed) cell against the shared result
+// store — a warm resubmission costs zero simulation. Results are
+// bit-identical to a cold `bench_spec --spec` run of the same spec.
+//
+// Flags:
+//   --store DIR       result-store directory (REQUIRED, created on demand)
+//   --host ADDR       bind address          (default 127.0.0.1)
+//   --port N          bind port; 0 = kernel-assigned (default 0)
+//   --port-file FILE  write the bound port to FILE (for scripts/CI that
+//                     start with --port 0)
+//   --threads N       runner workers; 0 = all cores (default 0)
+//   --namespace NS    writer namespace for this daemon's shards
+//                     (default "serve"; give concurrent daemons sharing a
+//                     store dir distinct namespaces)
+//
+// SIGINT/SIGTERM (and the client's `--shutdown`) stop the daemon
+// gracefully: the in-flight job finishes and streams its results first.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "service/server.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --store DIR [--host ADDR] [--port N] "
+               "[--port-file FILE] [--threads N] [--namespace NS]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hh::service::ServerOptions options;
+  std::string port_file;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--store") == 0) {
+      options.store_dir = next();
+    } else if (std::strcmp(argv[i], "--host") == 0) {
+      options.host = next();
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      options.port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (std::strcmp(argv[i], "--port-file") == 0) {
+      port_file = next();
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      options.threads = static_cast<unsigned>(std::atoi(next()));
+    } else if (std::strcmp(argv[i], "--namespace") == 0) {
+      options.writer_namespace = next();
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (options.store_dir.empty()) return usage(argv[0]);
+
+  // Block SIGINT/SIGTERM in every thread (spawned threads inherit the
+  // mask); a dedicated watcher sigwait()s them and stops the server —
+  // no async-signal-safety contortions in a handler.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  try {
+    hh::service::Server server(std::move(options));
+    if (!port_file.empty()) {
+      std::ofstream out(port_file);
+      out << server.port() << '\n';
+      if (!out) {
+        std::fprintf(stderr, "cannot write port file %s\n",
+                     port_file.c_str());
+        return 1;
+      }
+    }
+    std::printf("anthill-serve listening on %u (store: %s, pid %ld)\n",
+                static_cast<unsigned>(server.port()),
+                server.store().directory().string().c_str(),
+                static_cast<long>(getpid()));
+    std::fflush(stdout);
+
+    std::atomic<bool> wire_stop{false};
+    std::thread watcher([&] {
+      int sig = 0;
+      sigwait(&signals, &sig);
+      if (!wire_stop.load()) {
+        std::fprintf(stderr, "\nanthill-serve: caught %s, shutting down\n",
+                     sig == SIGINT ? "SIGINT" : "SIGTERM");
+      }
+      server.request_stop();
+    });
+
+    server.serve_forever();
+    // Unblock the watcher if the stop came over the wire, not a signal
+    // (the self-sent SIGTERM is consumed by sigwait or stays blocked).
+    wire_stop.store(true);
+    kill(getpid(), SIGTERM);
+    watcher.join();
+    server.wait();
+    std::printf("anthill-serve: stopped\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "anthill-serve: %s\n", e.what());
+    return 1;
+  }
+}
