@@ -15,6 +15,12 @@
 // PATH. CI runs it once under `timeout -s KILL` (a real mid-run kill),
 // again to completion, then cold into a fresh store at a different thread
 // count, and byte-compares the CSVs.
+//
+// Compact mode (the chaos smoke drives this to crash inside compaction
+// via the store.compact.* fault points):
+//   bench_resume compact --store DIR
+// opens DIR, merges every indexed record into one shard, and prints the
+// before/after shard and record counts.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -110,6 +116,32 @@ int run_smoke(int argc, char** argv) {
   }
   out << tidy_csv(batch);
   std::printf("csv: %s\n", csv_path.c_str());
+  return 0;
+}
+
+// --- compact mode ------------------------------------------------------------
+
+int run_compact(int argc, char** argv) {
+  std::string store_dir;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
+      store_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (store_dir.empty()) {
+    std::fprintf(stderr, "usage: bench_resume compact --store DIR\n");
+    return 2;
+  }
+  hh::analysis::ResultStore store(store_dir);
+  const std::size_t shards_before = store.shard_files();
+  std::printf("before: %zu records in %zu shards (%zu dropped)\n",
+              store.size(), shards_before, store.dropped_records());
+  const auto report = store.compact();
+  std::printf("compacted: %zu records merged, %zu old shards removed\n",
+              report.records, report.removed_files);
   return 0;
 }
 
@@ -284,6 +316,9 @@ int run_bench() {
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "sweep") == 0) {
     return run_smoke(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "compact") == 0) {
+    return run_compact(argc, argv);
   }
   return run_bench();
 }

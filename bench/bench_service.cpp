@@ -6,7 +6,11 @@
 //   2. cold vs warm wall time — the same spec submitted twice; the warm
 //      job must be served entirely from the shared ResultStore;
 //   3. dedup hit rate — cached/total on the warm submission (1.0 or the
-//      bench fails).
+//      bench fails);
+//   4. reconnect overhead — a clean warm submit on a fresh connection vs
+//      a client that died right after acceptance and reattached by job id
+//      (the DESIGN.md §8 recovery path), both warm so the delta is pure
+//      transport + replay overhead.
 // Also pins the service's core contract: the warm job's CSV bytes equal
 // the cold job's. Emits bench_out/BENCH_service.json (CI artifact).
 #include <chrono>
@@ -95,6 +99,71 @@ int main() {
     std::fprintf(stderr, "warm job failed: %s\n", warm.outcome.error.c_str());
     return 1;
   }
+
+  // 4a. Clean path: fresh connection + warm submit, timed end to end.
+  double clean_connect_s = 0.0;
+  {
+    const auto start = Clock::now();
+    hh::service::Client fresh =
+        hh::service::Client::connect("127.0.0.1", server.port());
+    if (!fresh.connected()) {
+      std::fprintf(stderr, "reconnect failed: %s\n", fresh.error().c_str());
+      return 1;
+    }
+    const hh::service::JobOutcome outcome = fresh.submit(spec);
+    if (!outcome.ok) {
+      std::fprintf(stderr, "clean warm job failed: %s\n",
+                   outcome.error.c_str());
+      return 1;
+    }
+    clean_connect_s = seconds_since(start);
+  }
+
+  // 4b. Crash path: a raw client submits, reads "accepted", and vanishes
+  // (what a killed process looks like to the daemon); a new connection
+  // then reattaches by job id and tails the replayed stream.
+  std::string dropped_job;
+  {
+    hh::util::net::Socket raw =
+        hh::util::net::Socket::connect_tcp("127.0.0.1", server.port());
+    if (!raw.valid()) {
+      std::fprintf(stderr, "raw connect failed\n");
+      return 1;
+    }
+    hh::util::net::LineReader reader(raw);
+    std::string line;
+    if (!reader.next_line(line)) return 1;  // hello
+    hh::service::Request request;
+    request.op = hh::service::Request::Op::kSubmit;
+    request.spec = spec;
+    if (!raw.send_all(hh::service::encode_request(request) + "\n")) return 1;
+    if (!reader.next_line(line)) return 1;
+    const hh::service::Event accepted = hh::service::parse_event(line);
+    if (accepted.kind != "accepted") {
+      std::fprintf(stderr, "expected accepted, got %s\n",
+                   accepted.kind.c_str());
+      return 1;
+    }
+    dropped_job = accepted.body.find("job")->as_string();
+  }  // the raw socket closes here — the daemon's sink goes dead mid-job
+  double reattach_s = 0.0;
+  {
+    const auto start = Clock::now();
+    hh::service::Client survivor =
+        hh::service::Client::connect("127.0.0.1", server.port());
+    if (!survivor.connected()) {
+      std::fprintf(stderr, "reattach connect failed: %s\n",
+                   survivor.error().c_str());
+      return 1;
+    }
+    const hh::service::JobOutcome outcome = survivor.reattach(dropped_job);
+    if (!outcome.ok) {
+      std::fprintf(stderr, "reattach failed: %s\n", outcome.error.c_str());
+      return 1;
+    }
+    reattach_s = seconds_since(start);
+  }
+
   if (!client.shutdown_server()) {
     std::fprintf(stderr, "shutdown failed: %s\n", client.error().c_str());
     return 1;
@@ -132,6 +201,10 @@ int main() {
   std::printf("\ndedup hit rate (warm): %.4f (1.0 required: %s)\n", hit_rate,
               hit_ok ? "yes" : "NO");
   std::printf("warm rows identical to cold: %s\n", identical ? "yes" : "NO");
+  std::printf(
+      "reconnect overhead: clean connect+warm %.3fs, drop+reattach %.3fs "
+      "(delta %.3fs)\n",
+      clean_connect_s, reattach_s, reattach_s - clean_connect_s);
 
   std::error_code ec;
   std::filesystem::create_directories("bench_out", ec);
@@ -148,7 +221,11 @@ int main() {
     out << "  \"warm_first_progress_seconds\": " << warm.first_progress_s
         << ",\n";
     out << "  \"warm_dedup_hit_rate\": " << hit_rate << ",\n";
-    out << "  \"warm_identical\": " << (identical ? "true" : "false") << "\n";
+    out << "  \"warm_identical\": " << (identical ? "true" : "false") << ",\n";
+    out << "  \"clean_connect_warm_seconds\": " << clean_connect_s << ",\n";
+    out << "  \"reattach_after_drop_seconds\": " << reattach_s << ",\n";
+    out << "  \"reconnect_overhead_seconds\": " << (reattach_s - clean_connect_s)
+        << "\n";
     out << "}\n";
     std::printf("json: %s\n", path);
   } else {

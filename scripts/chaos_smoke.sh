@@ -1,0 +1,306 @@
+#!/usr/bin/env bash
+# Chaos smoke for the resident sweep service (DESIGN.md §8).
+#
+# Each mode arms one ANTHILL_FAULTS spec against real anthill-serve /
+# anthill-client processes over TCP, breaks the system at that point, and
+# then proves the recovery contract:
+#   * every CSV a recovered job serves is byte-identical to an offline
+#     `bench_spec --spec` cold run of the same spec,
+#   * every record under <store>/jobs/ ends in a terminal state (done /
+#     failed / canceled / interrupted) — nothing leaks "queued"/"running",
+#   * daemons asked to stop exit 0; daemons crashed by a fault exit 137.
+#
+# usage: scripts/chaos_smoke.sh BUILD_DIR [mode...]
+# modes: server-crash record-crash flush-skip torn-shard compact-crash
+#        client-drop slow-client drain cancel        (default: all)
+set -euo pipefail
+
+if [ $# -lt 1 ]; then
+  echo "usage: $0 BUILD_DIR [mode...]" >&2
+  exit 2
+fi
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=$(cd "$1" && pwd)
+shift
+MODES=("$@")
+if [ ${#MODES[@]} -eq 0 ]; then
+  MODES=(server-crash record-crash flush-skip torn-shard compact-crash
+         client-drop slow-client drain cancel)
+fi
+
+SPEC="$ROOT/examples/idle_search_sweep.json"
+TRIALS=10
+SERVE="$BUILD/anthill-serve"
+CLIENT="$BUILD/anthill-client"
+WORK=$(mktemp -d /tmp/hh-chaos.XXXXXX)
+SERVE_PID=""
+
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null
+  rm -rf "$WORK"
+  return 0
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  [ -n "${LOG:-}" ] && [ -f "$LOG" ] && sed 's/^/  serve| /' "$LOG" >&2
+  exit 1
+}
+
+# Offline reference: the byte-identity oracle every mode compares against.
+mkdir -p "$WORK/ref"
+(cd "$WORK/ref" && "$BUILD/bench_spec" --spec "$SPEC" --trials "$TRIALS" \
+  > /dev/null)
+REF="$WORK/ref/bench_out"
+
+# start_serve STORE [FAULTS] — launches the daemon (2 worker threads so the
+# example spec decomposes into single-cell blocks and delay faults pace it
+# predictably), waits for the ephemeral port, sets PORT/SERVE_PID/LOG.
+start_serve() {
+  local store=$1 faults=${2:-}
+  local port_file="$WORK/port.$$.$RANDOM"
+  LOG="$WORK/serve-$(basename "$store").log"
+  rm -f "$port_file"
+  ANTHILL_FAULTS="$faults" "$SERVE" --store "$store" --threads 2 \
+    --port-file "$port_file" >> "$LOG" 2>&1 &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$port_file" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "serve died during startup"
+    sleep 0.1
+  done
+  [ -s "$port_file" ] || fail "serve never published a port"
+  PORT=$(cat "$port_file")
+}
+
+# wait_serve EXPECTED_EXIT — reaps the daemon and checks how it died.
+wait_serve() {
+  local expected=$1 rc=0
+  wait "$SERVE_PID" || rc=$?
+  SERVE_PID=""
+  [ "$rc" -eq "$expected" ] || fail "serve exited $rc, expected $expected"
+}
+
+stop_serve() {
+  "$CLIENT" --connect "$PORT" --shutdown > /dev/null
+  wait_serve 0
+}
+
+# compare_csvs OUT_DIR — served CSVs must equal the offline reference.
+compare_csvs() {
+  local out=$1 name
+  for name in spec_idle_vs_simple spec_idle_scout_rate; do
+    cmp "$REF/$name.csv" "$out/$name.csv" \
+      || fail "$out/$name.csv differs from the offline reference"
+  done
+}
+
+# assert_terminal STORE — no job record may be left queued/running.
+assert_terminal() {
+  local f
+  for f in "$1"/jobs/*.json; do
+    [ -e "$f" ] || continue
+    grep -Eq '"state": "(done|failed|canceled|interrupted)"' "$f" \
+      || fail "non-terminal job record $f: $(tr -d '\n' < "$f")"
+  done
+}
+
+submit() {  # submit OUT_DIR [extra client flags...]
+  local out=$1
+  shift
+  "$CLIENT" --connect "$PORT" --spec "$SPEC" --trials "$TRIALS" \
+    --out "$out" "$@"
+}
+
+# --- modes -------------------------------------------------------------------
+
+# Daemon crashes at an injected point mid-sweep (flushed blocks survive on
+# disk); a restarted daemon reattaches the job by id and completes it.
+mode_server_crash() {
+  local store="$WORK/server-crash"
+  start_serve "$store" "runner.block.flushed=crash@2"
+  if submit "$store-out" --retries 1; then
+    fail "client survived the serve crash"
+  fi
+  wait_serve 137
+  start_serve "$store"
+  "$CLIENT" --connect "$PORT" --reattach job-000001 --out "$store-out" \
+    | tee "$WORK/server-crash.txt"
+  grep -Eq 'job done: cells=[0-9]+ cached=[1-9]' "$WORK/server-crash.txt" \
+    || fail "reattach did not reuse the crashed run's flushed cells"
+  compare_csvs "$store-out"
+  stop_serve
+  assert_terminal "$store"
+}
+
+# Daemon crashes while publishing a job record (the atomic tmp+rename
+# window). The surviving "queued" record still reattaches.
+mode_record_crash() {
+  local store="$WORK/record-crash"
+  start_serve "$store" "serve.record.rename=crash@2"
+  if submit "$store-out" --retries 1; then
+    fail "client survived the serve crash"
+  fi
+  wait_serve 137
+  start_serve "$store"
+  "$CLIENT" --connect "$PORT" --reattach job-000001 --out "$store-out"
+  compare_csvs "$store-out"
+  stop_serve
+  assert_terminal "$store"
+}
+
+# Shard flushes silently do nothing, then the daemon is SIGKILLed: the
+# restarted daemon finds zero cached cells and the reattach recomputes
+# everything — still byte-identical.
+mode_flush_skip() {
+  local store="$WORK/flush-skip"
+  start_serve "$store" "store.flush.skip=fail@1+;runner.block.flushed=delay@1+:60"
+  submit "$store-out" --retries 1 > /dev/null 2>&1 &
+  local client_pid=$!
+  sleep 0.6
+  kill -9 "$SERVE_PID"
+  wait_serve 137
+  if wait "$client_pid"; then
+    fail "client survived the serve kill"
+  fi
+  start_serve "$store"
+  "$CLIENT" --connect "$PORT" --reattach job-000001 --out "$store-out" \
+    | tee "$WORK/flush-skip.txt"
+  grep -Eq 'job done: cells=[0-9]+ cached=0 ' "$WORK/flush-skip.txt" \
+    || fail "skipped flushes must leave nothing cached"
+  compare_csvs "$store-out"
+  stop_serve
+  assert_terminal "$store"
+}
+
+# One shard record is torn mid-append (half a record on disk). The running
+# job is unaffected (results are in memory); after a restart the torn tail
+# is checksum-dropped and a warm resubmit recomputes only the lost cells.
+mode_torn_shard() {
+  local store="$WORK/torn-shard"
+  start_serve "$store" "store.append.torn=fail@5"
+  submit "$store-out"
+  compare_csvs "$store-out"
+  stop_serve
+  start_serve "$store"
+  submit "$store-out2" | tee "$WORK/torn-shard.txt"
+  grep -Eq 'job done: cells=[0-9]+ cached=[1-9][0-9]* run=[1-9]' \
+    "$WORK/torn-shard.txt" \
+    || fail "warm resubmit should mix cached cells with torn-tail reruns"
+  compare_csvs "$store-out2"
+  stop_serve
+  assert_terminal "$store"
+}
+
+# Compaction crashes before the rename, then before removing old shards.
+# Neither crash may lose a record; the third attempt compacts cleanly.
+mode_compact_crash() {
+  local store="$WORK/compact-store"
+  "$BUILD/bench_resume" sweep --store "$store" --csv "$WORK/compact-a.csv" \
+    --threads 2 --trials 20 > /dev/null
+  local rc=0
+  ANTHILL_FAULTS="store.compact.pre_rename=crash@1" \
+    "$BUILD/bench_resume" compact --store "$store" > /dev/null 2>&1 || rc=$?
+  [ "$rc" -eq 137 ] || fail "compact survived crash@pre_rename (exit $rc)"
+  rc=0
+  ANTHILL_FAULTS="store.compact.pre_remove=crash@1" \
+    "$BUILD/bench_resume" compact --store "$store" > /dev/null 2>&1 || rc=$?
+  [ "$rc" -eq 137 ] || fail "compact survived crash@pre_remove (exit $rc)"
+  "$BUILD/bench_resume" compact --store "$store"
+  "$BUILD/bench_resume" sweep --store "$store" --csv "$WORK/compact-b.csv" \
+    --threads 2 --trials 20 | tee "$WORK/compact.txt"
+  grep -Eq 'cells: [0-9]+ total, [0-9]+ cached, 0 run' "$WORK/compact.txt" \
+    || fail "records were lost across the interrupted compactions"
+  cmp "$WORK/compact-a.csv" "$WORK/compact-b.csv" \
+    || fail "CSV changed across interrupted compactions"
+}
+
+# The client's connection drops mid-stream (injected recv failure on the
+# client side); submit_with_retry reconnects and reattaches by job id.
+mode_client_drop() {
+  local store="$WORK/client-drop"
+  start_serve "$store"
+  ANTHILL_FAULTS="socket.recv=fail@2" "$CLIENT" --connect "$PORT" \
+    --spec "$SPEC" --trials "$TRIALS" --out "$store-out" --retries 5 \
+    | tee "$WORK/client-drop.txt"
+  grep -q 'job done:' "$WORK/client-drop.txt" \
+    || fail "client did not recover from the dropped connection"
+  compare_csvs "$store-out"
+  stop_serve
+  assert_terminal "$store"
+}
+
+# Byte-dribble transport: every send chunked to 1 byte, recv interrupted
+# probabilistically. Purely a pacing fault — output must be untouched.
+mode_slow_client() {
+  local store="$WORK/slow-client"
+  start_serve "$store"
+  ANTHILL_FAULTS="socket.send.short=fail@1+;socket.recv.short=fail@1+;socket.recv.eintr=fail~0.2" \
+    "$CLIENT" --connect "$PORT" --spec "$SPEC" --trials "$TRIALS" \
+    --out "$store-out"
+  compare_csvs "$store-out"
+  stop_serve
+  assert_terminal "$store"
+}
+
+# SIGTERM mid-job: the daemon drains — stops the job at a block boundary,
+# flushes, records "interrupted", exits 0. Reattach completes the job.
+mode_drain() {
+  local store="$WORK/drain"
+  start_serve "$store" "runner.block.flushed=delay@1+:60"
+  submit "$store-out" --retries 1 > "$WORK/drain-client.txt" 2>&1 &
+  local client_pid=$!
+  sleep 0.6
+  kill -TERM "$SERVE_PID"
+  wait_serve 0
+  if wait "$client_pid"; then
+    fail "drained client should report the interruption"
+  fi
+  grep -q interrupted "$WORK/drain-client.txt" \
+    || fail "client never saw the interrupted event"
+  grep -q '"state": "interrupted"' "$store"/jobs/job-000001.json \
+    || fail "drain did not record the job as interrupted"
+  start_serve "$store"
+  "$CLIENT" --connect "$PORT" --reattach job-000001 --out "$store-out" \
+    | tee "$WORK/drain.txt"
+  grep -Eq 'job done: cells=[0-9]+ cached=[1-9]' "$WORK/drain.txt" \
+    || fail "reattach after drain must reuse the drained run's cells"
+  compare_csvs "$store-out"
+  stop_serve
+  assert_terminal "$store"
+}
+
+# --cancel stops a running job at its next block boundary; a clean rerun
+# of the same spec reuses what the canceled job flushed.
+mode_cancel() {
+  local store="$WORK/cancel"
+  start_serve "$store" "runner.block.flushed=delay@1+:60"
+  submit "$store-out" --retries 1 > "$WORK/cancel-client.txt" 2>&1 &
+  local client_pid=$!
+  sleep 0.6
+  "$CLIENT" --connect "$PORT" --cancel job-000001
+  if wait "$client_pid"; then
+    fail "canceled client should exit nonzero"
+  fi
+  grep -q canceled "$WORK/cancel-client.txt" \
+    || fail "client never saw the canceled event"
+  grep -q '"state": "canceled"' "$store"/jobs/job-000001.json \
+    || fail "cancel did not record the job as canceled"
+  submit "$store-out" | tee "$WORK/cancel.txt"
+  grep -Eq 'job done: cells=[0-9]+ cached=[1-9]' "$WORK/cancel.txt" \
+    || fail "rerun after cancel must reuse the canceled run's cells"
+  compare_csvs "$store-out"
+  stop_serve
+  assert_terminal "$store"
+}
+
+# --- driver ------------------------------------------------------------------
+
+for mode in "${MODES[@]}"; do
+  echo "=== chaos: $mode ==="
+  LOG=""
+  "mode_${mode//-/_}"
+  echo "=== chaos: $mode OK ==="
+done
+echo "chaos smoke: all modes passed"

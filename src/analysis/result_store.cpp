@@ -10,6 +10,7 @@
 #include "analysis/spec.hpp"
 #include "util/binary_io.hpp"
 #include "util/contracts.hpp"
+#include "util/fault_inject.hpp"
 #include "util/rng.hpp"
 
 namespace hh::analysis {
@@ -97,6 +98,10 @@ std::size_t ResultStore::scan_directory() {
   // reproducible dropped-record counts.
   std::size_t added = 0;
   for (auto& [path, state] : files_) added += scan_shard(path, state);
+  // Quarantined shards were renamed to *.hhrs.bad on disk; drop their scan
+  // cursors so shard_files() reflects only live shards.
+  std::erase_if(files_,
+                [](const auto& entry) { return entry.second.quarantined; });
   return added;
 }
 
@@ -113,10 +118,12 @@ std::size_t ResultStore::scan_shard(const std::filesystem::path& path,
   std::ifstream in(path, std::ios::binary);
   if (!in) return 0;
   if (!state.header_ok) {
+    // A file shorter than its header may be a live writer mid-create:
+    // leave it pending and re-check on the next reload().
+    if (file_size < kHeaderBytes) return 0;
     // One sized read, not a byte-iterator loop: a cold open over a
     // million-trial store reads tens of MB of shards and this is its cost.
-    std::vector<std::uint8_t> head(std::min<std::uintmax_t>(file_size,
-                                                            kHeaderBytes));
+    std::vector<std::uint8_t> head(kHeaderBytes);
     in.read(reinterpret_cast<char*>(head.data()),
             static_cast<std::streamsize>(head.size()));
     util::ByteReader header({head.data(),
@@ -124,11 +131,20 @@ std::size_t ResultStore::scan_shard(const std::filesystem::path& path,
                                  in.gcount(), 0))});
     if (header.u32() != kShardMagic || header.u32() != kShardVersion ||
         !header.ok()) {
-      // Foreign or future-format file: skip it whole (counted as dropped
-      // so the condition is visible, but never fatal — resume just
-      // recomputes).
+      // Foreign or corrupted file: quarantine it — rename to *.hhrs.bad so
+      // it is never rescanned and an operator can inspect what happened.
+      // Visible (dropped + quarantined counters) but never fatal — resume
+      // just recomputes.
       state.dead = true;
       ++dropped_;
+      ++quarantined_;
+      std::filesystem::path bad = path;
+      bad += ".bad";
+      std::error_code rename_ec;
+      std::filesystem::rename(path, bad, rename_ec);
+      // If the rename failed (permissions, races) the dead flag still
+      // keeps the file skipped; only drop the cursor on success.
+      if (!rename_ec) state.quarantined = true;
       return 0;
     }
     state.header_ok = true;
@@ -249,12 +265,18 @@ ResultStore::CompactReport ResultStore::compact() {
     return x.seed < y.seed;
   });
 
+  // Write the merged shard under a .tmp name invisible to scans, then
+  // publish it with one atomic rename: a crash at ANY point leaves either
+  // the old files intact (tmp is garbage, never indexed) or the complete
+  // merged shard plus redundant-but-idempotent old files.
   const std::filesystem::path merged = next_shard_path();
+  std::filesystem::path tmp = merged;
+  tmp += ".tmp";
   {
-    std::ofstream out(merged, std::ios::binary);
+    std::ofstream out(tmp, std::ios::binary);
     if (!out) {
       throw std::runtime_error("result store: cannot create merged shard " +
-                               merged.string());
+                               tmp.string());
     }
     std::vector<std::uint8_t> header;
     util::put_u32(header, kShardMagic);
@@ -267,7 +289,22 @@ ResultStore::CompactReport ResultStore::compact() {
     if (writer.write_failed()) {
       // Disk full mid-merge: leave the store exactly as it was.
       std::error_code ec;
-      std::filesystem::remove(merged, ec);
+      std::filesystem::remove(tmp, ec);
+      return report;
+    }
+  }
+  if (util::fault::inject("store.compact.pre_rename")) {
+    // Fail verb: abort the compact, store untouched (crash verb never
+    // returns — the next open sees only the old shards plus a stray .tmp).
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return report;
+  }
+  {
+    std::error_code ec;
+    std::filesystem::rename(tmp, merged, ec);
+    if (ec) {
+      std::filesystem::remove(tmp, ec);
       return report;
     }
   }
@@ -275,9 +312,11 @@ ResultStore::CompactReport ResultStore::compact() {
 
   // The merged shard is complete and checksummed on disk; removing the old
   // files is now safe at any crash point (duplicates are idempotent).
-  for (const auto& path : old_files) {
-    std::error_code ec;
-    if (std::filesystem::remove(path, ec) && !ec) ++report.removed_files;
+  if (!util::fault::inject("store.compact.pre_remove")) {
+    for (const auto& path : old_files) {
+      std::error_code ec;
+      if (std::filesystem::remove(path, ec) && !ec) ++report.removed_files;
+    }
   }
   files_.clear();
   ShardState state;
@@ -294,15 +333,28 @@ ResultStore::ShardWriter::ShardWriter(std::ofstream out)
 
 void ResultStore::ShardWriter::append(const TrialKey& key,
                                       const TrialStats& stats) {
+  if (write_failed_) return;  // a failed shard never takes more appends
   buffer_.clear();
   encode_payload(buffer_, key, stats);
   HH_ASSERT(buffer_.size() == kPayloadBytes);
   util::put_u32(buffer_, util::checksum32(buffer_));
+  if (util::fault::inject("store.append.torn")) {
+    // Chaos: persist half a record — what a crash mid-append leaves on
+    // disk — then close this shard to writes. Readers must checksum-drop
+    // the torn tail; the run's in-memory results stay correct.
+    out_.write(reinterpret_cast<const char*>(buffer_.data()),
+               static_cast<std::streamsize>(kRecordBytes / 2));
+    out_.flush();
+    write_failed_ = true;
+    std::fprintf(stderr, "fault: torn record injected; shard closed\n");
+    return;
+  }
   out_.write(reinterpret_cast<const char*>(buffer_.data()),
              static_cast<std::streamsize>(buffer_.size()));
 }
 
 void ResultStore::ShardWriter::flush() {
+  if (util::fault::inject("store.flush.skip")) return;  // records stay buffered
   out_.flush();
   // A write failure (disk full, quota) never corrupts results — the
   // in-memory batch is complete regardless — but it must not be silent:

@@ -76,7 +76,10 @@ class ResultStore {
  public:
   /// Open (creating the directory if needed) and index every shard.
   /// Records with bad checksums and torn tails are dropped (counted in
-  /// dropped_records()); whole files with a bad header are skipped.
+  /// dropped_records()); whole files with a bad header are quarantined —
+  /// renamed to *.hhrs.bad and counted in quarantined_files(). A file still
+  /// shorter than its header is left pending (a live writer may be
+  /// mid-create) and re-checked on the next reload().
   ///
   /// `writer_namespace` tags every shard THIS store creates (letters,
   /// digits, '-', '_'; other characters are replaced with '_'). Give each
@@ -123,6 +126,12 @@ class ResultStore {
   [[nodiscard]] std::size_t size() const { return index_.size(); }
   [[nodiscard]] std::size_t shard_files() const { return files_.size(); }
   [[nodiscard]] std::size_t dropped_records() const { return dropped_; }
+  /// Shards quarantined since open: files whose HEADER failed verification
+  /// (foreign or corrupted file, not a torn tail) are renamed to
+  /// `<shard>.hhrs.bad` so they are never rescanned and an operator can
+  /// inspect them. Cumulative count; surfaced in ResumeReport and the
+  /// daemon's status output.
+  [[nodiscard]] std::size_t quarantined_files() const { return quarantined_; }
   [[nodiscard]] const std::filesystem::path& directory() const { return dir_; }
   [[nodiscard]] const std::string& writer_namespace() const { return ns_; }
 
@@ -158,6 +167,7 @@ class ResultStore {
     std::uintmax_t offset = 0;  ///< bytes consumed through last valid record
     bool header_ok = false;
     bool dead = false;  ///< bad header: never read this file again
+    bool quarantined = false;  ///< renamed to *.hhrs.bad; cursor removable
     /// Offset whose invalid record was already counted in dropped_ (so a
     /// persistently-torn tail is not re-counted every reload).
     std::uintmax_t counted_bad_at = static_cast<std::uintmax_t>(-1);
@@ -176,6 +186,7 @@ class ResultStore {
   /// Scan cursors keyed by path; std::map for deterministic scan order.
   std::map<std::filesystem::path, ShardState> files_;
   std::size_t dropped_ = 0;
+  std::size_t quarantined_ = 0;
 
   std::mutex shard_mutex_;      // guards shard file creation only
   std::uint64_t session_ = 0;   // per-open nonce, keeps shard names unique

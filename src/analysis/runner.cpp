@@ -11,6 +11,7 @@
 
 #include "analysis/result_store.hpp"
 #include "util/contracts.hpp"
+#include "util/fault_inject.hpp"
 #include "util/rng.hpp"
 
 namespace hh::analysis {
@@ -146,6 +147,7 @@ BatchResult Runner::run_cells(const std::vector<Scenario>& scenarios,
     report->cells_total = cell_count;
     report->cells_run = todo.size();
     report->cells_cached = cell_count - todo.size();
+    if (store != nullptr) report->shards_quarantined = store->quarantined_files();
   }
 
   // Progress streaming: one cumulative snapshot per finished block, built
@@ -188,6 +190,10 @@ BatchResult Runner::run_cells(const std::vector<Scenario>& scenarios,
           }
         }
         if (writer != nullptr) writer->flush();
+        // Crash point for chaos tests: the block's records are flushed but
+        // no progress/job-record update has happened yet — exactly the
+        // window a resume must cover.
+        (void)util::fault::inject("runner.block.flushed");
         if (progress) {
           const std::lock_guard<std::mutex> lock(progress_mutex);
           snapshot.cells_fresh_done += end - begin;

@@ -95,6 +95,10 @@ struct ResumeReport {
   std::size_t cells_total = 0;
   std::size_t cells_cached = 0;
   std::size_t cells_run = 0;
+  /// Shard files the store quarantined (renamed to *.hhrs.bad) — bad
+  /// headers, not torn tails. Nonzero means cached coverage silently
+  /// shrank; the cells recompute, but the operator should look.
+  std::size_t shards_quarantined = 0;
 };
 
 /// A progress snapshot delivered after each completed work block (and once

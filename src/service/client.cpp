@@ -1,9 +1,13 @@
 #include "service/client.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "util/csv.hpp"
+#include "util/rng.hpp"
 
 namespace hh::service {
 namespace {
@@ -78,12 +82,16 @@ util::Json Client::status() {
   request.op = Request::Op::kStatus;
   if (!send(request)) return {};
   Event event;
-  if (!next_event(event)) return {};
-  if (event.kind != "status") {
-    error_ = "expected status event, got '" + event.kind + "'";
-    return {};
+  // Skip heartbeats: the reply may queue behind an hb tick.
+  while (next_event(event)) {
+    if (event.kind == "hb") continue;
+    if (event.kind != "status") {
+      error_ = "expected status event, got '" + event.kind + "'";
+      return {};
+    }
+    return event.body;
   }
-  return event.body;
+  return {};
 }
 
 bool Client::shutdown_server() {
@@ -91,7 +99,11 @@ bool Client::shutdown_server() {
   request.op = Request::Op::kShutdown;
   if (!send(request)) return false;
   Event event;
-  return next_event(event) && event.kind == "bye";
+  while (next_event(event)) {
+    if (event.kind == "hb") continue;
+    return event.kind == "bye";
+  }
+  return false;
 }
 
 JobOutcome Client::submit(const analysis::ExperimentSpec& spec,
@@ -102,18 +114,64 @@ JobOutcome Client::submit(const analysis::ExperimentSpec& spec,
   request.spec = spec;
   if (!send(request)) {
     outcome.error = error_;
+    outcome.transport_lost = true;
     return outcome;
   }
-  // Tail the stream: accepted -> progress* -> sweep_done per sweep ->
-  // job_done. Any error event for this job (or the transport dying)
-  // terminates the tail.
+  return tail_job(on_progress);
+}
+
+JobOutcome Client::reattach(const std::string& job_id,
+                            const ProgressEventFn& on_progress) {
+  JobOutcome outcome;
+  Request request;
+  request.op = Request::Op::kReattach;
+  request.job = job_id;
+  if (!send(request)) {
+    outcome.error = error_;
+    outcome.transport_lost = true;
+    outcome.job_id = job_id;
+    return outcome;
+  }
+  outcome = tail_job(on_progress);
+  if (outcome.job_id.empty()) outcome.job_id = job_id;
+  return outcome;
+}
+
+bool Client::cancel(const std::string& job_id) {
+  Request request;
+  request.op = Request::Op::kCancel;
+  request.job = job_id;
+  if (!send(request)) return false;
   Event event;
   while (next_event(event)) {
-    if (event.kind == "accepted") {
+    if (event.kind == "cancel_ok") return true;
+    if (event.kind == "error") {
+      error_ = string_field(event.body, "message");
+      return false;
+    }
+    // hb / progress / canceled from an earlier job on this session: skip.
+  }
+  return false;
+}
+
+JobOutcome Client::tail_job(const ProgressEventFn& on_progress) {
+  JobOutcome outcome;
+  // Tail the stream: accepted|reattached -> progress* -> sweep_done per
+  // sweep -> job_done. Any error/canceled/interrupted event (or the
+  // transport dying) terminates the tail.
+  Event event;
+  while (next_event(event)) {
+    if (event.kind == "accepted" || event.kind == "reattached") {
       outcome.job_id = string_field(event.body, "job");
+      // A replayed stream restarts the job from its first sweep; drop
+      // anything buffered from a previous (dead) attempt so sweeps never
+      // duplicate.
+      outcome.sweeps.clear();
     } else if (event.kind == "progress") {
       ++outcome.progress_events;
       if (on_progress) on_progress(event.body);
+    } else if (event.kind == "hb") {
+      ++outcome.heartbeats;
     } else if (event.kind == "sweep_done") {
       SweepResult sweep;
       sweep.sweep = string_field(event.body, "sweep");
@@ -135,6 +193,9 @@ JobOutcome Client::submit(const analysis::ExperimentSpec& spec,
       outcome.run = size_field(event.body, "run");
       outcome.record_path = string_field(event.body, "record");
       return outcome;
+    } else if (event.kind == "canceled" || event.kind == "interrupted") {
+      outcome.error = event.kind + ": " + string_field(event.body, "message");
+      return outcome;
     } else if (event.kind == "error") {
       outcome.error = string_field(event.body, "message");
       return outcome;
@@ -142,7 +203,83 @@ JobOutcome Client::submit(const analysis::ExperimentSpec& spec,
     // Unknown kinds are skipped: a newer server may add event types.
   }
   outcome.error = error_;
+  outcome.transport_lost = true;
   return outcome;
+}
+
+unsigned next_backoff_ms(const RetryPolicy& policy, unsigned attempt,
+                         unsigned prev_ms, std::uint64_t stream) {
+  if (attempt <= 1) return 0;
+  // Decorrelated jitter: uniform over [base, prev*3], capped. The draw is
+  // a pure function of (seed, stream, attempt) so tests can replay it.
+  const std::uint64_t lo = std::max(1u, policy.base_ms);
+  const std::uint64_t hi =
+      std::min<std::uint64_t>(policy.cap_ms,
+                              std::max<std::uint64_t>(lo, prev_ms) * 3);
+  if (hi <= lo) return static_cast<unsigned>(lo);
+  util::SplitMix64 rng(util::mix_seed(policy.seed, stream, attempt));
+  return static_cast<unsigned>(lo + rng.next() % (hi - lo + 1));
+}
+
+namespace {
+
+/// Shared reconnect loop: `round` dials + runs one attempt; keeps going
+/// while outcomes are transport failures and attempts remain. Once any
+/// attempt learns the job id, later rounds reattach to it.
+JobOutcome run_with_retry(
+    const std::string& host, std::uint16_t port, const RetryPolicy& policy,
+    std::string job_id,
+    const std::function<JobOutcome(Client&, const std::string& job_id)>&
+        round) {
+  JobOutcome outcome;
+  unsigned prev_ms = 0;
+  const unsigned attempts = std::max(1u, policy.max_attempts);
+  for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
+    const unsigned delay = next_backoff_ms(policy, attempt, prev_ms, 0);
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      prev_ms = delay;
+    }
+    Client client = Client::connect(host, port);
+    if (!client.connected()) {
+      outcome = JobOutcome{};
+      outcome.error = client.error();
+      outcome.transport_lost = true;
+      outcome.job_id = job_id;
+      continue;
+    }
+    outcome = round(client, job_id);
+    if (!outcome.job_id.empty()) job_id = outcome.job_id;
+    if (outcome.ok || !outcome.transport_lost) return outcome;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+JobOutcome submit_with_retry(const std::string& host, std::uint16_t port,
+                             const analysis::ExperimentSpec& spec,
+                             const RetryPolicy& policy,
+                             const ProgressEventFn& on_progress) {
+  return run_with_retry(
+      host, port, policy, {},
+      [&](Client& client, const std::string& job_id) {
+        // First round submits; once the server assigned an id, resumption
+        // goes through reattach so the job is never double-recorded.
+        return job_id.empty() ? client.submit(spec, on_progress)
+                              : client.reattach(job_id, on_progress);
+      });
+}
+
+JobOutcome reattach_with_retry(const std::string& host, std::uint16_t port,
+                               const std::string& job_id,
+                               const RetryPolicy& policy,
+                               const ProgressEventFn& on_progress) {
+  return run_with_retry(
+      host, port, policy, job_id,
+      [&](Client& client, const std::string& id) {
+        return client.reattach(id, on_progress);
+      });
 }
 
 std::vector<std::string> write_outcome_csvs(const JobOutcome& outcome,

@@ -3,6 +3,12 @@
 // streamed tidy tables so callers can write EXACTLY the CSVs the offline
 // drivers write (same CsvWriter, same spec_<sweep>.csv naming — the
 // byte-identity contract tests/test_service.cpp pins).
+//
+// Fault model (DESIGN.md §8): a dropped connection mid-stream surfaces as
+// a failed outcome with transport_lost set; submit_with_retry /
+// reattach_with_retry reconnect with decorrelated-jitter backoff and
+// resume the job by id, so a daemon restart in the middle of a sweep is
+// invisible to the caller beyond added latency.
 #ifndef HH_SERVICE_CLIENT_HPP
 #define HH_SERVICE_CLIENT_HPP
 
@@ -33,11 +39,16 @@ struct SweepResult {
 struct JobOutcome {
   bool ok = false;
   std::string error;            ///< set when !ok
+  /// The connection died (or the server dropped us) before a terminal
+  /// event — the retry helpers reconnect and reattach on this; a server-
+  /// reported failure (error / canceled event) leaves it false.
+  bool transport_lost = false;
   std::string job_id;           ///< "job-NNNNNN" once accepted
   std::size_t cells_total = 0;
   std::size_t cached = 0;
   std::size_t run = 0;
   std::size_t progress_events = 0;
+  std::size_t heartbeats = 0;   ///< "hb" events observed while tailing
   std::string record_path;      ///< server-side job record, "" if unwritten
   std::vector<SweepResult> sweeps;
 };
@@ -77,6 +88,18 @@ class Client {
   [[nodiscard]] JobOutcome submit(const analysis::ExperimentSpec& spec,
                                   const ProgressEventFn& on_progress = {});
 
+  /// Reattach to `job_id` ("job-NNNNNN" or bare digits): the server
+  /// re-runs the job's recorded spec under its original id — every cell a
+  /// previous life flushed is served from cache — and this client tails
+  /// the stream exactly like submit().
+  [[nodiscard]] JobOutcome reattach(const std::string& job_id,
+                                    const ProgressEventFn& on_progress = {});
+
+  /// Ask the server to stop `job_id`. True once the server acks with
+  /// cancel_ok; false (with error()) for unknown/terminal jobs or
+  /// transport failure.
+  [[nodiscard]] bool cancel(const std::string& job_id);
+
   /// Movable (connect returns by value): the reader is rebound to the
   /// moved socket, preserving any buffered bytes.
   Client(Client&& other) noexcept
@@ -99,6 +122,8 @@ class Client {
   bool send(const Request& request);
   /// Read the next event line; false (and error_) on EOF/parse failure.
   bool next_event(Event& event);
+  /// Shared submit/reattach tail loop.
+  JobOutcome tail_job(const ProgressEventFn& on_progress);
 
   util::net::Socket socket_;
   util::net::LineReader reader_{socket_};
@@ -106,6 +131,41 @@ class Client {
   std::string store_dir_;
   std::size_t store_records_ = 0;
 };
+
+/// Reconnect policy for the retry helpers. Backoff is decorrelated
+/// jitter (AWS architecture-blog variant): each delay is drawn uniformly
+/// from [base_ms, prev * 3] and capped, which spreads a thundering herd
+/// of reattaching clients without a coordination channel.
+struct RetryPolicy {
+  unsigned max_attempts = 5;   ///< total connection attempts (>= 1)
+  unsigned base_ms = 50;       ///< backoff floor
+  unsigned cap_ms = 2000;      ///< backoff ceiling
+  std::uint64_t seed = 1;      ///< jitter stream seed (deterministic tests)
+};
+
+/// One backoff step: the delay to sleep before attempt `attempt` (1-based;
+/// attempt 1 never sleeps and returns 0). `prev_ms` is the last returned
+/// delay (0 before the first). Exposed for tests — the retry helpers use
+/// exactly this sequence.
+[[nodiscard]] unsigned next_backoff_ms(const RetryPolicy& policy,
+                                       unsigned attempt, unsigned prev_ms,
+                                       std::uint64_t stream);
+
+/// Submit with automatic reconnect: dial, submit, tail; when the
+/// transport dies mid-stream, back off, reconnect, and — once a job id
+/// was assigned — reattach to it instead of resubmitting (no duplicate
+/// job records). Non-transport failures (server error events, cancel)
+/// return immediately. The final outcome is the last attempt's.
+[[nodiscard]] JobOutcome submit_with_retry(
+    const std::string& host, std::uint16_t port,
+    const analysis::ExperimentSpec& spec, const RetryPolicy& policy = {},
+    const ProgressEventFn& on_progress = {});
+
+/// Reattach with the same reconnect loop (for `--reattach` after a daemon
+/// or client death).
+[[nodiscard]] JobOutcome reattach_with_retry(
+    const std::string& host, std::uint16_t port, const std::string& job_id,
+    const RetryPolicy& policy = {}, const ProgressEventFn& on_progress = {});
 
 /// Write every sweep's CSV under `out_dir` (created on demand) with the
 /// same bytes `bench_spec --spec` writes to bench_out/: CsvWriter, header

@@ -1,9 +1,26 @@
 #include "service/job.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 
 namespace hh::service {
+
+void JobControl::emit(const std::string& line) {
+  // Copy the sink out so a slow send never blocks set_sink(); the copy is
+  // cheap (std::function over a shared session pointer).
+  EventSink sink;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sink = sink_;
+  }
+  if (sink) sink(line);
+}
+
+void JobControl::set_sink(EventSink sink) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
 
 std::string Job::display_id() const {
   char buf[32];
@@ -12,17 +29,32 @@ std::string Job::display_id() const {
   return buf;
 }
 
+std::optional<std::uint64_t> parse_job_id(std::string_view text) {
+  if (text.starts_with("job-")) text.remove_prefix(4);
+  if (text.empty() || text.size() > 19) return std::nullopt;
+  std::uint64_t id = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    id = id * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (id == 0) return std::nullopt;
+  return id;
+}
+
 std::uint64_t JobQueue::submit(
-    analysis::ExperimentSpec spec, EventSink sink,
-    const std::function<void(std::uint64_t)>& accepted) {
-  Job job;
-  job.spec = std::move(spec);
-  job.sink = std::move(sink);
+    Job job, const std::function<void(std::uint64_t)>& accepted) {
+  if (job.control == nullptr) job.control = std::make_shared<JobControl>();
   std::uint64_t id = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) return 0;  // shutting down: refuse, caller reports it
-    id = job.id = next_id_++;
+    if (job.id == 0) {
+      job.id = next_id_++;
+    } else {
+      // Reattach re-enqueues under the original id; keep fresh ids ahead.
+      next_id_ = std::max(next_id_, job.id + 1);
+    }
+    id = job.id;
     if (accepted) accepted(id);  // under the lock: precedes any pop()
     queue_.push_back(std::move(job));
   }
@@ -39,6 +71,16 @@ std::optional<Job> JobQueue::pop() {
   return job;
 }
 
+std::optional<Job> JobQueue::remove(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::find_if(queue_.begin(), queue_.end(),
+                               [&](const Job& job) { return job.id == id; });
+  if (it == queue_.end()) return std::nullopt;
+  Job job = std::move(*it);
+  queue_.erase(it);
+  return job;
+}
+
 std::vector<Job> JobQueue::close() {
   std::vector<Job> orphans;
   {
@@ -50,6 +92,11 @@ std::vector<Job> JobQueue::close() {
   }
   ready_.notify_all();
   return orphans;
+}
+
+void JobQueue::reserve_ids_through(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  next_id_ = std::max(next_id_, id + 1);
 }
 
 std::size_t JobQueue::pending() const {

@@ -1,20 +1,26 @@
-// Job model of the sweep service: a submitted ExperimentSpec plus the
-// event sink that streams its lifecycle back to the submitting session,
-// and the thread-safe FIFO the scheduler thread drains.
+// Job model of the sweep service: a submitted ExperimentSpec plus a
+// shared control block that carries the watching session's event sink and
+// the cooperative stop flag, and the thread-safe FIFO the scheduler
+// thread drains.
 //
-// Lifecycle (DESIGN.md §7): queued -> running -> done | failed. Queued
-// jobs that are still pending when the server shuts down are cancelled
-// (their sinks get a final error event).
+// Lifecycle (DESIGN.md §7/§8): queued -> running -> done | failed |
+// canceled | interrupted. Queued jobs still pending at shutdown are
+// canceled; a running job hit by cancel or drain stops at its next block
+// boundary (flushed shards keep everything it finished). Every state is
+// persisted in jobs/job-NNNNNN.json, which is what reattach replays.
 #ifndef HH_SERVICE_JOB_HPP
 #define HH_SERVICE_JOB_HPP
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/spec.hpp"
@@ -27,35 +33,77 @@ namespace hh::service {
 /// sockets — see Server::session_sink).
 using EventSink = std::function<void(const std::string& line)>;
 
+/// Shared between the session that watches a job and the scheduler that
+/// runs it; outlives both (held by shared_ptr). Carries the cooperative
+/// stop flag — checked by the scheduler at every block boundary — and the
+/// swappable event sink, so a reattaching session can take over the
+/// stream of a job another connection submitted.
+class JobControl {
+ public:
+  enum Stop : int {
+    kNone = 0,    ///< run to completion
+    kCancel = 1,  ///< client cancel: record -> canceled
+    kDrain = 2,   ///< server drain (SIGTERM): record -> interrupted
+  };
+
+  std::atomic<int> stop{kNone};
+
+  /// Deliver one event line to the current sink (dropped when no sink).
+  void emit(const std::string& line);
+
+  /// Replace the sink (empty = detach). Thread-safe against emit().
+  void set_sink(EventSink sink);
+
+ private:
+  std::mutex mutex_;
+  EventSink sink_;
+};
+
 struct Job {
   std::uint64_t id = 0;
   analysis::ExperimentSpec spec;
-  EventSink sink;  ///< may be empty (fire-and-forget submission)
+  std::shared_ptr<JobControl> control;  ///< never null once submitted
+  bool reattached = false;  ///< announce with "reattached", not "accepted"
 
   /// Display id, e.g. "job-000007" — what every event's "job" field holds.
   [[nodiscard]] std::string display_id() const;
 };
+
+/// Parse "job-000007", "job-7", or "7" into a job id. nullopt on anything
+/// else (including id 0, which is never assigned).
+[[nodiscard]] std::optional<std::uint64_t> parse_job_id(std::string_view text);
 
 /// Thread-safe submission queue: sessions push, the single scheduler
 /// thread pops. close() wakes every popper and hands back the jobs that
 /// never ran so the server can cancel them loudly.
 class JobQueue {
  public:
-  /// Enqueue and return the assigned job id (1-based, monotonic), or 0
-  /// when the queue is already closed. `accepted`, when set, is invoked
-  /// with the id BEFORE the job becomes poppable — the server's hook for
-  /// sending the "accepted" event strictly ahead of any scheduler event
+  /// Enqueue and return the job's id (job.id when preset — the reattach
+  /// path — else the next monotonic id, 1-based), or 0 when the queue is
+  /// already closed. `accepted`, when set, is invoked with the id BEFORE
+  /// the job becomes poppable — the server's hook for sending the
+  /// "accepted"/"reattached" event strictly ahead of any scheduler event
   /// for the job (it runs under the queue lock; keep it brief).
-  std::uint64_t submit(analysis::ExperimentSpec spec, EventSink sink,
+  std::uint64_t submit(Job job,
                        const std::function<void(std::uint64_t)>& accepted = {});
 
   /// Block until a job or close(); nullopt once closed (pending jobs are
   /// NOT drained after close — they come back from close() instead).
   [[nodiscard]] std::optional<Job> pop();
 
+  /// Remove a still-queued job (the cancel path). nullopt when `id` is
+  /// not pending — already popped, never queued, or finished.
+  [[nodiscard]] std::optional<Job> remove(std::uint64_t id);
+
   /// Close the queue: pop() returns nullopt from now on. Returns every
   /// job that was still pending, in submission order.
   std::vector<Job> close();
+
+  /// Never assign ids <= `id` again — called at daemon startup with the
+  /// highest id found in the jobs/ directory, so job ids stay monotonic
+  /// across restarts and a reattached id can never collide with a new
+  /// submission's.
+  void reserve_ids_through(std::uint64_t id);
 
   [[nodiscard]] std::size_t pending() const;
 

@@ -11,6 +11,8 @@ Request::Op parse_op(const std::string& name) {
   if (name == "ping") return Request::Op::kPing;
   if (name == "status") return Request::Op::kStatus;
   if (name == "submit") return Request::Op::kSubmit;
+  if (name == "reattach") return Request::Op::kReattach;
+  if (name == "cancel") return Request::Op::kCancel;
   if (name == "shutdown") return Request::Op::kShutdown;
   throw ProtocolError("unknown op '" + name + "'");
 }
@@ -20,6 +22,8 @@ const char* op_name(Request::Op op) {
     case Request::Op::kPing: return "ping";
     case Request::Op::kStatus: return "status";
     case Request::Op::kSubmit: return "submit";
+    case Request::Op::kReattach: return "reattach";
+    case Request::Op::kCancel: return "cancel";
     case Request::Op::kShutdown: return "shutdown";
   }
   return "ping";
@@ -32,6 +36,10 @@ std::string encode_request(const Request& request) {
   json.set("op", op_name(request.op));
   if (request.op == Request::Op::kSubmit) {
     json.set("spec", analysis::experiment_to_json(request.spec));
+  }
+  if (request.op == Request::Op::kReattach ||
+      request.op == Request::Op::kCancel) {
+    json.set("job", request.job);
   }
   return util::dump_json(json);
 }
@@ -60,6 +68,15 @@ Request parse_request(std::string_view line) {
     } catch (const std::exception& e) {
       throw ProtocolError(std::string("bad spec: ") + e.what());
     }
+  }
+  if (request.op == Request::Op::kReattach ||
+      request.op == Request::Op::kCancel) {
+    const util::Json* job = json.find("job");
+    if (job == nullptr || !job->is_string() || job->as_string().empty()) {
+      throw ProtocolError(std::string(op_name(request.op)) +
+                          " needs a string \"job\" field");
+    }
+    request.job = job->as_string();
   }
   return request;
 }

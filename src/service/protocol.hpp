@@ -8,7 +8,16 @@
 //   {"op":"status"}                    -> {"event":"status",...}
 //   {"op":"submit","spec":{...}}       -> accepted, then progress* /
 //                                         sweep_done* / job_done | error
+//   {"op":"reattach","job":"job-N"}    -> reattached, then the same event
+//                                         stream as submit (v2)
+//   {"op":"cancel","job":"job-N"}      -> cancel_ok | error; the watcher's
+//                                         stream ends with canceled (v2)
 //   {"op":"shutdown"}                  -> {"event":"bye"}, server drains
+//
+// Protocol v2 (additive over v1): reattach/cancel verbs; hb (periodic
+// heartbeat), reattached, canceled, interrupted (drain hit a running
+// job), and cancel_ok events. v1 clients skip unknown event kinds, so a
+// v1 client against a v2 server still works for the v1 surface.
 //
 // The spec payload is the canonical serializable ExperimentSpec
 // (analysis/spec.hpp) — the same document `driver --dump-spec` emits —
@@ -32,7 +41,7 @@
 
 namespace hh::service {
 
-inline constexpr int kProtocolVersion = 1;
+inline constexpr int kProtocolVersion = 2;
 
 /// A malformed request or event line (bad JSON, unknown op, missing
 /// field). Sessions answer these with an error event, never by dying.
@@ -42,10 +51,11 @@ class ProtocolError : public std::runtime_error {
 };
 
 struct Request {
-  enum class Op { kPing, kStatus, kSubmit, kShutdown };
+  enum class Op { kPing, kStatus, kSubmit, kReattach, kCancel, kShutdown };
 
   Op op = Op::kPing;
   analysis::ExperimentSpec spec;  ///< kSubmit only
+  std::string job;                ///< kReattach/kCancel: "job-NNNNNN" or "N"
 };
 
 /// One request per line, compact canonical JSON (no newline appended).

@@ -1,14 +1,15 @@
 #include "service/server.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
-#include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <stdexcept>
 #include <utility>
 
 #include "analysis/manifest.hpp"
-#include "service/protocol.hpp"
+#include "util/fault_inject.hpp"
 #include "util/socket.hpp"
 
 namespace hh::service {
@@ -21,6 +22,38 @@ std::size_t spec_cells(const analysis::ExperimentSpec& spec) {
     cells += entry.size() * entry.trials;
   }
   return cells;
+}
+
+/// Thrown from the scheduler's progress callback when a running job is
+/// canceled or the server drains; unwinds run_resumable at the next block
+/// boundary (per-worker shard writers flush in their destructors, so
+/// everything finished stays cached).
+struct JobStopped {
+  bool drain = false;  ///< true: server drain; false: client cancel
+};
+
+long long now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string display_id(std::uint64_t id) {
+  Job job;
+  job.id = id;
+  return job.display_id();
+}
+
+const char* phase_name(int phase) {
+  switch (phase) {
+    case 0: return "queued";
+    case 1: return "running";
+    case 2: return "done";
+    case 3: return "failed";
+    case 4: return "canceled";
+    case 5: return "interrupted";
+  }
+  return "unknown";
 }
 
 }  // namespace
@@ -40,6 +73,8 @@ Server::Server(ServerOptions options)
                              std::to_string(options_.port));
   }
   store_records_.store(store_.size());
+  store_quarantined_.store(store_.quarantined_files());
+  scan_job_records();
   scheduler_ = std::thread([this] { scheduler_loop(); });
 }
 
@@ -69,16 +104,17 @@ void Server::start() {
 void Server::request_stop() {
   if (stopping_.exchange(true)) return;
   listener_.close();
-  // Cancel everything still queued; the in-flight job (if any) finishes
-  // and streams normally before the scheduler sees the closed queue.
+  // Cancel everything still queued (records -> "canceled"); the in-flight
+  // job sees stopping_ at its next block boundary and lands "interrupted".
   for (Job& orphan : queue_.close()) {
-    if (orphan.sink) {
-      util::Json body;
-      body.set("job", orphan.display_id());
-      body.set("message", "server shutting down before this job started");
-      orphan.sink(encode_event("error", body));
-    }
-    jobs_failed_.fetch_add(1);
+    set_phase(orphan.id, JobPhase::kCanceled);
+    jobs_canceled_.fetch_add(1);
+    write_job_record(orphan.id, orphan.spec, "canceled", nullptr,
+                     "server shutting down before this job started");
+    util::Json body;
+    body.set("job", orphan.display_id());
+    body.set("message", "server shutting down before this job started");
+    orphan.control->emit(encode_event("canceled", body));
   }
 }
 
@@ -103,6 +139,8 @@ void Server::send_line(const std::shared_ptr<Session>& session,
   const std::lock_guard<std::mutex> lock(session->write_mutex);
   if (!session->socket.send_all(line) || !session->socket.send_all("\n")) {
     session->alive.store(false, std::memory_order_release);
+  } else {
+    session->last_tx_ms.store(now_ms(), std::memory_order_relaxed);
   }
 }
 
@@ -117,7 +155,12 @@ util::Json Server::status_json() {
   body.set("job_running", job_running_.load());
   body.set("jobs_done", static_cast<double>(jobs_done_.load()));
   body.set("jobs_failed", static_cast<double>(jobs_failed_.load()));
+  body.set("jobs_canceled", static_cast<double>(jobs_canceled_.load()));
+  body.set("jobs_interrupted",
+           static_cast<double>(jobs_interrupted_.load()));
   body.set("store_records", static_cast<double>(store_records_.load()));
+  body.set("store_quarantined",
+           static_cast<double>(store_quarantined_.load()));
   body.set("store_dir", options_.store_dir);
   return body;
 }
@@ -132,56 +175,262 @@ void Server::session_loop(const std::shared_ptr<Session>& session) {
     send_line(session, encode_event("hello", hello));
   }
   util::net::LineReader reader(session->socket);
+  reader.set_max_line(options_.max_line_bytes);
   std::string line;
-  while (session->alive.load(std::memory_order_acquire) &&
-         reader.next_line(line)) {
-    if (line.empty()) continue;
-    Request request;
-    try {
-      request = parse_request(line);
-    } catch (const ProtocolError& e) {
+  long long last_rx = now_ms();
+  long long last_hb = last_rx;
+  // The session thread multiplexes three duties on one short poll tick:
+  // read requests, tick heartbeats, and enforce the idle deadline.
+  while (session->alive.load(std::memory_order_acquire)) {
+    const auto status = reader.next_line_for(line, 250);
+    const long long now = now_ms();
+    if (status == util::net::LineReader::Status::kClosed) break;
+    if (status == util::net::LineReader::Status::kOverflow) {
+      last_rx = now;
       util::Json body;
-      body.set("message", e.what());
+      body.set("message",
+               "request line exceeds " +
+                   std::to_string(options_.max_line_bytes) +
+                   " bytes; discarded");
       send_line(session, encode_event("error", body));
       continue;
     }
-    switch (request.op) {
-      case Request::Op::kPing:
-        send_line(session, encode_event("pong", util::Json()));
-        break;
-      case Request::Op::kStatus:
-        send_line(session, encode_event("status", status_json()));
-        break;
-      case Request::Op::kSubmit: {
-        const std::size_t cells = spec_cells(request.spec);
-        const std::size_t sweeps = request.spec.sweeps.size();
-        const std::uint64_t id = queue_.submit(
-            std::move(request.spec), session_sink(session),
-            [&](std::uint64_t assigned) {
-              // Still under the queue lock: "accepted" is on the wire
-              // before the scheduler can emit anything for this job.
-              Job preview;
-              preview.id = assigned;
-              util::Json body;
-              body.set("job", preview.display_id());
-              body.set("sweeps", static_cast<double>(sweeps));
-              body.set("cells", static_cast<double>(cells));
-              send_line(session, encode_event("accepted", body));
-            });
-        if (id == 0) {
-          util::Json body;
-          body.set("message", "server is shutting down; submission refused");
-          send_line(session, encode_event("error", body));
-        }
+    if (status == util::net::LineReader::Status::kLine) {
+      last_rx = now;
+      if (!line.empty()) handle_request(session, line);
+      continue;
+    }
+    // kTimeout: no request this tick.
+    if (options_.heartbeat_ms > 0 &&
+        now - last_hb >= static_cast<long long>(options_.heartbeat_ms)) {
+      last_hb = now;
+      util::Json body;
+      body.set("t_ms", static_cast<double>(now));
+      send_line(session, encode_event("hb", body));
+    }
+    if (options_.read_deadline_ms > 0) {
+      const long long last_seen = std::max(
+          last_rx, session->last_tx_ms.load(std::memory_order_relaxed));
+      if (now - last_seen >=
+          static_cast<long long>(options_.read_deadline_ms)) {
+        util::Json body;
+        body.set("message", "idle deadline exceeded; dropping session");
+        send_line(session, encode_event("error", body));
         break;
       }
-      case Request::Op::kShutdown:
-        send_line(session, encode_event("bye", util::Json()));
-        request_stop();
-        break;
     }
   }
   session->alive.store(false, std::memory_order_release);
+  // Actually hang up: the peer (blocked in a read) must see EOF now, not
+  // when the whole server shuts down. shutdown, not close — a scheduler
+  // sink may still hold this session and try one more doomed send.
+  session->socket.shutdown_both();
+}
+
+void Server::handle_request(const std::shared_ptr<Session>& session,
+                            const std::string& line) {
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const ProtocolError& e) {
+    util::Json body;
+    body.set("message", e.what());
+    send_line(session, encode_event("error", body));
+    return;
+  }
+  switch (request.op) {
+    case Request::Op::kPing:
+      send_line(session, encode_event("pong", util::Json()));
+      break;
+    case Request::Op::kStatus:
+      send_line(session, encode_event("status", status_json()));
+      break;
+    case Request::Op::kSubmit:
+      handle_submit(session, request);
+      break;
+    case Request::Op::kReattach:
+      handle_reattach(session, request);
+      break;
+    case Request::Op::kCancel:
+      handle_cancel(session, request);
+      break;
+    case Request::Op::kShutdown:
+      send_line(session, encode_event("bye", util::Json()));
+      request_stop();
+      break;
+  }
+}
+
+void Server::handle_submit(const std::shared_ptr<Session>& session,
+                           Request& request) {
+  const std::size_t cells = spec_cells(request.spec);
+  const std::size_t sweeps = request.spec.sweeps.size();
+  auto control = std::make_shared<JobControl>();
+  control->set_sink(session_sink(session));
+  Job job;
+  job.spec = request.spec;  // keep the original for the queued record
+  job.control = control;
+  const std::uint64_t id = queue_.submit(
+      std::move(job), [&](std::uint64_t assigned) {
+        // Still under the queue lock: the jobs_ entry and the durable
+        // record must exist BEFORE "accepted" hits the wire — the moment
+        // the client reads it, a cancel or reattach by this id (possibly
+        // from another session) must succeed.
+        {
+          const std::lock_guard<std::mutex> lock(jobs_mutex_);
+          jobs_[assigned] = JobEntry{JobPhase::kQueued, control};
+        }
+        write_job_record(assigned, request.spec, "queued", nullptr, {});
+        util::Json body;
+        body.set("job", display_id(assigned));
+        body.set("sweeps", static_cast<double>(sweeps));
+        body.set("cells", static_cast<double>(cells));
+        send_line(session, encode_event("accepted", body));
+      });
+  if (id == 0) {
+    util::Json body;
+    body.set("message", "server is shutting down; submission refused");
+    send_line(session, encode_event("error", body));
+  }
+}
+
+void Server::handle_reattach(const std::shared_ptr<Session>& session,
+                             const Request& request) {
+  const auto error = [&](const std::string& message) {
+    util::Json body;
+    body.set("message", message);
+    send_line(session, encode_event("error", body));
+  };
+  const auto parsed = parse_job_id(request.job);
+  if (!parsed) {
+    error("bad job id '" + request.job + "'");
+    return;
+  }
+  const std::uint64_t id = *parsed;
+  const auto record = load_job_record(id);
+  if (!record) {
+    error("unknown job " + display_id(id));
+    return;
+  }
+  std::string prior_state = "done";  // pre-v2 records: written at completion
+  if (const util::Json* state = record->find("state");
+      state != nullptr && state->is_string()) {
+    prior_state = state->as_string();
+  }
+  const util::Json* spec_json = record->find("spec");
+  if (spec_json == nullptr || !spec_json->is_object()) {
+    error(display_id(id) + " record has no spec; cannot reattach");
+    return;
+  }
+  analysis::ExperimentSpec spec;
+  try {
+    spec = analysis::experiment_from_json(*spec_json);
+  } catch (const std::exception& e) {
+    error(display_id(id) + " record spec unreadable: " + e.what());
+    return;
+  }
+  // Reattach ALWAYS re-enqueues the job's spec under its original id —
+  // uniform across terminal, interrupted, and still-active states. The
+  // store dedup makes the rerun serve every already-flushed cell from
+  // cache, so the replayed event stream (and the CSVs built from it) is
+  // bit-identical to what an uninterrupted run would have produced.
+  const std::size_t cells = spec_cells(spec);
+  const std::size_t sweeps = spec.sweeps.size();
+  auto control = std::make_shared<JobControl>();
+  control->set_sink(session_sink(session));
+  Job job;
+  job.id = id;
+  job.spec = spec;
+  job.control = control;
+  job.reattached = true;
+  const std::uint64_t submitted = queue_.submit(
+      std::move(job), [&](std::uint64_t assigned) {
+        // Same ordering as handle_submit: publish the jobs_ entry and the
+        // record before the client can learn the id is live again.
+        {
+          const std::lock_guard<std::mutex> lock(jobs_mutex_);
+          jobs_[assigned] = JobEntry{JobPhase::kQueued, control};
+        }
+        write_job_record(assigned, spec, "queued", nullptr, "reattached");
+        util::Json body;
+        body.set("job", display_id(assigned));
+        body.set("state", prior_state);
+        body.set("sweeps", static_cast<double>(sweeps));
+        body.set("cells", static_cast<double>(cells));
+        send_line(session, encode_event("reattached", body));
+      });
+  if (submitted == 0) {
+    error("server is shutting down; reattach refused");
+  }
+}
+
+void Server::handle_cancel(const std::shared_ptr<Session>& session,
+                           const Request& request) {
+  const auto error = [&](const std::string& message) {
+    util::Json body;
+    body.set("message", message);
+    send_line(session, encode_event("error", body));
+  };
+  const auto parsed = parse_job_id(request.job);
+  if (!parsed) {
+    error("bad job id '" + request.job + "'");
+    return;
+  }
+  const std::uint64_t id = *parsed;
+  JobEntry entry;
+  bool known = false;
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mutex_);
+    const auto it = jobs_.find(id);
+    if (it != jobs_.end()) {
+      entry = it->second;
+      known = true;
+    }
+  }
+  if (!known) {
+    // Not in this daemon life; report what the record says, if any.
+    if (const auto record = load_job_record(id)) {
+      std::string state = "done";
+      if (const util::Json* s = record->find("state");
+          s != nullptr && s->is_string()) {
+        state = s->as_string();
+      }
+      error(display_id(id) + " is not active (state: " + state + ")");
+    } else {
+      error("unknown job " + display_id(id));
+    }
+    return;
+  }
+  const auto ack = [&](const char* note) {
+    util::Json body;
+    body.set("job", display_id(id));
+    body.set("note", note);
+    send_line(session, encode_event("cancel_ok", body));
+  };
+  if (entry.phase == JobPhase::kQueued) {
+    // jobs_mutex_ is NOT held here (lock ordering: queue before jobs).
+    if (auto removed = queue_.remove(id)) {
+      set_phase(id, JobPhase::kCanceled);
+      jobs_canceled_.fetch_add(1);
+      write_job_record(id, removed->spec, "canceled", nullptr,
+                       "canceled before start");
+      util::Json body;
+      body.set("job", display_id(id));
+      body.set("message", "canceled before start");
+      removed->control->emit(encode_event("canceled", body));
+      ack("removed from queue");
+      return;
+    }
+    // Raced the scheduler — it popped the job first; treat as running.
+    entry.phase = JobPhase::kRunning;
+  }
+  if (entry.phase == JobPhase::kRunning) {
+    entry.control->stop.store(JobControl::kCancel, std::memory_order_relaxed);
+    ack("stopping at next block boundary");
+    return;
+  }
+  error(display_id(id) + " already " +
+        phase_name(static_cast<int>(entry.phase)));
 }
 
 void Server::scheduler_loop() {
@@ -194,17 +443,18 @@ void Server::scheduler_loop() {
 
 void Server::execute_job(Job& job) {
   const std::string id = job.display_id();
+  set_phase(job.id, JobPhase::kRunning);
+  write_job_record(job.id, job.spec, "running", nullptr, {});
   const auto emit = [&](const char* kind, util::Json body) {
-    if (job.sink) {
-      body.set("job", id);
-      job.sink(encode_event(kind, std::move(body)));
-    }
+    body.set("job", id);
+    job.control->emit(encode_event(kind, std::move(body)));
   };
   try {
     // Pick up every cell persisted by earlier jobs and by other writers
     // (prior daemon lives, offline bench_spec runs) since the last job.
     store_.reload();
     store_records_.store(store_.size());
+    store_quarantined_.store(store_.quarantined_files());
 
     analysis::ResumeReport job_total;
     util::Json sweep_records{util::Json::Array{}};
@@ -216,6 +466,13 @@ void Server::execute_job(Job& job) {
       std::size_t last_emitted = 0;
       const analysis::ProgressFn progress =
           [&](const analysis::RunProgress& p) {
+            // Cooperative stop: cancel/drain both land here, at a block
+            // boundary, where every finished cell is already flushed.
+            const int stop = job.control->stop.load(std::memory_order_relaxed);
+            if (stop == JobControl::kCancel) throw JobStopped{false};
+            if (stop == JobControl::kDrain || stopping_.load()) {
+              throw JobStopped{true};
+            }
             const std::size_t step =
                 std::max<std::size_t>(1, p.cells_fresh_total / 64);
             if (p.cells_fresh_done != p.cells_fresh_total &&
@@ -238,10 +495,12 @@ void Server::execute_job(Job& job) {
       analysis::ResumeReport report;
       const analysis::BatchResult batch = runner_.run_resumable(
           scenarios, entry.trials, entry.base_seed, store_, &report,
-          job.sink ? progress : analysis::ProgressFn{});
+          progress);
       job_total.cells_total += report.cells_total;
       job_total.cells_cached += report.cells_cached;
       job_total.cells_run += report.cells_run;
+      job_total.shards_quarantined =
+          std::max(job_total.shards_quarantined, report.shards_quarantined);
 
       // The sweep's run manifest, reused verbatim as the job record entry.
       analysis::ManifestInfo info;
@@ -268,8 +527,10 @@ void Server::execute_job(Job& job) {
     // even if no further job runs.
     store_.reload();
     store_records_.store(store_.size());
+    store_quarantined_.store(store_.quarantined_files());
 
-    const std::string record_path = write_job_record(job, sweep_records);
+    const std::string record_path =
+        write_job_record(job.id, job.spec, "done", &sweep_records, {});
     util::Json done;
     done.set("spec", job.spec.name);
     done.set("cells_total", static_cast<double>(job_total.cells_total));
@@ -279,32 +540,149 @@ void Server::execute_job(Job& job) {
                                            : util::Json(record_path));
     emit("job_done", std::move(done));
     jobs_done_.fetch_add(1);
+    set_phase(job.id, JobPhase::kDone);
+  } catch (const JobStopped& stop) {
+    // Worker threads unwound at the block boundary; their shard writers
+    // flushed in destructors, so everything finished is durably cached
+    // and a reattach completes the job from where it stopped.
+    const char* state = stop.drain ? "interrupted" : "canceled";
+    const std::string message =
+        stop.drain ? "server draining; finished cells are cached — "
+                     "reattach to complete"
+                   : "canceled by client; finished cells stay cached";
+    write_job_record(job.id, job.spec, state, nullptr, message);
+    util::Json body;
+    body.set("message", message);
+    emit(state, std::move(body));
+    if (stop.drain) {
+      jobs_interrupted_.fetch_add(1);
+      set_phase(job.id, JobPhase::kInterrupted);
+    } else {
+      jobs_canceled_.fetch_add(1);
+      set_phase(job.id, JobPhase::kCanceled);
+    }
   } catch (const std::exception& e) {
+    write_job_record(job.id, job.spec, "failed", nullptr, e.what());
     util::Json body;
     body.set("message", e.what());
     emit("error", std::move(body));
     jobs_failed_.fetch_add(1);
+    set_phase(job.id, JobPhase::kFailed);
   }
 }
 
-std::string Server::write_job_record(const Job& job,
-                                     const util::Json& sweep_records) {
+void Server::set_phase(std::uint64_t id, JobPhase phase) {
+  const std::lock_guard<std::mutex> lock(jobs_mutex_);
+  jobs_[id].phase = phase;
+}
+
+std::filesystem::path Server::jobs_dir() const {
+  return std::filesystem::path(options_.store_dir) / "jobs";
+}
+
+std::filesystem::path Server::record_path(std::uint64_t id) const {
+  return jobs_dir() / (display_id(id) + ".json");
+}
+
+std::string Server::write_job_record(std::uint64_t id,
+                                     const analysis::ExperimentSpec& spec,
+                                     const char* state,
+                                     const util::Json* sweeps,
+                                     const std::string& message) {
   namespace fs = std::filesystem;
   std::error_code ec;
-  const fs::path dir = fs::path(options_.store_dir) / "jobs";
-  fs::create_directories(dir, ec);
+  fs::create_directories(jobs_dir(), ec);
   if (ec) return {};
   util::Json record;
-  record.set("job", job.display_id());
-  record.set("spec", job.spec.name);
+  record.set("job", display_id(id));
+  record.set("state", state);
+  record.set("spec_name", spec.name);
   record.set("git_sha", analysis::build_git_sha());
-  record.set("sweeps", sweep_records);
-  const fs::path path = dir / (job.display_id() + ".json");
-  std::ofstream out(path);
-  if (!out) return {};
-  out << util::dump_json(record, 2) << '\n';
-  if (!out) return {};
+  if (!message.empty()) record.set("message", message);
+  // The full spec document — what reattach replays after a daemon death.
+  record.set("spec", analysis::experiment_to_json(spec));
+  if (sweeps != nullptr) record.set("sweeps", *sweeps);
+  const fs::path path = record_path(id);
+  if (!write_record_json(path, record)) return {};
   return path.string();
+}
+
+bool Server::write_record_json(const std::filesystem::path& path,
+                               const util::Json& record) {
+  namespace fs = std::filesystem;
+  // Unique tmp suffix: two writers on one id (the reattach-while-active
+  // corner) may race, but each rename is atomic — the record is always a
+  // complete document from one writer, never interleaved bytes.
+  fs::path tmp = path;
+  tmp += ".tmp" + std::to_string(record_nonce_.fetch_add(1));
+  {
+    std::ofstream out(tmp);
+    if (!out) return false;
+    out << util::dump_json(record, 2) << '\n';
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  if (util::fault::inject("serve.record.rename")) {
+    // Crash window between writing the record and publishing it; the fail
+    // verb models a full disk at rename time.
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+std::optional<util::Json> Server::load_job_record(std::uint64_t id) const {
+  std::ifstream in(record_path(id));
+  if (!in) return std::nullopt;
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  try {
+    util::Json record = util::parse_json(text);
+    if (!record.is_object()) return std::nullopt;
+    return record;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+void Server::scan_job_records() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(jobs_dir(), ec)) return;
+  std::uint64_t max_id = 0;
+  for (const auto& entry : fs::directory_iterator(jobs_dir(), ec)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& path = entry.path();
+    if (path.extension() != ".json") continue;
+    const auto id = parse_job_id(path.stem().string());
+    if (!id) continue;
+    max_id = std::max(max_id, *id);
+    const auto record = load_job_record(*id);
+    if (!record) continue;
+    const util::Json* state = record->find("state");
+    // Pre-v2 records carry no state; they were only written at completion.
+    if (state == nullptr || !state->is_string()) continue;
+    const std::string s = state->as_string();
+    if (s != "queued" && s != "running") continue;
+    // This job died with the previous daemon life: mark it terminal so
+    // nothing ever leaks a non-terminal record, while keeping the spec
+    // for reattach.
+    util::Json updated = *record;
+    updated.set("state", "interrupted");
+    updated.set("message", "daemon restarted while this job was " + s);
+    write_record_json(path, updated);
+  }
+  queue_.reserve_ids_through(max_id);
 }
 
 }  // namespace hh::service

@@ -1,0 +1,334 @@
+#include "util/fault_inject.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace hh::util::fault {
+
+namespace {
+
+struct Action {
+  enum class Verb { kFail, kDelay, kCrash };
+  Verb verb = Verb::kFail;
+  std::uint64_t nth = 0;     // 1-based hit index; 0 = probabilistic mode
+  bool sticky = false;       // '+': fire on every hit from the Nth on
+  double prob = 0.0;         // probabilistic mode firing probability
+  std::uint32_t delay_ms = 0;
+  std::string text;          // action as written, for reports
+};
+
+struct Point {
+  Action action;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fired{0};
+};
+
+// One arming = one immutable Config; inject() readers hold a shared_ptr so
+// re-arming never races with in-flight hits. Point counters are atomic.
+struct Config {
+  std::string spec;
+  std::uint64_t seed = 1;
+  std::map<std::string, std::unique_ptr<Point>, std::less<>> points;
+};
+
+std::mutex g_arm_mutex;
+std::mutex g_config_mutex;
+std::shared_ptr<const Config> g_config;  // guarded by g_config_mutex
+
+// Readers copy the shared_ptr under a short lock; the Config itself is
+// immutable (counters are atomic), so hits proceed lock-free afterwards.
+// Armed-mode hits are chaos-test-only, so the lock is not a hot path.
+std::shared_ptr<const Config> load_config() {
+  std::lock_guard<std::mutex> lock(g_config_mutex);
+  return g_config;
+}
+
+void store_config(std::shared_ptr<const Config> config, int state) {
+  {
+    std::lock_guard<std::mutex> lock(g_config_mutex);
+    g_config = std::move(config);
+  }
+  detail::g_state.store(state, std::memory_order_release);
+}
+
+[[noreturn]] void spec_error(const std::string& spec, const std::string& what) {
+  throw std::runtime_error("fault spec \"" + spec + "\": " + what);
+}
+
+std::uint64_t parse_u64(const std::string& spec, std::string_view text,
+                        std::size_t* consumed) {
+  std::uint64_t value = 0;
+  std::size_t i = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(text[i] - '0');
+    ++i;
+  }
+  if (i == 0) spec_error(spec, "expected a number at \"" + std::string(text) + "\"");
+  *consumed = i;
+  return value;
+}
+
+Action parse_action(const std::string& spec, std::string_view text) {
+  Action action;
+  action.text = std::string(text);
+  Action::Verb verb;
+  std::string_view rest;
+  if (text.starts_with("fail")) {
+    verb = Action::Verb::kFail;
+    rest = text.substr(4);
+  } else if (text.starts_with("delay")) {
+    verb = Action::Verb::kDelay;
+    rest = text.substr(5);
+  } else if (text.starts_with("crash")) {
+    verb = Action::Verb::kCrash;
+    rest = text.substr(5);
+  } else {
+    spec_error(spec, "unknown action \"" + std::string(text) + "\"");
+  }
+  action.verb = verb;
+  if (rest.empty()) spec_error(spec, "action \"" + std::string(text) + "\" needs @N or ~P");
+  const char mode = rest.front();
+  rest.remove_prefix(1);
+  std::size_t used = 0;
+  if (mode == '@') {
+    action.nth = parse_u64(spec, rest, &used);
+    if (action.nth == 0) spec_error(spec, "hit indices are 1-based");
+    rest.remove_prefix(used);
+    if (!rest.empty() && rest.front() == '+') {
+      action.sticky = true;
+      rest.remove_prefix(1);
+    }
+  } else if (mode == '~') {
+    if (verb == Action::Verb::kCrash) {
+      spec_error(spec, "crash supports only crash@N (deterministic)");
+    }
+    // P is a decimal in [0,1]; parse integer and fractional digits by hand
+    // to avoid locale-dependent strtod behavior.
+    std::uint64_t whole = parse_u64(spec, rest, &used);
+    rest.remove_prefix(used);
+    double prob = static_cast<double>(whole);
+    if (!rest.empty() && rest.front() == '.') {
+      rest.remove_prefix(1);
+      std::uint64_t frac = parse_u64(spec, rest, &used);
+      double scale = 1.0;
+      for (std::size_t i = 0; i < used; ++i) scale *= 10.0;
+      prob += static_cast<double>(frac) / scale;
+      rest.remove_prefix(used);
+    }
+    if (prob < 0.0 || prob > 1.0) spec_error(spec, "probability must be in [0,1]");
+    action.prob = prob;
+  } else {
+    spec_error(spec, "action \"" + std::string(text) + "\" needs @N or ~P");
+  }
+  if (verb == Action::Verb::kDelay) {
+    if (rest.empty() || rest.front() != ':') {
+      spec_error(spec, "delay needs a :MS suffix");
+    }
+    rest.remove_prefix(1);
+    action.delay_ms =
+        static_cast<std::uint32_t>(parse_u64(spec, rest, &used));
+    rest.remove_prefix(used);
+  }
+  if (!rest.empty()) {
+    spec_error(spec, "trailing garbage \"" + std::string(rest) + "\" after action");
+  }
+  return action;
+}
+
+std::shared_ptr<Config> parse_spec(const std::string& spec, std::uint64_t seed) {
+  auto config = std::make_shared<Config>();
+  config->spec = spec;
+  config->seed = seed;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    // Trim surrounding whitespace so multi-line env values compose.
+    while (!clause.empty() && (clause.front() == ' ' || clause.front() == '\n' ||
+                               clause.front() == '\t')) {
+      clause.erase(clause.begin());
+    }
+    while (!clause.empty() && (clause.back() == ' ' || clause.back() == '\n' ||
+                               clause.back() == '\t')) {
+      clause.pop_back();
+    }
+    if (clause.empty()) continue;
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      spec_error(spec, "clause \"" + clause + "\" is not point=action");
+    }
+    const std::string point = clause.substr(0, eq);
+    auto p = std::make_unique<Point>();
+    p->action = parse_action(spec, std::string_view(clause).substr(eq + 1));
+    if (!config->points.emplace(point, std::move(p)).second) {
+      spec_error(spec, "fault point \"" + point + "\" armed twice");
+    }
+  }
+  return config;
+}
+
+std::uint64_t fnv1a(const char* text) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char* c = text; *c != '\0'; ++c) {
+    h ^= static_cast<unsigned char>(*c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void write_report_to(std::FILE* out, const Config& config) {
+  std::fputs("=== anthill fault report ===\n", out);
+  std::fprintf(out, "spec: %s\nseed: %llu\n", config.spec.c_str(),
+               static_cast<unsigned long long>(config.seed));
+  for (const auto& [name, point] : config.points) {
+    std::fprintf(out, "%-28s %-16s hits=%llu fired=%llu\n", name.c_str(),
+                 point->action.text.c_str(),
+                 static_cast<unsigned long long>(point->hits.load()),
+                 static_cast<unsigned long long>(point->fired.load()));
+  }
+  std::fflush(out);
+}
+
+void report_at_exit() {
+  const char* where = std::getenv("ANTHILL_FAULT_REPORT");
+  if (where == nullptr || where[0] == '\0') return;
+  auto config = load_config();
+  if (config == nullptr) return;
+  if (where[0] == '-' && where[1] == '\0') {
+    write_report_to(stderr, *config);
+    return;
+  }
+  std::FILE* out = std::fopen(where, "w");
+  if (out == nullptr) return;
+  write_report_to(out, *config);
+  std::fclose(out);
+}
+
+// First inject() in a process with ANTHILL_FAULTS set arms from the
+// environment; a malformed env spec is a loud, immediate exit so chaos CI
+// never silently runs fault-free.
+void init_from_env() {
+  std::lock_guard<std::mutex> lock(g_arm_mutex);
+  if (detail::g_state.load(std::memory_order_acquire) != 0) return;
+  const char* spec = std::getenv("ANTHILL_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') {
+    store_config(nullptr, 1);
+    return;
+  }
+  std::uint64_t seed = 1;
+  if (const char* seed_text = std::getenv("ANTHILL_FAULT_SEED")) {
+    seed = std::strtoull(seed_text, nullptr, 10);
+  }
+  std::shared_ptr<Config> config;
+  try {
+    config = parse_spec(spec, seed);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "ANTHILL_FAULTS: %s\n", error.what());
+    std::_Exit(2);
+  }
+  std::atexit(report_at_exit);
+  store_config(std::move(config), 2);
+  std::fprintf(stderr, "fault injection armed: %s\n", spec);
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<int> g_state{0};
+
+bool inject_slow(const char* point) {
+  if (g_state.load(std::memory_order_acquire) == 0) init_from_env();
+  if (g_state.load(std::memory_order_acquire) == 1) return false;
+  auto config = load_config();
+  if (config == nullptr) return false;
+  const auto it = config->points.find(std::string_view(point));
+  if (it == config->points.end()) return false;
+  Point& p = *it->second;
+  const Action& action = p.action;
+  const std::uint64_t hit = p.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fire;
+  if (action.nth > 0) {
+    fire = action.sticky ? hit >= action.nth : hit == action.nth;
+  } else {
+    // Deterministic per-hit draw: same (seed, point, hit#) → same decision,
+    // independent of what other points do.
+    const std::uint64_t bits = mix_seed(config->seed ^ fnv1a(point), hit);
+    fire = static_cast<double>(bits >> 11) * 0x1.0p-53 < action.prob;
+  }
+  if (!fire) return false;
+  p.fired.fetch_add(1, std::memory_order_relaxed);
+  switch (action.verb) {
+    case Action::Verb::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(action.delay_ms));
+      return false;
+    case Action::Verb::kCrash:
+      std::fprintf(stderr, "fault crash at point \"%s\" (hit %llu)\n", point,
+                   static_cast<unsigned long long>(hit));
+      write_report_to(stderr, *config);
+      std::_Exit(137);
+    case Action::Verb::kFail:
+      return true;
+  }
+  return true;  // unreachable; placates -Werror=return-type
+}
+
+}  // namespace detail
+
+void arm(const std::string& spec, std::uint64_t seed) {
+  auto config = parse_spec(spec, seed);  // throws before any state change
+  std::lock_guard<std::mutex> lock(g_arm_mutex);
+  store_config(std::move(config), 2);
+}
+
+void disarm() {
+  std::lock_guard<std::mutex> lock(g_arm_mutex);
+  store_config(nullptr, 1);
+}
+
+bool armed() {
+  if (detail::g_state.load(std::memory_order_acquire) == 0) init_from_env();
+  return detail::g_state.load(std::memory_order_acquire) == 2;
+}
+
+std::string armed_spec() {
+  if (!armed()) return {};
+  auto config = load_config();
+  return config == nullptr ? std::string{} : config->spec;
+}
+
+std::vector<PointStats> stats() {
+  std::vector<PointStats> out;
+  auto config = load_config();
+  if (config == nullptr) return out;
+  out.reserve(config->points.size());
+  for (const auto& [name, point] : config->points) {
+    out.push_back({name, point->action.text, point->hits.load(),
+                   point->fired.load()});
+  }
+  return out;
+}
+
+std::string report() {
+  auto config = load_config();
+  if (config == nullptr) return "fault injection disarmed\n";
+  std::string text = "=== anthill fault report ===\nspec: " + config->spec + "\n";
+  for (const auto& [name, point] : config->points) {
+    text += name + " " + point->action.text +
+            " hits=" + std::to_string(point->hits.load()) +
+            " fired=" + std::to_string(point->fired.load()) + "\n";
+  }
+  return text;
+}
+
+}  // namespace hh::util::fault

@@ -1,0 +1,94 @@
+// Deterministic fault injection for chaos testing.
+//
+// Production code marks *fault points* — named places where an I/O operation
+// may be forced to fail, stall, or crash the process — by calling
+// `fault::inject("store.append.torn")` and honoring a `true` return as "this
+// operation failed here". With nothing armed the call is a single relaxed
+// atomic load, cheap enough to leave in release builds, which is the whole
+// point: the exact binaries that ship are the ones the chaos harness breaks.
+//
+// Faults are armed either programmatically (`fault::arm(spec, seed)`) or by
+// environment variable, so any anthill binary can be run under fault without
+// recompilation:
+//
+//   ANTHILL_FAULTS="socket.recv=fail@6;store.flush.skip=fail@1+" ./anthill-serve
+//
+// Spec grammar (clauses separated by ';'):
+//
+//   clause  := point '=' action
+//   action  := 'fail@' N ['+']          fire on the Nth hit (or every hit
+//                                       from the Nth on, with '+')
+//            | 'fail~' P                fire each hit with probability P,
+//                                       seeded and deterministic
+//            | 'delay@' N ['+'] ':' MS  sleep MS milliseconds instead of
+//                                       failing (operation then proceeds)
+//            | 'delay~' P ':' MS        probabilistic delay
+//            | 'crash@' N               dump the fault report to stderr and
+//                                       _Exit(137) on the Nth hit
+//
+// Hit indices are 1-based and count every call to inject() for that point
+// process-wide. Probabilistic draws hash (seed, point, hit#) so a given
+// ANTHILL_FAULT_SEED reproduces the same firing pattern at any thread count
+// where hit order is deterministic. `ANTHILL_FAULT_REPORT=-` (or a path)
+// dumps per-point hit/fired counters at process exit.
+//
+// Caveat: an always-on fail for a retried-in-place fault point (e.g.
+// `socket.send.eintr=fail@1+`) livelocks the retry loop by design — use
+// fail@N or fail~P for points the caller retries.
+#ifndef HH_UTIL_FAULT_INJECT_HPP
+#define HH_UTIL_FAULT_INJECT_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hh::util::fault {
+
+namespace detail {
+// 0 = not yet initialized (first inject() parses the environment),
+// 1 = disarmed (fast path: every inject() is one atomic load),
+// 2 = armed.
+extern std::atomic<int> g_state;
+bool inject_slow(const char* point);
+}  // namespace detail
+
+/// Returns true if the named fault point should report failure for this hit.
+/// Delay actions sleep and return false (the operation proceeds); crash
+/// actions never return.
+inline bool inject(const char* point) {
+  if (detail::g_state.load(std::memory_order_acquire) == 1) return false;
+  return detail::inject_slow(point);
+}
+
+/// Arm from a spec string (same grammar as ANTHILL_FAULTS). Replaces any
+/// previous arming and resets all counters. Throws std::runtime_error on a
+/// malformed spec. Thread-safe, but arming while other threads are inside
+/// inject() applies the new config only to subsequent hits.
+void arm(const std::string& spec, std::uint64_t seed = 1);
+
+/// Disarm all fault points (inject() returns to the one-load fast path).
+void disarm();
+
+/// True if any fault point is currently armed.
+[[nodiscard]] bool armed();
+
+/// The spec string currently armed ("" when disarmed).
+[[nodiscard]] std::string armed_spec();
+
+/// Per-point counters since arming.
+struct PointStats {
+  std::string point;          ///< fault-point name
+  std::string action;         ///< action text as written in the spec
+  std::uint64_t hits = 0;     ///< times inject() was reached
+  std::uint64_t fired = 0;    ///< times the action triggered
+};
+[[nodiscard]] std::vector<PointStats> stats();
+
+/// Human-readable multi-line counter dump (what crash and
+/// ANTHILL_FAULT_REPORT emit).
+[[nodiscard]] std::string report();
+
+}  // namespace hh::util::fault
+
+#endif  // HH_UTIL_FAULT_INJECT_HPP

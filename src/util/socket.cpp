@@ -11,6 +11,8 @@
 #include <cstring>
 #include <utility>
 
+#include "util/fault_inject.hpp"
+
 namespace hh::util::net {
 namespace {
 
@@ -46,11 +48,34 @@ Socket Socket::connect_tcp(const std::string& host, std::uint16_t port) {
   if (!make_addr(host, port, addr)) return Socket();
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Socket();
-  while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-         0) {
-    if (errno == EINTR) continue;
+  if (fault::inject("socket.connect")) {
     ::close(fd);
     return Socket();
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    // POSIX: after EINTR the connection attempt proceeds asynchronously —
+    // re-calling connect() here would get EALREADY/EISCONN unpredictably.
+    // Wait for writability and read the final status from SO_ERROR.
+    if (errno != EINTR) {
+      ::close(fd);
+      return Socket();
+    }
+    while (true) {
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      int rc = ::poll(&pfd, 1, -1);
+      if (rc > 0) break;
+      if (rc < 0 && errno == EINTR) continue;
+      ::close(fd);
+      return Socket();
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return Socket();
+    }
   }
   // The protocol is small request/event lines; don't batch them.
   int one = 1;
@@ -63,7 +88,11 @@ bool Socket::send_all(std::string_view bytes) {
   const char* data = bytes.data();
   std::size_t left = bytes.size();
   while (left > 0) {
-    ssize_t n = ::send(fd_, data, left, MSG_NOSIGNAL);
+    if (fault::inject("socket.send")) return false;
+    if (fault::inject("socket.send.eintr")) continue;  // simulated EINTR
+    std::size_t chunk = left;
+    if (left > 1 && fault::inject("socket.send.short")) chunk = 1;
+    ssize_t n = ::send(fd_, data, chunk, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -76,11 +105,31 @@ bool Socket::send_all(std::string_view bytes) {
 
 long Socket::recv_some(char* buf, std::size_t len) {
   if (fd_ < 0) return -1;
+  if (fault::inject("socket.recv")) return -1;
   while (true) {
-    ssize_t n = ::recv(fd_, buf, len, 0);
+    if (fault::inject("socket.recv.eintr")) continue;  // simulated EINTR
+    std::size_t cap = len;
+    if (len > 1 && fault::inject("socket.recv.short")) cap = 1;
+    ssize_t n = ::recv(fd_, buf, cap, 0);
     if (n >= 0) return static_cast<long>(n);
     if (errno == EINTR) continue;
     return -1;
+  }
+}
+
+int Socket::wait_readable(int timeout_ms) {
+  if (fd_ < 0) return -1;
+  while (true) {
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;  // restarts the full timeout; fine here
+      return -1;
+    }
+    // POLLHUP/POLLERR also count as readable: the next recv resolves them.
+    return rc == 0 ? 0 : 1;
   }
 }
 
@@ -100,19 +149,61 @@ void Socket::close() {
 
 bool LineReader::next_line(std::string& line) {
   while (true) {
+    const Status status = next_line_for(line, -1);
+    if (status == Status::kOverflow) continue;  // skip oversized lines
+    return status == Status::kLine;
+  }
+}
+
+LineReader::Status LineReader::next_line_for(std::string& line,
+                                             int timeout_ms) {
+  while (true) {
     std::size_t nl = buffer_.find('\n');
-    if (nl != std::string::npos) {
+    if (discarding_) {
+      // Inside an oversized line: drop bytes until its newline passes.
+      if (nl != std::string::npos) {
+        buffer_.erase(0, nl + 1);
+        discarding_ = false;
+        line.clear();
+        return Status::kOverflow;
+      }
+      buffer_.clear();
+    } else if (nl != std::string::npos) {
+      if (max_line_ > 0 && nl > max_line_) {
+        // Oversized line that arrived whole (newline and all) in one recv
+        // batch — it must be rejected exactly like one that trickled in.
+        buffer_.erase(0, nl + 1);
+        line.clear();
+        return Status::kOverflow;
+      }
       line.assign(buffer_, 0, nl);
       buffer_.erase(0, nl + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
-      return true;
+      return Status::kLine;
+    } else if (max_line_ > 0 && buffer_.size() > max_line_) {
+      buffer_.clear();
+      discarding_ = true;
+      continue;  // keep draining this line's bytes
     }
     if (eof_) {
-      if (buffer_.empty()) return false;
+      if (discarding_) {
+        discarding_ = false;
+        line.clear();
+        return Status::kOverflow;  // oversized final line; next call: kClosed
+      }
+      if (buffer_.empty()) return Status::kClosed;
       line = std::move(buffer_);  // final unterminated line
       buffer_.clear();
       if (!line.empty() && line.back() == '\r') line.pop_back();
-      return true;
+      return Status::kLine;
+    }
+    if (timeout_ms >= 0) {
+      const int ready = socket_->wait_readable(timeout_ms);
+      if (ready == 0) return Status::kTimeout;
+      if (ready < 0) {
+        eof_ = true;
+        continue;
+      }
     }
     char chunk[4096];
     long n = socket_->recv_some(chunk, sizeof(chunk));
@@ -184,6 +275,11 @@ Socket Listener::accept() {
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       return Socket();
+    }
+    if (fault::inject("socket.accept")) {
+      // Simulate a peer that vanished between accept and handshake.
+      ::close(fd);
+      continue;
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

@@ -40,11 +40,20 @@ class Socket {
 
   /// Send the whole buffer, handling partial writes and EINTR. False on
   /// any error (peer gone); never raises SIGPIPE.
+  /// Fault points: socket.send (fail the write), socket.send.short (force
+  /// 1-byte chunks), socket.send.eintr (simulated interrupt, retried).
   bool send_all(std::string_view bytes);
 
   /// Read up to `len` bytes. Returns bytes read (> 0), 0 on orderly EOF,
   /// -1 on error.
+  /// Fault points: socket.recv (fail the read), socket.recv.short (cap the
+  /// read at 1 byte), socket.recv.eintr (simulated interrupt, retried).
   [[nodiscard]] long recv_some(char* buf, std::size_t len);
+
+  /// Wait until the socket is readable: 1 = readable (or peer closed —
+  /// the next recv resolves which), 0 = timeout, -1 = error/invalid.
+  /// timeout_ms < 0 waits forever.
+  [[nodiscard]] int wait_readable(int timeout_ms);
 
   /// Shut down both directions — unblocks a recv_some() in another
   /// thread (the fd itself stays owned until destruction/close()).
@@ -59,12 +68,33 @@ class Socket {
 /// Buffered newline-delimited reader over a Socket.
 class LineReader {
  public:
+  /// Outcome of one next_line_for() attempt.
+  enum class Status {
+    kLine,     ///< a complete line was delivered
+    kTimeout,  ///< nothing arrived within the deadline (partial input kept)
+    kOverflow, ///< a line exceeded max_line(); it was discarded whole
+    kClosed,   ///< EOF/error with nothing left buffered
+  };
+
   explicit LineReader(Socket& socket) : socket_(&socket) {}
 
   /// Next line WITHOUT its trailing '\n' ('\r\n' is tolerated and
   /// stripped). A final unterminated line is delivered at EOF. Returns
-  /// false on EOF/error with nothing buffered.
+  /// false on EOF/error with nothing buffered. Oversized lines (see
+  /// set_max_line) are silently discarded.
   bool next_line(std::string& line);
+
+  /// next_line with a read deadline: waits at most timeout_ms for a
+  /// complete line (-1 = forever). On kTimeout partial input stays
+  /// buffered; on kOverflow the oversized line was dropped through its
+  /// newline and `line` is cleared.
+  [[nodiscard]] Status next_line_for(std::string& line, int timeout_ms);
+
+  /// Cap on a single line's length in bytes (0 = unlimited, the default).
+  /// The cap is approximate — it is checked per received chunk — but
+  /// bounds buffer growth at max + one chunk, closing the unbounded-line
+  /// memory hole for daemon-side readers.
+  void set_max_line(std::size_t bytes) { max_line_ = bytes; }
 
   /// Repoint at `socket`, keeping buffered bytes — for owners whose
   /// Socket member moved (e.g. a move-constructed client).
@@ -73,7 +103,9 @@ class LineReader {
  private:
   Socket* socket_;
   std::string buffer_;
+  std::size_t max_line_ = 0;
   bool eof_ = false;
+  bool discarding_ = false;  // inside an oversized line, dropping bytes
 };
 
 /// Listening TCP socket. Move-constructible only (no assignment — the

@@ -1,0 +1,231 @@
+// Tests of the deterministic fault-injection subsystem (DESIGN.md §8):
+// spec grammar, Nth/sticky/probabilistic firing, counters, crash actions
+// (fork-isolated via gtest death tests), and the socket-layer fault loops
+// that the chaos harness leans on (byte-dribble send/recv, EINTR retry).
+//
+// Fault state is process-global; every test arms exactly what it needs
+// and the fixture disarms on teardown so tests stay order-independent.
+#include "util/fault_inject.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/socket.hpp"
+
+namespace hh::util::fault {
+namespace {
+
+class FaultInject : public ::testing::Test {
+ protected:
+  void SetUp() override { disarm(); }
+  void TearDown() override { disarm(); }
+};
+
+TEST_F(FaultInject, DisarmedInjectIsFalseAndCheap) {
+  EXPECT_FALSE(armed());
+  EXPECT_FALSE(inject("store.flush.skip"));
+  EXPECT_FALSE(inject("no.such.point"));
+  EXPECT_TRUE(armed_spec().empty());
+}
+
+TEST_F(FaultInject, MalformedSpecsThrowWithoutArming) {
+  const std::vector<std::string> bad = {
+      "noequals",
+      "=fail@1",
+      "p=explode@1",
+      "p=fail",
+      "p=fail@0",              // hit indices are 1-based
+      "p=fail@2junk",
+      "p=fail~1.5",            // probability out of [0,1]
+      "p=crash~0.5",           // crash must be deterministic
+      "p=delay@1",             // delay needs :MS
+      "p=fail@1;p=fail@2",     // same point armed twice
+  };
+  for (const std::string& spec : bad) {
+    EXPECT_THROW(arm(spec), std::runtime_error) << spec;
+    EXPECT_FALSE(armed()) << spec;
+  }
+}
+
+TEST_F(FaultInject, FailNthFiresExactlyOnce) {
+  arm("p=fail@3");
+  EXPECT_TRUE(armed());
+  EXPECT_EQ(armed_spec(), "p=fail@3");
+  EXPECT_FALSE(inject("p"));
+  EXPECT_FALSE(inject("p"));
+  EXPECT_TRUE(inject("p"));   // 3rd hit
+  EXPECT_FALSE(inject("p"));  // one-shot: 4th is clean
+  EXPECT_FALSE(inject("unarmed.point"));
+}
+
+TEST_F(FaultInject, StickyFailFiresFromNthOn) {
+  arm("p=fail@2+");
+  EXPECT_FALSE(inject("p"));
+  EXPECT_TRUE(inject("p"));
+  EXPECT_TRUE(inject("p"));
+  EXPECT_TRUE(inject("p"));
+}
+
+TEST_F(FaultInject, ClausesAreIndependentPerPoint) {
+  arm("a=fail@1; b=fail@2");
+  EXPECT_TRUE(inject("a"));
+  EXPECT_FALSE(inject("b"));  // b's own counter, unaffected by a's hits
+  EXPECT_TRUE(inject("b"));
+}
+
+TEST_F(FaultInject, DelayReturnsFalseAndSleeps) {
+  arm("p=delay@1:30");
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(inject("p"));  // the operation proceeds after the stall
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            25);
+  EXPECT_FALSE(inject("p"));  // @1 one-shot: no second stall
+}
+
+TEST_F(FaultInject, ProbabilisticFiringIsSeedDeterministic) {
+  const auto pattern = [](std::uint64_t seed) {
+    arm("p=fail~0.5", seed);
+    std::string bits;
+    for (int i = 0; i < 64; ++i) bits.push_back(inject("p") ? '1' : '0');
+    return bits;
+  };
+  const std::string a1 = pattern(7);
+  const std::string a2 = pattern(7);
+  const std::string b = pattern(8);
+  EXPECT_EQ(a1, a2);  // same seed → identical firing pattern
+  EXPECT_NE(a1, b);   // different seed → different pattern
+  EXPECT_NE(a1.find('1'), std::string::npos);  // p=0.5 actually fires...
+  EXPECT_NE(a1.find('0'), std::string::npos);  // ...and actually passes
+}
+
+TEST_F(FaultInject, ProbabilityEdgesAreExact) {
+  arm("p=fail~0");
+  for (int i = 0; i < 32; ++i) EXPECT_FALSE(inject("p"));
+  arm("p=fail~1");
+  for (int i = 0; i < 32; ++i) EXPECT_TRUE(inject("p"));
+}
+
+TEST_F(FaultInject, StatsCountHitsAndFires) {
+  arm("a=fail@2; b=fail@1+");
+  (void)inject("a");
+  (void)inject("a");
+  (void)inject("a");
+  (void)inject("b");
+  const std::vector<PointStats> all = stats();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].point, "a");
+  EXPECT_EQ(all[0].hits, 3u);
+  EXPECT_EQ(all[0].fired, 1u);
+  EXPECT_EQ(all[1].point, "b");
+  EXPECT_EQ(all[1].hits, 1u);
+  EXPECT_EQ(all[1].fired, 1u);
+  const std::string text = report();
+  EXPECT_NE(text.find("fail@2"), std::string::npos);
+  EXPECT_NE(text.find("hits=3"), std::string::npos);
+}
+
+TEST_F(FaultInject, RearmResetsCounters) {
+  arm("p=fail@1");
+  EXPECT_TRUE(inject("p"));
+  arm("p=fail@1");
+  EXPECT_TRUE(inject("p"));  // counter restarted: @1 fires again
+  disarm();
+  EXPECT_FALSE(armed());
+  EXPECT_FALSE(inject("p"));
+}
+
+TEST_F(FaultInject, CrashExitsTheProcessWith137) {
+  // gtest death test: the crash runs in a forked child, the parent
+  // asserts on its exit status and stderr.
+  EXPECT_EXIT(
+      {
+        arm("boom=crash@2");
+        (void)inject("boom");
+        (void)inject("boom");
+      },
+      ::testing::ExitedWithCode(137), "fault crash at point \"boom\"");
+}
+
+// --- socket fault loops ----------------------------------------------------
+
+/// A connected localhost socket pair (client, server side).
+struct SocketPair {
+  net::Listener listener = net::Listener::bind_tcp("127.0.0.1", 0);
+  net::Socket client;
+  net::Socket server;
+
+  SocketPair() {
+    EXPECT_TRUE(listener.valid());
+    client = net::Socket::connect_tcp("127.0.0.1", listener.port());
+    server = listener.accept();
+    EXPECT_TRUE(client.valid());
+    EXPECT_TRUE(server.valid());
+  }
+};
+
+TEST_F(FaultInject, SendAllSurvivesByteDribbleAndEintr) {
+  SocketPair pair;
+  // Every write capped at 1 byte AND every other attempt interrupted:
+  // send_all must still deliver the payload intact.
+  arm("socket.send.short=fail@1+; socket.send.eintr=fail~0.5");
+  const std::string payload = "the-colony-emigrates-in-order\n";
+  ASSERT_TRUE(pair.client.send_all(payload));
+  disarm();
+  std::string got;
+  char buf[64];
+  while (got.size() < payload.size()) {
+    const long n = pair.server.recv_some(buf, sizeof buf);
+    ASSERT_GT(n, 0);
+    got.append(buf, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(got, payload);
+}
+
+TEST_F(FaultInject, RecvAssemblesLinesUnderByteDribble) {
+  SocketPair pair;
+  ASSERT_TRUE(pair.client.send_all("alpha\nbeta\n"));
+  arm("socket.recv.short=fail@1+; socket.recv.eintr=fail@2");
+  net::LineReader reader(pair.server);
+  std::string line;
+  ASSERT_TRUE(reader.next_line(line));
+  EXPECT_EQ(line, "alpha");
+  ASSERT_TRUE(reader.next_line(line));
+  EXPECT_EQ(line, "beta");
+}
+
+TEST_F(FaultInject, SendFailDropsTheConnectionReport) {
+  SocketPair pair;
+  arm("socket.send=fail@1");
+  EXPECT_FALSE(pair.client.send_all("lost\n"));  // injected transport error
+  EXPECT_TRUE(pair.client.send_all("ok\n"));     // one-shot: next send works
+}
+
+TEST_F(FaultInject, RecvFailSurfacesAsError) {
+  SocketPair pair;
+  ASSERT_TRUE(pair.client.send_all("x\n"));
+  arm("socket.recv=fail@1");
+  char buf[8];
+  EXPECT_EQ(pair.server.recv_some(buf, sizeof buf), -1);
+  EXPECT_GT(pair.server.recv_some(buf, sizeof buf), 0);  // then recovers
+}
+
+TEST_F(FaultInject, ConnectFaultYieldsInvalidSocket) {
+  SocketPair pair;  // proves the address actually accepts connections
+  arm("socket.connect=fail@1");
+  net::Socket denied =
+      net::Socket::connect_tcp("127.0.0.1", pair.listener.port());
+  EXPECT_FALSE(denied.valid());
+  net::Socket allowed =
+      net::Socket::connect_tcp("127.0.0.1", pair.listener.port());
+  EXPECT_TRUE(allowed.valid());
+}
+
+}  // namespace
+}  // namespace hh::util::fault

@@ -122,13 +122,36 @@ TEST(ResultStore, CorruptByteInvalidatesOnlyThatShardSuffix) {
   EXPECT_GE(reopened.dropped_records(), 1u);
 }
 
-TEST(ResultStore, ForeignFileWithBadHeaderIsSkipped) {
+TEST(ResultStore, ForeignFileWithBadHeaderIsQuarantined) {
   const TempDir dir("foreign");
   fs::create_directories(dir.path);
   std::ofstream(dir.path / "junk.hhrs") << "this is not a shard";
   ResultStore store(dir.path);
   EXPECT_EQ(store.size(), 0u);
   EXPECT_EQ(store.dropped_records(), 1u);
+  // Bad-magic files are moved aside so later scans don't re-chew them.
+  EXPECT_EQ(store.quarantined_files(), 1u);
+  EXPECT_FALSE(fs::exists(dir.path / "junk.hhrs"));
+  EXPECT_TRUE(fs::exists(dir.path / "junk.hhrs.bad"));
+  // The quarantined file stays out of every subsequent scan.
+  EXPECT_EQ(store.reload(), 0u);
+  ResultStore reopened(dir.path);
+  EXPECT_EQ(reopened.size(), 0u);
+  EXPECT_EQ(reopened.dropped_records(), 0u);
+  EXPECT_EQ(reopened.quarantined_files(), 0u);
+}
+
+TEST(ResultStore, TinyPartialFileIsLeftPendingNotQuarantined) {
+  const TempDir dir("tiny");
+  fs::create_directories(dir.path);
+  // Shorter than the shard header: could be a live writer that just
+  // created the file — must NOT be quarantined or counted dropped.
+  std::ofstream(dir.path / "young.hhrs") << "HH";
+  ResultStore store(dir.path);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.dropped_records(), 0u);
+  EXPECT_EQ(store.quarantined_files(), 0u);
+  EXPECT_TRUE(fs::exists(dir.path / "young.hhrs"));
 }
 
 TEST(ResultStore, WriterNamespaceTagsShardFilenames) {

@@ -1,6 +1,8 @@
-// Thin client for anthill-serve (DESIGN.md §7):
+// Thin client for anthill-serve (DESIGN.md §7/§8):
 //
 //   ./anthill-client --connect 7411 --spec examples/idle_search_sweep.json
+//   ./anthill-client --connect 7411 --reattach job-000003
+//   ./anthill-client --connect 7411 --cancel job-000003
 //   ./anthill-client --connect 127.0.0.1:7411 --status
 //   ./anthill-client --connect 7411 --shutdown
 //
@@ -16,6 +18,14 @@
 //   --seed S               override every sweep's base seed
 //   --out DIR              CSV output directory   (default bench_out)
 //   --progress             stream per-block progress lines to stderr
+//   --reattach JOB         resume JOB ("job-NNNNNN" or bare id) from its
+//                          server-side record; cached cells replay free
+//   --cancel JOB           stop JOB (queued: removed; running: stops at
+//                          its next block boundary) and exit
+//   --retries N            reconnect attempts on transport loss
+//                          (default 5; 1 = never retry); backoff is
+//                          decorrelated jitter, 50ms..2s
+//   --retry-seed S         jitter stream seed     (default 1)
 //   --status               print the server's status JSON and exit
 //   --ping                 round-trip a ping and exit
 //   --shutdown             ask the server to shut down and exit
@@ -37,7 +47,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --connect [HOST:]PORT (--spec FILE [--trials N] "
-               "[--seed S] [--out DIR] [--progress] | --status | --ping | "
+               "[--seed S] [--out DIR] [--progress] [--retries N] | "
+               "--reattach JOB | --cancel JOB | --status | --ping | "
                "--shutdown)\n",
                argv0);
   return 2;
@@ -73,6 +84,25 @@ void print_progress(const hh::util::Json& body) {
   std::fflush(stderr);
 }
 
+/// Shared tail-outcome epilogue for submit/reattach: write the CSVs and
+/// the stable summary line CI greps (keep the format).
+int finish_job(const hh::service::JobOutcome& outcome,
+               const std::string& out_dir) {
+  if (!outcome.ok) {
+    std::fprintf(stderr, "anthill-client: job failed: %s\n",
+                 outcome.error.empty() ? "unknown error"
+                                       : outcome.error.c_str());
+    return 1;
+  }
+  for (const std::string& path :
+       hh::service::write_outcome_csvs(outcome, out_dir)) {
+    std::printf("csv: %s\n", path.c_str());
+  }
+  std::printf("job done: cells=%zu cached=%zu run=%zu\n", outcome.cells_total,
+              outcome.cached, outcome.run);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -80,8 +110,11 @@ int main(int argc, char** argv) {
   std::uint16_t port = 0;
   std::string spec_path;
   std::string out_dir = "bench_out";
+  std::string reattach_job;
+  std::string cancel_job;
   std::optional<std::size_t> trials;
   std::optional<std::uint64_t> seed;
+  hh::service::RetryPolicy retry;
   bool progress = false;
   bool do_status = false;
   bool do_ping = false;
@@ -106,6 +139,15 @@ int main(int argc, char** argv) {
       out_dir = next();
     } else if (std::strcmp(argv[i], "--progress") == 0) {
       progress = true;
+    } else if (std::strcmp(argv[i], "--reattach") == 0) {
+      reattach_job = next();
+    } else if (std::strcmp(argv[i], "--cancel") == 0) {
+      cancel_job = next();
+    } else if (std::strcmp(argv[i], "--retries") == 0) {
+      retry.max_attempts = static_cast<unsigned>(std::atoi(next()));
+      if (retry.max_attempts == 0) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--retry-seed") == 0) {
+      retry.seed = std::strtoull(next(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--status") == 0) {
       do_status = true;
     } else if (std::strcmp(argv[i], "--ping") == 0) {
@@ -117,35 +159,55 @@ int main(int argc, char** argv) {
     }
   }
   if (port == 0) return usage(argv[0]);
-  if (!do_status && !do_ping && !do_shutdown && spec_path.empty()) {
+  if (!do_status && !do_ping && !do_shutdown && spec_path.empty() &&
+      reattach_job.empty() && cancel_job.empty()) {
     return usage(argv[0]);
   }
 
-  hh::service::Client client = hh::service::Client::connect(host, port);
-  if (!client.connected()) {
-    std::fprintf(stderr, "anthill-client: %s\n", client.error().c_str());
-    return 2;
+  const hh::service::ProgressEventFn on_progress =
+      progress ? print_progress : hh::service::ProgressEventFn{};
+
+  // The streaming verbs reconnect on their own; everything else uses one
+  // plain connection.
+  if (!reattach_job.empty()) {
+    return finish_job(hh::service::reattach_with_retry(
+                          host, port, reattach_job, retry, on_progress),
+                      out_dir);
   }
 
-  if (do_ping) {
-    if (!client.ping()) {
-      std::fprintf(stderr, "anthill-client: ping failed: %s\n",
-                   client.error().c_str());
-      return 1;
-    }
-    std::printf("pong\n");
-    return 0;
-  }
-  if (do_status) {
-    const hh::util::Json status = client.status();
-    if (status.is_null()) {
+  if (do_ping || do_status || do_shutdown || !cancel_job.empty()) {
+    hh::service::Client client = hh::service::Client::connect(host, port);
+    if (!client.connected()) {
       std::fprintf(stderr, "anthill-client: %s\n", client.error().c_str());
-      return 1;
+      return 2;
     }
-    std::printf("%s\n", hh::util::dump_json(status, 2).c_str());
-    return 0;
-  }
-  if (do_shutdown) {
+    if (do_ping) {
+      if (!client.ping()) {
+        std::fprintf(stderr, "anthill-client: ping failed: %s\n",
+                     client.error().c_str());
+        return 1;
+      }
+      std::printf("pong\n");
+      return 0;
+    }
+    if (do_status) {
+      const hh::util::Json status = client.status();
+      if (status.is_null()) {
+        std::fprintf(stderr, "anthill-client: %s\n", client.error().c_str());
+        return 1;
+      }
+      std::printf("%s\n", hh::util::dump_json(status, 2).c_str());
+      return 0;
+    }
+    if (!cancel_job.empty()) {
+      if (!client.cancel(cancel_job)) {
+        std::fprintf(stderr, "anthill-client: cancel failed: %s\n",
+                     client.error().c_str());
+        return 1;
+      }
+      std::printf("canceled %s\n", cancel_job.c_str());
+      return 0;
+    }
     if (!client.shutdown_server()) {
       std::fprintf(stderr, "anthill-client: shutdown failed: %s\n",
                    client.error().c_str());
@@ -169,20 +231,7 @@ int main(int argc, char** argv) {
     if (seed) entry.base_seed = *seed;
   }
 
-  const hh::service::JobOutcome outcome = client.submit(
-      spec, progress ? print_progress : hh::service::ProgressEventFn{});
-  if (!outcome.ok) {
-    std::fprintf(stderr, "anthill-client: job failed: %s\n",
-                 outcome.error.empty() ? "unknown error"
-                                       : outcome.error.c_str());
-    return 1;
-  }
-  for (const std::string& path :
-       hh::service::write_outcome_csvs(outcome, out_dir)) {
-    std::printf("csv: %s\n", path.c_str());
-  }
-  // Stable summary line — CI greps this (keep the format).
-  std::printf("job done: cells=%zu cached=%zu run=%zu\n", outcome.cells_total,
-              outcome.cached, outcome.run);
-  return 0;
+  return finish_job(
+      hh::service::submit_with_retry(host, port, spec, retry, on_progress),
+      out_dir);
 }

@@ -18,9 +18,20 @@
 //   --namespace NS    writer namespace for this daemon's shards
 //                     (default "serve"; give concurrent daemons sharing a
 //                     store dir distinct namespaces)
+//   --heartbeat-ms N  idle-session heartbeat cadence (0 = off,
+//                     default 5000)
+//   --read-deadline-ms N  drop sessions idle in BOTH directions this long
+//                     (0 = never, default 300000)
 //
-// SIGINT/SIGTERM (and the client's `--shutdown`) stop the daemon
-// gracefully: the in-flight job finishes and streams its results first.
+// SIGINT/SIGTERM (and the client's `--shutdown`) drain the daemon
+// gracefully (DESIGN.md §8): queued jobs are canceled, the in-flight job
+// stops at its next block boundary with every finished cell flushed and
+// its record marked "interrupted" — `anthill-client --reattach` completes
+// it after restart. Exit code stays 0 on a clean drain.
+//
+// Chaos testing: set ANTHILL_FAULTS (grammar in util/fault_inject.hpp) to
+// arm deterministic fault points; the daemon prints the armed spec at
+// startup so CI logs show which chaos mode ran.
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -35,13 +46,15 @@
 #include <unistd.h>
 
 #include "service/server.hpp"
+#include "util/fault_inject.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --store DIR [--host ADDR] [--port N] "
-               "[--port-file FILE] [--threads N] [--namespace NS]\n",
+               "[--port-file FILE] [--threads N] [--namespace NS] "
+               "[--heartbeat-ms N] [--read-deadline-ms N]\n",
                argv0);
   return 2;
 }
@@ -71,6 +84,10 @@ int main(int argc, char** argv) {
       options.threads = static_cast<unsigned>(std::atoi(next()));
     } else if (std::strcmp(argv[i], "--namespace") == 0) {
       options.writer_namespace = next();
+    } else if (std::strcmp(argv[i], "--heartbeat-ms") == 0) {
+      options.heartbeat_ms = static_cast<unsigned>(std::atoi(next()));
+    } else if (std::strcmp(argv[i], "--read-deadline-ms") == 0) {
+      options.read_deadline_ms = static_cast<unsigned>(std::atoi(next()));
     } else {
       return usage(argv[0]);
     }
@@ -101,6 +118,10 @@ int main(int argc, char** argv) {
                 static_cast<unsigned>(server.port()),
                 server.store().directory().string().c_str(),
                 static_cast<long>(getpid()));
+    if (hh::util::fault::armed()) {
+      std::printf("anthill-serve: faults armed: %s\n",
+                  hh::util::fault::armed_spec().c_str());
+    }
     std::fflush(stdout);
 
     std::atomic<bool> wire_stop{false};
