@@ -122,6 +122,82 @@ void BM_EnvironmentRound(benchmark::State& state) {
 BENCHMARK(BM_EnvironmentRound)->RangeMultiplier(8)->Range(256, 1 << 17);
 
 // ---------------------------------------------------------------------------
+// One lattice-backend round, steady state (the second env::Backend): an
+// all-search round is stationary by construction — walker positions move,
+// but every iteration does the same per-ant work. allocs_per_round == 0
+// extends the zero-allocation invariant to the new world.
+
+void BM_LatticeRound(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  hh::env::LatticeConfig cfg;
+  cfg.width = 32;
+  cfg.height = 32;
+  hh::env::LatticeBackend world(n, cfg, 3);
+  std::vector<hh::env::MaskedOp> op(n, hh::env::MaskedOp::kSearch);
+  const std::vector<hh::env::NestId> targets(n, 0);
+  world.step_masked_go_quiet(op, targets);  // warm-up round
+
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = allocation_count();
+    world.step_masked_go_quiet(op, targets);
+    allocs += allocation_count() - before;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["allocs_per_round"] = benchmark::Counter(
+      static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_LatticeRound)->RangeMultiplier(8)->Range(256, 1 << 17);
+
+// One ENGINE round on the lattice, per engine, through the Simulation
+// driver (scheduler consult + masked dispatch + convergence mirror).
+// reset(seed) is allocation-free, so periodic resets keep the workload
+// from saturating (every walker parked on the target would time idles).
+
+void BM_LatticeEngineRound(benchmark::State& state,
+                           hh::core::EngineKind engine) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  hh::core::SimulationConfig cfg;
+  cfg.num_ants = n;
+  cfg.qualities = {1.0};
+  cfg.seed = 5;
+  cfg.max_rounds = ~0u;
+  cfg.engine = engine;
+  cfg.lattice.width = 32;
+  cfg.lattice.height = 32;
+  cfg.env_backend = hh::env::BackendKind::kLattice;
+  const auto spec = hh::core::AlgorithmRegistry::instance().find(
+      hh::core::kLatticeWalkerAlgorithmName);
+  auto sim = std::make_unique<hh::core::Simulation>(cfg, *spec);
+  for (int warmup = 0; warmup < 8; ++warmup) sim->step();
+
+  std::uint64_t allocs = 0;
+  std::uint64_t iteration = 0;
+  for (auto _ : state) {
+    // Rewind outside the alloc accounting — the reset itself is not part
+    // of a round's cost. The per-object engine cannot reset in place
+    // (reset() returns false); reconstruct it instead.
+    if ((++iteration & 1023u) == 0 && !sim->reset(iteration)) {
+      sim = std::make_unique<hh::core::Simulation>(cfg, *spec);
+    }
+    const std::uint64_t before = allocation_count();
+    benchmark::DoNotOptimize(sim->step());
+    allocs += allocation_count() - before;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["allocs_per_round"] = benchmark::Counter(
+      static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+}
+BENCHMARK_CAPTURE(BM_LatticeEngineRound, scalar, hh::core::EngineKind::kScalar)
+    ->RangeMultiplier(8)
+    ->Range(256, 1 << 16);
+BENCHMARK_CAPTURE(BM_LatticeEngineRound, packed, hh::core::EngineKind::kPacked)
+    ->RangeMultiplier(8)
+    ->Range(256, 1 << 16);
+
+// ---------------------------------------------------------------------------
 // One engine round, steady state: the per-object ant loop (virtual
 // decide/observe per ant) against the packed SoA pass, identical
 // simulations otherwise. Runs keep stepping past convergence, which is

@@ -81,6 +81,35 @@ double weighted_duration(const core::RunResult& result, double tandem_cost,
   return duration;
 }
 
+FirstPassageSummary first_passage_summary(
+    std::span<const std::uint32_t> first_passage) {
+  FirstPassageSummary s;
+  std::vector<std::uint32_t> reached;
+  reached.reserve(first_passage.size());
+  for (const std::uint32_t t : first_passage) {
+    if (t == 0) {
+      ++s.unreached;
+    } else {
+      reached.push_back(t);
+    }
+  }
+  s.reached = static_cast<std::uint32_t>(reached.size());
+  if (reached.empty()) return s;
+  std::sort(reached.begin(), reached.end());
+  s.min = reached.front();
+  s.max = reached.back();
+  double sum = 0.0;
+  for (const std::uint32_t t : reached) sum += static_cast<double>(t);
+  s.mean = sum / static_cast<double>(reached.size());
+  const std::size_t mid = reached.size() / 2;
+  s.median = reached.size() % 2 == 1
+                 ? static_cast<double>(reached[mid])
+                 : (static_cast<double>(reached[mid - 1]) +
+                    static_cast<double>(reached[mid])) /
+                       2.0;
+  return s;
+}
+
 util::Series to_series(const std::vector<double>& values, std::string name,
                        char marker) {
   util::Series s;

@@ -6,6 +6,7 @@
 #define HH_ANALYSIS_METRICS_HPP
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/simulation.hpp"
@@ -59,6 +60,25 @@ namespace hh::analysis {
 [[nodiscard]] double weighted_duration(const core::RunResult& result,
                                        double tandem_cost = 3.0,
                                        double transport_cost = 1.0);
+
+/// Distribution summary of per-ant first-passage times (lattice backend
+/// workloads; RunResult::first_passage). Times are 1-based rounds; 0
+/// means the ant never reached the target and is excluded from the
+/// order statistics.
+struct FirstPassageSummary {
+  std::uint32_t reached = 0;    ///< ants with a recorded passage time
+  std::uint32_t unreached = 0;  ///< ants still searching at the horizon
+  std::uint32_t min = 0;        ///< fastest passage (0 if none reached)
+  std::uint32_t max = 0;        ///< slowest recorded passage
+  double mean = 0.0;            ///< mean over reached ants only
+  double median = 0.0;          ///< median over reached ants (midpoint
+                                ///< average for even counts)
+};
+
+/// Summarize RunResult::first_passage. An all-zero span (or an empty
+/// one) yields reached = 0 and zeroed statistics.
+[[nodiscard]] FirstPassageSummary first_passage_summary(
+    std::span<const std::uint32_t> first_passage);
 
 }  // namespace hh::analysis
 

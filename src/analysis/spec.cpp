@@ -182,6 +182,13 @@ env::PairingKind pairing_from_name(const std::string& name,
                  "' (expected \"permutation\" or \"uniform-proposal\")");
 }
 
+env::BackendKind backend_from_name(const std::string& name,
+                                   const std::string& path) {
+  if (const auto kind = env::backend_from_name(name)) return *kind;
+  fail(path, "unknown environment backend '" + name +
+                 "' (expected \"home-nest\" or \"lattice\")");
+}
+
 core::EngineKind engine_from_name(const std::string& name,
                                   const std::string& path) {
   for (const core::EngineKind kind :
@@ -199,6 +206,51 @@ Json qualities_json(const std::vector<double>& qualities) {
   Json out{Json::Array{}};
   for (const double q : qualities) out.push_back(Json(q));
   return out;
+}
+
+/// Full lattice world block (every field, fixed order).
+Json lattice_to_json(const env::LatticeConfig& lattice) {
+  Json j{Json::Object{}};
+  j.set("width", Json(static_cast<double>(lattice.width)));
+  j.set("height", Json(static_cast<double>(lattice.height)));
+  j.set("nest_site", Json(static_cast<double>(lattice.nest_site)));
+  j.set("target_site", Json(static_cast<double>(lattice.target_site)));
+  j.set("persist_fast", Json(lattice.persist_fast));
+  j.set("persist_slow", Json(lattice.persist_slow));
+  j.set("fast_fraction", Json(lattice.fast_fraction));
+  return j;
+}
+
+env::LatticeConfig lattice_from_json(const Json& json,
+                                     const std::string& path) {
+  ObjectReader reader(json, path);
+  env::LatticeConfig lattice;
+  if (const Json* v = reader.get("width")) {
+    lattice.width = read_u32(*v, at(path, "width"));
+  }
+  if (const Json* v = reader.get("height")) {
+    lattice.height = read_u32(*v, at(path, "height"));
+  }
+  if (const Json* v = reader.get("nest_site")) {
+    lattice.nest_site = read_u32(*v, at(path, "nest_site"));
+  }
+  if (const Json* v = reader.get("target_site")) {
+    lattice.target_site = read_u32(*v, at(path, "target_site"));
+  }
+  if (const Json* v = reader.get("persist_fast")) {
+    lattice.persist_fast =
+        read_number_in(*v, at(path, "persist_fast"), 0.0, 1.0);
+  }
+  if (const Json* v = reader.get("persist_slow")) {
+    lattice.persist_slow =
+        read_number_in(*v, at(path, "persist_slow"), 0.0, 1.0);
+  }
+  if (const Json* v = reader.get("fast_fraction")) {
+    lattice.fast_fraction =
+        read_number_in(*v, at(path, "fast_fraction"), 0.0, 1.0);
+  }
+  reader.finish();
+  return lattice;
 }
 
 /// Full canonical config (every field, fixed order).
@@ -227,6 +279,13 @@ Json config_to_json(const core::SimulationConfig& config) {
   j.set("faults", std::move(faults));
   j.set("pairing", Json(env::pairing_name(config.pairing)));
   j.set("engine", Json(core::engine_name(config.engine)));
+  // Backend vocabulary is ADDITIVE: home-nest configs serialize exactly
+  // as they did pre-seam (no env_backend key), so every existing spec
+  // file and fingerprint is untouched. New worlds add their block.
+  if (config.env_backend != env::BackendKind::kHomeNest) {
+    j.set("env_backend", Json(env::backend_name(config.env_backend)));
+    j.set("lattice", lattice_to_json(config.lattice));
+  }
   return j;
 }
 
@@ -331,6 +390,19 @@ core::SimulationConfig config_from_json(const Json& json,
   if (const Json* v = reader.get("engine")) {
     config.engine = engine_from_name(read_string(*v, at(path, "engine")),
                                      at(path, "engine"));
+  }
+  if (const Json* v = reader.get("env_backend")) {
+    config.env_backend = backend_from_name(
+        read_string(*v, at(path, "env_backend")), at(path, "env_backend"));
+  }
+  if (const Json* v = reader.get("lattice")) {
+    if (config.env_backend != env::BackendKind::kLattice) {
+      fail(at(path, "lattice"),
+           "lattice world block given but env_backend is '" +
+               std::string(env::backend_name(config.env_backend)) +
+               "' (set \"env_backend\": \"lattice\")");
+    }
+    config.lattice = lattice_from_json(*v, at(path, "lattice"));
   }
   reader.finish();
   return config;
@@ -462,6 +534,13 @@ std::string scenario_identity_json(const Scenario& scenario) {
   faults.set("crash_horizon", Json(static_cast<double>(c.faults.crash_horizon)));
   config.set("faults", std::move(faults));
   config.set("pairing", Json(env::pairing_name(c.pairing)));
+  // Identity vocabulary grows with the backend: home-nest identity JSON
+  // is byte-identical to pre-seam output (fingerprints unchanged); any
+  // other world names itself plus its full geometry/motility block.
+  if (c.env_backend != env::BackendKind::kHomeNest) {
+    config.set("env_backend", Json(env::backend_name(c.env_backend)));
+    config.set("lattice", lattice_to_json(c.lattice));
+  }
 
   Json j{Json::Object{}};
   j.set("algorithm", Json(scenario.algorithm));

@@ -69,9 +69,12 @@
 #include "core/simple_ant.hpp"
 #include "core/simulation.hpp"
 #include "core/uniform_recruit_ant.hpp"
+#include "core/walker_ant.hpp"
 #include "env/action.hpp"
+#include "env/backend.hpp"
 #include "env/environment.hpp"
 #include "env/faults.hpp"
+#include "env/lattice.hpp"
 #include "env/nest.hpp"
 #include "env/observation.hpp"
 #include "env/pairing.hpp"

@@ -22,10 +22,13 @@ std::uint32_t believed_n(std::uint32_t num_ants, double error, util::Rng& rng) {
 }
 
 /// The Algorithm-3 family (SimpleAnt and its subclasses) as state arrays.
-/// All four variants share one FSM — phases are colony-synchronized under
-/// full synchrony, so the phase lives in the pack, not per ant (a crashed
-/// ant's frozen phase is irrelevant: it only idles) — and differ only in
-/// the recruit-probability rule.
+/// All four variants share one FSM and differ only in the
+/// recruit-probability rule. The phase is a per-ant lane: under full
+/// synchrony every ant stays in lockstep (and the uniform-shape fast paths
+/// still fire, via the phase census), but a sleeping ant freezes — it
+/// skips both decide and observe, exactly like the scalar ant — so under
+/// partial synchrony the colony's phases drift apart and rounds become
+/// permanently mixed.
 class SimpleFamilyPack final : public AntPack {
  public:
   SimpleFamilyPack(AlgorithmKind kind, std::uint32_t num_ants,
@@ -38,6 +41,7 @@ class SimpleFamilyPack final : public AntPack {
     HH_EXPECTS(num_ants >= 1);
     const std::size_t n = num_ants;
     rng_.resize(n, util::Rng(0));
+    phase_.resize(n);
     believed_n_.resize(n);
     active_.resize(n);
     count_.resize(n);
@@ -55,7 +59,10 @@ class SimpleFamilyPack final : public AntPack {
   [[nodiscard]] bool do_reset(std::uint64_t colony_seed) override {
     const auto num_ants = size();
     reset_commitments();
-    phase_ = Phase::kInit;
+    std::fill(phase_.begin(), phase_.end(), Phase::kInit);
+    phase_count_[static_cast<std::size_t>(Phase::kInit)] = num_ants;
+    phase_count_[static_cast<std::size_t>(Phase::kRecruit)] = 0;
+    phase_count_[static_cast<std::size_t>(Phase::kAssess)] = 0;
     for (env::AntId a = 0; a < num_ants; ++a) {
       // Identical stream derivation to make_colony (colony.cpp).
       rng_[a].reseed(util::mix_seed(colony_seed, a, 0xA17));
@@ -85,18 +92,20 @@ class SimpleFamilyPack final : public AntPack {
   }
 
   [[nodiscard]] RoundShape correct_shape(std::uint32_t /*round*/) const override {
-    switch (phase_) {
-      case Phase::kInit: return RoundShape::kAllSearch;
-      case Phase::kRecruit: return RoundShape::kAllRecruit;
-      case Phase::kAssess: return RoundShape::kAllGo;
-    }
-    HH_ASSERT(false);
-    return RoundShape::kAllGo;
+    if (all_in(Phase::kInit)) return RoundShape::kAllSearch;
+    if (all_in(Phase::kRecruit)) return RoundShape::kAllRecruit;
+    if (all_in(Phase::kAssess)) return RoundShape::kAllGo;
+    // Drifted phases (sleep lanes, or ants frozen mid-phase by a crash).
+    // Any ant still parked in its recruit phase forces the recruit-capable
+    // entry point; if none is, the round is pure movement.
+    return phase_count_[static_cast<std::size_t>(Phase::kRecruit)] > 0
+               ? RoundShape::kMaskedRecruit
+               : RoundShape::kMaskedGo;
   }
 
   void fill_recruit_requests(std::uint32_t round,
                              std::span<env::RecruitRequest> requests) override {
-    HH_EXPECTS(phase_ == Phase::kRecruit);
+    HH_EXPECTS(all_in(Phase::kRecruit));
     HH_EXPECTS(requests.size() == rng_.size());
     for (std::size_t a = 0; a < requests.size(); ++a) {
       const bool b = decide_b(a, round);  // lines 6 / 10
@@ -107,7 +116,7 @@ class SimpleFamilyPack final : public AntPack {
 
   [[nodiscard]] std::span<const env::NestId> fill_recruit_soa(
       std::uint32_t round, std::span<std::uint8_t> active) override {
-    HH_EXPECTS(phase_ == Phase::kRecruit);
+    HH_EXPECTS(all_in(Phase::kRecruit));
     HH_EXPECTS(active.size() == rng_.size());
     // Snapshot the advertised nests: observe_recruit_pairing mutates the
     // nest lane while recruiters' targets must stay the round's values.
@@ -126,53 +135,44 @@ class SimpleFamilyPack final : public AntPack {
                      std::span<env::MaskedOp> op,
                      std::span<std::uint8_t> active,
                      std::span<env::NestId> targets) override {
-    switch (phase_) {
-      case Phase::kInit:
-        for (std::size_t a = 0; a < act.size(); ++a) {
-          if (act[a]) op[a] = env::MaskedOp::kSearch;  // line 2
-        }
-        break;
-      case Phase::kRecruit:
-        for (std::size_t a = 0; a < act.size(); ++a) {
-          if (!act[a]) continue;
+    for (std::size_t a = 0; a < act.size(); ++a) {
+      if (!act[a]) continue;
+      switch (phase_[a]) {
+        case Phase::kInit:
+          op[a] = env::MaskedOp::kSearch;  // line 2
+          break;
+        case Phase::kRecruit:
           op[a] = env::MaskedOp::kRecruit;
           active[a] = decide_b(a, round) ? 1 : 0;  // lines 6 / 10
           targets[a] = nest_[a];                   // line 7
-        }
-        break;
-      case Phase::kAssess:
-        for (std::size_t a = 0; a < act.size(); ++a) {
-          if (!act[a]) continue;
+          break;
+        case Phase::kAssess:
           op[a] = env::MaskedOp::kGo;  // lines 8 / 14
           targets[a] = nest_[a];
-        }
-        break;
+          break;
+      }
     }
   }
 
   // observe_all is the base forward onto this kernel (act all-ones).
   void observe_masked_acting(std::span<const std::uint8_t> act,
                              std::span<const env::Outcome> outcomes) override {
-    switch (phase_) {
-      case Phase::kInit:
-        for (std::size_t a = 0; a < act.size(); ++a) {
-          if (!act[a]) continue;
+    for (std::size_t a = 0; a < act.size(); ++a) {
+      if (!act[a]) continue;  // frozen: crashed, sleeping, or Byzantine
+      switch (phase_[a]) {
+        case Phase::kInit:
           apply_init(a, outcomes[a].nest, outcomes[a].count,
                      outcomes[a].quality);
-        }
-        break;
-      case Phase::kRecruit:
-        for (std::size_t a = 0; a < act.size(); ++a) {
-          if (act[a]) apply_recruit(a, outcomes[a].nest);
-        }
-        break;
-      case Phase::kAssess:
-        for (std::size_t a = 0; a < act.size(); ++a) {
-          if (act[a]) apply_assess(a, outcomes[a].count, outcomes[a].quality);
-        }
-        break;
+          break;
+        case Phase::kRecruit:
+          apply_recruit(a, outcomes[a].nest);
+          break;
+        case Phase::kAssess:
+          apply_assess(a, outcomes[a].count, outcomes[a].quality);
+          break;
+      }
+      advance(a);
     }
-    advance_phase();
   }
 
   void observe_masked_quiet_acting(
@@ -181,37 +181,35 @@ class SimpleFamilyPack final : public AntPack {
       std::span<const env::NestId> targets) override {
     const std::span<const std::uint32_t> counts = env.counts();
     const std::span<const double> qualities = env.qualities();
-    switch (phase_) {
-      case Phase::kInit:
-        for (std::size_t a = 0; a < act.size(); ++a) {
-          if (!act[a]) continue;
+    for (std::size_t a = 0; a < act.size(); ++a) {
+      if (!act[a]) continue;  // frozen: crashed, sleeping, or Byzantine
+      switch (phase_[a]) {
+        case Phase::kInit: {
           const env::NestId found = env.location(static_cast<env::AntId>(a));
           apply_init(a, found, counts[found], qualities[found - 1]);
+          break;
         }
-        break;
-      case Phase::kRecruit:
-        for (std::size_t a = 0; a < act.size(); ++a) {
-          if (!act[a]) continue;
+        case Phase::kRecruit: {
           const std::int32_t recruiter =
               env.recruited_by_ant(static_cast<env::AntId>(a));
-          if (recruiter == env::kNotRecruited) continue;  // nest unchanged
-          apply_recruit(a, targets[static_cast<std::size_t>(recruiter)]);
+          if (recruiter != env::kNotRecruited) {  // else nest unchanged
+            apply_recruit(a, targets[static_cast<std::size_t>(recruiter)]);
+          }
+          break;
         }
-        break;
-      case Phase::kAssess:
-        for (std::size_t a = 0; a < act.size(); ++a) {
-          if (!act[a]) continue;
+        case Phase::kAssess: {
           const env::NestId nest = nest_[a];
           apply_assess(a, counts[nest], qualities[nest - 1]);
+          break;
         }
-        break;
+      }
+      advance(a);
     }
-    advance_phase();
   }
 
   void observe_recruit_pairing(std::span<const env::NestId> targets,
                                const env::PairingScratch& pairing) override {
-    HH_EXPECTS(phase_ == Phase::kRecruit);
+    HH_EXPECTS(all_in(Phase::kRecruit));
     HH_EXPECTS(targets.size() == rng_.size());
     // Equivalent to the kRecruit branch of observe_all: a recruited ant's
     // outcome.nest is its recruiter's advertised nest; everyone else's is
@@ -221,12 +219,12 @@ class SimpleFamilyPack final : public AntPack {
       if (recruiter == env::kNotRecruited) continue;
       apply_recruit(a, targets[static_cast<std::size_t>(recruiter)]);
     }
-    advance_phase();
+    advance_all();
   }
 
   void observe_go_counts(std::span<const std::uint32_t> counts,
                          std::span<const double> qualities) override {
-    HH_EXPECTS(phase_ == Phase::kAssess);
+    HH_EXPECTS(all_in(Phase::kAssess));
     // Equivalent to the kAssess branch of observe_all under exact
     // observation: outcome.count == counts[nest], outcome.quality ==
     // qualities[nest - 1] (every committed nest is a candidate, >= 1).
@@ -234,7 +232,7 @@ class SimpleFamilyPack final : public AntPack {
       const env::NestId nest = nest_[a];
       apply_assess(a, counts[nest], qualities[nest - 1]);
     }
-    advance_phase();
+    advance_all();
   }
 
   [[nodiscard]] std::string_view name() const override {
@@ -281,10 +279,23 @@ class SimpleFamilyPack final : public AntPack {
     if (quality <= 0.0) active_[a] = 0;
   }
 
-  void advance_phase() {
-    phase_ = (phase_ == Phase::kAssess || phase_ == Phase::kInit)
-                 ? Phase::kRecruit
-                 : Phase::kAssess;
+  /// True iff every ant (including frozen faulty ones) is in phase p —
+  /// the gate for the uniform-shape fast paths.
+  [[nodiscard]] bool all_in(Phase p) const {
+    return phase_count_[static_cast<std::size_t>(p)] == size();
+  }
+
+  /// kInit -> kRecruit -> kAssess -> kRecruit -> ... (SimpleAnt::observe).
+  void advance(std::size_t a) {
+    const Phase next =
+        phase_[a] == Phase::kRecruit ? Phase::kAssess : Phase::kRecruit;
+    --phase_count_[static_cast<std::size_t>(phase_[a])];
+    ++phase_count_[static_cast<std::size_t>(next)];
+    phase_[a] = next;
+  }
+
+  void advance_all() {
+    for (std::size_t a = 0; a < phase_.size(); ++a) advance(a);
   }
 
   /// The variant's b-probability — the exact floating-point expressions of
@@ -324,7 +335,8 @@ class SimpleFamilyPack final : public AntPack {
   AlgorithmKind kind_;
   double uniform_prob_;
   double n_estimate_error_;
-  Phase phase_ = Phase::kInit;
+  std::vector<Phase> phase_;      // per ant: frozen while asleep/crashed
+  std::uint32_t phase_count_[3] = {0, 0, 0};  // census over phase_
 
   std::vector<env::NestId> round_targets_;  // quiet-round nest snapshot
   std::vector<util::Rng> rng_;              // per-ant private streams
@@ -336,9 +348,12 @@ class SimpleFamilyPack final : public AntPack {
   std::vector<std::uint32_t> halving_period_;  // rate-boosted: tau
 };
 
-/// QuorumAnt as state arrays. The recruit/assess phase is colony-global
-/// (quorum-met and crashed ants freeze their phase but never read it);
-/// the stage is per ant.
+/// QuorumAnt as state arrays. Both the stage and the recruit/assess phase
+/// are per-ant lanes, exactly as in the scalar ant: a sleeping or crashed
+/// ant freezes both, and a quorum-met ant's phase parks at kRecruit (the
+/// assess observe that locked it is the last one it ever runs) while its
+/// decide ignores the phase and recruits forever. The phase census keeps
+/// the uniform-shape fast paths alive whenever the colony is in lockstep.
 class QuorumPack final : public AntPack {
  public:
   QuorumPack(std::uint32_t num_ants, std::uint32_t num_nests,
@@ -353,6 +368,7 @@ class QuorumPack final : public AntPack {
     HH_EXPECTS(tandem_rate_ >= 0.0 && tandem_rate_ <= 1.0);
     rng_.resize(num_ants, util::Rng(0));
     stage_.resize(num_ants);
+    phase_.resize(num_ants);
     count_.resize(num_ants);
     round_targets_.reserve(num_ants);  // quiet rounds must not allocate
     if (faults != nullptr) install_fault_plan(*faults);
@@ -366,27 +382,33 @@ class QuorumPack final : public AntPack {
     }
     std::fill(stage_.begin(), stage_.end(),
               static_cast<std::uint8_t>(Stage::kInit));
+    std::fill(phase_.begin(), phase_.end(), Phase::kInit);
+    phase_count_[static_cast<std::size_t>(Phase::kInit)] = size();
+    phase_count_[static_cast<std::size_t>(Phase::kRecruit)] = 0;
+    phase_count_[static_cast<std::size_t>(Phase::kAssess)] = 0;
     std::fill(count_.begin(), count_.end(), 0u);
     reset_commitments();
-    init_done_ = false;
-    phase_ = Phase::kRecruit;
     finalized_count_ = 0;
     return true;
   }
 
   [[nodiscard]] RoundShape correct_shape(std::uint32_t /*round*/) const override {
-    if (!init_done_) return RoundShape::kAllSearch;
-    if (phase_ == Phase::kRecruit) return RoundShape::kAllRecruit;
-    // Assess rounds are all-go only while no ant has met quorum; quorum-met
-    // ants keep recruiting through assess rounds (direct transport), which
-    // mixes the round — the masked path handles it.
-    return finalized_count_ == 0 ? RoundShape::kAllGo
-                                 : RoundShape::kMaskedRecruit;
+    if (all_in(Phase::kInit)) return RoundShape::kAllSearch;
+    // A quorum-met ant parks at kRecruit, so an all-recruit census still
+    // fires the uniform path (transporters recruit like everyone else) and
+    // an all-go census implies nobody has met quorum yet. Assess rounds
+    // after the first quorum — and any sleep/crash phase drift — are mixed,
+    // with the parked transporters forcing the recruit-capable entry point.
+    if (all_in(Phase::kRecruit)) return RoundShape::kAllRecruit;
+    if (all_in(Phase::kAssess)) return RoundShape::kAllGo;
+    return phase_count_[static_cast<std::size_t>(Phase::kRecruit)] > 0
+               ? RoundShape::kMaskedRecruit
+               : RoundShape::kMaskedGo;
   }
 
   void fill_recruit_requests(std::uint32_t /*round*/,
                              std::span<env::RecruitRequest> requests) override {
-    HH_EXPECTS(init_done_ && phase_ == Phase::kRecruit);
+    HH_EXPECTS(all_in(Phase::kRecruit));
     HH_EXPECTS(requests.size() == rng_.size());
     for (std::size_t a = 0; a < requests.size(); ++a) {
       requests[a] =
@@ -396,7 +418,7 @@ class QuorumPack final : public AntPack {
 
   [[nodiscard]] std::span<const env::NestId> fill_recruit_soa(
       std::uint32_t /*round*/, std::span<std::uint8_t> active) override {
-    HH_EXPECTS(init_done_ && phase_ == Phase::kRecruit);
+    HH_EXPECTS(all_in(Phase::kRecruit));
     HH_EXPECTS(active.size() == rng_.size());
     round_targets_.assign(nest_.begin(), nest_.end());
     for (std::size_t a = 0; a < active.size(); ++a) {
@@ -413,31 +435,23 @@ class QuorumPack final : public AntPack {
                      std::span<env::MaskedOp> op,
                      std::span<std::uint8_t> active,
                      std::span<env::NestId> targets) override {
-    if (!init_done_) {
-      for (std::size_t a = 0; a < act.size(); ++a) {
-        if (act[a]) op[a] = env::MaskedOp::kSearch;
-      }
-      return;
-    }
-    if (phase_ == Phase::kRecruit) {
-      for (std::size_t a = 0; a < act.size(); ++a) {
-        if (!act[a]) continue;
-        op[a] = env::MaskedOp::kRecruit;
-        active[a] = decide_b(a) ? 1 : 0;
-        targets[a] = nest_[a];
-      }
-      return;
-    }
     for (std::size_t a = 0; a < act.size(); ++a) {
       if (!act[a]) continue;
-      if (static_cast<Stage>(stage_[a]) == Stage::kQuorumMet) {
-        // Transport: recruit every round, commitment locked.
-        op[a] = env::MaskedOp::kRecruit;
-        active[a] = 1;
-        targets[a] = nest_[a];
-      } else {
-        op[a] = env::MaskedOp::kGo;
-        targets[a] = nest_[a];
+      switch (phase_[a]) {
+        case Phase::kInit:
+          op[a] = env::MaskedOp::kSearch;
+          break;
+        case Phase::kRecruit:
+          // Quorum-met transporters are parked here and decide_b answers
+          // true for them without a draw (recruit every round, locked).
+          op[a] = env::MaskedOp::kRecruit;
+          active[a] = decide_b(a) ? 1 : 0;
+          targets[a] = nest_[a];
+          break;
+        case Phase::kAssess:
+          op[a] = env::MaskedOp::kGo;
+          targets[a] = nest_[a];
+          break;
       }
     }
   }
@@ -445,29 +459,21 @@ class QuorumPack final : public AntPack {
   // observe_all is the base forward onto this kernel (act all-ones).
   void observe_masked_acting(std::span<const std::uint8_t> act,
                              std::span<const env::Outcome> outcomes) override {
-    if (!init_done_) {
-      for (std::size_t a = 0; a < act.size(); ++a) {
-        if (!act[a]) continue;
+    for (std::size_t a = 0; a < act.size(); ++a) {
+      if (!act[a]) continue;  // frozen: crashed, sleeping, or Byzantine
+      // Quorum-met ants recruit forever but their return value is ignored
+      // (commitment locked) and their phase stays parked at kRecruit.
+      if (static_cast<Stage>(stage_[a]) == Stage::kQuorumMet) continue;
+      if (static_cast<Stage>(stage_[a]) == Stage::kInit) {
         apply_init(a, outcomes[a].nest, outcomes[a].count,
                    outcomes[a].quality);
+      } else if (phase_[a] == Phase::kRecruit) {
+        apply_recruit(a, outcomes[a].nest);
+        set_phase(a, Phase::kAssess);
+      } else {
+        apply_assess(a, outcomes[a].count);
+        set_phase(a, Phase::kRecruit);
       }
-      finish_init();
-      return;
-    }
-    if (phase_ == Phase::kRecruit) {
-      for (std::size_t a = 0; a < act.size(); ++a) {
-        if (act[a]) apply_recruit(a, outcomes[a].nest);
-      }
-      phase_ = Phase::kAssess;
-    } else {
-      for (std::size_t a = 0; a < act.size(); ++a) {
-        // Quorum-met ants recruit through assess rounds; their return
-        // value is ignored (commitment locked), so only the goers learn.
-        if (act[a] && static_cast<Stage>(stage_[a]) != Stage::kQuorumMet) {
-          apply_assess(a, outcomes[a].count);
-        }
-      }
-      phase_ = Phase::kRecruit;
     }
   }
 
@@ -476,55 +482,50 @@ class QuorumPack final : public AntPack {
       std::span<const env::MaskedOp> /*op*/,
       std::span<const env::NestId> targets) override {
     const std::span<const std::uint32_t> counts = env.counts();
-    if (!init_done_) {
-      for (std::size_t a = 0; a < act.size(); ++a) {
-        if (!act[a]) continue;
+    for (std::size_t a = 0; a < act.size(); ++a) {
+      if (!act[a]) continue;  // frozen: crashed, sleeping, or Byzantine
+      if (static_cast<Stage>(stage_[a]) == Stage::kQuorumMet) continue;
+      if (static_cast<Stage>(stage_[a]) == Stage::kInit) {
         const env::NestId found = env.location(static_cast<env::AntId>(a));
         apply_init(a, found, counts[found], env.qualities()[found - 1]);
-      }
-      finish_init();
-      return;
-    }
-    if (phase_ == Phase::kRecruit) {
-      for (std::size_t a = 0; a < act.size(); ++a) {
-        if (!act[a]) continue;
+      } else if (phase_[a] == Phase::kRecruit) {
         const std::int32_t recruiter =
             env.recruited_by_ant(static_cast<env::AntId>(a));
-        if (recruiter == env::kNotRecruited) continue;
-        apply_recruit(a, targets[static_cast<std::size_t>(recruiter)]);
-      }
-      phase_ = Phase::kAssess;
-    } else {
-      for (std::size_t a = 0; a < act.size(); ++a) {
-        if (act[a] && static_cast<Stage>(stage_[a]) != Stage::kQuorumMet) {
-          apply_assess(a, counts[nest_[a]]);
+        if (recruiter != env::kNotRecruited) {
+          apply_recruit(a, targets[static_cast<std::size_t>(recruiter)]);
         }
+        set_phase(a, Phase::kAssess);
+      } else {
+        apply_assess(a, counts[nest_[a]]);
+        set_phase(a, Phase::kRecruit);
       }
-      phase_ = Phase::kRecruit;
     }
   }
 
   void observe_recruit_pairing(std::span<const env::NestId> targets,
                                const env::PairingScratch& pairing) override {
-    HH_EXPECTS(init_done_ && phase_ == Phase::kRecruit);
+    HH_EXPECTS(all_in(Phase::kRecruit));
     HH_EXPECTS(targets.size() == rng_.size());
     for (std::size_t a = 0; a < targets.size(); ++a) {
+      if (static_cast<Stage>(stage_[a]) == Stage::kQuorumMet) continue;
       const std::int32_t recruiter = pairing.recruited_by[a];
-      if (recruiter == env::kNotRecruited) continue;
-      apply_recruit(a, targets[static_cast<std::size_t>(recruiter)]);
+      if (recruiter != env::kNotRecruited) {
+        apply_recruit(a, targets[static_cast<std::size_t>(recruiter)]);
+      }
+      set_phase(a, Phase::kAssess);
     }
-    phase_ = Phase::kAssess;
   }
 
   void observe_go_counts(std::span<const std::uint32_t> counts,
                          std::span<const double> /*qualities*/) override {
-    // Only reachable while no ant has met quorum (correct_shape gates on
-    // finalized_count_ == 0), so every ant is kPassive or kPreQuorum.
-    HH_EXPECTS(init_done_ && phase_ == Phase::kAssess);
+    // Only reachable while no ant has met quorum (a quorum-met ant parks
+    // its phase at kRecruit, blocking the all-assess census), so every
+    // ant is kPassive or kPreQuorum.
+    HH_EXPECTS(all_in(Phase::kAssess));
     for (std::size_t a = 0; a < rng_.size(); ++a) {
       apply_assess(a, counts[nest_[a]]);
+      set_phase(a, Phase::kRecruit);
     }
-    phase_ = Phase::kRecruit;
   }
 
   [[nodiscard]] bool finalized(env::AntId a) const override {
@@ -541,7 +542,7 @@ class QuorumPack final : public AntPack {
 
  private:
   enum class Stage : std::uint8_t { kInit, kPassive, kPreQuorum, kQuorumMet };
-  enum class Phase : std::uint8_t { kRecruit, kAssess };
+  enum class Phase : std::uint8_t { kInit, kRecruit, kAssess };
 
   /// The b of QuorumAnt::decide in a recruit-phase round.
   [[nodiscard]] bool decide_b(std::size_t a) {
@@ -569,11 +570,17 @@ class QuorumPack final : public AntPack {
     count_[a] = count;
     stage_[a] = static_cast<std::uint8_t>(quality > 0.0 ? Stage::kPreQuorum
                                                         : Stage::kPassive);
+    set_phase(a, Phase::kRecruit);
   }
 
-  void finish_init() {
-    init_done_ = true;
-    phase_ = Phase::kRecruit;
+  [[nodiscard]] bool all_in(Phase p) const {
+    return phase_count_[static_cast<std::size_t>(p)] == size();
+  }
+
+  void set_phase(std::size_t a, Phase next) {
+    --phase_count_[static_cast<std::size_t>(phase_[a])];
+    ++phase_count_[static_cast<std::size_t>(next)];
+    phase_[a] = next;
   }
 
   void apply_recruit(std::size_t a, env::NestId j) {
@@ -611,13 +618,13 @@ class QuorumPack final : public AntPack {
 
   std::uint32_t threshold_;
   double tandem_rate_;
-  bool init_done_ = false;
-  Phase phase_ = Phase::kRecruit;
   std::uint32_t finalized_count_ = 0;
 
   std::vector<env::NestId> round_targets_;  // quiet-round nest snapshot
   std::vector<util::Rng> rng_;
   std::vector<std::uint8_t> stage_;
+  std::vector<Phase> phase_;      // per ant: frozen while asleep/crashed
+  std::uint32_t phase_count_[3] = {0, 0, 0};  // census over phase_
   std::vector<std::uint32_t> count_;
 };
 
@@ -627,6 +634,7 @@ AntPack::AntPack(std::uint32_t num_ants, std::uint32_t num_nests)
     : num_ants_(num_ants) {
   HH_EXPECTS(num_ants >= 1);
   act_.assign(num_ants, 1);  // everyone acts until a fault plan says not
+  awake_.assign(num_ants, 1);  // all-awake until begin_round says not
   nest_.assign(num_ants, env::kHomeNest);
   census_.assign(num_nests + 1, 0);
   census_[env::kHomeNest] = num_ants;  // re-derived by reset_commitments
@@ -659,18 +667,33 @@ void AntPack::install_fault_plan(const env::FaultPlan& plan) {
   crash_round_.resize(num_ants_);
   byz_target_.assign(num_ants_, env::kHomeNest);
   byz_quality_.assign(num_ants_, kByzantineNoTargetQuality);
+  byz_scouted_.assign(num_ants_, 0);
   for (env::AntId a = 0; a < num_ants_; ++a) {
     fault_type_[a] = static_cast<std::uint8_t>(plan.type[a]);
     crash_round_[a] = plan.crash_round[a];
     correct_count_ += plan.type[a] == env::FaultType::kNone ? 1u : 0u;
     byz_count_ += plan.type[a] == env::FaultType::kByzantine ? 1u : 0u;
   }
+  byz_scouting_ = byz_count_;
   // A plan whose victim counts floored to zero is behaviorally fault-free:
   // keep the uniform fast paths.
   has_faults_ = correct_count_ != num_ants_;
 }
 
+void AntPack::begin_round(std::span<const std::uint8_t> awake) {
+  HH_EXPECTS(awake.size() == num_ants_);
+  std::copy(awake.begin(), awake.end(), awake_.begin());
+  any_asleep_ =
+      std::find(awake.begin(), awake.end(), std::uint8_t{0}) != awake.end();
+}
+
 bool AntPack::reset(std::uint64_t colony_seed) {
+  std::fill(awake_.begin(), awake_.end(), std::uint8_t{1});
+  any_asleep_ = false;
+  if (act_stale_) {
+    std::fill(act_.begin(), act_.end(), std::uint8_t{1});
+    act_stale_ = false;
+  }
   if (!do_reset(colony_seed)) return false;
   if (has_faults_) {
     // Re-derive the Byzantine scout state; the installed plan (types,
@@ -679,16 +702,20 @@ bool AntPack::reset(std::uint64_t colony_seed) {
     std::fill(byz_target_.begin(), byz_target_.end(), env::kHomeNest);
     std::fill(byz_quality_.begin(), byz_quality_.end(),
               kByzantineNoTargetQuality);
+    std::fill(byz_scouted_.begin(), byz_scouted_.end(), std::uint8_t{0});
+    byz_scouting_ = byz_count_;
   }
   return true;
 }
 
 RoundShape AntPack::round_shape(std::uint32_t round) const {
   const RoundShape shape = correct_shape(round);
-  if (!has_faults_) return shape;
-  // Any faulty ant deviates from a uniform shape: crashed ants idle,
-  // Byzantine ants search through their scout rounds and recruit after.
-  const bool byz_recruiting = byz_count_ > 0 && round > kByzantineScoutRounds;
+  // Any faulty OR sleeping ant deviates from a uniform shape: crashed and
+  // sleeping ants idle, Byzantine ants search through their scout rounds
+  // and recruit after. A masked-recruit round whose recruiters all turn
+  // out to be asleep is harmless: the empty request set draws nothing.
+  if (!has_faults_ && !any_asleep_) return shape;
+  const bool byz_recruiting = byz_count_ > byz_scouting_;
   const bool recruiters = shape == RoundShape::kAllRecruit ||
                           shape == RoundShape::kMaskedRecruit ||
                           byz_recruiting;
@@ -716,7 +743,7 @@ void AntPack::overlay_faults(std::uint32_t round, std::span<env::MaskedOp> op,
         // ByzantineAnt: scout for the worst nest, then recruit toward it
         // every round, forever, ignoring all feedback.
         act_[a] = 0;
-        if (round <= kByzantineScoutRounds) {
+        if (byz_scouted_[a] < kByzantineScoutRounds) {
           op[a] = env::MaskedOp::kSearch;
         } else {
           op[a] = env::MaskedOp::kRecruit;
@@ -735,18 +762,38 @@ void AntPack::fill_masked(std::uint32_t round, std::span<env::MaskedOp> op,
   HH_EXPECTS(active.size() == num_ants_);
   HH_EXPECTS(targets.size() == num_ants_);
   masked_round_ = round;
-  if (has_faults_) overlay_faults(round, op, active, targets);
+  if (has_faults_) {
+    overlay_faults(round, op, active, targets);
+  } else if (act_stale_) {
+    std::fill(act_.begin(), act_.end(), std::uint8_t{1});
+    act_stale_ = false;
+  }
+  if (any_asleep_) {
+    // Sleep overlays AFTER faults: a sleeping ant idles no matter what its
+    // fault lane planned (the scalar loop consults the scheduler before
+    // the fault wrapper's decide). Stale active/target rows are unread
+    // under kIdle.
+    for (env::AntId a = 0; a < num_ants_; ++a) {
+      if (awake_[a]) continue;
+      act_[a] = 0;
+      op[a] = env::MaskedOp::kIdle;
+    }
+    act_stale_ = !has_faults_;
+  }
   decide_masked(round, act_, op, active, targets);
 }
 
 void AntPack::observe_masked(std::span<const env::Outcome> outcomes) {
-  // Byzantine search outcomes exist only during the scout window — skip
-  // the O(n) scan for the rest of the run (mirrors the quiet form).
-  if (byz_count_ > 0 && masked_round_ <= kByzantineScoutRounds) {
+  // Byzantine search outcomes exist only while some scout window is still
+  // open — skip the O(n) scan for the rest of the run (mirrors the quiet
+  // form). An adversary that slept (kIdle outcome) made no search, so it
+  // neither learns nor burns a scout round.
+  if (byz_scouting_ > 0) {
     for (env::AntId a = 0; a < num_ants_; ++a) {
       if (!byzantine(a) || outcomes[a].kind != env::ActionKind::kSearch) {
         continue;
       }
+      scout_round_done(a);
       // Track the worst nest seen; ties broken toward the first found so
       // the adversary concentrates its pull on a single bad nest.
       if (outcomes[a].quality < byz_quality_[a]) {
@@ -761,9 +808,14 @@ void AntPack::observe_masked(std::span<const env::Outcome> outcomes) {
 void AntPack::observe_masked_quiet(const env::Environment& env,
                                    std::span<const env::MaskedOp> op,
                                    std::span<const env::NestId> targets) {
-  if (byz_count_ > 0 && masked_round_ <= kByzantineScoutRounds) {
+  if (byz_scouting_ > 0) {
     for (env::AntId a = 0; a < num_ants_; ++a) {
-      if (!byzantine(a)) continue;
+      // op is this round's decide output: a scouting adversary holds
+      // kSearch, a sleeping one was overlaid to kIdle (no search, no
+      // learning, scout window stretched — like the scalar ant, whose
+      // rounds_scouted_ only advances on a search outcome).
+      if (!byzantine(a) || op[a] != env::MaskedOp::kSearch) continue;
+      scout_round_done(a);
       const env::NestId found = env.location(a);
       const double q = env.qualities()[found - 1];  // exact observation
       if (q < byz_quality_[a]) {
@@ -852,8 +904,8 @@ bool packed_available(AlgorithmKind kind) {
 
 Capabilities packed_capabilities(AlgorithmKind kind) {
   // One declaration covers every built-in: they all derive from the
-  // AntPack base, whose fault lanes, loud/quiet observe kernels, and
-  // agreement censuses supply the whole matrix except partial synchrony.
+  // AntPack base, whose fault lanes, sleep overlay, loud/quiet observe
+  // kernels, and agreement censuses supply the whole matrix.
   return packed_available(kind) ? Capabilities::standard_pack()
                                 : Capabilities{};
 }

@@ -38,8 +38,12 @@
 // Packs exist for every built-in algorithm: the Algorithm-3 family
 // (simple, rate-boosted, quality-aware, uniform-recruit), the quorum
 // baseline, and Algorithm 2 (optimal, with and without the Section 4.2
-// settle fix; see optimal_pack.cpp). Partial synchrony is the one
-// extension that stays on the per-object reference path.
+// settle fix; see optimal_pack.cpp). Partial synchrony runs packed too:
+// the driver pre-draws the round's awake mask (same scheduler stream and
+// ant order as the scalar loop) and hands it to begin_round(); the base
+// overlays sleeping ants as MaskedOp::kIdle rows exactly as it overlays
+// crashed ants, and each pack keeps per-ant phase lanes so a slept ant's
+// state machine freezes and resumes like its scalar counterpart.
 #ifndef HH_CORE_ANT_PACK_HPP
 #define HH_CORE_ANT_PACK_HPP
 
@@ -90,6 +94,16 @@ class AntPack {
   /// faulty ant deviates (a crashed ant idles, a Byzantine ant searches
   /// then recruits).
   [[nodiscard]] RoundShape round_shape(std::uint32_t round) const;
+
+  /// Partial synchrony: install the round's awake mask BEFORE consulting
+  /// round_shape (a round with any sleeper reports a masked shape).
+  /// awake[a] == 0 freezes ant a for the round: its row becomes
+  /// MaskedOp::kIdle, its decide kernel draws nothing, and its observe
+  /// kernel is skipped — exactly the scalar scheduler-gated loop. The
+  /// driver draws the mask (scheduler stream, ant order) so the pack
+  /// consumes no scheduler randomness itself. The mask is copied; it does
+  /// not need to outlive the call. Omitting the call means all-awake.
+  void begin_round(std::span<const std::uint8_t> awake);
 
   /// kMaskedRecruit/kMaskedGo rounds: fill every ant's op/active/target
   /// lanes for `round` — fault rows written by the base class, acting
@@ -267,6 +281,11 @@ class AntPack {
   [[nodiscard]] std::uint32_t correct_count() const {
     return has_faults_ ? correct_count_ : num_ants_;
   }
+  /// True iff ant a acts this round (partial synchrony; all-ones unless
+  /// begin_round installed a mask with sleepers).
+  [[nodiscard]] bool awake(env::AntId a) const { return awake_[a] != 0; }
+  /// True iff the current round's mask has at least one sleeper.
+  [[nodiscard]] bool any_asleep() const { return any_asleep_; }
 
   // --- shared commitment lanes ---------------------------------------------
   // Every pack tracks one committed nest per ant plus the incremental
@@ -296,16 +315,34 @@ class AntPack {
                       std::span<std::uint8_t> active,
                       std::span<env::NestId> targets);
 
+  /// Burn one scout round for Byzantine ant a (it searched this round).
+  void scout_round_done(env::AntId a) {
+    if (++byz_scouted_[a] == kByzantineScoutRounds) --byz_scouting_;
+  }
+
   std::uint32_t num_ants_;
   bool has_faults_ = false;
   std::uint32_t correct_count_ = 0;
   std::uint32_t byz_count_ = 0;
   std::uint32_t masked_round_ = 0;  ///< round of the last fill_masked
+  bool any_asleep_ = false;         ///< current round's mask has a sleeper
+  // After a sleep round without fault lanes, act_ holds stale zeros that
+  // the next fill_masked (or reset) must clear; overlay_faults rewrites
+  // act_ wholesale each round, so faulted packs never set this.
+  bool act_stale_ = false;
   std::vector<std::uint8_t> act_;   ///< 1 = run the derived kernel this round
+  std::vector<std::uint8_t> awake_;  ///< partial synchrony: 1 = acts
   std::vector<std::uint8_t> fault_type_;     ///< env::FaultType per ant
   std::vector<std::uint32_t> crash_round_;   ///< round >= which the ant idles
   std::vector<env::NestId> byz_target_;      ///< worst nest found so far
   std::vector<double> byz_quality_;          ///< its quality (2.0 = none yet)
+  // A Byzantine ant scouts for kByzantineScoutRounds SEARCHES, not rounds:
+  // like the scalar ByzantineAnt's rounds_scouted_, the counter only
+  // advances when the ant actually searched, so sleeping through a round
+  // stretches its scout window. byz_scouting_ counts the ants still in
+  // theirs (0 = the worst-nest scan can be skipped entirely).
+  std::vector<std::uint8_t> byz_scouted_;    ///< searches done, saturates
+  std::uint32_t byz_scouting_ = 0;
 };
 
 /// True iff `kind` has a packed implementation.

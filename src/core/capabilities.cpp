@@ -8,7 +8,7 @@ Capabilities Capabilities::standard_pack() {
   Capabilities caps;
   caps.crash_faults = true;
   caps.byzantine_faults = true;
-  caps.partial_synchrony = false;
+  caps.partial_synchrony = true;
   caps.count_noise = true;
   caps.quality_noise = true;
   caps.with(env::PairingKind::kPermutation)
@@ -36,6 +36,11 @@ std::vector<std::string> capability_gaps(const SimulationConfig& config,
                                          ConvergenceMode mode,
                                          const Capabilities& declared) {
   std::vector<std::string> gaps;
+  if (!declared.supports(config.env_backend)) {
+    gaps.emplace_back("environment backend '" +
+                      std::string(env::backend_name(config.env_backend)) +
+                      "' is outside the algorithm's declared worlds");
+  }
   if (config.skip_probability > 0.0 && !declared.partial_synchrony) {
     gaps.emplace_back(
         "partial synchrony (skip_probability > 0) requires the "

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/convergence.hpp"
+#include "env/backend.hpp"
 #include "env/pairing.hpp"
 
 namespace hh::core {
@@ -40,12 +41,23 @@ struct Capabilities {
   bool quality_noise = false;      ///< quality_flip_prob / quality_sigma > 0
   std::uint8_t pairings = 0;           ///< bitmask over env::PairingKind
   std::uint8_t convergence_modes = 0;  ///< bitmask over ConvergenceMode
+  /// Bitmask over env::BackendKind — which WORLDS the algorithm's
+  /// decision kernels are written for. Unlike every other field (which
+  /// describes the packed engine only), backends gates BOTH engines: a
+  /// kernel routed into a world it was not written for is a programming
+  /// error on the scalar path too, so Simulation::build_engine hard-throws
+  /// on a mismatch instead of falling back. Defaults to home-nest (bit 0
+  /// set): every pre-seam declaration keeps its meaning unchanged.
+  std::uint8_t backends = 1;
 
   [[nodiscard]] bool supports(env::PairingKind kind) const {
     return (pairings & mask(static_cast<std::uint8_t>(kind))) != 0;
   }
   [[nodiscard]] bool supports(ConvergenceMode mode) const {
     return (convergence_modes & mask(static_cast<std::uint8_t>(mode))) != 0;
+  }
+  [[nodiscard]] bool supports(env::BackendKind kind) const {
+    return (backends & mask(static_cast<std::uint8_t>(kind))) != 0;
   }
 
   // Fluent declaration helpers (registration code reads as a sentence).
@@ -57,12 +69,24 @@ struct Capabilities {
     convergence_modes |= mask(static_cast<std::uint8_t>(mode));
     return *this;
   }
+  Capabilities& with(env::BackendKind kind) {
+    backends |= mask(static_cast<std::uint8_t>(kind));
+    return *this;
+  }
+  /// Replace the backend mask outright (e.g. a lattice-only algorithm
+  /// must clear the default home-nest bit, not add to it).
+  Capabilities& only(env::BackendKind kind) {
+    backends = mask(static_cast<std::uint8_t>(kind));
+    return *this;
+  }
 
   /// Everything the PR-4 pack architecture guarantees for a pack built on
   /// the AntPack base: generic crash/Byzantine fault lanes, loud + quiet
-  /// observation (so any noise model), both pairing models, and all three
-  /// agreement censuses. Partial synchrony stays off — the per-ant skip
-  /// draws live in the per-object scheduler only.
+  /// observation (so any noise model), both pairing models, all three
+  /// agreement censuses, and partial synchrony (the driver pre-draws each
+  /// round's awake mask; sleepers freeze through the base's sleep lanes).
+  /// Backends keep the default home-nest-only mask: the built-in kernels
+  /// are written for the paper's world.
   [[nodiscard]] static Capabilities standard_pack();
 
   [[nodiscard]] bool operator==(const Capabilities&) const = default;

@@ -22,6 +22,7 @@ class OptimalPack final : public AntPack {
     HH_EXPECTS(num_ants >= 1);
     const std::size_t n = num_ants;
     state_.resize(n);
+    step_.resize(n);
     count_.resize(n);
     nest_t_.resize(n);
     count_t_.resize(n);
@@ -40,6 +41,7 @@ class OptimalPack final : public AntPack {
     // so reset is pure lane re-initialization.
     std::fill(state_.begin(), state_.end(),
               static_cast<std::uint8_t>(State::kSearch));
+    std::fill(step_.begin(), step_.end(), std::uint8_t{0});
     reset_commitments();
     std::fill(count_.begin(), count_.end(), 0u);
     std::fill(nest_t_.begin(), nest_t_.end(), env::kHomeNest);
@@ -61,11 +63,10 @@ class OptimalPack final : public AntPack {
     return round <= 1 ? RoundShape::kAllSearch : RoundShape::kMaskedRecruit;
   }
 
-  void decide_masked(std::uint32_t round, std::span<const std::uint8_t> act,
+  void decide_masked(std::uint32_t /*round*/, std::span<const std::uint8_t> act,
                      std::span<env::MaskedOp> op,
                      std::span<std::uint8_t> active,
                      std::span<env::NestId> targets) override {
-    const std::uint8_t step = block_step(round);
     for (std::size_t a = 0; a < act.size(); ++a) {
       if (!act[a]) continue;
       switch (static_cast<State>(state_[a])) {
@@ -73,10 +74,10 @@ class OptimalPack final : public AntPack {
           op[a] = env::MaskedOp::kSearch;  // line 7 (round 1 only)
           break;
         case State::kActive:
-          decide_active(a, step, op, active, targets);
+          decide_active(a, step_[a], op, active, targets);
           break;
         case State::kPassive:
-          if (step == 1) {
+          if (step_[a] == 1) {
             // R2, line 14: home, waiting to be recruited.
             op[a] = env::MaskedOp::kRecruit;
             active[a] = 0;
@@ -101,15 +102,13 @@ class OptimalPack final : public AntPack {
   }
 
   // observe_all (the fault-free round-1 search) is the base forward onto
-  // this kernel: every lane is still kSearch then, and block_step(0) is
-  // ignored by the search transition.
+  // this kernel: every lane is still kSearch then.
   void observe_masked_acting(std::span<const std::uint8_t> act,
                              std::span<const env::Outcome> outcomes) override {
-    const std::uint8_t step = block_step(masked_round());
     for (std::size_t a = 0; a < act.size(); ++a) {
       if (!act[a]) continue;
       const env::Outcome& out = outcomes[a];
-      apply(a, step, out.nest, out.count, out.quality);
+      apply(a, out.nest, out.count, out.quality);
     }
   }
 
@@ -117,7 +116,6 @@ class OptimalPack final : public AntPack {
       std::span<const std::uint8_t> act, const env::Environment& env,
       std::span<const env::MaskedOp> op,
       std::span<const env::NestId> targets) override {
-    const std::uint8_t step = block_step(masked_round());
     const std::span<const std::uint32_t> counts = env.counts();
     for (std::size_t a = 0; a < act.size(); ++a) {
       if (!act[a]) continue;
@@ -138,10 +136,10 @@ class OptimalPack final : public AntPack {
             recruiter == env::kNotRecruited
                 ? targets[a]
                 : targets[static_cast<std::size_t>(recruiter)];
-        apply(a, step, j, counts[env::kHomeNest], 0.0);
+        apply(a, j, counts[env::kHomeNest], 0.0);
       } else {
         // go(targets[a]): the visited nest's end-of-round count.
-        apply(a, step, targets[a], counts[targets[a]], 0.0);
+        apply(a, targets[a], counts[targets[a]], 0.0);
       }
     }
   }
@@ -202,14 +200,6 @@ class OptimalPack final : public AntPack {
   };
   enum class ActiveCase : std::uint8_t { kUndecided, kCase1, kCase2, kCase3 };
 
-  /// Position within the current 4-round block. All ants leave search
-  /// after round 1 and blocks are exactly 4 rounds, so the step is a
-  /// function of the round number (final/settled ants ignore it; crashed
-  /// ants idle, so their frozen step never matters).
-  [[nodiscard]] static std::uint8_t block_step(std::uint32_t round) {
-    return round >= 2 ? static_cast<std::uint8_t>((round - 2) % 4) : 0;
-  }
-
   void decide_active(std::size_t a, std::uint8_t step,
                      std::span<env::MaskedOp> op,
                      std::span<std::uint8_t> active,
@@ -266,24 +256,29 @@ class OptimalPack final : public AntPack {
     count_[a] = count;
     state_[a] = static_cast<std::uint8_t>(quality > 0.0 ? State::kActive
                                                         : State::kPassive);
+    step_[a] = 0;
     case_[a] = static_cast<std::uint8_t>(ActiveCase::kUndecided);
   }
 
-  /// One observation for ant a at block step `step`: `nest` is the
-  /// returned nest (go target / recruit return j / search landing),
-  /// `count` the perceived count the call returns. Mirrors
-  /// OptimalAnt::observe branch for branch.
-  void apply(std::size_t a, std::uint8_t step, env::NestId nest,
-             std::uint32_t count, double quality) {
+  /// One observation for ant a: `nest` is the returned nest (go target /
+  /// recruit return j / search landing), `count` the perceived count the
+  /// call returns. Mirrors OptimalAnt::observe branch for branch; the
+  /// ant's position in its 4-round block is the per-ant step_ lane
+  /// (advanced here, frozen while the ant sleeps or is crashed — exactly
+  /// the scalar ant's step_).
+  void apply(std::size_t a, env::NestId nest, std::uint32_t count,
+             double quality) {
     switch (static_cast<State>(state_[a])) {
       case State::kSearch:
         apply_search(a, nest, count, quality);
         break;
       case State::kActive:
-        apply_active(a, step, nest, count);
+        apply_active(a, step_[a], nest, count);
+        step_[a] = static_cast<std::uint8_t>((step_[a] + 1) % 4);
         break;
       case State::kPassive:
-        apply_passive(a, step, nest);
+        apply_passive(a, step_[a], nest);
+        step_[a] = static_cast<std::uint8_t>((step_[a] + 1) % 4);
         break;
       case State::kFinal:
         // Line 21: <nest, .> := recruit(1, nest) — the assignment means a
@@ -402,6 +397,7 @@ class OptimalPack final : public AntPack {
   std::uint32_t finalized_count_ = 0;
 
   std::vector<std::uint8_t> state_;
+  std::vector<std::uint8_t> step_;         ///< position in the 4-round block
   std::vector<std::uint32_t> count_;       ///< last accepted population count
   std::vector<env::NestId> nest_t_;        ///< R1 recruit return (nest_t)
   std::vector<std::uint32_t> count_t_;     ///< R2 count (count_t)

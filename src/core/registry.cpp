@@ -6,6 +6,7 @@
 
 #include "core/ant_pack.hpp"
 #include "core/idle_search_ant.hpp"
+#include "core/walker_ant.hpp"
 
 namespace hh::core {
 
@@ -131,6 +132,7 @@ AlgorithmRegistry::AlgorithmRegistry() {
   // PAPERS.md variants registered through the public spec API — the same
   // door third-party algorithms use (nothing below this layer knows them).
   register_idle_search_algorithm(*this);
+  register_lattice_walker_algorithm(*this);
 }
 
 AlgorithmRegistry& AlgorithmRegistry::instance() {

@@ -90,6 +90,23 @@ std::vector<std::string> engine_gaps(const SimulationConfig& config,
   return capability_gaps(config, spec.mode, spec.capabilities);
 }
 
+/// Build the world `config` names. The home-nest world keeps its exact
+/// pre-seam construction (strategies, seed derivation); the lattice world
+/// derives its seed through the same kEnvSeedTag so a given master seed
+/// means the same thing on every backend.
+std::unique_ptr<env::Backend> make_world(const SimulationConfig& config,
+                                         bool trusted_engine) {
+  if (config.env_backend == env::BackendKind::kLattice) {
+    return std::make_unique<env::LatticeBackend>(
+        config.num_ants, config.lattice,
+        util::mix_seed(config.seed, kEnvSeedTag));
+  }
+  return std::make_unique<env::HomeNestBackend>(
+      make_env_config(config, trusted_engine),
+      env::make_pairing_model(config.pairing),
+      env::make_observation_model(config.noise));
+}
+
 /// The cached built-in AlgorithmSpec for `kind` (the kind constructor
 /// runs per trial; the spec is immutable data, built once).
 const AlgorithmSpec& builtin_spec_cached(AlgorithmKind kind) {
@@ -108,6 +125,15 @@ const AlgorithmSpec& builtin_spec_cached(AlgorithmKind kind) {
 }  // namespace
 
 std::uint32_t Simulation::auto_max_rounds(const SimulationConfig& config) {
+  if (config.env_backend == env::BackendKind::kLattice) {
+    // A colony's slowest first passage is bounded by per-walker cover
+    // time, O(V log V) on a bounded-degree graph — the cap is a generous
+    // multiple of that, not the k-log-n recruitment bound below.
+    const auto sites = static_cast<double>(config.lattice.width) *
+                       static_cast<double>(config.lattice.height);
+    const double bound = 50.0 * sites * (std::log2(sites) + 2.0) + 1000.0;
+    return static_cast<std::uint32_t>(bound);
+  }
   // Generous multiple of the worst theoretical bound in play, O(k log n)
   // (Theorem 5.11); a cap, not an expectation — converging runs stop early.
   const double log_n =
@@ -125,6 +151,23 @@ Simulation::EngineParts Simulation::build_engine(
         "algorithm spec '" + spec.name +
         "' has no colony factory (legacy simulation-factory specs build "
         "through AlgorithmRegistry::make, not this constructor)");
+  }
+  // Backend support gates BOTH engines — decision kernels are written for
+  // one world, and routing them into another is a programming error the
+  // scalar reference path cannot absorb either. Hard error, never a
+  // fallback (see Capabilities::backends).
+  if (!spec.capabilities.supports(config.env_backend)) {
+    throw std::invalid_argument(
+        "algorithm '" + spec.name + "' does not run in the '" +
+        std::string(env::backend_name(config.env_backend)) +
+        "' environment backend (its declared worlds gate both engines)");
+  }
+  if (config.env_backend != env::BackendKind::kHomeNest &&
+      (config.faults.any() || config.noise.any())) {
+    throw std::invalid_argument(
+        "the '" + std::string(env::backend_name(config.env_backend)) +
+        "' backend models no faults or observation noise; clear "
+        "config.faults/config.noise");
   }
   const std::vector<std::string> gaps = engine_gaps(config, spec);
   if (config.engine == EngineKind::kPacked && !gaps.empty()) {
@@ -155,9 +198,7 @@ Simulation::Simulation(const SimulationConfig& config, EngineParts engine,
     : config_(config),
       colony_(std::move(engine.colony)),
       pack_(std::move(engine.pack)),
-      env_(make_env_config(config, pack_ != nullptr),
-           env::make_pairing_model(config.pairing),
-           env::make_observation_model(config.noise)),
+      world_(make_world(config, pack_ != nullptr)),
       scheduler_(env::make_scheduler(config.skip_probability)),
       scheduler_rng_(util::mix_seed(config.seed, kSchedulerSeedTag)),
       detector_(mode, config.stability_rounds, config.convergence_tolerance),
@@ -165,16 +206,26 @@ Simulation::Simulation(const SimulationConfig& config, EngineParts engine,
                                     : auto_max_rounds(config)) {
   HH_EXPECTS(config.num_ants >= 1);
   HH_EXPECTS(!config.qualities.empty());
+  if (world_->kind() == env::BackendKind::kLattice) {
+    lattice_ = static_cast<env::LatticeBackend*>(world_.get());
+    // The lattice's convergence/winner bookkeeping runs over pseudo-nest
+    // 1 ("reached the target"); anything else in qualities would imply
+    // candidate nests the world does not have.
+    HH_EXPECTS(config.qualities.size() == 1 && config.qualities[0] > 0.0);
+  } else {
+    home_ = static_cast<env::HomeNestBackend*>(world_.get());
+  }
   engine_fallback_ = std::move(engine.fallback);
   exact_observation_ = !config.noise.any();
   actions_.resize(config.num_ants);
   if (pack_) {
     HH_EXPECTS(pack_->size() == config.num_ants);
-    census_.resize(env_.num_nests() + 1);
+    census_.resize(config.qualities.size() + 1);
     requests_.resize(config.num_ants);
     recruit_active_.resize(config.num_ants);
     masked_op_.resize(config.num_ants);
     masked_targets_.resize(config.num_ants);
+    if (config.skip_probability > 0.0) awake_u8_.resize(config.num_ants);
   } else {
     HH_EXPECTS(colony_.size() == config.num_ants);
     awake_.resize(config.num_ants);
@@ -221,7 +272,7 @@ bool Simulation::reset(std::uint64_t seed) {
   // From here the reset cannot fail; every derivation mirrors the
   // constructor's (make_env_config / colony_seed / scheduler seeds).
   config_.seed = seed;
-  env_.reset(util::mix_seed(seed, kEnvSeedTag));
+  world_->reset(util::mix_seed(seed, kEnvSeedTag));
   scheduler_rng_.reseed(util::mix_seed(seed, kSchedulerSeedTag));
   detector_.reset();
   total_recruitments_ = 0;
@@ -231,19 +282,25 @@ bool Simulation::reset(std::uint64_t seed) {
   return true;
 }
 
-bool Simulation::step() { return pack_ ? step_packed() : step_scalar(); }
+bool Simulation::step() {
+  if (pack_) return lattice_ ? step_lattice_packed() : step_packed();
+  return step_scalar();
+}
 
 bool Simulation::step_scalar() {
-  const std::uint32_t round = env_.round() + 1;  // 1-based, as in the paper
+  // World-generic: decide/observe and the round itself speak only the
+  // Backend contract; just the convergence census at the end is
+  // backend-specific.
+  const std::uint32_t round = world_->round() + 1;  // 1-based, as in the paper
   for (env::AntId a = 0; a < colony_.size(); ++a) {
     // The scheduler is consulted before the ant: a sleeping ant's state
     // machine is frozen for the round (partial-synchrony extension).
-    const bool awake = scheduler_->awake(a, env_.round(), scheduler_rng_);
+    const bool awake = scheduler_->awake(a, world_->round(), scheduler_rng_);
     awake_[a] = awake;
     actions_[a] = awake ? colony_.ants[a]->decide(round) : env::Action::idle();
   }
 
-  const std::vector<env::Outcome>& outcomes = env_.step(actions_);
+  const std::vector<env::Outcome>& outcomes = world_->step(actions_);
   // Attribute each successful recruitment to a tandem run (recruiter not
   // yet finalized) or a direct transport (finalized recruiter) — the
   // Section 6 fine-grained runtime distinction; transports are ~3x faster
@@ -261,11 +318,57 @@ bool Simulation::step_scalar() {
     if (awake_[a]) colony_.ants[a]->observe(outcomes[a]);
   }
   record_round(tandem, transport);
-  return detector_.update(colony_, env_);
+  if (lattice_) return update_lattice_convergence();
+  return detector_.update(colony_, *home_);
+}
+
+bool Simulation::step_lattice_packed() {
+  // The walker workload has no per-ant kernel state: an ant searches
+  // until the backend's reached lane flips, then idles. So the driver
+  // fills the op lanes straight off that lane — scheduler consulted per
+  // ant in the same order as step_scalar (fully synchronous configs skip
+  // the consult; their scheduler draws nothing either way), which keeps
+  // the two engines RNG-identical.
+  const bool psync = config_.skip_probability > 0.0;
+  for (env::AntId a = 0; a < config_.num_ants; ++a) {
+    const bool awake =
+        !psync || scheduler_->awake(a, world_->round(), scheduler_rng_);
+    masked_op_[a] = awake && !lattice_->reached(a) ? env::MaskedOp::kSearch
+                                                   : env::MaskedOp::kIdle;
+  }
+  lattice_->step_masked_go_quiet(masked_op_, masked_targets_);
+  record_round(0, 0);
+  return update_lattice_convergence();
+}
+
+bool Simulation::update_lattice_convergence() {
+  // Mirror of core::agreement_from_census over the lattice's two-slot
+  // census {kHomeNest: still walking, 1: reached}: agreement on nest 1
+  // exists iff anyone reached, its quality is positive, and the reached
+  // count clears the same (1 - tolerance) * correct_total bar.
+  std::uint32_t reached = 0;
+  std::uint32_t correct_total = 0;
+  if (pack_) {
+    reached = lattice_->reached_count();
+    correct_total = config_.num_ants;  // no fault plans on the lattice
+  } else {
+    for (env::AntId a = 0; a < colony_.size(); ++a) {
+      if (!colony_.correct(a)) continue;
+      ++correct_total;
+      if (colony_.ants[a]->committed_nest() != env::kHomeNest) ++reached;
+    }
+  }
+  std::optional<env::NestId> agreement;
+  if (correct_total > 0 && reached > 0 && config_.qualities[0] > 0.0) {
+    const double required = (1.0 - config_.convergence_tolerance) *
+                            static_cast<double>(correct_total);
+    if (static_cast<double>(reached) >= required) agreement = env::NestId{1};
+  }
+  return detector_.observe_agreement(agreement, world_->round());
 }
 
 bool Simulation::step_packed() {
-  const std::uint32_t round = env_.round() + 1;  // 1-based, as in the paper
+  const std::uint32_t round = home_->round() + 1;  // 1-based, as in the paper
   // Tandem/transport attribution as in step_scalar; finalized() reflects
   // pre-observe state there (an ant's own observe cannot change another
   // ant's attribution), so checking all ants before the batch observe is
@@ -274,9 +377,9 @@ bool Simulation::step_packed() {
   std::uint32_t tandem = 0;
   std::uint32_t transport = 0;
   const auto attribute = [&](auto&& succeeded) {
-    if (env_.last_round_stats().successful_recruitments == 0) return;
+    if (home_->last_round_stats().successful_recruitments == 0) return;
     if (!pack_->any_finalized()) {
-      tandem = env_.last_round_stats().successful_recruitments;
+      tandem = home_->last_round_stats().successful_recruitments;
       return;
     }
     for (env::AntId a = 0; a < config_.num_ants; ++a) {
@@ -290,27 +393,41 @@ bool Simulation::step_packed() {
     }
   };
 
-  // All synchronous: no scheduler consultation, one batch decide over the
-  // state arrays — routed through the environment's round-shape fast path
-  // when the round is colony-uniform, through the masked SoA entry points
-  // when phases (or fault lanes) mix the round, and through the
-  // Outcome-free quiet forms when observation is exact.
+  // Partial synchrony: pre-draw the round's awake mask exactly as
+  // step_scalar does — same scheduler stream, same ant order, consulted
+  // before any decide — and hand it to the pack, which idles the sleepers
+  // (their per-ant lanes freeze for the round). Fully synchronous configs
+  // construct a draw-free SynchronousScheduler, so the consultation is
+  // skipped entirely.
+  if (config_.skip_probability > 0.0) {
+    for (env::AntId a = 0; a < config_.num_ants; ++a) {
+      awake_u8_[a] =
+          scheduler_->awake(a, home_->round(), scheduler_rng_) ? 1 : 0;
+    }
+    pack_->begin_round(awake_u8_);
+  }
+
+  // One batch decide over the state arrays — routed through the
+  // environment's round-shape fast path when the round is colony-uniform,
+  // through the masked SoA entry points when phases (or fault/sleep
+  // lanes) mix the round, and through the Outcome-free quiet forms when
+  // observation is exact.
   switch (pack_->round_shape(round)) {
     case RoundShape::kAllSearch:
-      pack_->observe_all(env_.step_all_search());
+      pack_->observe_all(home_->step_all_search());
       break;
     case RoundShape::kAllRecruit: {
       if (exact_observation_) {
         const std::span<const env::NestId> targets =
             pack_->fill_recruit_soa(round, recruit_active_);
-        env_.step_all_recruit_quiet(recruit_active_, targets);
-        const env::PairingScratch& pairing = env_.last_pairing();
+        home_->step_all_recruit_quiet(recruit_active_, targets);
+        const env::PairingScratch& pairing = home_->last_pairing();
         attribute([&](env::AntId a) { return pairing.recruit_succeeded[a] != 0; });
         pack_->observe_recruit_pairing(targets, pairing);
       } else {
         pack_->fill_recruit_requests(round, requests_);
         const std::vector<env::Outcome>& outcomes =
-            env_.step_all_recruit(requests_);
+            home_->step_all_recruit(requests_);
         attribute([&](env::AntId a) { return outcomes[a].recruit_succeeded; });
         pack_->observe_all(outcomes);
       }
@@ -318,22 +435,22 @@ bool Simulation::step_packed() {
     }
     case RoundShape::kAllGo:
       if (exact_observation_) {
-        env_.step_all_go_quiet(pack_->go_targets());
-        pack_->observe_go_counts(env_.counts(), env_.qualities());
+        home_->step_all_go_quiet(pack_->go_targets());
+        pack_->observe_go_counts(home_->counts(), home_->qualities());
       } else {
-        pack_->observe_all(env_.step_all_go(pack_->go_targets()));
+        pack_->observe_all(home_->step_all_go(pack_->go_targets()));
       }
       break;
     case RoundShape::kMaskedRecruit: {
       pack_->fill_masked(round, masked_op_, recruit_active_, masked_targets_);
       if (exact_observation_) {
-        env_.step_masked_recruit_quiet(masked_op_, recruit_active_,
+        home_->step_masked_recruit_quiet(masked_op_, recruit_active_,
                                        masked_targets_);
-        attribute([&](env::AntId a) { return env_.recruit_succeeded_ant(a); });
-        pack_->observe_masked_quiet(env_, masked_op_, masked_targets_);
+        attribute([&](env::AntId a) { return home_->recruit_succeeded_ant(a); });
+        pack_->observe_masked_quiet(*home_, masked_op_, masked_targets_);
       } else {
         const std::vector<env::Outcome>& outcomes =
-            env_.step_masked_recruit(masked_op_, recruit_active_,
+            home_->step_masked_recruit(masked_op_, recruit_active_,
                                      masked_targets_);
         attribute([&](env::AntId a) { return outcomes[a].recruit_succeeded; });
         pack_->observe_masked(outcomes);
@@ -344,59 +461,82 @@ bool Simulation::step_packed() {
       // No recruiters: nothing to pair, nothing to attribute.
       pack_->fill_masked(round, masked_op_, recruit_active_, masked_targets_);
       if (exact_observation_) {
-        env_.step_masked_go_quiet(masked_op_, masked_targets_);
-        pack_->observe_masked_quiet(env_, masked_op_, masked_targets_);
+        home_->step_masked_go_quiet(masked_op_, masked_targets_);
+        pack_->observe_masked_quiet(*home_, masked_op_, masked_targets_);
       } else {
-        pack_->observe_masked(env_.step_masked_go(masked_op_, masked_targets_));
+        pack_->observe_masked(home_->step_masked_go(masked_op_, masked_targets_));
       }
       break;
   }
   record_round(tandem, transport);
   const std::uint32_t correct_total =
-      pack_->agreement_census(detector_.mode(), env_, census_);
-  return detector_.update(census_, correct_total, env_);
+      pack_->agreement_census(detector_.mode(), *home_, census_);
+  return detector_.update(census_, correct_total, *home_);
 }
 
 void Simulation::record_round(std::uint32_t tandem, std::uint32_t transport) {
   total_tandem_runs_ += tandem;
   total_transports_ += transport;
-  total_recruitments_ += env_.last_round_stats().successful_recruitments;
+  total_recruitments_ += world_->last_round_stats().successful_recruitments;
   if (config_.record_trajectories) {
-    const std::uint32_t k = env_.num_nests();
-    std::vector<std::uint32_t> counts(k + 1);
-    for (env::NestId i = 0; i <= k; ++i) counts[i] = env_.count(i);
-    trajectories_.counts.push_back(std::move(counts));
+    // counts[r] spans the world's locations: k+1 nests on the home-nest
+    // backend, width*height sites on a lattice.
+    const std::span<const std::uint32_t> counts = world_->counts();
+    trajectories_.counts.emplace_back(counts.begin(), counts.end());
     trajectories_.committed.push_back(committed_census());
-    trajectories_.round_stats.push_back(env_.last_round_stats());
+    trajectories_.round_stats.push_back(world_->last_round_stats());
     trajectories_.tandem_successes.push_back(tandem);
     trajectories_.transport_successes.push_back(transport);
   }
 }
 
 RunResult Simulation::run() {
-  while (!detector_.converged() && env_.round() < max_rounds_) {
+  while (!detector_.converged() && world_->round() < max_rounds_) {
     step();
   }
   RunResult result;
   result.engine = engine_used();
   result.engine_fallback = engine_fallback_;
   result.converged = detector_.converged();
-  result.rounds_executed = env_.round();
+  result.rounds_executed = world_->round();
   result.total_recruitments = total_recruitments_;
   result.total_tandem_runs = total_tandem_runs_;
   result.total_transports = total_transports_;
   if (result.converged) {
     result.rounds = detector_.decision_round();
     result.winner = detector_.winner();
-    result.winner_quality = env_.quality(result.winner);
+    // Identical to the home-nest backend's quality(winner); phrased off
+    // the config so it holds for any backend's pseudo-nests too.
+    HH_ASSERT(result.winner >= 1 &&
+              result.winner <= config_.qualities.size());
+    result.winner_quality = config_.qualities[result.winner - 1];
+  }
+  if (lattice_) {
+    const std::span<const std::uint32_t> fp = lattice_->first_passage();
+    result.first_passage.assign(fp.begin(), fp.end());
   }
   result.trajectories = std::move(trajectories_);
   trajectories_ = Trajectories{};
   return result;
 }
 
+const env::Environment& Simulation::environment() const {
+  HH_EXPECTS(home_ != nullptr);
+  return *home_;
+}
+
 std::vector<std::uint32_t> Simulation::committed_census() const {
-  std::vector<std::uint32_t> census(env_.num_nests() + 1, 0);
+  // Census slots: kHomeNest plus one per (pseudo-)nest — qualities.size()
+  // equals num_nests() on the home-nest backend and 1 on the lattice.
+  const auto k = static_cast<std::uint32_t>(config_.qualities.size());
+  std::vector<std::uint32_t> census(k + 1, 0);
+  if (lattice_ && pack_) {
+    // The walker pack keeps no lanes of its own; the backend's reached
+    // count IS the commitment census.
+    census[1] = lattice_->reached_count();
+    census[0] = config_.num_ants - census[1];
+    return census;
+  }
   if (pack_) {
     pack_->committed_census(census);
     return census;
@@ -404,7 +544,7 @@ std::vector<std::uint32_t> Simulation::committed_census() const {
   for (env::AntId a = 0; a < colony_.size(); ++a) {
     if (!colony_.correct(a)) continue;
     const env::NestId nest = colony_.ants[a]->committed_nest();
-    HH_ASSERT(nest <= env_.num_nests());
+    HH_ASSERT(nest <= k);
     ++census[nest];
   }
   return census;

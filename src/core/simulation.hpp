@@ -15,6 +15,7 @@
 #include "core/convergence.hpp"
 #include "env/environment.hpp"
 #include "env/faults.hpp"
+#include "env/lattice.hpp"
 #include "env/observation.hpp"
 #include "env/pairing.hpp"
 #include "env/scheduler.hpp"
@@ -38,11 +39,12 @@ struct AlgorithmSpec;  // core/registry.hpp
 ///     zero allocations in the round loop (unless record_trajectories
 ///     snapshots are requested). Covers every built-in algorithm —
 ///     optimal's per-ant phase machine included — every crash/Byzantine
-///     fault plan (pack-level fault lanes), every convergence mode, and
-///     noisy observation; partial synchrony and caller-built colonies are
-///     the remaining scalar-only cases. Skips model validation (the
-///     packed FSMs are trusted — the reference path exists to validate
-///     semantics).
+///     fault plan (pack-level fault lanes), every convergence mode, noisy
+///     observation, and partial synchrony (the driver pre-draws each
+///     round's awake mask and the pack idles sleepers through its per-ant
+///     phase lanes); caller-built colonies are the remaining scalar-only
+///     case. Skips model validation (the packed FSMs are trusted — the
+///     reference path exists to validate semantics).
 ///   * kAuto — kPacked whenever eligible, else kScalar. The default:
 ///     large sweeps get the fast path, and any fallback is LOUD — the
 ///     engine that ran and the reason land on RunResult::engine /
@@ -86,6 +88,20 @@ struct SimulationConfig {
   /// kPacked demands it (throws std::invalid_argument otherwise); kScalar
   /// forces the per-object reference path.
   EngineKind engine = EngineKind::kAuto;
+  /// Which world the colony runs in (env/backend.hpp). The default
+  /// home-nest world is the paper's model and serializes exactly as
+  /// before the backend seam existed; any other backend is part of the
+  /// scenario's identity (new fingerprint vocabulary — DESIGN.md §9).
+  /// Algorithms gate on it through Capabilities::backends: a mismatch is
+  /// a hard std::invalid_argument on BOTH engines, never a silent
+  /// fallback. Faults and noise are home-nest extensions; combining them
+  /// with another backend also throws.
+  env::BackendKind env_backend = env::BackendKind::kHomeNest;
+  /// Lattice-world geometry and motility lanes (read only when
+  /// env_backend == kLattice). Lattice scenarios must declare exactly one
+  /// pseudo-nest quality (`qualities == {q}`, q > 0): the target site
+  /// doubles as nest 1 for convergence and winner bookkeeping.
+  env::LatticeConfig lattice;
 
   /// Convenience: k good nests of quality 1 except `bad` nests of quality 0
   /// placed at the end.
@@ -133,6 +149,12 @@ struct RunResult {
   /// Split of total_recruitments by recruiter state (see Trajectories).
   std::uint64_t total_tandem_runs = 0;
   std::uint64_t total_transports = 0;
+  /// Lattice backend only: first_passage[a] = round ant a first stood on
+  /// the target site (1-based; 0 = never), indexed by ant. Empty on the
+  /// home-nest backend. NOT part of TrialStats or result-store records
+  /// (the fixed-size cache format predates it); consume it from direct
+  /// runs, e.g. through analysis::first_passage_summary.
+  std::vector<std::uint32_t> first_passage;
   Trajectories trajectories;  ///< empty unless record_trajectories
 };
 
@@ -190,7 +212,11 @@ class Simulation {
   [[nodiscard]] bool reset(std::uint64_t seed);
 
   // --- inspection ---
-  [[nodiscard]] const env::Environment& environment() const { return env_; }
+  /// The world this simulation runs in (any backend).
+  [[nodiscard]] const env::Backend& world() const { return *world_; }
+  /// The home-nest world. HH_EXPECTS the home-nest backend — callers on
+  /// other backends must use world() (the seam exists so they can).
+  [[nodiscard]] const env::Environment& environment() const;
   /// The per-object colony. On the packed engine this holds no ants (the
   /// state lives in SoA arrays) — use algorithm()/num_ants()/
   /// committed_census(), which work on both engines.
@@ -212,7 +238,7 @@ class Simulation {
   }
   /// Colony size n (valid on both engines, unlike colony().size()).
   [[nodiscard]] std::uint32_t num_ants() const { return config_.num_ants; }
-  [[nodiscard]] std::uint32_t round() const { return env_.round(); }
+  [[nodiscard]] std::uint32_t round() const { return world_->round(); }
   [[nodiscard]] bool converged() const { return detector_.converged(); }
   [[nodiscard]] const ConvergenceDetector& detector() const { return detector_; }
   /// Number of correct ants committed to each nest (size k+1).
@@ -241,12 +267,24 @@ class Simulation {
 
   bool step_scalar();
   bool step_packed();
+  /// The packed lattice driver: rounds run straight off the backend's
+  /// reached lanes (AntPack's kernel interface is home-nest-shaped, so
+  /// the WalkerPack shell is bypassed).
+  bool step_lattice_packed();
+  /// Census + streak update for lattice runs (both engines); mirrors
+  /// core::agreement_from_census over the {walking, reached} census.
+  bool update_lattice_convergence();
   void record_round(std::uint32_t tandem, std::uint32_t transport);
 
   SimulationConfig config_;
   Colony colony_;
   std::unique_ptr<AntPack> pack_;  // non-null iff packed engine
-  env::Environment env_;
+  /// The world. Exactly one of the concrete pointers below aliases it —
+  /// the engine hot paths devirtualize through them (both backends are
+  /// final).
+  std::unique_ptr<env::Backend> world_;
+  env::HomeNestBackend* home_ = nullptr;   // == world_ iff home-nest
+  env::LatticeBackend* lattice_ = nullptr; // == world_ iff lattice
   std::unique_ptr<env::Scheduler> scheduler_;
   util::Rng scheduler_rng_;
   ConvergenceDetector detector_;
@@ -259,6 +297,7 @@ class Simulation {
   std::string engine_fallback_;        // why kAuto fell back ("" = packed)
   std::vector<env::Action> actions_;   // reused per round
   std::vector<bool> awake_;            // reused per round (scalar engine)
+  std::vector<std::uint8_t> awake_u8_;  // reused per round (packed psync)
   std::vector<std::uint32_t> census_;  // reused per round (packed engine)
   std::vector<env::RecruitRequest> requests_;  // reused per round (packed)
   std::vector<std::uint8_t> recruit_active_;   // reused per round (packed)

@@ -11,7 +11,7 @@ namespace {
 constexpr std::uint32_t kNoRequest = 0xffffffffu;
 }
 
-Environment::Environment(EnvironmentConfig cfg,
+HomeNestBackend::HomeNestBackend(EnvironmentConfig cfg,
                          std::unique_ptr<PairingModel> pairing,
                          std::unique_ptr<ObservationModel> observation)
     : cfg_(std::move(cfg)),
@@ -38,7 +38,7 @@ Environment::Environment(EnvironmentConfig cfg,
   pairing_scratch_.reserve(cfg_.num_ants);
 }
 
-void Environment::reset(std::uint64_t seed) {
+void HomeNestBackend::reset(std::uint64_t seed) {
   // Mirror of the constructor's initial state, minus the allocations: the
   // equivalence tests (tests/test_resume.cpp) pin reset-and-rerun to a
   // fresh construction bit for bit.
@@ -57,32 +57,32 @@ void Environment::reset(std::uint64_t seed) {
   stats_ = RoundStats{};
 }
 
-NestId Environment::location(AntId a) const {
+NestId HomeNestBackend::location(AntId a) const {
   HH_EXPECTS(a < cfg_.num_ants);
   return all_at_home_ ? kHomeNest : location_[a];
 }
 
-std::uint32_t Environment::count(NestId i) const {
+std::uint32_t HomeNestBackend::count(NestId i) const {
   HH_EXPECTS(i <= num_nests());
   return count_[i];
 }
 
-double Environment::quality(NestId i) const {
+double HomeNestBackend::quality(NestId i) const {
   HH_EXPECTS(i >= 1 && i <= num_nests());
   return cfg_.qualities[i - 1];
 }
 
-bool Environment::knows(AntId a, NestId i) const {
+bool HomeNestBackend::knows(AntId a, NestId i) const {
   HH_EXPECTS(a < cfg_.num_ants);
   HH_EXPECTS(i <= num_nests());
   return knowledge_[static_cast<std::size_t>(a) * (num_nests() + 1) + i] != 0;
 }
 
-void Environment::grant_knowledge(AntId a, NestId i) {
+void HomeNestBackend::grant_knowledge(AntId a, NestId i) {
   knowledge_[static_cast<std::size_t>(a) * (num_nests() + 1) + i] = 1;
 }
 
-void Environment::validate(AntId a, const Action& action) const {
+void HomeNestBackend::validate(AntId a, const Action& action) const {
   const auto fail = [&](const std::string& why) {
     throw ModelViolation("ant " + std::to_string(a) + ", round " +
                          std::to_string(round_ + 1) + ": " + why);
@@ -135,7 +135,7 @@ void Environment::validate(AntId a, const Action& action) const {
 }
 
 template <bool kLoud, typename ActionAt>
-void Environment::round_phase1(const ActionAt& action_at) {
+void HomeNestBackend::round_phase1(const ActionAt& action_at) {
   const std::uint32_t k = num_nests();
   stats_ = RoundStats{};
   requests_.clear();
@@ -200,7 +200,7 @@ void Environment::round_phase1(const ActionAt& action_at) {
 }
 
 template <typename ActionAt>
-const std::vector<Outcome>& Environment::step_rows(const ActionAt& action_at) {
+const std::vector<Outcome>& HomeNestBackend::step_rows(const ActionAt& action_at) {
   const std::uint32_t k = num_nests();
   // Phase 1 (shared with the quiet form).
   round_phase1<true>(action_at);
@@ -277,7 +277,7 @@ const std::vector<Outcome>& Environment::step_rows(const ActionAt& action_at) {
 }
 
 template <typename ActionAt>
-void Environment::step_rows_quiet(const ActionAt& action_at) {
+void HomeNestBackend::step_rows_quiet(const ActionAt& action_at) {
   // The Outcome-free core: the SAME phase-1/pairing/count bookkeeping and
   // RNG draws as step_rows (exact observation draws nothing in phase 4),
   // but the per-ant return values are never materialized — callers read
@@ -307,7 +307,7 @@ void Environment::step_rows_quiet(const ActionAt& action_at) {
   ++round_;
 }
 
-const std::vector<Outcome>& Environment::step(std::span<const Action> actions) {
+const std::vector<Outcome>& HomeNestBackend::step(std::span<const Action> actions) {
   HH_EXPECTS(actions.size() == cfg_.num_ants);
   return step_rows([&](AntId a) { return actions[a]; });
 }
@@ -333,7 +333,7 @@ struct MaskedRows {
 
 }  // namespace
 
-const std::vector<Outcome>& Environment::step_masked_recruit(
+const std::vector<Outcome>& HomeNestBackend::step_masked_recruit(
     std::span<const MaskedOp> op, std::span<const std::uint8_t> active,
     std::span<const NestId> targets) {
   HH_EXPECTS(op.size() == cfg_.num_ants);
@@ -342,7 +342,7 @@ const std::vector<Outcome>& Environment::step_masked_recruit(
   return step_rows(MaskedRows{op, active, targets});
 }
 
-void Environment::step_masked_recruit_quiet(
+void HomeNestBackend::step_masked_recruit_quiet(
     std::span<const MaskedOp> op, std::span<const std::uint8_t> active,
     std::span<const NestId> targets) {
   HH_EXPECTS(op.size() == cfg_.num_ants);
@@ -351,7 +351,7 @@ void Environment::step_masked_recruit_quiet(
   step_rows_quiet(MaskedRows{op, active, targets});
 }
 
-const std::vector<Outcome>& Environment::step_masked_go(
+const std::vector<Outcome>& HomeNestBackend::step_masked_go(
     std::span<const MaskedOp> op, std::span<const NestId> targets) {
   HH_EXPECTS(op.size() == cfg_.num_ants);
   HH_EXPECTS(targets.size() == cfg_.num_ants);
@@ -364,7 +364,7 @@ const std::vector<Outcome>& Environment::step_masked_go(
   });
 }
 
-void Environment::step_masked_go_quiet(std::span<const MaskedOp> op,
+void HomeNestBackend::step_masked_go_quiet(std::span<const MaskedOp> op,
                                        std::span<const NestId> targets) {
   HH_EXPECTS(op.size() == cfg_.num_ants);
   HH_EXPECTS(targets.size() == cfg_.num_ants);
@@ -374,7 +374,7 @@ void Environment::step_masked_go_quiet(std::span<const MaskedOp> op,
   });
 }
 
-std::int32_t Environment::recruited_by_ant(AntId a) const {
+std::int32_t HomeNestBackend::recruited_by_ant(AntId a) const {
   HH_EXPECTS(a < cfg_.num_ants);
   if (!pairing_current_) return kNotRecruited;
   if (requests_ant_indexed_) {
@@ -389,7 +389,7 @@ std::int32_t Environment::recruited_by_ant(AntId a) const {
       requests_[static_cast<std::size_t>(recruiter)].ant);
 }
 
-bool Environment::recruit_succeeded_ant(AntId a) const {
+bool HomeNestBackend::recruit_succeeded_ant(AntId a) const {
   HH_EXPECTS(a < cfg_.num_ants);
   if (!pairing_current_) return false;
   if (requests_ant_indexed_) {
@@ -400,7 +400,7 @@ bool Environment::recruit_succeeded_ant(AntId a) const {
   return pairing_scratch_.recruit_succeeded[idx] != 0;
 }
 
-const std::vector<Outcome>& Environment::step_all_search() {
+const std::vector<Outcome>& HomeNestBackend::step_all_search() {
   const std::uint32_t k = num_nests();
   stats_ = RoundStats{};
   pairing_current_ = false;  // no pairing: this round's matching is empty
@@ -428,7 +428,7 @@ const std::vector<Outcome>& Environment::step_all_search() {
   return outcomes_;
 }
 
-const std::vector<Outcome>& Environment::step_all_recruit(
+const std::vector<Outcome>& HomeNestBackend::step_all_recruit(
     std::span<const RecruitRequest> requests) {
   HH_EXPECTS(requests.size() == cfg_.num_ants);
   const std::uint32_t k = num_nests();
@@ -479,7 +479,7 @@ const std::vector<Outcome>& Environment::step_all_recruit(
   return outcomes_;
 }
 
-void Environment::step_all_recruit_quiet(std::span<const std::uint8_t> active,
+void HomeNestBackend::step_all_recruit_quiet(std::span<const std::uint8_t> active,
                                          std::span<const NestId> targets) {
   HH_EXPECTS(observe_exact_);
   HH_EXPECTS(active.size() == cfg_.num_ants);
@@ -517,7 +517,7 @@ void Environment::step_all_recruit_quiet(std::span<const std::uint8_t> active,
   ++round_;
 }
 
-void Environment::step_all_go_quiet(std::span<const NestId> targets) {
+void HomeNestBackend::step_all_go_quiet(std::span<const NestId> targets) {
   HH_EXPECTS(observe_exact_);
   HH_EXPECTS(targets.size() == cfg_.num_ants);
   const std::uint32_t k = num_nests();
@@ -540,7 +540,7 @@ void Environment::step_all_go_quiet(std::span<const NestId> targets) {
   ++round_;
 }
 
-const std::vector<Outcome>& Environment::step_all_go(
+const std::vector<Outcome>& HomeNestBackend::step_all_go(
     std::span<const NestId> targets) {
   HH_EXPECTS(targets.size() == cfg_.num_ants);
   const std::uint32_t k = num_nests();

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "env/action.hpp"
+#include "env/backend.hpp"
 #include "env/nest.hpp"
 #include "env/observation.hpp"
 #include "env/pairing.hpp"
@@ -47,49 +48,22 @@ struct EnvironmentConfig {
   bool allow_idle = false;
 };
 
-/// Aggregate statistics for the most recent round (for metrics collection;
-/// none of this is observable by ants).
-struct RoundStats {
-  std::uint32_t searches = 0;
-  std::uint32_t gos = 0;
-  std::uint32_t active_recruits = 0;   ///< recruit(1, ·) calls
-  std::uint32_t passive_recruits = 0;  ///< recruit(0, ·) calls
-  std::uint32_t idles = 0;
-  std::uint32_t successful_recruitments = 0;  ///< |M|
-  std::uint32_t self_recruitments = 0;        ///< pairs (a, a)
-  /// Recruited ants whose returned nest j differed from their input nest.
-  std::uint32_t cross_nest_recruitments = 0;
-};
+// RoundStats and MaskedOp (the round-statistics record and the per-ant
+// operation selector shared by every backend's masked SoA entry points)
+// live in env/backend.hpp with the contract.
 
-/// Per-ant operation selector for the masked SoA entry points
-/// (step_masked_recruit / step_masked_go): one byte per ant instead of an
-/// Action struct, chosen so mixed-phase rounds (Algorithm 2's interleaved
-/// R1-R4 blocks, fault-injected colonies) stay on the SoA hot path.
-enum class MaskedOp : std::uint8_t {
-  kIdle = 0,  ///< stay put (crashed ant; allow_idle configs only)
-  kGo,        ///< go(targets[a])
-  kRecruit,   ///< recruit(active[a] != 0, targets[a])
-  kSearch,    ///< search() (round-1 ants, Byzantine scouts)
-};
-
-/// The home-nest-plus-k-candidate-nests world. One instance = one execution.
-class Environment {
+/// The home-nest-plus-k-candidate-nests world of paper Section 2. One
+/// instance = one execution. `final` matters: the engine hot paths hold
+/// this concrete type (Simulation's by-value member, AntPack's observe
+/// parameters), so their calls through the Backend contract devirtualize.
+class HomeNestBackend final : public Backend {
  public:
   /// Construct with explicit strategies; pass nullptr for the defaults
   /// (PermutationPairing / ExactObservation).
-  Environment(EnvironmentConfig cfg,
-              std::unique_ptr<PairingModel> pairing = nullptr,
-              std::unique_ptr<ObservationModel> observation = nullptr);
-
-  Environment(const Environment&) = delete;
-  Environment& operator=(const Environment&) = delete;
-  // Moves are deleted: the defaulted moves left the moved-from object with
-  // null pairing_/observation_ strategies, so any further use (including
-  // step()) would dereference null. Hold Environments in place (as
-  // Simulation does) or behind unique_ptr when they must relocate.
-  Environment(Environment&&) = delete;
-  Environment& operator=(Environment&&) = delete;
-  ~Environment() = default;
+  explicit HomeNestBackend(
+      EnvironmentConfig cfg, std::unique_ptr<PairingModel> pairing = nullptr,
+      std::unique_ptr<ObservationModel> observation = nullptr);
+  ~HomeNestBackend() override = default;
 
   /// Execute one synchronous round. actions[a] is ant a's single call for
   /// this round; actions.size() must equal num_ants(). Returns one Outcome
@@ -101,7 +75,7 @@ class Environment {
   /// this object and reused; the only allocating path is the throw on a
   /// model violation). tests/test_hotpath.cpp asserts this with a
   /// counting operator new.
-  const std::vector<Outcome>& step(std::span<const Action> actions);
+  const std::vector<Outcome>& step(std::span<const Action> actions) override;
 
   // --- SoA round-shape fast paths -----------------------------------------
   // The synchronous algorithms produce colony-uniform rounds (every ant
@@ -131,7 +105,7 @@ class Environment {
   /// constructed one with `seed` in its config — the arena-reuse invariant
   /// (DESIGN.md §4) that lets Runner workers rerun trials without paying
   /// construction. Allocation-free.
-  void reset(std::uint64_t seed);
+  void reset(std::uint64_t seed) override;
 
   // Quiet forms: under the EXACT observation model (no perception draws),
   // a round's return values are fully determined by the pairing and the
@@ -139,7 +113,7 @@ class Environment {
   // array altogether and the caller reads last_pairing()/counts()
   // directly. Model bookkeeping (locations, counts, knowledge, stats,
   // round number) is identical to the loud forms; requires exact
-  /// observation (throws ContractViolation otherwise).
+  // observation (throws ContractViolation otherwise).
 
   /// step_all_recruit without Outcomes, in SoA form: active[a] is ant a's
   /// b and targets[a] its advertised nest (both size n). The matching is
@@ -164,40 +138,50 @@ class Environment {
   /// recruited_by_ant()/recruit_succeeded_ant() give the ant-indexed view.
   const std::vector<Outcome>& step_masked_recruit(
       std::span<const MaskedOp> op, std::span<const std::uint8_t> active,
-      std::span<const NestId> targets);
+      std::span<const NestId> targets) override;
 
   /// step_masked_recruit without Outcomes (exact observation only).
   void step_masked_recruit_quiet(std::span<const MaskedOp> op,
                                  std::span<const std::uint8_t> active,
-                                 std::span<const NestId> targets);
+                                 std::span<const NestId> targets) override;
 
   /// One mixed round with NO recruiters (op values kGo/kSearch/kIdle
   /// only): skips the pairing process, which draws nothing on an empty
   /// request set, so it stays RNG-equivalent to step(). `active` is not
   /// needed; `targets` is read only at kGo positions.
-  const std::vector<Outcome>& step_masked_go(std::span<const MaskedOp> op,
-                                             std::span<const NestId> targets);
+  const std::vector<Outcome>& step_masked_go(
+      std::span<const MaskedOp> op,
+      std::span<const NestId> targets) override;
 
   /// step_masked_go without Outcomes (exact observation only).
   void step_masked_go_quiet(std::span<const MaskedOp> op,
-                            std::span<const NestId> targets);
+                            std::span<const NestId> targets) override;
 
   // --- inspection (environment's-eye view; not visible to ants) ---
 
+  [[nodiscard]] BackendKind kind() const override {
+    return BackendKind::kHomeNest;
+  }
   /// Colony size n.
-  [[nodiscard]] std::uint32_t num_ants() const { return cfg_.num_ants; }
+  [[nodiscard]] std::uint32_t num_ants() const override {
+    return cfg_.num_ants;
+  }
   /// Number of candidate nests k.
   [[nodiscard]] std::uint32_t num_nests() const {
     return static_cast<std::uint32_t>(cfg_.qualities.size());
   }
+  /// k+1: the home nest plus the candidates.
+  [[nodiscard]] std::uint32_t num_locations() const override {
+    return num_nests() + 1;
+  }
   /// Rounds completed so far (0 before the first step()).
-  [[nodiscard]] std::uint32_t round() const { return round_; }
+  [[nodiscard]] std::uint32_t round() const override { return round_; }
   /// Current location l(a, r) of ant a.
-  [[nodiscard]] NestId location(AntId a) const;
+  [[nodiscard]] NestId location(AntId a) const override;
   /// Current true population count c(i, r); i in [0, k].
   [[nodiscard]] std::uint32_t count(NestId i) const;
   /// All current counts c(·, r), indexed by nest (size k+1).
-  [[nodiscard]] std::span<const std::uint32_t> counts() const {
+  [[nodiscard]] std::span<const std::uint32_t> counts() const override {
     return count_;
   }
   /// True quality q(i) of candidate nest i in [1, k].
@@ -224,7 +208,9 @@ class Environment {
   /// Whether ant a has knowledge of nest i (visited or been recruited to).
   [[nodiscard]] bool knows(AntId a, NestId i) const;
   /// Stats of the most recent round.
-  [[nodiscard]] const RoundStats& last_round_stats() const { return stats_; }
+  [[nodiscard]] const RoundStats& last_round_stats() const override {
+    return stats_;
+  }
   /// The active pairing model (for reports).
   [[nodiscard]] const PairingModel& pairing_model() const { return *pairing_; }
 
@@ -279,6 +265,12 @@ class Environment {
   PairingScratch pairing_scratch_;      // reused each round
   RoundStats stats_;
 };
+
+/// The pre-seam name for the default backend. Kept as a first-class alias:
+/// "Environment" is this world's name throughout the paper commentary and
+/// the per-object ant API (core::Ant::observe takes one), and the alias
+/// keeps those call sites honest without a mass rename.
+using Environment = HomeNestBackend;
 
 }  // namespace hh::env
 

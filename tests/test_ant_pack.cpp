@@ -292,6 +292,57 @@ TEST(AntPack, FaultedOptimalSweepsAreIdenticalAcrossEnginesAndThreadCounts) {
   }
 }
 
+TEST(AntPack, PartialSynchronySweepsAreIdenticalAcrossEnginesAndThreadCounts) {
+  // The acceptance gate for the packed partial-synchrony lane: the driver
+  // pre-draws each round's awake mask in ant order (identical draws to the
+  // scalar loop) and the pack idles sleepers through its per-ant phase
+  // lanes — swept over both engines, alone and composed with fault lanes,
+  // bit-identical per trial at 1, 2, and 8 runner threads.
+  auto base = base_config(0);
+  base.max_rounds = 600;
+  auto spec = analysis::SweepSpec("psync-engine-equivalence")
+                  .base(base)
+                  .algorithms({"simple", "quality-aware", "quorum",
+                               "optimal", "optimal+settle"})
+                  .skip_probabilities({0.1, 0.35})
+                  .crash_fractions({0.0, 0.1})
+                  .engines({EngineKind::kScalar, EngineKind::kPacked});
+  const auto scenarios = spec.expand();
+  constexpr std::size_t kTrials = 4;
+  constexpr std::uint64_t kSeed = 1123;
+
+  std::vector<analysis::BatchResult> batches;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    batches.push_back(analysis::Runner(analysis::RunnerOptions{threads})
+                          .run(scenarios, kTrials, kSeed));
+  }
+  for (std::size_t b = 1; b < batches.size(); ++b) {
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+      const auto& t0 = batches[0].results[s].trials;
+      const auto& tb = batches[b].results[s].trials;
+      ASSERT_EQ(t0.size(), tb.size());
+      for (std::size_t t = 0; t < t0.size(); ++t) {
+        EXPECT_EQ(t0[t].converged, tb[t].converged) << scenarios[s].name;
+        EXPECT_EQ(t0[t].rounds, tb[t].rounds) << scenarios[s].name;
+        EXPECT_EQ(t0[t].winner, tb[t].winner) << scenarios[s].name;
+        EXPECT_EQ(t0[t].recruitments, tb[t].recruitments) << scenarios[s].name;
+      }
+    }
+  }
+
+  // Cross-engine equivalence at equal trial seeds for every packed cell,
+  // and no fallback: partial synchrony is a declared capability now.
+  for (const auto& scenario : scenarios) {
+    if (scenario.config.engine != EngineKind::kPacked) continue;
+    auto scalar_scenario = scenario;
+    scalar_scenario.config.engine = EngineKind::kScalar;
+    const auto packed = scenario.make_simulation(19)->run();
+    const auto scalar = scalar_scenario.make_simulation(19)->run();
+    expect_identical(scalar, packed, scenario.name);
+    EXPECT_TRUE(packed.engine_fallback.empty()) << scenario.name;
+  }
+}
+
 TEST(AntPack, FaultedAndOptimalConfigsNowRunPacked) {
   // Faults run on pack-level fault lanes — no per-object wrappers needed.
   auto cfg = base_config(2);
@@ -315,18 +366,32 @@ TEST(AntPack, FaultedAndOptimalConfigsNowRunPacked) {
 }
 
 TEST(AntPack, FallbackIsLoudOnRunResult) {
-  // Partial synchrony is the one remaining scalar-only extension: kAuto
-  // degrades, but the chosen engine and the reason land on the RunResult
-  // so a sweep can assert on them instead of silently running 3x slower.
+  // Partial synchrony runs packed now (the driver pre-draws the awake
+  // mask, the pack idles sleepers through its per-ant lanes), so kAuto
+  // keeps the fast path with no fallback recorded.
   auto skewed = base_config(2);
   skewed.skip_probability = 0.2;
   Simulation sleepy(skewed, AlgorithmKind::kSimple);
-  EXPECT_FALSE(sleepy.packed());
-  EXPECT_EQ(sleepy.engine_used(), EngineKind::kScalar);
-  EXPECT_NE(sleepy.engine_fallback().find("synchrony"), std::string::npos);
+  EXPECT_TRUE(sleepy.packed());
+  EXPECT_EQ(sleepy.engine_used(), EngineKind::kPacked);
+  EXPECT_TRUE(sleepy.engine_fallback().empty());
   const RunResult result = sleepy.run();
-  EXPECT_EQ(result.engine, EngineKind::kScalar);
-  EXPECT_EQ(result.engine_fallback, sleepy.engine_fallback());
+  EXPECT_EQ(result.engine, EngineKind::kPacked);
+  EXPECT_TRUE(result.engine_fallback.empty());
+
+  // A caller-built colony is the remaining per-object case: kAuto
+  // degrades, but the chosen engine and the reason land on the RunResult
+  // so a sweep can assert on them instead of silently running 3x slower.
+  auto custom = base_config(2);
+  Simulation handmade(
+      custom, make_colony(custom.num_ants, AlgorithmKind::kSimple,
+                          /*seed=*/7));
+  EXPECT_FALSE(handmade.packed());
+  EXPECT_EQ(handmade.engine_used(), EngineKind::kScalar);
+  EXPECT_NE(handmade.engine_fallback().find("per-object"), std::string::npos);
+  const RunResult slow = handmade.run();
+  EXPECT_EQ(slow.engine, EngineKind::kScalar);
+  EXPECT_EQ(slow.engine_fallback, handmade.engine_fallback());
 
   // An explicitly requested engine is not a fallback: no reason recorded.
   auto forced = base_config(2);
@@ -342,13 +407,15 @@ TEST(AntPack, FallbackIsLoudOnRunResult) {
   EXPECT_TRUE(fast.engine_fallback.empty());
 }
 
-TEST(AntPack, ExplicitPackedRequestThrowsWhenImpossible) {
-  // Faults and optimal are packable now; partial synchrony still is not.
+TEST(AntPack, ExplicitPackedRequestAcceptsEveryExtension) {
+  // Faults, optimal, and partial synchrony are all packable now — an
+  // explicit kPacked demand is satisfiable across the extension matrix.
+  // (An algorithm without a packed implementation still throws; that case
+  // lives with the registry tests, which own idle-search.)
   auto cfg = base_config(2);
   cfg.engine = EngineKind::kPacked;
   cfg.skip_probability = 0.3;
-  EXPECT_THROW(Simulation(cfg, AlgorithmKind::kSimple),
-               std::invalid_argument);
+  EXPECT_NO_THROW(Simulation(cfg, AlgorithmKind::kSimple));
 
   auto packable = base_config(2);
   packable.engine = EngineKind::kPacked;

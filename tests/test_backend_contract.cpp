@@ -1,0 +1,210 @@
+// Parametric conformance suite for the env::Backend contract (DESIGN.md
+// §9). Every backend must honor, and this file pins for BOTH concrete
+// worlds through one shared harness:
+//
+//   * zero-alloc rounds — no global-new allocation in any step entry
+//     point after construction (counting_alloc.hpp replaces this
+//     binary's operator new);
+//   * reset(seed) == fresh — a reset backend is indistinguishable from
+//     a newly constructed one with the same seed;
+//   * masked/generic RNG equivalence — step_masked_go and its quiet form
+//     make identical draws in identical order to step() with the
+//     corresponding Action vector, so trajectories coincide exactly.
+//
+// The home-nest case runs with enforce_model = false and allow_idle =
+// true: the contract rounds mix search/idle/go freely, which the strict
+// Section 2 preconditions would reject (knowledge gating is home-nest
+// semantics, not part of the backend contract).
+#include "counting_alloc.hpp"
+//
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/environment.hpp"
+#include "env/lattice.hpp"
+#include "util/contracts.hpp"
+
+namespace hh::env {
+namespace {
+
+constexpr std::uint32_t kAnts = 48;
+constexpr std::uint32_t kRounds = 24;
+
+struct BackendCase {
+  std::string name;
+  std::function<std::unique_ptr<Backend>(std::uint64_t seed)> make;
+};
+
+std::vector<BackendCase> backend_cases() {
+  std::vector<BackendCase> cases;
+  cases.push_back({"home-nest", [](std::uint64_t seed) {
+                     EnvironmentConfig cfg;
+                     cfg.num_ants = kAnts;
+                     cfg.qualities = {1.0, 0.5, 0.0};
+                     cfg.seed = seed;
+                     cfg.enforce_model = false;
+                     cfg.allow_idle = true;
+                     return std::make_unique<HomeNestBackend>(std::move(cfg));
+                   }});
+  cases.push_back({"lattice", [](std::uint64_t seed) {
+                     LatticeConfig cfg;
+                     cfg.width = 8;
+                     cfg.height = 6;
+                     return std::make_unique<LatticeBackend>(kAnts, cfg, seed);
+                   }});
+  return cases;
+}
+
+/// Deterministic mixed-op schedule, valid on every world: location 1
+/// exists everywhere (candidate nest 1 / lattice site 1), so kGo
+/// targets it (the home-nest loud path materializes quality(target),
+/// which only candidate nests have).
+MaskedOp op_for(std::uint32_t round, AntId a) {
+  switch ((a + round) % 4) {
+    case 0:
+    case 1: return MaskedOp::kSearch;
+    case 2: return MaskedOp::kIdle;
+    default: return MaskedOp::kGo;
+  }
+}
+
+Action action_for(std::uint32_t round, AntId a) {
+  switch (op_for(round, a)) {
+    case MaskedOp::kSearch: return Action::search();
+    case MaskedOp::kIdle: return Action::idle();
+    default: return Action::go(NestId{1});
+  }
+}
+
+struct Snapshot {
+  std::vector<NestId> locations;
+  std::vector<std::uint32_t> counts;
+  std::uint32_t round = 0;
+
+  bool operator==(const Snapshot&) const = default;
+};
+
+Snapshot snapshot(const Backend& b) {
+  Snapshot s;
+  s.locations.reserve(b.num_ants());
+  for (AntId a = 0; a < b.num_ants(); ++a) {
+    s.locations.push_back(b.location(a));
+  }
+  const auto counts = b.counts();
+  s.counts.assign(counts.begin(), counts.end());
+  s.round = b.round();
+  return s;
+}
+
+/// Drive `rounds` generic-step rounds and return the per-round snapshots.
+std::vector<Snapshot> drive_generic(Backend& b, std::uint32_t rounds) {
+  std::vector<Snapshot> out;
+  std::vector<Action> actions(b.num_ants());
+  for (std::uint32_t r = 1; r <= rounds; ++r) {
+    for (AntId a = 0; a < b.num_ants(); ++a) actions[a] = action_for(r, a);
+    (void)b.step(actions);
+    out.push_back(snapshot(b));
+  }
+  return out;
+}
+
+enum class MaskedForm : std::uint8_t { kLoud, kQuiet };
+
+std::vector<Snapshot> drive_masked(Backend& b, std::uint32_t rounds,
+                                   MaskedForm form) {
+  std::vector<Snapshot> out;
+  std::vector<MaskedOp> op(b.num_ants());
+  std::vector<NestId> targets(b.num_ants(), NestId{1});
+  for (std::uint32_t r = 1; r <= rounds; ++r) {
+    for (AntId a = 0; a < b.num_ants(); ++a) op[a] = op_for(r, a);
+    if (form == MaskedForm::kLoud) {
+      (void)b.step_masked_go(op, targets);
+    } else {
+      b.step_masked_go_quiet(op, targets);
+    }
+    out.push_back(snapshot(b));
+  }
+  return out;
+}
+
+TEST(BackendContract, MaskedMatchesGenericExactly) {
+  for (const BackendCase& c : backend_cases()) {
+    SCOPED_TRACE(c.name);
+    const auto generic_backend = c.make(0xC0117AC7);
+    const auto masked_backend = c.make(0xC0117AC7);
+    const auto quiet_backend = c.make(0xC0117AC7);
+    const auto generic = drive_generic(*generic_backend, kRounds);
+    const auto masked =
+        drive_masked(*masked_backend, kRounds, MaskedForm::kLoud);
+    const auto quiet =
+        drive_masked(*quiet_backend, kRounds, MaskedForm::kQuiet);
+    EXPECT_EQ(generic, masked);
+    EXPECT_EQ(generic, quiet);
+  }
+}
+
+TEST(BackendContract, ResetEqualsFreshConstruction) {
+  for (const BackendCase& c : backend_cases()) {
+    SCOPED_TRACE(c.name);
+    // Dirty a backend under one seed, reset under another, and demand
+    // the trajectory of a fresh instance with that second seed.
+    const auto reused = c.make(0x0DD5EED);
+    (void)drive_generic(*reused, kRounds);
+    reused->reset(0xF4E54);
+    EXPECT_EQ(reused->round(), 0u);
+    EXPECT_EQ(snapshot(*reused), snapshot(*c.make(0xF4E54)));
+    const auto fresh = c.make(0xF4E54);
+    EXPECT_EQ(drive_generic(*reused, kRounds), drive_generic(*fresh, kRounds));
+  }
+}
+
+TEST(BackendContract, StepEntryPointsAllocateNothing) {
+  for (const BackendCase& c : backend_cases()) {
+    SCOPED_TRACE(c.name);
+    const auto backend = c.make(0xA110C);
+    std::vector<Action> actions(backend->num_ants());
+    std::vector<MaskedOp> op(backend->num_ants());
+    std::vector<NestId> targets(backend->num_ants(), NestId{1});
+    // Warm-up round: some strategies size scratch lazily on first use.
+    for (AntId a = 0; a < backend->num_ants(); ++a) {
+      actions[a] = action_for(1, a);
+      op[a] = op_for(1, a);
+    }
+    (void)backend->step(actions);
+
+    const std::uint64_t before = hh::testing::allocation_count();
+    for (std::uint32_t r = 2; r <= kRounds; ++r) {
+      for (AntId a = 0; a < backend->num_ants(); ++a) {
+        actions[a] = action_for(r, a);
+        op[a] = op_for(r, a);
+      }
+      (void)backend->step(actions);
+      (void)backend->step_masked_go(op, targets);
+      backend->step_masked_go_quiet(op, targets);
+    }
+    backend->reset(0xA110C);
+    EXPECT_EQ(hh::testing::allocation_count() - before, 0u);
+  }
+}
+
+TEST(BackendContract, RecruitEntryPointsAreContractGated) {
+  // Worlds without a recruitment process inherit the throwing defaults;
+  // the home-nest world overrides them.
+  LatticeConfig cfg;
+  LatticeBackend lattice(4, cfg, 7);
+  std::vector<MaskedOp> op(4, MaskedOp::kRecruit);
+  const std::vector<std::uint8_t> active(4, 1);
+  const std::vector<NestId> targets(4, 0);
+  EXPECT_THROW((void)lattice.step_masked_recruit(op, active, targets),
+               hh::ContractViolation);
+  EXPECT_THROW(lattice.step_masked_recruit_quiet(op, active, targets),
+               hh::ContractViolation);
+}
+
+}  // namespace
+}  // namespace hh::env

@@ -1,0 +1,239 @@
+// Behavior-preservation pins for the environment-backend seam (DESIGN.md
+// §9): the Environment -> HomeNestBackend refactor must be invisible to
+// every existing scenario. Three layers of pinning, captured at the
+// pre-refactor HEAD and committed:
+//
+//   1. scenario fingerprints — the ResultStore identity of a
+//      representative scenario matrix (algorithms x faults x partial
+//      synchrony x noise x pairing) must stay byte-for-byte stable;
+//   2. per-trial outcomes — run_scenario_trial under fixed seeds must
+//      reproduce the recorded (converged, rounds, winner, recruitments)
+//      exactly, on whatever engine kAuto selects (the packed
+//      partial-synchrony lane lands those scenarios on the pack; the
+//      equivalence contract makes that change invisible here);
+//   3. store serving — a ResultStore directory written by the
+//      PRE-refactor build (tests/data/pr8_golden_store, committed) must
+//      fully cache-serve a post-refactor resumable run: zero cells run,
+//      and the served batch bit-identical to a fresh cold run.
+//
+// If the committed store directory is missing, the test regenerates it
+// and FAILS, so a data-less checkout cannot silently self-certify.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/result_store.hpp"
+#include "analysis/runner.hpp"
+#include "analysis/spec.hpp"
+
+namespace {
+
+using hh::analysis::Runner;
+using hh::analysis::RunnerOptions;
+using hh::analysis::Scenario;
+using hh::analysis::TrialStats;
+
+constexpr std::uint64_t kGoldenSeed = 0xA9115EED;
+constexpr std::size_t kGoldenTrials = 2;
+
+std::string hex64(std::uint64_t v) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buffer;
+}
+
+/// The pinned matrix: every engine-relevant extension appears at least
+/// once, sized small enough that two trials each stay under a second.
+std::vector<Scenario> golden_scenarios() {
+  std::vector<Scenario> out;
+  const auto add = [&out](std::string name, std::string algorithm,
+                          hh::core::SimulationConfig config,
+                          hh::core::AlgorithmParams params = {}) {
+    Scenario s;
+    s.name = std::move(name);
+    s.algorithm = std::move(algorithm);
+    s.config = std::move(config);
+    s.params = params;
+    out.push_back(std::move(s));
+  };
+
+  hh::core::SimulationConfig base;
+  base.num_ants = 48;
+  base.qualities = hh::core::SimulationConfig::binary_qualities(3, 1);
+  base.max_rounds = 6000;
+
+  add("simple", "simple", base);
+  add("optimal", "optimal", base);
+  add("optimal-settle", "optimal+settle", base);
+  {
+    auto c = base;
+    c.num_ants = 40;
+    add("quorum", "quorum", c);
+  }
+  {
+    auto c = base;
+    c.pairing = hh::env::PairingKind::kUniformProposal;
+    hh::core::AlgorithmParams p;
+    p.n_estimate_error = 0.2;
+    add("rate-boosted-uniform", "rate-boosted", c, p);
+  }
+  {
+    auto c = base;
+    c.faults.crash_fraction = 0.15;
+    c.faults.byzantine_fraction = 0.05;
+    c.convergence_tolerance = 0.15;
+    add("faulted", "simple", c);
+  }
+  {
+    auto c = base;
+    c.skip_probability = 0.25;
+    add("psync-simple", "simple", c);
+  }
+  {
+    auto c = base;
+    c.skip_probability = 0.3;
+    add("psync-optimal", "optimal", c);
+  }
+  {
+    auto c = base;
+    c.skip_probability = 0.2;
+    c.faults.crash_fraction = 0.1;
+    c.convergence_tolerance = 0.1;
+    add("psync-crash-quorum", "quorum", c);
+  }
+  {
+    auto c = base;
+    c.skip_probability = 0.2;
+    c.faults.byzantine_fraction = 0.08;
+    c.convergence_tolerance = 0.2;
+    add("psync-byz-simple", "simple", c);
+  }
+  {
+    auto c = base;
+    c.noise.count_sigma = 0.4;
+    c.noise.quality_flip_prob = 0.05;
+    add("noisy-quality-aware", "quality-aware", c);
+  }
+  add("idle-search", "idle-search", base);
+  return out;
+}
+
+/// Values recorded at the pre-refactor HEAD. Regenerate ONLY for a change
+/// that is MEANT to alter model behavior — never for a refactor.
+struct GoldenRow {
+  const char* name;
+  const char* fingerprint;
+  bool converged;
+  double rounds;
+  hh::env::NestId winner;
+  double recruitments;
+};
+
+constexpr GoldenRow kGolden[] = {
+    {"simple", "8f820ac7126f7039", true, 24, 1, 179},
+    {"optimal", "cacb21b87fc928b6", true, 49, 1, 621},
+    {"optimal-settle", "c90be3ccb86f99bb", true, 48, 1, 549},
+    {"quorum", "56c2f7dddbf657b6", false, 0, 0, 81536},
+    {"rate-boosted-uniform", "22cd9ad818bb9e8a", true, 20, 2, 147},
+    {"faulted", "fbb4f38d94822249", true, 14, 2, 92},
+    {"psync-simple", "79cfbbadb023ba91", true, 96, 1, 359},
+    {"psync-optimal", "737635e069378201", false, 0, 0, 76671},
+    {"psync-crash-quorum", "dbbe548f5e0e1a60", true, 11, 2, 55},
+    {"psync-byz-simple", "990c26beaeb26b06", false, 0, 0, 13002},
+    {"noisy-quality-aware", "112339c6ae6205ec", true, 16, 2, 94},
+    {"idle-search", "697e0881bf8d711d", true, 30, 2, 228},
+};
+
+std::filesystem::path golden_store_dir() {
+  return std::filesystem::path(ANTHILL_SOURCE_DIR) / "tests" / "data" /
+         "pr8_golden_store";
+}
+
+TEST(BackendGolden, FingerprintsUnchanged) {
+  const std::vector<Scenario> scenarios = golden_scenarios();
+  ASSERT_EQ(scenarios.size(), std::size(kGolden));
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_EQ(hex64(hh::analysis::scenario_fingerprint(scenarios[i])),
+              kGolden[i].fingerprint)
+        << scenarios[i].name << "\n  identity: "
+        << hh::analysis::scenario_identity_json(scenarios[i]);
+  }
+}
+
+TEST(BackendGolden, TrialOutcomesUnchanged) {
+  const std::vector<Scenario> scenarios = golden_scenarios();
+  ASSERT_EQ(scenarios.size(), std::size(kGolden));
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const std::uint64_t seed = hh::analysis::trial_seed(kGoldenSeed, i, 0);
+    const TrialStats stats =
+        hh::analysis::run_scenario_trial(scenarios[i], seed);
+    EXPECT_EQ(stats.converged, kGolden[i].converged) << scenarios[i].name;
+    EXPECT_EQ(stats.rounds, kGolden[i].rounds) << scenarios[i].name;
+    EXPECT_EQ(stats.winner, kGolden[i].winner) << scenarios[i].name;
+    EXPECT_EQ(stats.recruitments, kGolden[i].recruitments)
+        << scenarios[i].name;
+  }
+}
+
+TEST(BackendGolden, PreRefactorStoreFullyServesCache) {
+  namespace fs = std::filesystem;
+  const std::vector<Scenario> scenarios = golden_scenarios();
+  const fs::path committed = golden_store_dir();
+
+  if (!fs::exists(committed)) {
+    // One-time generation at the pre-refactor HEAD; the directory is then
+    // committed. Failing here keeps a data-less checkout from passing.
+    fs::create_directories(committed);
+    hh::analysis::ResultStore store(committed, "golden");
+    const Runner runner(RunnerOptions{.threads = 2});
+    (void)runner.run_resumable(scenarios, kGoldenTrials, kGoldenSeed, store);
+    (void)store.compact();
+    FAIL() << "golden store was missing; generated at " << committed
+           << " — commit it and rerun";
+  }
+
+  // Serve from a scratch copy (run_resumable opens shard writers in the
+  // directory; the committed data stays pristine).
+  const fs::path scratch =
+      fs::temp_directory_path() / "hh_pr8_golden_store_scratch";
+  fs::remove_all(scratch);
+  fs::copy(committed, scratch, fs::copy_options::recursive);
+
+  hh::analysis::ResultStore store(scratch, "scratch");
+  const Runner runner(RunnerOptions{.threads = 2});
+  hh::analysis::ResumeReport report;
+  const hh::analysis::BatchResult served =
+      runner.run_resumable(scenarios, kGoldenTrials, kGoldenSeed, store,
+                           &report);
+  EXPECT_EQ(report.cells_total, scenarios.size() * kGoldenTrials);
+  EXPECT_EQ(report.cells_cached, report.cells_total)
+      << "a fingerprint or payload drifted: the pre-refactor store no "
+         "longer serves every cell";
+  EXPECT_EQ(report.cells_run, 0u);
+  EXPECT_EQ(report.shards_quarantined, 0u);
+
+  // The served batch must be bit-identical to a fresh cold run (model
+  // outcome fields; engine/fallback are diagnostics the store strips).
+  const hh::analysis::BatchResult cold =
+      runner.run(scenarios, kGoldenTrials, kGoldenSeed);
+  ASSERT_EQ(served.results.size(), cold.results.size());
+  for (std::size_t s = 0; s < cold.results.size(); ++s) {
+    ASSERT_EQ(served.results[s].trials.size(), cold.results[s].trials.size());
+    for (std::size_t t = 0; t < cold.results[s].trials.size(); ++t) {
+      const TrialStats& a = served.results[s].trials[t];
+      const TrialStats& b = cold.results[s].trials[t];
+      EXPECT_EQ(a.converged, b.converged);
+      EXPECT_EQ(a.rounds, b.rounds);
+      EXPECT_EQ(a.winner, b.winner);
+      EXPECT_EQ(a.winner_quality, b.winner_quality);
+      EXPECT_EQ(a.recruitments, b.recruitments);
+    }
+  }
+  fs::remove_all(scratch);
+}
+
+}  // namespace

@@ -131,5 +131,32 @@ TEST(Metrics, EndToEndFromSimulation) {
   }
 }
 
+TEST(FirstPassageSummary, SplitsReachedFromUnreachedAndOrdersStats) {
+  const std::vector<std::uint32_t> times = {0, 7, 3, 0, 11, 5};
+  const auto s = first_passage_summary(times);
+  EXPECT_EQ(s.reached, 4u);
+  EXPECT_EQ(s.unreached, 2u);
+  EXPECT_EQ(s.min, 3u);
+  EXPECT_EQ(s.max, 11u);
+  EXPECT_DOUBLE_EQ(s.mean, 6.5);
+  EXPECT_DOUBLE_EQ(s.median, 6.0);  // even count: midpoint of 5 and 7
+}
+
+TEST(FirstPassageSummary, OddCountMedianAndDegenerateInputs) {
+  const std::vector<std::uint32_t> odd = {9, 1, 4};
+  EXPECT_DOUBLE_EQ(first_passage_summary(odd).median, 4.0);
+
+  const auto empty = first_passage_summary({});
+  EXPECT_EQ(empty.reached, 0u);
+  EXPECT_EQ(empty.unreached, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+
+  const std::vector<std::uint32_t> none = {0, 0, 0};
+  const auto unreached = first_passage_summary(none);
+  EXPECT_EQ(unreached.reached, 0u);
+  EXPECT_EQ(unreached.unreached, 3u);
+  EXPECT_EQ(unreached.min, 0u);
+}
+
 }  // namespace
 }  // namespace hh::analysis

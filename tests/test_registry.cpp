@@ -102,12 +102,12 @@ TEST(RegistryV2, BuiltinSpecsDeclareTheStandardPackMatrix) {
     EXPECT_EQ(static_cast<bool>(spec.pack), packed_available(kind));
     ASSERT_TRUE(static_cast<bool>(spec.colony));
     // Every built-in pack rides the AntPack base (PR 4), whose fault
-    // lanes + loud/quiet observe kernels supply the whole standard
-    // matrix; partial synchrony stays scalar-only.
+    // lanes + loud/quiet observe kernels + awake mask (PR 8) supply the
+    // whole standard matrix, partial synchrony included.
     if (spec.pack) {
       EXPECT_EQ(spec.capabilities, Capabilities::standard_pack())
           << spec.name;
-      EXPECT_FALSE(spec.capabilities.partial_synchrony);
+      EXPECT_TRUE(spec.capabilities.partial_synchrony);
     }
     // The declared param schema only names real table keys.
     for (const std::string& key : spec.params) {
@@ -119,10 +119,9 @@ TEST(RegistryV2, BuiltinSpecsDeclareTheStandardPackMatrix) {
 TEST(RegistryV2, DeclaredCapabilitiesPredictEngineSelection) {
   // The declared matrix must match what tests/test_ant_pack.cpp actually
   // exercises packed: crash and Byzantine fault lanes, count and quality
-  // noise, both pairing models — and NOT partial synchrony. Engine
-  // selection is a pure function of the declaration (capability_gaps), so
-  // each declared capability demanded via kPacked must build packed, and
-  // the one undeclared extension must throw/fall back naming itself.
+  // noise, both pairing models, and partial synchrony. Engine selection
+  // is a pure function of the declaration (capability_gaps), so each
+  // declared capability demanded via kPacked must build packed.
   for (AlgorithmKind kind : all_algorithm_kinds()) {
     if (!packed_available(kind)) continue;
     const auto demand_packed = [&](auto mutate) {
@@ -149,22 +148,9 @@ TEST(RegistryV2, DeclaredCapabilitiesPredictEngineSelection) {
       cfg.pairing = env::PairingKind::kUniformProposal;  // declared
     });
 
-    // Undeclared: partial synchrony. kPacked names the gap; kAuto lands
-    // scalar with the same reason on the fallback.
-    auto skewed = test::small_config(32, 4, 2);
-    skewed.skip_probability = 0.2;
-    skewed.engine = EngineKind::kPacked;
-    try {
-      Simulation sim(skewed, kind);
-      FAIL() << "expected invalid_argument for " << algorithm_name(kind);
-    } catch (const std::invalid_argument& e) {
-      EXPECT_NE(std::string(e.what()).find("synchrony"), std::string::npos);
-    }
-    skewed.engine = EngineKind::kAuto;
-    Simulation fallback(skewed, kind);
-    EXPECT_FALSE(fallback.packed());
-    EXPECT_NE(fallback.engine_fallback().find("synchrony"),
-              std::string::npos);
+    demand_packed([](SimulationConfig& cfg) {
+      cfg.skip_probability = 0.2;  // declared: partial_synchrony
+    });
   }
 }
 
@@ -249,12 +235,12 @@ TEST(RegistryV2, SpecRegisteredPackIsSelectedByTheCapabilityDiff) {
   EXPECT_EQ(a.winner, b.winner);
   EXPECT_EQ(a.total_recruitments, b.total_recruitments);
 
-  // Partial synchrony still falls back through the same diff.
+  // Partial synchrony rides the same diff: declared, so still packed.
   auto skewed = cfg;
   skewed.skip_probability = 0.1;
   auto slow = registry.make("test-packed-clone", skewed);
-  EXPECT_FALSE(slow->packed());
-  EXPECT_NE(slow->engine_fallback().find("synchrony"), std::string::npos);
+  EXPECT_TRUE(slow->packed());
+  EXPECT_TRUE(slow->engine_fallback().empty());
 }
 
 }  // namespace

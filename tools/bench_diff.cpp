@@ -1,0 +1,174 @@
+// bench_diff — compare two google-benchmark JSON files (BENCH_*.json from
+// bench_micro_engine) and fail on hot-path regressions:
+//
+//   bench_diff BASELINE.json CANDIDATE.json
+//       [--speedup-ratio R]        candidate "speedup" counters must stay
+//                                  >= R * baseline (default 0.5 — CI noise
+//                                  tolerance, not a perf target)
+//       [--require-zero-allocs RE] benchmarks whose NAME matches the
+//                                  POSIX-extended regex must report
+//                                  allocs_per_round == 0 in the CANDIDATE,
+//                                  regardless of the baseline
+//
+// Two regression classes are checked, both derived from counters rather
+// than raw timings (wall-clock comparisons across CI machines are noise):
+//
+//   * allocs_per_round — a candidate benchmark allocating MORE than its
+//     baseline (or more than zero, under --require-zero-allocs) breaks
+//     the steady-state zero-allocation invariant;
+//   * speedup — the packed/scalar end-to-end ratio collapsing below
+//     R * baseline means the packed engine lost its reason to exist.
+//
+// Benchmarks present on only one side are reported and skipped (suites
+// grow across PRs; that is not a regression). Exit code 0 = clean,
+// 1 = regression(s), 2 = usage/parse error.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace {
+
+struct BenchRow {
+  std::optional<double> allocs_per_round;
+  std::optional<double> speedup;
+};
+
+using BenchTable = std::map<std::string, BenchRow>;
+
+BenchTable load_table(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error(path + ": cannot open");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const hh::util::Json doc = hh::util::parse_json(buffer.str());
+  const hh::util::Json* benchmarks = doc.find("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->is_array()) {
+    throw std::runtime_error(path + ": no \"benchmarks\" array (not a "
+                                    "google-benchmark JSON file?)");
+  }
+  BenchTable table;
+  for (const hh::util::Json& entry : benchmarks->as_array()) {
+    const hh::util::Json* name = entry.find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    // Aggregate rows (mean/median/stddev of repetitions) would shadow
+    // the per-run rows under the same counters; keep plain runs only.
+    if (const hh::util::Json* rt = entry.find("run_type");
+        rt != nullptr && rt->is_string() && rt->as_string() != "iteration") {
+      continue;
+    }
+    BenchRow row;
+    if (const hh::util::Json* v = entry.find("allocs_per_round");
+        v != nullptr && v->is_number()) {
+      row.allocs_per_round = v->as_number();
+    }
+    if (const hh::util::Json* v = entry.find("speedup");
+        v != nullptr && v->is_number()) {
+      row.speedup = v->as_number();
+    }
+    table[name->as_string()] = row;
+  }
+  return table;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s BASELINE.json CANDIDATE.json"
+               " [--speedup-ratio R] [--require-zero-allocs REGEX]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  double speedup_ratio = 0.5;
+  std::optional<std::regex> zero_alloc_filter;
+  std::string zero_alloc_pattern;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--speedup-ratio") {
+      if (++i >= argc) return usage(argv[0]);
+      speedup_ratio = std::atof(argv[i]);
+    } else if (arg == "--require-zero-allocs") {
+      if (++i >= argc) return usage(argv[0]);
+      zero_alloc_pattern = argv[i];
+      try {
+        zero_alloc_filter.emplace(zero_alloc_pattern, std::regex::extended);
+      } catch (const std::regex_error& e) {
+        std::fprintf(stderr, "bench_diff: bad regex '%s': %s\n",
+                     zero_alloc_pattern.c_str(), e.what());
+        return 2;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) return usage(argv[0]);
+
+  BenchTable baseline;
+  BenchTable candidate;
+  try {
+    baseline = load_table(paths[0]);
+    candidate = load_table(paths[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+
+  int regressions = 0;
+  std::size_t compared = 0;
+  for (const auto& [name, row] : candidate) {
+    // Absolute gate first: it needs no baseline row.
+    if (zero_alloc_filter && std::regex_search(name, *zero_alloc_filter)) {
+      if (!row.allocs_per_round) {
+        std::printf("FAIL %s: matches --require-zero-allocs '%s' but "
+                    "reports no allocs_per_round counter\n",
+                    name.c_str(), zero_alloc_pattern.c_str());
+        ++regressions;
+      } else if (*row.allocs_per_round > 0.0) {
+        std::printf("FAIL %s: allocs_per_round = %g, required 0\n",
+                    name.c_str(), *row.allocs_per_round);
+        ++regressions;
+      }
+    }
+    const auto base = baseline.find(name);
+    if (base == baseline.end()) {
+      std::printf("skip %s: not in baseline\n", name.c_str());
+      continue;
+    }
+    ++compared;
+    if (row.allocs_per_round && base->second.allocs_per_round &&
+        *row.allocs_per_round > *base->second.allocs_per_round) {
+      std::printf("FAIL %s: allocs_per_round %g -> %g\n", name.c_str(),
+                  *base->second.allocs_per_round, *row.allocs_per_round);
+      ++regressions;
+    }
+    if (row.speedup && base->second.speedup &&
+        *row.speedup < speedup_ratio * *base->second.speedup) {
+      std::printf("FAIL %s: speedup %.2f -> %.2f (floor %.2f = %.2f x "
+                  "baseline)\n",
+                  name.c_str(), *base->second.speedup, *row.speedup,
+                  speedup_ratio * *base->second.speedup, speedup_ratio);
+      ++regressions;
+    }
+  }
+  for (const auto& [name, row] : baseline) {
+    if (candidate.find(name) == candidate.end()) {
+      std::printf("skip %s: not in candidate\n", name.c_str());
+    }
+  }
+
+  std::printf("bench_diff: %zu benchmark(s) compared, %d regression(s)\n",
+              compared, regressions);
+  return regressions == 0 ? 0 : 1;
+}
