@@ -685,6 +685,16 @@ void AntPack::begin_round(std::span<const std::uint8_t> awake) {
   std::copy(awake.begin(), awake.end(), awake_.begin());
   any_asleep_ =
       std::find(awake.begin(), awake.end(), std::uint8_t{0}) != awake.end();
+  // An all-sleepers round leaves act_ zeroed with no phase advanced, so
+  // the NEXT round can still be colony-uniform — and the uniform path
+  // forwards act_ straight into observe_all without ever calling
+  // fill_masked. Refill here, before round_shape dispatch, or a fully
+  // awake round after a fully asleep one would skip every observe and
+  // freeze the pack (diverging from the scalar engine).
+  if (act_stale_) {
+    std::fill(act_.begin(), act_.end(), std::uint8_t{1});
+    act_stale_ = false;
+  }
 }
 
 bool AntPack::reset(std::uint64_t colony_seed) {

@@ -326,9 +326,12 @@ class AntPack {
   std::uint32_t byz_count_ = 0;
   std::uint32_t masked_round_ = 0;  ///< round of the last fill_masked
   bool any_asleep_ = false;         ///< current round's mask has a sleeper
-  // After a sleep round without fault lanes, act_ holds stale zeros that
-  // the next fill_masked (or reset) must clear; overlay_faults rewrites
-  // act_ wholesale each round, so faulted packs never set this.
+  // After a sleep round without fault lanes, act_ holds stale zeros.
+  // begin_round (called every partial-synchrony round, before round_shape
+  // dispatch) refills and clears the flag so a uniform round's observe_all
+  // never sees them; fill_masked and reset also clear it for drivers that
+  // step the pack directly. overlay_faults rewrites act_ wholesale each
+  // round, so faulted packs never set this.
   bool act_stale_ = false;
   std::vector<std::uint8_t> act_;   ///< 1 = run the derived kernel this round
   std::vector<std::uint8_t> awake_;  ///< partial synchrony: 1 = acts

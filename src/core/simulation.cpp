@@ -1,6 +1,8 @@
 #include "core/simulation.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -132,7 +134,11 @@ std::uint32_t Simulation::auto_max_rounds(const SimulationConfig& config) {
     const auto sites = static_cast<double>(config.lattice.width) *
                        static_cast<double>(config.lattice.height);
     const double bound = 50.0 * sites * (std::log2(sites) + 2.0) + 1000.0;
-    return static_cast<std::uint32_t>(bound);
+    // Huge lattices push the bound past uint32 range, where the narrowing
+    // cast is UB — saturate instead (the cap only has to be generous).
+    constexpr double kMax =
+        static_cast<double>(std::numeric_limits<std::uint32_t>::max());
+    return static_cast<std::uint32_t>(std::min(bound, kMax));
   }
   // Generous multiple of the worst theoretical bound in play, O(k log n)
   // (Theorem 5.11); a cap, not an expectation — converging runs stop early.

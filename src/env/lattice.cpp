@@ -2,10 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/contracts.hpp"
 
 namespace hh::env {
+
+namespace {
+
+/// width*height validated in 64 bits — a wrapped uint32 product would
+/// silently shrink the world and let the nest/target range checks pass
+/// against the wrong site count.
+std::uint32_t checked_num_sites(const LatticeConfig& cfg) {
+  const auto sites =
+      static_cast<std::uint64_t>(cfg.width) * static_cast<std::uint64_t>(cfg.height);
+  HH_EXPECTS(sites <= std::numeric_limits<std::uint32_t>::max());
+  return static_cast<std::uint32_t>(sites);
+}
+
+}  // namespace
 
 std::uint32_t lattice_target_site(const LatticeConfig& cfg) {
   if (cfg.target_site != kLatticeAutoTarget) return cfg.target_site;
@@ -25,7 +40,7 @@ LatticeBackend::LatticeBackend(std::uint32_t num_ants,
       num_ants_(num_ants),
       width_(cfg.width),
       height_(cfg.height),
-      num_sites_(cfg.width * cfg.height),
+      num_sites_(checked_num_sites(cfg)),
       nest_(cfg.nest_site),
       target_(lattice_target_site(cfg)),
       rng_(seed) {

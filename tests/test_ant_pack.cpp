@@ -343,6 +343,41 @@ TEST(AntPack, PartialSynchronySweepsAreIdenticalAcrossEnginesAndThreadCounts) {
   }
 }
 
+TEST(AntPack, AllSleepersRoundDoesNotStallTheNextUniformRound) {
+  // Regression: a round in which EVERY ant sleeps zeroes the pack's act
+  // lanes; the next all-awake round takes the colony-uniform path, whose
+  // observe_all forwards act_ directly. A stale all-zero mask there
+  // skipped every observe and silently froze the packed engine while the
+  // scalar engine kept running. Tiny colonies at moderate skip make the
+  // asleep-then-awake round pair frequent; count noise keeps observation
+  // loud, so uniform recruit/go rounds flow through observe_all instead of
+  // the act_-free quiet forms. Trajectories (not just the aggregate
+  // RunResult) pin the per-round census, which a frozen pack cannot
+  // reproduce even in runs where neither engine converges.
+  for (std::uint32_t n : {1u, 2u, 4u}) {
+    auto cfg = base_config(0);
+    cfg.num_ants = n;
+    cfg.skip_probability = 0.5;
+    cfg.noise.count_sigma = 0.3;
+    cfg.max_rounds = 500;
+    cfg.record_trajectories = true;
+    for (std::uint64_t seed : {3ull, 17ull, 91ull}) {
+      cfg.seed = seed;
+      const std::string label =
+          "n=" + std::to_string(n) + "/seed=" + std::to_string(seed);
+      const auto scalar =
+          run_with_engine(cfg, AlgorithmKind::kSimple, EngineKind::kScalar);
+      const auto packed =
+          run_with_engine(cfg, AlgorithmKind::kSimple, EngineKind::kPacked);
+      expect_identical(scalar, packed, label);
+      EXPECT_EQ(scalar.trajectories.counts, packed.trajectories.counts)
+          << label;
+      EXPECT_EQ(scalar.trajectories.committed, packed.trajectories.committed)
+          << label;
+    }
+  }
+}
+
 TEST(AntPack, FaultedAndOptimalConfigsNowRunPacked) {
   // Faults run on pack-level fault lanes — no per-object wrappers needed.
   auto cfg = base_config(2);

@@ -83,6 +83,10 @@ TEST(LatticeGeometry, RejectsOddAndDegenerateDimensions) {
   LatticeConfig self;
   self.target_site = 0;  // == nest_site
   EXPECT_THROW(LatticeBackend(1, self, 1), ContractViolation);
+  LatticeConfig huge;  // even extents whose site count wraps uint32
+  huge.width = 1u << 17;
+  huge.height = 1u << 16;
+  EXPECT_THROW(LatticeBackend(1, huge, 1), ContractViolation);
 }
 
 // --- first passage ----------------------------------------------------------
