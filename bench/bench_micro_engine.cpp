@@ -63,6 +63,55 @@ BENCHMARK_CAPTURE(BM_Pairing, uniform_proposal,
                   hh::env::PairingKind::kUniformProposal)
     ->RangeMultiplier(8)
     ->Range(64, 1 << 16);
+BENCHMARK_CAPTURE(BM_Pairing, counter_lottery, hh::env::PairingKind::kCounter)
+    ->RangeMultiplier(8)
+    ->Range(64, 1 << 16);
+
+// The engine-facing pairing round: the keyed SoA call every recruit-bearing
+// round makes (counter models draw from per-slot streams keyed on
+// (seed, round, slot); sequential models from the shared rng). This is the
+// per-round cost the packed optimal engine pays from round 2 on, isolated
+// from the rest of the environment. allocs_per_round must be 0 for ALL
+// models — tools/bench_diff --require-zero-allocs gates these rows.
+void BM_PairingRound(benchmark::State& state, hh::env::PairingKind kind) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> active(m);
+  for (std::size_t i = 0; i < m; ++i) active[i] = i % 2 == 0 ? 1 : 0;
+  const auto model = hh::env::make_pairing_model(kind);
+  hh::util::Rng rng(1);
+  hh::env::PairingScratch scratch;
+  scratch.reserve(m);
+  std::uint32_t round = 0;
+  model->pair_active(active, hh::env::PairingCtx{rng, 0xABCD, ++round},
+                     scratch);  // warm the workspace
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = allocation_count();
+    model->pair_active(active, hh::env::PairingCtx{rng, 0xABCD, ++round},
+                       scratch);
+    allocs += allocation_count() - before;
+    benchmark::DoNotOptimize(scratch.recruited_by.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m));
+  state.counters["allocs_per_round"] = benchmark::Counter(
+      static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+}
+BENCHMARK_CAPTURE(BM_PairingRound, permutation,
+                  hh::env::PairingKind::kPermutation)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384);
+BENCHMARK_CAPTURE(BM_PairingRound, uniform_proposal,
+                  hh::env::PairingKind::kUniformProposal)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384);
+BENCHMARK_CAPTURE(BM_PairingRound, counter_lottery,
+                  hh::env::PairingKind::kCounter)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384);
 
 void BM_RandomPermutationInto(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -333,13 +382,16 @@ BENCHMARK_CAPTURE(BM_TrialThroughput, optimal_packed, "optimal",
 
 void BM_PackedSpeedup(benchmark::State& state, const char* algorithm,
                       std::uint32_t k, double crash_fraction = 0.0,
-                      double byzantine_fraction = 0.0) {
+                      double byzantine_fraction = 0.0,
+                      hh::env::PairingKind pairing =
+                          hh::env::PairingKind::kPermutation) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   hh::core::SimulationConfig cfg;
   cfg.num_ants = n;
   cfg.qualities = hh::core::SimulationConfig::binary_qualities(k, k / 2);
   cfg.faults.crash_fraction = crash_fraction;
   cfg.faults.byzantine_fraction = byzantine_fraction;
+  cfg.pairing = pairing;
   if (byzantine_fraction > 0.0) cfg.convergence_tolerance = 0.25;
   auto scenario = hh::analysis::Scenario{
       .name = algorithm, .algorithm = algorithm, .config = cfg};
@@ -366,17 +418,28 @@ BENCHMARK_CAPTURE(BM_PackedSpeedup, simple_k8, "simple", 8u)->Arg(4096);
 BENCHMARK_CAPTURE(BM_PackedSpeedup, simple_k4, "simple", 4u)->Arg(4096);
 BENCHMARK_CAPTURE(BM_PackedSpeedup, quorum_k8, "quorum", 8u)->Arg(4096);
 
-// The headline this PR adds: Algorithm 2 (optimal), settle on and off,
-// end-to-end through the masked per-ant-phase path — the last algorithm
-// to leave the slow per-object path.
+// The end-to-end headline for Algorithm 2 (optimal), settle on and off,
+// through the masked per-ant-phase path. The *_counter rows rerun the same
+// workload under counter-lottery pairing: pairing happens every round >= 2
+// of Algorithm 2, so a draw-free O(m) pairing round is where the packed
+// engine's serial-RNG bottleneck breaks (the acceptance bar is speedup
+// >= 2.2 on optimal_k8_counter at n=4096).
 void BM_PackedOptimalSpeedup(benchmark::State& state, const char* algorithm,
-                             std::uint32_t k) {
-  BM_PackedSpeedup(state, algorithm, k);
+                             std::uint32_t k,
+                             hh::env::PairingKind pairing =
+                                 hh::env::PairingKind::kPermutation) {
+  BM_PackedSpeedup(state, algorithm, k, 0.0, 0.0, pairing);
 }
 BENCHMARK_CAPTURE(BM_PackedOptimalSpeedup, optimal_k8, "optimal", 8u)
     ->Arg(4096);
 BENCHMARK_CAPTURE(BM_PackedOptimalSpeedup, optimal_settle_k8,
                   "optimal+settle", 8u)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_PackedOptimalSpeedup, optimal_k8_counter, "optimal", 8u,
+                  hh::env::PairingKind::kCounter)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_PackedOptimalSpeedup, optimal_settle_k8_counter,
+                  "optimal+settle", 8u, hh::env::PairingKind::kCounter)
     ->Arg(4096);
 
 // Faulted end-to-end ratio: the fault lanes must not give the speedup

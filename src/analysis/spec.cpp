@@ -179,7 +179,8 @@ env::PairingKind pairing_from_name(const std::string& name,
                                    const std::string& path) {
   if (const auto kind = env::pairing_from_name(name)) return *kind;
   fail(path, "unknown pairing '" + name +
-                 "' (expected \"permutation\" or \"uniform-proposal\")");
+                 "' (expected \"permutation\", \"uniform-proposal\", or "
+                 "\"counter-lottery\")");
 }
 
 env::BackendKind backend_from_name(const std::string& name,

@@ -837,6 +837,26 @@ void AntPack::observe_masked_quiet(const env::Environment& env,
   observe_masked_quiet_acting(act_, env, op, targets);
 }
 
+bool AntPack::observe_masked_quiet_then_decide(std::uint32_t round,
+                                               const env::Environment& env,
+                                               std::span<env::MaskedOp> op,
+                                               std::span<std::uint8_t> active,
+                                               std::span<env::NestId> targets) {
+  // The gates mirror fill_masked's special cases: any of them live means
+  // the next round needs the overlay machinery (or a different shape), so
+  // the fused pass is not applicable and the round tail stays split. The
+  // hook contract lets this short-circuit safely: a false return had no
+  // side effects.
+  if (!has_faults_ && !any_asleep_ && !act_stale_ &&
+      correct_shape(round + 1) == RoundShape::kMaskedRecruit &&
+      fused_observe_decide(env, op, active, targets)) {
+    masked_round_ = round + 1;
+    return true;
+  }
+  observe_masked_quiet(env, op, targets);
+  return false;
+}
+
 std::uint32_t AntPack::agreement_census(ConvergenceMode mode,
                                         const env::Environment& /*env*/,
                                         std::span<std::uint32_t> census) const {
@@ -897,6 +917,12 @@ void AntPack::observe_go_counts(std::span<const std::uint32_t> /*counts*/,
 bool AntPack::finalized(env::AntId /*a*/) const { return false; }
 
 bool AntPack::any_finalized() const { return false; }
+
+std::uint32_t AntPack::count_finalized(std::span<const env::AntId> ants) const {
+  std::uint32_t c = 0;
+  for (const env::AntId a : ants) c += finalized(a) ? 1u : 0u;
+  return c;
+}
 
 bool packed_available(AlgorithmKind kind) {
   switch (kind) {

@@ -126,6 +126,19 @@ class AntPack {
                             std::span<const env::MaskedOp> op,
                             std::span<const env::NestId> targets);
 
+  /// The fused tail of a fault-free, fully-awake masked-recruit round:
+  /// absorb round `round` quietly AND overwrite the same lanes with every
+  /// ant's round `round + 1` decision, returning true — the driver then
+  /// skips fill_masked for the next round. Falls back to the plain quiet
+  /// observe (returning false) when fault or sleep lanes are live, when
+  /// round `round + 1`'s correct shape is not kMaskedRecruit, or when the
+  /// pack does not implement the fusion hook. Must not be called under
+  /// partial synchrony — the sleep overlay belongs to fill_masked.
+  [[nodiscard]] bool observe_masked_quiet_then_decide(
+      std::uint32_t round, const env::Environment& env,
+      std::span<env::MaskedOp> op, std::span<std::uint8_t> active,
+      std::span<env::NestId> targets);
+
   /// kAllRecruit rounds only: write every ant's recruit(b, i) call into
   /// `requests` (requests[a].ant = a), drawing the same RNG sequence the
   /// scalar colony would draw. The loud (Outcome-producing) form.
@@ -193,6 +206,14 @@ class AntPack {
   /// finalized() scan when attributing tandem runs vs transports.
   [[nodiscard]] virtual bool any_finalized() const;
 
+  /// Number of `ants` (each listed at most once) that are finalized — the
+  /// batch form of finalized() the driver feeds the round's successful
+  /// recruiters (env::Environment::successful_recruiters()) to attribute
+  /// transports. One virtual call per round instead of one per ant; packs
+  /// with a state lane override it with a flat counted loop.
+  [[nodiscard]] virtual std::uint32_t count_finalized(
+      std::span<const env::AntId> ants) const;
+
   /// Install the per-ant fault lanes a sampled env::FaultPlan describes:
   /// crash victims idle from their crash round on (their lanes freeze,
   /// exactly like core::CrashProneAnt freezes its inner ant); Byzantine
@@ -258,6 +279,20 @@ class AntPack {
                                            const env::Environment& env,
                                            std::span<const env::MaskedOp> op,
                                            std::span<const env::NestId> targets);
+
+  /// Fusion hook behind observe_masked_quiet_then_decide. The caller's
+  /// gates guarantee every lane acts (no faults, no sleepers, act_ all
+  /// ones) and that the next round's correct shape is kMaskedRecruit.
+  /// Implementations observe every ant quietly and immediately rewrite
+  /// its op/active/target lanes with the NEXT round's decision — one pass
+  /// over the state lanes instead of an observe sweep plus a decide
+  /// sweep — then return true. The default opts out: return false with
+  /// NO side effects (the caller then runs the plain quiet observe).
+  [[nodiscard]] virtual bool fused_observe_decide(
+      const env::Environment& /*env*/, std::span<env::MaskedOp> /*op*/,
+      std::span<std::uint8_t> /*active*/, std::span<env::NestId> /*targets*/) {
+    return false;
+  }
 
   // --- fault-lane helpers for derived kernels ------------------------------
 

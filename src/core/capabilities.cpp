@@ -13,6 +13,7 @@ Capabilities Capabilities::standard_pack() {
   caps.quality_noise = true;
   caps.with(env::PairingKind::kPermutation)
       .with(env::PairingKind::kUniformProposal)
+      .with(env::PairingKind::kCounter)
       .with(ConvergenceMode::kCommitment)
       .with(ConvergenceMode::kCommitmentFinalized)
       .with(ConvergenceMode::kPhysical);

@@ -63,41 +63,49 @@ class OptimalPack final : public AntPack {
     return round <= 1 ? RoundShape::kAllSearch : RoundShape::kMaskedRecruit;
   }
 
+  /// One ant's masked decision — decide_masked's per-ant body, shared
+  /// with the fused observe+decide pass.
+  void decide_one(std::size_t a, std::span<env::MaskedOp> op,
+                  std::span<std::uint8_t> active,
+                  std::span<env::NestId> targets) const {
+    switch (static_cast<State>(state_[a])) {
+      case State::kSearch:
+        op[a] = env::MaskedOp::kSearch;  // line 7 (round 1 only)
+        break;
+      case State::kActive:
+        decide_active(a, step_[a], op, active, targets);
+        break;
+      case State::kPassive:
+        if (step_[a] == 1) {
+          // R2, line 14: home, waiting to be recruited.
+          op[a] = env::MaskedOp::kRecruit;
+          active[a] = 0;
+          targets[a] = nest_[a];
+        } else {
+          // R1 (line 13), R3/R4 (lines 18-19): rounds at the nest.
+          op[a] = env::MaskedOp::kGo;
+          targets[a] = nest_[a];
+        }
+        break;
+      case State::kFinal:
+        op[a] = env::MaskedOp::kRecruit;  // line 21, every round
+        active[a] = 1;
+        targets[a] = nest_[a];
+        break;
+      case State::kSettled:
+        op[a] = env::MaskedOp::kGo;  // termination extension: stay put
+        targets[a] = nest_[a];
+        break;
+    }
+  }
+
   void decide_masked(std::uint32_t /*round*/, std::span<const std::uint8_t> act,
                      std::span<env::MaskedOp> op,
                      std::span<std::uint8_t> active,
                      std::span<env::NestId> targets) override {
     for (std::size_t a = 0; a < act.size(); ++a) {
       if (!act[a]) continue;
-      switch (static_cast<State>(state_[a])) {
-        case State::kSearch:
-          op[a] = env::MaskedOp::kSearch;  // line 7 (round 1 only)
-          break;
-        case State::kActive:
-          decide_active(a, step_[a], op, active, targets);
-          break;
-        case State::kPassive:
-          if (step_[a] == 1) {
-            // R2, line 14: home, waiting to be recruited.
-            op[a] = env::MaskedOp::kRecruit;
-            active[a] = 0;
-            targets[a] = nest_[a];
-          } else {
-            // R1 (line 13), R3/R4 (lines 18-19): rounds at the nest.
-            op[a] = env::MaskedOp::kGo;
-            targets[a] = nest_[a];
-          }
-          break;
-        case State::kFinal:
-          op[a] = env::MaskedOp::kRecruit;  // line 21, every round
-          active[a] = 1;
-          targets[a] = nest_[a];
-          break;
-        case State::kSettled:
-          op[a] = env::MaskedOp::kGo;  // termination extension: stay put
-          targets[a] = nest_[a];
-          break;
-      }
+      decide_one(a, op, active, targets);
     }
   }
 
@@ -117,6 +125,11 @@ class OptimalPack final : public AntPack {
       std::span<const env::MaskedOp> op,
       std::span<const env::NestId> targets) override {
     const std::span<const std::uint32_t> counts = env.counts();
+    // The recruit() return values j, ant-indexed — the env fills the lane
+    // in its matching-bookkeeping walk, so a recruit ant's observation is
+    // one sequential load instead of the recruited_by_ant() load chain.
+    const std::span<const env::NestId> results = env.recruit_results();
+    const std::uint32_t home_count = counts[env::kHomeNest];
     for (std::size_t a = 0; a < act.size(); ++a) {
       if (!act[a]) continue;
       if (static_cast<State>(state_[a]) == State::kSearch) {
@@ -127,21 +140,41 @@ class OptimalPack final : public AntPack {
       // op[a] is what decide_masked emitted this round — the one copy of
       // the R1-R4 recruit/go classification.
       if (op[a] == env::MaskedOp::kRecruit) {
-        // The recruit() return value j: the recruiter's advertised nest
-        // when recruited, the ant's own input nest otherwise; the count
-        // is the home-nest population (read by finals for settling).
-        const std::int32_t recruiter =
-            env.recruited_by_ant(static_cast<env::AntId>(a));
-        const env::NestId j =
-            recruiter == env::kNotRecruited
-                ? targets[a]
-                : targets[static_cast<std::size_t>(recruiter)];
-        apply(a, j, counts[env::kHomeNest], 0.0);
+        // j plus the home-nest population (read by finals for settling).
+        apply(a, results[a], home_count, 0.0);
       } else {
         // go(targets[a]): the visited nest's end-of-round count.
         apply(a, targets[a], counts[targets[a]], 0.0);
       }
     }
+  }
+
+  [[nodiscard]] bool fused_observe_decide(
+      const env::Environment& env, std::span<env::MaskedOp> op,
+      std::span<std::uint8_t> active,
+      std::span<env::NestId> targets) override {
+    // One pass instead of observe + decide: absorb ant a's result while
+    // its state words are hot, then immediately rewrite its lanes with
+    // the next round's decision. The in-place lane overwrite is safe
+    // because the observe side reads only ant a's own op/target rows
+    // (recruit returns come from the env's ant-indexed results lane, not
+    // from targets[recruiter]), and the caller's gates guarantee every
+    // lane acts.
+    const std::span<const std::uint32_t> counts = env.counts();
+    const std::span<const env::NestId> results = env.recruit_results();
+    const std::uint32_t home_count = counts[env::kHomeNest];
+    for (std::size_t a = 0; a < op.size(); ++a) {
+      if (static_cast<State>(state_[a]) == State::kSearch) {
+        const env::NestId found = env.location(static_cast<env::AntId>(a));
+        apply_search(a, found, counts[found], env.qualities()[found - 1]);
+      } else if (op[a] == env::MaskedOp::kRecruit) {
+        apply(a, results[a], home_count, 0.0);
+      } else {
+        apply(a, targets[a], counts[targets[a]], 0.0);
+      }
+      decide_one(a, op, active, targets);
+    }
+    return true;
   }
 
   [[nodiscard]] std::uint32_t agreement_census(
@@ -182,6 +215,16 @@ class OptimalPack final : public AntPack {
 
   [[nodiscard]] bool any_finalized() const override {
     return finalized_count_ > 0;
+  }
+
+  [[nodiscard]] std::uint32_t count_finalized(
+      std::span<const env::AntId> ants) const override {
+    std::uint32_t c = 0;
+    for (const env::AntId a : ants) {
+      const auto state = static_cast<State>(state_[a]);
+      c += (state == State::kFinal || state == State::kSettled) ? 1u : 0u;
+    }
+    return c;
   }
 
   [[nodiscard]] std::string_view name() const override {

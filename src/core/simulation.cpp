@@ -281,6 +281,7 @@ bool Simulation::reset(std::uint64_t seed) {
   world_->reset(util::mix_seed(seed, kEnvSeedTag));
   scheduler_rng_.reseed(util::mix_seed(seed, kSchedulerSeedTag));
   detector_.reset();
+  masked_lanes_prefilled_ = false;
   total_recruitments_ = 0;
   total_tandem_runs_ = 0;
   total_transports_ = 0;
@@ -398,6 +399,20 @@ bool Simulation::step_packed() {
       }
     }
   };
+  // The quiet paths' form: the env hands over this round's successful
+  // recruiters directly, so attribution touches the successes alone (one
+  // batch finalized() count) instead of testing every ant.
+  const auto attribute_quiet = [&] {
+    const std::uint32_t successes =
+        home_->last_round_stats().successful_recruitments;
+    if (successes == 0) return;
+    if (!pack_->any_finalized()) {
+      tandem = successes;
+      return;
+    }
+    transport = pack_->count_finalized(home_->successful_recruiters());
+    tandem = successes - transport;
+  };
 
   // Partial synchrony: pre-draw the round's awake mask exactly as
   // step_scalar does — same scheduler stream, same ant order, consulted
@@ -427,9 +442,8 @@ bool Simulation::step_packed() {
         const std::span<const env::NestId> targets =
             pack_->fill_recruit_soa(round, recruit_active_);
         home_->step_all_recruit_quiet(recruit_active_, targets);
-        const env::PairingScratch& pairing = home_->last_pairing();
-        attribute([&](env::AntId a) { return pairing.recruit_succeeded[a] != 0; });
-        pack_->observe_recruit_pairing(targets, pairing);
+        attribute_quiet();
+        pack_->observe_recruit_pairing(targets, home_->last_pairing());
       } else {
         pack_->fill_recruit_requests(round, requests_);
         const std::vector<env::Outcome>& outcomes =
@@ -448,12 +462,25 @@ bool Simulation::step_packed() {
       }
       break;
     case RoundShape::kMaskedRecruit: {
-      pack_->fill_masked(round, masked_op_, recruit_active_, masked_targets_);
+      // The previous round's fused observe may have planned this round's
+      // lanes already (fault-free steady state); the flag is one-shot.
+      if (!masked_lanes_prefilled_) {
+        pack_->fill_masked(round, masked_op_, recruit_active_, masked_targets_);
+      }
+      masked_lanes_prefilled_ = false;
       if (exact_observation_) {
         home_->step_masked_recruit_quiet(masked_op_, recruit_active_,
                                        masked_targets_);
-        attribute([&](env::AntId a) { return home_->recruit_succeeded_ant(a); });
-        pack_->observe_masked_quiet(*home_, masked_op_, masked_targets_);
+        attribute_quiet();
+        // Fuse next round's decide into this observe when eligible —
+        // never under partial synchrony, whose sleep overlay must run
+        // through fill_masked after the round's wake draws.
+        if (config_.skip_probability == 0.0) {
+          masked_lanes_prefilled_ = pack_->observe_masked_quiet_then_decide(
+              round, *home_, masked_op_, recruit_active_, masked_targets_);
+        } else {
+          pack_->observe_masked_quiet(*home_, masked_op_, masked_targets_);
+        }
       } else {
         const std::vector<env::Outcome>& outcomes =
             home_->step_masked_recruit(masked_op_, recruit_active_,

@@ -303,6 +303,10 @@ class Simulation {
   std::vector<std::uint8_t> recruit_active_;   // reused per round (packed)
   std::vector<env::MaskedOp> masked_op_;       // reused per round (packed)
   std::vector<env::NestId> masked_targets_;    // reused per round (packed)
+  // True when the previous round's fused observe already wrote this
+  // round's masked lanes (AntPack::observe_masked_quiet_then_decide), so
+  // step_packed skips fill_masked. Consumed (cleared) every round.
+  bool masked_lanes_prefilled_ = false;
 };
 
 }  // namespace hh::core

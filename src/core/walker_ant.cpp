@@ -22,7 +22,8 @@ void register_lattice_walker_algorithm(AlgorithmRegistry& registry) {
   caps.partial_synchrony = true;  // sleepers just pause their walk
   caps.with(env::PairingKind::kPermutation)
       .with(env::PairingKind::kUniformProposal)  // no pairing happens; a
-      .with(ConvergenceMode::kCommitment);       // config default is no gap
+      .with(env::PairingKind::kCounter)          // config default is no gap
+      .with(ConvergenceMode::kCommitment);
   spec.capabilities = caps;
   spec.colony = [](const SimulationConfig& config, env::FaultPlan plan,
                    std::uint64_t colony_seed, const AlgorithmParams&) {

@@ -8,7 +8,10 @@
 namespace hh::env {
 
 namespace {
-constexpr std::uint32_t kNoRequest = 0xffffffffu;
+// Domain-separation tag for the pairing-stream key: keeps the counter
+// streams independent of every draw the shared rng_ makes from the same
+// config seed. Mirrors the engine-layer seed tags in core/simulation.cpp.
+constexpr std::uint64_t kPairingSeedTag = 0x9A1217;
 }
 
 HomeNestBackend::HomeNestBackend(EnvironmentConfig cfg,
@@ -20,7 +23,9 @@ HomeNestBackend::HomeNestBackend(EnvironmentConfig cfg,
       observation_(observation ? std::move(observation)
                                : std::make_unique<ExactObservation>()),
       observe_exact_(observation_->exact()),
-      rng_(cfg_.seed) {
+      counter_pairing_(pairing_->counter_keyed()),
+      rng_(cfg_.seed),
+      pairing_seed_(util::mix_seed(cfg_.seed, kPairingSeedTag)) {
   HH_EXPECTS(cfg_.num_ants >= 1);
   HH_EXPECTS(!cfg_.qualities.empty());
   for (double q : cfg_.qualities) HH_EXPECTS(q >= 0.0 && q <= 1.0);
@@ -36,6 +41,8 @@ HomeNestBackend::HomeNestBackend(EnvironmentConfig cfg,
   requests_.reserve(cfg_.num_ants);
   request_index_.assign(cfg_.num_ants, kNoRequest);
   pairing_scratch_.reserve(cfg_.num_ants);
+  success_ants_.reserve(cfg_.num_ants);
+  recruit_result_.assign(cfg_.num_ants, kHomeNest);
 }
 
 void HomeNestBackend::reset(std::uint64_t seed) {
@@ -44,6 +51,7 @@ void HomeNestBackend::reset(std::uint64_t seed) {
   // fresh construction bit for bit.
   cfg_.seed = seed;
   rng_.reseed(seed);
+  pairing_seed_ = util::mix_seed(seed, kPairingSeedTag);
   round_ = 0;
   all_at_home_ = false;
   std::fill(location_.begin(), location_.end(), kHomeNest);
@@ -54,6 +62,8 @@ void HomeNestBackend::reset(std::uint64_t seed) {
   std::fill(request_index_.begin(), request_index_.end(), kNoRequest);
   requests_ant_indexed_ = false;
   pairing_current_ = false;
+  success_ants_.clear();
+  std::fill(recruit_result_.begin(), recruit_result_.end(), kHomeNest);
   stats_ = RoundStats{};
 }
 
@@ -206,8 +216,11 @@ const std::vector<Outcome>& HomeNestBackend::step_rows(const ActionAt& action_at
   round_phase1<true>(action_at);
 
   // Phase 2: the centralized pairing process (Algorithm 1 by default),
-  // writing into the environment-owned scratch buffers.
-  pairing_->pair_into(requests_, rng_, pairing_scratch_);
+  // writing into the environment-owned scratch buffers. The ctx keys
+  // counter-based models on (pairing_seed_, executing round); sequential
+  // models read only the rng.
+  pairing_->pair_into(requests_, PairingCtx{rng_, pairing_seed_, round_ + 1},
+                      pairing_scratch_);
   HH_ENSURES(pairing_scratch_.recruited_by.size() == requests_.size());
   HH_ENSURES(pairing_scratch_.recruit_succeeded.size() == requests_.size());
 
@@ -286,18 +299,27 @@ void HomeNestBackend::step_rows_quiet(const ActionAt& action_at) {
   const std::uint32_t k = num_nests();
   round_phase1<false>(action_at);
 
-  pairing_->pair_into(requests_, rng_, pairing_scratch_);
+  pairing_->pair_into(requests_, PairingCtx{rng_, pairing_seed_, round_ + 1},
+                      pairing_scratch_);
   HH_ENSURES(pairing_scratch_.recruited_by.size() == requests_.size());
 
   count_.assign(k + 1, 0);
   for (AntId a = 0; a < cfg_.num_ants; ++a) ++count_[location_[a]];
 
   // Matching bookkeeping (stats + tandem-run knowledge), indexed by
-  // request position x (request x's caller is requests_[x].ant).
+  // request position x (request x's caller is requests_[x].ant). The same
+  // walk fills the ant-indexed recruit() return values and the successful-
+  // recruiter list the quiet observers read back.
+  success_ants_.clear();
   for (std::size_t x = 0; x < requests_.size(); ++x) {
     const std::int32_t recruiter = pairing_scratch_.recruited_by[x];
-    if (recruiter == kNotRecruited) continue;
+    if (recruiter == kNotRecruited) {
+      recruit_result_[requests_[x].ant] = requests_[x].target;
+      continue;
+    }
     const RecruitRequest& from = requests_[static_cast<std::size_t>(recruiter)];
+    recruit_result_[requests_[x].ant] = from.target;
+    success_ants_.push_back(from.ant);
     ++stats_.successful_recruitments;
     if (from.ant == requests_[x].ant) ++stats_.self_recruitments;
     if (from.target != requests_[x].target) ++stats_.cross_nest_recruitments;
@@ -348,7 +370,130 @@ void HomeNestBackend::step_masked_recruit_quiet(
   HH_EXPECTS(op.size() == cfg_.num_ants);
   HH_EXPECTS(active.size() == cfg_.num_ants);
   HH_EXPECTS(targets.size() == cfg_.num_ants);
+  if (counter_pairing_) {
+    step_masked_recruit_fused(op, active, targets);
+    return;
+  }
   step_rows_quiet(MaskedRows{op, active, targets});
+}
+
+void HomeNestBackend::step_masked_recruit_fused(
+    std::span<const MaskedOp> op, std::span<const std::uint8_t> active,
+    std::span<const NestId> targets) {
+  // The counter-keyed fast round, observably identical to
+  // step_rows_quiet(MaskedRows{...}) — same RNG consumption, locations,
+  // counts, knowledge, stats, matching, and ant-indexed views — but in
+  // two passes instead of four. Legality of the reordering:
+  //   * the only shared-stream draws in a masked-recruit round are the
+  //     search landings, made below in ant order exactly as
+  //     round_phase1 makes them;
+  //   * a counter_keyed() model's KEYED pair_active (round != 0, always
+  //     the case here) draws nothing from the shared stream, so running
+  //     the census before the pairing instead of after it is invisible;
+  //   * the lottery is keyed on dense request ranks, and the
+  //     classification pass below assigns ranks in ant order — the same
+  //     ranks requests_.push_back() assigns on the generic path.
+  HH_EXPECTS(observe_exact_);
+  const std::uint32_t k = num_nests();
+  stats_ = RoundStats{};
+  requests_ant_indexed_ = false;
+  pairing_current_ = true;
+  if (all_at_home_) {
+    // Materialize the lazy locations of a preceding step_all_recruit()
+    // round: the kIdle branch below reads location_ in place.
+    std::fill(location_.begin(), location_.end(), kHomeNest);
+    all_at_home_ = false;
+  }
+
+  // Pass 1 — phase 1 + census fused: classification, location updates,
+  // search draws, request packing (AoS row + the dense active-flag lane
+  // the lottery reads), stats, AND the count scatter, one ant-order
+  // sweep. The generic path's separate census reads location_ back after
+  // phase 1; here each ant's end-of-round location is still in register.
+  //
+  // The go/recruit pair — the whole colony from round 2 on — is handled
+  // branch-free: the op mix is irregular at steady state (each ant's
+  // R1-R4 block position differs), so a per-ant switch mispredicts
+  // roughly every other ant. Instead every go/recruit ant does the same
+  // unconditional work with conditional-move selects, including a
+  // request-row store whose cursor only advances for recruiters (a go
+  // ant's row is overwritten by the next recruiter; the tail is cut off
+  // by the resize below). Searches and idles — round-1 colonies, fault
+  // lanes — take the cold branch, perfectly predicted when absent.
+  count_.assign(k + 1, 0);
+  const AntId n = cfg_.num_ants;
+  auto& flags = pairing_scratch_.active;
+  requests_.resize(n);
+  flags.resize(n);
+  RecruitRequest* const req_rows = requests_.data();
+  std::uint8_t* const flag_rows = flags.data();
+  std::uint32_t mreq = 0;
+  std::uint32_t n_go = 0;
+  std::uint32_t n_rec_active = 0;
+  for (AntId a = 0; a < n; ++a) {
+    const MaskedOp o = op[a];
+    if (o == MaskedOp::kGo || o == MaskedOp::kRecruit) [[likely]] {
+      const bool r = o == MaskedOp::kRecruit;
+      if (cfg_.enforce_model) {
+        validate(a, r ? Action::recruit(active[a] != 0, targets[a])
+                      : Action::go(targets[a]));
+      }
+      const NestId tgt = targets[a];
+      const std::uint8_t b = active[a] != 0 ? 1 : 0;
+      const NestId loc = r ? kHomeNest : tgt;
+      location_[a] = loc;
+      ++count_[loc];
+      request_index_[a] = r ? mreq : kNoRequest;
+      req_rows[mreq] = RecruitRequest{a, b != 0, tgt};
+      flag_rows[mreq] = b;
+      mreq += r ? 1u : 0u;
+      n_go += r ? 0u : 1u;
+      n_rec_active += (r && b != 0) ? 1u : 0u;
+    } else if (o == MaskedOp::kSearch) {
+      // search(): i chosen uniformly at random from {1..k} — the same
+      // draw, in the same ant order, as round_phase1.
+      const auto found = static_cast<NestId>(1 + rng_.uniform_u64(k));
+      request_index_[a] = kNoRequest;
+      location_[a] = found;
+      grant_knowledge(a, found);
+      ++count_[found];
+      ++stats_.searches;
+    } else {  // MaskedOp::kIdle
+      if (cfg_.enforce_model) validate(a, Action::idle());
+      request_index_[a] = kNoRequest;
+      ++count_[location_[a]];
+      ++stats_.idles;
+    }
+  }
+  requests_.resize(mreq);
+  flags.resize(mreq);
+  stats_.gos = n_go;
+  stats_.active_recruits = n_rec_active;
+  stats_.passive_recruits = mreq - n_rec_active;
+
+  // Pass 2 — the keyed lottery over the dense ranks (flags aliases
+  // scratch.active, the same buffer pair_into packs), then the matching
+  // bookkeeping, identical to step_rows_quiet's.
+  pairing_->pair_active(flags, PairingCtx{rng_, pairing_seed_, round_ + 1},
+                        pairing_scratch_);
+  HH_ENSURES(pairing_scratch_.recruited_by.size() == requests_.size());
+  success_ants_.clear();
+  for (std::size_t x = 0; x < requests_.size(); ++x) {
+    const std::int32_t recruiter = pairing_scratch_.recruited_by[x];
+    if (recruiter == kNotRecruited) {
+      recruit_result_[requests_[x].ant] = requests_[x].target;
+      continue;
+    }
+    const RecruitRequest& from = requests_[static_cast<std::size_t>(recruiter)];
+    recruit_result_[requests_[x].ant] = from.target;
+    success_ants_.push_back(from.ant);
+    ++stats_.successful_recruitments;
+    if (from.ant == requests_[x].ant) ++stats_.self_recruitments;
+    if (from.target != requests_[x].target) ++stats_.cross_nest_recruitments;
+    if (from.target != kHomeNest) grant_knowledge(requests_[x].ant, from.target);
+  }
+
+  ++round_;
 }
 
 const std::vector<Outcome>& HomeNestBackend::step_masked_go(
@@ -372,32 +517,6 @@ void HomeNestBackend::step_masked_go_quiet(std::span<const MaskedOp> op,
     HH_ASSERT(op[a] != MaskedOp::kRecruit);
     return MaskedRows{op, {}, targets}(a);
   });
-}
-
-std::int32_t HomeNestBackend::recruited_by_ant(AntId a) const {
-  HH_EXPECTS(a < cfg_.num_ants);
-  if (!pairing_current_) return kNotRecruited;
-  if (requests_ant_indexed_) {
-    // All-recruit rounds: request position x IS ant x.
-    return pairing_scratch_.recruited_by[a];
-  }
-  const std::uint32_t idx = request_index_[a];
-  if (idx == kNoRequest) return kNotRecruited;
-  const std::int32_t recruiter = pairing_scratch_.recruited_by[idx];
-  if (recruiter == kNotRecruited) return kNotRecruited;
-  return static_cast<std::int32_t>(
-      requests_[static_cast<std::size_t>(recruiter)].ant);
-}
-
-bool HomeNestBackend::recruit_succeeded_ant(AntId a) const {
-  HH_EXPECTS(a < cfg_.num_ants);
-  if (!pairing_current_) return false;
-  if (requests_ant_indexed_) {
-    return pairing_scratch_.recruit_succeeded[a] != 0;
-  }
-  const std::uint32_t idx = request_index_[a];
-  if (idx == kNoRequest) return false;
-  return pairing_scratch_.recruit_succeeded[idx] != 0;
 }
 
 const std::vector<Outcome>& HomeNestBackend::step_all_search() {
@@ -445,7 +564,8 @@ const std::vector<Outcome>& HomeNestBackend::step_all_recruit(
   all_at_home_ = true;
   requests_ant_indexed_ = true;
   pairing_current_ = true;
-  pairing_->pair_into(requests, rng_, pairing_scratch_);
+  pairing_->pair_into(requests, PairingCtx{rng_, pairing_seed_, round_ + 1},
+                      pairing_scratch_);
   HH_ENSURES(pairing_scratch_.recruited_by.size() == requests.size());
   count_.assign(k + 1, 0);
   count_[kHomeNest] = cfg_.num_ants;
@@ -496,7 +616,8 @@ void HomeNestBackend::step_all_recruit_quiet(std::span<const std::uint8_t> activ
   pairing_current_ = true;
   for (const std::uint8_t b : active) stats_.active_recruits += b ? 1u : 0u;
   stats_.passive_recruits = cfg_.num_ants - stats_.active_recruits;
-  pairing_->pair_active(active, rng_, pairing_scratch_);
+  pairing_->pair_active(active, PairingCtx{rng_, pairing_seed_, round_ + 1},
+                        pairing_scratch_);
   HH_ENSURES(pairing_scratch_.recruited_by.size() == active.size());
   count_.assign(k + 1, 0);
   count_[kHomeNest] = cfg_.num_ants;
@@ -504,15 +625,20 @@ void HomeNestBackend::step_all_recruit_quiet(std::span<const std::uint8_t> activ
   // the exact model returns values the caller can read off last_pairing()
   // and counts() directly. Request x's caller is ant x, so the
   // self-recruitment test collapses to recruiter == a.
+  success_ants_.clear();
   for (AntId a = 0; a < cfg_.num_ants; ++a) {
     const std::int32_t recruiter = pairing_scratch_.recruited_by[a];
-    if (recruiter != kNotRecruited) {
-      const NestId j = targets[static_cast<std::size_t>(recruiter)];
-      ++stats_.successful_recruitments;
-      if (static_cast<AntId>(recruiter) == a) ++stats_.self_recruitments;
-      if (j != targets[a]) ++stats_.cross_nest_recruitments;
-      if (j != kHomeNest) grant_knowledge(a, j);
+    if (recruiter == kNotRecruited) {
+      recruit_result_[a] = targets[a];
+      continue;
     }
+    const NestId j = targets[static_cast<std::size_t>(recruiter)];
+    recruit_result_[a] = j;
+    success_ants_.push_back(static_cast<AntId>(recruiter));
+    ++stats_.successful_recruitments;
+    if (static_cast<AntId>(recruiter) == a) ++stats_.self_recruitments;
+    if (j != targets[a]) ++stats_.cross_nest_recruitments;
+    if (j != kHomeNest) grant_knowledge(a, j);
   }
   ++round_;
 }

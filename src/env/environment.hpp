@@ -30,6 +30,7 @@
 #include "env/nest.hpp"
 #include "env/observation.hpp"
 #include "env/pairing.hpp"
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 
 namespace hh::env {
@@ -200,11 +201,32 @@ class HomeNestBackend final : public Backend {
   /// recruit() call, and for every ant after a round with no recruit
   /// calls at all (step_all_search/go), whose matching is empty by
   /// definition. Translates the pairing scratch's request-position
-  /// indices, which packs must not do themselves.
+  /// indices, which packs must not do themselves. Defined inline below:
+  /// the packed engines call these once per recruiting ant per round
+  /// (tens of millions of calls per sweep), so the loads must not hide
+  /// behind a call boundary.
   [[nodiscard]] std::int32_t recruited_by_ant(AntId a) const;
   /// Ant-indexed view: whether `a` successfully recruited someone in the
   /// last round.
   [[nodiscard]] bool recruit_succeeded_ant(AntId a) const;
+  /// The ants that appear as the RECRUITER in a pair of the last quiet
+  /// recruit round's matching, in request order (each at most once —
+  /// matching validity). Valid after step_masked_recruit_quiet /
+  /// step_all_recruit_quiet; lets the driver attribute tandem runs vs
+  /// transports over the successes alone instead of scanning every ant.
+  [[nodiscard]] std::span<const AntId> successful_recruiters() const {
+    return success_ants_;
+  }
+  /// recruit_results()[a] = the recruit(b, i) return value j for every
+  /// ant whose op was kRecruit in the last quiet recruit round: the
+  /// recruiter's advertised nest when `a` was recruited, a's own target
+  /// otherwise. Entries of ants that made no recruit() call are stale —
+  /// callers must consult it only for their recruit lanes. One
+  /// sequential lane load where recruited_by_ant() chases the
+  /// request-index indirection plus two dependent random loads.
+  [[nodiscard]] std::span<const NestId> recruit_results() const {
+    return recruit_result_;
+  }
   /// Whether ant a has knowledge of nest i (visited or been recruited to).
   [[nodiscard]] bool knows(AntId a, NestId i) const;
   /// Stats of the most recent round.
@@ -215,6 +237,9 @@ class HomeNestBackend final : public Backend {
   [[nodiscard]] const PairingModel& pairing_model() const { return *pairing_; }
 
  private:
+  /// request_index_ sentinel: the ant made no recruit() call this round.
+  static constexpr std::uint32_t kNoRequest = 0xffffffffu;
+
   void validate(AntId a, const Action& action) const;
   void grant_knowledge(AntId a, NestId i);
 
@@ -228,6 +253,14 @@ class HomeNestBackend final : public Backend {
   /// no per-ant return values materialized.
   template <typename ActionAt>
   void step_rows_quiet(const ActionAt& action_at);
+  /// step_masked_recruit_quiet for counter-keyed pairing models: one
+  /// fused pass does classification, the search draws, request packing,
+  /// AND the count census, then runs the keyed lottery and the matching
+  /// bookkeeping. Observably identical to the generic path — see the
+  /// legality argument at the definition. Exact observation only.
+  void step_masked_recruit_fused(std::span<const MaskedOp> op,
+                                 std::span<const std::uint8_t> active,
+                                 std::span<const NestId> targets);
   /// Phase 1 shared by both forms — validation, location updates, the
   /// search landing draws, request building, stats — ONE copy so the
   /// loud and quiet paths cannot drift apart. kLoud additionally seeds
@@ -239,7 +272,15 @@ class HomeNestBackend final : public Backend {
   std::unique_ptr<PairingModel> pairing_;
   std::unique_ptr<ObservationModel> observation_;
   bool observe_exact_;  // cached observation_->exact(): branch, not virtual call
+  // Cached pairing_->counter_keyed(): selects the fused masked-recruit
+  // round (a branch per round, not a virtual call).
+  bool counter_pairing_ = false;
   util::Rng rng_;
+  // Stable key for counter-based pairing streams, derived from cfg_.seed
+  // at construction AND reset (identically — the arena-reuse invariant).
+  // Passed to every pairing call via PairingCtx together with the 1-based
+  // round number; the sequential models ignore it.
+  std::uint64_t pairing_seed_ = 0;
 
   std::uint32_t round_ = 0;
   std::vector<NestId> location_;        // l(a, r), indexed by ant
@@ -263,8 +304,41 @@ class HomeNestBackend final : public Backend {
   // ant-indexed views must report an empty matching, not stale pairs.
   bool pairing_current_ = false;
   PairingScratch pairing_scratch_;      // reused each round
+  // Per-round results of the quiet recruit paths (see the accessors):
+  // success_ants_ holds this round's successful recruiters;
+  // recruit_result_[a] holds ant a's recruit() return value j. Both are
+  // filled by the matching-bookkeeping walk, which already touches every
+  // pair — capacity reserved at construction, zero allocations per round.
+  std::vector<AntId> success_ants_;
+  std::vector<NestId> recruit_result_;
   RoundStats stats_;
 };
+
+inline std::int32_t HomeNestBackend::recruited_by_ant(AntId a) const {
+  HH_EXPECTS(a < cfg_.num_ants);
+  if (!pairing_current_) return kNotRecruited;
+  if (requests_ant_indexed_) {
+    // All-recruit rounds: request position x IS ant x.
+    return pairing_scratch_.recruited_by[a];
+  }
+  const std::uint32_t idx = request_index_[a];
+  if (idx == kNoRequest) return kNotRecruited;
+  const std::int32_t recruiter = pairing_scratch_.recruited_by[idx];
+  if (recruiter == kNotRecruited) return kNotRecruited;
+  return static_cast<std::int32_t>(
+      requests_[static_cast<std::size_t>(recruiter)].ant);
+}
+
+inline bool HomeNestBackend::recruit_succeeded_ant(AntId a) const {
+  HH_EXPECTS(a < cfg_.num_ants);
+  if (!pairing_current_) return false;
+  if (requests_ant_indexed_) {
+    return pairing_scratch_.recruit_succeeded[a] != 0;
+  }
+  const std::uint32_t idx = request_index_[a];
+  if (idx == kNoRequest) return false;
+  return pairing_scratch_.recruit_succeeded[idx] != 0;
+}
 
 /// The pre-seam name for the default backend. Kept as a first-class alias:
 /// "Environment" is this world's name throughout the paper commentary and

@@ -14,6 +14,7 @@ void PairingScratch::reserve(std::size_t max_requests) {
   proposal.reserve(max_requests);
   winner.reserve(max_requests);
   proposer_count.reserve(max_requests);
+  ticket.reserve(max_requests);
 }
 
 PairingResult PairingModel::pair(std::span<const RecruitRequest> requests,
@@ -28,19 +29,21 @@ PairingResult PairingModel::pair(std::span<const RecruitRequest> requests,
 }
 
 void PairingModel::pair_into(std::span<const RecruitRequest> requests,
-                             util::Rng& rng, PairingScratch& scratch) const {
+                             const PairingCtx& ctx,
+                             PairingScratch& scratch) const {
   // Pack the active flags to one sequential byte array: the matching
   // loops visit requests in random order, and a 1-byte load beats a
   // 12-byte RecruitRequest load for cache residency at large m.
   const std::size_t m = requests.size();
   scratch.active.resize(m);
   for (std::size_t x = 0; x < m; ++x) scratch.active[x] = requests[x].active;
-  pair_active(scratch.active, rng, scratch);
+  pair_active(scratch.active, ctx, scratch);
 }
 
 void PermutationPairing::pair_active(std::span<const std::uint8_t> active,
-                                     util::Rng& rng,
+                                     const PairingCtx& ctx,
                                      PairingScratch& scratch) const {
+  util::Rng& rng = ctx.rng;
   const std::size_t m = active.size();
   scratch.recruited_by.assign(m, kNotRecruited);
   scratch.recruit_succeeded.assign(m, 0);
@@ -49,13 +52,31 @@ void PermutationPairing::pair_active(std::span<const std::uint8_t> active,
   // P: uniform random permutation of all ants in R (Algorithm 1, tie-breaker).
   util::random_permutation_into(scratch.perm, m, rng);
 
+  // The draw count of the loop below is data-dependent (an active ant
+  // visited after being recruited draws nothing), so BatchedDraws needs a
+  // running LOWER bound on the draws still to come. Track u = active ants
+  // neither visited nor recruited yet: each future draw removes one such
+  // ant by drawing and at most one more by recruiting it, and the current
+  // draw can recruit one too, so u <= 2*future + 1, i.e. at least
+  // 1 + floor((u - 1) / 2) draws (including the current one) remain.
+  // Re-decrementing u for a chosen ant that already drew only tightens
+  // the bound, so no visited bookkeeping is needed.
+  std::size_t u = 0;
+  for (const std::uint8_t b : active) u += b ? 1u : 0u;
+  util::BatchedDraws draws(rng);
+
   // First loop of Algorithm 1: build M in permutation order.
   for (std::uint32_t x : scratch.perm) {
     // Line 3: a_P(i) ∈ S (active) and not already recruited. An ant can
     // appear as recruiter at most once because each x is visited once.
     if (!active[x] || scratch.recruited_by[x] != kNotRecruited) continue;
+    // x leaves the pool by drawing now. u may already have been spent on
+    // x's behalf (a recruitment decrement can land on an ant that had
+    // drawn), so clamp at 0 — an undercount only tightens the bound.
+    if (u > 0) --u;
+    const std::size_t remaining = 1 + (u > 0 ? (u - 1) / 2 : 0);
     // Line 4: a' drawn uniformly from ALL of R — self-recruitment possible.
-    const auto chosen = static_cast<std::uint32_t>(rng.uniform_u64(m));
+    const auto chosen = static_cast<std::uint32_t>(draws.uniform(m, remaining));
     // Line 5: a' must not already be a recruiter nor recruited.
     if (scratch.recruit_succeeded[chosen] != 0 ||
         scratch.recruited_by[chosen] != kNotRecruited) {
@@ -63,36 +84,52 @@ void PermutationPairing::pair_active(std::span<const std::uint8_t> active,
     }
     scratch.recruit_succeeded[x] = 1;
     scratch.recruited_by[chosen] = static_cast<std::int32_t>(x);
+    if (active[chosen] && chosen != x && u > 0) --u;  // chosen will not draw
   }
 }
 
 void UniformProposalPairing::pair_active(std::span<const std::uint8_t> active,
-                                         util::Rng& rng,
+                                         const PairingCtx& ctx,
                                          PairingScratch& scratch) const {
+  util::Rng& rng = ctx.rng;
   const std::size_t m = active.size();
   scratch.recruited_by.assign(m, kNotRecruited);
   scratch.recruit_succeeded.assign(m, 0);
   if (m == 0) return;
 
   // Phase 1: every active ant commits to a proposal target up front.
+  // The draw count is known (one per active ant), so the draws are bulk-
+  // generated into the u64 lane and scattered — same values, same order,
+  // same stream advance as drawing inside the loop.
+  std::size_t n_active = 0;
+  for (const std::uint8_t b : active) n_active += b ? 1u : 0u;
+  scratch.ticket.resize(n_active);
+  rng.uniform_u64_into(std::span<std::uint64_t>(scratch.ticket.data(), n_active),
+                       m);
   scratch.proposal.assign(m, kNotRecruited);
+  std::size_t next_draw = 0;
   for (std::size_t x = 0; x < m; ++x) {
     if (active[x]) {
-      scratch.proposal[x] = static_cast<std::int32_t>(rng.uniform_u64(m));
+      scratch.proposal[x] =
+          static_cast<std::int32_t>(scratch.ticket[next_draw++]);
     }
   }
 
   // Phase 2: per-target lottery — each proposed-to ant keeps one proposer
-  // uniformly at random (reservoir sampling over its proposers).
+  // uniformly at random (reservoir sampling over its proposers). Exactly
+  // one draw per proposer, so the remaining-draw count is exact.
   scratch.winner.assign(m, kNotRecruited);
   scratch.proposer_count.assign(m, 0);
+  util::BatchedDraws draws(rng);
+  std::size_t lottery_left = n_active;
   for (std::size_t x = 0; x < m; ++x) {
     if (scratch.proposal[x] == kNotRecruited) continue;
     const auto t = static_cast<std::size_t>(scratch.proposal[x]);
     ++scratch.proposer_count[t];
-    if (rng.uniform_u64(scratch.proposer_count[t]) == 0) {
+    if (draws.uniform(scratch.proposer_count[t], lottery_left) == 0) {
       scratch.winner[t] = static_cast<std::int32_t>(x);
     }
+    --lottery_left;
   }
 
   // Phase 3: accept tentative matches in random order; endpoints exclusive.
@@ -119,17 +156,113 @@ void UniformProposalPairing::pair_active(std::span<const std::uint8_t> active,
   }
 }
 
+void CounterLotteryPairing::pair_active(std::span<const std::uint8_t> active,
+                                        const PairingCtx& ctx,
+                                        PairingScratch& scratch) const {
+  const std::size_t m = active.size();
+  scratch.recruited_by.assign(m, kNotRecruited);
+  scratch.recruit_succeeded.assign(m, 0);
+  if (m == 0) return;
+
+  // Keyed calls (the engine path) draw nothing from the shared stream;
+  // unkeyed ad-hoc calls derive an ephemeral key with one draw so the
+  // matching stays a deterministic function of the rng state.
+  const bool keyed = ctx.round != 0;
+  const std::uint64_t seed = keyed ? ctx.seed : ctx.rng();
+  const std::uint64_t round = keyed ? ctx.round : 1u;
+
+  // Fused propose + lottery pass: slot x's draws come from its own
+  // counter stream, so no slot reads another slot's randomness and the
+  // loop carries no data dependence beyond the per-target lottery cell.
+  // That cell is ONE u64 in the ticket lane — (ticket high half << 32) |
+  // (m - x), 0 = no proposer yet — rather than separate winner/ticket
+  // lanes: the lottery's random scatter then touches half the cache
+  // lines, which is what the propose loop's throughput is bound by at
+  // large m. Max keeps the highest ticket; equal 32-bit tickets (~2^-32
+  // per colliding pair) fall through to the slot code, where the EARLIER
+  // slot carries the larger m - x — so ties keep the earlier slot and
+  // the result is order-independent. m - x is never 0, so a real entry
+  // never collides with the empty sentinel.
+  // The (seed, round) half of the mix_seed() key is loop-invariant;
+  // hoisting it (mix_seed_prefix) leaves one multiply + one SplitMix64
+  // squeeze per slot and produces bit-identical keys.
+  scratch.ticket.assign(m, 0);
+  const std::uint64_t key_prefix = util::mix_seed_prefix(seed, round);
+
+  // Compact the active slots into a dense index list first (branchless:
+  // unconditional store, predicated advance). The flags are irregular at
+  // steady state, so `if (!active[x]) continue` inside the propose loop
+  // costs a mispredict every transition; a 3-op/slot compaction pass
+  // followed by a branch-free sweep over the survivors is cheaper for
+  // every density. Slot order is preserved, so draws and tie-breaks are
+  // identical to the naive scan. The proposal lane is the counter
+  // model's compaction arena (the sequential models own it otherwise).
+  scratch.proposal.resize(m);
+  std::size_t n_active = 0;
+  for (std::size_t x = 0; x < m; ++x) {
+    scratch.proposal[n_active] = static_cast<std::int32_t>(x);
+    n_active += active[x] ? 1u : 0u;
+  }
+  for (std::size_t i = 0; i < n_active; ++i) {
+    const auto x = static_cast<std::size_t>(
+        static_cast<std::uint32_t>(scratch.proposal[i]));
+    util::SplitMix64 stream(util::mix_seed(key_prefix, 0, x));
+    const auto t = static_cast<std::size_t>(stream.bounded(m));
+    const std::uint64_t entry = (stream.next() & 0xffffffff00000000ULL) |
+                                static_cast<std::uint64_t>(m - x);
+    if (entry > scratch.ticket[t]) scratch.ticket[t] = entry;
+  }
+
+  // Acceptance in target-index order, draw-free. Tentative matches are
+  // exchangeable across slots (the draws above are iid per slot), so a
+  // fixed order yields the same matching distribution as the uniform-
+  // proposal model's random-permutation acceptance. Same compaction
+  // trick: gather the proposed-to targets (winner lane as arena), then
+  // resolve them scan-free in ascending-t order.
+  scratch.winner.resize(m);
+  std::size_t n_hit = 0;
+  for (std::size_t t = 0; t < m; ++t) {
+    scratch.winner[n_hit] = static_cast<std::int32_t>(t);
+    n_hit += scratch.ticket[t] != 0 ? 1u : 0u;
+  }
+  for (std::size_t i = 0; i < n_hit; ++i) {
+    const auto t = static_cast<std::size_t>(
+        static_cast<std::uint32_t>(scratch.winner[i]));
+    const std::uint64_t entry = scratch.ticket[t];
+    const auto w = static_cast<std::size_t>(
+        m - static_cast<std::size_t>(entry & 0xffffffffULL));
+    const bool target_free = scratch.recruited_by[t] == kNotRecruited &&
+                             scratch.recruit_succeeded[t] == 0;
+    if (w == t) {
+      // Self-proposal: the single endpoint only needs to be free once.
+      if (target_free) {
+        scratch.recruit_succeeded[w] = 1;
+        scratch.recruited_by[t] = static_cast<std::int32_t>(w);
+      }
+      continue;
+    }
+    const bool recruiter_free = scratch.recruited_by[w] == kNotRecruited &&
+                                scratch.recruit_succeeded[w] == 0;
+    if (target_free && recruiter_free) {
+      scratch.recruit_succeeded[w] = 1;
+      scratch.recruited_by[t] = static_cast<std::int32_t>(w);
+    }
+  }
+}
+
 std::string_view pairing_name(PairingKind kind) {
   switch (kind) {
     case PairingKind::kPermutation: return "permutation";
     case PairingKind::kUniformProposal: return "uniform-proposal";
+    case PairingKind::kCounter: return "counter-lottery";
   }
   return "?";
 }
 
 std::optional<PairingKind> pairing_from_name(std::string_view name) {
   for (const PairingKind kind :
-       {PairingKind::kPermutation, PairingKind::kUniformProposal}) {
+       {PairingKind::kPermutation, PairingKind::kUniformProposal,
+        PairingKind::kCounter}) {
     if (pairing_name(kind) == name) return kind;
   }
   return std::nullopt;
@@ -141,6 +274,8 @@ std::unique_ptr<PairingModel> make_pairing_model(PairingKind kind) {
       return std::make_unique<PermutationPairing>();
     case PairingKind::kUniformProposal:
       return std::make_unique<UniformProposalPairing>();
+    case PairingKind::kCounter:
+      return std::make_unique<CounterLotteryPairing>();
   }
   HH_ASSERT(false);
   return nullptr;

@@ -31,6 +31,20 @@ struct RecruitRequest {
 /// Index into the request span, or kNotRecruited.
 inline constexpr std::int32_t kNotRecruited = -1;
 
+/// Per-call context for the pairing process. The sequential models draw
+/// from the shared `rng`; the counter-lottery model instead keys one
+/// SplitMix64 stream per request slot on (seed, round, slot) and leaves
+/// `rng` untouched — which is what makes its draws order-free and the
+/// propose/lottery phases flat O(m) loops. `round` is 1-based; round == 0
+/// marks an unkeyed ad-hoc call (tests, one-off pair() users), for which
+/// the counter model derives an ephemeral key by drawing ONE word from
+/// `rng` — so ad-hoc calls stay deterministic given the rng state.
+struct PairingCtx {
+  util::Rng& rng;            ///< the environment's sequential stream
+  std::uint64_t seed = 0;    ///< pairing seed, stable across the execution
+  std::uint32_t round = 0;   ///< 1-based round being executed; 0 = unkeyed
+};
+
 /// Caller-owned buffers for the pairing process: the matching itself plus
 /// every model's workspace. Held by the Environment (one per execution) and
 /// reused across rounds, so pairing performs zero heap allocations after
@@ -52,8 +66,12 @@ struct PairingScratch {
                                               ///< to 1B for the random-order
                                               ///< matching loop
   std::vector<std::int32_t> proposal;         ///< uniform-proposal only
-  std::vector<std::int32_t> winner;           ///< uniform-proposal only
+  std::vector<std::int32_t> winner;           ///< uniform-proposal + counter
   std::vector<std::uint32_t> proposer_count;  ///< uniform-proposal only
+  /// Counter-lottery tickets, doubling as the uniform-proposal batched
+  /// proposal-draw buffer (both are per-slot u64 lanes, never live at
+  /// the same time).
+  std::vector<std::uint64_t> ticket;
 
   /// Pre-size every buffer for up to `max_requests` requests.
   void reserve(std::size_t max_requests);
@@ -99,12 +117,25 @@ class PairingModel {
   /// produce a valid matching: each ant appears at most once as recruited
   /// and at most once as recruiter, and only active ants recruit.
   virtual void pair_active(std::span<const std::uint8_t> active,
-                           util::Rng& rng, PairingScratch& scratch) const = 0;
+                           const PairingCtx& ctx,
+                           PairingScratch& scratch) const = 0;
+
+  /// Rng-only form: an unkeyed ad-hoc call (PairingCtx::round == 0).
+  void pair_active(std::span<const std::uint8_t> active, util::Rng& rng,
+                   PairingScratch& scratch) const {
+    pair_active(active, PairingCtx{rng}, scratch);
+  }
 
   /// AoS wrapper: packs the requests' active flags into scratch.active and
   /// delegates to pair_active().
+  void pair_into(std::span<const RecruitRequest> requests,
+                 const PairingCtx& ctx, PairingScratch& scratch) const;
+
+  /// Rng-only AoS wrapper (unkeyed ad-hoc call).
   void pair_into(std::span<const RecruitRequest> requests, util::Rng& rng,
-                 PairingScratch& scratch) const;
+                 PairingScratch& scratch) const {
+    pair_into(requests, PairingCtx{rng}, scratch);
+  }
 
   /// Convenience wrapper over pair_into() returning owning vectors.
   [[nodiscard]] PairingResult pair(std::span<const RecruitRequest> requests,
@@ -112,6 +143,14 @@ class PairingModel {
 
   /// Short stable identifier for reports.
   [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// True when KEYED calls (PairingCtx::round != 0) draw nothing from the
+  /// shared ctx.rng — every draw comes from per-slot counter streams. The
+  /// environment's fused round path relies on this: it reorders the
+  /// pairing relative to the census and the classification pass, which is
+  /// RNG-invisible exactly when the pairing cannot consume shared-stream
+  /// randomness. Sequential models must leave this false.
+  [[nodiscard]] virtual bool counter_keyed() const { return false; }
 };
 
 /// The paper's Algorithm 1, implemented literally:
@@ -121,7 +160,8 @@ class PairingModel {
 ///   * a' may equal the recruiter (self-recruitment; a no-op for the ant).
 class PermutationPairing final : public PairingModel {
  public:
-  void pair_active(std::span<const std::uint8_t> active, util::Rng& rng,
+  using PairingModel::pair_active;
+  void pair_active(std::span<const std::uint8_t> active, const PairingCtx& ctx,
                    PairingScratch& scratch) const override;
   [[nodiscard]] std::string_view name() const override { return "permutation"; }
 };
@@ -133,15 +173,39 @@ class PermutationPairing final : public PairingModel {
 /// random order, skipping any match whose endpoint is already used.
 class UniformProposalPairing final : public PairingModel {
  public:
-  void pair_active(std::span<const std::uint8_t> active, util::Rng& rng,
+  using PairingModel::pair_active;
+  void pair_active(std::span<const std::uint8_t> active, const PairingCtx& ctx,
                    PairingScratch& scratch) const override;
   [[nodiscard]] std::string_view name() const override { return "uniform-proposal"; }
 };
 
-/// Selector for configs that must stay copyable (strategy objects are not).
-enum class PairingKind : std::uint8_t { kPermutation, kUniformProposal };
+/// The data-parallel "natural model": every per-ant draw comes from a
+/// counter-based stream — SplitMix64 keyed on (pairing seed, round, slot)
+/// via util::mix_seed — instead of the shared sequential Rng, so the
+/// propose and per-target-lottery phases are branch-light O(m) loops over
+/// flat lanes with no cross-slot data dependence (trivially chunkable).
+/// Process: each active slot draws a uniform target over ALL of R (self
+/// included, like Algorithm 1) plus a 32-bit lottery ticket; each target
+/// keeps the proposer with the highest ticket (ties, probability ~2^-32
+/// per colliding pair, go to the lowest slot — deterministic under any
+/// evaluation order); tentative matches are then accepted in target-index
+/// order, skipping any match with a used endpoint. Keyed calls draw
+/// NOTHING from the shared stream. See DESIGN.md §2 for the argument that
+/// the lottery marginals match the sequential reservoir lottery.
+class CounterLotteryPairing final : public PairingModel {
+ public:
+  using PairingModel::pair_active;
+  void pair_active(std::span<const std::uint8_t> active, const PairingCtx& ctx,
+                   PairingScratch& scratch) const override;
+  [[nodiscard]] std::string_view name() const override { return "counter-lottery"; }
+  [[nodiscard]] bool counter_keyed() const override { return true; }
+};
 
-/// Stable pairing-model name ("permutation" / "uniform-proposal"),
+/// Selector for configs that must stay copyable (strategy objects are not).
+enum class PairingKind : std::uint8_t { kPermutation, kUniformProposal, kCounter };
+
+/// Stable pairing-model name ("permutation" / "uniform-proposal" /
+/// "counter-lottery"),
 /// matching the model's name() — THE vocabulary reports, capability-gap
 /// messages, and spec files share (analysis/spec.cpp parses it back).
 [[nodiscard]] std::string_view pairing_name(PairingKind kind);

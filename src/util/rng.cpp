@@ -8,7 +8,15 @@ void random_permutation_into(std::vector<std::uint32_t>& out, std::size_t n,
                              Rng& rng) {
   out.resize(n);
   std::iota(out.begin(), out.end(), 0u);
-  shuffle(out, rng);
+  // Batched Fisher–Yates: identical draws to shuffle(out, rng) — the
+  // iteration for i is the (i-1)-th-from-last, so i-1 bounded draws
+  // (including this one) are still guaranteed, which is what lets
+  // BatchedDraws prefetch raw words in blocks.
+  BatchedDraws draws(rng);
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = draws.uniform(i, i - 1);
+    std::swap(out[i - 1], out[j]);
+  }
 }
 
 std::vector<std::uint32_t> random_permutation(std::size_t n, Rng& rng) {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "util/contracts.hpp"
@@ -30,6 +31,25 @@ class SplitMix64 {
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound) via Lemire multiply-shift rejection —
+  /// the same unbiased method as Rng::uniform_u64, so counter-keyed
+  /// streams (env::CounterLotteryPairing) share the main generator's
+  /// distribution guarantees. Requires bound > 0.
+  constexpr std::uint64_t bounded(std::uint64_t bound) noexcept {
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
   }
 
  private:
@@ -112,6 +132,62 @@ class Rng {
     return uniform_double() < p;
   }
 
+  /// Fill `out` with the next out.size() raw 64-bit words — the identical
+  /// values and final generator state as calling operator()() in a loop,
+  /// but with the 256-bit state held in registers across the block instead
+  /// of being loaded and stored per draw. The bulk-refill primitive under
+  /// uniform_u64_into() and BatchedDraws.
+  void fill_u64(std::span<std::uint64_t> out) noexcept {
+    std::uint64_t s0 = s_[0];
+    std::uint64_t s1 = s_[1];
+    std::uint64_t s2 = s_[2];
+    std::uint64_t s3 = s_[3];
+    for (std::uint64_t& o : out) {
+      o = rotl(s1 * 5, 7) * 9;
+      const std::uint64_t t = s1 << 17;
+      s2 ^= s0;
+      s3 ^= s1;
+      s1 ^= s2;
+      s0 ^= s3;
+      s2 ^= t;
+      s3 = rotl(s3, 45);
+    }
+    s_[0] = s0;
+    s_[1] = s1;
+    s_[2] = s2;
+    s_[3] = s3;
+  }
+
+  /// Fill `out` with out.size() uniform draws from [0, bound) — the exact
+  /// values, in the exact order, with the exact final stream state, of
+  /// out.size() sequential uniform_u64(bound) calls. Batched Lemire: the
+  /// raw words are bulk-generated with fill_u64 into `out` itself and
+  /// consumed in order (a rejection simply consumes the next buffered
+  /// word; an exhausted tail is refilled over the already-consumed
+  /// positions), so no scratch buffer and no allocation. Requires
+  /// bound > 0.
+  void uniform_u64_into(std::span<std::uint64_t> out, std::uint64_t bound) {
+    HH_EXPECTS(bound > 0);
+    if (out.empty()) return;
+    fill_u64(out);
+    // Rejection iff lo < threshold; threshold < bound, so the sequential
+    // path's `lo < bound` fast-path test is subsumed.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    std::size_t w = 0;  // results written
+    std::size_t r = 0;  // raw words consumed
+    while (w < out.size()) {
+      if (r == out.size()) {
+        // Rejections consumed the tail; positions >= w are dead raws.
+        fill_u64(out.subspan(w));
+        r = w;
+      }
+      const std::uint64_t x = out[r++];
+      const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      if (static_cast<std::uint64_t>(m) < threshold) continue;  // rejected
+      out[w++] = static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+
   /// Derive an independent child stream (for per-ant or per-trial streams).
   [[nodiscard]] Rng split() noexcept { return Rng((*this)()); }
 
@@ -121,6 +197,58 @@ class Rng {
   }
 
   std::uint64_t s_[4]{};
+};
+
+/// Exact-sequence batched bounded draws over an Rng, for loops whose
+/// bounds vary per draw (Fisher–Yates) or whose draw count is data-
+/// dependent (the Algorithm 1 pairing loop) — the cases uniform_u64_into
+/// cannot serve. Raw words are prefetched with Rng::fill_u64 in blocks
+/// sized by a caller-supplied LOWER bound on the number of uniform()
+/// calls still to come; since every call consumes at least one word, a
+/// block never outlives the promised draws, so the words consumed — and
+/// therefore the generator state at every point — are exactly those of
+/// the equivalent sequential uniform_u64 calls. Over-promising the floor
+/// would leave prefetched words unconsumed and desynchronize the stream;
+/// callers must pass a genuine lower bound (1 is always safe).
+class BatchedDraws {
+ public:
+  explicit BatchedDraws(Rng& rng) noexcept : rng_(rng) {}
+
+  /// The same value, and the same stream advance, as rng.uniform_u64(
+  /// bound). `remaining` is a lower bound on the uniform() calls still to
+  /// come, INCLUDING this one (so >= 1). Requires bound > 0.
+  std::uint64_t uniform(std::uint64_t bound, std::size_t remaining) {
+    std::uint64_t x = raw(remaining);
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = raw(remaining);
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+ private:
+  static constexpr std::size_t kBlock = 128;
+
+  std::uint64_t raw(std::size_t remaining) {
+    if (pos_ == len_) {
+      HH_EXPECTS(remaining >= 1);
+      len_ = remaining < kBlock ? remaining : kBlock;
+      rng_.fill_u64(std::span<std::uint64_t>(buf_, len_));
+      pos_ = 0;
+    }
+    return buf_[pos_++];
+  }
+
+  Rng& rng_;
+  std::size_t pos_ = 0;
+  std::size_t len_ = 0;
+  std::uint64_t buf_[kBlock];
 };
 
 /// Fisher–Yates shuffle of v using rng (reproducible across platforms,
@@ -149,6 +277,15 @@ void random_permutation_into(std::vector<std::uint32_t>& out, std::size_t n,
                                                std::uint64_t b = 0) noexcept {
   SplitMix64 sm(seed ^ (a * 0x9e3779b97f4a7c15ULL) ^ (b * 0xc2b2ae3d27d4eb4fULL));
   return sm.next();
+}
+
+/// The (seed, a) half of mix_seed's key, hoistable out of a loop over b:
+///   mix_seed(seed, a, b) == mix_seed(mix_seed_prefix(seed, a), 0, b)
+/// exactly, for every b. Used by the counter-keyed pairing loop, where
+/// (seed, a) = (pairing seed, round) is loop-invariant and b is the slot.
+[[nodiscard]] constexpr std::uint64_t mix_seed_prefix(std::uint64_t seed,
+                                                      std::uint64_t a) noexcept {
+  return seed ^ (a * 0x9e3779b97f4a7c15ULL);
 }
 
 }  // namespace hh::util

@@ -292,6 +292,82 @@ TEST(AntPack, FaultedOptimalSweepsAreIdenticalAcrossEnginesAndThreadCounts) {
   }
 }
 
+TEST(AntPack, CounterPairingSweepsAreIdenticalAcrossEnginesAndThreadCounts) {
+  // Acceptance gate for the counter-lottery pairing: counter-paired
+  // configs, swept over both engines and fault lanes, must be
+  // bit-identical per trial at 1, 2 and 8 runner threads. Both engines
+  // route pairing through the same keyed environment call (same pairing
+  // seed, same 1-based round, same slot order), so a divergence here means
+  // the key derivation drifted between the scalar and packed paths.
+  auto base = base_config(0);
+  base.pairing = env::PairingKind::kCounter;
+  base.convergence_tolerance = 0.25;
+  base.stability_rounds = 2;
+  base.max_rounds = 400;
+  auto spec = analysis::SweepSpec("counter-pairing-engine-equivalence")
+                  .base(base)
+                  .algorithms({"simple", "quality-aware", "quorum",
+                               "optimal", "optimal+settle"})
+                  .crash_fractions({0.0, 0.1})
+                  .byzantine_fractions({0.0, 0.05})
+                  .engines({EngineKind::kScalar, EngineKind::kPacked});
+  const auto scenarios = spec.expand();
+  constexpr std::size_t kTrials = 4;
+  constexpr std::uint64_t kSeed = 4242;
+
+  std::vector<analysis::BatchResult> batches;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    batches.push_back(analysis::Runner(analysis::RunnerOptions{threads})
+                          .run(scenarios, kTrials, kSeed));
+  }
+  for (std::size_t b = 1; b < batches.size(); ++b) {
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+      const auto& t0 = batches[0].results[s].trials;
+      const auto& tb = batches[b].results[s].trials;
+      ASSERT_EQ(t0.size(), tb.size());
+      for (std::size_t t = 0; t < t0.size(); ++t) {
+        EXPECT_EQ(t0[t].converged, tb[t].converged) << scenarios[s].name;
+        EXPECT_EQ(t0[t].rounds, tb[t].rounds) << scenarios[s].name;
+        EXPECT_EQ(t0[t].winner, tb[t].winner) << scenarios[s].name;
+        EXPECT_EQ(t0[t].recruitments, tb[t].recruitments) << scenarios[s].name;
+      }
+    }
+  }
+
+  // Cross-engine equivalence at equal trial seeds for every packed cell.
+  for (const auto& scenario : scenarios) {
+    if (scenario.config.engine != EngineKind::kPacked) continue;
+    auto scalar_scenario = scenario;
+    scalar_scenario.config.engine = EngineKind::kScalar;
+    const auto packed = scenario.make_simulation(19)->run();
+    const auto scalar = scalar_scenario.make_simulation(19)->run();
+    expect_identical(scalar, packed, scenario.name);
+    EXPECT_TRUE(packed.engine_fallback.empty()) << scenario.name;
+  }
+}
+
+TEST(AntPack, CounterPairingRunsPackedUnderAutoForEveryFaultPlan) {
+  // counter-lottery is a DECLARED capability of the standard pack: kAuto
+  // must pick the packed engine with no fallback for every packed
+  // algorithm x fault plan the pack supports — crash, Byzantine, both,
+  // and partial synchrony.
+  auto psync = base_config(21);
+  psync.skip_probability = 0.2;
+  auto plans = fault_configs(21);
+  plans.push_back(base_config(21));  // fault-free
+  plans.push_back(psync);
+  for (AlgorithmKind kind : kPackedKinds) {
+    for (SimulationConfig cfg : plans) {
+      cfg.pairing = env::PairingKind::kCounter;
+      Simulation sim(cfg, kind);
+      EXPECT_TRUE(sim.packed())
+          << algorithm_name(kind) << " fell back: " << sim.engine_fallback();
+      EXPECT_TRUE(sim.engine_fallback().empty()) << algorithm_name(kind);
+      EXPECT_EQ(sim.engine_used(), EngineKind::kPacked) << algorithm_name(kind);
+    }
+  }
+}
+
 TEST(AntPack, PartialSynchronySweepsAreIdenticalAcrossEnginesAndThreadCounts) {
   // The acceptance gate for the packed partial-synchrony lane: the driver
   // pre-draws each round's awake mask in ant order (identical draws to the

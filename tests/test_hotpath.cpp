@@ -34,7 +34,8 @@ env::EnvironmentConfig env_config(std::uint32_t n, env::PairingKind kind) {
 
 TEST(HotPath, EnvironmentStepNeverAllocates) {
   for (const env::PairingKind kind :
-       {env::PairingKind::kPermutation, env::PairingKind::kUniformProposal}) {
+       {env::PairingKind::kPermutation, env::PairingKind::kUniformProposal,
+        env::PairingKind::kCounter}) {
     env::Environment environment(env_config(512, kind),
                                  env::make_pairing_model(kind));
     std::vector<env::Action> search(512, env::Action::search());
@@ -67,17 +68,25 @@ TEST(HotPath, PackedSimulationRoundNeverAllocates) {
   // simple/quorum cover the uniform round shapes; optimal (settle on and
   // off) covers the masked mixed-phase rounds — every round >= 2 of
   // Algorithm 2 interleaves recruit and go calls across per-ant states.
-  for (const core::AlgorithmKind kind :
-       {core::AlgorithmKind::kSimple, core::AlgorithmKind::kQuorum,
-        core::AlgorithmKind::kOptimal, core::AlgorithmKind::kOptimalSettle}) {
-    core::Simulation sim(cfg, kind);
-    ASSERT_TRUE(sim.packed());
-    sim.step();  // settle any lazy first-round setup
-    EXPECT_EQ(allocations_during([&] {
-                for (int round = 0; round < 100; ++round) sim.step();
-              }),
-              0u)
-        << core::algorithm_name(kind);
+  // All three pairing models must honor the contract (the counter model's
+  // ticket lane is reserved up front like every other scratch lane).
+  for (const env::PairingKind pairing :
+       {env::PairingKind::kPermutation, env::PairingKind::kUniformProposal,
+        env::PairingKind::kCounter}) {
+    cfg.pairing = pairing;
+    for (const core::AlgorithmKind kind :
+         {core::AlgorithmKind::kSimple, core::AlgorithmKind::kQuorum,
+          core::AlgorithmKind::kOptimal, core::AlgorithmKind::kOptimalSettle}) {
+      core::Simulation sim(cfg, kind);
+      ASSERT_TRUE(sim.packed());
+      sim.step();  // settle any lazy first-round setup
+      EXPECT_EQ(allocations_during([&] {
+                  for (int round = 0; round < 100; ++round) sim.step();
+                }),
+                0u)
+          << core::algorithm_name(kind) << " / "
+          << env::pairing_name(pairing);
+    }
   }
 }
 
@@ -114,7 +123,8 @@ TEST(HotPath, PairIntoReusesScratch) {
   env::PairingScratch scratch;
   scratch.reserve(requests.size());
   for (const env::PairingKind kind :
-       {env::PairingKind::kPermutation, env::PairingKind::kUniformProposal}) {
+       {env::PairingKind::kPermutation, env::PairingKind::kUniformProposal,
+        env::PairingKind::kCounter}) {
     const auto model = env::make_pairing_model(kind);
     model->pair_into(requests, rng, scratch);  // warm (workspace sizing)
     EXPECT_EQ(allocations_during([&] {
@@ -137,7 +147,8 @@ TEST(HotPath, PairWrapperMatchesPairInto) {
     requests.push_back({i, i % 3 != 0, 1});
   }
   for (const env::PairingKind kind :
-       {env::PairingKind::kPermutation, env::PairingKind::kUniformProposal}) {
+       {env::PairingKind::kPermutation, env::PairingKind::kUniformProposal,
+        env::PairingKind::kCounter}) {
     const auto model = env::make_pairing_model(kind);
     util::Rng rng_a(21);
     util::Rng rng_b(21);

@@ -138,12 +138,155 @@ TEST_P(PairingModelTest, ActiveAntsRecruitPassivePoolEffectively) {
 
 INSTANTIATE_TEST_SUITE_P(AllModels, PairingModelTest,
                          ::testing::Values(PairingKind::kPermutation,
-                                           PairingKind::kUniformProposal),
+                                           PairingKind::kUniformProposal,
+                                           PairingKind::kCounter),
                          [](const auto& info) {
-                           return info.param == PairingKind::kPermutation
-                                      ? "Permutation"
-                                      : "UniformProposal";
+                           switch (info.param) {
+                             case PairingKind::kPermutation:
+                               return "Permutation";
+                             case PairingKind::kUniformProposal:
+                               return "UniformProposal";
+                             case PairingKind::kCounter:
+                               return "CounterLottery";
+                           }
+                           return "Unknown";
                          });
+
+TEST_P(PairingModelTest, PairCountDistributionMatchesAnalyticAtMTwo) {
+  // Analytic fact shared by ALL THREE models at m = 2, both active: the
+  // matching has 2 pairs (both self-pairs) with probability exactly 1/4
+  // and 1 pair otherwise.
+  //  * permutation: first ant in P self-draws w.p. 1/2; only then can the
+  //    second self-draw (w.p. 1/2) — otherwise somebody is already used;
+  //  * uniform-proposal and counter-lottery: two pairs iff both ants
+  //    propose to themselves (w.p. 1/4); every other proposal profile
+  //    collapses to one accepted pair.
+  // A biased lottery (e.g. a ticket comparison that favors low slots, or
+  // a non-uniform target draw) shifts this mass — which bit-identity pins
+  // can never catch for a NEW model.
+  const auto model = make_pairing_model(GetParam());
+  const auto reqs = make_requests(2, 0);
+  util::Rng rng(0xC0DE);
+  constexpr int kTrials = 40000;
+  int two_pairs = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto result = model->pair(reqs, rng);
+    const auto pairs = result.pair_count();
+    ASSERT_GE(pairs, 1u);
+    ASSERT_LE(pairs, 2u);
+    two_pairs += pairs == 2 ? 1 : 0;
+  }
+  // Chi-square with 1 dof against Binomial(kTrials, 1/4); 3.84 = 95th
+  // percentile, but use the 99.99th (15.1) so the suite stays stable
+  // across seeds while still catching any real bias (a 1% shift in p
+  // scores ~21 on this sample size).
+  const double expected2 = kTrials / 4.0;
+  const double expected1 = kTrials - expected2;
+  const double d2 = two_pairs - expected2;
+  const double chi2 = d2 * d2 / expected2 + d2 * d2 / expected1;
+  EXPECT_LT(chi2, 15.1) << "two_pairs=" << two_pairs << "/" << kTrials;
+}
+
+TEST_P(PairingModelTest, SingleRecruiterTargetIsUniformChiSquare) {
+  // One active recruiter among m ants: in every model the recruited ant
+  // is the recruiter's uniform draw over ALL of R, so each of the m ants
+  // (self included) is hit w.p. 1/m. Chi-square over the m buckets.
+  const auto model = make_pairing_model(GetParam());
+  constexpr std::size_t kM = 8;
+  const auto reqs = make_requests(1, kM - 1);
+  util::Rng rng(0xFACE);
+  constexpr int kTrials = 80000;
+  std::vector<int> hits(kM, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    const auto result = model->pair(reqs, rng);
+    ASSERT_EQ(result.pair_count(), 1u);  // lone recruiter always succeeds
+    for (std::size_t x = 0; x < kM; ++x) {
+      if (result.recruited_by[x] != kNotRecruited) ++hits[x];
+    }
+  }
+  const double expected = static_cast<double>(kTrials) / kM;
+  double chi2 = 0.0;
+  for (std::size_t x = 0; x < kM; ++x) {
+    const double d = hits[x] - expected;
+    chi2 += d * d / expected;
+  }
+  // 7 dof: 99.99th percentile ~ 29.9.
+  EXPECT_LT(chi2, 29.9);
+}
+
+TEST_P(PairingModelTest, MatchingValidAcrossEveryEntryPoint) {
+  // The validity invariants (each ant <= 1 pair, only active ants
+  // recruit) must hold identically through all three model entry points:
+  // pair() (owning), pair_into() (AoS + scratch), and the SoA core
+  // pair_active() — both its unkeyed Rng form and the keyed PairingCtx
+  // form the environment uses.
+  const auto model = make_pairing_model(GetParam());
+  util::Rng rng(0xBEEF);
+  util::Rng shape(0xF00D);
+  PairingScratch scratch;
+  scratch.reserve(64);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto active = static_cast<std::size_t>(shape.uniform_u64(32));
+    const auto passive = static_cast<std::size_t>(shape.uniform_u64(32));
+    if (active + passive == 0) continue;
+    const auto reqs = make_requests(active, passive);
+
+    const auto owning = model->pair(reqs, rng);
+    expect_valid_matching(reqs, owning);
+
+    model->pair_into(reqs, rng, scratch);
+    PairingResult from_scratch;
+    from_scratch.recruited_by = scratch.recruited_by;
+    from_scratch.recruit_succeeded.assign(scratch.recruit_succeeded.begin(),
+                                          scratch.recruit_succeeded.end());
+    expect_valid_matching(reqs, from_scratch);
+
+    // Keyed SoA call — the engine path (counter models draw nothing from
+    // the rng here; sequential models must behave exactly as before).
+    std::vector<std::uint8_t> flags(reqs.size());
+    for (std::size_t x = 0; x < reqs.size(); ++x) flags[x] = reqs[x].active;
+    model->pair_active(flags,
+                       PairingCtx{rng, 0x5EED, 1 + static_cast<std::uint32_t>(trial)},
+                       scratch);
+    PairingResult keyed;
+    keyed.recruited_by = scratch.recruited_by;
+    keyed.recruit_succeeded.assign(scratch.recruit_succeeded.begin(),
+                                   scratch.recruit_succeeded.end());
+    expect_valid_matching(reqs, keyed);
+  }
+}
+
+TEST(CounterLotteryPairing, KeyedCallsDrawNothingFromSharedStream) {
+  // The property the packed fusion rests on: a keyed counter pairing
+  // leaves the environment stream untouched, so search landings and
+  // noise draws are unaffected by how many ants recruit.
+  CounterLotteryPairing model;
+  std::vector<std::uint8_t> active(64, 1);
+  PairingScratch scratch;
+  util::Rng rng(42);
+  util::Rng untouched(42);
+  model.pair_active(active, PairingCtx{rng, 7, 3}, scratch);
+  EXPECT_EQ(rng(), untouched());
+}
+
+TEST(CounterLotteryPairing, KeyedMatchingDependsOnlyOnSeedRoundAndFlags) {
+  // Same (seed, round, active flags) => same matching, regardless of the
+  // shared rng's state; different round or seed => (almost surely)
+  // different matching.
+  CounterLotteryPairing model;
+  std::vector<std::uint8_t> active(32, 1);
+  PairingScratch s1, s2;
+  util::Rng rng_a(1);
+  util::Rng rng_b(999);
+  model.pair_active(active, PairingCtx{rng_a, 5, 2}, s1);
+  model.pair_active(active, PairingCtx{rng_b, 5, 2}, s2);
+  EXPECT_EQ(s1.recruited_by, s2.recruited_by);
+
+  model.pair_active(active, PairingCtx{rng_a, 5, 3}, s2);
+  EXPECT_NE(s1.recruited_by, s2.recruited_by);
+  model.pair_active(active, PairingCtx{rng_a, 6, 2}, s2);
+  EXPECT_NE(s1.recruited_by, s2.recruited_by);
+}
 
 TEST(PermutationPairing, Lemma21SuccessProbabilityAtLeastOneSixteenth) {
   // Lemma 2.1: an active recruiter succeeds with probability >= 1/16
@@ -208,8 +351,24 @@ TEST(PermutationPairing, RecruitedAntsAreChosenUniformlyAmongEligible) {
 TEST(UniformProposalPairing, NameAndFactory) {
   const auto perm = make_pairing_model(PairingKind::kPermutation);
   const auto prop = make_pairing_model(PairingKind::kUniformProposal);
+  const auto ctr = make_pairing_model(PairingKind::kCounter);
   EXPECT_EQ(perm->name(), "permutation");
   EXPECT_EQ(prop->name(), "uniform-proposal");
+  EXPECT_EQ(ctr->name(), "counter-lottery");
+}
+
+TEST(PairingVocabulary, NamesRoundTripThroughKindCodec) {
+  for (const PairingKind kind :
+       {PairingKind::kPermutation, PairingKind::kUniformProposal,
+        PairingKind::kCounter}) {
+    const auto name = pairing_name(kind);
+    EXPECT_EQ(make_pairing_model(kind)->name(), name);
+    const auto parsed = pairing_from_name(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(pairing_from_name("counter").has_value());
+  EXPECT_FALSE(pairing_from_name("").has_value());
 }
 
 }  // namespace

@@ -133,8 +133,12 @@ INSTANTIATE_TEST_SUITE_P(
                      env::PairingKind::kPermutation},
         Perturbation{"alt_pairing", 0.0, 0.0, 0.0, 0.0,
                      env::PairingKind::kUniformProposal},
+        Perturbation{"counter_pairing", 0.0, 0.0, 0.0, 0.0,
+                     env::PairingKind::kCounter},
         Perturbation{"everything", 0.3, 0.02, 0.1, 0.05,
-                     env::PairingKind::kUniformProposal}),
+                     env::PairingKind::kUniformProposal},
+        Perturbation{"everything_counter", 0.3, 0.02, 0.1, 0.05,
+                     env::PairingKind::kCounter}),
     [](const auto& info) { return info.param.name; });
 
 // Environment-shape sweep: the ratio of good to bad nests must never
@@ -174,7 +178,7 @@ class DeterminismProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(DeterminismProperty, PerturbedRunsAreReproducible) {
   auto cfg = test::small_config(128, 4, 2, 6400 + GetParam());
-  switch (GetParam() % 5) {
+  switch (GetParam() % 6) {
     case 0: cfg.noise.count_sigma = 0.4; break;
     case 1: cfg.faults.crash_fraction = 0.1; break;
     case 2: cfg.skip_probability = 0.2; break;
@@ -183,6 +187,7 @@ TEST_P(DeterminismProperty, PerturbedRunsAreReproducible) {
       cfg.faults.byzantine_fraction = 0.05;
       cfg.convergence_tolerance = 0.2;
       break;
+    case 5: cfg.pairing = env::PairingKind::kCounter; break;
   }
   const RunResult a = test::run_once(cfg, AlgorithmKind::kSimple);
   const RunResult b = test::run_once(cfg, AlgorithmKind::kSimple);
