@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Formatting gate: clang-format --dry-run over the maintained C++ sources.
+# Pin the major version in CI (CLANG_FORMAT=clang-format-15) so the check
+# can't churn with formatter releases. Exits 0 when every file is clean,
+# 1 when any file would be reformatted (the diff hunks are printed),
+# 2 when no clang-format binary is available.
+#
+# Usage: scripts/format_check.sh [--fix]
+#   --fix  rewrite files in place instead of checking
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cf="${CLANG_FORMAT:-}"
+if [ -z "$cf" ]; then
+  for candidate in clang-format-18 clang-format-17 clang-format-16 \
+                   clang-format-15 clang-format; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      cf="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$cf" ]; then
+  echo "format_check: no clang-format found (set CLANG_FORMAT=...)" >&2
+  exit 2
+fi
+
+mode="--dry-run -Werror"
+if [ "${1:-}" = "--fix" ]; then
+  mode="-i"
+fi
+
+cd "$repo_root"
+# shellcheck disable=SC2086
+find src bench tools tests examples \
+     -name '*.cpp' -o -name '*.hpp' -o -name '*.h' |
+  grep -v 'tests/lint_fixtures/' |
+  xargs "$cf" $mode
+rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "format_check: files need formatting (run scripts/format_check.sh --fix)" >&2
+  exit 1
+fi
+echo "format_check: clean ($cf)"

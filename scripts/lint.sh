@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Repo lint gate: build tools/anthill_lint (cached) and run it over src/
+# and bench/. Exit 0 = clean; 1 = findings (printed as file:line: [rule]);
+# 2 = usage/IO error. See tools/anthill_lint.cpp for the rule catalog and
+# DESIGN.md §10 for the annotation vocabulary.
+#
+# Usage: scripts/lint.sh [extra anthill_lint args...]
+#   scripts/lint.sh                 # lint src/ + bench/
+#   scripts/lint.sh --list-rules    # print the rule catalog
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+src="$repo_root/tools/anthill_lint.cpp"
+cache_dir="${ANTHILL_LINT_BUILD_DIR:-$repo_root/build-lint}"
+bin="$cache_dir/anthill_lint"
+
+# Prefer a binary the main build already produced.
+for candidate in "$repo_root"/build*/anthill_lint; do
+  if [ -x "$candidate" ] && [ "$candidate" -nt "$src" ]; then
+    bin="$candidate"
+    break
+  fi
+done
+
+if [ ! -x "$bin" ] || [ "$src" -nt "$bin" ]; then
+  mkdir -p "$cache_dir"
+  cxx="${CXX:-c++}"
+  "$cxx" -std=c++20 -O2 -Wall -Wextra -Werror -o "$bin" "$src"
+fi
+
+exec "$bin" --root "$repo_root" "$@"

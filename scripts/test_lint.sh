@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# test_lint — prove every anthill_lint rule live against the fixtures in
+# tests/lint_fixtures/. For each rule there is a must-trigger fixture
+# (exact expected finding count) and a must-not-trigger fixture (exit 0);
+# the tree-wide scan cross-checks the total, and the real src/ + bench/
+# tree must come back clean. Registered as the `test_lint` ctest target.
+#
+# Usage: scripts/test_lint.sh <anthill_lint-binary> <repo-root>
+set -u
+
+if [ $# -ne 2 ]; then
+  echo "usage: $0 <anthill_lint-binary> <repo-root>" >&2
+  exit 2
+fi
+lint="$1"
+root="$2"
+fixtures="tests/lint_fixtures"
+failures=0
+
+# expect_findings <relative-path> <rule> <count>
+#   The fixture must exit 1 with exactly <count> findings, all of <rule>.
+expect_findings() {
+  local path="$1" rule="$2" want="$3"
+  local out rc got other
+  out="$("$lint" --root "$root" "$path" 2>&1)"
+  rc=$?
+  got=$(printf '%s\n' "$out" | grep -c "^$path:[0-9]*: \[$rule\]")
+  other=$(printf '%s\n' "$out" | grep "^$path:[0-9]*: \[" |
+            grep -vc "\[$rule\]")
+  if [ "$rc" -ne 1 ] || [ "$got" -ne "$want" ] || [ "$other" -ne 0 ]; then
+    echo "FAIL: $path: want exit 1 with $want [$rule] finding(s)," \
+         "got exit $rc, $got matching, $other other" >&2
+    printf '%s\n' "$out" | sed 's/^/  | /' >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: $path ($want x [$rule])"
+  fi
+}
+
+# expect_clean <relative-path>
+expect_clean() {
+  local path="$1" out rc
+  out="$("$lint" --root "$root" "$path" 2>&1)"
+  rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "FAIL: $path: want exit 0 (clean), got exit $rc" >&2
+    printf '%s\n' "$out" | sed 's/^/  | /' >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: $path (clean)"
+  fi
+}
+
+expect_findings "$fixtures/src/sim/raw_rng_bad.cpp"        raw-rng        3
+expect_findings "$fixtures/src/core/wall_clock_bad.cpp"    wall-clock     2
+expect_findings "$fixtures/src/analysis/unordered_bad.cpp" unordered-iter 1
+expect_findings "$fixtures/src/core/no_alloc_bad.cpp"      no-alloc       3
+expect_findings "$fixtures/src/service/float_fmt_bad.cpp"  float-fmt      2
+
+expect_clean "$fixtures/src/sim/raw_rng_ok.cpp"
+expect_clean "$fixtures/src/core/wall_clock_ok.cpp"
+expect_clean "$fixtures/src/analysis/clock_elsewhere_ok.cpp"
+expect_clean "$fixtures/src/analysis/unordered_ok.cpp"
+expect_clean "$fixtures/src/core/no_alloc_ok.cpp"
+expect_clean "$fixtures/src/service/float_fmt_ok.cpp"
+expect_clean "$fixtures/src/util/plot_float_ok.cpp"
+
+# Tree-wide scan: the *_bad fixtures and nothing else, 11 findings total.
+out="$("$lint" --root "$root" "$fixtures" 2>&1)"
+rc=$?
+total=$(printf '%s\n' "$out" | grep -c "^$fixtures/.*: \[")
+if [ "$rc" -ne 1 ] || [ "$total" -ne 11 ]; then
+  echo "FAIL: tree scan: want exit 1 with 11 findings, got exit $rc," \
+       "$total findings" >&2
+  printf '%s\n' "$out" | sed 's/^/  | /' >&2
+  failures=$((failures + 1))
+else
+  echo "ok: fixture tree (11 findings)"
+fi
+
+# The maintained tree itself must be clean (same gate as scripts/lint.sh).
+out="$("$lint" --root "$root" src bench 2>&1)"
+rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: src/ + bench/: want exit 0, got exit $rc" >&2
+  printf '%s\n' "$out" | sed 's/^/  | /' >&2
+  failures=$((failures + 1))
+else
+  echo "ok: src/ + bench/ (clean)"
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "test_lint: $failures check(s) failed" >&2
+  exit 1
+fi
+echo "test_lint: all checks passed"

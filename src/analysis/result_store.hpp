@@ -182,7 +182,10 @@ class ResultStore {
 
   std::filesystem::path dir_;
   std::string ns_;
-  std::unordered_map<TrialKey, TrialStats, TrialKeyHash> index_;
+  // Audited: the only iteration is compact(), which sorts records by key
+  // before writing (byte-identical merged shards regardless of hash
+  // order); find()/insert never feed ordered output.
+  std::unordered_map<TrialKey, TrialStats, TrialKeyHash> index_;  // lint: order-independent
   /// Scan cursors keyed by path; std::map for deterministic scan order.
   std::map<std::filesystem::path, ShardState> files_;
   std::size_t dropped_ = 0;

@@ -879,7 +879,7 @@ std::string dump_experiment_spec(const ExperimentSpec& spec, int indent) {
 ExperimentSpec load_experiment_spec(const std::string& path) {
   std::string text;
   if (path == "-") {
-    std::ostringstream buffer;
+    std::ostringstream buffer;  // lint: allow-float-fmt (file slurp, no float rendering)
     buffer << std::cin.rdbuf();
     text = buffer.str();
   } else {
@@ -887,7 +887,7 @@ ExperimentSpec load_experiment_spec(const std::string& path) {
     if (!in) {
       throw std::runtime_error("cannot open spec file '" + path + "'");
     }
-    std::ostringstream buffer;
+    std::ostringstream buffer;  // lint: allow-float-fmt (file slurp, no float rendering)
     buffer << in.rdbuf();
     text = buffer.str();
   }

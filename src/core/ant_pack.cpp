@@ -765,6 +765,7 @@ void AntPack::overlay_faults(std::uint32_t round, std::span<env::MaskedOp> op,
   }
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 void AntPack::fill_masked(std::uint32_t round, std::span<env::MaskedOp> op,
                           std::span<std::uint8_t> active,
                           std::span<env::NestId> targets) {
@@ -793,6 +794,7 @@ void AntPack::fill_masked(std::uint32_t round, std::span<env::MaskedOp> op,
   decide_masked(round, act_, op, active, targets);
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 void AntPack::observe_masked(std::span<const env::Outcome> outcomes) {
   // Byzantine search outcomes exist only while some scout window is still
   // open — skip the O(n) scan for the rest of the run (mirrors the quiet
@@ -815,6 +817,7 @@ void AntPack::observe_masked(std::span<const env::Outcome> outcomes) {
   observe_masked_acting(act_, outcomes);
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 void AntPack::observe_masked_quiet(const env::Environment& env,
                                    std::span<const env::MaskedOp> op,
                                    std::span<const env::NestId> targets) {
@@ -837,6 +840,7 @@ void AntPack::observe_masked_quiet(const env::Environment& env,
   observe_masked_quiet_acting(act_, env, op, targets);
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 bool AntPack::observe_masked_quiet_then_decide(std::uint32_t round,
                                                const env::Environment& env,
                                                std::span<env::MaskedOp> op,
@@ -867,6 +871,7 @@ std::uint32_t AntPack::agreement_census(ConvergenceMode mode,
   return correct_count();
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 void AntPack::decide_masked(std::uint32_t /*round*/,
                             std::span<const std::uint8_t> /*act*/,
                             std::span<env::MaskedOp> /*op*/,
@@ -875,11 +880,13 @@ void AntPack::decide_masked(std::uint32_t /*round*/,
   HH_ASSERT(false);  // only called when round_shape() says kMasked*
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 void AntPack::observe_masked_acting(std::span<const std::uint8_t> /*act*/,
                                     std::span<const env::Outcome> /*outcomes*/) {
   HH_ASSERT(false);  // only called when round_shape() says kMasked*
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 void AntPack::observe_masked_quiet_acting(
     std::span<const std::uint8_t> /*act*/, const env::Environment& /*env*/,
     std::span<const env::MaskedOp> /*op*/,
@@ -918,6 +925,7 @@ bool AntPack::finalized(env::AntId /*a*/) const { return false; }
 
 bool AntPack::any_finalized() const { return false; }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 std::uint32_t AntPack::count_finalized(std::span<const env::AntId> ants) const {
   std::uint32_t c = 0;
   for (const env::AntId a : ants) c += finalized(a) ? 1u : 0u;

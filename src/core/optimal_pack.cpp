@@ -65,6 +65,7 @@ class OptimalPack final : public AntPack {
 
   /// One ant's masked decision — decide_masked's per-ant body, shared
   /// with the fused observe+decide pass.
+  // lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
   void decide_one(std::size_t a, std::span<env::MaskedOp> op,
                   std::span<std::uint8_t> active,
                   std::span<env::NestId> targets) const {
@@ -99,6 +100,7 @@ class OptimalPack final : public AntPack {
     }
   }
 
+  // lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
   void decide_masked(std::uint32_t /*round*/, std::span<const std::uint8_t> act,
                      std::span<env::MaskedOp> op,
                      std::span<std::uint8_t> active,
@@ -111,6 +113,7 @@ class OptimalPack final : public AntPack {
 
   // observe_all (the fault-free round-1 search) is the base forward onto
   // this kernel: every lane is still kSearch then.
+  // lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
   void observe_masked_acting(std::span<const std::uint8_t> act,
                              std::span<const env::Outcome> outcomes) override {
     for (std::size_t a = 0; a < act.size(); ++a) {
@@ -120,6 +123,7 @@ class OptimalPack final : public AntPack {
     }
   }
 
+  // lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
   void observe_masked_quiet_acting(
       std::span<const std::uint8_t> act, const env::Environment& env,
       std::span<const env::MaskedOp> op,

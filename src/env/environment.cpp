@@ -144,6 +144,7 @@ void HomeNestBackend::validate(AntId a, const Action& action) const {
   }
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 template <bool kLoud, typename ActionAt>
 void HomeNestBackend::round_phase1(const ActionAt& action_at) {
   const std::uint32_t k = num_nests();
@@ -187,7 +188,7 @@ void HomeNestBackend::round_phase1(const ActionAt& action_at) {
       case ActionKind::kRecruit:
         location_[a] = kHomeNest;  // recruitment happens at the home nest
         request_index_[a] = static_cast<std::uint32_t>(requests_.size());
-        requests_.push_back(RecruitRequest{a, action.active, action.target});
+        requests_.push_back(RecruitRequest{a, action.active, action.target});  // lint: capacity-reserved
         if constexpr (kLoud) {
           outcomes_[a] = Outcome{ActionKind::kRecruit, action.target, 0.0, 0,
                                  false, false};
@@ -209,6 +210,7 @@ void HomeNestBackend::round_phase1(const ActionAt& action_at) {
   }
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 template <typename ActionAt>
 const std::vector<Outcome>& HomeNestBackend::step_rows(const ActionAt& action_at) {
   const std::uint32_t k = num_nests();
@@ -289,6 +291,7 @@ const std::vector<Outcome>& HomeNestBackend::step_rows(const ActionAt& action_at
   return outcomes_;
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 template <typename ActionAt>
 void HomeNestBackend::step_rows_quiet(const ActionAt& action_at) {
   // The Outcome-free core: the SAME phase-1/pairing/count bookkeeping and
@@ -319,7 +322,7 @@ void HomeNestBackend::step_rows_quiet(const ActionAt& action_at) {
     }
     const RecruitRequest& from = requests_[static_cast<std::size_t>(recruiter)];
     recruit_result_[requests_[x].ant] = from.target;
-    success_ants_.push_back(from.ant);
+    success_ants_.push_back(from.ant);  // lint: capacity-reserved
     ++stats_.successful_recruitments;
     if (from.ant == requests_[x].ant) ++stats_.self_recruitments;
     if (from.target != requests_[x].target) ++stats_.cross_nest_recruitments;
@@ -329,6 +332,7 @@ void HomeNestBackend::step_rows_quiet(const ActionAt& action_at) {
   ++round_;
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 const std::vector<Outcome>& HomeNestBackend::step(std::span<const Action> actions) {
   HH_EXPECTS(actions.size() == cfg_.num_ants);
   return step_rows([&](AntId a) { return actions[a]; });
@@ -355,6 +359,7 @@ struct MaskedRows {
 
 }  // namespace
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 const std::vector<Outcome>& HomeNestBackend::step_masked_recruit(
     std::span<const MaskedOp> op, std::span<const std::uint8_t> active,
     std::span<const NestId> targets) {
@@ -364,6 +369,7 @@ const std::vector<Outcome>& HomeNestBackend::step_masked_recruit(
   return step_rows(MaskedRows{op, active, targets});
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 void HomeNestBackend::step_masked_recruit_quiet(
     std::span<const MaskedOp> op, std::span<const std::uint8_t> active,
     std::span<const NestId> targets) {
@@ -377,6 +383,7 @@ void HomeNestBackend::step_masked_recruit_quiet(
   step_rows_quiet(MaskedRows{op, active, targets});
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 void HomeNestBackend::step_masked_recruit_fused(
     std::span<const MaskedOp> op, std::span<const std::uint8_t> active,
     std::span<const NestId> targets) {
@@ -423,8 +430,8 @@ void HomeNestBackend::step_masked_recruit_fused(
   count_.assign(k + 1, 0);
   const AntId n = cfg_.num_ants;
   auto& flags = pairing_scratch_.active;
-  requests_.resize(n);
-  flags.resize(n);
+  requests_.resize(n);  // lint: capacity-reserved
+  flags.resize(n);  // lint: capacity-reserved
   RecruitRequest* const req_rows = requests_.data();
   std::uint8_t* const flag_rows = flags.data();
   std::uint32_t mreq = 0;
@@ -465,8 +472,8 @@ void HomeNestBackend::step_masked_recruit_fused(
       ++stats_.idles;
     }
   }
-  requests_.resize(mreq);
-  flags.resize(mreq);
+  requests_.resize(mreq);  // lint: capacity-reserved
+  flags.resize(mreq);  // lint: capacity-reserved
   stats_.gos = n_go;
   stats_.active_recruits = n_rec_active;
   stats_.passive_recruits = mreq - n_rec_active;
@@ -486,7 +493,7 @@ void HomeNestBackend::step_masked_recruit_fused(
     }
     const RecruitRequest& from = requests_[static_cast<std::size_t>(recruiter)];
     recruit_result_[requests_[x].ant] = from.target;
-    success_ants_.push_back(from.ant);
+    success_ants_.push_back(from.ant);  // lint: capacity-reserved
     ++stats_.successful_recruitments;
     if (from.ant == requests_[x].ant) ++stats_.self_recruitments;
     if (from.target != requests_[x].target) ++stats_.cross_nest_recruitments;
@@ -496,6 +503,7 @@ void HomeNestBackend::step_masked_recruit_fused(
   ++round_;
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 const std::vector<Outcome>& HomeNestBackend::step_masked_go(
     std::span<const MaskedOp> op, std::span<const NestId> targets) {
   HH_EXPECTS(op.size() == cfg_.num_ants);
@@ -509,6 +517,7 @@ const std::vector<Outcome>& HomeNestBackend::step_masked_go(
   });
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 void HomeNestBackend::step_masked_go_quiet(std::span<const MaskedOp> op,
                                        std::span<const NestId> targets) {
   HH_EXPECTS(op.size() == cfg_.num_ants);
@@ -519,6 +528,7 @@ void HomeNestBackend::step_masked_go_quiet(std::span<const MaskedOp> op,
   });
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 const std::vector<Outcome>& HomeNestBackend::step_all_search() {
   const std::uint32_t k = num_nests();
   stats_ = RoundStats{};
@@ -547,6 +557,7 @@ const std::vector<Outcome>& HomeNestBackend::step_all_search() {
   return outcomes_;
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 const std::vector<Outcome>& HomeNestBackend::step_all_recruit(
     std::span<const RecruitRequest> requests) {
   HH_EXPECTS(requests.size() == cfg_.num_ants);
@@ -599,6 +610,7 @@ const std::vector<Outcome>& HomeNestBackend::step_all_recruit(
   return outcomes_;
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 void HomeNestBackend::step_all_recruit_quiet(std::span<const std::uint8_t> active,
                                          std::span<const NestId> targets) {
   HH_EXPECTS(observe_exact_);
@@ -634,7 +646,7 @@ void HomeNestBackend::step_all_recruit_quiet(std::span<const std::uint8_t> activ
     }
     const NestId j = targets[static_cast<std::size_t>(recruiter)];
     recruit_result_[a] = j;
-    success_ants_.push_back(static_cast<AntId>(recruiter));
+    success_ants_.push_back(static_cast<AntId>(recruiter));  // lint: capacity-reserved
     ++stats_.successful_recruitments;
     if (static_cast<AntId>(recruiter) == a) ++stats_.self_recruitments;
     if (j != targets[a]) ++stats_.cross_nest_recruitments;
@@ -643,6 +655,7 @@ void HomeNestBackend::step_all_recruit_quiet(std::span<const std::uint8_t> activ
   ++round_;
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 void HomeNestBackend::step_all_go_quiet(std::span<const NestId> targets) {
   HH_EXPECTS(observe_exact_);
   HH_EXPECTS(targets.size() == cfg_.num_ants);
@@ -666,6 +679,7 @@ void HomeNestBackend::step_all_go_quiet(std::span<const NestId> targets) {
   ++round_;
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 const std::vector<Outcome>& HomeNestBackend::step_all_go(
     std::span<const NestId> targets) {
   HH_EXPECTS(targets.size() == cfg_.num_ants);

@@ -176,6 +176,7 @@ void LatticeBackend::run_round(const ActionAt& action_at) {
   }
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 const std::vector<Outcome>& LatticeBackend::step(
     std::span<const Action> actions) {
   HH_EXPECTS(actions.size() == num_ants_);
@@ -209,6 +210,7 @@ struct MaskedLatticeRows {
 
 }  // namespace
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 const std::vector<Outcome>& LatticeBackend::step_masked_go(
     std::span<const MaskedOp> op, std::span<const NestId> targets) {
   HH_EXPECTS(op.size() == num_ants_ && targets.size() == num_ants_);
@@ -216,6 +218,7 @@ const std::vector<Outcome>& LatticeBackend::step_masked_go(
   return outcomes_;
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 void LatticeBackend::step_masked_go_quiet(std::span<const MaskedOp> op,
                                           std::span<const NestId> targets) {
   HH_EXPECTS(op.size() == num_ants_ && targets.size() == num_ants_);

@@ -40,6 +40,7 @@ void PairingModel::pair_into(std::span<const RecruitRequest> requests,
   pair_active(scratch.active, ctx, scratch);
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 void PermutationPairing::pair_active(std::span<const std::uint8_t> active,
                                      const PairingCtx& ctx,
                                      PairingScratch& scratch) const {
@@ -88,6 +89,7 @@ void PermutationPairing::pair_active(std::span<const std::uint8_t> active,
   }
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 void UniformProposalPairing::pair_active(std::span<const std::uint8_t> active,
                                          const PairingCtx& ctx,
                                          PairingScratch& scratch) const {
@@ -103,7 +105,7 @@ void UniformProposalPairing::pair_active(std::span<const std::uint8_t> active,
   // same stream advance as drawing inside the loop.
   std::size_t n_active = 0;
   for (const std::uint8_t b : active) n_active += b ? 1u : 0u;
-  scratch.ticket.resize(n_active);
+  scratch.ticket.resize(n_active);  // lint: capacity-reserved
   rng.uniform_u64_into(std::span<std::uint64_t>(scratch.ticket.data(), n_active),
                        m);
   scratch.proposal.assign(m, kNotRecruited);
@@ -156,6 +158,7 @@ void UniformProposalPairing::pair_active(std::span<const std::uint8_t> active,
   }
 }
 
+// lint: no-alloc (steady-state round; runtime-pinned by test_hotpath)
 void CounterLotteryPairing::pair_active(std::span<const std::uint8_t> active,
                                         const PairingCtx& ctx,
                                         PairingScratch& scratch) const {
@@ -197,7 +200,7 @@ void CounterLotteryPairing::pair_active(std::span<const std::uint8_t> active,
   // every density. Slot order is preserved, so draws and tie-breaks are
   // identical to the naive scan. The proposal lane is the counter
   // model's compaction arena (the sequential models own it otherwise).
-  scratch.proposal.resize(m);
+  scratch.proposal.resize(m);  // lint: capacity-reserved
   std::size_t n_active = 0;
   for (std::size_t x = 0; x < m; ++x) {
     scratch.proposal[n_active] = static_cast<std::int32_t>(x);
@@ -219,7 +222,7 @@ void CounterLotteryPairing::pair_active(std::span<const std::uint8_t> active,
   // proposal model's random-permutation acceptance. Same compaction
   // trick: gather the proposed-to targets (winner lane as arena), then
   // resolve them scan-free in ascending-t order.
-  scratch.winner.resize(m);
+  scratch.winner.resize(m);  // lint: capacity-reserved
   std::size_t n_hit = 0;
   for (std::size_t t = 0; t < m; ++t) {
     scratch.winner[n_hit] = static_cast<std::int32_t>(t);

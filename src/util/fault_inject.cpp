@@ -51,6 +51,10 @@ std::shared_ptr<const Config> load_config() {
   return g_config;
 }
 
+// Publication order matters: the Config must be fully installed before the
+// release store of g_state, so an inject() whose acquire load sees "armed"
+// is guaranteed to load this Config (or a newer one) — never a stale null.
+// See the contract comment on detail::g_state in the header.
 void store_config(std::shared_ptr<const Config> config, int state) {
   {
     std::lock_guard<std::mutex> lock(g_config_mutex);

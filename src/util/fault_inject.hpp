@@ -49,6 +49,23 @@ namespace detail {
 // 0 = not yet initialized (first inject() parses the environment),
 // 1 = disarmed (fast path: every inject() is one atomic load),
 // 2 = armed.
+//
+// Memory-model contract (the reason TSan is clean with inject() called
+// from every thread while a test re-arms — see DESIGN.md §8/§10):
+//
+//   * g_state is the publication flag. Arming builds a fully immutable
+//     Config, installs it under g_config's mutex, and only THEN does a
+//     release store of 2; inject() starts with an acquire load, so any
+//     thread that observes "armed" also observes the Config that arming
+//     published (release/acquire pairing — the config install
+//     happens-before every hit that sees state 2).
+//   * The Config is frozen after publication — points are never added,
+//     removed, or re-actioned in place; re-arming swaps in a NEW Config
+//     while in-flight readers keep the old one alive via shared_ptr.
+//   * Per-point hit/fired counters are the only mutable fields, and they
+//     are std::atomic with relaxed ordering: they are monotonic tallies
+//     read for reports, never used to publish other data, so no
+//     happens-before edge is needed — only atomicity.
 extern std::atomic<int> g_state;
 bool inject_slow(const char* point);
 }  // namespace detail

@@ -359,7 +359,7 @@ std::string format_double(double v) {
   // print as integers — stable, and what a human would write in a spec.
   if (v == std::floor(v) && std::abs(v) < 9007199254740992.0 /* 2^53 */) {
     char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    std::snprintf(buf, sizeof(buf), "%.0f", v);  // lint: allow-float-fmt (format_double impl)
     return buf;
   }
   // Shortest rendering that round-trips: try increasing precision. %.17g
@@ -367,7 +367,7 @@ std::string format_double(double v) {
   // better.
   char buf[40];
   for (const int precision : {15, 16, 17}) {
-    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);  // lint: allow-float-fmt (format_double impl)
     if (std::strtod(buf, nullptr) == v) break;
   }
   return buf;

@@ -1,0 +1,10 @@
+// Fixture: must NOT trigger [wall-clock]. The rule is scoped to src/core
+// and src/env; measurement code outside the simulation kernel may read
+// clocks freely (e.g. bench timers, service timeouts).
+#include <chrono>
+
+double elapsed_seconds() {
+  auto t0 = std::chrono::steady_clock::now();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}

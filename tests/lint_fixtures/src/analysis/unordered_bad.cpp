@@ -1,0 +1,11 @@
+// Fixture: MUST trigger [unordered-iter] (1 finding). An unordered
+// container with no '// lint: order-independent' waiver — nothing records
+// that its iteration order was audited not to feed ordered output.
+#include <string>
+#include <unordered_map>
+
+int count_distinct(const std::string& word) {
+  std::unordered_map<char, int> histogram;
+  for (char c : word) ++histogram[c];
+  return static_cast<int>(histogram.size());
+}

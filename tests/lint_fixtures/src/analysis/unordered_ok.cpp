@@ -1,0 +1,13 @@
+// Fixture: must NOT trigger [unordered-iter]. The include line is exempt
+// (declaring availability is not iterating), and the member carries the
+// audit waiver.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Index {
+  // Audited: lookups only; serialization sorts keys before writing.
+  std::unordered_map<std::string, std::uint64_t> by_name;  // lint: order-independent
+  std::unordered_set<std::uint64_t> seen;  // lint: order-independent
+};

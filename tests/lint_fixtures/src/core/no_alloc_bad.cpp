@@ -1,0 +1,15 @@
+// Fixture: MUST trigger [no-alloc] (3 findings — push_back, resize, new).
+// The annotation governs the next brace-matched function body.
+#include <vector>
+
+// lint: no-alloc (steady-state round)
+void hot_round(std::vector<int>& scratch, int value) {
+  scratch.push_back(value);
+  scratch.resize(scratch.size() * 2);
+  int* leak = new int(value);
+  scratch[0] = *leak;
+}
+
+void cold_setup(std::vector<int>& scratch) {
+  scratch.push_back(0);  // outside any annotated body: fine
+}

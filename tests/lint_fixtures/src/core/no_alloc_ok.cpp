@@ -1,0 +1,18 @@
+// Fixture: must NOT trigger [no-alloc]. Capacity-stable calls inside an
+// annotated body carry the per-line waiver (test_hotpath's counting
+// allocator verifies such claims at runtime in the real tree); words that
+// merely contain an allocation keyword ("renewal") have word boundaries;
+// un-annotated functions may allocate freely.
+#include <vector>
+
+// lint: no-alloc (steady-state round)
+void hot_round(std::vector<int>& scratch, int value) {
+  scratch.push_back(value);  // lint: capacity-reserved (reserve()d at setup)
+  int renewal = value + 1;   // contains "new" but is one word
+  scratch[0] = renewal;
+}
+
+void cold_setup(std::vector<int>& scratch, int rounds) {
+  scratch.reserve(static_cast<std::size_t>(rounds));
+  scratch.push_back(0);
+}

@@ -1,0 +1,9 @@
+// Fixture: MUST trigger [wall-clock] (2 findings). Clock reads inside
+// src/core make trial results depend on when they ran.
+#include <chrono>
+#include <ctime>
+
+long stamp_round() {
+  auto now = std::chrono::steady_clock::now().time_since_epoch().count();
+  return static_cast<long>(std::time(nullptr)) + static_cast<long>(now);
+}

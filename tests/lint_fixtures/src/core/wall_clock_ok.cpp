@@ -1,0 +1,15 @@
+// Fixture: must NOT trigger [wall-clock]. Identifiers that merely contain
+// "time" or "clock" are fine (word boundaries / call-only matching), as is
+// prose about std::chrono, as is a waived diagnostic line.
+int runtime(int rounds) { return rounds * 2; }  // not time(
+
+int lifetime_of(int clock_skew_rounds) {
+  // std::chrono would be flagged only in code, not in this comment.
+  int uptime = clock_skew_rounds;  // variable named *clock* is no call
+  return runtime(uptime);
+}
+
+#include <ctime>
+long debug_stamp() {
+  return std::clock();  // lint: allow-wall-clock (debug-only, off by default)
+}

@@ -1,0 +1,16 @@
+// Fixture: MUST trigger [float-fmt] (2 findings — iostream formatting and
+// a printf-family float conversion). Floats crossing the byte-compared
+// protocol boundary must go through to_chars/format_double.
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+std::string render_mean(double mean) {
+  std::ostringstream out;
+  out << mean;
+  return out.str();
+}
+
+int render_into(char* buffer, std::size_t n, double mean) {
+  return std::snprintf(buffer, n, "%.3f", mean);
+}

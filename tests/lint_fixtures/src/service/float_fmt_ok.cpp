@@ -1,0 +1,23 @@
+// Fixture: must NOT trigger [float-fmt]. Integer printf conversions are
+// legal (the rule keys on %f/%g/%e/%a), to_chars is the sanctioned path,
+// and a non-float stream use carries the waiver.
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+int render_job_id(char* buffer, std::size_t n, unsigned long long id) {
+  return std::snprintf(buffer, n, "job-%06llu", id);
+}
+
+std::string render_mean(double mean) {
+  char buffer[64];
+  auto [end, ec] = std::to_chars(buffer, buffer + sizeof buffer, mean);
+  return std::string(buffer, end);
+}
+
+std::string join_header(const std::string& a, const std::string& b) {
+  std::ostringstream out;  // lint: allow-float-fmt (string concat, no floats)
+  out << a << ',' << b;
+  return out.str();
+}

@@ -1,0 +1,8 @@
+// Fixture: MUST trigger [raw-rng] (3 findings — include, engine, call).
+// Raw randomness outside util/rng breaks keyed-stream determinism.
+#include <random>
+
+int draw_badly() {
+  std::mt19937 engine(42);
+  return static_cast<int>(engine()) + rand();
+}

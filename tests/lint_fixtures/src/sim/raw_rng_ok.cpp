@@ -1,0 +1,13 @@
+// Fixture: must NOT trigger [raw-rng]. Prose mentioning std::mt19937 or
+// rand() lives in comments and string literals, which the lexer strips;
+// identifiers merely containing the tokens have word boundaries.
+#include <cstdint>
+#include <string>
+
+/* The sanctioned generator replaces std::mt19937 and random_device. */
+std::string describe_rng() { return "no rand() calls here, promise"; }
+
+std::uint64_t operand(std::uint64_t brand) {
+  // srand(seed) would be flagged if it left this comment.
+  return brand * 2;  // 'brand' contains "rand" but is its own word
+}

@@ -1,0 +1,8 @@
+// Fixture: must NOT trigger [float-fmt]. The rule is scoped to protocol/
+// CSV/spec code; human-facing output elsewhere (progress lines, ASCII
+// plots) may format floats however it likes.
+#include <cstdio>
+
+void print_progress(double fraction) {
+  std::printf("progress: %5.1f%%\n", fraction * 100.0);
+}
